@@ -1,0 +1,36 @@
+//! Criterion bench for Fig. 12: sort time vs array size (scaled sizes;
+//! the `fig12_array_size` binary runs 10⁴–10⁷).
+
+use backsort_core::Algorithm;
+use backsort_sorts::SeriesSorter;
+use backsort_tvlist::TVList;
+use backsort_workload::{Dataset, DatasetKind};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_array_size");
+    group.sample_size(10);
+    for kind in [DatasetKind::AbsNormal01, DatasetKind::Citibike201808] {
+        for n in [10_000usize, 100_000] {
+            let ds = Dataset::generate(kind, n, 42);
+            group.throughput(Throughput::Elements(n as u64));
+            for alg in Algorithm::contenders() {
+                group.bench_with_input(
+                    BenchmarkId::new(alg.name(), format!("{}/{}", kind.name(), n)),
+                    &ds.pairs,
+                    |b, pairs| {
+                        b.iter_batched(
+                            || TVList::from_pairs(pairs.iter().copied()),
+                            |mut list| alg.sort_series(&mut list),
+                            BatchSize::LargeInput,
+                        )
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for Fig. 8(b): Backward-Sort time vs fixed block size
+//! on samsung-s10 and citibike-201808.
+
+use backsort_core::{Algorithm, BackwardSort};
+use backsort_sorts::SeriesSorter;
+use backsort_tvlist::TVList;
+use backsort_workload::{Dataset, DatasetKind};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let n = 100_000;
+    let mut group = c.benchmark_group("fig08b_block_size");
+    group.sample_size(10);
+    for kind in [DatasetKind::SamsungS10, DatasetKind::Citibike201808] {
+        let ds = Dataset::generate(kind, n, 42);
+        for exp in [2u32, 5, 8, 11, 14] {
+            let l = 1usize << exp;
+            let alg = Algorithm::Backward(BackwardSort::with_fixed_block_size(l));
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("L=2^{exp}")),
+                &ds.pairs,
+                |b, pairs| {
+                    b.iter_batched(
+                        || TVList::from_pairs(pairs.iter().copied()),
+                        |mut list| alg.sort_series(&mut list),
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

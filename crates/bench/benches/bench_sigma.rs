@@ -1,0 +1,47 @@
+//! Criterion bench for Figs. 9/10: contenders on AbsNormal(1, σ) and
+//! LogNormal(1, σ) across the σ grid (scaled down; the `fig09`/`fig10`
+//! binaries run paper scale).
+
+use backsort_core::Algorithm;
+use backsort_sorts::SeriesSorter;
+use backsort_tvlist::TVList;
+use backsort_workload::{generate_pairs, DelayModel, StreamSpec};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+fn pairs_for(delay: DelayModel, n: usize) -> Vec<(i64, i32)> {
+    generate_pairs(&StreamSpec::new(n, delay, 42))
+        .into_iter()
+        .map(|(t, v)| (t, v as i32))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let n = 30_000;
+    for (family, make) in [
+        ("fig09_absnormal", (|s| DelayModel::AbsNormal { mu: 1.0, sigma: s }) as fn(f64) -> DelayModel),
+        ("fig10_lognormal", (|s| DelayModel::LogNormal { mu: 1.0, sigma: s }) as fn(f64) -> DelayModel),
+    ] {
+        let mut group = c.benchmark_group(family);
+        group.sample_size(10);
+        for sigma in [0.25, 1.0, 4.0] {
+            let pairs = pairs_for(make(sigma), n);
+            for alg in Algorithm::contenders() {
+                group.bench_with_input(
+                    BenchmarkId::new(alg.name(), format!("sigma={sigma}")),
+                    &pairs,
+                    |b, pairs| {
+                        b.iter_batched(
+                            || TVList::from_pairs(pairs.iter().copied()),
+                            |mut list| alg.sort_series(&mut list),
+                            BatchSize::LargeInput,
+                        )
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

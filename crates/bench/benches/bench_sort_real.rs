@@ -1,0 +1,35 @@
+//! Criterion bench for Fig. 11: every contender on the four real-world
+//! datasets (scaled to keep `cargo bench` quick; the `fig11_real` binary
+//! runs paper scale).
+
+use backsort_core::Algorithm;
+use backsort_sorts::SeriesSorter;
+use backsort_tvlist::TVList;
+use backsort_workload::{Dataset, DatasetKind};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let n = 50_000;
+    let mut group = c.benchmark_group("fig11_real_datasets");
+    group.sample_size(10);
+    for kind in DatasetKind::REAL {
+        let ds = Dataset::generate(kind, n, 42);
+        for alg in Algorithm::contenders() {
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), kind.name()),
+                &ds.pairs,
+                |b, pairs| {
+                    b.iter_batched(
+                        || TVList::from_pairs(pairs.iter().copied()),
+                        |mut list| alg.sort_series(&mut list),
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Ablations: Θ sweep, L0 sweep, down-sampled estimator error, and the
+//! cost of the stable variant.
+//!
+//! Usage: `ablation [--study theta|l0|estimator|stability|model|all] [--n N]
+//!         [--reps R] [--seed S] [--json]`
+
+use backsort_experiments::cli::Args;
+use backsort_experiments::experiments::ablation;
+use backsort_experiments::table;
+
+fn main() {
+    let args = Args::from_env();
+    let n = args.get_or("n", if args.full() { 1_000_000 } else { 100_000 });
+    let reps = args.get_or("reps", 3usize);
+    let seed = args.get_or("seed", 42u64);
+    let study = args.get("study").unwrap_or("all").to_string();
+    if !matches!(study.as_str(), "theta" | "l0" | "estimator" | "stability" | "model" | "all") {
+        eprintln!("error: unknown --study {study:?} (theta|l0|estimator|stability|model|all)");
+        std::process::exit(1);
+    }
+
+    let mut rows = Vec::new();
+    if study == "theta" || study == "all" {
+        rows.extend(ablation::theta_sweep(n, reps, seed));
+    }
+    if study == "l0" || study == "all" {
+        rows.extend(ablation::l0_sweep(n, reps, seed));
+    }
+    if study == "estimator" || study == "all" {
+        rows.extend(ablation::estimator_error(n, seed));
+    }
+    if study == "stability" || study == "all" {
+        rows.extend(ablation::stability_cost(n, reps, seed));
+    }
+    if study == "model" || study == "all" {
+        rows.extend(ablation::model_check(n, reps, seed));
+    }
+
+    if args.json() {
+        table::print_json(&rows);
+        return;
+    }
+    table::heading("Ablations");
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.study.clone(),
+                r.dataset.clone(),
+                r.x.clone(),
+                table::fmt_nanos(r.nanos),
+                format!("{:.4}", r.aux),
+            ]
+        })
+        .collect();
+    table::print_table(&["study", "dataset", "x", "sort time", "aux"], &printable);
+}

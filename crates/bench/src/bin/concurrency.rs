@@ -1,0 +1,61 @@
+//! Concurrency scaling: writer and query threads contend on the engine
+//! lock, showing why faster sorting lifts both sides (paper §VI-D1:
+//! "the query process … takes the lock and blocks the write process").
+//!
+//! Usage: `concurrency [--ops N] [--writers W] [--queriers Q] [--json]`
+//! Sweeps thread mixes for each contender.
+
+use backsort_benchmark::{run_benchmark_concurrent, BenchConfig};
+use backsort_core::Algorithm;
+use backsort_experiments::cli::Args;
+use backsort_experiments::table;
+use backsort_workload::DelayModel;
+
+fn main() {
+    let args = Args::from_env();
+    let ops = args.get_or("ops", 800usize);
+    let mixes: Vec<(usize, usize)> = match (args.get("writers"), args.get("queriers")) {
+        (Some(w), Some(q)) => vec![(w.parse().expect("writers"), q.parse().expect("queriers"))],
+        _ => vec![(1, 0), (2, 1), (4, 2), (4, 4)],
+    };
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut json_rows = Vec::new();
+    for &(writers, queriers) in &mixes {
+        for alg in Algorithm::contenders() {
+            let config = BenchConfig {
+                devices: 2,
+                sensors_per_device: 4,
+                batch_size: 500,
+                write_percentage: 1.0, // writers saturate; queriers poll
+                operations: ops,
+                delay: DelayModel::AbsNormal { mu: 1.0, sigma: 2.0 },
+                query_window: 2_000,
+                memtable_max_points: 100_000,
+                sorter: alg,
+                seed: 42,
+            };
+            let report = run_benchmark_concurrent(&config, writers, queriers);
+            rows.push(vec![
+                format!("{writers}w/{queriers}q"),
+                report.sorter.clone(),
+                format!("{:.1}", report.total_latency_ms),
+                report
+                    .query_throughput_pps
+                    .map_or("-".into(), |v| format!("{v:.2e}")),
+                report.flushes.to_string(),
+            ]);
+            json_rows.push(report);
+        }
+    }
+
+    if args.json() {
+        table::print_json(&json_rows);
+        return;
+    }
+    table::heading("Concurrency scaling (lock contention across sorters)");
+    table::print_table(
+        &["threads", "algorithm", "ingest wall ms", "query pps", "flushes"],
+        &rows,
+    );
+}

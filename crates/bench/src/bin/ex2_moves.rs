@@ -1,0 +1,31 @@
+//! Example 2 / Fig. 2: straight vs backward merge move counts.
+//!
+//! Usage: `ex2_moves [--blocks B] [--json]`
+
+use backsort_experiments::cli::Args;
+use backsort_experiments::experiments::ex2;
+use backsort_experiments::table;
+
+fn main() {
+    let args = Args::from_env();
+    let blocks = args.get_or("blocks", 4usize);
+    let rows = ex2::run(&[8, 64, 512, 4096, 65_536], blocks);
+    if args.json() {
+        table::print_json(&rows);
+        return;
+    }
+    table::heading("Example 2 — merge move counts (paper: 4M+4 vs 3M+7)");
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.block_len.to_string(),
+                r.blocks.to_string(),
+                r.straight_moves.to_string(),
+                r.backward_moves.to_string(),
+                format!("{:.1}%", r.reduction * 100.0),
+            ]
+        })
+        .collect();
+    table::print_table(&["M", "blocks", "straight", "backward", "reduction"], &printable);
+}

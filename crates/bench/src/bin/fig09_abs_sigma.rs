@@ -1,0 +1,38 @@
+//! Fig. 9: sort time on AbsNormal(μ, σ) sweeping σ, both μ panels.
+//!
+//! Usage: `fig09_abs_sigma [--n N] [--reps R] [--seed S] [--json] [--full]`
+//! The paper sorts 100k points ("the appropriate memory points size");
+//! that is also the default here. `--full` raises to 1M.
+
+use backsort_experiments::cli::Args;
+use backsort_experiments::experiments::sorttime;
+use backsort_experiments::table;
+
+fn main() {
+    run_family("absnormal", "Fig. 9 — sort time, AbsNormal(μ, σ)");
+}
+
+fn run_family(family: &str, title: &str) {
+    let args = Args::from_env();
+    let n = args.get_or("n", if args.full() { 1_000_000 } else { 100_000 });
+    let reps = args.get_or("reps", 3usize);
+    let seed = args.get_or("seed", 42u64);
+    let rows = sorttime::sigma_sweep(family, n, reps, seed);
+    if args.json() {
+        table::print_json(&rows);
+        return;
+    }
+    table::heading(title);
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.panel.clone(),
+                r.x.clone(),
+                r.algorithm.clone(),
+                table::fmt_nanos(r.nanos),
+            ]
+        })
+        .collect();
+    table::print_table(&["panel", "sigma", "algorithm", "sort time"], &printable);
+}

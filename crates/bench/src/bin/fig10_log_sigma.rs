@@ -1,0 +1,32 @@
+//! Fig. 10: sort time on LogNormal(μ, σ) sweeping σ, both μ panels.
+//!
+//! Usage: `fig10_log_sigma [--n N] [--reps R] [--seed S] [--json] [--full]`
+
+use backsort_experiments::cli::Args;
+use backsort_experiments::experiments::sorttime;
+use backsort_experiments::table;
+
+fn main() {
+    let args = Args::from_env();
+    let n = args.get_or("n", if args.full() { 1_000_000 } else { 100_000 });
+    let reps = args.get_or("reps", 3usize);
+    let seed = args.get_or("seed", 42u64);
+    let rows = sorttime::sigma_sweep("lognormal", n, reps, seed);
+    if args.json() {
+        table::print_json(&rows);
+        return;
+    }
+    table::heading("Fig. 10 — sort time, LogNormal(μ, σ)");
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.panel.clone(),
+                r.x.clone(),
+                r.algorithm.clone(),
+                table::fmt_nanos(r.nanos),
+            ]
+        })
+        .collect();
+    table::print_table(&["panel", "sigma", "algorithm", "sort time"], &printable);
+}

@@ -1,0 +1,25 @@
+//! Fig. 11: sort time on the four real-world datasets.
+//!
+//! Usage: `fig11_real [--n N] [--reps R] [--seed S] [--json] [--full]`
+
+use backsort_experiments::cli::Args;
+use backsort_experiments::experiments::sorttime;
+use backsort_experiments::table;
+
+fn main() {
+    let args = Args::from_env();
+    let n = args.get_or("n", if args.full() { 1_000_000 } else { 100_000 });
+    let reps = args.get_or("reps", 3usize);
+    let seed = args.get_or("seed", 42u64);
+    let rows = sorttime::real_datasets(n, reps, seed);
+    if args.json() {
+        table::print_json(&rows);
+        return;
+    }
+    table::heading("Fig. 11 — sort time, real-world datasets");
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.x.clone(), r.algorithm.clone(), table::fmt_nanos(r.nanos)])
+        .collect();
+    table::print_table(&["dataset", "algorithm", "sort time"], &printable);
+}

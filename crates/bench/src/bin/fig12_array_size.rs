@@ -1,0 +1,36 @@
+//! Fig. 12: sort time vs array size (10⁴ … 10⁷) on four datasets.
+//!
+//! Usage: `fig12_array_size [--reps R] [--seed S] [--json] [--full]`
+//! Default sizes are 10⁴/10⁵/10⁶; `--full` appends the paper's 10⁷.
+
+use backsort_experiments::cli::Args;
+use backsort_experiments::experiments::sorttime;
+use backsort_experiments::table;
+
+fn main() {
+    let args = Args::from_env();
+    let reps = args.get_or("reps", 3usize);
+    let seed = args.get_or("seed", 42u64);
+    let mut sizes = vec![10_000usize, 100_000, 1_000_000];
+    if args.full() {
+        sizes.push(10_000_000);
+    }
+    let rows = sorttime::array_size_sweep(&sizes, reps, seed);
+    if args.json() {
+        table::print_json(&rows);
+        return;
+    }
+    table::heading("Fig. 12 — sort time vs array size");
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.panel.clone(),
+                r.x.clone(),
+                r.algorithm.clone(),
+                table::fmt_nanos(r.nanos),
+            ]
+        })
+        .collect();
+    table::print_table(&["dataset", "n", "algorithm", "sort time"], &printable);
+}

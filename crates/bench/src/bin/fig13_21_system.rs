@@ -1,0 +1,89 @@
+//! Figs. 13–21: system experiments through the mini-IoTDB engine and the
+//! benchmark driver — query throughput, flush time and total latency
+//! over the write-percentage grid.
+//!
+//! Usage: `fig13_21_system [--family absnormal|lognormal|real]
+//!         [--metric qps|flush|latency|all] [--ops N] [--memtable M]
+//!         [--seed S] [--json] [--full]`
+//!
+//! The paper ingests 10⁷ points per cell; the default is scaled down to
+//! keep a full grid under a minute. `--full` restores paper scale.
+
+use backsort_experiments::cli::Args;
+use backsort_experiments::experiments::system;
+use backsort_experiments::table;
+
+fn main() {
+    let args = Args::from_env();
+    let family = args.get("family").unwrap_or("absnormal").to_string();
+    if !matches!(family.as_str(), "absnormal" | "lognormal" | "real") {
+        eprintln!("error: unknown --family {family:?} (absnormal|lognormal|real)");
+        std::process::exit(1);
+    }
+    let metric = args.get("metric").unwrap_or("all").to_string();
+    if !matches!(metric.as_str(), "qps" | "flush" | "latency" | "all") {
+        eprintln!("error: unknown --metric {metric:?} (qps|flush|latency|all)");
+        std::process::exit(1);
+    }
+    let ops = args.get_or("ops", if args.full() { 20_000 } else { 400 });
+    let memtable = args.get_or("memtable", 100_000usize);
+    let seed = args.get_or("seed", 42u64);
+
+    let rows = system::run_grid(&family, ops, memtable, seed);
+    if args.json() {
+        table::print_json(&rows);
+        return;
+    }
+
+    if metric == "qps" || metric == "all" {
+        table::heading(&format!("Figs. 13–15 — query throughput (points/s), {family}"));
+        let printable: Vec<Vec<String>> = rows
+            .iter()
+            .filter(|r| r.report.query_throughput_pps.is_some())
+            .map(|r| {
+                vec![
+                    r.panel.clone(),
+                    format!("{}", r.report.write_percentage),
+                    r.report.sorter.clone(),
+                    format!("{:.3e}", r.report.query_throughput_pps.unwrap()),
+                ]
+            })
+            .collect();
+        table::print_table(&["panel", "write%", "algorithm", "qps"], &printable);
+    }
+    if metric == "flush" || metric == "all" {
+        table::heading(&format!("Figs. 16–18 — average flush time (ms), {family}"));
+        let printable: Vec<Vec<String>> = rows
+            .iter()
+            .filter(|r| r.report.avg_flush_ms.is_some())
+            .map(|r| {
+                vec![
+                    r.panel.clone(),
+                    format!("{}", r.report.write_percentage),
+                    r.report.sorter.clone(),
+                    format!("{:.3}", r.report.avg_flush_ms.unwrap()),
+                    format!("{:.3}", r.report.avg_flush_sort_ms.unwrap_or(0.0)),
+                ]
+            })
+            .collect();
+        table::print_table(
+            &["panel", "write%", "algorithm", "flush ms", "sort ms"],
+            &printable,
+        );
+    }
+    if metric == "latency" || metric == "all" {
+        table::heading(&format!("Figs. 19–21 — total test latency (ms), {family}"));
+        let printable: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.panel.clone(),
+                    format!("{}", r.report.write_percentage),
+                    r.report.sorter.clone(),
+                    format!("{:.1}", r.report.total_latency_ms),
+                ]
+            })
+            .collect();
+        table::print_table(&["panel", "write%", "algorithm", "latency ms"], &printable);
+    }
+}

@@ -1,0 +1,32 @@
+//! Fig. 22: LSTM forecasting on ordered vs disordered series — train/test
+//! MSE vs the LogNormal(1, σ) disorder degree.
+//!
+//! Usage: `fig22_forecast [--points N] [--epochs E] [--seed S] [--json] [--full]`
+
+use backsort_experiments::cli::Args;
+use backsort_experiments::experiments::fig22;
+use backsort_experiments::table;
+
+fn main() {
+    let args = Args::from_env();
+    let points = args.get_or("points", if args.full() { 20_000 } else { 4_000 });
+    let epochs = args.get_or("epochs", if args.full() { 20 } else { 10 });
+    let seed = args.get_or("seed", 42u64);
+    let rows = fig22::run(points, epochs, seed);
+    if args.json() {
+        table::print_json(&rows);
+        return;
+    }
+    table::heading("Fig. 22(b) — LSTM train/test MSE vs disorder σ (LogNormal(1,σ))");
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.sigma),
+                format!("{:.4}", r.train_mse),
+                format!("{:.4}", r.test_mse),
+            ]
+        })
+        .collect();
+    table::print_table(&["sigma", "train MSE", "test MSE"], &printable);
+}

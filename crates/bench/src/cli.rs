@@ -1,0 +1,114 @@
+//! A tiny `--flag value` argument parser — enough for experiment
+//! binaries, with no external dependency.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: `--key value` pairs plus bare `--switches`.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments (after the binary name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        out.values.insert(name.to_string(), value);
+                    }
+                    _ => out.switches.push(name.to_string()),
+                }
+            } else {
+                // Bare positional args are treated as switches too.
+                out.switches.push(arg);
+            }
+        }
+        out
+    }
+
+    /// Whether a bare `--switch` was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// A `--key value` string.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Parses a value, falling back to `default` when absent.
+    ///
+    /// Prints a usage error and exits with status 1 (status 101 under
+    /// `cfg(test)`, where it panics so tests can observe it) when the
+    /// value fails to parse.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(name) {
+            None => default,
+            Some(raw) => raw.parse().unwrap_or_else(|e| {
+                if cfg!(test) {
+                    panic!("invalid --{name} {raw}: {e}");
+                }
+                eprintln!("error: invalid --{name} {raw:?}: {e}");
+                std::process::exit(1);
+            }),
+        }
+    }
+
+    /// Common scale switch: `--full` runs paper-scale workloads.
+    pub fn full(&self) -> bool {
+        self.has("full")
+    }
+
+    /// Common output switch: `--json` emits JSON rows instead of a table.
+    pub fn json(&self) -> bool {
+        self.has("json")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn values_and_switches() {
+        let a = parse("--n 1000 --json --dataset citibike-201808 --full");
+        assert_eq!(a.get("n"), Some("1000"));
+        assert_eq!(a.get_or("n", 5usize), 1000);
+        assert_eq!(a.get("dataset"), Some("citibike-201808"));
+        assert!(a.json());
+        assert!(a.full());
+        assert!(!a.has("verbose"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("--json");
+        assert_eq!(a.get_or("n", 7usize), 7);
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid --n")]
+    fn bad_value_panics() {
+        let a = parse("--n banana");
+        let _: usize = a.get_or("n", 0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Ablations beyond the paper's figures, for the design choices DESIGN.md
+//! calls out: the `Θ` threshold, the initial block size `L0`, the
+//! down-sampled estimator's error, and the cost of the stable variant.
+
+use backsort_core::{iir, Algorithm, BackwardSort, InBlockSort};
+use backsort_tvlist::SliceSeries;
+use backsort_workload::{Dataset, DatasetKind};
+use serde::Serialize;
+
+use crate::timing::time_sort_tvlist;
+
+/// One ablation measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationRow {
+    /// Which ablation this row belongs to.
+    pub study: String,
+    /// Dataset label.
+    pub dataset: String,
+    /// The knob value.
+    pub x: String,
+    /// Median sort time in nanoseconds (0 for non-timing studies).
+    pub nanos: u64,
+    /// Auxiliary value (chosen block size, estimator error, …).
+    pub aux: f64,
+}
+
+/// Θ sweep: how the threshold changes the chosen block size and the sort
+/// time (paper fixes Θ̃ = 0.04, §VI-B).
+pub fn theta_sweep(n: usize, reps: usize, seed: u64) -> Vec<AblationRow> {
+    let thetas = [0.005f64, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32];
+    let mut rows = Vec::new();
+    for kind in [DatasetKind::Citibike201808, DatasetKind::SamsungS10] {
+        let ds = Dataset::generate(kind, n, seed);
+        for &theta in &thetas {
+            let cfg = BackwardSort { theta, ..BackwardSort::default() };
+            let alg = Algorithm::Backward(cfg);
+            let nanos = time_sort_tvlist(&alg, &ds.pairs, reps);
+            // Record the block size the search settles on.
+            let mut probe = ds.pairs.clone();
+            let s = SliceSeries::new(&mut probe);
+            let (l, _) = backsort_core::choose_block_size(&s, theta, 4);
+            rows.push(AblationRow {
+                study: "theta".into(),
+                dataset: kind.name().into(),
+                x: format!("{theta}"),
+                nanos,
+                aux: l as f64,
+            });
+        }
+    }
+    rows
+}
+
+/// L0 sweep: sensitivity to the initial block size (paper picks 4).
+pub fn l0_sweep(n: usize, reps: usize, seed: u64) -> Vec<AblationRow> {
+    let l0s = [1usize, 2, 4, 8, 16, 64, 256];
+    let mut rows = Vec::new();
+    for kind in [DatasetKind::Citibike201808, DatasetKind::SamsungS10] {
+        let ds = Dataset::generate(kind, n, seed);
+        for &l0 in &l0s {
+            let cfg = BackwardSort::new(0.04, l0);
+            let alg = Algorithm::Backward(cfg);
+            rows.push(AblationRow {
+                study: "l0".into(),
+                dataset: kind.name().into(),
+                x: l0.to_string(),
+                nanos: time_sort_tvlist(&alg, &ds.pairs, reps),
+                aux: 0.0,
+            });
+        }
+    }
+    rows
+}
+
+/// Estimator study: down-sampled α̃ vs. exact α per interval — the
+/// estimation error the paper accepts to keep phase 1 at `O(n/L0)`.
+pub fn estimator_error(n: usize, seed: u64) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for kind in DatasetKind::REAL {
+        let ds = Dataset::generate(kind, n, seed);
+        let mut data = ds.pairs.clone();
+        let s = SliceSeries::new(&mut data);
+        for e in 0..=14u32 {
+            let l = 1usize << e;
+            let exact = iir::exact_iir(&s, l);
+            let sampled = iir::sampled_iir(&s, l);
+            rows.push(AblationRow {
+                study: "estimator".into(),
+                dataset: kind.name().into(),
+                x: l.to_string(),
+                nanos: 0,
+                aux: (exact - sampled).abs(),
+            });
+        }
+    }
+    rows
+}
+
+/// Stable vs. unstable in-block sorting cost.
+pub fn stability_cost(n: usize, reps: usize, seed: u64) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for kind in [DatasetKind::AbsNormal01, DatasetKind::Citibike201808] {
+        let ds = Dataset::generate(kind, n, seed);
+        for (label, in_block) in [("quick", InBlockSort::Quick), ("stable", InBlockSort::Stable)] {
+            let cfg = BackwardSort { in_block, ..BackwardSort::default() };
+            let alg = Algorithm::Backward(cfg);
+            rows.push(AblationRow {
+                study: "stability".into(),
+                dataset: kind.name().into(),
+                x: label.into(),
+                nanos: time_sort_tvlist(&alg, &ds.pairs, reps),
+                aux: 0.0,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theta_sweep_block_size_shrinks_with_larger_theta() {
+        let rows = theta_sweep(20_000, 1, 3);
+        let citibike: Vec<&AblationRow> =
+            rows.iter().filter(|r| r.dataset == "citibike-201808").collect();
+        let tight = citibike.iter().find(|r| r.x == "0.005").unwrap().aux;
+        let loose = citibike.iter().find(|r| r.x == "0.32").unwrap().aux;
+        assert!(tight >= loose, "Θ=0.005 gives L {tight} >= Θ=0.32's {loose}");
+    }
+
+    #[test]
+    fn l0_sweep_runs() {
+        let rows = l0_sweep(10_000, 1, 3);
+        assert_eq!(rows.len(), 2 * 7);
+        assert!(rows.iter().all(|r| r.nanos > 0));
+    }
+
+    #[test]
+    fn estimator_error_is_small_at_small_intervals() {
+        let rows = estimator_error(100_000, 3);
+        for row in rows.iter().filter(|r| r.x == "1" || r.x == "2") {
+            assert!(row.aux < 0.05, "{}: L={} err {}", row.dataset, row.x, row.aux);
+        }
+    }
+
+    #[test]
+    fn stability_cost_is_measured() {
+        let rows = stability_cost(10_000, 1, 3);
+        assert_eq!(rows.len(), 4);
+    }
+}
+
+/// Proposition 5/6 model check: measure `Q` (average suffix-side overlap
+/// per merge) at a reference block size, predict the optimal `L* = ηQ`
+/// from the complexity objective `g(L) = n(log L + ηQ/L)`, and compare
+/// with the empirical argmin of a block-size sweep.
+///
+/// Returns rows: one `study = "model-q"` row per dataset with the
+/// measured `Q` in `aux`, one `study = "model-argmin"` row with the
+/// sweep's best `L`, and one `study = "model-predicted"` row with `L*`
+/// for η calibrated so the orders of magnitude can be compared (η = 1).
+pub fn model_check(n: usize, reps: usize, seed: u64) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for kind in [DatasetKind::Citibike201808, DatasetKind::SamsungS10, DatasetKind::LogNormal01] {
+        let ds = Dataset::generate(kind, n, seed);
+
+        // Measure Q with a mid-range reference block size.
+        let mut probe = ds.pairs.clone();
+        let mut series = SliceSeries::new(&mut probe);
+        let report = BackwardSort::with_fixed_block_size(64).sort_with_report(&mut series);
+        let q = if report.merges > 0 {
+            report.overlap_total as f64 / report.merges as f64 / 2.0 // one side of the overlap
+        } else {
+            0.0
+        };
+        rows.push(AblationRow {
+            study: "model-q".into(),
+            dataset: kind.name().into(),
+            x: "Q".into(),
+            nanos: 0,
+            aux: q,
+        });
+
+        // Empirical argmin over the sweep.
+        let mut best = (0usize, u64::MAX);
+        for e in 2..=15u32 {
+            let l = 1usize << e;
+            if l >= n {
+                break;
+            }
+            let alg = Algorithm::Backward(BackwardSort::with_fixed_block_size(l));
+            let nanos = crate::timing::time_sort_tvlist(&alg, &ds.pairs, reps);
+            if nanos < best.1 {
+                best = (l, nanos);
+            }
+        }
+        rows.push(AblationRow {
+            study: "model-argmin".into(),
+            dataset: kind.name().into(),
+            x: best.0.to_string(),
+            nanos: best.1,
+            aux: best.0 as f64,
+        });
+
+        let predicted = backsort_workload::analysis::optimal_block_size(n as f64, 1.0, q);
+        rows.push(AblationRow {
+            study: "model-predicted".into(),
+            dataset: kind.name().into(),
+            x: format!("{predicted:.0}"),
+            nanos: 0,
+            aux: predicted,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod model_tests {
+    use super::*;
+
+    #[test]
+    fn model_check_produces_all_rows() {
+        let rows = model_check(30_000, 1, 7);
+        assert_eq!(rows.len(), 9);
+        let qs: Vec<&AblationRow> = rows.iter().filter(|r| r.study == "model-q").collect();
+        assert_eq!(qs.len(), 3);
+        // Heavy-tail citibike must have a larger measured Q than samsung.
+        let q_cb = qs.iter().find(|r| r.dataset == "citibike-201808").unwrap().aux;
+        let q_sam = qs.iter().find(|r| r.dataset == "samsung-s10").unwrap().aux;
+        assert!(q_cb > q_sam, "Q citibike {q_cb} vs samsung {q_sam}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Fig. 8: parameter tuning. Panel (a): IIR vs. interval for the four
+//! real-world datasets. Panel (b): sort time vs. manually-fixed block
+//! size ("by omitting the first step of the algorithm", §VI-B).
+
+use backsort_core::{Algorithm, BackwardSort};
+use backsort_workload::metrics::interval_inversion_ratio;
+use backsort_workload::{Dataset, DatasetKind};
+use serde::Serialize;
+
+use crate::timing::time_sort_tvlist;
+
+/// One Fig. 8(a) point.
+#[derive(Debug, Clone, Serialize)]
+pub struct IirRow {
+    /// Dataset label.
+    pub dataset: String,
+    /// Interval `L` (powers of two).
+    pub interval: usize,
+    /// Exact interval inversion ratio at `L`.
+    pub iir: f64,
+}
+
+/// One Fig. 8(b) point.
+#[derive(Debug, Clone, Serialize)]
+pub struct BlockSizeRow {
+    /// Dataset label.
+    pub dataset: String,
+    /// Fixed block size `L`.
+    pub block_size: usize,
+    /// Median sort time in nanoseconds.
+    pub nanos: u64,
+}
+
+/// Panel (a): IIR profile `L = 2^0 … 2^max_exp` per real dataset.
+pub fn iir_rows(n: usize, max_exp: u32, seed: u64) -> Vec<IirRow> {
+    let mut rows = Vec::new();
+    for kind in DatasetKind::REAL {
+        let ds = Dataset::generate(kind, n, seed);
+        let times = ds.times();
+        for e in 0..=max_exp {
+            let l = 1usize << e;
+            rows.push(IirRow {
+                dataset: kind.name().to_string(),
+                interval: l,
+                iir: interval_inversion_ratio(&times, l),
+            });
+        }
+    }
+    rows
+}
+
+/// Panel (b): Backward-Sort time with the block size pinned to
+/// `L = 2^min_exp … 2^max_exp` per real dataset (array size 1M in the
+/// paper).
+pub fn block_size_rows(
+    n: usize,
+    min_exp: u32,
+    max_exp: u32,
+    reps: usize,
+    seed: u64,
+) -> Vec<BlockSizeRow> {
+    let mut rows = Vec::new();
+    for kind in DatasetKind::REAL {
+        let ds = Dataset::generate(kind, n, seed);
+        for e in min_exp..=max_exp {
+            let l = 1usize << e;
+            let alg = Algorithm::Backward(BackwardSort::with_fixed_block_size(l));
+            rows.push(BlockSizeRow {
+                dataset: kind.name().to_string(),
+                block_size: l,
+                nanos: time_sort_tvlist(&alg, &ds.pairs, reps),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iir_rows_cover_grid_and_separate_datasets() {
+        let rows = iir_rows(50_000, 10, 1);
+        assert_eq!(rows.len(), 4 * 11);
+        let samsung_d5_32: f64 = rows
+            .iter()
+            .find(|r| r.dataset == "samsung-d5" && r.interval == 32)
+            .unwrap()
+            .iir;
+        assert_eq!(samsung_d5_32, 0.0, "samsung dies by 2^5");
+        let citibike_32: f64 = rows
+            .iter()
+            .find(|r| r.dataset == "citibike-201808" && r.interval == 32)
+            .unwrap()
+            .iir;
+        assert!(citibike_32 > 0.0, "citibike persists");
+    }
+
+    #[test]
+    fn block_size_sweep_runs_and_mid_sizes_beat_extremes_on_samsung() {
+        let rows = block_size_rows(30_000, 2, 14, 3, 2);
+        let samsung: Vec<&BlockSizeRow> =
+            rows.iter().filter(|r| r.dataset == "samsung-s10").collect();
+        assert!(!samsung.is_empty());
+        let best = samsung.iter().map(|r| r.nanos).min().unwrap();
+        let at_tiny = samsung.iter().find(|r| r.block_size == 4).unwrap().nanos;
+        assert!(best <= at_tiny, "some L must beat L=4");
+    }
+}

@@ -1,0 +1,9 @@
+//! Pure experiment implementations, one module per paper artifact.
+
+pub mod ablation;
+pub mod ex2;
+pub mod fig05;
+pub mod fig08;
+pub mod fig22;
+pub mod sorttime;
+pub mod system;

@@ -1,0 +1,144 @@
+//! Figs. 9–12: sort-time comparisons across algorithms.
+//!
+//! * Fig. 9 — AbsNormal(μ, σ) with μ ∈ {1, 4}, sweeping σ;
+//! * Fig. 10 — LogNormal(μ, σ) likewise;
+//! * Fig. 11 — the four real-world datasets;
+//! * Fig. 12 — array sizes 10⁴ … 10⁷ on four datasets.
+
+use backsort_core::Algorithm;
+use backsort_sorts::SeriesSorter;
+use backsort_workload::{generate_pairs, Dataset, DatasetKind, DelayModel, StreamSpec};
+use serde::Serialize;
+
+use crate::timing::time_sort_tvlist;
+
+/// One sort-time measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct SortTimeRow {
+    /// Panel label, e.g. `AbsNormal(1,σ)` or a dataset name.
+    pub panel: String,
+    /// The x-axis value (σ, dataset name, or array size).
+    pub x: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Median sort time in nanoseconds.
+    pub nanos: u64,
+}
+
+/// The σ grid of Figs. 9–10.
+pub const SIGMAS: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
+
+fn pairs_for(delay: DelayModel, n: usize, seed: u64) -> Vec<(i64, i32)> {
+    let spec = StreamSpec::new(n, delay, seed);
+    generate_pairs(&spec)
+        .into_iter()
+        .map(|(t, v)| (t, v as i32))
+        .collect()
+}
+
+/// Figs. 9/10: sweep σ for both μ panels of one synthetic family.
+///
+/// `family` is "absnormal" or "lognormal".
+pub fn sigma_sweep(family: &str, n: usize, reps: usize, seed: u64) -> Vec<SortTimeRow> {
+    let mut rows = Vec::new();
+    for mu in [1.0f64, 4.0] {
+        for &sigma in &SIGMAS {
+            let delay = match family {
+                "absnormal" => DelayModel::AbsNormal { mu, sigma },
+                "lognormal" => DelayModel::LogNormal { mu, sigma },
+                other => panic!("unknown family {other}"),
+            };
+            let pairs = pairs_for(delay, n, seed);
+            for alg in Algorithm::contenders() {
+                rows.push(SortTimeRow {
+                    panel: format!(
+                        "{}({mu},σ)",
+                        if family == "absnormal" { "AbsNormal" } else { "LogNormal" }
+                    ),
+                    x: format!("{sigma}"),
+                    algorithm: alg.name().to_string(),
+                    nanos: time_sort_tvlist(&alg, &pairs, reps),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Fig. 11: the four real-world datasets at a fixed size.
+pub fn real_datasets(n: usize, reps: usize, seed: u64) -> Vec<SortTimeRow> {
+    let mut rows = Vec::new();
+    for kind in DatasetKind::REAL {
+        let ds = Dataset::generate(kind, n, seed);
+        for alg in Algorithm::contenders() {
+            rows.push(SortTimeRow {
+                panel: "real-world".to_string(),
+                x: kind.name().to_string(),
+                algorithm: alg.name().to_string(),
+                nanos: time_sort_tvlist(&alg, &ds.pairs, reps),
+            });
+        }
+    }
+    rows
+}
+
+/// Fig. 12: array-size sweep on the paper's four panels:
+/// AbsNormal(0,1), LogNormal(0,1), citibike-1808, samsung-s10.
+pub fn array_size_sweep(sizes: &[usize], reps: usize, seed: u64) -> Vec<SortTimeRow> {
+    let panels = [
+        DatasetKind::AbsNormal01,
+        DatasetKind::LogNormal01,
+        DatasetKind::Citibike201808,
+        DatasetKind::SamsungS10,
+    ];
+    let mut rows = Vec::new();
+    for kind in panels {
+        for &n in sizes {
+            let ds = Dataset::generate(kind, n, seed);
+            for alg in Algorithm::contenders() {
+                rows.push(SortTimeRow {
+                    panel: kind.name().to_string(),
+                    x: n.to_string(),
+                    algorithm: alg.name().to_string(),
+                    nanos: time_sort_tvlist(&alg, &ds.pairs, reps),
+                });
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_sweep_covers_grid() {
+        let rows = sigma_sweep("absnormal", 5_000, 1, 1);
+        // 2 μ × 5 σ × 6 algorithms
+        assert_eq!(rows.len(), 60);
+        assert!(rows.iter().all(|r| r.nanos > 0));
+    }
+
+    #[test]
+    fn real_datasets_cover_contenders() {
+        let rows = real_datasets(5_000, 1, 1);
+        assert_eq!(rows.len(), 4 * 6);
+    }
+
+    #[test]
+    fn array_size_sweep_scales() {
+        let rows = array_size_sweep(&[1_000, 4_000], 1, 1);
+        assert_eq!(rows.len(), 4 * 2 * 6);
+        // Larger arrays take longer for every algorithm on average.
+        let small: u64 = rows.iter().filter(|r| r.x == "1000").map(|r| r.nanos).sum();
+        let large: u64 = rows.iter().filter(|r| r.x == "4000").map(|r| r.nanos).sum();
+        assert!(large > small);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown family")]
+    fn bad_family_panics() {
+        sigma_sweep("cauchy", 100, 1, 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Figs. 13–21: system-level comparison through the engine + benchmark
+//! driver — query throughput, flush time and total test latency over the
+//! write-percentage grid, for each delay family and each contender.
+
+use backsort_benchmark::{run_benchmark, BenchConfig, BenchReport};
+use backsort_core::Algorithm;
+use backsort_workload::{DatasetKind, DelayModel};
+use serde::Serialize;
+
+/// One cell of a system figure: a full benchmark run.
+#[derive(Debug, Clone, Serialize)]
+pub struct SystemRow {
+    /// Panel label (delay configuration).
+    pub panel: String,
+    /// Flattened report.
+    #[serde(flatten)]
+    pub report: BenchReport,
+}
+
+/// A delay-family panel set for the system figures.
+pub fn family_panels(family: &str) -> Vec<(String, DelayModel)> {
+    match family {
+        // The paper's four AbsNormal panels combine μ ∈ {1, 4} with two
+        // σ values.
+        "absnormal" => vec![
+            ("AbsNormal(1,1)".into(), DelayModel::AbsNormal { mu: 1.0, sigma: 1.0 }),
+            ("AbsNormal(1,4)".into(), DelayModel::AbsNormal { mu: 1.0, sigma: 4.0 }),
+            ("AbsNormal(4,1)".into(), DelayModel::AbsNormal { mu: 4.0, sigma: 1.0 }),
+            ("AbsNormal(4,4)".into(), DelayModel::AbsNormal { mu: 4.0, sigma: 4.0 }),
+        ],
+        "lognormal" => vec![
+            ("LogNormal(1,1)".into(), DelayModel::LogNormal { mu: 1.0, sigma: 1.0 }),
+            ("LogNormal(1,4)".into(), DelayModel::LogNormal { mu: 1.0, sigma: 4.0 }),
+            ("LogNormal(4,1)".into(), DelayModel::LogNormal { mu: 4.0, sigma: 1.0 }),
+            ("LogNormal(4,4)".into(), DelayModel::LogNormal { mu: 4.0, sigma: 4.0 }),
+        ],
+        "real" => DatasetKind::REAL
+            .iter()
+            .map(|k| (k.name().to_string(), k.delay_model()))
+            .collect(),
+        other => panic!("unknown family {other} (absnormal|lognormal|real)"),
+    }
+}
+
+/// Runs the full grid: every panel × write percentage × contender.
+///
+/// `operations` scales run length; the paper ingests 10⁷ points per cell
+/// — pass a large value with `--full`.
+pub fn run_grid(
+    family: &str,
+    operations: usize,
+    memtable_max_points: usize,
+    seed: u64,
+) -> Vec<SystemRow> {
+    let mut rows = Vec::new();
+    for (panel, delay) in family_panels(family) {
+        for &write_pct in &BenchConfig::WRITE_PERCENTAGES {
+            for alg in Algorithm::contenders() {
+                let config = BenchConfig {
+                    devices: 2,
+                    sensors_per_device: 5,
+                    batch_size: 500,
+                    write_percentage: write_pct,
+                    operations,
+                    delay,
+                    query_window: 2_000,
+                    memtable_max_points,
+                    sorter: alg,
+                    seed,
+                };
+                let report = run_benchmark(&config);
+                rows.push(SystemRow { panel: panel.clone(), report });
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panels_are_defined_for_all_families() {
+        assert_eq!(family_panels("absnormal").len(), 4);
+        assert_eq!(family_panels("lognormal").len(), 4);
+        assert_eq!(family_panels("real").len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown family")]
+    fn bad_family_panics() {
+        family_panels("weibull");
+    }
+
+    #[test]
+    fn tiny_grid_produces_all_cells() {
+        // 1 panel subset would complicate the API; instead run a very
+        // small ops count across the whole real family.
+        let rows = run_grid("real", 8, 1_000, 3);
+        // 4 panels × 7 write pcts × 6 algorithms
+        assert_eq!(rows.len(), 4 * 7 * 6);
+        assert!(rows.iter().all(|r| r.report.total_latency_ms >= 0.0));
+        // Pure-write cells have no query throughput.
+        assert!(rows
+            .iter()
+            .filter(|r| r.report.write_percentage >= 1.0)
+            .all(|r| r.report.query_throughput_pps.is_none()));
+    }
+}

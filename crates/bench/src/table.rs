@@ -1,0 +1,90 @@
+//! Aligned text tables and JSON row output for experiment results.
+
+use serde::Serialize;
+
+/// Prints a header line and an underline.
+pub fn heading(title: &str) {
+    println!("\n## {title}");
+}
+
+/// Renders rows of cells as an aligned table to stdout.
+pub fn print_table(columns: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
+    println!("{}", fmt_row(&header));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Emits one JSON object per row (JSON-lines).
+pub fn print_json<T: Serialize>(rows: &[T]) {
+    for row in rows {
+        println!("{}", serde_json::to_string(row).expect("serializable row"));
+    }
+}
+
+/// Formats nanoseconds as adaptive `ms`/`µs`.
+pub fn fmt_nanos(nanos: u64) -> String {
+    if nanos >= 10_000_000 {
+        format!("{:.1}ms", nanos as f64 / 1e6)
+    } else if nanos >= 10_000 {
+        format!("{:.1}µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+/// Formats a ratio in scientific notation suitable for IIR columns.
+pub fn fmt_ratio(r: f64) -> String {
+    if r == 0.0 {
+        "0".to_string()
+    } else if r >= 0.01 {
+        format!("{r:.4}")
+    } else {
+        format!("{r:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_nanos_ranges() {
+        assert_eq!(fmt_nanos(500), "500ns");
+        assert_eq!(fmt_nanos(50_000), "50.0µs");
+        assert_eq!(fmt_nanos(50_000_000), "50.0ms");
+    }
+
+    #[test]
+    fn fmt_ratio_ranges() {
+        assert_eq!(fmt_ratio(0.0), "0");
+        assert_eq!(fmt_ratio(0.25), "0.2500");
+        assert_eq!(fmt_ratio(0.00042), "4.20e-4");
+    }
+
+    #[test]
+    fn table_rendering_does_not_panic() {
+        print_table(
+            &["a", "long-column"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

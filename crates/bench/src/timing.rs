@@ -1,0 +1,49 @@
+//! Sort-time measurement helpers.
+
+use std::time::Instant;
+
+use backsort_core::Algorithm;
+use backsort_sorts::SeriesSorter;
+use backsort_tvlist::TVList;
+
+/// Times one sort of `pairs` (copied into a fresh TVList per repetition —
+/// the substrate the paper measures) and returns the median of `reps`
+/// runs, in nanoseconds.
+pub fn time_sort_tvlist(alg: &Algorithm, pairs: &[(i64, i32)], reps: usize) -> u64 {
+    let mut samples = Vec::with_capacity(reps.max(1));
+    for _ in 0..reps.max(1) {
+        let mut list: TVList<i32> = TVList::from_pairs(pairs.iter().copied());
+        let t0 = Instant::now();
+        alg.sort_series(&mut list);
+        samples.push(t0.elapsed().as_nanos() as u64);
+        assert!(backsort_tvlist::is_time_sorted(&list), "{} failed to sort", alg.name());
+    }
+    median(&mut samples)
+}
+
+/// Median of a sample vector (sorts in place).
+pub fn median(samples: &mut [u64]) -> u64 {
+    assert!(!samples.is_empty());
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&mut [5]), 5);
+        assert_eq!(median(&mut [3, 1, 2]), 2);
+        assert_eq!(median(&mut [4, 1, 3, 2]), 3);
+    }
+
+    #[test]
+    fn time_sort_returns_positive_and_sorts() {
+        let pairs: Vec<(i64, i32)> = (0..2_000).rev().map(|i| (i as i64, i)).collect();
+        let alg = Algorithm::Backward(Default::default());
+        let nanos = time_sort_tvlist(&alg, &pairs, 3);
+        assert!(nanos > 0);
+    }
+}

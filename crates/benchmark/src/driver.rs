@@ -1,0 +1,215 @@
+//! The benchmark loop.
+
+use std::time::Instant;
+
+use backsort_engine::{EngineConfig, SeriesKey, StorageEngine, TsValue};
+use backsort_workload::{generate_pairs, SignalKind, StreamSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use crate::config::BenchConfig;
+
+/// Aggregated results of one benchmark run.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Sorter name.
+    pub sorter: String,
+    /// Delay model label.
+    pub delay: String,
+    /// Write fraction of the mix.
+    pub write_percentage: f64,
+    /// Batch writes performed.
+    pub writes: u64,
+    /// Queries performed.
+    pub queries: u64,
+    /// Points ingested.
+    pub points_written: u64,
+    /// Points returned by queries.
+    pub points_queried: u64,
+    /// Client-side query throughput: points returned per second of query
+    /// wall time (the paper's Figs. 13–15 metric). `None` when the mix
+    /// has no queries.
+    pub query_throughput_pps: Option<f64>,
+    /// Average flush duration in milliseconds (Figs. 16–18).
+    pub avg_flush_ms: Option<f64>,
+    /// Average sort share of flush time, milliseconds.
+    pub avg_flush_sort_ms: Option<f64>,
+    /// Number of flushes.
+    pub flushes: u64,
+    /// Whole-run wall time in milliseconds (Figs. 19–21).
+    pub total_latency_ms: f64,
+}
+
+/// Runs one benchmark configuration to completion.
+pub fn run_benchmark(config: &BenchConfig) -> BenchReport {
+    let engine = StorageEngine::new(EngineConfig {
+        memtable_max_points: config.memtable_max_points,
+        array_size: 32,
+        sorter: config.sorter,
+    });
+
+    // Pre-generate each sensor's arrival-ordered stream; batches are
+    // consecutive slices, so delays cross batch boundaries exactly as a
+    // live feed would deliver them.
+    let sensor_count = config.devices * config.sensors_per_device;
+    let keys: Vec<SeriesKey> = (0..config.devices)
+        .flat_map(|d| {
+            (0..config.sensors_per_device)
+                .map(move |s| SeriesKey::new(format!("root.sg.d{d}"), format!("s{s}")))
+        })
+        .collect();
+    let expected_batches_per_sensor =
+        (config.operations * config.batch_size) / sensor_count.max(1) + config.batch_size;
+    let streams: Vec<Vec<(i64, f64)>> = (0..sensor_count)
+        .map(|i| {
+            let spec = StreamSpec {
+                n: expected_batches_per_sensor + config.batch_size,
+                interval: 1,
+                delay: config.delay,
+                signal: SignalKind::Sine { period: 512.0, amp: 100.0, noise: 1.0 },
+                seed: config.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            };
+            generate_pairs(&spec)
+        })
+        .collect();
+    let mut cursors = vec![0usize; sensor_count];
+
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(31).wrapping_add(7));
+    let mut report = BenchReport {
+        sorter: {
+            use backsort_sorts::SeriesSorter;
+            config.sorter.name().to_string()
+        },
+        delay: config.delay.label(),
+        write_percentage: config.write_percentage,
+        writes: 0,
+        queries: 0,
+        points_written: 0,
+        points_queried: 0,
+        query_throughput_pps: None,
+        avg_flush_ms: None,
+        avg_flush_sort_ms: None,
+        flushes: 0,
+        total_latency_ms: 0.0,
+    };
+    let mut query_nanos = 0u64;
+    let mut next_sensor = 0usize;
+
+    let run_start = Instant::now();
+    for _ in 0..config.operations {
+        let is_write = config.write_percentage >= 1.0 || rng.gen_bool(config.write_percentage);
+        if is_write {
+            let idx = next_sensor;
+            next_sensor = (next_sensor + 1) % sensor_count;
+            let stream = &streams[idx];
+            let lo = cursors[idx].min(stream.len());
+            let hi = (lo + config.batch_size).min(stream.len());
+            cursors[idx] = hi;
+            if lo == hi {
+                continue; // stream exhausted; count as a no-op write
+            }
+            let batch: Vec<(i64, TsValue)> = stream[lo..hi]
+                .iter()
+                .map(|&(t, v)| (t, TsValue::Double(v)))
+                .collect();
+            engine.write_batch(&keys[idx], &batch);
+            report.writes += 1;
+            report.points_written += batch.len() as u64;
+        } else {
+            let idx = rng.gen_range(0..sensor_count);
+            let key = &keys[idx];
+            let current = engine.latest_time(key).unwrap_or(0);
+            let lo = current - config.query_window;
+            let t0 = Instant::now();
+            let result = engine.query(key, lo, current);
+            query_nanos += t0.elapsed().as_nanos() as u64;
+            report.queries += 1;
+            report.points_queried += result.len() as u64;
+        }
+    }
+    report.total_latency_ms = run_start.elapsed().as_secs_f64() * 1e3;
+
+    if report.queries > 0 && query_nanos > 0 {
+        report.query_throughput_pps =
+            Some(report.points_queried as f64 / (query_nanos as f64 / 1e9));
+    }
+    let flushes = engine.flush_history();
+    let counted: Vec<_> = flushes.iter().filter(|f| f.points > 0).collect();
+    report.flushes = counted.len() as u64;
+    if !counted.is_empty() {
+        let total: u64 = counted.iter().map(|f| f.total_nanos()).sum();
+        let sort: u64 = counted.iter().map(|f| f.sort_nanos).sum();
+        report.avg_flush_ms = Some(total as f64 / counted.len() as f64 / 1e6);
+        report.avg_flush_sort_ms = Some(sort as f64 / counted.len() as f64 / 1e6);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backsort_core::Algorithm;
+    use backsort_workload::DelayModel;
+
+    fn tiny(write_pct: f64, sorter: Algorithm) -> BenchConfig {
+        BenchConfig {
+            devices: 1,
+            sensors_per_device: 2,
+            batch_size: 100,
+            write_percentage: write_pct,
+            operations: 60,
+            delay: DelayModel::AbsNormal { mu: 0.0, sigma: 2.0 },
+            query_window: 300,
+            memtable_max_points: 1_000,
+            sorter,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn mixed_run_produces_all_metrics() {
+        let report = run_benchmark(&tiny(0.75, Algorithm::Backward(Default::default())));
+        assert!(report.writes > 0);
+        assert!(report.queries > 0);
+        assert!(report.points_written > 0);
+        assert!(report.query_throughput_pps.is_some());
+        assert!(report.flushes > 0, "1k-point memtable must rotate");
+        assert!(report.avg_flush_ms.unwrap() > 0.0);
+        assert!(report.total_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn pure_write_run_has_no_query_throughput() {
+        let report = run_benchmark(&tiny(1.0, Algorithm::Backward(Default::default())));
+        assert_eq!(report.queries, 0);
+        assert!(report.query_throughput_pps.is_none());
+        assert_eq!(report.writes, 60);
+    }
+
+    #[test]
+    fn deterministic_in_seed_modulo_timing() {
+        let a = run_benchmark(&tiny(0.8, Algorithm::Backward(Default::default())));
+        let b = run_benchmark(&tiny(0.8, Algorithm::Backward(Default::default())));
+        assert_eq!(a.writes, b.writes);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.points_written, b.points_written);
+        assert_eq!(a.points_queried, b.points_queried);
+    }
+
+    #[test]
+    fn all_contenders_complete() {
+        for alg in Algorithm::contenders() {
+            let report = run_benchmark(&tiny(0.9, alg));
+            assert!(report.points_written > 0, "{}", report.sorter);
+        }
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let report = run_benchmark(&tiny(0.9, Algorithm::Backward(Default::default())));
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"sorter\""));
+        assert!(json.contains("\"query_throughput_pps\""));
+    }
+}

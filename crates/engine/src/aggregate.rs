@@ -1,0 +1,224 @@
+//! Aggregation over time-range queries.
+//!
+//! The paper uses the raw time-range query as its benchmark because it
+//! "is one of the simplest query and the basis of the aggregation
+//! functions" (§VI-A2). This module supplies those aggregation functions
+//! — the downstream consumers that require sorted data (§VI-E: "computing
+//! the average speed of an engine in every minute") — including the
+//! group-by-time (downsampling) form.
+
+use crate::engine::StorageEngine;
+use crate::types::{SeriesKey, TsValue};
+
+/// Supported aggregation functions (IoTDB's core set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Aggregation {
+    /// Number of points in range.
+    Count,
+    /// Minimum value.
+    MinValue,
+    /// Maximum value.
+    MaxValue,
+    /// Arithmetic mean of values.
+    Avg,
+    /// Sum of values.
+    Sum,
+    /// Value of the earliest point in range.
+    FirstValue,
+    /// Value of the latest point in range.
+    LastValue,
+    /// Timestamp of the earliest point.
+    MinTime,
+    /// Timestamp of the latest point.
+    MaxTime,
+}
+
+/// The result of one aggregation: either a value or a timestamp,
+/// depending on the function.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum AggValue {
+    /// Numeric result (`Count`, `MinValue`, …).
+    Number(f64),
+    /// Timestamp result (`MinTime`, `MaxTime`).
+    Time(i64),
+    /// Range contained no points.
+    Empty,
+}
+
+impl AggValue {
+    /// Numeric view; `None` for `Empty` or timestamp results.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            AggValue::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Computes one aggregation over sorted points.
+pub fn aggregate_points(points: &[(i64, TsValue)], agg: Aggregation) -> AggValue {
+    if points.is_empty() {
+        return AggValue::Empty;
+    }
+    debug_assert!(points.windows(2).all(|w| w[0].0 <= w[1].0), "points must be sorted");
+    let values = || points.iter().map(|(_, v)| v.as_f64());
+    match agg {
+        Aggregation::Count => AggValue::Number(points.len() as f64),
+        Aggregation::MinValue => AggValue::Number(values().fold(f64::INFINITY, f64::min)),
+        Aggregation::MaxValue => AggValue::Number(values().fold(f64::NEG_INFINITY, f64::max)),
+        Aggregation::Sum => AggValue::Number(values().sum()),
+        Aggregation::Avg => AggValue::Number(values().sum::<f64>() / points.len() as f64),
+        Aggregation::FirstValue => AggValue::Number(points[0].1.as_f64()),
+        Aggregation::LastValue => AggValue::Number(points[points.len() - 1].1.as_f64()),
+        Aggregation::MinTime => AggValue::Time(points[0].0),
+        Aggregation::MaxTime => AggValue::Time(points[points.len() - 1].0),
+    }
+}
+
+impl StorageEngine {
+    /// Aggregates one sensor over `[t_lo, t_hi]`.
+    ///
+    /// Like the raw query, this sorts the memtable on demand — disordered
+    /// data would otherwise make window statistics wrong, which is the
+    /// paper's Fig. 22(a) point.
+    pub fn aggregate(&self, key: &SeriesKey, t_lo: i64, t_hi: i64, agg: Aggregation) -> AggValue {
+        let points = self.query(key, t_lo, t_hi);
+        aggregate_points(&points, agg)
+    }
+
+    /// Group-by-time (downsampling): aggregates each `[start + k·step,
+    /// start + (k+1)·step)` bucket over `[t_lo, t_hi]`.
+    ///
+    /// Returns `(bucket start, aggregate)` for every bucket, including
+    /// empty ones (as `AggValue::Empty`), matching IoTDB's `GROUP BY`
+    /// semantics.
+    pub fn group_by_time(
+        &self,
+        key: &SeriesKey,
+        t_lo: i64,
+        t_hi: i64,
+        step: i64,
+        agg: Aggregation,
+    ) -> Vec<(i64, AggValue)> {
+        assert!(step > 0, "group-by step must be positive");
+        let points = self.query(key, t_lo, t_hi);
+        let mut out = Vec::new();
+        let mut idx = 0usize;
+        let mut bucket_start = t_lo;
+        while bucket_start <= t_hi {
+            let bucket_end = bucket_start.saturating_add(step);
+            let begin = idx;
+            while idx < points.len() && points[idx].0 < bucket_end {
+                idx += 1;
+            }
+            out.push((bucket_start, aggregate_points(&points[begin..idx], agg)));
+            if bucket_end <= bucket_start {
+                break; // saturated
+            }
+            bucket_start = bucket_end;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use backsort_core::Algorithm;
+
+    fn engine_with_data() -> (StorageEngine, SeriesKey) {
+        let engine = StorageEngine::new(EngineConfig {
+            memtable_max_points: 10_000,
+            array_size: 16,
+            sorter: Algorithm::Backward(Default::default()),
+        });
+        let key = SeriesKey::new("root.sg.d1", "speed");
+        // Out-of-order writes, values = 2 * t.
+        for t in [5i64, 1, 3, 2, 4, 9, 7, 8, 6, 10] {
+            engine.write(&key, t, TsValue::Double(2.0 * t as f64));
+        }
+        (engine, key)
+    }
+
+    #[test]
+    fn basic_aggregations() {
+        let (engine, key) = engine_with_data();
+        assert_eq!(engine.aggregate(&key, 1, 10, Aggregation::Count), AggValue::Number(10.0));
+        assert_eq!(engine.aggregate(&key, 1, 10, Aggregation::MinValue), AggValue::Number(2.0));
+        assert_eq!(engine.aggregate(&key, 1, 10, Aggregation::MaxValue), AggValue::Number(20.0));
+        assert_eq!(engine.aggregate(&key, 1, 10, Aggregation::Avg), AggValue::Number(11.0));
+        assert_eq!(engine.aggregate(&key, 1, 10, Aggregation::Sum), AggValue::Number(110.0));
+        assert_eq!(engine.aggregate(&key, 1, 10, Aggregation::FirstValue), AggValue::Number(2.0));
+        assert_eq!(engine.aggregate(&key, 1, 10, Aggregation::LastValue), AggValue::Number(20.0));
+        assert_eq!(engine.aggregate(&key, 1, 10, Aggregation::MinTime), AggValue::Time(1));
+        assert_eq!(engine.aggregate(&key, 1, 10, Aggregation::MaxTime), AggValue::Time(10));
+    }
+
+    #[test]
+    fn range_restriction_applies() {
+        let (engine, key) = engine_with_data();
+        assert_eq!(engine.aggregate(&key, 3, 5, Aggregation::Count), AggValue::Number(3.0));
+        assert_eq!(engine.aggregate(&key, 3, 5, Aggregation::Avg), AggValue::Number(8.0));
+        assert_eq!(engine.aggregate(&key, 100, 200, Aggregation::Avg), AggValue::Empty);
+    }
+
+    #[test]
+    fn first_last_need_sorted_data() {
+        // The whole point: arrival order had 5 first and 10 last only by
+        // luck; FIRST/LAST must reflect *time* order even though writes
+        // were shuffled.
+        let (engine, key) = engine_with_data();
+        assert_eq!(engine.aggregate(&key, 1, 10, Aggregation::FirstValue), AggValue::Number(2.0));
+        assert_eq!(engine.aggregate(&key, 2, 9, Aggregation::FirstValue), AggValue::Number(4.0));
+        assert_eq!(engine.aggregate(&key, 2, 9, Aggregation::LastValue), AggValue::Number(18.0));
+    }
+
+    #[test]
+    fn group_by_time_buckets() {
+        let (engine, key) = engine_with_data();
+        let buckets = engine.group_by_time(&key, 1, 10, 4, Aggregation::Count);
+        // Buckets: [1,5) -> 4 pts, [5,9) -> 4 pts, [9,13) -> 2 pts.
+        assert_eq!(
+            buckets,
+            vec![
+                (1, AggValue::Number(4.0)),
+                (5, AggValue::Number(4.0)),
+                (9, AggValue::Number(2.0)),
+            ]
+        );
+        let avgs = engine.group_by_time(&key, 1, 10, 5, Aggregation::Avg);
+        // [1,6): values 2,4,6,8,10 -> 6; [6,11): 12,14,16,18,20 -> 16.
+        assert_eq!(avgs, vec![(1, AggValue::Number(6.0)), (6, AggValue::Number(16.0))]);
+    }
+
+    #[test]
+    fn group_by_time_includes_empty_buckets() {
+        let (engine, key) = engine_with_data();
+        let buckets = engine.group_by_time(&key, -5, 2, 3, Aggregation::Count);
+        // [-5,-2) and [-2,1) are empty; [1,4) clipped to t_hi=2 holds
+        // t ∈ {1, 2}.
+        assert_eq!(
+            buckets,
+            vec![
+                (-5, AggValue::Empty),
+                (-2, AggValue::Empty),
+                (1, AggValue::Number(2.0)),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_step_panics() {
+        let (engine, key) = engine_with_data();
+        engine.group_by_time(&key, 0, 10, 0, Aggregation::Count);
+    }
+
+    #[test]
+    fn empty_points_are_empty() {
+        assert_eq!(aggregate_points(&[], Aggregation::Avg), AggValue::Empty);
+        assert_eq!(AggValue::Empty.as_number(), None);
+        assert_eq!(AggValue::Number(3.0).as_number(), Some(3.0));
+    }
+}

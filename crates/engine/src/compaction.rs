@@ -1,0 +1,244 @@
+//! File compaction: merge all flushed TsFiles into one.
+//!
+//! The separation policy (paper §II, and the companion study it cites,
+//! Kang et al. ICDE'22 "Separation or Not") deliberately produces
+//! *overlapping* files: unsequence flushes contain timestamps below the
+//! sequence files' ranges. Compaction is the corresponding background
+//! task that merges them back into a single sorted, deduplicated file so
+//! reads stop paying the multi-file merge.
+
+use std::collections::BTreeMap;
+
+use crate::engine::StorageEngine;
+use crate::tsfile::{TsFileReader, TsFileWriter};
+use crate::types::{SeriesKey, TsValue};
+
+/// Outcome of a compaction pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Files merged away.
+    pub files_in: usize,
+    /// Files produced (0 when there was nothing to do, else 1).
+    pub files_out: usize,
+    /// Points in the compacted file (after cross-file dedup).
+    pub points: u64,
+    /// Bytes before compaction.
+    pub bytes_in: u64,
+    /// Bytes after.
+    pub bytes_out: u64,
+}
+
+impl StorageEngine {
+    /// Merges all flushed files into one sorted, deduplicated file.
+    ///
+    /// Later files win on duplicate timestamps (they contain the fresher
+    /// writes — unsequence flushes are appended after the sequence file
+    /// they overlap). Memtables are untouched; queries before and after
+    /// return identical results.
+    pub fn compact(&self) -> CompactionReport {
+        let images = self.take_files_for_compaction();
+        let tombstones = self.take_tombstones();
+        let files_in = images.len();
+        let bytes_in: u64 = images.iter().map(|f| f.len() as u64).sum();
+        if files_in <= 1 && tombstones.is_empty() {
+            // Nothing to merge or erase; put the files back untouched.
+            let report = CompactionReport {
+                files_in,
+                files_out: files_in,
+                points: 0,
+                bytes_in,
+                bytes_out: bytes_in,
+            };
+            self.restore_files(images);
+            return report;
+        }
+        if files_in == 0 {
+            // Tombstones with no files left to apply to: drop them.
+            return CompactionReport {
+                files_in,
+                files_out: 0,
+                points: 0,
+                bytes_in,
+                bytes_out: bytes_in,
+            };
+        }
+
+        // Gather every point per sensor; later files override earlier
+        // ones on equal timestamps via BTreeMap insertion order.
+        let mut merged: BTreeMap<SeriesKey, BTreeMap<i64, TsValue>> = BTreeMap::new();
+        for (file_idx, image) in images.iter().enumerate() {
+            let Some(reader) = TsFileReader::open(image) else {
+                continue;
+            };
+            for meta in reader.chunks() {
+                if let Some(points) = reader.read_chunk(meta) {
+                    let series = merged.entry(meta.key.clone()).or_default();
+                    for (t, v) in points {
+                        let erased = tombstones
+                            .iter()
+                            .any(|(ts, horizon)| file_idx < *horizon && ts.covers(&meta.key, t));
+                        if erased {
+                            series.remove(&t);
+                        } else {
+                            series.insert(t, v); // later insert wins
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut writer = TsFileWriter::new();
+        let mut points = 0u64;
+        for (key, series) in &merged {
+            if series.is_empty() {
+                continue;
+            }
+            let times: Vec<i64> = series.keys().copied().collect();
+            let values: Vec<TsValue> = series.values().cloned().collect();
+            points += times.len() as u64;
+            writer.write_chunk(key, &times, &values);
+        }
+        let image = writer.finish();
+        let bytes_out = image.len() as u64;
+        self.restore_files(vec![image]);
+        CompactionReport {
+            files_in,
+            files_out: 1,
+            points,
+            bytes_in,
+            bytes_out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use backsort_core::Algorithm;
+
+    fn engine(max_points: usize) -> StorageEngine {
+        StorageEngine::new(EngineConfig {
+            memtable_max_points: max_points,
+            array_size: 16,
+            sorter: Algorithm::Backward(Default::default()),
+        })
+    }
+
+    fn key(s: &str) -> SeriesKey {
+        SeriesKey::new("root.sg.d1", s)
+    }
+
+    #[test]
+    fn compaction_merges_files_and_preserves_queries() {
+        let eng = engine(50);
+        let mut x = 9u64;
+        for i in 0..300i64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            eng.write(&key("s1"), i + (x % 4) as i64, TsValue::Long(i));
+        }
+        eng.flush();
+        let before = eng.query(&key("s1"), i64::MIN, i64::MAX);
+        let files_before = eng.file_count();
+        assert!(files_before >= 5);
+
+        let report = eng.compact();
+        assert_eq!(report.files_in, files_before);
+        assert_eq!(report.files_out, 1);
+        assert_eq!(eng.file_count(), 1);
+        assert!(report.points > 0);
+
+        let after = eng.query(&key("s1"), i64::MIN, i64::MAX);
+        assert_eq!(before, after, "queries identical across compaction");
+    }
+
+    #[test]
+    fn unsequence_overrides_survive_compaction() {
+        let eng = engine(40);
+        for i in 0..40i64 {
+            eng.write(&key("s"), i, TsValue::Long(i)); // flush at 40
+        }
+        // Straggler rewrites t=10 through the unsequence path...
+        eng.write(&key("s"), 10, TsValue::Long(-10));
+        // ...and gets flushed into its own (overlapping) file.
+        eng.flush_unseq();
+        assert_eq!(eng.file_count(), 2);
+
+        let report = eng.compact();
+        assert_eq!(report.files_out, 1);
+        let got = eng.query(&key("s"), 9, 11);
+        assert_eq!(
+            got,
+            vec![
+                (9, TsValue::Long(9)),
+                (10, TsValue::Long(-10)),
+                (11, TsValue::Long(11)),
+            ],
+            "the later (unsequence) write must win after compaction"
+        );
+    }
+
+    #[test]
+    fn compaction_of_zero_or_one_file_is_a_noop() {
+        let eng = engine(1_000);
+        let report = eng.compact();
+        assert_eq!(report.files_in, 0);
+        assert_eq!(report.files_out, 0);
+
+        for i in 0..10i64 {
+            eng.write(&key("s"), i, TsValue::Long(i));
+        }
+        eng.flush();
+        let report = eng.compact();
+        assert_eq!(report.files_in, 1);
+        assert_eq!(report.files_out, 1);
+        assert_eq!(eng.file_count(), 1);
+        assert_eq!(eng.query(&key("s"), 0, 20).len(), 10);
+    }
+
+    #[test]
+    fn compaction_shrinks_overlapping_files() {
+        // Exact last-write-wins across duplicate timestamps needs the
+        // stable configuration (flush.rs documents the caveat).
+        let eng = StorageEngine::new(EngineConfig {
+            memtable_max_points: 25,
+            array_size: 16,
+            sorter: Algorithm::Backward(backsort_core::BackwardSort {
+                in_block: backsort_core::InBlockSort::Stable,
+                ..Default::default()
+            }),
+        });
+        // Duplicate-heavy workload: many timestamps rewritten.
+        for round in 0..6i64 {
+            for t in 0..25i64 {
+                eng.write(&key("s"), t, TsValue::Long(round * 100 + t));
+            }
+        }
+        eng.flush();
+        eng.flush_unseq();
+        // One sequence file from the first rotation plus the unsequence
+        // file holding all five rewrite rounds.
+        let report = eng.compact();
+        assert!(report.files_in >= 2, "files_in {}", report.files_in);
+        assert_eq!(report.points, 25, "only 25 distinct timestamps remain");
+        assert!(report.bytes_out < report.bytes_in);
+        // Last round's values win.
+        let got = eng.query(&key("s"), 0, 30);
+        assert_eq!(got[0], (0, TsValue::Long(500)));
+    }
+
+    #[test]
+    fn multi_sensor_compaction() {
+        let eng = engine(30);
+        for i in 0..90i64 {
+            eng.write(&key("a"), i, TsValue::Int(i as i32));
+            eng.write(&key("b"), i, TsValue::Double(i as f64));
+        }
+        eng.flush();
+        eng.compact();
+        assert_eq!(eng.query(&key("a"), 0, 100).len(), 90);
+        assert_eq!(eng.query(&key("b"), 0, 100).len(), 90);
+    }
+}

@@ -1,0 +1,606 @@
+//! The storage engine: working/flushing/unsequence memtables behind one
+//! lock, the separation policy, and sorted time-range queries.
+
+use std::collections::HashMap;
+
+use backsort_core::Algorithm;
+use parking_lot::Mutex;
+
+use crate::delete::Tombstone;
+use crate::flush::{flush_memtable, FlushMetrics};
+use crate::memtable::MemTable;
+use crate::tsfile::TsFileReader;
+use crate::types::{SeriesKey, TsValue};
+
+/// Engine tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Points per memtable before it rotates into flushing — the paper's
+    /// "100,000 is the appropriate memory points size in the IoTDB"
+    /// (§VI-A3).
+    pub memtable_max_points: usize,
+    /// TVList chunk size (IoTDB default 32).
+    pub array_size: usize,
+    /// The sort algorithm under test.
+    pub sorter: Algorithm,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            memtable_max_points: 100_000,
+            array_size: 32,
+            sorter: Algorithm::Backward(backsort_core::BackwardSort::default()),
+        }
+    }
+}
+
+/// Points returned by a query, merged across memtables (and disk when the
+/// range reaches below the flush watermark).
+pub type QueryResult = Vec<(i64, TsValue)>;
+
+/// A rotated memtable awaiting an asynchronous flush.
+///
+/// Produced by [`StorageEngine::begin_flush`] /
+/// [`StorageEngine::write_nonblocking`]; consumed by
+/// [`StorageEngine::complete_flush`] (directly or via [`AsyncFlusher`]).
+/// While the job is outstanding, queries still see the data through the
+/// engine's flushing slot.
+#[derive(Debug)]
+pub struct FlushJob {
+    memtable: MemTable,
+}
+
+#[derive(Debug, Default)]
+struct EngineState {
+    working: MemTable,
+    /// Immutable memtable currently being flushed asynchronously (still
+    /// visible to queries).
+    flushing: Option<MemTable>,
+    unseq: MemTable,
+    /// Per-sensor flush watermark: timestamps `<=` this have been flushed,
+    /// so later arrivals below it are "very long delayed" and take the
+    /// unsequence path (the separation policy, paper §II).
+    watermarks: HashMap<SeriesKey, i64>,
+    /// Flushed file images, oldest first.
+    files: Vec<Vec<u8>>,
+    /// Pending range deletions plus the file horizon they apply to:
+    /// only files at an index below the horizon are filtered (data
+    /// written after the delete must not be erased).
+    tombstones: Vec<(Tombstone, usize)>,
+    flush_history: Vec<FlushMetrics>,
+}
+
+/// A single-storage-group IoTDB-style engine.
+///
+/// One big lock serializes writes, flushes and queries — deliberately, to
+/// reproduce the paper's observation that "the query process in IoTDB
+/// takes the lock and blocks the write process" (§VI-D1), which is why
+/// faster sorting lifts write throughput too.
+pub struct StorageEngine {
+    config: EngineConfig,
+    state: Mutex<EngineState>,
+}
+
+impl StorageEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        let state = EngineState {
+            working: MemTable::new(config.array_size),
+            unseq: MemTable::new(config.array_size),
+            ..EngineState::default()
+        };
+        Self {
+            config,
+            state: Mutex::new(state),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Writes one point, routing by the separation policy, and flushes
+    /// synchronously when the working memtable fills. Returns the flush
+    /// metrics if a flush was triggered.
+    pub fn write(&self, key: &SeriesKey, t: i64, v: TsValue) -> Option<FlushMetrics> {
+        let mut st = self.state.lock();
+        let watermark = st.watermarks.get(key).copied();
+        match watermark {
+            Some(w) if t <= w => st.unseq.write(key, t, v),
+            _ => st.working.write(key, t, v),
+        }
+        if st.working.total_points() >= self.config.memtable_max_points {
+            Some(self.flush_locked(&mut st))
+        } else {
+            None
+        }
+    }
+
+    /// Writes a batch of points for one sensor (IoTDB-benchmark sends
+    /// batches; §VI-A2). Returns metrics for any flush triggered.
+    pub fn write_batch(
+        &self,
+        key: &SeriesKey,
+        points: &[(i64, TsValue)],
+    ) -> Vec<FlushMetrics> {
+        let mut st = self.state.lock();
+        let mut flushes = Vec::new();
+        for (t, v) in points {
+            let (t, v) = (*t, v.clone());
+            match st.watermarks.get(key).copied() {
+                Some(w) if t <= w => st.unseq.write(key, t, v),
+                _ => st.working.write(key, t, v),
+            }
+            if st.working.total_points() >= self.config.memtable_max_points {
+                flushes.push(self.flush_locked(&mut st));
+            }
+        }
+        flushes
+    }
+
+    /// Forces a flush of the working memtable.
+    pub fn flush(&self) -> FlushMetrics {
+        let mut st = self.state.lock();
+        self.flush_locked(&mut st)
+    }
+
+    /// Flushes the *unsequence* memtable to its own file. Watermarks are
+    /// untouched (unsequence data is below them by definition). Used by
+    /// the durable store so WAL segments can be truncated safely.
+    pub fn flush_unseq(&self) -> FlushMetrics {
+        let mut st = self.state.lock();
+        let mut flushing = std::mem::replace(&mut st.unseq, MemTable::new(self.config.array_size));
+        let (image, metrics) = flush_memtable(&mut flushing, &self.config.sorter);
+        if metrics.points > 0 {
+            st.files.push(image);
+        }
+        st.flush_history.push(metrics);
+        metrics
+    }
+
+    /// Adopts an existing TsFile image (recovery path): registers it for
+    /// queries and advances watermarks from its chunk statistics. Returns
+    /// `false` (and adopts nothing) if the image does not parse.
+    pub fn adopt_file(&self, image: Vec<u8>) -> bool {
+        let Some(reader) = TsFileReader::open(&image) else {
+            return false;
+        };
+        let metas: Vec<(SeriesKey, i64)> = reader
+            .chunks()
+            .iter()
+            .map(|m| (m.key.clone(), m.max_time))
+            .collect();
+        drop(reader);
+        let mut st = self.state.lock();
+        for (key, max_time) in metas {
+            let w = st.watermarks.entry(key).or_insert(i64::MIN);
+            *w = (*w).max(max_time);
+        }
+        st.files.push(image);
+        true
+    }
+
+    /// A copy of the most recently flushed file image, if any — the
+    /// durable store persists this right after a flush.
+    pub fn last_file(&self) -> Option<Vec<u8>> {
+        self.state.lock().files.last().cloned()
+    }
+
+    /// Removes and returns all flushed file images (compaction intake).
+    ///
+    /// Concurrent queries between this call and [`restore_files`] would
+    /// miss disk data; run compaction from a maintenance context, as
+    /// IoTDB schedules it.
+    ///
+    /// [`restore_files`]: StorageEngine::restore_files
+    pub(crate) fn take_files_for_compaction(&self) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.state.lock().files)
+    }
+
+    /// Re-installs file images at the *oldest* position, so files flushed
+    /// while compaction ran stay newer (and keep winning duplicate
+    /// timestamps).
+    pub(crate) fn restore_files(&self, mut files: Vec<Vec<u8>>) {
+        let mut st = self.state.lock();
+        files.append(&mut st.files);
+        st.files = files;
+    }
+
+    /// Tombstones pending physical application, paired with their file
+    /// horizons (compaction intake).
+    pub(crate) fn take_tombstones(&self) -> Vec<(Tombstone, usize)> {
+        std::mem::take(&mut self.state.lock().tombstones)
+    }
+
+    /// Number of tombstones awaiting compaction.
+    pub fn tombstone_count(&self) -> usize {
+        self.state.lock().tombstones.len()
+    }
+
+    /// All sensors known for `device`, across memtables and flushed
+    /// files, sorted and deduplicated — the schema view `SELECT *`
+    /// expands against.
+    pub fn list_sensors(&self, device: &str) -> Vec<SeriesKey> {
+        let st = self.state.lock();
+        let mut keys: Vec<SeriesKey> = Vec::new();
+        let mems: Vec<&MemTable> = std::iter::once(&st.working)
+            .chain(st.flushing.as_ref())
+            .chain(std::iter::once(&st.unseq))
+            .collect();
+        for mem in mems {
+            for (key, _) in mem.iter() {
+                if key.device == device {
+                    keys.push(key.clone());
+                }
+            }
+        }
+        for image in &st.files {
+            if let Some(reader) = TsFileReader::open(image) {
+                for meta in reader.chunks() {
+                    if meta.key.device == device {
+                        keys.push(meta.key.clone());
+                    }
+                }
+            }
+        }
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
+    /// Deletes all points of `key` with timestamps in `[t_lo, t_hi]`.
+    ///
+    /// Memtable points (working, flushing snapshot, unsequence) are
+    /// removed immediately; flushed files are masked by a tombstone that
+    /// the next [`compact`](StorageEngine::compact) applies physically —
+    /// IoTDB's "mods" mechanism. Returns how many in-memory points were
+    /// removed.
+    pub fn delete_range(&self, key: &SeriesKey, t_lo: i64, t_hi: i64) -> usize {
+        let mut st = self.state.lock();
+        let mut removed = st.working.delete_range(key, t_lo, t_hi);
+        removed += st.unseq.delete_range(key, t_lo, t_hi);
+        if let Some(fl) = st.flushing.as_mut() {
+            // The queryable snapshot loses the points now; the in-flight
+            // flush job's private copy will still write them, so the
+            // horizon below covers that upcoming file as well.
+            fl.delete_range(key, t_lo, t_hi);
+        }
+        let horizon = st.files.len() + usize::from(st.flushing.is_some());
+        st.tombstones.push((
+            Tombstone { key: key.clone(), t_lo, t_hi },
+            horizon,
+        ));
+        removed
+    }
+
+    /// Writes one point like [`StorageEngine::write`], but instead of
+    /// flushing synchronously when the memtable fills, rotates it into
+    /// the *flushing* slot and returns a [`FlushJob`] for the caller (or
+    /// an [`AsyncFlusher`]) to complete off the write path — IoTDB's
+    /// asynchronous flushing (paper §V-A, §VI-D2).
+    ///
+    /// Returns `None` while a previous flush is still pending (backpressure:
+    /// the working memtable keeps absorbing writes beyond its threshold,
+    /// just as IoTDB stalls rotation until the flusher catches up).
+    pub fn write_nonblocking(&self, key: &SeriesKey, t: i64, v: TsValue) -> Option<FlushJob> {
+        let mut st = self.state.lock();
+        match st.watermarks.get(key).copied() {
+            Some(w) if t <= w => st.unseq.write(key, t, v),
+            _ => st.working.write(key, t, v),
+        }
+        if st.working.total_points() >= self.config.memtable_max_points {
+            self.begin_flush_locked(&mut st)
+        } else {
+            None
+        }
+    }
+
+    /// Rotates the working memtable into the flushing slot and returns
+    /// the job, or `None` if empty or a flush is already pending.
+    pub fn begin_flush(&self) -> Option<FlushJob> {
+        let mut st = self.state.lock();
+        self.begin_flush_locked(&mut st)
+    }
+
+    fn begin_flush_locked(&self, st: &mut EngineState) -> Option<FlushJob> {
+        if st.flushing.is_some() || st.working.is_empty() {
+            return None;
+        }
+        let flushing = std::mem::replace(&mut st.working, MemTable::new(self.config.array_size));
+        for (key, buffer) in flushing.iter() {
+            if let Some(max_t) = buffer.max_time() {
+                let w = st.watermarks.entry(key.clone()).or_insert(i64::MIN);
+                *w = (*w).max(max_t);
+            }
+        }
+        // The flushing memtable stays visible to queries; the job works
+        // on its own copy so sorting/encoding happens outside the lock.
+        st.flushing = Some(flushing.clone());
+        Some(FlushJob { memtable: flushing })
+    }
+
+    /// Runs a [`FlushJob`] (sort + encode, outside the engine lock) and
+    /// installs the result: the file becomes queryable and the flushing
+    /// slot is released.
+    pub fn complete_flush(&self, mut job: FlushJob) -> FlushMetrics {
+        let (image, metrics) = flush_memtable(&mut job.memtable, &self.config.sorter);
+        let mut st = self.state.lock();
+        if metrics.points > 0 {
+            st.files.push(image);
+        }
+        st.flush_history.push(metrics);
+        st.flushing = None;
+        metrics
+    }
+
+    fn flush_locked(&self, st: &mut EngineState) -> FlushMetrics {
+        // Rotate: working becomes flushing; a fresh working memtable
+        // accepts subsequent writes. (Flushing is synchronous here — the
+        // paper measures its duration, not its overlap.)
+        let mut flushing = std::mem::replace(&mut st.working, MemTable::new(self.config.array_size));
+        // Advance watermarks before encoding.
+        for (key, buffer) in flushing.iter() {
+            if let Some(max_t) = buffer.max_time() {
+                let w = st.watermarks.entry(key.clone()).or_insert(i64::MIN);
+                *w = (*w).max(max_t);
+            }
+        }
+        let (image, metrics) = flush_memtable(&mut flushing, &self.config.sorter);
+        if metrics.points > 0 {
+            st.files.push(image);
+        }
+        st.flush_history.push(metrics);
+        metrics
+    }
+
+    /// Time-range query over `[t_lo, t_hi]`.
+    ///
+    /// Takes the engine lock (blocking writers), sorts the working and
+    /// unsequence buffers with the configured algorithm — the cost the
+    /// paper's query-throughput experiments measure — then scans
+    /// memtables and, when the range reaches flushed data, disk images.
+    /// Duplicate timestamps resolve in favor of the freshest source
+    /// (unsequence > working > disk).
+    pub fn query(&self, key: &SeriesKey, t_lo: i64, t_hi: i64) -> QueryResult {
+        let mut st = self.state.lock();
+        let mut merged: Vec<(i64, TsValue, u8)> = Vec::new();
+
+        // Disk first (lowest priority), only when the range can touch it.
+        let needs_disk = st
+            .watermarks
+            .get(key)
+            .is_some_and(|&w| t_lo <= w);
+        if needs_disk {
+            for (file_idx, image) in st.files.iter().enumerate() {
+                if let Some(reader) = TsFileReader::open(image) {
+                    for (t, v) in reader.query(key, t_lo, t_hi) {
+                        let erased = st
+                            .tombstones
+                            .iter()
+                            .any(|(ts, horizon)| file_idx < *horizon && ts.covers(key, t));
+                        if !erased {
+                            merged.push((t, v, 0));
+                        }
+                    }
+                }
+            }
+        }
+
+        let sorter = self.config.sorter;
+        let EngineState { working, flushing, unseq, .. } = &mut *st;
+        let mut memtables: Vec<(&mut MemTable, u8)> = Vec::with_capacity(3);
+        if let Some(fl) = flushing.as_mut() {
+            memtables.push((fl, 1));
+        }
+        memtables.push((working, 2u8));
+        memtables.push((unseq, 3u8));
+        for (mem, priority) in memtables {
+            if let Some(buffer) = mem.get_mut(key) {
+                buffer.sort_with(&sorter);
+                let start = buffer.lower_bound(t_lo);
+                for i in start..buffer.len() {
+                    let (t, v) = buffer.get(i);
+                    if t > t_hi {
+                        break;
+                    }
+                    merged.push((t, v, priority));
+                }
+            }
+        }
+
+        // Sort by (time, priority) and keep the highest-priority point
+        // per timestamp.
+        merged.sort_by_key(|&(t, _, p)| (t, p));
+        let mut out: QueryResult = Vec::with_capacity(merged.len());
+        for (t, v, _) in merged {
+            if out.last().map(|&(lt, _)| lt) == Some(t) {
+                *out.last_mut().expect("non-empty") = (t, v);
+            } else {
+                out.push((t, v));
+            }
+        }
+        out
+    }
+
+    /// Latest timestamp seen for a sensor across memtables and flushed
+    /// data — the anchor the benchmark's window queries use.
+    pub fn latest_time(&self, key: &SeriesKey) -> Option<i64> {
+        let st = self.state.lock();
+        let mut latest = st.watermarks.get(key).copied();
+        let mems: Vec<&MemTable> = std::iter::once(&st.working)
+            .chain(st.flushing.as_ref())
+            .chain(std::iter::once(&st.unseq))
+            .collect();
+        for mem in mems {
+            if let Some(buffer) = mem.get(key) {
+                latest = latest.max(buffer.max_time());
+            }
+        }
+        latest
+    }
+
+    /// All flush metrics recorded so far.
+    pub fn flush_history(&self) -> Vec<FlushMetrics> {
+        self.state.lock().flush_history.clone()
+    }
+
+    /// Number of flushed file images.
+    pub fn file_count(&self) -> usize {
+        self.state.lock().files.len()
+    }
+
+    /// Points currently buffered in (working, unsequence).
+    pub fn buffered_points(&self) -> (usize, usize) {
+        let st = self.state.lock();
+        (st.working.total_points(), st.unseq.total_points())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backsort_sorts::BaselineSorter;
+
+    fn key(s: &str) -> SeriesKey {
+        SeriesKey::new("root.sg.d1", s)
+    }
+
+    fn small_engine(sorter: Algorithm) -> StorageEngine {
+        StorageEngine::new(EngineConfig {
+            memtable_max_points: 100,
+            array_size: 8,
+            sorter,
+        })
+    }
+
+    #[test]
+    fn write_then_query_out_of_order() {
+        let eng = small_engine(Algorithm::Backward(Default::default()));
+        for (t, v) in [(5i64, 5.0), (1, 1.0), (3, 3.0), (2, 2.0), (4, 4.0)] {
+            eng.write(&key("s"), t, TsValue::Double(v));
+        }
+        let got = eng.query(&key("s"), 2, 4);
+        assert_eq!(
+            got,
+            vec![
+                (2, TsValue::Double(2.0)),
+                (3, TsValue::Double(3.0)),
+                (4, TsValue::Double(4.0)),
+            ]
+        );
+        assert_eq!(eng.latest_time(&key("s")), Some(5));
+    }
+
+    #[test]
+    fn memtable_rotation_triggers_flush() {
+        let eng = small_engine(Algorithm::Baseline(BaselineSorter::Tim));
+        let mut flushed = 0;
+        for i in 0..250i64 {
+            if eng.write(&key("s"), i, TsValue::Long(i)).is_some() {
+                flushed += 1;
+            }
+        }
+        assert_eq!(flushed, 2, "two rotations at 100 points each");
+        assert_eq!(eng.file_count(), 2);
+        let (working, unseq) = eng.buffered_points();
+        assert_eq!(working, 50);
+        assert_eq!(unseq, 0);
+    }
+
+    #[test]
+    fn separation_policy_routes_stragglers() {
+        let eng = small_engine(Algorithm::Backward(Default::default()));
+        for i in 0..100i64 {
+            eng.write(&key("s"), i, TsValue::Long(i)); // triggers flush at 100
+        }
+        assert_eq!(eng.file_count(), 1);
+        // A point older than the watermark (99) goes to unsequence.
+        eng.write(&key("s"), 50, TsValue::Long(-50));
+        let (_, unseq) = eng.buffered_points();
+        assert_eq!(unseq, 1);
+        // And a fresh point goes to working.
+        eng.write(&key("s"), 200, TsValue::Long(200));
+        let (working, _) = eng.buffered_points();
+        assert_eq!(working, 1);
+    }
+
+    #[test]
+    fn query_merges_disk_working_and_unseq_with_priority() {
+        let eng = small_engine(Algorithm::Backward(Default::default()));
+        for i in 0..100i64 {
+            eng.write(&key("s"), i, TsValue::Long(i));
+        }
+        // Overwrite t=50 via the unsequence path; unseq must win.
+        eng.write(&key("s"), 50, TsValue::Long(-50));
+        let got = eng.query(&key("s"), 49, 51);
+        assert_eq!(
+            got,
+            vec![
+                (49, TsValue::Long(49)),
+                (50, TsValue::Long(-50)),
+                (51, TsValue::Long(51)),
+            ]
+        );
+    }
+
+    #[test]
+    fn query_skips_disk_when_range_is_fresh() {
+        let eng = small_engine(Algorithm::Backward(Default::default()));
+        for i in 0..150i64 {
+            eng.write(&key("s"), i, TsValue::Long(i));
+        }
+        // Range strictly above the watermark (99): memtable only.
+        let got = eng.query(&key("s"), 120, 130);
+        assert_eq!(got.len(), 11);
+        assert_eq!(got[0], (120, TsValue::Long(120)));
+    }
+
+    #[test]
+    fn batch_write_matches_single_writes() {
+        let eng = small_engine(Algorithm::Baseline(BaselineSorter::Quick));
+        let pts: Vec<(i64, TsValue)> = (0..50).map(|i| (i, TsValue::Int(i as i32))).collect();
+        let flushes = eng.write_batch(&key("s"), &pts);
+        assert!(flushes.is_empty());
+        assert_eq!(eng.query(&key("s"), 0, 100).len(), 50);
+    }
+
+    #[test]
+    fn every_contender_yields_identical_query_results() {
+        let mut reference: Option<QueryResult> = None;
+        for alg in Algorithm::contenders() {
+            let eng = small_engine(alg);
+            let mut x = 5u64;
+            for i in 0..90i64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                eng.write(&key("s"), i + (x % 7) as i64, TsValue::Long(i));
+            }
+            let got = eng.query(&key("s"), 0, 200);
+            let times: Vec<i64> = got.iter().map(|p| p.0).collect();
+            assert!(times.windows(2).all(|w| w[0] < w[1]));
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => {
+                    let wt: Vec<i64> = want.iter().map(|p| p.0).collect();
+                    assert_eq!(times, wt);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flush_history_accumulates() {
+        let eng = small_engine(Algorithm::Backward(Default::default()));
+        for i in 0..100i64 {
+            eng.write(&key("s"), i, TsValue::Long(i));
+        }
+        eng.flush(); // empty flush still records
+        let hist = eng.flush_history();
+        assert_eq!(hist.len(), 2);
+        assert_eq!(hist[0].points, 100);
+        assert_eq!(hist[1].points, 0);
+    }
+}

@@ -1,0 +1,323 @@
+//! The flush pipeline: sort → deduplicate → encode → write (paper §V-C,
+//! §VI-D2).
+//!
+//! Flush time is the server-side metric the paper reports (Figs. 16–18);
+//! [`FlushMetrics`] breaks it into the same components the paper
+//! describes: "sorting, encoding, and I/O".
+
+use std::time::Instant;
+
+use backsort_core::Algorithm;
+
+use crate::memtable::{MemTable, SeriesBuffer};
+use crate::tsfile::TsFileWriter;
+use crate::types::TsValue;
+
+/// Timing breakdown of one memtable flush.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FlushMetrics {
+    /// Time spent sorting TVLists (the component under test).
+    pub sort_nanos: u64,
+    /// Time spent deduplicating + encoding columns.
+    pub encode_nanos: u64,
+    /// Time spent assembling the file image.
+    pub write_nanos: u64,
+    /// Points flushed (after dedup).
+    pub points: u64,
+    /// Bytes of the resulting file image.
+    pub bytes: u64,
+}
+
+impl FlushMetrics {
+    /// Total flush wall time in nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.sort_nanos + self.encode_nanos + self.write_nanos
+    }
+}
+
+/// Flushes a memtable to a TsFile image with the given sort algorithm.
+///
+/// Duplicate timestamps keep the *last* occurrence in sorted order —
+/// IoTDB's last-write-wins. (With an unstable sorter, which arrival wins
+/// among duplicates is unspecified; with the stable configuration it is
+/// the latest arrival.)
+pub fn flush_memtable(memtable: &mut MemTable, sorter: &Algorithm) -> (Vec<u8>, FlushMetrics) {
+    let mut metrics = FlushMetrics::default();
+    let mut writer = TsFileWriter::new();
+
+    for (key, buffer) in memtable.iter_mut() {
+        if buffer.is_empty() {
+            continue;
+        }
+        let t0 = Instant::now();
+        buffer.sort_with(sorter);
+        metrics.sort_nanos += t0.elapsed().as_nanos() as u64;
+
+        let t1 = Instant::now();
+        let (times, values) = dedup_last(buffer);
+        metrics.encode_nanos += t1.elapsed().as_nanos() as u64;
+        metrics.points += times.len() as u64;
+
+        let t2 = Instant::now();
+        writer.write_chunk(key, &times, &values);
+        metrics.write_nanos += t2.elapsed().as_nanos() as u64;
+    }
+
+    let t3 = Instant::now();
+    let image = writer.finish();
+    metrics.write_nanos += t3.elapsed().as_nanos() as u64;
+    metrics.bytes = image.len() as u64;
+    (image, metrics)
+}
+
+/// Extracts sorted columns keeping the last point of each duplicate
+/// timestamp run.
+fn dedup_last(buffer: &SeriesBuffer) -> (Vec<i64>, Vec<TsValue>) {
+    let n = buffer.len();
+    let mut times = Vec::with_capacity(n);
+    let mut values = Vec::with_capacity(n);
+    for i in 0..n {
+        let (t, v) = buffer.get(i);
+        if times.last() == Some(&t) {
+            *values.last_mut().expect("paired") = v;
+        } else {
+            times.push(t);
+            values.push(v);
+        }
+    }
+    (times, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tsfile::TsFileReader;
+    use crate::types::SeriesKey;
+    use backsort_core::BackwardSort;
+    use backsort_sorts::BaselineSorter;
+
+    fn key(s: &str) -> SeriesKey {
+        SeriesKey::new("root.sg.d1", s)
+    }
+
+    #[test]
+    fn flush_sorts_dedups_and_roundtrips() {
+        let mut mt = MemTable::new(8);
+        for (t, v) in [(5i64, 50i32), (1, 10), (3, 30), (3, 31), (2, 20)] {
+            mt.write(&key("s1"), t, TsValue::Int(v));
+        }
+        let alg = Algorithm::Backward(BackwardSort {
+            in_block: backsort_core::InBlockSort::Stable,
+            ..BackwardSort::default()
+        });
+        let (image, metrics) = flush_memtable(&mut mt, &alg);
+        assert_eq!(metrics.points, 4, "one duplicate removed");
+        assert!(metrics.bytes > 0);
+
+        let r = TsFileReader::open(&image).unwrap();
+        let pts = r.query(&key("s1"), i64::MIN, i64::MAX);
+        let times: Vec<i64> = pts.iter().map(|p| p.0).collect();
+        assert_eq!(times, vec![1, 2, 3, 5]);
+        // last-write-wins for t=3 under the stable sorter
+        assert_eq!(pts[2].1, TsValue::Int(31));
+    }
+
+    #[test]
+    fn flush_with_every_contender_produces_identical_timestamps() {
+        let build = || {
+            let mut mt = MemTable::new(32);
+            let mut x = 99u64;
+            for i in 0..2_000i64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let t = i + (x % 9) as i64;
+                mt.write(&key("s"), t, TsValue::Double(i as f64));
+            }
+            mt
+        };
+        let mut reference: Option<Vec<i64>> = None;
+        for alg in backsort_core::Algorithm::contenders() {
+            let mut mt = build();
+            let (image, _) = flush_memtable(&mut mt, &alg);
+            let r = TsFileReader::open(&image).unwrap();
+            let times: Vec<i64> = r
+                .query(&key("s"), i64::MIN, i64::MAX)
+                .iter()
+                .map(|p| p.0)
+                .collect();
+            assert!(times.windows(2).all(|w| w[0] < w[1]));
+            match &reference {
+                None => reference = Some(times),
+                Some(want) => assert_eq!(&times, want),
+            }
+        }
+    }
+
+    #[test]
+    fn flush_empty_memtable() {
+        let mut mt = MemTable::new(32);
+        let alg = Algorithm::Baseline(BaselineSorter::Tim);
+        let (image, metrics) = flush_memtable(&mut mt, &alg);
+        assert_eq!(metrics.points, 0);
+        assert!(TsFileReader::open(&image).unwrap().chunks().is_empty());
+    }
+
+    #[test]
+    fn metrics_components_are_populated() {
+        let mut mt = MemTable::new(32);
+        for i in (0..10_000i64).rev() {
+            mt.write(&key("s"), i, TsValue::Long(i));
+        }
+        let alg = Algorithm::Baseline(BaselineSorter::Quick);
+        let (_, metrics) = flush_memtable(&mut mt, &alg);
+        assert!(metrics.sort_nanos > 0);
+        assert!(metrics.encode_nanos > 0);
+        assert!(metrics.write_nanos > 0);
+        assert_eq!(metrics.points, 10_000);
+        assert_eq!(metrics.total_nanos(), metrics.sort_nanos + metrics.encode_nanos + metrics.write_nanos);
+    }
+}
+
+/// Like [`flush_memtable`], but sorts + deduplicates sensors across
+/// `threads` worker threads before writing chunks sequentially — IoTDB's
+/// sub-task flush pipeline. Falls back to the serial path for a single
+/// thread or a single sensor.
+///
+/// `sort_nanos`/`encode_nanos` aggregate per-sensor CPU time across
+/// workers (they can exceed wall time); `write_nanos` stays wall time.
+pub fn flush_memtable_parallel(
+    memtable: &mut MemTable,
+    sorter: &Algorithm,
+    threads: usize,
+) -> (Vec<u8>, FlushMetrics) {
+    if threads <= 1 || memtable.series_count() <= 1 {
+        return flush_memtable(memtable, sorter);
+    }
+    let mut metrics = FlushMetrics::default();
+    let mut writer = TsFileWriter::new();
+
+    let mut buffers: Vec<(&crate::types::SeriesKey, &mut SeriesBuffer)> =
+        memtable.iter_mut().filter(|(_, b)| !b.is_empty()).collect();
+    let chunk_size = buffers.len().div_ceil(threads);
+    /// One sensor's sorted, deduplicated columns plus per-phase timings.
+    struct Prepared {
+        name: String,
+        times: Vec<i64>,
+        values: Vec<TsValue>,
+        sort_ns: u64,
+        encode_ns: u64,
+    }
+    let mut prepared: Vec<Vec<Prepared>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in buffers.chunks_mut(chunk_size.max(1)) {
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::with_capacity(chunk.len());
+                for (key, buffer) in chunk.iter_mut() {
+                    let t0 = Instant::now();
+                    buffer.sort_with(sorter);
+                    let sort_ns = t0.elapsed().as_nanos() as u64;
+                    let t1 = Instant::now();
+                    let (times, values) = dedup_last(buffer);
+                    let encode_ns = t1.elapsed().as_nanos() as u64;
+                    out.push(Prepared {
+                        name: key.to_string(),
+                        times,
+                        values,
+                        sort_ns,
+                        encode_ns,
+                    });
+                }
+                out
+            }));
+        }
+        for handle in handles {
+            prepared.push(handle.join().expect("flush worker panicked"));
+        }
+    });
+
+    let t2 = Instant::now();
+    for group in prepared {
+        for p in group {
+            metrics.sort_nanos += p.sort_ns;
+            metrics.encode_nanos += p.encode_ns;
+            metrics.points += p.times.len() as u64;
+            let (device, sensor) = p.name.rsplit_once('.').expect("device.sensor key");
+            writer.write_chunk(
+                &crate::types::SeriesKey::new(device, sensor),
+                &p.times,
+                &p.values,
+            );
+        }
+    }
+    let image = writer.finish();
+    metrics.write_nanos = t2.elapsed().as_nanos() as u64;
+    metrics.bytes = image.len() as u64;
+    (image, metrics)
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use crate::tsfile::TsFileReader;
+    use crate::types::{SeriesKey, TsValue};
+
+    fn build(sensors: usize, points: i64) -> MemTable {
+        let mut mt = MemTable::new(32);
+        let mut x = 3u64;
+        for s in 0..sensors {
+            let key = SeriesKey::new("root.sg.d1", format!("s{s}"));
+            for i in 0..points {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                // Collision-free delay-only timestamps (stride 8 > max
+                // delay), so point counts survive dedup exactly.
+                mt.write(&key, i * 8 + (x % 5) as i64, TsValue::Long(i));
+            }
+        }
+        mt
+    }
+
+    #[test]
+    fn parallel_flush_matches_serial_timestamps() {
+        let alg = Algorithm::Backward(Default::default());
+        let mut serial_mt = build(8, 2_000);
+        let (serial_image, serial_metrics) = flush_memtable(&mut serial_mt, &alg);
+        let mut parallel_mt = build(8, 2_000);
+        let (parallel_image, parallel_metrics) =
+            flush_memtable_parallel(&mut parallel_mt, &alg, 4);
+
+        assert_eq!(serial_metrics.points, parallel_metrics.points);
+        let sr = TsFileReader::open(&serial_image).unwrap();
+        let pr = TsFileReader::open(&parallel_image).unwrap();
+        assert_eq!(sr.chunks().len(), pr.chunks().len());
+        for (sm, pm) in sr.chunks().iter().zip(pr.chunks()) {
+            assert_eq!(sm.key, pm.key);
+            assert_eq!(sm.num_points, pm.num_points);
+            let st: Vec<i64> = sr.read_chunk(sm).unwrap().iter().map(|p| p.0).collect();
+            let pt: Vec<i64> = pr.read_chunk(pm).unwrap().iter().map(|p| p.0).collect();
+            assert_eq!(st, pt, "{}", sm.key);
+        }
+    }
+
+    #[test]
+    fn single_thread_falls_back_to_serial() {
+        let alg = Algorithm::Backward(Default::default());
+        let mut mt = build(3, 100);
+        let (image, metrics) = flush_memtable_parallel(&mut mt, &alg, 1);
+        assert_eq!(metrics.points, 3 * 100);
+        assert!(TsFileReader::open(&image).is_some());
+    }
+
+    #[test]
+    fn more_threads_than_sensors_is_fine() {
+        let alg = Algorithm::Backward(Default::default());
+        let mut mt = build(2, 500);
+        let (image, metrics) = flush_memtable_parallel(&mut mt, &alg, 16);
+        assert_eq!(metrics.points, 1_000);
+        let r = TsFileReader::open(&image).unwrap();
+        assert_eq!(r.chunks().len(), 2);
+    }
+}

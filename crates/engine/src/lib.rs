@@ -1,0 +1,46 @@
+//! A miniature IoTDB-style storage engine (paper §V).
+//!
+//! Reproduces the system context Backward-Sort ships in:
+//!
+//! * **MemTables** ([`memtable`]) — a *working* memtable accepts writes;
+//!   when full it becomes the *flushing* memtable and is drained to disk.
+//!   Each sensor buffers into its own TVList (Fig. 7).
+//! * **Separation policy** ([`engine`]) — a point timestamped below the
+//!   sensor's flush watermark is routed to the *unsequence* memtable
+//!   instead of the working one, which is what keeps in-memory disorder
+//!   "not-too-distant" (paper §II).
+//! * **Flush pipeline** ([`flush`]) — sort (the component under test) →
+//!   deduplicate → encode (TS_2DIFF timestamps, Gorilla floats;
+//!   [`encoding`]) → write a TsFile-like chunked layout ([`tsfile`]).
+//! * **Queries** ([`engine`]) — time-range queries take the engine lock
+//!   (blocking writes, as the paper measures in §VI-D1) and sort the
+//!   memtable on demand before scanning.
+//!
+//! The sort algorithm is pluggable per engine instance
+//! ([`EngineConfig::sorter`]), which is how the system experiments compare
+//! contenders.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod compaction;
+pub mod delete;
+pub mod encoding;
+pub mod engine;
+pub mod flush;
+pub mod flusher;
+pub mod memtable;
+pub mod store;
+pub mod tsfile;
+pub mod types;
+
+pub use aggregate::{AggValue, Aggregation};
+pub use compaction::CompactionReport;
+pub use delete::Tombstone;
+pub use engine::{EngineConfig, FlushJob, QueryResult, StorageEngine};
+pub use flusher::AsyncFlusher;
+pub use flush::{flush_memtable, flush_memtable_parallel, FlushMetrics};
+pub use memtable::{MemTable, SeriesBuffer};
+pub use store::DurableEngine;
+pub use types::{DataType, SeriesKey, TsValue};

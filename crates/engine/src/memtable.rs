@@ -1,0 +1,362 @@
+//! Working/flushing memtables holding one TVList per sensor (paper §V-A,
+//! Fig. 7).
+
+use std::collections::BTreeMap;
+
+use backsort_core::Algorithm;
+use backsort_sorts::SeriesSorter;
+use backsort_tvlist::{SeriesAccess, TVList, TextTVList};
+
+use crate::types::{DataType, SeriesKey, TsValue};
+
+/// One sensor's in-memory buffer: a typed TVList.
+///
+/// Mirrors IoTDB's per-type TVList classes (`DoubleTVList` etc., §V-A):
+/// the enum dispatch happens once per operation, the inner loops are
+/// monomorphized.
+#[derive(Debug, Clone)]
+pub enum SeriesBuffer {
+    /// INT32 sensor.
+    Int(TVList<i32>),
+    /// INT64 sensor.
+    Long(TVList<i64>),
+    /// FLOAT sensor.
+    Float(TVList<f32>),
+    /// DOUBLE sensor.
+    Double(TVList<f64>),
+    /// BOOLEAN sensor.
+    Bool(TVList<bool>),
+    /// TEXT sensor: arena-backed, sorting moves indices (§V-A's
+    /// BinaryTVList).
+    Text(TextTVList),
+}
+
+/// Applies `$body` to the numeric TVList arms; `$text_body` to the text
+/// arm (whose API differs).
+macro_rules! for_each_buffer {
+    ($self:expr, $list:ident => $body:expr, $text:ident => $text_body:expr) => {
+        match $self {
+            SeriesBuffer::Int($list) => $body,
+            SeriesBuffer::Long($list) => $body,
+            SeriesBuffer::Float($list) => $body,
+            SeriesBuffer::Double($list) => $body,
+            SeriesBuffer::Bool($list) => $body,
+            SeriesBuffer::Text($text) => $text_body,
+        }
+    };
+}
+
+impl SeriesBuffer {
+    /// Creates an empty buffer of the given type.
+    pub fn new(dt: DataType, array_size: usize) -> Self {
+        match dt {
+            DataType::Int32 => SeriesBuffer::Int(TVList::with_array_size(array_size)),
+            DataType::Int64 => SeriesBuffer::Long(TVList::with_array_size(array_size)),
+            DataType::Float => SeriesBuffer::Float(TVList::with_array_size(array_size)),
+            DataType::Double => SeriesBuffer::Double(TVList::with_array_size(array_size)),
+            DataType::Boolean => SeriesBuffer::Bool(TVList::with_array_size(array_size)),
+            DataType::Text => SeriesBuffer::Text(TextTVList::new()),
+        }
+    }
+
+    /// The buffer's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            SeriesBuffer::Int(_) => DataType::Int32,
+            SeriesBuffer::Long(_) => DataType::Int64,
+            SeriesBuffer::Float(_) => DataType::Float,
+            SeriesBuffer::Double(_) => DataType::Double,
+            SeriesBuffer::Bool(_) => DataType::Boolean,
+            SeriesBuffer::Text(_) => DataType::Text,
+        }
+    }
+
+    /// Appends a point.
+    ///
+    /// # Panics
+    /// Panics if `v`'s type does not match the buffer's type — a schema
+    /// violation the engine checks before calling.
+    pub fn push(&mut self, t: i64, v: TsValue) {
+        match (self, v) {
+            (SeriesBuffer::Int(l), TsValue::Int(v)) => l.push(t, v),
+            (SeriesBuffer::Long(l), TsValue::Long(v)) => l.push(t, v),
+            (SeriesBuffer::Float(l), TsValue::Float(v)) => l.push(t, v),
+            (SeriesBuffer::Double(l), TsValue::Double(v)) => l.push(t, v),
+            (SeriesBuffer::Bool(l), TsValue::Bool(v)) => l.push(t, v),
+            (SeriesBuffer::Text(l), TsValue::Text(v)) => l.push(t, v),
+            (buf, v) => panic!(
+                "type mismatch: buffer is {:?}, value is {:?}",
+                buf.data_type(),
+                v.data_type()
+            ),
+        }
+    }
+
+    /// Number of buffered points.
+    pub fn len(&self) -> usize {
+        for_each_buffer!(self, l => l.len(), t => t.len())
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether appends have stayed time-ordered.
+    pub fn is_sorted(&self) -> bool {
+        for_each_buffer!(self, l => l.is_sorted(), t => t.is_sorted())
+    }
+
+    /// Smallest buffered timestamp.
+    pub fn min_time(&self) -> Option<i64> {
+        for_each_buffer!(self, l => l.min_time(), t => t.min_time())
+    }
+
+    /// Largest buffered timestamp.
+    pub fn max_time(&self) -> Option<i64> {
+        for_each_buffer!(self, l => l.max_time(), t => t.max_time())
+    }
+
+    /// Approximate heap usage for memtable accounting.
+    pub fn memory_bytes(&self) -> usize {
+        for_each_buffer!(self, l => l.memory_bytes(), t => t.memory_bytes())
+    }
+
+    /// Sorts the buffer by timestamp with the given algorithm, if not
+    /// already sorted. Returns whether a sort ran.
+    pub fn sort_with(&mut self, alg: &Algorithm) -> bool {
+        if self.is_sorted() {
+            return false;
+        }
+        for_each_buffer!(self, l => {
+            alg.sort_series(l);
+            l.mark_sorted();
+        }, t => {
+            alg.sort_series(t.sortable());
+            t.mark_sorted();
+        });
+        true
+    }
+
+    /// The point at index `i` as a dynamic value.
+    pub fn get(&self, i: usize) -> (i64, TsValue) {
+        match self {
+            SeriesBuffer::Int(l) => (l.time(i), TsValue::Int(l.value(i))),
+            SeriesBuffer::Long(l) => (l.time(i), TsValue::Long(l.value(i))),
+            SeriesBuffer::Float(l) => (l.time(i), TsValue::Float(l.value(i))),
+            SeriesBuffer::Double(l) => (l.time(i), TsValue::Double(l.value(i))),
+            SeriesBuffer::Bool(l) => (l.time(i), TsValue::Bool(l.value(i))),
+            SeriesBuffer::Text(l) => (l.time(i), TsValue::Text(l.text(i).to_string())),
+        }
+    }
+
+    /// Binary-searches the first index with `time >= t`. Requires the
+    /// buffer to be sorted.
+    pub fn lower_bound(&self, t: i64) -> usize {
+        debug_assert!(self.is_sorted());
+        let (mut lo, mut hi) = (0usize, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let mt = for_each_buffer!(self, l => l.time(mid), t => t.time(mid));
+            if mt < t {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Timestamp at index `i`.
+    pub fn time(&self, i: usize) -> i64 {
+        for_each_buffer!(self, l => l.time(i), t => t.time(i))
+    }
+
+    /// Removes all points with timestamps in `[t_lo, t_hi]`. Returns how
+    /// many were removed.
+    pub fn delete_range(&mut self, t_lo: i64, t_hi: i64) -> usize {
+        for_each_buffer!(
+            self,
+            l => l.retain(|t, _| !(t_lo..=t_hi).contains(&t)),
+            t => t.retain(|ts, _| !(t_lo..=t_hi).contains(&ts))
+        )
+    }
+}
+
+/// A memtable: one [`SeriesBuffer`] per sensor, plus occupancy accounting.
+#[derive(Debug, Default, Clone)]
+pub struct MemTable {
+    series: BTreeMap<SeriesKey, SeriesBuffer>,
+    total_points: usize,
+    array_size: usize,
+}
+
+impl MemTable {
+    /// Creates an empty memtable whose TVLists use the given chunk size.
+    pub fn new(array_size: usize) -> Self {
+        Self {
+            series: BTreeMap::new(),
+            total_points: 0,
+            array_size: array_size.max(1),
+        }
+    }
+
+    /// Appends one point, creating the sensor's buffer on first write.
+    ///
+    /// # Panics
+    /// Panics if the sensor exists with a different data type.
+    pub fn write(&mut self, key: &SeriesKey, t: i64, v: TsValue) {
+        if let Some(buf) = self.series.get_mut(key) {
+            buf.push(t, v);
+        } else {
+            let mut buf = SeriesBuffer::new(v.data_type(), self.array_size);
+            buf.push(t, v);
+            self.series.insert(key.clone(), buf);
+        }
+        self.total_points += 1;
+    }
+
+    /// Total points across all sensors.
+    pub fn total_points(&self) -> usize {
+        self.total_points
+    }
+
+    /// Number of distinct sensors.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether the memtable holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.total_points == 0
+    }
+
+    /// Approximate heap usage.
+    pub fn memory_bytes(&self) -> usize {
+        self.series.values().map(|b| b.memory_bytes()).sum()
+    }
+
+    /// Looks up one sensor's buffer.
+    pub fn get(&self, key: &SeriesKey) -> Option<&SeriesBuffer> {
+        self.series.get(key)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &SeriesKey) -> Option<&mut SeriesBuffer> {
+        self.series.get_mut(key)
+    }
+
+    /// Iterates all `(key, buffer)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&SeriesKey, &SeriesBuffer)> {
+        self.series.iter()
+    }
+
+    /// Mutable iteration, for the flush pipeline.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&SeriesKey, &mut SeriesBuffer)> {
+        self.series.iter_mut()
+    }
+
+    /// Removes all of one sensor's points in `[t_lo, t_hi]`, updating the
+    /// occupancy count. Returns how many were removed.
+    pub fn delete_range(&mut self, key: &SeriesKey, t_lo: i64, t_hi: i64) -> usize {
+        let removed = self
+            .series
+            .get_mut(key)
+            .map_or(0, |buf| buf.delete_range(t_lo, t_hi));
+        self.total_points -= removed;
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backsort_core::BackwardSort;
+
+    fn key(s: &str) -> SeriesKey {
+        SeriesKey::new("root.sg.d1", s)
+    }
+
+    #[test]
+    fn write_and_read_back() {
+        let mut mt = MemTable::new(32);
+        mt.write(&key("s1"), 5, TsValue::Double(1.5));
+        mt.write(&key("s1"), 3, TsValue::Double(2.5));
+        mt.write(&key("s2"), 1, TsValue::Int(7));
+        assert_eq!(mt.total_points(), 3);
+        assert_eq!(mt.series_count(), 2);
+        let s1 = mt.get(&key("s1")).unwrap();
+        assert_eq!(s1.len(), 2);
+        assert_eq!(s1.get(0), (5, TsValue::Double(1.5)));
+        assert!(!s1.is_sorted());
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        let mut mt = MemTable::new(32);
+        mt.write(&key("s1"), 1, TsValue::Int(1));
+        mt.write(&key("s1"), 2, TsValue::Double(2.0));
+    }
+
+    #[test]
+    fn sort_with_backward_sort_orders_buffer() {
+        let mut mt = MemTable::new(8);
+        for (t, v) in [(4i64, 40i32), (1, 10), (3, 30), (2, 20)] {
+            mt.write(&key("s1"), t, TsValue::Int(v));
+        }
+        let alg = Algorithm::Backward(BackwardSort::default());
+        let buf = mt.get_mut(&key("s1")).unwrap();
+        assert!(buf.sort_with(&alg));
+        assert!(buf.is_sorted());
+        let pts: Vec<(i64, TsValue)> = (0..buf.len()).map(|i| buf.get(i)).collect();
+        assert_eq!(
+            pts,
+            vec![
+                (1, TsValue::Int(10)),
+                (2, TsValue::Int(20)),
+                (3, TsValue::Int(30)),
+                (4, TsValue::Int(40)),
+            ]
+        );
+        // Second sort is a no-op.
+        assert!(!buf.sort_with(&alg));
+    }
+
+    #[test]
+    fn lower_bound_on_sorted_buffer() {
+        let mut buf = SeriesBuffer::new(DataType::Int64, 4);
+        for t in [1i64, 3, 5, 7, 9] {
+            buf.push(t, TsValue::Long(t));
+        }
+        assert_eq!(buf.lower_bound(0), 0);
+        assert_eq!(buf.lower_bound(3), 1);
+        assert_eq!(buf.lower_bound(4), 2);
+        assert_eq!(buf.lower_bound(10), 5);
+    }
+
+    #[test]
+    fn all_data_types_buffer() {
+        let mut mt = MemTable::new(16);
+        mt.write(&key("i"), 1, TsValue::Int(1));
+        mt.write(&key("l"), 1, TsValue::Long(2));
+        mt.write(&key("f"), 1, TsValue::Float(3.0));
+        mt.write(&key("d"), 1, TsValue::Double(4.0));
+        mt.write(&key("b"), 1, TsValue::Bool(true));
+        assert_eq!(mt.series_count(), 5);
+        for (_, buf) in mt.iter() {
+            assert_eq!(buf.len(), 1);
+            assert!(buf.min_time() == Some(1) && buf.max_time() == Some(1));
+        }
+    }
+
+    #[test]
+    fn memory_accounting_grows() {
+        let mut mt = MemTable::new(32);
+        assert_eq!(mt.memory_bytes(), 0);
+        for t in 0..100 {
+            mt.write(&key("s"), t, TsValue::Double(0.0));
+        }
+        assert!(mt.memory_bytes() >= 100 * 16);
+    }
+}

@@ -1,0 +1,501 @@
+//! Durable storage: a write-ahead log plus persisted TsFiles, with crash
+//! recovery.
+//!
+//! [`DurableEngine`] wraps [`StorageEngine`] with the durability protocol
+//! real IoTDB uses around its memtables:
+//!
+//! 1. every write is appended (CRC-framed) to the active WAL segment
+//!    *before* it enters a memtable;
+//! 2. when the working memtable flushes, the file image is persisted as
+//!    `tsfile-<gen>.bstf`, the unsequence memtable is flushed alongside
+//!    it, and all older WAL segments are deleted — their data is now in
+//!    files;
+//! 3. [`DurableEngine::open`] recovers by adopting every persisted
+//!    TsFile, then replaying surviving WAL segments (torn tails are
+//!    truncated at the first bad CRC).
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::engine::{EngineConfig, QueryResult, StorageEngine};
+use crate::flush::FlushMetrics;
+use crate::types::{DataType, SeriesKey, TsValue};
+
+/// CRC-32 (IEEE, reflected) — small table-driven implementation so the
+/// WAL needs no external dependency.
+pub fn crc32(data: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    }
+    const TABLE: [u32; 256] = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// One WAL record: a single point write.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Destination series.
+    pub key: SeriesKey,
+    /// Timestamp.
+    pub t: i64,
+    /// Value.
+    pub v: TsValue,
+}
+
+impl WalRecord {
+    /// Serializes as `len(u32) | payload | crc32(payload)`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut payload = Vec::with_capacity(32);
+        let name = self.key.to_string();
+        payload.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        payload.extend_from_slice(name.as_bytes());
+        payload.extend_from_slice(&self.t.to_le_bytes());
+        payload.push(self.v.data_type().tag());
+        match self.v {
+            TsValue::Int(x) => payload.extend_from_slice(&x.to_le_bytes()),
+            TsValue::Long(x) => payload.extend_from_slice(&x.to_le_bytes()),
+            TsValue::Float(x) => payload.extend_from_slice(&x.to_bits().to_le_bytes()),
+            TsValue::Double(x) => payload.extend_from_slice(&x.to_bits().to_le_bytes()),
+            TsValue::Bool(x) => payload.push(x as u8),
+            TsValue::Text(ref s) => {
+                payload.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                payload.extend_from_slice(s.as_bytes());
+            }
+        }
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    }
+
+    /// Parses one record at `pos`, advancing it. `None` on a torn or
+    /// corrupt tail (callers stop replaying there).
+    fn read_from(buf: &[u8], pos: &mut usize) -> Option<WalRecord> {
+        let len = u32::from_le_bytes(buf.get(*pos..*pos + 4)?.try_into().ok()?) as usize;
+        let payload = buf.get(*pos + 4..(*pos + 4).checked_add(len)?)?;
+        let crc_pos = *pos + 4 + len;
+        let stored = u32::from_le_bytes(buf.get(crc_pos..crc_pos + 4)?.try_into().ok()?);
+        if crc32(payload) != stored {
+            return None;
+        }
+        // Decode the payload.
+        let mut p = 0usize;
+        let name_len = u16::from_le_bytes(payload.get(p..p + 2)?.try_into().ok()?) as usize;
+        p += 2;
+        let name = std::str::from_utf8(payload.get(p..p + name_len)?).ok()?;
+        p += name_len;
+        let (device, sensor) = name.rsplit_once('.')?;
+        let t = i64::from_le_bytes(payload.get(p..p + 8)?.try_into().ok()?);
+        p += 8;
+        let dt = DataType::from_tag(*payload.get(p)?)?;
+        p += 1;
+        let v = match dt {
+            DataType::Int32 => {
+                TsValue::Int(i32::from_le_bytes(payload.get(p..p + 4)?.try_into().ok()?))
+            }
+            DataType::Int64 => {
+                TsValue::Long(i64::from_le_bytes(payload.get(p..p + 8)?.try_into().ok()?))
+            }
+            DataType::Float => TsValue::Float(f32::from_bits(u32::from_le_bytes(
+                payload.get(p..p + 4)?.try_into().ok()?,
+            ))),
+            DataType::Double => TsValue::Double(f64::from_bits(u64::from_le_bytes(
+                payload.get(p..p + 8)?.try_into().ok()?,
+            ))),
+            DataType::Boolean => TsValue::Bool(*payload.get(p)? != 0),
+            DataType::Text => {
+                let len =
+                    u32::from_le_bytes(payload.get(p..p + 4)?.try_into().ok()?) as usize;
+                p += 4;
+                let bytes = payload.get(p..p.checked_add(len)?)?;
+                TsValue::Text(std::str::from_utf8(bytes).ok()?.to_string())
+            }
+        };
+        *pos = crc_pos + 4;
+        Some(WalRecord {
+            key: SeriesKey::new(device, sensor),
+            t,
+            v,
+        })
+    }
+}
+
+/// Replays a WAL segment's bytes, stopping at the first torn/corrupt
+/// record. Returns the recovered records.
+pub fn replay_wal(bytes: &[u8]) -> Vec<WalRecord> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        match WalRecord::read_from(bytes, &mut pos) {
+            Some(rec) => out.push(rec),
+            None => break,
+        }
+    }
+    out
+}
+
+/// A [`StorageEngine`] with WAL-backed durability in a directory.
+pub struct DurableEngine {
+    engine: StorageEngine,
+    dir: PathBuf,
+    wal: BufWriter<File>,
+    generation: u64,
+}
+
+impl DurableEngine {
+    /// Opens (creating or recovering) a durable engine in `dir`.
+    pub fn open(dir: impl AsRef<Path>, config: EngineConfig) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let engine = StorageEngine::new(config);
+
+        // Adopt persisted TsFiles, oldest generation first.
+        let mut tsfiles: Vec<(u64, PathBuf)> = Vec::new();
+        let mut wals: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if let Some(gen) = name
+                .strip_prefix("tsfile-")
+                .and_then(|s| s.strip_suffix(".bstf"))
+                .and_then(|s| s.parse().ok())
+            {
+                tsfiles.push((gen, path));
+            } else if let Some(gen) = name
+                .strip_prefix("wal-")
+                .and_then(|s| s.strip_suffix(".log"))
+                .and_then(|s| s.parse().ok())
+            {
+                wals.push((gen, path));
+            }
+        }
+        tsfiles.sort();
+        wals.sort();
+
+        let mut max_gen = 0u64;
+        for (gen, path) in &tsfiles {
+            max_gen = max_gen.max(*gen);
+            let mut bytes = Vec::new();
+            File::open(path)?.read_to_end(&mut bytes)?;
+            if !engine.adopt_file(bytes) {
+                // A torn tsfile write: ignore it; its WAL segment (which
+                // we only delete after a complete persist) will replay.
+                let _ = fs::remove_file(path);
+            }
+        }
+
+        // Replay surviving WAL segments into the memtables.
+        for (gen, path) in &wals {
+            max_gen = max_gen.max(*gen);
+            let mut bytes = Vec::new();
+            File::open(path)?.read_to_end(&mut bytes)?;
+            for rec in replay_wal(&bytes) {
+                // Recovery writes must not trigger re-flushing mid-replay
+                // in a surprising order; regular write handles rotation
+                // correctly anyway.
+                let _ = engine.write(&rec.key, rec.t, rec.v.clone());
+            }
+            let _ = fs::remove_file(path);
+        }
+        // Anything replayed sits in memtables again; a fresh WAL segment
+        // re-covers it before we delete the old ones — simplest correct
+        // scheme: rewrite the surviving points. They are still in memory,
+        // so flush them to a file right away instead.
+        let generation = max_gen + 1;
+        let (w, u) = engine.buffered_points();
+        if w + u > 0 {
+            let metrics = engine.flush();
+            if metrics.points > 0 {
+                if let Some(image) = engine.last_file() {
+                    fs::write(dir.join(format!("tsfile-{generation}.bstf")), image)?;
+                }
+            }
+            let metrics = engine.flush_unseq();
+            if metrics.points > 0 {
+                if let Some(image) = engine.last_file() {
+                    fs::write(dir.join(format!("tsfile-{}.bstf", generation + 1)), image)?;
+                }
+            }
+        }
+        let generation = generation + 2;
+
+        let wal = BufWriter::new(
+            OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(dir.join(format!("wal-{generation}.log")))?,
+        );
+        Ok(Self {
+            engine,
+            dir,
+            wal,
+            generation,
+        })
+    }
+
+    /// The wrapped engine (for queries, aggregation, metrics).
+    pub fn engine(&self) -> &StorageEngine {
+        &self.engine
+    }
+
+    /// Durably writes one point: WAL first, then the memtable. On a
+    /// flush, persists the file image and rotates the WAL.
+    pub fn write(&mut self, key: &SeriesKey, t: i64, v: TsValue) -> io::Result<Option<FlushMetrics>> {
+        let mut frame = Vec::with_capacity(64);
+        let record = WalRecord { key: key.clone(), t, v };
+        record.encode_into(&mut frame);
+        self.wal.write_all(&frame)?;
+
+        let flushed = self.engine.write(key, t, record.v);
+        if let Some(metrics) = flushed {
+            self.persist_after_flush(metrics)?;
+        }
+        Ok(flushed)
+    }
+
+    /// Durably flushes everything buffered.
+    pub fn flush(&mut self) -> io::Result<()> {
+        let metrics = self.engine.flush();
+        self.persist_after_flush(metrics)
+    }
+
+    fn persist_after_flush(&mut self, metrics: FlushMetrics) -> io::Result<()> {
+        self.wal.flush()?;
+        if metrics.points > 0 {
+            if let Some(image) = self.engine.last_file() {
+                self.generation += 1;
+                fs::write(self.dir.join(format!("tsfile-{}.bstf", self.generation)), image)?;
+            }
+        }
+        // Flush the unsequence buffer too so every WAL record up to this
+        // point is covered by persisted files.
+        let unseq_metrics = self.engine.flush_unseq();
+        if unseq_metrics.points > 0 {
+            if let Some(image) = self.engine.last_file() {
+                self.generation += 1;
+                fs::write(self.dir.join(format!("tsfile-{}.bstf", self.generation)), image)?;
+            }
+        }
+        // Rotate the WAL: older segments are now redundant.
+        self.generation += 1;
+        let new_wal = BufWriter::new(
+            OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.dir.join(format!("wal-{}.log", self.generation)))?,
+        );
+        let old = std::mem::replace(&mut self.wal, new_wal);
+        drop(old);
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if let Some(gen) = name
+                .strip_prefix("wal-")
+                .and_then(|s| s.strip_suffix(".log"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                if gen < self.generation {
+                    let _ = fs::remove_file(path);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Time-range query (see [`StorageEngine::query`]).
+    pub fn query(&self, key: &SeriesKey, t_lo: i64, t_hi: i64) -> QueryResult {
+        self.engine.query(key, t_lo, t_hi)
+    }
+
+    /// Syncs the WAL to the OS; call before relying on durability of
+    /// unflushed points.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.wal.flush()?;
+        self.wal.get_ref().sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backsort_core::Algorithm;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "backsort-store-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config(max_points: usize) -> EngineConfig {
+        EngineConfig {
+            memtable_max_points: max_points,
+            array_size: 16,
+            sorter: Algorithm::Backward(Default::default()),
+        }
+    }
+
+    fn key() -> SeriesKey {
+        SeriesKey::new("root.sg.d1", "s1")
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn wal_record_roundtrip_all_types() {
+        let values = [
+            TsValue::Int(-7),
+            TsValue::Long(1 << 40),
+            TsValue::Float(2.5),
+            TsValue::Double(-0.125),
+            TsValue::Bool(true),
+        ];
+        let mut buf = Vec::new();
+        for (i, v) in values.iter().enumerate() {
+            WalRecord { key: key(), t: i as i64, v: v.clone() }.encode_into(&mut buf);
+        }
+        let recs = replay_wal(&buf);
+        assert_eq!(recs.len(), values.len());
+        for (i, rec) in recs.iter().enumerate() {
+            assert_eq!(rec.t, i as i64);
+            assert_eq!(&rec.v, &values[i]);
+            assert_eq!(rec.key, key());
+        }
+    }
+
+    #[test]
+    fn torn_tail_stops_replay_cleanly() {
+        let mut buf = Vec::new();
+        WalRecord { key: key(), t: 1, v: TsValue::Int(1) }.encode_into(&mut buf);
+        WalRecord { key: key(), t: 2, v: TsValue::Int(2) }.encode_into(&mut buf);
+        // Simulate a crash mid-write of record 3.
+        let mut partial = Vec::new();
+        WalRecord { key: key(), t: 3, v: TsValue::Int(3) }.encode_into(&mut partial);
+        buf.extend_from_slice(&partial[..partial.len() / 2]);
+        let recs = replay_wal(&buf);
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay() {
+        let mut buf = Vec::new();
+        WalRecord { key: key(), t: 1, v: TsValue::Int(1) }.encode_into(&mut buf);
+        let n = buf.len();
+        buf[n - 1] ^= 0xFF;
+        assert!(replay_wal(&buf).is_empty());
+    }
+
+    #[test]
+    fn durable_write_and_reopen_recovers_everything() {
+        let dir = tmpdir("recover");
+        {
+            let mut eng = DurableEngine::open(&dir, config(50)).unwrap();
+            for t in 0..120i64 {
+                eng.write(&key(), t, TsValue::Long(t * 10)).unwrap();
+            }
+            eng.sync().unwrap();
+            // Drop without flushing: 20 points live only in WAL.
+        }
+        {
+            let eng = DurableEngine::open(&dir, config(50)).unwrap();
+            let got = eng.query(&key(), 0, 200);
+            assert_eq!(got.len(), 120, "all points recovered");
+            for (t, v) in got {
+                assert_eq!(v, TsValue::Long(t * 10));
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_twice_is_idempotent() {
+        let dir = tmpdir("idempotent");
+        {
+            let mut eng = DurableEngine::open(&dir, config(30)).unwrap();
+            for t in 0..75i64 {
+                eng.write(&key(), t, TsValue::Double(t as f64)).unwrap();
+            }
+            eng.sync().unwrap();
+        }
+        for _ in 0..2 {
+            let eng = DurableEngine::open(&dir, config(30)).unwrap();
+            assert_eq!(eng.query(&key(), 0, 100).len(), 75);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn out_of_order_and_stragglers_survive_restart() {
+        let dir = tmpdir("straggler");
+        {
+            let mut eng = DurableEngine::open(&dir, config(40)).unwrap();
+            // Out-of-order arrivals.
+            let mut x = 3u64;
+            for i in 0..100i64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                eng.write(&key(), i + (x % 5) as i64, TsValue::Int(i as i32)).unwrap();
+            }
+            // A straggler below the watermark (memtable rotated at 40).
+            eng.write(&key(), 1, TsValue::Int(-1)).unwrap();
+            eng.sync().unwrap();
+        }
+        let eng = DurableEngine::open(&dir, config(40)).unwrap();
+        let got = eng.query(&key(), i64::MIN, i64::MAX);
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(got.iter().any(|(t, v)| *t == 1 && *v == TsValue::Int(-1)),
+            "straggler must survive restart and win at t=1");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_segments_are_truncated_after_flush() {
+        let dir = tmpdir("truncate");
+        let mut eng = DurableEngine::open(&dir, config(25)).unwrap();
+        for t in 0..100i64 {
+            eng.write(&key(), t, TsValue::Long(t)).unwrap();
+        }
+        eng.sync().unwrap();
+        let wal_count = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with("wal-")
+            })
+            .count();
+        assert_eq!(wal_count, 1, "only the active WAL segment survives");
+        drop(eng);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

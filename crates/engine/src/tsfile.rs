@@ -1,0 +1,558 @@
+//! A minimal TsFile-like on-disk layout: a sequence of per-sensor chunks
+//! with encoded timestamp and value columns, closed by a chunk index.
+//!
+//! ```text
+//! "BSTF1\0"                                magic
+//! chunk*:
+//!   key_len u16 | key bytes                "device.sensor"
+//!   data_type u8
+//!   num_points u32
+//!   min_time i64 | max_time i64            little-endian
+//!   page_count u32
+//!   page*:
+//!     min_time i64 | max_time i64 | count u32
+//!     ts_len u32   | ts bytes              TS_2DIFF
+//!     val_len u32  | val bytes             per-type encoding
+//! footer:
+//!   chunk_count u32
+//!   (chunk_offset u64)*                    byte offsets of each chunk
+//!   footer_offset u64                      offset of chunk_count
+//!   "BSTF1\0"                              trailing magic
+//! ```
+
+use crate::encoding::{boolpack, gorilla, intcolumn, textpack, ts2diff};
+use crate::types::{DataType, SeriesKey, TsValue};
+
+const MAGIC: &[u8; 6] = b"BSTF1\0";
+
+/// Points per page within a chunk (IoTDB's `max_number_of_points_in_page`
+/// defaults to the same order of magnitude).
+pub const PAGE_POINTS: usize = 1024;
+
+/// One encoded chunk: a sensor's sorted, deduplicated points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkMeta {
+    /// Series identifier.
+    pub key: SeriesKey,
+    /// Value type.
+    pub data_type: DataType,
+    /// Points in the chunk.
+    pub num_points: u32,
+    /// Smallest timestamp.
+    pub min_time: i64,
+    /// Largest timestamp.
+    pub max_time: i64,
+    /// Byte offset of the chunk within the file.
+    pub offset: u64,
+}
+
+/// Serializes chunks into an in-memory TsFile image.
+#[derive(Debug, Default)]
+pub struct TsFileWriter {
+    buf: Vec<u8>,
+    offsets: Vec<u64>,
+    finished: bool,
+}
+
+impl TsFileWriter {
+    /// Starts a new file image.
+    pub fn new() -> Self {
+        let mut buf = Vec::with_capacity(4096);
+        buf.extend_from_slice(MAGIC);
+        Self {
+            buf,
+            offsets: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Appends one sensor chunk. `times` must be sorted and deduplicated;
+    /// `values` must all match `data_type` and be as long as `times`.
+    ///
+    /// # Panics
+    /// Panics on length mismatch, unsorted timestamps, or a value of the
+    /// wrong type — all caller bugs.
+    pub fn write_chunk(&mut self, key: &SeriesKey, times: &[i64], values: &[TsValue]) {
+        assert!(!self.finished, "writer already finished");
+        assert_eq!(times.len(), values.len(), "column length mismatch");
+        assert!(!times.is_empty(), "empty chunk");
+        assert!(
+            times.windows(2).all(|w| w[0] < w[1]),
+            "chunk timestamps must be strictly increasing"
+        );
+        let data_type = values[0].data_type();
+
+        self.offsets.push(self.buf.len() as u64);
+        let name = key.to_string();
+        let name_bytes = name.as_bytes();
+        self.buf
+            .extend_from_slice(&(u16::try_from(name_bytes.len()).expect("key too long")).to_le_bytes());
+        self.buf.extend_from_slice(name_bytes);
+        self.buf.push(data_type.tag());
+        self.buf
+            .extend_from_slice(&(times.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&times[0].to_le_bytes());
+        self.buf
+            .extend_from_slice(&times[times.len() - 1].to_le_bytes());
+
+        // Pages: fixed point budget per page with its own statistics,
+        // so range reads decode only the overlapping pages (IoTDB's
+        // chunk -> page hierarchy).
+        let page_count = times.len().div_ceil(PAGE_POINTS);
+        self.buf
+            .extend_from_slice(&(page_count as u32).to_le_bytes());
+        for (t_page, v_page) in times.chunks(PAGE_POINTS).zip(values.chunks(PAGE_POINTS)) {
+            self.buf.extend_from_slice(&t_page[0].to_le_bytes());
+            self.buf
+                .extend_from_slice(&t_page[t_page.len() - 1].to_le_bytes());
+            self.buf
+                .extend_from_slice(&(t_page.len() as u32).to_le_bytes());
+            let ts_bytes = ts2diff::encode(t_page);
+            self.buf
+                .extend_from_slice(&(ts_bytes.len() as u32).to_le_bytes());
+            self.buf.extend_from_slice(&ts_bytes);
+            let val_bytes = encode_values(data_type, v_page);
+            self.buf
+                .extend_from_slice(&(val_bytes.len() as u32).to_le_bytes());
+            self.buf.extend_from_slice(&val_bytes);
+        }
+    }
+
+    /// Writes the footer and returns the file image.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.finished = true;
+        let footer_offset = self.buf.len() as u64;
+        self.buf
+            .extend_from_slice(&(self.offsets.len() as u32).to_le_bytes());
+        for off in &self.offsets {
+            self.buf.extend_from_slice(&off.to_le_bytes());
+        }
+        self.buf.extend_from_slice(&footer_offset.to_le_bytes());
+        self.buf.extend_from_slice(MAGIC);
+        self.buf
+    }
+}
+
+fn encode_values(dt: DataType, values: &[TsValue]) -> Vec<u8> {
+    match dt {
+        DataType::Int32 => {
+            let col: Vec<i64> = values
+                .iter()
+                .map(|v| match v {
+                    TsValue::Int(x) => *x as i64,
+                    other => panic!("expected Int32, got {other:?}"),
+                })
+                .collect();
+            intcolumn::encode(&col)
+        }
+        DataType::Int64 => {
+            let col: Vec<i64> = values
+                .iter()
+                .map(|v| match v {
+                    TsValue::Long(x) => *x,
+                    other => panic!("expected Int64, got {other:?}"),
+                })
+                .collect();
+            intcolumn::encode(&col)
+        }
+        DataType::Float => {
+            let col: Vec<f32> = values
+                .iter()
+                .map(|v| match v {
+                    TsValue::Float(x) => *x,
+                    other => panic!("expected Float, got {other:?}"),
+                })
+                .collect();
+            gorilla::encode_f32(&col)
+        }
+        DataType::Double => {
+            let col: Vec<f64> = values
+                .iter()
+                .map(|v| match v {
+                    TsValue::Double(x) => *x,
+                    other => panic!("expected Double, got {other:?}"),
+                })
+                .collect();
+            gorilla::encode_f64(&col)
+        }
+        DataType::Boolean => {
+            let col: Vec<bool> = values
+                .iter()
+                .map(|v| match v {
+                    TsValue::Bool(x) => *x,
+                    other => panic!("expected Boolean, got {other:?}"),
+                })
+                .collect();
+            boolpack::encode(&col)
+        }
+        DataType::Text => {
+            let col: Vec<&str> = values
+                .iter()
+                .map(|v| match v {
+                    TsValue::Text(s) => s.as_str(),
+                    other => panic!("expected Text, got {other:?}"),
+                })
+                .collect();
+            textpack::encode(&col)
+        }
+    }
+}
+
+/// Read access to a TsFile image.
+#[derive(Debug)]
+pub struct TsFileReader<'a> {
+    buf: &'a [u8],
+    chunks: Vec<ChunkMeta>,
+}
+
+impl<'a> TsFileReader<'a> {
+    /// Parses the footer and chunk headers. `None` if the image is not a
+    /// valid TsFile.
+    pub fn open(buf: &'a [u8]) -> Option<Self> {
+        if buf.len() < MAGIC.len() * 2 + 12 || &buf[..MAGIC.len()] != MAGIC {
+            return None;
+        }
+        if &buf[buf.len() - MAGIC.len()..] != MAGIC {
+            return None;
+        }
+        let footer_off_pos = buf.len() - MAGIC.len() - 8;
+        let footer_offset = u64::from_le_bytes(buf[footer_off_pos..footer_off_pos + 8].try_into().ok()?) as usize;
+        let mut pos = footer_offset;
+        let count = read_u32(buf, &mut pos)? as usize;
+        let mut chunks = Vec::with_capacity(count);
+        for _ in 0..count {
+            let off = read_u64(buf, &mut pos)? as usize;
+            chunks.push(Self::read_chunk_meta(buf, off)?);
+        }
+        Some(Self { buf, chunks })
+    }
+
+    fn read_chunk_meta(buf: &[u8], off: usize) -> Option<ChunkMeta> {
+        let mut pos = off;
+        let name_len = read_u16(buf, &mut pos)? as usize;
+        let name = std::str::from_utf8(buf.get(pos..pos + name_len)?).ok()?;
+        pos += name_len;
+        let (device, sensor) = name.rsplit_once('.')?;
+        let data_type = DataType::from_tag(*buf.get(pos)?)?;
+        pos += 1;
+        let num_points = read_u32(buf, &mut pos)?;
+        let min_time = read_i64(buf, &mut pos)?;
+        let max_time = read_i64(buf, &mut pos)?;
+        Some(ChunkMeta {
+            key: SeriesKey::new(device, sensor),
+            data_type,
+            num_points,
+            min_time,
+            max_time,
+            offset: off as u64,
+        })
+    }
+
+    /// The chunk index.
+    pub fn chunks(&self) -> &[ChunkMeta] {
+        &self.chunks
+    }
+
+    /// Decodes one chunk's points (all pages).
+    pub fn read_chunk(&self, meta: &ChunkMeta) -> Option<Vec<(i64, TsValue)>> {
+        self.read_chunk_range(meta, i64::MIN, i64::MAX).map(|(pts, _)| pts)
+    }
+
+    /// Decodes only the pages of a chunk that overlap `[t_lo, t_hi]`,
+    /// returning the in-range points and how many pages were decoded
+    /// (the pruning the page statistics buy).
+    pub fn read_chunk_range(
+        &self,
+        meta: &ChunkMeta,
+        t_lo: i64,
+        t_hi: i64,
+    ) -> Option<(Vec<(i64, TsValue)>, usize)> {
+        let mut pos = meta.offset as usize;
+        let name_len = read_u16(self.buf, &mut pos)? as usize;
+        pos += name_len + 1; // name + type tag
+        let num_points = read_u32(self.buf, &mut pos)? as usize;
+        pos += 16; // chunk min/max time
+        let page_count = read_u32(self.buf, &mut pos)? as usize;
+        let mut out = Vec::new();
+        let mut pages_decoded = 0usize;
+        let mut points_seen = 0usize;
+        for _ in 0..page_count {
+            let page_min = read_i64(self.buf, &mut pos)?;
+            let page_max = read_i64(self.buf, &mut pos)?;
+            let count = read_u32(self.buf, &mut pos)? as usize;
+            let ts_len = read_u32(self.buf, &mut pos)? as usize;
+            let ts_range = pos..pos.checked_add(ts_len)?;
+            pos = ts_range.end;
+            let val_len = read_u32(self.buf, &mut pos)? as usize;
+            let val_range = pos..pos.checked_add(val_len)?;
+            pos = val_range.end;
+            points_seen = points_seen.checked_add(count)?;
+            if page_max < t_lo || page_min > t_hi {
+                continue; // page pruned by its statistics
+            }
+            pages_decoded += 1;
+            let ts_bytes = self.buf.get(ts_range)?;
+            let val_bytes = self.buf.get(val_range)?;
+            let times = ts2diff::decode(ts_bytes)?;
+            if times.len() != count {
+                return None;
+            }
+            let values = decode_values(meta.data_type, val_bytes)?;
+            if values.len() != count {
+                return None;
+            }
+            out.extend(
+                times
+                    .into_iter()
+                    .zip(values)
+                    .filter(|&(t, _)| t >= t_lo && t <= t_hi),
+            );
+        }
+        if points_seen != num_points {
+            return None;
+        }
+        Some((out, pages_decoded))
+    }
+
+    /// Reads all points of `key` within `[t_lo, t_hi]`, using chunk and
+    /// page min/max pruning.
+    pub fn query(&self, key: &SeriesKey, t_lo: i64, t_hi: i64) -> Vec<(i64, TsValue)> {
+        let mut out = Vec::new();
+        for meta in &self.chunks {
+            if &meta.key != key || meta.max_time < t_lo || meta.min_time > t_hi {
+                continue;
+            }
+            if let Some((points, _)) = self.read_chunk_range(meta, t_lo, t_hi) {
+                out.extend(points);
+            }
+        }
+        out
+    }
+}
+
+fn decode_values(dt: DataType, val_bytes: &[u8]) -> Option<Vec<TsValue>> {
+    Some(match dt {
+        DataType::Int32 => intcolumn::decode(val_bytes)?
+            .into_iter()
+            .map(|v| TsValue::Int(v as i32))
+            .collect(),
+        DataType::Int64 => intcolumn::decode(val_bytes)?
+            .into_iter()
+            .map(TsValue::Long)
+            .collect(),
+        DataType::Float => gorilla::decode_f32(val_bytes)?
+            .into_iter()
+            .map(TsValue::Float)
+            .collect(),
+        DataType::Double => gorilla::decode_f64(val_bytes)?
+            .into_iter()
+            .map(TsValue::Double)
+            .collect(),
+        DataType::Boolean => boolpack::decode(val_bytes)?
+            .into_iter()
+            .map(TsValue::Bool)
+            .collect(),
+        DataType::Text => textpack::decode(val_bytes)?
+            .into_iter()
+            .map(TsValue::Text)
+            .collect(),
+    })
+}
+
+fn read_u16(buf: &[u8], pos: &mut usize) -> Option<u16> {
+    let v = u16::from_le_bytes(buf.get(*pos..*pos + 2)?.try_into().ok()?);
+    *pos += 2;
+    Some(v)
+}
+
+fn read_u32(buf: &[u8], pos: &mut usize) -> Option<u32> {
+    let v = u32::from_le_bytes(buf.get(*pos..*pos + 4)?.try_into().ok()?);
+    *pos += 4;
+    Some(v)
+}
+
+fn read_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let v = u64::from_le_bytes(buf.get(*pos..*pos + 8)?.try_into().ok()?);
+    *pos += 8;
+    Some(v)
+}
+
+fn read_i64(buf: &[u8], pos: &mut usize) -> Option<i64> {
+    read_u64(buf, pos).map(|v| v as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str) -> SeriesKey {
+        SeriesKey::new("root.sg.d1", s)
+    }
+
+    #[test]
+    fn roundtrip_two_chunks() {
+        let mut w = TsFileWriter::new();
+        let t1: Vec<i64> = (0..100).collect();
+        let v1: Vec<TsValue> = (0..100).map(|i| TsValue::Double(i as f64 * 0.5)).collect();
+        w.write_chunk(&key("s1"), &t1, &v1);
+        let t2: Vec<i64> = (10..20).collect();
+        let v2: Vec<TsValue> = (10..20).map(TsValue::Int).collect();
+        w.write_chunk(&key("s2"), &t2, &v2);
+        let image = w.finish();
+
+        let r = TsFileReader::open(&image).expect("valid file");
+        assert_eq!(r.chunks().len(), 2);
+        assert_eq!(r.chunks()[0].key, key("s1"));
+        assert_eq!(r.chunks()[0].num_points, 100);
+        assert_eq!(r.chunks()[0].min_time, 0);
+        assert_eq!(r.chunks()[0].max_time, 99);
+
+        let pts = r.read_chunk(&r.chunks()[0]).unwrap();
+        assert_eq!(pts.len(), 100);
+        assert_eq!(pts[3], (3, TsValue::Double(1.5)));
+        let pts2 = r.read_chunk(&r.chunks()[1]).unwrap();
+        assert_eq!(pts2[0], (10, TsValue::Int(10)));
+    }
+
+    #[test]
+    fn query_prunes_and_filters() {
+        let mut w = TsFileWriter::new();
+        w.write_chunk(
+            &key("s"),
+            &[1, 5, 9],
+            &[TsValue::Long(1), TsValue::Long(5), TsValue::Long(9)],
+        );
+        w.write_chunk(
+            &key("s"),
+            &[11, 15],
+            &[TsValue::Long(11), TsValue::Long(15)],
+        );
+        let image = w.finish();
+        let r = TsFileReader::open(&image).unwrap();
+        let got = r.query(&key("s"), 5, 12);
+        assert_eq!(
+            got,
+            vec![(5, TsValue::Long(5)), (9, TsValue::Long(9)), (11, TsValue::Long(11))]
+        );
+        assert!(r.query(&key("other"), 0, 100).is_empty());
+        assert!(r.query(&key("s"), 100, 200).is_empty());
+    }
+
+    #[test]
+    fn all_types_roundtrip() {
+        let mut w = TsFileWriter::new();
+        w.write_chunk(&key("i"), &[1, 2], &[TsValue::Int(-5), TsValue::Int(7)]);
+        w.write_chunk(&key("l"), &[1, 2], &[TsValue::Long(-5), TsValue::Long(1 << 40)]);
+        w.write_chunk(&key("f"), &[1, 2], &[TsValue::Float(1.5), TsValue::Float(-2.5)]);
+        w.write_chunk(&key("d"), &[1, 2], &[TsValue::Double(0.1), TsValue::Double(f64::MAX)]);
+        w.write_chunk(&key("b"), &[1, 2], &[TsValue::Bool(true), TsValue::Bool(false)]);
+        let image = w.finish();
+        let r = TsFileReader::open(&image).unwrap();
+        assert_eq!(r.chunks().len(), 5);
+        for meta in r.chunks() {
+            let pts = r.read_chunk(meta).unwrap();
+            assert_eq!(pts.len(), 2);
+        }
+    }
+
+    #[test]
+    fn corrupt_images_are_rejected() {
+        assert!(TsFileReader::open(b"").is_none());
+        assert!(TsFileReader::open(b"not a tsfile at all").is_none());
+        let mut w = TsFileWriter::new();
+        w.write_chunk(&key("s"), &[1], &[TsValue::Int(1)]);
+        let mut image = w.finish();
+        let n = image.len();
+        image[n - 1] ^= 0xFF; // break trailing magic
+        assert!(TsFileReader::open(&image).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_chunk_is_a_caller_bug() {
+        let mut w = TsFileWriter::new();
+        w.write_chunk(&key("s"), &[2, 1], &[TsValue::Int(1), TsValue::Int(2)]);
+    }
+
+    #[test]
+    fn empty_file_roundtrip() {
+        let image = TsFileWriter::new().finish();
+        let r = TsFileReader::open(&image).unwrap();
+        assert!(r.chunks().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod page_tests {
+    use super::*;
+
+    fn key() -> SeriesKey {
+        SeriesKey::new("root.sg.d1", "s")
+    }
+
+    fn big_chunk(n: usize) -> Vec<u8> {
+        let times: Vec<i64> = (0..n as i64).collect();
+        let values: Vec<TsValue> = times.iter().map(|&t| TsValue::Long(t * 3)).collect();
+        let mut w = TsFileWriter::new();
+        w.write_chunk(&key(), &times, &values);
+        w.finish()
+    }
+
+    #[test]
+    fn multi_page_chunk_roundtrips() {
+        let image = big_chunk(5 * PAGE_POINTS + 17);
+        let r = TsFileReader::open(&image).unwrap();
+        let pts = r.read_chunk(&r.chunks()[0]).unwrap();
+        assert_eq!(pts.len(), 5 * PAGE_POINTS + 17);
+        assert_eq!(pts[4_000], (4_000, TsValue::Long(12_000)));
+    }
+
+    #[test]
+    fn narrow_range_decodes_one_page() {
+        let image = big_chunk(10 * PAGE_POINTS);
+        let r = TsFileReader::open(&image).unwrap();
+        let meta = &r.chunks()[0];
+        // A range inside page 3 only.
+        let lo = 3 * PAGE_POINTS as i64 + 10;
+        let hi = lo + 50;
+        let (pts, pages) = r.read_chunk_range(meta, lo, hi).unwrap();
+        assert_eq!(pts.len(), 51);
+        assert_eq!(pages, 1, "only the containing page should be decoded");
+        // A range spanning a page boundary decodes two.
+        let lo = 4 * PAGE_POINTS as i64 - 5;
+        let (_, pages) = r.read_chunk_range(meta, lo, lo + 10).unwrap();
+        assert_eq!(pages, 2);
+        // Out-of-range decodes none.
+        let (pts, pages) = r.read_chunk_range(meta, -100, -1).unwrap();
+        assert!(pts.is_empty());
+        assert_eq!(pages, 0);
+    }
+
+    #[test]
+    fn page_boundary_exactness() {
+        let image = big_chunk(2 * PAGE_POINTS);
+        let r = TsFileReader::open(&image).unwrap();
+        let meta = &r.chunks()[0];
+        // Exactly the last element of page 0.
+        let t = PAGE_POINTS as i64 - 1;
+        let (pts, pages) = r.read_chunk_range(meta, t, t).unwrap();
+        assert_eq!(pts, vec![(t, TsValue::Long(t * 3))]);
+        assert_eq!(pages, 1);
+        // Exactly the first element of page 1.
+        let t = PAGE_POINTS as i64;
+        let (pts, pages) = r.read_chunk_range(meta, t, t).unwrap();
+        assert_eq!(pts, vec![(t, TsValue::Long(t * 3))]);
+        assert_eq!(pages, 1);
+    }
+
+    #[test]
+    fn tiny_chunk_is_single_page() {
+        let image = big_chunk(3);
+        let r = TsFileReader::open(&image).unwrap();
+        let (pts, pages) = r
+            .read_chunk_range(&r.chunks()[0], i64::MIN, i64::MAX)
+            .unwrap();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pages, 1);
+    }
+}

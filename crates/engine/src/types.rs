@@ -1,0 +1,198 @@
+//! Engine-level identifiers and dynamic values.
+
+use std::fmt;
+
+/// Identifies one time series: `device.sensor`, as in IoTDB paths.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SeriesKey {
+    /// Device (entity) name.
+    pub device: String,
+    /// Sensor (measurement) name.
+    pub sensor: String,
+}
+
+impl SeriesKey {
+    /// Builds a key from device and sensor names.
+    pub fn new(device: impl Into<String>, sensor: impl Into<String>) -> Self {
+        Self {
+            device: device.into(),
+            sensor: sensor.into(),
+        }
+    }
+}
+
+impl fmt::Display for SeriesKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.device, self.sensor)
+    }
+}
+
+/// IoTDB primitive data types supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 32-bit signed integer.
+    Int32,
+    /// 64-bit signed integer.
+    Int64,
+    /// 32-bit float.
+    Float,
+    /// 64-bit float.
+    Double,
+    /// Boolean.
+    Boolean,
+    /// UTF-8 string (IoTDB `TEXT`).
+    Text,
+}
+
+impl DataType {
+    /// Wire tag used in the TsFile chunk header.
+    pub fn tag(self) -> u8 {
+        match self {
+            DataType::Int32 => 0,
+            DataType::Int64 => 1,
+            DataType::Float => 2,
+            DataType::Double => 3,
+            DataType::Boolean => 4,
+            DataType::Text => 5,
+        }
+    }
+
+    /// Inverse of [`DataType::tag`].
+    pub fn from_tag(tag: u8) -> Option<DataType> {
+        Some(match tag {
+            0 => DataType::Int32,
+            1 => DataType::Int64,
+            2 => DataType::Float,
+            3 => DataType::Double,
+            4 => DataType::Boolean,
+            5 => DataType::Text,
+            _ => return None,
+        })
+    }
+}
+
+/// A dynamically-typed sensor value.
+///
+/// `Text` carries an owned string, so `TsValue` is `Clone` but not
+/// `Copy`; numeric call sites clone, which is a register copy for every
+/// variant except `Text`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum TsValue {
+    /// 32-bit signed integer.
+    Int(i32),
+    /// 64-bit signed integer.
+    Long(i64),
+    /// 32-bit float.
+    Float(f32),
+    /// 64-bit float.
+    Double(f64),
+    /// Boolean.
+    Bool(bool),
+    /// UTF-8 string.
+    Text(String),
+}
+
+impl TsValue {
+    /// The value's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            TsValue::Int(_) => DataType::Int32,
+            TsValue::Long(_) => DataType::Int64,
+            TsValue::Float(_) => DataType::Float,
+            TsValue::Double(_) => DataType::Double,
+            TsValue::Bool(_) => DataType::Boolean,
+            TsValue::Text(_) => DataType::Text,
+        }
+    }
+
+    /// Lossy numeric view, for analytics over mixed sensors. Text parses
+    /// as a number when it can, else 0 (IoTDB casts similarly in
+    /// aggregation contexts).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            TsValue::Int(v) => *v as f64,
+            TsValue::Long(v) => *v as f64,
+            TsValue::Float(v) => *v as f64,
+            TsValue::Double(v) => *v,
+            TsValue::Bool(v) => *v as u8 as f64,
+            TsValue::Text(s) => s.parse().unwrap_or(0.0),
+        }
+    }
+
+    /// The string payload, for `Text` values.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            TsValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<i32> for TsValue {
+    fn from(v: i32) -> Self {
+        TsValue::Int(v)
+    }
+}
+impl From<i64> for TsValue {
+    fn from(v: i64) -> Self {
+        TsValue::Long(v)
+    }
+}
+impl From<f32> for TsValue {
+    fn from(v: f32) -> Self {
+        TsValue::Float(v)
+    }
+}
+impl From<f64> for TsValue {
+    fn from(v: f64) -> Self {
+        TsValue::Double(v)
+    }
+}
+impl From<bool> for TsValue {
+    fn from(v: bool) -> Self {
+        TsValue::Bool(v)
+    }
+}
+impl From<String> for TsValue {
+    fn from(v: String) -> Self {
+        TsValue::Text(v)
+    }
+}
+impl From<&str> for TsValue {
+    fn from(v: &str) -> Self {
+        TsValue::Text(v.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_key_display() {
+        let k = SeriesKey::new("root.sg.d1", "s3");
+        assert_eq!(k.to_string(), "root.sg.d1.s3");
+    }
+
+    #[test]
+    fn data_type_tag_roundtrip() {
+        for dt in [
+            DataType::Int32,
+            DataType::Int64,
+            DataType::Float,
+            DataType::Double,
+            DataType::Boolean,
+        ] {
+            assert_eq!(DataType::from_tag(dt.tag()), Some(dt));
+        }
+        assert_eq!(DataType::from_tag(99), None);
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(TsValue::from(3i32).data_type(), DataType::Int32);
+        assert_eq!(TsValue::from(3i64).as_f64(), 3.0);
+        assert_eq!(TsValue::from(true).as_f64(), 1.0);
+        assert_eq!(TsValue::from(2.5f64), TsValue::Double(2.5));
+    }
+}

@@ -1,0 +1,22 @@
+//! Minimal LSTM forecasting for the downstream experiment (paper §VI-E,
+//! Fig. 22).
+//!
+//! The paper trains an LSTM on time series stored in order vs. stored
+//! with out-of-order arrivals, and shows train/test MSE degrading with
+//! the disorder degree σ. This crate implements everything needed from
+//! scratch: an LSTM cell with full backpropagation-through-time
+//! ([`lstm`]), the Adam optimizer ([`adam`]), and the windowed training
+//! loop ([`train`]).
+//!
+//! No `unsafe`, no BLAS — the paper's network is tiny (input 10,
+//! hidden 2), so naïve loops are plenty.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adam;
+pub mod lstm;
+pub mod train;
+
+pub use lstm::{Lstm, LstmConfig};
+pub use train::{train_forecaster, ForecastReport, TrainConfig};

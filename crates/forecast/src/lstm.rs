@@ -1,0 +1,345 @@
+//! A single-layer LSTM with a linear regression head, plus full BPTT.
+//!
+//! Parameters live in one flat vector so the optimizer and the
+//! finite-difference gradient check can treat the model as `R^P → R`.
+//!
+//! Gate order everywhere: input `i`, forget `f`, candidate `g`, output
+//! `o`. Per timestep, with input `x_t ∈ R^I` and state `h, c ∈ R^H`:
+//!
+//! ```text
+//! z_k = W_k x_t + U_k h_{t-1} + b_k          k ∈ {i, f, g, o}
+//! i = σ(z_i)   f = σ(z_f)   g = tanh(z_g)   o = σ(z_o)
+//! c_t = f ∘ c_{t-1} + i ∘ g
+//! h_t = o ∘ tanh(c_t)
+//! ŷ   = V · h_T + c_out                      (after the last step)
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Network shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LstmConfig {
+    /// Input features per timestep (the paper uses 10).
+    pub input_size: usize,
+    /// Hidden units (the paper uses 2).
+    pub hidden_size: usize,
+}
+
+/// Parameter layout offsets into the flat vector.
+#[derive(Debug, Clone, Copy)]
+struct Layout {
+    w: usize, // 4 * H * I
+    u: usize, // 4 * H * H
+    b: usize, // 4 * H
+    v: usize, // H
+    c: usize, // 1
+    total: usize,
+}
+
+impl Layout {
+    fn new(i: usize, h: usize) -> Self {
+        let w = 0;
+        let u = w + 4 * h * i;
+        let b = u + 4 * h * h;
+        let v = b + 4 * h;
+        let c = v + h;
+        Self { w, u, b, v, c, total: c + 1 }
+    }
+}
+
+/// The model: config + flat parameters.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    config: LstmConfig,
+    layout: Layout,
+    /// Flat parameter vector (gate weights, recurrent weights, biases,
+    /// output head — see the private `Layout` for offsets).
+    pub params: Vec<f64>,
+}
+
+/// Forward-pass caches needed by BPTT.
+struct Cache {
+    xs: Vec<Vec<f64>>,
+    /// Per step: gate activations i, f, g, o (each H).
+    gates: Vec<[Vec<f64>; 4]>,
+    /// Per step: cell state c_t (H), including c_0 at index 0.
+    cs: Vec<Vec<f64>>,
+    /// Per step: hidden state h_t (H), including h_0 at index 0.
+    hs: Vec<Vec<f64>>,
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Lstm {
+    /// Initializes with small uniform weights and forget-gate bias 1.0
+    /// (the standard trick to keep early gradients flowing).
+    pub fn new(config: LstmConfig, seed: u64) -> Self {
+        let layout = Layout::new(config.input_size, config.hidden_size);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = 1.0 / (config.input_size + config.hidden_size) as f64;
+        let mut params: Vec<f64> = (0..layout.total)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
+        // Forget gate biases (gate index 1) start at 1.
+        let h = config.hidden_size;
+        for j in 0..h {
+            params[layout.b + h + j] = 1.0;
+        }
+        Self { config, layout, params }
+    }
+
+    /// The network shape.
+    pub fn config(&self) -> LstmConfig {
+        self.config
+    }
+
+    /// Number of parameters.
+    pub fn param_count(&self) -> usize {
+        self.layout.total
+    }
+
+    #[inline]
+    fn w(&self, gate: usize, row: usize, col: usize) -> f64 {
+        let (i, h) = (self.config.input_size, self.config.hidden_size);
+        self.params[self.layout.w + gate * h * i + row * i + col]
+    }
+
+    #[inline]
+    fn u(&self, gate: usize, row: usize, col: usize) -> f64 {
+        let h = self.config.hidden_size;
+        self.params[self.layout.u + gate * h * h + row * h + col]
+    }
+
+    #[inline]
+    fn b(&self, gate: usize, row: usize) -> f64 {
+        let h = self.config.hidden_size;
+        self.params[self.layout.b + gate * h + row]
+    }
+
+    /// Predicts a scalar from an input sequence (`T × input_size`).
+    pub fn predict(&self, xs: &[Vec<f64>]) -> f64 {
+        self.forward(xs).0
+    }
+
+    fn forward(&self, xs: &[Vec<f64>]) -> (f64, Cache) {
+        let h_size = self.config.hidden_size;
+        let mut cache = Cache {
+            xs: xs.to_vec(),
+            gates: Vec::with_capacity(xs.len()),
+            cs: vec![vec![0.0; h_size]],
+            hs: vec![vec![0.0; h_size]],
+        };
+        for x in xs {
+            debug_assert_eq!(x.len(), self.config.input_size);
+            let h_prev = cache.hs.last().expect("h0 seeded").clone();
+            let c_prev = cache.cs.last().expect("c0 seeded").clone();
+            let mut gates: [Vec<f64>; 4] = [
+                vec![0.0; h_size],
+                vec![0.0; h_size],
+                vec![0.0; h_size],
+                vec![0.0; h_size],
+            ];
+            for (gate, out) in gates.iter_mut().enumerate() {
+                for (row, slot) in out.iter_mut().enumerate() {
+                    let mut z = self.b(gate, row);
+                    for (col, &xv) in x.iter().enumerate() {
+                        z += self.w(gate, row, col) * xv;
+                    }
+                    for (col, &hv) in h_prev.iter().enumerate() {
+                        z += self.u(gate, row, col) * hv;
+                    }
+                    *slot = if gate == 2 { z.tanh() } else { sigmoid(z) };
+                }
+            }
+            let mut c_t = vec![0.0; h_size];
+            let mut h_t = vec![0.0; h_size];
+            for j in 0..h_size {
+                c_t[j] = gates[1][j] * c_prev[j] + gates[0][j] * gates[2][j];
+                h_t[j] = gates[3][j] * c_t[j].tanh();
+            }
+            cache.gates.push(gates);
+            cache.cs.push(c_t);
+            cache.hs.push(h_t);
+        }
+        let h_last = cache.hs.last().expect("non-empty");
+        let mut y = self.params[self.layout.c];
+        for (j, &hv) in h_last.iter().enumerate() {
+            y += self.params[self.layout.v + j] * hv;
+        }
+        (y, cache)
+    }
+
+    /// Computes the squared-error loss `(ŷ − target)²` for one sample and
+    /// accumulates `∂loss/∂params` into `grad`. Returns the loss.
+    pub fn backward(&self, xs: &[Vec<f64>], target: f64, grad: &mut [f64]) -> f64 {
+        debug_assert_eq!(grad.len(), self.layout.total);
+        let (y, cache) = self.forward(xs);
+        let err = y - target;
+        let loss = err * err;
+        let dy = 2.0 * err;
+
+        let h_size = self.config.hidden_size;
+        let i_size = self.config.input_size;
+        let t_len = xs.len();
+
+        // Head gradients.
+        let h_last = &cache.hs[t_len];
+        grad[self.layout.c] += dy;
+        let mut dh = vec![0.0; h_size];
+        for j in 0..h_size {
+            grad[self.layout.v + j] += dy * h_last[j];
+            dh[j] = dy * self.params[self.layout.v + j];
+        }
+        let mut dc = vec![0.0; h_size];
+
+        for t in (0..t_len).rev() {
+            let gates = &cache.gates[t];
+            let c_t = &cache.cs[t + 1];
+            let c_prev = &cache.cs[t];
+            let h_prev = &cache.hs[t];
+            let x = &cache.xs[t];
+
+            let mut dz = [
+                vec![0.0; h_size],
+                vec![0.0; h_size],
+                vec![0.0; h_size],
+                vec![0.0; h_size],
+            ];
+            let mut dc_prev = vec![0.0; h_size];
+            for j in 0..h_size {
+                let tanh_c = c_t[j].tanh();
+                let do_ = dh[j] * tanh_c;
+                let dct = dc[j] + dh[j] * gates[3][j] * (1.0 - tanh_c * tanh_c);
+                let di = dct * gates[2][j];
+                let df = dct * c_prev[j];
+                let dg = dct * gates[0][j];
+                dc_prev[j] = dct * gates[1][j];
+                dz[0][j] = di * gates[0][j] * (1.0 - gates[0][j]);
+                dz[1][j] = df * gates[1][j] * (1.0 - gates[1][j]);
+                dz[2][j] = dg * (1.0 - gates[2][j] * gates[2][j]);
+                dz[3][j] = do_ * gates[3][j] * (1.0 - gates[3][j]);
+            }
+
+            let mut dh_prev = vec![0.0; h_size];
+            for (gate, dzg) in dz.iter().enumerate() {
+                for (row, &d) in dzg.iter().enumerate() {
+                    grad[self.layout.b + gate * h_size + row] += d;
+                    for (col, &xv) in x.iter().enumerate() {
+                        grad[self.layout.w + gate * h_size * i_size + row * i_size + col] +=
+                            d * xv;
+                    }
+                    for (col, &hv) in h_prev.iter().enumerate() {
+                        grad[self.layout.u + gate * h_size * h_size + row * h_size + col] +=
+                            d * hv;
+                        dh_prev[col] += d * self.u(gate, row, col);
+                    }
+                }
+            }
+            dh = dh_prev;
+            dc = dc_prev;
+        }
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Lstm {
+        Lstm::new(LstmConfig { input_size: 3, hidden_size: 2 }, 11)
+    }
+
+    fn sample_seq(rng_seed: u64, t: usize, i: usize) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        (0..t)
+            .map(|_| (0..i).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn forward_is_deterministic_and_finite() {
+        let net = tiny();
+        let xs = sample_seq(1, 6, 3);
+        let y1 = net.predict(&xs);
+        let y2 = net.predict(&xs);
+        assert_eq!(y1, y2);
+        assert!(y1.is_finite());
+    }
+
+    #[test]
+    fn param_count_matches_layout() {
+        let net = tiny();
+        // 4*2*3 + 4*2*2 + 4*2 + 2 + 1 = 24 + 16 + 8 + 3 = 51
+        assert_eq!(net.param_count(), 51);
+        assert_eq!(net.params.len(), 51);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut net = tiny();
+        let xs = sample_seq(2, 5, 3);
+        let target = 0.37;
+        let mut grad = vec![0.0; net.param_count()];
+        let loss = net.backward(&xs, target, &mut grad);
+        assert!(loss.is_finite());
+        let eps = 1e-6;
+        #[allow(clippy::needless_range_loop)] // index mutates params and reads grad
+        for p in 0..net.param_count() {
+            let orig = net.params[p];
+            net.params[p] = orig + eps;
+            let (y_plus, _) = (net.predict(&xs), ());
+            let l_plus = (y_plus - target).powi(2);
+            net.params[p] = orig - eps;
+            let y_minus = net.predict(&xs);
+            let l_minus = (y_minus - target).powi(2);
+            net.params[p] = orig;
+            let numeric = (l_plus - l_minus) / (2.0 * eps);
+            assert!(
+                (numeric - grad[p]).abs() < 1e-5 * (1.0 + numeric.abs().max(grad[p].abs())),
+                "param {p}: numeric {numeric} vs analytic {}",
+                grad[p]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_accumulates_across_samples() {
+        let net = tiny();
+        let xs = sample_seq(3, 4, 3);
+        let mut g1 = vec![0.0; net.param_count()];
+        net.backward(&xs, 0.5, &mut g1);
+        let mut g2 = vec![0.0; net.param_count()];
+        net.backward(&xs, 0.5, &mut g2);
+        net.backward(&xs, 0.5, &mut g2);
+        for (a, b) in g1.iter().zip(&g2) {
+            assert!((2.0 * a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_gradient_step_reduces_loss() {
+        let mut net = tiny();
+        let xs = sample_seq(4, 5, 3);
+        let target = -0.8;
+        let mut grad = vec![0.0; net.param_count()];
+        let loss0 = net.backward(&xs, target, &mut grad);
+        let lr = 1e-2;
+        for (p, g) in net.params.iter_mut().zip(&grad) {
+            *p -= lr * g;
+        }
+        let loss1 = (net.predict(&xs) - target).powi(2);
+        assert!(loss1 < loss0, "{loss1} !< {loss0}");
+    }
+
+    #[test]
+    fn empty_sequence_predicts_bias() {
+        let net = tiny();
+        let y = net.predict(&[]);
+        // h stays 0, so y = output bias.
+        assert_eq!(y, net.params[net.param_count() - 1]);
+    }
+}

@@ -1,0 +1,211 @@
+//! A line-protocol TCP server and client for the SQL layer.
+//!
+//! IoTDB-benchmark is a *network client*: "the Benchmark begins to send
+//! the data batch by batch to IoTDB-Server" and its metrics are "client
+//! side statistics" (paper §VI-A2). This crate closes that client/server
+//! split for the reproduction:
+//!
+//! * [`SqlServer`] — a threaded TCP server; each connection sends one SQL
+//!   statement per line and receives one JSON [`Response`] per line;
+//! * [`SqlClient`] — a blocking client speaking the same protocol.
+//!
+//! ```no_run
+//! use backsort_server::{SqlServer, SqlClient};
+//! # use backsort_engine::{EngineConfig, StorageEngine};
+//! # use std::sync::Arc;
+//! let engine = Arc::new(StorageEngine::new(EngineConfig::default()));
+//! let server = SqlServer::start("127.0.0.1:0", engine).unwrap();
+//! let mut client = SqlClient::connect(server.addr()).unwrap();
+//! client.execute("INSERT INTO root.sg.d1(timestamp, s) VALUES (1, 2.5)").unwrap();
+//! let rows = client.execute("SELECT s FROM root.sg.d1").unwrap();
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use backsort_engine::StorageEngine;
+use backsort_sql::{execute, QueryOutput};
+use serde::{Deserialize, Serialize};
+
+/// One reply line: either an output or an error message.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Response {
+    /// The statement's result when it succeeded.
+    pub output: Option<QueryOutput>,
+    /// The error message when it failed.
+    pub error: Option<String>,
+}
+
+/// A running SQL-over-TCP server.
+pub struct SqlServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl SqlServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections against `engine`.
+    pub fn start(addr: impl ToSocketAddrs, engine: Arc<StorageEngine>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let engine = Arc::clone(&engine);
+                        // Workers are detached: a connection blocked in a
+                        // read must not wedge shutdown; it dies when the
+                        // peer (or the process) goes away.
+                        std::thread::spawn(move || {
+                            let _ = handle_connection(stream, &engine);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(Self {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept thread. Open connections
+    /// keep being served by their (detached) workers until the peers
+    /// disconnect.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SqlServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, engine: &StorageEngine) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        // Every received line gets exactly one response line, blank
+        // included — silently skipping would desync pipelined clients.
+        let response = if trimmed.is_empty() {
+            Response { output: None, error: Some("empty statement".into()) }
+        } else {
+            match execute(engine, trimmed) {
+                Ok(output) => Response { output: Some(output), error: None },
+                Err(e) => Response { output: None, error: Some(e.message) },
+            }
+        };
+        // Non-finite floats make serde_json refuse; degrade to an error
+        // response rather than killing the connection.
+        let json = serde_json::to_string(&response).unwrap_or_else(|e| {
+            serde_json::to_string(&Response {
+                output: None,
+                error: Some(format!("unserializable result: {e}")),
+            })
+            .expect("plain error response serializes")
+        });
+        writer.write_all(json.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// A blocking client for [`SqlServer`].
+pub struct SqlClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+/// A client-side failure: transport or server-reported.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket/serialization problem.
+    Io(std::io::Error),
+    /// The server rejected the statement.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl SqlClient {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one statement and waits for its result.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryOutput, ClientError> {
+        debug_assert!(!sql.contains('\n'), "one statement per line");
+        self.writer.write_all(sql.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let response: Response = serde_json::from_str(line.trim())
+            .map_err(|e| ClientError::Server(format!("malformed response: {e}")))?;
+        match (response.output, response.error) {
+            (Some(output), _) => Ok(output),
+            (None, Some(message)) => Err(ClientError::Server(message)),
+            (None, None) => Err(ClientError::Server("empty response".into())),
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Loopback integration: clients talk real TCP to the server, including
+//! concurrent clients and error propagation.
+
+use std::sync::Arc;
+
+use backsort_core::Algorithm;
+use backsort_engine::{EngineConfig, StorageEngine, TsValue};
+use backsort_server::{ClientError, SqlClient, SqlServer};
+use backsort_sql::QueryOutput;
+
+fn start_server() -> (SqlServer, Arc<StorageEngine>) {
+    let engine = Arc::new(StorageEngine::new(EngineConfig {
+        memtable_max_points: 10_000,
+        array_size: 32,
+        sorter: Algorithm::Backward(Default::default()),
+    }));
+    let server = SqlServer::start("127.0.0.1:0", Arc::clone(&engine)).expect("bind");
+    (server, engine)
+}
+
+#[test]
+fn insert_query_roundtrip_over_tcp() {
+    let (server, _engine) = start_server();
+    let mut client = SqlClient::connect(server.addr()).expect("connect");
+
+    for t in [5i64, 1, 3, 2, 4] {
+        let out = client
+            .execute(&format!(
+                "INSERT INTO root.net.d1(timestamp, s) VALUES ({t}, {})",
+                t * 2
+            ))
+            .expect("insert");
+        assert_eq!(out, QueryOutput::Inserted(1));
+    }
+    let out = client
+        .execute("SELECT s FROM root.net.d1 WHERE time >= 1 AND time <= 5")
+        .expect("select");
+    match out {
+        QueryOutput::Rows { rows, .. } => {
+            assert_eq!(rows.len(), 5);
+            assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "sorted over the wire");
+            assert_eq!(rows[0].1[0], Some(TsValue::Long(2)));
+        }
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn server_errors_propagate_to_client() {
+    let (server, _engine) = start_server();
+    let mut client = SqlClient::connect(server.addr()).expect("connect");
+    let err = client.execute("SELECT FROM nothing").unwrap_err();
+    match err {
+        ClientError::Server(m) => assert!(!m.is_empty()),
+        other => panic!("expected server error, got {other}"),
+    }
+    // The connection stays usable after an error.
+    let out = client
+        .execute("INSERT INTO root.net.d1(timestamp, s) VALUES (1, 1)")
+        .expect("insert after error");
+    assert_eq!(out, QueryOutput::Inserted(1));
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_share_the_engine() {
+    let (server, engine) = start_server();
+    let addr = server.addr();
+    std::thread::scope(|scope| {
+        for c in 0..4 {
+            scope.spawn(move || {
+                let mut client = SqlClient::connect(addr).expect("connect");
+                for t in 0..200i64 {
+                    client
+                        .execute(&format!(
+                            "INSERT INTO root.net.d1(timestamp, s{c}) VALUES ({t}, {t})"
+                        ))
+                        .expect("insert");
+                }
+            });
+        }
+    });
+    // All four sensors visible through a fresh client.
+    let mut client = SqlClient::connect(addr).expect("connect");
+    for c in 0..4 {
+        let out = client
+            .execute(&format!("SELECT count(s{c}) FROM root.net.d1"))
+            .expect("count");
+        match out {
+            QueryOutput::Aggregates { values, .. } => {
+                assert_eq!(values[0].as_number(), Some(200.0), "s{c}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+    // And directly through the shared engine handle.
+    assert_eq!(engine.list_sensors("root.net.d1").len(), 4);
+    server.shutdown();
+}
+
+#[test]
+fn the_papers_workload_over_the_wire() {
+    // Batch writes then latest-window queries — the benchmark's exact
+    // client behaviour (§VI-A2/D), over real TCP.
+    let (server, _engine) = start_server();
+    let mut client = SqlClient::connect(server.addr()).expect("connect");
+    let mut x = 17u64;
+    for i in 0..2_000i64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let t = i + (x % 5) as i64;
+        client
+            .execute(&format!("INSERT INTO root.net.d1(timestamp, s) VALUES ({t}, {t})"))
+            .expect("insert");
+    }
+    let out = client
+        .execute("SELECT * FROM root.net.d1 WHERE time > 2003 - 100")
+        .expect("window query");
+    match out {
+        QueryOutput::Rows { rows, .. } => {
+            assert!(!rows.is_empty());
+            assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+}

@@ -1,0 +1,129 @@
+//! CKSort — Cook & Kim's "best sorting algorithm for nearly sorted lists"
+//! (CACM 1980; paper [10], [11]).
+//!
+//! A hybrid of three algorithms, exactly as the paper summarizes it
+//! (§VII-B): "extracts the unordered pairs into another array, then sorts
+//! and merges the two arrays". One forward scan peels off every element
+//! that breaks ascending order *together with the element it displaced*
+//! (removing only the offender could leave the kept sequence unsorted);
+//! the kept remainder is sorted by construction, the small side array is
+//! quicksorted, and a single merge writes both back. Requires `O(n)`
+//! extra space — the downside the paper calls out.
+
+use backsort_tvlist::{SeriesAccess, SliceSeries};
+
+use crate::{insertion_sort_range, quicksort, write_back, SeriesSorter};
+
+/// Sorts the whole series with CKSort.
+pub fn cksort<S: SeriesAccess>(s: &mut S) {
+    let n = s.len();
+    if n < 2 {
+        return;
+    }
+
+    // Phase 1: single scan splitting into an in-order backbone ("kept")
+    // and the displaced pairs ("side").
+    let mut kept: Vec<(i64, S::Value)> = Vec::with_capacity(n);
+    let mut side: Vec<(i64, S::Value)> = Vec::new();
+    for i in 0..n {
+        let x = s.get(i);
+        match kept.last() {
+            Some(&top) if top.0 > x.0 => {
+                kept.pop();
+                side.push(top);
+                side.push(x);
+            }
+            _ => kept.push(x),
+        }
+    }
+    debug_assert!(kept.windows(2).all(|w| w[0].0 <= w[1].0));
+
+    if side.is_empty() {
+        // Input was already sorted; nothing moved, nothing to write.
+        return;
+    }
+
+    // Phase 2: sort the side array (quicksort for real sizes, insertion
+    // for tiny ones — Cook & Kim's original threshold idea).
+    {
+        let mut side_series = SliceSeries::new(&mut side);
+        if side_series.len() <= 16 {
+            let hi = side_series.len();
+            insertion_sort_range(&mut side_series, 0, hi);
+        } else {
+            quicksort(&mut side_series);
+        }
+    }
+
+    // Phase 3: merge backbone and side back into the series.
+    let mut out: Vec<(i64, S::Value)> = Vec::with_capacity(n);
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < kept.len() && j < side.len() {
+        if kept[i].0 <= side[j].0 {
+            out.push(kept[i]);
+            i += 1;
+        } else {
+            out.push(side[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&kept[i..]);
+    out.extend_from_slice(&side[j..]);
+    write_back(s, 0, &out);
+}
+
+/// Unit-struct form of [`cksort`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CkSort;
+
+impl SeriesSorter for CkSort {
+    fn name(&self) -> &'static str {
+        "CKSort"
+    }
+
+    fn sort_series<S: SeriesAccess>(&self, s: &mut S) {
+        cksort(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_all;
+    use backsort_tvlist::{Instrumented, SliceSeries};
+
+    #[test]
+    fn cksort_all_fixtures() {
+        check_all(|s| cksort(s));
+    }
+
+    #[test]
+    fn sorted_input_makes_no_writes() {
+        let mut data: Vec<(i64, i32)> = (0..100).map(|i| (i as i64, i)).collect();
+        let mut s = Instrumented::new(SliceSeries::new(&mut data));
+        cksort(&mut s);
+        assert_eq!(s.stats().writes, 0);
+    }
+
+    #[test]
+    fn one_delayed_point_peels_one_pair() {
+        // 1 3 4 5 2: the scan should keep [1 3 4] and peel (5? no).
+        // Trace: keep 1,3,4,5; x=2 pops 5 -> side [5,2]; kept [1,3,4].
+        let mut data = vec![(1i64, 0i32), (3, 1), (4, 2), (5, 3), (2, 4)];
+        let mut s = SliceSeries::new(&mut data);
+        cksort(&mut s);
+        let times: Vec<i64> = (0..s.len()).map(|i| s.time(i)).collect();
+        assert_eq!(times, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn cascading_pops_keep_backbone_sorted() {
+        // 1 5 6 2 means popping 6 for 2; backbone must remain sorted even
+        // though 5 > 2 as well.
+        let mut data = vec![(1i64, 0i32), (5, 1), (6, 2), (2, 3), (3, 4), (4, 5)];
+        let mut s = SliceSeries::new(&mut data);
+        cksort(&mut s);
+        let times: Vec<i64> = (0..s.len()).map(|i| s.time(i)).collect();
+        assert_eq!(times, vec![1, 2, 3, 4, 5, 6]);
+    }
+}

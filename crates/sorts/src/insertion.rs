@@ -1,0 +1,145 @@
+//! Straight insertion sort — adaptive w.r.t. the inversion count, and the
+//! `L = 1` degenerate case of Backward-Sort (paper Fig. 6).
+
+use backsort_tvlist::SeriesAccess;
+
+use crate::SeriesSorter;
+
+/// Sorts `s[lo..hi)` by straight insertion.
+///
+/// Runs in `O(hi - lo + Inv)` element moves, where `Inv` is the number of
+/// inversions in the range — which is why it excels on nearly sorted input
+/// and collapses to `O(n²)` otherwise (paper Proposition 5).
+pub fn insertion_sort_range<S: SeriesAccess>(s: &mut S, lo: usize, hi: usize) {
+    debug_assert!(lo <= hi && hi <= s.len());
+    for i in (lo + 1)..hi {
+        let (t, v) = s.get(i);
+        if s.time(i - 1) <= t {
+            continue;
+        }
+        let mut j = i;
+        while j > lo && s.time(j - 1) > t {
+            let (pt, pv) = s.get(j - 1);
+            s.set(j, pt, pv);
+            j -= 1;
+        }
+        s.set(j, t, v);
+    }
+}
+
+/// Sorts `s[lo..hi)` by binary insertion: find each element's slot with a
+/// binary search (upper bound, for stability), then shift.
+///
+/// Same move count as straight insertion but `O(n log n)` comparisons;
+/// Timsort uses this to extend short runs.
+pub fn binary_insertion_sort_range<S: SeriesAccess>(s: &mut S, lo: usize, hi: usize, start: usize) {
+    debug_assert!(lo <= start && start <= hi && hi <= s.len());
+    let begin = if start > lo { start } else { lo + 1 };
+    for i in begin..hi {
+        let (t, v) = s.get(i);
+        // Upper-bound binary search in the sorted prefix [lo, i).
+        let mut left = lo;
+        let mut right = i;
+        while left < right {
+            let mid = left + (right - left) / 2;
+            if s.time(mid) <= t {
+                left = mid + 1;
+            } else {
+                right = mid;
+            }
+        }
+        let mut j = i;
+        while j > left {
+            let (pt, pv) = s.get(j - 1);
+            s.set(j, pt, pv);
+            j -= 1;
+        }
+        s.set(left, t, v);
+    }
+}
+
+/// Sorts the whole series by straight insertion.
+pub fn insertion_sort<S: SeriesAccess>(s: &mut S) {
+    insertion_sort_range(s, 0, s.len());
+}
+
+/// Unit-struct form of [`insertion_sort`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InsertionSort;
+
+impl SeriesSorter for InsertionSort {
+    fn name(&self) -> &'static str {
+        "Insertion"
+    }
+
+    fn sort_series<S: SeriesAccess>(&self, s: &mut S) {
+        insertion_sort(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{check_all, check_sort};
+    use backsort_tvlist::{AccessStats, Instrumented, SeriesAccess, SliceSeries};
+
+    #[test]
+    fn insertion_all_fixtures() {
+        check_all(|s| insertion_sort(s));
+    }
+
+    #[test]
+    fn binary_insertion_all_fixtures() {
+        check_all(|s| {
+            let n = s.len();
+            binary_insertion_sort_range(s, 0, n, 0);
+        });
+    }
+
+    #[test]
+    fn range_sort_leaves_outside_untouched() {
+        let mut data = vec![(9i64, 0i32), (3, 1), (1, 2), (2, 3), (0, 4)];
+        {
+            let mut s = SliceSeries::new(&mut data);
+            insertion_sort_range(&mut s, 1, 4);
+        }
+        assert_eq!(data, vec![(9, 0), (1, 2), (2, 3), (3, 1), (0, 4)]);
+    }
+
+    #[test]
+    fn stable_on_duplicate_timestamps() {
+        // values record arrival order; equal timestamps must keep it
+        let input = vec![(5i64, 0i32), (5, 1), (3, 2), (5, 3), (3, 4)];
+        let mut data = input.clone();
+        {
+            let mut s = SliceSeries::new(&mut data);
+            insertion_sort(&mut s);
+        }
+        assert_eq!(data, vec![(3, 2), (3, 4), (5, 0), (5, 1), (5, 3)]);
+    }
+
+    #[test]
+    fn binary_insertion_stable_on_duplicates() {
+        let input = vec![(5i64, 0i32), (5, 1), (3, 2), (5, 3), (3, 4)];
+        let mut data = input.clone();
+        {
+            let mut s = SliceSeries::new(&mut data);
+            binary_insertion_sort_range(&mut s, 0, 5, 0);
+        }
+        assert_eq!(data, vec![(3, 2), (3, 4), (5, 0), (5, 1), (5, 3)]);
+    }
+
+    #[test]
+    fn already_sorted_makes_no_moves() {
+        let mut data: Vec<(i64, i32)> = (0..64).map(|i| (i as i64, i)).collect();
+        let mut s = Instrumented::new(SliceSeries::new(&mut data));
+        insertion_sort(&mut s);
+        assert_eq!(s.stats(), AccessStats { writes: 0, swaps: 0, ..s.stats() });
+    }
+
+    #[test]
+    fn binary_insertion_with_presorted_prefix() {
+        let input = vec![(1i64, 0i32), (4, 1), (7, 2), (2, 3), (9, 4)];
+        check_sort(&input, |s| binary_insertion_sort_range(s, 0, 5, 3));
+    }
+}

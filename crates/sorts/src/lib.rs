@@ -1,0 +1,209 @@
+//! Baseline sorting algorithms for out-of-order time series.
+//!
+//! Every algorithm the paper evaluates against Backward-Sort (§VI-A1) is
+//! implemented here from scratch, each generic over the
+//! [`backsort_tvlist::SeriesAccess`] sort interface so it runs
+//! identically on a chunked `TVList` or a plain slice:
+//!
+//! * [`insertion_sort`] — straight insertion sort, adaptive w.r.t. `Inv`;
+//!   also the `L = 1` degenerate case of Backward-Sort;
+//! * [`quicksort`] — middle-element pivot, as the paper configures it for
+//!   time series; the `L = N` degenerate case of Backward-Sort;
+//! * [`timsort`] — Java's default: natural runs, min-run binary insertion,
+//!   galloping merges (IoTDB's method before Backward-Sort);
+//! * [`patience_sort`] — natural-run piles merged with ping-pong buffers
+//!   (Chandramouli & Goldstein, SIGMOD'14);
+//! * [`cksort`] — Cook–Kim hybrid: split out the unordered pairs, quicksort
+//!   them, merge back (`O(n)` extra space);
+//! * [`ysort`] — Wainwright's quicksort variant pinning each sublist's
+//!   min/max at its ends and skipping already-sorted sublists;
+//! * [`smoothsort`] — Dijkstra's Leonardo-heap sort (related-work
+//!   extension, §VII-B);
+//! * [`std_sort`] — `std`'s stable sort on extracted pairs, used as the
+//!   differential-testing oracle.
+//!
+//! The [`SeriesSorter`] trait gives them a common face, and
+//! [`BaselineSorter`] is an enum over all of them for runtime selection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ck;
+mod insertion;
+mod patience;
+mod quick;
+mod smooth;
+mod tim;
+mod util;
+mod y;
+
+pub use ck::{cksort, CkSort};
+pub use insertion::{binary_insertion_sort_range, insertion_sort, insertion_sort_range, InsertionSort};
+pub use patience::{patience_sort, PatienceSort};
+pub use quick::{quicksort, quicksort_range, QuickSort};
+pub use smooth::{smoothsort, SmoothSort};
+pub use tim::{timsort, TimSort};
+pub use util::{collect_pairs, std_sort, write_back, StdSort};
+pub use y::{ysort, YSort};
+
+use backsort_tvlist::SeriesAccess;
+
+/// A sorting algorithm that orders a series by timestamp, in place.
+pub trait SeriesSorter {
+    /// Short display name used in experiment tables ("BackSort", "Timsort",
+    /// …).
+    fn name(&self) -> &'static str;
+
+    /// Sorts the whole series by non-decreasing timestamp.
+    fn sort_series<S: SeriesAccess>(&self, s: &mut S);
+}
+
+/// Runtime-selectable baseline algorithm.
+///
+/// The Backward-Sort variant lives in `backsort-core`, which wraps this
+/// enum together with its own algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineSorter {
+    /// Straight insertion sort.
+    Insertion,
+    /// Quicksort with middle-element pivot.
+    Quick,
+    /// Timsort (Java's default sort).
+    Tim,
+    /// Patience sort.
+    Patience,
+    /// Cook–Kim CKSort.
+    Ck,
+    /// Wainwright's YSort.
+    Y,
+    /// Dijkstra's smoothsort.
+    Smooth,
+    /// `std` stable sort on extracted pairs (oracle).
+    Std,
+}
+
+impl BaselineSorter {
+    /// All baselines, in the paper's legend order.
+    pub const ALL: [BaselineSorter; 8] = [
+        BaselineSorter::Ck,
+        BaselineSorter::Quick,
+        BaselineSorter::Tim,
+        BaselineSorter::Y,
+        BaselineSorter::Patience,
+        BaselineSorter::Insertion,
+        BaselineSorter::Smooth,
+        BaselineSorter::Std,
+    ];
+}
+
+impl SeriesSorter for BaselineSorter {
+    fn name(&self) -> &'static str {
+        match self {
+            BaselineSorter::Insertion => "Insertion",
+            BaselineSorter::Quick => "Quick",
+            BaselineSorter::Tim => "Timsort",
+            BaselineSorter::Patience => "Patience",
+            BaselineSorter::Ck => "CKSort",
+            BaselineSorter::Y => "YSort",
+            BaselineSorter::Smooth => "Smoothsort",
+            BaselineSorter::Std => "StdSort",
+        }
+    }
+
+    fn sort_series<S: SeriesAccess>(&self, s: &mut S) {
+        match self {
+            BaselineSorter::Insertion => insertion_sort(s),
+            BaselineSorter::Quick => quicksort(s),
+            BaselineSorter::Tim => timsort(s),
+            BaselineSorter::Patience => patience_sort(s),
+            BaselineSorter::Ck => cksort(s),
+            BaselineSorter::Y => ysort(s),
+            BaselineSorter::Smooth => smoothsort(s),
+            BaselineSorter::Std => std_sort(s),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use backsort_tvlist::{SeriesAccess, SliceSeries};
+
+    /// Sorts `input` with `f` and asserts the result is the stable-sorted
+    /// multiset of the input (timestamp order; values verify permutation).
+    pub fn check_sort(input: &[(i64, i32)], f: impl FnOnce(&mut SliceSeries<'_, i32>)) {
+        let mut data = input.to_vec();
+        let mut expected = input.to_vec();
+        expected.sort_by_key(|p| p.0);
+        {
+            let mut s = SliceSeries::new(&mut data);
+            f(&mut s);
+        }
+        // Timestamps must match the sorted sequence exactly.
+        let got_times: Vec<i64> = data.iter().map(|p| p.0).collect();
+        let want_times: Vec<i64> = expected.iter().map(|p| p.0).collect();
+        assert_eq!(got_times, want_times, "timestamps not sorted");
+        // Pairs must be a permutation of the input.
+        let mut got = data.clone();
+        let mut want = input.to_vec();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want, "output is not a permutation of the input");
+    }
+
+    /// Standard adversarial fixtures every algorithm must handle.
+    pub fn fixtures() -> Vec<Vec<(i64, i32)>> {
+        let mut cases: Vec<Vec<(i64, i32)>> = vec![
+            vec![],
+            vec![(5, 0)],
+            vec![(1, 0), (2, 1)],
+            vec![(2, 0), (1, 1)],
+            vec![(7, 0), (7, 1), (7, 2)],
+            (0..100).map(|i| (i as i64, i)).collect(),
+            (0..100).rev().map(|i| (i as i64, i)).collect(),
+            vec![(i64::MAX, 0), (i64::MIN, 1), (0, 2), (i64::MAX, 3), (i64::MIN, 4)],
+            // paper Fig. 1: delayed p5 (t=10:02) and p9 (t=10:08)
+            vec![
+                (1, 1), (3, 2), (4, 3), (5, 4), (2, 5),
+                (6, 6), (7, 7), (9, 8), (8, 9), (10, 10),
+            ],
+        ];
+        // Nearly sorted with small random delays (delay-only).
+        let mut rng_state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            rng_state
+        };
+        let mut arrivals: Vec<(i64, i64)> = (0..500)
+            .map(|i| {
+                let delay = (next() % 8) as i64;
+                (i + delay, i) // (arrival key, generation time)
+            })
+            .collect();
+        arrivals.sort_by_key(|p| p.0);
+        cases.push(
+            arrivals
+                .iter()
+                .enumerate()
+                .map(|(idx, &(_, g))| (g, idx as i32))
+                .collect(),
+        );
+        // Fully random.
+        cases.push((0..1000).map(|i| ((next() % 4096) as i64, i)).collect());
+        cases
+    }
+
+    /// Runs `f` against every fixture.
+    pub fn check_all(f: impl Fn(&mut SliceSeries<'_, i32>) + Copy) {
+        for case in fixtures() {
+            check_sort(&case, f);
+        }
+    }
+
+    /// Convenience: copy of a case's timestamps.
+    #[allow(dead_code)]
+    pub fn times<S: SeriesAccess<Value = i32>>(s: &S) -> Vec<i64> {
+        (0..s.len()).map(|i| s.time(i)).collect()
+    }
+}

@@ -1,0 +1,163 @@
+//! Patience sort for nearly sorted data (Chandramouli & Goldstein,
+//! SIGMOD'14 — paper [3]).
+//!
+//! Elements are dealt onto *piles*, each pile an ascending run; nearly
+//! sorted input produces very few piles. The piles are then merged with
+//! balanced pairwise ("ping-pong") merges, the memory trick the paper
+//! credits the original with (§VII-B).
+//!
+//! The pile invariant: pile tails are kept in increasing order, so the
+//! target pile for an element is found by binary search over tails —
+//! with a last-used-pile fast path, since nearly sorted data almost always
+//! extends the same pile.
+
+use backsort_tvlist::SeriesAccess;
+
+use crate::{write_back, SeriesSorter};
+
+/// Sorts the whole series with patience sort.
+///
+/// Not stable: a new pile created at the front (for an element smaller
+/// than every pile tail) can merge ahead of an equal element buried in an
+/// older pile. Like the original, duplicate timestamps may be reordered.
+pub fn patience_sort<S: SeriesAccess>(s: &mut S) {
+    let n = s.len();
+    if n < 2 {
+        return;
+    }
+
+    // Deal into piles.
+    let mut piles: Vec<Vec<(i64, S::Value)>> = Vec::new();
+    let mut last_used: usize = 0;
+    for i in 0..n {
+        let (t, v) = s.get(i);
+        // Fast path: the pile used last time still accepts `t`.
+        if !piles.is_empty() {
+            let lu = last_used.min(piles.len() - 1);
+            let tail = piles[lu].last().expect("piles are never empty").0;
+            let next_tail = piles.get(lu + 1).map(|p| p.last().expect("non-empty").0);
+            if tail <= t && next_tail.is_none_or(|nt| nt > t) {
+                piles[lu].push((t, v));
+                last_used = lu;
+                continue;
+            }
+        }
+        // Binary search over tails (increasing) for the rightmost pile
+        // whose tail <= t.
+        let mut lo = 0usize;
+        let mut hi = piles.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if piles[mid].last().expect("non-empty").0 <= t {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo == 0 {
+            // Smaller than every tail: new pile at the front.
+            piles.insert(0, vec![(t, v)]);
+            last_used = 0;
+        } else {
+            piles[lo - 1].push((t, v));
+            last_used = lo - 1;
+        }
+    }
+
+    // Ping-pong balanced merge: merge adjacent pile pairs until one
+    // remains.
+    while piles.len() > 1 {
+        let mut next: Vec<Vec<(i64, S::Value)>> = Vec::with_capacity(piles.len().div_ceil(2));
+        let mut it = piles.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(merge_two(a, b)),
+                None => next.push(a),
+            }
+        }
+        piles = next;
+    }
+    write_back(s, 0, &piles[0]);
+}
+
+/// Merges two sorted pile vectors; ties prefer `a` (the earlier pile).
+fn merge_two<V: Copy>(a: Vec<(i64, V)>, b: Vec<(i64, V)>) -> Vec<(i64, V)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i].0 <= b[j].0 {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Unit-struct form of [`patience_sort`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PatienceSort;
+
+impl SeriesSorter for PatienceSort {
+    fn name(&self) -> &'static str {
+        "Patience"
+    }
+
+    fn sort_series<S: SeriesAccess>(&self, s: &mut S) {
+        patience_sort(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_all;
+    use backsort_tvlist::SliceSeries;
+
+    #[test]
+    fn patience_all_fixtures() {
+        check_all(|s| patience_sort(s));
+    }
+
+    #[test]
+    fn single_run_uses_one_pile() {
+        let mut data: Vec<(i64, i32)> = (0..100).map(|i| (i as i64, i)).collect();
+        let mut s = SliceSeries::new(&mut data);
+        patience_sort(&mut s);
+        assert!(backsort_tvlist::is_time_sorted(&s));
+    }
+
+    #[test]
+    fn reverse_input_builds_many_piles() {
+        let mut data: Vec<(i64, i32)> = (0..100).rev().map(|i| (i as i64, i)).collect();
+        let mut s = SliceSeries::new(&mut data);
+        patience_sort(&mut s);
+        assert!(backsort_tvlist::is_time_sorted(&s));
+    }
+
+    #[test]
+    fn merge_two_prefers_left_on_ties() {
+        let a = vec![(1i64, 10i32), (5, 11)];
+        let b = vec![(1i64, 20i32), (5, 21)];
+        let m = merge_two(a, b);
+        assert_eq!(m, vec![(1, 10), (1, 20), (5, 11), (5, 21)]);
+    }
+
+    #[test]
+    fn delayed_points_extend_few_piles() {
+        // Delay-only pattern: mostly increasing with small dips.
+        let input = vec![
+            (1i64, 0i32), (3, 1), (4, 2), (5, 3), (2, 4),
+            (6, 5), (7, 6), (9, 7), (8, 8), (10, 9),
+        ];
+        let mut data = input;
+        let mut s = SliceSeries::new(&mut data);
+        patience_sort(&mut s);
+        let times: Vec<i64> = (0..s.len()).map(|i| s.time(i)).collect();
+        assert_eq!(times, (1..=10).collect::<Vec<i64>>());
+    }
+}

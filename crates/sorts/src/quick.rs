@@ -1,0 +1,147 @@
+//! Quicksort with middle-element pivot.
+//!
+//! The paper configures Quicksort's pivot "as the middle element of arrays
+//! due to time series" (§VI-A1): on nearly sorted data the middle element
+//! is close to the median, so partitions stay balanced. This is also the
+//! `L = N` degenerate case of Backward-Sort (paper Fig. 6).
+
+use backsort_tvlist::SeriesAccess;
+
+use crate::{insertion_sort_range, SeriesSorter};
+
+/// Below this length a partition is finished with insertion sort — the
+/// standard engineering cutoff; the asymptotics are unchanged.
+const INSERTION_CUTOFF: usize = 24;
+
+/// Sorts `s[lo..hi)` with middle-pivot quicksort.
+///
+/// Iterative with an explicit stack, always recursing into the smaller
+/// partition first so stack depth is `O(log n)` even on adversarial input.
+pub fn quicksort_range<S: SeriesAccess>(s: &mut S, lo: usize, hi: usize) {
+    debug_assert!(lo <= hi && hi <= s.len());
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    let (mut lo, mut hi) = (lo, hi);
+    loop {
+        while hi - lo > INSERTION_CUTOFF {
+            let split = hoare_partition(s, lo, hi);
+            // Loop on the smaller side, push the larger.
+            if split - lo < hi - split {
+                stack.push((split, hi));
+                hi = split;
+            } else {
+                stack.push((lo, split));
+                lo = split;
+            }
+        }
+        insertion_sort_range(s, lo, hi);
+        match stack.pop() {
+            Some((l, h)) => {
+                lo = l;
+                hi = h;
+            }
+            None => return,
+        }
+    }
+}
+
+/// Hoare partition around the middle element's timestamp. Returns `split`
+/// such that `s[lo..split)` ≤ pivot ≤ `s[split..hi)` element-wise, with
+/// `lo < split < hi`.
+fn hoare_partition<S: SeriesAccess>(s: &mut S, lo: usize, hi: usize) -> usize {
+    let pivot = s.time(lo + (hi - lo) / 2);
+    let mut i = lo;
+    let mut j = hi - 1;
+    loop {
+        while s.time(i) < pivot {
+            i += 1;
+        }
+        while s.time(j) > pivot {
+            j -= 1;
+        }
+        if i >= j {
+            // Both sides must be non-empty: Hoare with a middle pivot
+            // guarantees j >= lo and j+1 <= hi-? — we return j+1 clamped
+            // into (lo, hi).
+            return (j + 1).clamp(lo + 1, hi - 1);
+        }
+        s.swap(i, j);
+        i += 1;
+        if j == 0 {
+            return lo + 1;
+        }
+        j -= 1;
+    }
+}
+
+/// Sorts the whole series with middle-pivot quicksort.
+pub fn quicksort<S: SeriesAccess>(s: &mut S) {
+    quicksort_range(s, 0, s.len());
+}
+
+/// Unit-struct form of [`quicksort`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuickSort;
+
+impl SeriesSorter for QuickSort {
+    fn name(&self) -> &'static str {
+        "Quick"
+    }
+
+    fn sort_series<S: SeriesAccess>(&self, s: &mut S) {
+        quicksort(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_all;
+    use backsort_tvlist::{SliceSeries, TVList};
+
+    #[test]
+    fn quicksort_all_fixtures() {
+        check_all(|s| quicksort(s));
+    }
+
+    #[test]
+    fn quicksort_range_respects_bounds() {
+        let mut data = vec![(9i64, 0i32), (5, 1), (4, 2), (3, 3), (0, 4)];
+        {
+            let mut s = SliceSeries::new(&mut data);
+            quicksort_range(&mut s, 1, 4);
+        }
+        assert_eq!(data, vec![(9, 0), (3, 3), (4, 2), (5, 1), (0, 4)]);
+    }
+
+    #[test]
+    fn sorts_large_tvlist() {
+        let mut list = TVList::<i32>::new();
+        let mut x = 123456789u64;
+        for i in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            list.push((x % 100_000) as i64, i);
+        }
+        quicksort(&mut list);
+        assert!(backsort_tvlist::is_time_sorted(&list));
+    }
+
+    #[test]
+    fn all_equal_timestamps_terminate() {
+        let mut data: Vec<(i64, i32)> = (0..1000).map(|i| (42, i)).collect();
+        let mut s = SliceSeries::new(&mut data);
+        quicksort(&mut s);
+        assert!(backsort_tvlist::is_time_sorted(&s));
+    }
+
+    #[test]
+    fn organ_pipe_input() {
+        let mut data: Vec<(i64, i32)> = (0..500)
+            .map(|i| (if i < 250 { i } else { 500 - i } as i64, i))
+            .collect();
+        let mut s = SliceSeries::new(&mut data);
+        quicksort(&mut s);
+        assert!(backsort_tvlist::is_time_sorted(&s));
+    }
+}

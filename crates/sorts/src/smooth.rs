@@ -1,0 +1,229 @@
+//! Smoothsort — Dijkstra's in-place adaptive heapsort over Leonardo heaps
+//! (paper [24], §VII-B).
+//!
+//! `O(n)` on sorted input, `O(n log n)` worst case, no extra space, but —
+//! as the paper notes — unstable. Included as the related-work extension
+//! so the evaluation can place it alongside the contenders.
+//!
+//! The implementation follows the standard "Smoothsort demystified"
+//! formulation: the array prefix is maintained as a forest of Leonardo
+//! trees of strictly decreasing order, encoded as a bitmask (`trees`)
+//! whose least-significant set bit is the rightmost (smallest) tree of
+//! order `order`.
+
+use backsort_tvlist::SeriesAccess;
+
+use crate::SeriesSorter;
+
+/// Leonardo numbers `L(0)=1, L(1)=1, L(k)=L(k-1)+L(k-2)+1`, enough for any
+/// `usize` length.
+fn leonardo_table() -> [usize; 64] {
+    let mut lp = [1usize; 64];
+    for k in 2..64 {
+        lp[k] = lp[k - 1].saturating_add(lp[k - 2]).saturating_add(1);
+    }
+    lp
+}
+
+/// Sorts the whole series with smoothsort. Unstable.
+pub fn smoothsort<S: SeriesAccess>(s: &mut S) {
+    let n = s.len();
+    if n < 2 {
+        return;
+    }
+    let lp = leonardo_table();
+
+    let mut trees: u64 = 0;
+    let mut order: usize = 1;
+
+    // Build phase: push each element, merging the two rightmost trees
+    // when their orders are consecutive.
+    for head in 0..n {
+        if trees == 0 {
+            trees = 1;
+            order = 1;
+        } else if trees & 3 == 3 {
+            trees = (trees >> 2) | 1;
+            order += 2;
+        } else if order == 1 {
+            trees = (trees << 1) | 1;
+            order = 0;
+        } else {
+            trees = (trees << (order - 1)) | 1;
+            order = 1;
+        }
+
+        // If this tree has reached its final shape (no later element can
+        // merge it), fix the whole root chain; otherwise a local sift is
+        // enough.
+        let is_last = match order {
+            0 => head + 1 == n,
+            1 => head + 1 == n || (head + 2 == n && trees & 2 == 0),
+            k => n - head - 1 < lp[k - 1] + 1,
+        };
+        if is_last {
+            trinkle(s, &lp, head, trees, order, false);
+        } else {
+            sift(s, &lp, head, order);
+        }
+    }
+
+    // Dequeue phase: the maximum of the remaining prefix is always the
+    // root of the rightmost tree, i.e. already at position `head`.
+    for head in (1..n).rev() {
+        if order <= 1 {
+            // Singleton tree: removing it is free; step to the next tree.
+            trees &= !1;
+            if trees != 0 {
+                let z = trees.trailing_zeros() as usize;
+                trees >>= z;
+                order += z;
+            }
+        } else {
+            // Split the tree into its two children and re-establish the
+            // root chain through both exposed roots.
+            trees = (trees & !1) << 2 | 3;
+            order -= 2;
+            let right_root = head - 1;
+            let left_root = head - 1 - lp[order];
+            trinkle(s, &lp, left_root, trees >> 1, order + 1, true);
+            trinkle(s, &lp, right_root, trees, order, true);
+        }
+    }
+}
+
+/// Restores the max-heap property of the Leonardo tree rooted at `head`.
+fn sift<S: SeriesAccess>(s: &mut S, lp: &[usize; 64], mut head: usize, mut order: usize) {
+    while order >= 2 {
+        let right = head - 1;
+        let left = head - 1 - lp[order - 2];
+        let th = s.time(head);
+        let tl = s.time(left);
+        let tr = s.time(right);
+        if th >= tl && th >= tr {
+            break;
+        }
+        if tl >= tr {
+            s.swap(head, left);
+            head = left;
+            order -= 1;
+        } else {
+            s.swap(head, right);
+            head = right;
+            order -= 2;
+        }
+    }
+}
+
+/// Moves the root at `head` leftward along the chain of tree roots until
+/// the roots are non-decreasing, then sifts. `trusty` means the tree at
+/// `head` already satisfies the heap property (so its children need not be
+/// consulted).
+fn trinkle<S: SeriesAccess>(
+    s: &mut S,
+    lp: &[usize; 64],
+    mut head: usize,
+    mut trees: u64,
+    mut order: usize,
+    mut trusty: bool,
+) {
+    while trees > 1 {
+        let stepson = head - lp[order];
+        let ts = s.time(stepson);
+        if ts <= s.time(head) {
+            break;
+        }
+        if !trusty && order >= 2 {
+            let right = head - 1;
+            let left = head - 1 - lp[order - 2];
+            if s.time(right) >= ts || s.time(left) >= ts {
+                break;
+            }
+        }
+        s.swap(stepson, head);
+        head = stepson;
+        trees >>= 1;
+        let z = trees.trailing_zeros() as usize;
+        trees >>= z;
+        order += 1 + z;
+        trusty = false;
+    }
+    if !trusty {
+        sift(s, lp, head, order);
+    }
+}
+
+/// Unit-struct form of [`smoothsort`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SmoothSort;
+
+impl SeriesSorter for SmoothSort {
+    fn name(&self) -> &'static str {
+        "Smoothsort"
+    }
+
+    fn sort_series<S: SeriesAccess>(&self, s: &mut S) {
+        smoothsort(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_all;
+    use backsort_tvlist::{SliceSeries, TVList};
+
+    #[test]
+    fn smoothsort_all_fixtures() {
+        check_all(|s| smoothsort(s));
+    }
+
+    #[test]
+    fn leonardo_numbers_are_correct() {
+        let lp = leonardo_table();
+        assert_eq!(&lp[..8], &[1, 1, 3, 5, 9, 15, 25, 41]);
+    }
+
+    #[test]
+    fn every_length_up_to_200() {
+        // Shape bookkeeping has per-length edge cases; cover them all.
+        let mut x = 0xC0FFEEu64;
+        for n in 0..200usize {
+            let mut data: Vec<(i64, i32)> = (0..n)
+                .map(|i| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    ((x % 64) as i64, i as i32)
+                })
+                .collect();
+            let mut s = SliceSeries::new(&mut data);
+            smoothsort(&mut s);
+            assert!(backsort_tvlist::is_time_sorted(&s), "n={n}");
+        }
+    }
+
+    #[test]
+    fn large_random_tvlist() {
+        let mut list = TVList::<i32>::new();
+        let mut x = 0xBADC0DEu64;
+        for i in 0..30_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            list.push((x % 1_000_000) as i64, i);
+        }
+        smoothsort(&mut list);
+        assert!(backsort_tvlist::is_time_sorted(&list));
+    }
+
+    #[test]
+    fn sorted_input_is_fast_path() {
+        // Correctness of the adaptive path (no assertion on time, just
+        // behaviour).
+        let mut data: Vec<(i64, i32)> = (0..5000).map(|i| (i as i64, i)).collect();
+        let mut s = SliceSeries::new(&mut data);
+        smoothsort(&mut s);
+        assert!(backsort_tvlist::is_time_sorted(&s));
+    }
+}

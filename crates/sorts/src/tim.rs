@@ -1,0 +1,645 @@
+//! Timsort — Java's default sort and Apache IoTDB's method before
+//! Backward-Sort (paper §VII-B).
+//!
+//! Full implementation of the classic algorithm: natural-run detection
+//! (strictly-descending runs reversed), min-run extension by binary
+//! insertion, the run-stack merge invariants, and `merge_lo`/`merge_hi`
+//! with galloping mode, ported to the [`SeriesAccess`] interface.
+
+use backsort_tvlist::SeriesAccess;
+
+use crate::{binary_insertion_sort_range, SeriesSorter};
+
+/// Runs shorter than this are extended by binary insertion (Java uses 32).
+const MIN_MERGE: usize = 32;
+/// Initial threshold of consecutive wins before entering gallop mode.
+const MIN_GALLOP: usize = 7;
+
+/// Sorts the whole series with Timsort. Stable.
+pub fn timsort<S: SeriesAccess>(s: &mut S) {
+    let n = s.len();
+    if n < 2 {
+        return;
+    }
+    if n < MIN_MERGE {
+        let init = count_run_and_make_ascending(s, 0, n);
+        binary_insertion_sort_range(s, 0, n, init);
+        return;
+    }
+
+    let mut ts = TimState::new();
+    let min_run = min_run_length(n);
+    let mut lo = 0;
+    while lo < n {
+        let mut run_len = count_run_and_make_ascending(s, lo, n);
+        if run_len < min_run {
+            let forced = min_run.min(n - lo);
+            binary_insertion_sort_range(s, lo, lo + forced, lo + run_len);
+            run_len = forced;
+        }
+        ts.runs.push(Run { base: lo, len: run_len });
+        ts.merge_collapse(s);
+        lo += run_len;
+    }
+    ts.merge_force_collapse(s);
+    debug_assert_eq!(ts.runs.len(), 1);
+}
+
+/// Unit-struct form of [`timsort`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimSort;
+
+impl SeriesSorter for TimSort {
+    fn name(&self) -> &'static str {
+        "Timsort"
+    }
+
+    fn sort_series<S: SeriesAccess>(&self, s: &mut S) {
+        timsort(s)
+    }
+}
+
+/// Computes the minimum run length for an array of length `n`: `n` itself
+/// if `n < MIN_MERGE`, else a value in `[MIN_MERGE/2, MIN_MERGE]` such that
+/// `n / min_run` is close to, but no more than, a power of two.
+fn min_run_length(mut n: usize) -> usize {
+    debug_assert!(n >= MIN_MERGE);
+    let mut r = 0;
+    while n >= MIN_MERGE {
+        r |= n & 1;
+        n >>= 1;
+    }
+    n + r
+}
+
+/// Finds the natural run starting at `lo`, reversing it if strictly
+/// descending (strictness preserves stability). Returns its length.
+fn count_run_and_make_ascending<S: SeriesAccess>(s: &mut S, lo: usize, hi: usize) -> usize {
+    debug_assert!(lo < hi);
+    let mut run_hi = lo + 1;
+    if run_hi == hi {
+        return 1;
+    }
+    if s.time(run_hi) < s.time(lo) {
+        // Strictly descending.
+        run_hi += 1;
+        while run_hi < hi && s.time(run_hi) < s.time(run_hi - 1) {
+            run_hi += 1;
+        }
+        reverse_range(s, lo, run_hi);
+    } else {
+        // Non-decreasing.
+        run_hi += 1;
+        while run_hi < hi && s.time(run_hi) >= s.time(run_hi - 1) {
+            run_hi += 1;
+        }
+    }
+    run_hi - lo
+}
+
+fn reverse_range<S: SeriesAccess>(s: &mut S, lo: usize, hi: usize) {
+    let (mut lo, mut hi) = (lo, hi - 1);
+    while lo < hi {
+        s.swap(lo, hi);
+        lo += 1;
+        hi -= 1;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Run {
+    base: usize,
+    len: usize,
+}
+
+struct TimState<V> {
+    runs: Vec<Run>,
+    scratch: Vec<(i64, V)>,
+    min_gallop: usize,
+}
+
+impl<V: Copy> TimState<V> {
+    fn new() -> Self {
+        Self {
+            runs: Vec::with_capacity(40),
+            scratch: Vec::new(),
+            min_gallop: MIN_GALLOP,
+        }
+    }
+
+    /// Restores the run-stack invariants
+    /// (`len[i-2] > len[i-1] + len[i]` and `len[i-1] > len[i]`), merging
+    /// until they hold. Uses the corrected (post-2015) rule that also
+    /// checks the antepenultimate run.
+    fn merge_collapse<S: SeriesAccess<Value = V>>(&mut self, s: &mut S) {
+        while self.runs.len() > 1 {
+            let n = self.runs.len() - 2;
+            let need_merge = (n >= 1 && self.runs[n - 1].len <= self.runs[n].len + self.runs[n + 1].len)
+                || (n >= 2 && self.runs[n - 2].len <= self.runs[n - 1].len + self.runs[n].len);
+            if need_merge {
+                if self.runs[n - 1].len < self.runs[n + 1].len {
+                    self.merge_at(s, n - 1);
+                } else {
+                    self.merge_at(s, n);
+                }
+            } else if self.runs[n].len <= self.runs[n + 1].len {
+                self.merge_at(s, n);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn merge_force_collapse<S: SeriesAccess<Value = V>>(&mut self, s: &mut S) {
+        while self.runs.len() > 1 {
+            let mut n = self.runs.len() - 2;
+            if n > 0 && self.runs[n - 1].len < self.runs[n + 1].len {
+                n -= 1;
+            }
+            self.merge_at(s, n);
+        }
+    }
+
+    /// Merges runs `i` and `i+1` on the stack.
+    fn merge_at<S: SeriesAccess<Value = V>>(&mut self, s: &mut S, i: usize) {
+        let run1 = self.runs[i];
+        let run2 = self.runs[i + 1];
+        debug_assert!(run1.base + run1.len == run2.base);
+
+        self.runs[i] = Run { base: run1.base, len: run1.len + run2.len };
+        self.runs.remove(i + 1);
+
+        // Skip elements of run1 already in place: find where run2's first
+        // element would land in run1.
+        let first2 = s.time(run2.base);
+        let k = gallop_right(first2, s, run1.base, run1.len, 0);
+        let base1 = run1.base + k;
+        let len1 = run1.len - k;
+        if len1 == 0 {
+            return;
+        }
+
+        // Skip elements of run2 already in place: find where run1's last
+        // element would land in run2.
+        let last1 = s.time(base1 + len1 - 1);
+        let len2 = gallop_left(last1, s, run2.base, run2.len, run2.len - 1);
+        if len2 == 0 {
+            return;
+        }
+
+        if len1 <= len2 {
+            self.merge_lo(s, base1, len1, run2.base, len2);
+        } else {
+            self.merge_hi(s, base1, len1, run2.base, len2);
+        }
+    }
+
+    /// Merges two adjacent sorted ranges where the first is the smaller:
+    /// copies run1 to scratch and merges forward. Precondition:
+    /// `time(base1) > time(base2)` and
+    /// `time(base1+len1-1) > time(base2+len2-1)` (guaranteed by the gallop
+    /// trims in `merge_at`).
+    fn merge_lo<S: SeriesAccess<Value = V>>(
+        &mut self,
+        s: &mut S,
+        base1: usize,
+        len1: usize,
+        base2: usize,
+        len2: usize,
+    ) {
+        self.scratch.clear();
+        self.scratch.extend((base1..base1 + len1).map(|i| s.get(i)));
+        let tmp = &self.scratch;
+
+        let mut c1 = 0; // cursor into scratch
+        let mut c2 = base2; // cursor into s
+        let mut dest = base1;
+        let end2 = base2 + len2;
+
+        // First element of run2 goes first (precondition).
+        let (t, v) = s.get(c2);
+        s.set(dest, t, v);
+        dest += 1;
+        c2 += 1;
+        if c2 == end2 {
+            for &(t, v) in &tmp[c1..] {
+                s.set(dest, t, v);
+                dest += 1;
+            }
+            return;
+        }
+        if len1 == 1 {
+            // Degenerate: move the remainder of run2, then the single elem.
+            while c2 < end2 {
+                let (t, v) = s.get(c2);
+                s.set(dest, t, v);
+                dest += 1;
+                c2 += 1;
+            }
+            let (t, v) = tmp[c1];
+            s.set(dest, t, v);
+            return;
+        }
+
+        let mut min_gallop = self.min_gallop;
+        'outer: loop {
+            let mut count1 = 0usize; // run1 wins in a row
+            let mut count2 = 0usize; // run2 wins in a row
+
+            // One-pair-at-a-time mode.
+            loop {
+                if s.time(c2) < tmp[c1].0 {
+                    let (t, v) = s.get(c2);
+                    s.set(dest, t, v);
+                    dest += 1;
+                    c2 += 1;
+                    count2 += 1;
+                    count1 = 0;
+                    if c2 == end2 {
+                        break 'outer;
+                    }
+                } else {
+                    let (t, v) = tmp[c1];
+                    s.set(dest, t, v);
+                    dest += 1;
+                    c1 += 1;
+                    count1 += 1;
+                    count2 = 0;
+                    if c1 == len1 - 1 {
+                        break 'outer;
+                    }
+                }
+                if count1 >= min_gallop || count2 >= min_gallop {
+                    break;
+                }
+            }
+
+            // Galloping mode.
+            loop {
+                let count1 = gallop_right_scratch(s.time(c2), tmp, c1, len1 - c1, 0);
+                if count1 != 0 {
+                    for &(t, v) in &tmp[c1..c1 + count1] {
+                        s.set(dest, t, v);
+                        dest += 1;
+                    }
+                    c1 += count1;
+                    if c1 >= len1 - 1 {
+                        break 'outer;
+                    }
+                }
+                let (t, v) = s.get(c2);
+                s.set(dest, t, v);
+                dest += 1;
+                c2 += 1;
+                if c2 == end2 {
+                    break 'outer;
+                }
+
+                let count2 = gallop_left(tmp[c1].0, s, c2, end2 - c2, 0);
+                if count2 != 0 {
+                    for k in 0..count2 {
+                        let (t, v) = s.get(c2 + k);
+                        s.set(dest + k, t, v);
+                    }
+                    dest += count2;
+                    c2 += count2;
+                    if c2 == end2 {
+                        break 'outer;
+                    }
+                }
+                let (t, v) = tmp[c1];
+                s.set(dest, t, v);
+                dest += 1;
+                c1 += 1;
+                if c1 == len1 - 1 {
+                    break 'outer;
+                }
+
+                if count1 < MIN_GALLOP && count2 < MIN_GALLOP {
+                    min_gallop += 1; // leave gallop mode, penalize
+                    break;
+                }
+                min_gallop = min_gallop.saturating_sub(1).max(1);
+            }
+        }
+        self.min_gallop = min_gallop.max(1);
+
+        // Drain remainders.
+        while c2 < end2 {
+            let (t, v) = s.get(c2);
+            s.set(dest, t, v);
+            dest += 1;
+            c2 += 1;
+        }
+        for &(t, v) in &tmp[c1..] {
+            s.set(dest, t, v);
+            dest += 1;
+        }
+    }
+
+    /// Mirror image of `merge_lo` for when run2 is the smaller: copies run2
+    /// to scratch and merges backward from the top.
+    fn merge_hi<S: SeriesAccess<Value = V>>(
+        &mut self,
+        s: &mut S,
+        base1: usize,
+        len1: usize,
+        base2: usize,
+        len2: usize,
+    ) {
+        self.scratch.clear();
+        self.scratch.extend((base2..base2 + len2).map(|i| s.get(i)));
+        let tmp = &self.scratch;
+
+        let mut c1 = base1 + len1; // one past cursor into s (run1)
+        let mut c2 = len2; // one past cursor into scratch
+        let mut dest = base2 + len2; // one past write position
+
+        // Last element of run1 goes last (precondition).
+        c1 -= 1;
+        dest -= 1;
+        let (t, v) = s.get(c1);
+        s.set(dest, t, v);
+        if c1 == base1 {
+            for k in (0..c2).rev() {
+                dest -= 1;
+                let (t, v) = tmp[k];
+                s.set(dest, t, v);
+            }
+            return;
+        }
+        if len2 == 1 {
+            // Degenerate: shift the rest of run1 up, then place the elem.
+            while c1 > base1 {
+                c1 -= 1;
+                dest -= 1;
+                let (t, v) = s.get(c1);
+                s.set(dest, t, v);
+            }
+            dest -= 1;
+            let (t, v) = tmp[0];
+            s.set(dest, t, v);
+            return;
+        }
+
+        let mut min_gallop = self.min_gallop;
+        'outer: loop {
+            let mut count1 = 0usize;
+            let mut count2 = 0usize;
+
+            loop {
+                if tmp[c2 - 1].0 < s.time(c1 - 1) {
+                    c1 -= 1;
+                    dest -= 1;
+                    let (t, v) = s.get(c1);
+                    s.set(dest, t, v);
+                    count1 += 1;
+                    count2 = 0;
+                    if c1 == base1 {
+                        break 'outer;
+                    }
+                } else {
+                    c2 -= 1;
+                    dest -= 1;
+                    let (t, v) = tmp[c2];
+                    s.set(dest, t, v);
+                    count2 += 1;
+                    count1 = 0;
+                    if c2 == 1 {
+                        break 'outer;
+                    }
+                }
+                if count1 >= min_gallop || count2 >= min_gallop {
+                    break;
+                }
+            }
+
+            loop {
+                let remaining1 = c1 - base1;
+                let k = gallop_right(tmp[c2 - 1].0, s, base1, remaining1, remaining1 - 1);
+                let count1 = remaining1 - k;
+                if count1 != 0 {
+                    for step in 0..count1 {
+                        let (t, v) = s.get(c1 - 1 - step);
+                        s.set(dest - 1 - step, t, v);
+                    }
+                    dest -= count1;
+                    c1 -= count1;
+                    if c1 == base1 {
+                        break 'outer;
+                    }
+                }
+                c2 -= 1;
+                dest -= 1;
+                let (t, v) = tmp[c2];
+                s.set(dest, t, v);
+                if c2 == 1 {
+                    break 'outer;
+                }
+
+                let k2 = gallop_left_scratch(s.time(c1 - 1), tmp, 0, c2, c2 - 1);
+                let count2 = c2 - k2;
+                if count2 != 0 {
+                    for _ in 0..count2 {
+                        c2 -= 1;
+                        dest -= 1;
+                        let (t, v) = tmp[c2];
+                        s.set(dest, t, v);
+                    }
+                    if c2 <= 1 {
+                        break 'outer;
+                    }
+                }
+                c1 -= 1;
+                dest -= 1;
+                let (t, v) = s.get(c1);
+                s.set(dest, t, v);
+                if c1 == base1 {
+                    break 'outer;
+                }
+
+                if count1 < MIN_GALLOP && count2 < MIN_GALLOP {
+                    min_gallop += 1;
+                    break;
+                }
+                min_gallop = min_gallop.saturating_sub(1).max(1);
+            }
+        }
+        self.min_gallop = min_gallop.max(1);
+
+        // Drain remainders.
+        while c1 > base1 {
+            c1 -= 1;
+            dest -= 1;
+            let (t, v) = s.get(c1);
+            s.set(dest, t, v);
+        }
+        for k in (0..c2).rev() {
+            dest -= 1;
+            let (t, v) = tmp[k];
+            s.set(dest, t, v);
+        }
+    }
+}
+
+/// Locates the position in the sorted range `s[base..base+len)` where
+/// `key` would be inserted, *left* of any equal elements. `hint` is an
+/// index into the range to start galloping from.
+fn gallop_left<S: SeriesAccess>(key: i64, s: &S, base: usize, len: usize, hint: usize) -> usize {
+    gallop(key, len, hint, true, |i| s.time(base + i))
+}
+
+/// As [`gallop_left`] but lands *right* of any equal elements.
+fn gallop_right<S: SeriesAccess>(key: i64, s: &S, base: usize, len: usize, hint: usize) -> usize {
+    gallop(key, len, hint, false, |i| s.time(base + i))
+}
+
+fn gallop_left_scratch<V>(key: i64, tmp: &[(i64, V)], base: usize, len: usize, hint: usize) -> usize {
+    gallop(key, len, hint, true, |i| tmp[base + i].0)
+}
+
+fn gallop_right_scratch<V>(key: i64, tmp: &[(i64, V)], base: usize, len: usize, hint: usize) -> usize {
+    gallop(key, len, hint, false, |i| tmp[base + i].0)
+}
+
+/// Exponential search out from `hint`, then binary search within the
+/// bracketed range. When `left_bias` is true, returns the leftmost
+/// insertion point for `key`; otherwise the rightmost.
+///
+/// `after(t)` — "key belongs after an element with timestamp `t`" — is
+/// monotone true→false over the sorted range, so the answer is its
+/// partition point; the gallop brackets it in `O(log distance-from-hint)`.
+fn gallop(key: i64, len: usize, hint: usize, left_bias: bool, at: impl Fn(usize) -> i64) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    debug_assert!(hint < len);
+    let after = |t: i64| if left_bias { t < key } else { t <= key };
+
+    let (lo, hi): (usize, usize);
+    if after(at(hint)) {
+        // Partition point is right of hint.
+        let mut l = hint + 1;
+        let mut ofs = 1usize;
+        while hint + ofs < len && after(at(hint + ofs)) {
+            l = hint + ofs + 1;
+            ofs = ofs.saturating_mul(2);
+        }
+        lo = l;
+        hi = (hint + ofs).min(len);
+    } else {
+        // Partition point is at or left of hint.
+        let mut h = hint;
+        let mut ofs = 1usize;
+        while ofs <= hint && !after(at(hint - ofs)) {
+            h = hint - ofs;
+            ofs = ofs.saturating_mul(2);
+        }
+        hi = h;
+        lo = if ofs > hint { 0 } else { hint - ofs + 1 };
+    }
+    binary(lo, hi, &after, &at)
+}
+
+/// Binary search for the partition point of `after` in `[lo, hi]`;
+/// precondition: every index `< lo` satisfies `after` and every index
+/// `>= hi` does not.
+fn binary(mut lo: usize, mut hi: usize, after: &impl Fn(i64) -> bool, at: &impl Fn(usize) -> i64) -> usize {
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if after(at(mid)) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{check_all, check_sort};
+    use backsort_tvlist::{SliceSeries, TVList};
+
+    #[test]
+    fn timsort_all_fixtures() {
+        check_all(|s| timsort(s));
+    }
+
+    #[test]
+    fn min_run_length_in_range() {
+        for n in [32usize, 33, 64, 127, 1024, 100_000, (1 << 20) - 3] {
+            let mr = min_run_length(n);
+            assert!((MIN_MERGE / 2..=MIN_MERGE).contains(&mr), "n={n} mr={mr}");
+        }
+    }
+
+    #[test]
+    fn descending_run_is_reversed_stably() {
+        // Strictly descending block, then ascending tail.
+        let input: Vec<(i64, i32)> =
+            vec![(5, 0), (4, 1), (3, 2), (2, 3), (1, 4), (6, 5), (7, 6)];
+        check_sort(&input, |s| timsort(s));
+    }
+
+    #[test]
+    fn stability_on_many_duplicates() {
+        // Two timestamps; values record arrival order.
+        let mut input = Vec::new();
+        for i in 0..200 {
+            input.push((if i % 3 == 0 { 1i64 } else { 2 }, i));
+        }
+        let mut data = input.clone();
+        {
+            let mut s = SliceSeries::new(&mut data);
+            timsort(&mut s);
+        }
+        let ones: Vec<i32> = data.iter().filter(|p| p.0 == 1).map(|p| p.1).collect();
+        let twos: Vec<i32> = data.iter().filter(|p| p.0 == 2).map(|p| p.1).collect();
+        assert!(ones.windows(2).all(|w| w[0] < w[1]), "stability violated for t=1");
+        assert!(twos.windows(2).all(|w| w[0] < w[1]), "stability violated for t=2");
+    }
+
+    #[test]
+    fn galloping_kicks_in_on_block_swapped_input() {
+        // Two long sorted halves forces long winning streaks.
+        let mut input: Vec<(i64, i32)> = Vec::new();
+        for i in 0..5000 {
+            input.push((5000 + i as i64, i));
+        }
+        for i in 0..5000 {
+            input.push((i as i64, 5000 + i));
+        }
+        check_sort(&input, |s| timsort(s));
+    }
+
+    #[test]
+    fn large_random_tvlist() {
+        let mut list = TVList::<i32>::new();
+        let mut x = 0xDEADBEEFu64;
+        for i in 0..50_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            list.push((x % 1_000_000) as i64, i);
+        }
+        timsort(&mut list);
+        assert!(backsort_tvlist::is_time_sorted(&list));
+    }
+
+    #[test]
+    fn gallop_left_right_agree_with_partition_point() {
+        let times: Vec<(i64, ())> = [1i64, 3, 3, 3, 5, 8, 8, 13].iter().map(|&t| (t, ())).collect();
+        for key in 0..15 {
+            for hint in 0..times.len() {
+                let gl = gallop_left_scratch(key, &times, 0, times.len(), hint);
+                let gr = gallop_right_scratch(key, &times, 0, times.len(), hint);
+                let wl = times.iter().position(|p| p.0 >= key).unwrap_or(times.len());
+                let wr = times.iter().position(|p| p.0 > key).unwrap_or(times.len());
+                assert_eq!(gl, wl, "gallop_left key={key} hint={hint}");
+                assert_eq!(gr, wr, "gallop_right key={key} hint={hint}");
+            }
+        }
+    }
+}

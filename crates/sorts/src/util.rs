@@ -1,0 +1,67 @@
+//! Shared helpers: pair extraction/write-back and the `std` oracle sort.
+
+use backsort_tvlist::SeriesAccess;
+
+use crate::SeriesSorter;
+
+/// Copies a series out into a vector of `(timestamp, value)` pairs.
+pub fn collect_pairs<S: SeriesAccess>(s: &S) -> Vec<(i64, S::Value)> {
+    (0..s.len()).map(|i| s.get(i)).collect()
+}
+
+/// Writes pairs back into a series starting at `lo`.
+///
+/// # Panics
+/// Panics if the pairs do not fit.
+pub fn write_back<S: SeriesAccess>(s: &mut S, lo: usize, pairs: &[(i64, S::Value)]) {
+    for (k, &(t, v)) in pairs.iter().enumerate() {
+        s.set(lo + k, t, v);
+    }
+}
+
+/// Sorts by extracting all pairs, running `std`'s stable sort, and writing
+/// back.
+///
+/// Not a contender in the paper; used as the differential-testing oracle
+/// and as a sanity reference in benches.
+pub fn std_sort<S: SeriesAccess>(s: &mut S) {
+    let mut pairs = collect_pairs(s);
+    pairs.sort_by_key(|p| p.0);
+    write_back(s, 0, &pairs);
+}
+
+/// Unit-struct form of [`std_sort`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdSort;
+
+impl SeriesSorter for StdSort {
+    fn name(&self) -> &'static str {
+        "StdSort"
+    }
+
+    fn sort_series<S: SeriesAccess>(&self, s: &mut S) {
+        std_sort(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_all;
+    use backsort_tvlist::SliceSeries;
+
+    #[test]
+    fn std_sort_all_fixtures() {
+        check_all(|s| std_sort(s));
+    }
+
+    #[test]
+    fn collect_and_write_back_roundtrip() {
+        let mut data = vec![(3i64, 0i32), (1, 1), (2, 2)];
+        let mut s = SliceSeries::new(&mut data);
+        let pairs = collect_pairs(&s);
+        assert_eq!(pairs, vec![(3, 0), (1, 1), (2, 2)]);
+        write_back(&mut s, 0, &[(9, 9), (8, 8), (7, 7)]);
+        assert_eq!(s.as_slice(), &[(9, 9), (8, 8), (7, 7)]);
+    }
+}

@@ -1,0 +1,146 @@
+//! YSort — Wainwright's quicksort variation (CACM 1985; paper [12]).
+//!
+//! Each partitioning pass additionally locates the sublist's minimum and
+//! maximum and pins them to its left and right ends, so recursion shrinks
+//! faster ("it requires fewer partitioning steps"). The same pass notices
+//! sublists that are already sorted and skips them — which is why the
+//! paper observes YSort "performs well when the degree of out-of-order is
+//! small" but degrades when disorder is large (the extra scans stop
+//! paying for themselves, §VI-C1).
+
+use backsort_tvlist::SeriesAccess;
+
+use crate::{insertion_sort_range, SeriesSorter};
+
+const INSERTION_CUTOFF: usize = 24;
+
+/// Sorts the whole series with YSort.
+pub fn ysort<S: SeriesAccess>(s: &mut S) {
+    ysort_range(s, 0, s.len());
+}
+
+/// Sorts `s[lo..hi)` with YSort.
+pub fn ysort_range<S: SeriesAccess>(s: &mut S, lo: usize, hi: usize) {
+    debug_assert!(lo <= hi && hi <= s.len());
+    let mut stack: Vec<(usize, usize)> = vec![(lo, hi)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi - lo <= INSERTION_CUTOFF {
+            insertion_sort_range(s, lo, hi);
+            continue;
+        }
+
+        // One pass: min index, max index, and a sortedness check.
+        let mut min_i = lo;
+        let mut max_i = lo;
+        let mut sorted = true;
+        let mut prev = s.time(lo);
+        let mut min_t = prev;
+        let mut max_t = prev;
+        for i in (lo + 1)..hi {
+            let t = s.time(i);
+            if t < prev {
+                sorted = false;
+            }
+            prev = t;
+            if t < min_t {
+                min_t = t;
+                min_i = i;
+            }
+            if t > max_t {
+                max_t = t;
+                max_i = i;
+            }
+        }
+        if sorted {
+            continue;
+        }
+
+        // Pin min to the left end and max to the right end, taking care
+        // when the two targets collide.
+        s.swap(min_i, lo);
+        let max_i = if max_i == lo { min_i } else { max_i };
+        s.swap(max_i, hi - 1);
+
+        // Partition the interior around the middle element.
+        let (ilo, ihi) = (lo + 1, hi - 1);
+        if ihi - ilo <= 1 {
+            continue;
+        }
+        let split = partition_mid(s, ilo, ihi);
+        stack.push((ilo, split));
+        stack.push((split, ihi));
+    }
+}
+
+/// Hoare partition of `s[lo..hi)` around the middle element; both sides
+/// non-empty.
+fn partition_mid<S: SeriesAccess>(s: &mut S, lo: usize, hi: usize) -> usize {
+    let pivot = s.time(lo + (hi - lo) / 2);
+    let mut i = lo;
+    let mut j = hi - 1;
+    loop {
+        while s.time(i) < pivot {
+            i += 1;
+        }
+        while s.time(j) > pivot {
+            j -= 1;
+        }
+        if i >= j {
+            return (j + 1).clamp(lo + 1, hi - 1);
+        }
+        s.swap(i, j);
+        i += 1;
+        j -= 1;
+    }
+}
+
+/// Unit-struct form of [`ysort`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct YSort;
+
+impl SeriesSorter for YSort {
+    fn name(&self) -> &'static str {
+        "YSort"
+    }
+
+    fn sort_series<S: SeriesAccess>(&self, s: &mut S) {
+        ysort(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_all;
+    use backsort_tvlist::{Instrumented, SliceSeries};
+
+    #[test]
+    fn ysort_all_fixtures() {
+        check_all(|s| ysort(s));
+    }
+
+    #[test]
+    fn sorted_input_above_cutoff_makes_no_writes() {
+        let mut data: Vec<(i64, i32)> = (0..200).map(|i| (i as i64, i)).collect();
+        let mut s = Instrumented::new(SliceSeries::new(&mut data));
+        ysort(&mut s);
+        assert_eq!(s.stats().writes, 0, "sortedness check should short-circuit");
+    }
+
+    #[test]
+    fn min_max_collision_cases() {
+        // max at position lo (so pinning min first moves it).
+        let mut data: Vec<(i64, i32)> = (0..100).map(|i| (100 - i as i64, i)).collect();
+        let mut s = SliceSeries::new(&mut data);
+        ysort(&mut s);
+        assert!(backsort_tvlist::is_time_sorted(&s));
+    }
+
+    #[test]
+    fn all_equal_terminates() {
+        let mut data: Vec<(i64, i32)> = (0..500).map(|i| (7, i)).collect();
+        let mut s = SliceSeries::new(&mut data);
+        ysort(&mut s);
+        assert!(backsort_tvlist::is_time_sorted(&s));
+    }
+}

@@ -1,0 +1,139 @@
+//! Work-complexity invariants, checked through the instrumented series:
+//! the adaptive claims the paper leans on are properties of the
+//! *operation counts*, not wall time, so they are testable exactly.
+
+use backsort_sorts::{insertion_sort, quicksort, timsort};
+use backsort_tvlist::{Instrumented, SliceSeries};
+use proptest::prelude::*;
+
+fn inversions(times: &[i64]) -> u64 {
+    let mut inv = 0u64;
+    for i in 0..times.len() {
+        for j in i + 1..times.len() {
+            if times[i] > times[j] {
+                inv += 1;
+            }
+        }
+    }
+    inv
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Straight insertion sort's writes decompose exactly: every shift
+    /// removes one inversion, plus one final placement per displaced
+    /// element. This is the `O(n + Inv)` adaptivity the paper cites
+    /// (§III-A2, Estivill-Castro & Wood).
+    #[test]
+    fn insertion_writes_equal_inversions_plus_displacements(
+        times in prop::collection::vec(-50i64..50, 0..120),
+    ) {
+        let inv = inversions(&times);
+        let mut data: Vec<(i64, i32)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i as i32)).collect();
+        // An element gets re-placed iff something generated before it is
+        // greater (then insertion must move it left); each shift along
+        // the way removes exactly one inversion.
+        let displaced = (0..times.len())
+            .filter(|&i| times[..i].iter().any(|&t| t > times[i]))
+            .count() as u64;
+        let mut s = Instrumented::new(SliceSeries::new(&mut data));
+        insertion_sort(&mut s);
+        prop_assert_eq!(s.stats().writes, inv + displaced);
+    }
+
+    /// Timsort's comparison count stays within c·n·log2(n) + c·n for a
+    /// generous constant — the guardrail that the run-stack invariants
+    /// have not regressed into quadratic merging.
+    #[test]
+    fn timsort_comparisons_are_n_log_n(
+        times in prop::collection::vec(any::<i64>(), 2..800),
+    ) {
+        let n = times.len() as f64;
+        let mut data: Vec<(i64, i32)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i as i32)).collect();
+        let mut s = Instrumented::new(SliceSeries::new(&mut data));
+        timsort(&mut s);
+        let bound = (4.0 * n * n.log2() + 32.0 * n) as u64;
+        prop_assert!(
+            s.stats().time_reads <= bound,
+            "reads {} > bound {bound} at n {n}",
+            s.stats().time_reads
+        );
+    }
+
+    /// On already-sorted input, Timsort reads each timestamp O(1) times
+    /// (single run detection) and writes nothing.
+    #[test]
+    fn timsort_is_linear_on_sorted_input(n in 2usize..2_000) {
+        let mut data: Vec<(i64, i32)> = (0..n).map(|i| (i as i64, i as i32)).collect();
+        let mut s = Instrumented::new(SliceSeries::new(&mut data));
+        timsort(&mut s);
+        let stats = s.stats();
+        prop_assert_eq!(stats.writes, 0);
+        prop_assert!(stats.time_reads <= 4 * n as u64 + 8);
+    }
+
+    /// Quicksort's swap count never exceeds its comparison count, and the
+    /// result is always sorted — basic sanity for the partition loop.
+    #[test]
+    fn quicksort_swaps_bounded_by_comparisons(
+        times in prop::collection::vec(-1000i64..1000, 2..500),
+    ) {
+        let mut data: Vec<(i64, i32)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i as i32)).collect();
+        let mut s = Instrumented::new(SliceSeries::new(&mut data));
+        quicksort(&mut s);
+        let stats = s.stats();
+        prop_assert!(stats.swaps <= stats.time_reads);
+        prop_assert!(backsort_tvlist::is_time_sorted(s.inner()));
+    }
+}
+
+/// Backward-Sort on delay-only data does asymptotically less work than
+/// quicksort as n grows: the gap must widen, not shrink.
+#[test]
+fn backward_gap_over_quicksort_grows_with_n() {
+    use backsort_core::BackwardSort;
+    use backsort_sorts::SeriesSorter;
+
+    let make = |n: usize| -> Vec<(i64, i32)> {
+        let mut x = 5u64;
+        let mut arrivals: Vec<(i64, i64)> = (0..n as i64)
+            .map(|g| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (g + (x % 6) as i64, g)
+            })
+            .collect();
+        arrivals.sort_by_key(|a| a.0);
+        arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(i, (_, g))| (g, i as i32))
+            .collect()
+    };
+    let work = |pairs: &[(i64, i32)], backward: bool| -> u64 {
+        let mut data = pairs.to_vec();
+        let mut s = Instrumented::new(SliceSeries::new(&mut data));
+        if backward {
+            BackwardSort::default().sort_series(&mut s);
+        } else {
+            quicksort(&mut s);
+        }
+        s.stats().time_reads + s.stats().writes
+    };
+    let mut prev_ratio = 0.0;
+    for n in [4_000usize, 16_000, 64_000] {
+        let pairs = make(n);
+        let ratio = work(&pairs, false) as f64 / work(&pairs, true) as f64;
+        assert!(ratio > 1.0, "n={n}: backward must do less work (ratio {ratio:.2})");
+        assert!(
+            ratio >= prev_ratio * 0.9,
+            "n={n}: advantage should not collapse ({ratio:.2} after {prev_ratio:.2})"
+        );
+        prev_ratio = ratio;
+    }
+}

@@ -1,0 +1,145 @@
+//! Differential property tests: every algorithm must agree with `std`'s
+//! sort on arbitrary inputs, on delay-only inputs, and on TVLists with odd
+//! chunk sizes. Stable algorithms must additionally match `std`'s *stable*
+//! order on values.
+
+use backsort_tvlist::{SeriesAccess, SliceSeries, TVList};
+use backsort_sorts::{BaselineSorter, SeriesSorter};
+use proptest::prelude::*;
+
+fn sorted_times(mut pairs: Vec<(i64, u32)>) -> Vec<i64> {
+    pairs.sort_by_key(|p| p.0);
+    pairs.into_iter().map(|p| p.0).collect()
+}
+
+/// Delay-only input: increasing generation timestamps reordered by
+/// bounded per-point delays (the paper's arrival model).
+fn delay_only_input(delays: Vec<u8>) -> Vec<(i64, u32)> {
+    let mut arrivals: Vec<(i64, i64)> = delays
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (i as i64 + d as i64, i as i64))
+        .collect();
+    arrivals.sort_by_key(|a| a.0);
+    arrivals
+        .into_iter()
+        .enumerate()
+        .map(|(idx, (_, g))| (g, idx as u32))
+        .collect()
+}
+
+fn check_one(sorter: BaselineSorter, input: &[(i64, u32)]) {
+    // Slice path.
+    let mut data = input.to_vec();
+    {
+        let mut s = SliceSeries::new(&mut data);
+        sorter.sort_series(&mut s);
+    }
+    let got: Vec<i64> = data.iter().map(|p| p.0).collect();
+    assert_eq!(got, sorted_times(input.to_vec()), "{} times", sorter.name());
+    let mut got_pairs = data.clone();
+    let mut want_pairs = input.to_vec();
+    got_pairs.sort_unstable();
+    want_pairs.sort_unstable();
+    assert_eq!(got_pairs, want_pairs, "{} permutation", sorter.name());
+}
+
+fn check_tvlist(sorter: BaselineSorter, input: &[(i64, u32)], array_size: usize) {
+    let mut list = TVList::<u32>::with_array_size(array_size);
+    for &(t, v) in input {
+        list.push(t, v);
+    }
+    sorter.sort_series(&mut list);
+    let got: Vec<i64> = (0..list.len()).map(|i| list.time(i)).collect();
+    assert_eq!(got, sorted_times(input.to_vec()), "{} on TVList", sorter.name());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_algorithms_sort_arbitrary_input(
+        times in prop::collection::vec(-1000i64..1000, 0..300),
+    ) {
+        let input: Vec<(i64, u32)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i as u32)).collect();
+        for sorter in BaselineSorter::ALL {
+            check_one(sorter, &input);
+        }
+    }
+
+    #[test]
+    fn all_algorithms_sort_delay_only_input(
+        delays in prop::collection::vec(0u8..20, 1..400),
+    ) {
+        let input = delay_only_input(delays);
+        for sorter in BaselineSorter::ALL {
+            check_one(sorter, &input);
+        }
+    }
+
+    #[test]
+    fn all_algorithms_sort_tvlists(
+        times in prop::collection::vec(-500i64..500, 0..200),
+        array_size in 1usize..48,
+    ) {
+        let input: Vec<(i64, u32)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i as u32)).collect();
+        for sorter in BaselineSorter::ALL {
+            check_tvlist(sorter, &input, array_size);
+        }
+    }
+
+    #[test]
+    fn stable_algorithms_preserve_arrival_order(
+        times in prop::collection::vec(0i64..20, 0..300),
+    ) {
+        // Few distinct timestamps force heavy duplication.
+        let input: Vec<(i64, u32)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i as u32)).collect();
+        let mut expected = input.clone();
+        expected.sort_by_key(|p| p.0); // std stable sort
+        for sorter in [
+            BaselineSorter::Insertion,
+            BaselineSorter::Tim,
+            BaselineSorter::Std,
+        ] {
+            let mut data = input.clone();
+            {
+                let mut s = SliceSeries::new(&mut data);
+                sorter.sort_series(&mut s);
+            }
+            prop_assert_eq!(&data, &expected, "{} must be stable", sorter.name());
+        }
+    }
+}
+
+#[test]
+fn adversarial_patterns_all_algorithms() {
+    let n = 2048usize;
+    let patterns: Vec<(&str, Vec<i64>)> = vec![
+        ("sorted", (0..n as i64).collect()),
+        ("reverse", (0..n as i64).rev().collect()),
+        ("sawtooth", (0..n).map(|i| (i % 37) as i64).collect()),
+        ("organ", (0..n).map(|i| i.min(n - i) as i64).collect()),
+        ("constant", vec![42; n]),
+        ("two-values", (0..n).map(|i| (i % 2) as i64).collect()),
+        (
+            "runs-of-64",
+            (0..n).map(|i| ((i / 64) * 1000 + (63 - i % 64)) as i64).collect(),
+        ),
+    ];
+    for (name, times) in patterns {
+        let input: Vec<(i64, u32)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i as u32)).collect();
+        for sorter in BaselineSorter::ALL {
+            let mut data = input.clone();
+            {
+                let mut s = SliceSeries::new(&mut data);
+                sorter.sort_series(&mut s);
+            }
+            let got: Vec<i64> = data.iter().map(|p| p.0).collect();
+            assert_eq!(got, sorted_times(input.clone()), "{} on {name}", sorter.name());
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Statement execution against a [`StorageEngine`].
+
+use std::collections::BTreeMap;
+
+use backsort_engine::{AggValue, Aggregation, SeriesKey, StorageEngine, TsValue};
+
+use crate::parser::{Aggregate, GroupBy, Literal, SelectItem, Statement, TimeRange};
+use crate::SqlError;
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum QueryOutput {
+    /// Raw rows, aligned by timestamp across the selected sensors
+    /// (`None` where a sensor has no point at that time) — IoTDB's
+    /// aligned result set.
+    Rows {
+        /// Column names, in select order.
+        columns: Vec<String>,
+        /// `(timestamp, one optional value per column)`.
+        rows: Vec<(i64, Vec<Option<TsValue>>)>,
+    },
+    /// One aggregate value per select item.
+    Aggregates {
+        /// `agg(column)` labels.
+        columns: Vec<String>,
+        /// The computed values.
+        values: Vec<AggValue>,
+    },
+    /// Per-bucket aggregates from a `GROUP BY` window.
+    Grouped {
+        /// `agg(column)` labels.
+        columns: Vec<String>,
+        /// `(bucket start, one value per label)`.
+        buckets: Vec<(i64, Vec<AggValue>)>,
+    },
+    /// Points written by an `INSERT`.
+    Inserted(usize),
+    /// In-memory points removed by a `DELETE` (flushed data is masked by
+    /// a tombstone; see the engine's delete docs).
+    Deleted(usize),
+}
+
+fn agg_label(agg: Aggregate, column: &str) -> String {
+    let name = match agg {
+        Aggregate::Count => "count",
+        Aggregate::MinValue => "min_value",
+        Aggregate::MaxValue => "max_value",
+        Aggregate::Avg => "avg",
+        Aggregate::Sum => "sum",
+        Aggregate::FirstValue => "first_value",
+        Aggregate::LastValue => "last_value",
+        Aggregate::MinTime => "min_time",
+        Aggregate::MaxTime => "max_time",
+    };
+    format!("{name}({column})")
+}
+
+fn to_aggregation(agg: Aggregate) -> Aggregation {
+    match agg {
+        Aggregate::Count => Aggregation::Count,
+        Aggregate::MinValue => Aggregation::MinValue,
+        Aggregate::MaxValue => Aggregation::MaxValue,
+        Aggregate::Avg => Aggregation::Avg,
+        Aggregate::Sum => Aggregation::Sum,
+        Aggregate::FirstValue => Aggregation::FirstValue,
+        Aggregate::LastValue => Aggregation::LastValue,
+        Aggregate::MinTime => Aggregation::MinTime,
+        Aggregate::MaxTime => Aggregation::MaxTime,
+    }
+}
+
+/// Parses and executes `sql` against `engine`.
+pub fn execute(engine: &StorageEngine, sql: &str) -> Result<QueryOutput, SqlError> {
+    let statement = crate::parser::parse(sql)?;
+    execute_statement(engine, &statement)
+}
+
+/// Executes an already-parsed statement.
+pub fn execute_statement(
+    engine: &StorageEngine,
+    statement: &Statement,
+) -> Result<QueryOutput, SqlError> {
+    match statement {
+        Statement::Select { items, device, range, group_by } => {
+            select(engine, items, device, *range, *group_by)
+        }
+        Statement::Insert { device, sensors, timestamp, values } => {
+            for (sensor, value) in sensors.iter().zip(values) {
+                let key = SeriesKey::new(device.clone(), sensor.clone());
+                let v = match value {
+                    Literal::Int(x) => TsValue::Long(*x),
+                    Literal::Float(x) => TsValue::Double(*x),
+                    Literal::Str(s) => TsValue::Text(s.clone()),
+                    Literal::Bool(b) => TsValue::Bool(*b),
+                };
+                engine.write(&key, *timestamp, v);
+            }
+            Ok(QueryOutput::Inserted(sensors.len()))
+        }
+        Statement::Delete { device, sensor, range } => {
+            let key = SeriesKey::new(device.clone(), sensor.clone());
+            let removed = engine.delete_range(&key, range.lo, range.hi);
+            Ok(QueryOutput::Deleted(removed))
+        }
+    }
+}
+
+fn select(
+    engine: &StorageEngine,
+    items: &[SelectItem],
+    device: &str,
+    range: TimeRange,
+    group_by: Option<GroupBy>,
+) -> Result<QueryOutput, SqlError> {
+    // Expand `*` into the device's sensors.
+    let mut expanded: Vec<SelectItem> = Vec::new();
+    for item in items {
+        match item {
+            SelectItem::Star => {
+                let sensors = engine.list_sensors(device);
+                if sensors.is_empty() {
+                    return Err(SqlError::new(format!("no sensors under {device}")));
+                }
+                expanded.extend(sensors.into_iter().map(|k| SelectItem::Column(k.sensor)));
+            }
+            other => expanded.push(other.clone()),
+        }
+    }
+
+    let any_agg = expanded.iter().any(|i| matches!(i, SelectItem::Agg(..)));
+    let any_raw = expanded.iter().any(|i| matches!(i, SelectItem::Column(_)));
+    if any_agg && any_raw {
+        return Err(SqlError::new(
+            "cannot mix raw columns and aggregates in one select list",
+        ));
+    }
+    if group_by.is_some() && !any_agg {
+        return Err(SqlError::new("GROUP BY requires aggregate select items"));
+    }
+
+    if let Some(g) = group_by {
+        let mut columns = Vec::new();
+        let mut series: Vec<Vec<(i64, AggValue)>> = Vec::new();
+        for item in &expanded {
+            let SelectItem::Agg(agg, column) = item else {
+                unreachable!("checked above");
+            };
+            let key = SeriesKey::new(device, column.clone());
+            columns.push(agg_label(*agg, column));
+            series.push(engine.group_by_time(&key, g.start, g.end, g.step, to_aggregation(*agg)));
+        }
+        let bucket_count = series.first().map_or(0, Vec::len);
+        let buckets = (0..bucket_count)
+            .map(|b| {
+                let start = series[0][b].0;
+                let values = series.iter().map(|s| s[b].1).collect();
+                (start, values)
+            })
+            .collect();
+        return Ok(QueryOutput::Grouped { columns, buckets });
+    }
+
+    if any_agg {
+        let mut columns = Vec::new();
+        let mut values = Vec::new();
+        for item in &expanded {
+            let SelectItem::Agg(agg, column) = item else {
+                unreachable!("checked above");
+            };
+            let key = SeriesKey::new(device, column.clone());
+            columns.push(agg_label(*agg, column));
+            values.push(engine.aggregate(&key, range.lo, range.hi, to_aggregation(*agg)));
+        }
+        return Ok(QueryOutput::Aggregates { columns, values });
+    }
+
+    // Raw rows: query each sensor, align by timestamp.
+    let mut columns = Vec::new();
+    let mut by_time: BTreeMap<i64, Vec<Option<TsValue>>> = BTreeMap::new();
+    let width = expanded.len();
+    for (idx, item) in expanded.iter().enumerate() {
+        let SelectItem::Column(column) = item else {
+            unreachable!("checked above");
+        };
+        columns.push(column.clone());
+        let key = SeriesKey::new(device, column.clone());
+        for (t, v) in engine.query(&key, range.lo, range.hi) {
+            by_time.entry(t).or_insert_with(|| vec![None; width])[idx] = Some(v);
+        }
+    }
+    Ok(QueryOutput::Rows {
+        columns,
+        rows: by_time.into_iter().collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backsort_core::Algorithm;
+    use backsort_engine::EngineConfig;
+
+    fn engine() -> StorageEngine {
+        StorageEngine::new(EngineConfig {
+            memtable_max_points: 10_000,
+            array_size: 16,
+            sorter: Algorithm::Backward(Default::default()),
+        })
+    }
+
+    #[test]
+    fn insert_then_select_roundtrip() {
+        let eng = engine();
+        for t in [3i64, 1, 2] {
+            let sql = format!(
+                "INSERT INTO root.sg.d1(timestamp, speed, label) VALUES ({t}, {}.5, 'L{t}')",
+                t * 10
+            );
+            assert_eq!(execute(&eng, &sql).unwrap(), QueryOutput::Inserted(2));
+        }
+        let out = execute(&eng, "SELECT speed, label FROM root.sg.d1 WHERE time >= 1 AND time <= 3")
+            .unwrap();
+        match out {
+            QueryOutput::Rows { columns, rows } => {
+                assert_eq!(columns, vec!["speed", "label"]);
+                assert_eq!(rows.len(), 3);
+                assert_eq!(rows[0].0, 1);
+                assert_eq!(rows[0].1[0], Some(TsValue::Double(10.5)));
+                assert_eq!(rows[0].1[1], Some(TsValue::Text("L1".into())));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn star_expands_to_all_sensors() {
+        let eng = engine();
+        execute(&eng, "INSERT INTO root.sg.d1(timestamp, a, b) VALUES (1, 1, 2)").unwrap();
+        execute(&eng, "INSERT INTO root.sg.d1(timestamp, b) VALUES (2, 4)").unwrap();
+        let out = execute(&eng, "SELECT * FROM root.sg.d1").unwrap();
+        match out {
+            QueryOutput::Rows { columns, rows } => {
+                assert_eq!(columns, vec!["a", "b"]);
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[1].1[0], None, "sensor a has no point at t=2");
+                assert_eq!(rows[1].1[1], Some(TsValue::Long(4)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let eng = engine();
+        for t in 0..100i64 {
+            execute(
+                &eng,
+                &format!("INSERT INTO root.sg.d1(timestamp, s) VALUES ({t}, {t})"),
+            )
+            .unwrap();
+        }
+        let out = execute(&eng, "SELECT count(s), avg(s) FROM root.sg.d1 WHERE time <= 49").unwrap();
+        assert_eq!(
+            out,
+            QueryOutput::Aggregates {
+                columns: vec!["count(s)".into(), "avg(s)".into()],
+                values: vec![AggValue::Number(50.0), AggValue::Number(24.5)],
+            }
+        );
+        let out = execute(&eng, "SELECT sum(s) FROM root.sg.d1 GROUP BY (0, 99, 50)").unwrap();
+        match out {
+            QueryOutput::Grouped { buckets, .. } => {
+                assert_eq!(buckets.len(), 2);
+                assert_eq!(buckets[0], (0, vec![AggValue::Number(1_225.0)]));
+                assert_eq!(buckets[1].0, 50);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_via_sql() {
+        let eng = engine();
+        for t in 0..10i64 {
+            execute(&eng, &format!("INSERT INTO root.sg.d1(timestamp, s) VALUES ({t}, 1)")).unwrap();
+        }
+        let out = execute(&eng, "DELETE FROM root.sg.d1.s WHERE time >= 2 AND time <= 5").unwrap();
+        assert_eq!(out, QueryOutput::Deleted(4));
+        let out = execute(&eng, "SELECT count(s) FROM root.sg.d1").unwrap();
+        assert_eq!(
+            out,
+            QueryOutput::Aggregates {
+                columns: vec!["count(s)".into()],
+                values: vec![AggValue::Number(6.0)],
+            }
+        );
+    }
+
+    #[test]
+    fn the_papers_benchmark_query_runs() {
+        let eng = engine();
+        for t in 0..5_000i64 {
+            execute(&eng, &format!("INSERT INTO root.sg.d1(timestamp, s) VALUES ({t}, {t})")).unwrap();
+        }
+        // SELECT * FROM data WHERE time > current - window (§VI-D)
+        let out = execute(&eng, "SELECT * FROM root.sg.d1 WHERE time > 4999 - 100").unwrap();
+        match out {
+            QueryOutput::Rows { rows, .. } => assert_eq!(rows.len(), 100),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn semantic_errors_are_reported() {
+        let eng = engine();
+        execute(&eng, "INSERT INTO root.sg.d1(timestamp, s) VALUES (1, 1)").unwrap();
+        assert!(execute(&eng, "SELECT s, count(s) FROM root.sg.d1")
+            .unwrap_err()
+            .message
+            .contains("mix"));
+        assert!(execute(&eng, "SELECT s FROM root.sg.d1 GROUP BY (0, 10, 2)")
+            .unwrap_err()
+            .message
+            .contains("aggregate"));
+        assert!(execute(&eng, "SELECT * FROM root.empty.device")
+            .unwrap_err()
+            .message
+            .contains("no sensors"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Tokenizer.
+
+use crate::SqlError;
+
+/// A lexical token. Keywords are matched case-insensitively during
+/// parsing; the lexer just produces words.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or dotted path segment word (`root`, `s1`, `count`).
+    Word(String),
+    /// Integer literal (timestamps, window widths).
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (escaped `''` = one quote).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+}
+
+/// Splits `input` into tokens.
+pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(SqlError::new("unterminated string literal")),
+                        Some('\'') if bytes.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || (bytes[i] == '.'
+                            && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                            && !is_float))
+                {
+                    if bytes[i] == '.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| SqlError::new(format!("bad float literal {text:?}")))?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| SqlError::new(format!("integer literal {text:?} out of range")))?;
+                    out.push(Token::Int(v));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Word(bytes[start..i].iter().collect()));
+            }
+            other => return Err(SqlError::new(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_select() {
+        let tokens = lex("SELECT s1, count(s2) FROM root.sg.d1 WHERE time >= 10").unwrap();
+        assert_eq!(tokens[0], Token::Word("SELECT".into()));
+        assert_eq!(tokens[2], Token::Comma);
+        assert!(tokens.contains(&Token::Ge));
+        assert!(tokens.contains(&Token::Dot));
+    }
+
+    #[test]
+    fn lexes_numbers_and_strings() {
+        let tokens = lex("(42, 3.5, 'it''s')").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::LParen,
+                Token::Int(42),
+                Token::Comma,
+                Token::Float(3.5),
+                Token::Comma,
+                Token::Str("it's".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(lex("< <= > >= =").unwrap(),
+            vec![Token::Lt, Token::Le, Token::Gt, Token::Ge, Token::Eq]);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(lex("'unterminated").unwrap_err().message.contains("unterminated"));
+        assert!(lex("select ;").unwrap_err().message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn dotted_float_vs_path() {
+        // `1.5` is a float; `d1.s1` is words with a dot.
+        let tokens = lex("1.5 d1.s1").unwrap();
+        assert_eq!(tokens[0], Token::Float(1.5));
+        assert_eq!(tokens[1], Token::Word("d1".into()));
+        assert_eq!(tokens[2], Token::Dot);
+    }
+}

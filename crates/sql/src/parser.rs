@@ -1,0 +1,511 @@
+//! Recursive-descent parser.
+
+use crate::lexer::{lex, Token};
+use crate::SqlError;
+
+/// Aggregation functions accepted in a select list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// `count(s)`
+    Count,
+    /// `min_value(s)`
+    MinValue,
+    /// `max_value(s)`
+    MaxValue,
+    /// `avg(s)`
+    Avg,
+    /// `sum(s)`
+    Sum,
+    /// `first_value(s)`
+    FirstValue,
+    /// `last_value(s)`
+    LastValue,
+    /// `min_time(s)`
+    MinTime,
+    /// `max_time(s)`
+    MaxTime,
+}
+
+impl Aggregate {
+    fn from_name(name: &str) -> Option<Aggregate> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "count" => Aggregate::Count,
+            "min_value" => Aggregate::MinValue,
+            "max_value" => Aggregate::MaxValue,
+            "avg" => Aggregate::Avg,
+            "sum" => Aggregate::Sum,
+            "first_value" => Aggregate::FirstValue,
+            "last_value" => Aggregate::LastValue,
+            "min_time" => Aggregate::MinTime,
+            "max_time" => Aggregate::MaxTime,
+            _ => return None,
+        })
+    }
+}
+
+/// One entry of a select list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectItem {
+    /// All sensors of the device (`*`).
+    Star,
+    /// A raw sensor column.
+    Column(String),
+    /// An aggregate over a sensor column.
+    Agg(Aggregate, String),
+}
+
+/// A literal inserted value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer (stored as `INT64`).
+    Int(i64),
+    /// Float (stored as `DOUBLE`).
+    Float(f64),
+    /// String (stored as `TEXT`).
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+/// Inclusive time bounds accumulated from a `WHERE` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeRange {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl Default for TimeRange {
+    fn default() -> Self {
+        Self { lo: i64::MIN, hi: i64::MAX }
+    }
+}
+
+/// `GROUP BY (start, end, step)` — IoTDB's time-window grouping, with the
+/// bracket sugar dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupBy {
+    /// Window start (inclusive).
+    pub start: i64,
+    /// Window end (inclusive).
+    pub end: i64,
+    /// Bucket width.
+    pub step: i64,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `SELECT … FROM device [WHERE …] [GROUP BY …]`
+    Select {
+        /// Select-list entries.
+        items: Vec<SelectItem>,
+        /// Device path (`root.sg.d1`).
+        device: String,
+        /// Time bounds.
+        range: TimeRange,
+        /// Optional time-window grouping (aggregates only).
+        group_by: Option<GroupBy>,
+    },
+    /// `INSERT INTO device(timestamp, s1, …) VALUES (t, v1, …)`
+    Insert {
+        /// Device path.
+        device: String,
+        /// Sensor names (excluding the leading `timestamp`).
+        sensors: Vec<String>,
+        /// The timestamp literal.
+        timestamp: i64,
+        /// One literal per sensor.
+        values: Vec<Literal>,
+    },
+    /// `DELETE FROM device.sensor [WHERE …]`
+    Delete {
+        /// Device path.
+        device: String,
+        /// Sensor name.
+        sensor: String,
+        /// Time bounds.
+        range: TimeRange,
+    },
+}
+
+/// Parses one statement.
+pub fn parse(input: &str) -> Result<Statement, SqlError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    if p.pos != p.tokens.len() {
+        return Err(SqlError::new(format!(
+            "trailing input at token {:?}",
+            p.tokens[p.pos]
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), SqlError> {
+        match self.next() {
+            Some(ref t) if t == want => Ok(()),
+            other => Err(SqlError::new(format!("expected {want:?}, found {other:?}"))),
+        }
+    }
+
+    fn keyword(&mut self, word: &str) -> Result<(), SqlError> {
+        match self.next() {
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case(word) => Ok(()),
+            other => Err(SqlError::new(format!("expected {word}, found {other:?}"))),
+        }
+    }
+
+    fn peek_keyword(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(Token::Word(w)) if w.eq_ignore_ascii_case(word))
+    }
+
+    fn word(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Token::Word(w)) => Ok(w),
+            other => Err(SqlError::new(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Dotted path: `root.sg.d1` (at least one segment).
+    fn path(&mut self) -> Result<String, SqlError> {
+        let mut parts = vec![self.word()?];
+        while self.peek() == Some(&Token::Dot) {
+            self.next();
+            parts.push(self.word()?);
+        }
+        Ok(parts.join("."))
+    }
+
+    /// Integer expression: literal with optional `+`/`-` chain
+    /// (`1000 - 200`), matching the paper's `current - window`.
+    fn int_expr(&mut self) -> Result<i64, SqlError> {
+        let mut value = self.int_atom()?;
+        loop {
+            match self.peek() {
+                Some(Token::Plus) => {
+                    self.next();
+                    value = value.saturating_add(self.int_atom()?);
+                }
+                Some(Token::Minus) => {
+                    self.next();
+                    value = value.saturating_sub(self.int_atom()?);
+                }
+                _ => return Ok(value),
+            }
+        }
+    }
+
+    fn int_atom(&mut self) -> Result<i64, SqlError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(v),
+            Some(Token::Minus) => match self.next() {
+                Some(Token::Int(v)) => Ok(-v),
+                other => Err(SqlError::new(format!("expected integer, found {other:?}"))),
+            },
+            other => Err(SqlError::new(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, SqlError> {
+        match self.peek() {
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("select") => self.select(),
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("insert") => self.insert(),
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("delete") => self.delete(),
+            other => Err(SqlError::new(format!(
+                "expected SELECT, INSERT or DELETE, found {other:?}"
+            ))),
+        }
+    }
+
+    fn select(&mut self) -> Result<Statement, SqlError> {
+        self.keyword("select")?;
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if self.peek() == Some(&Token::Comma) {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        self.keyword("from")?;
+        let device = self.path()?;
+        let range = self.where_clause()?;
+        let group_by = if self.peek_keyword("group") {
+            self.keyword("group")?;
+            self.keyword("by")?;
+            self.expect(&Token::LParen)?;
+            let start = self.int_expr()?;
+            self.expect(&Token::Comma)?;
+            let end = self.int_expr()?;
+            self.expect(&Token::Comma)?;
+            let step = self.int_expr()?;
+            self.expect(&Token::RParen)?;
+            if step <= 0 {
+                return Err(SqlError::new("GROUP BY step must be positive"));
+            }
+            Some(GroupBy { start, end, step })
+        } else {
+            None
+        };
+        Ok(Statement::Select { items, device, range, group_by })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        if self.peek() == Some(&Token::Star) {
+            self.next();
+            return Ok(SelectItem::Star);
+        }
+        let name = self.word()?;
+        if self.peek() == Some(&Token::LParen) {
+            let Some(agg) = Aggregate::from_name(&name) else {
+                return Err(SqlError::new(format!("unknown aggregate {name:?}")));
+            };
+            self.next();
+            let column = self.word()?;
+            self.expect(&Token::RParen)?;
+            Ok(SelectItem::Agg(agg, column))
+        } else {
+            Ok(SelectItem::Column(name))
+        }
+    }
+
+    /// `WHERE time >= a AND time <= b` in any operator/order combination;
+    /// returns accumulated inclusive bounds.
+    fn where_clause(&mut self) -> Result<TimeRange, SqlError> {
+        let mut range = TimeRange::default();
+        if !self.peek_keyword("where") {
+            return Ok(range);
+        }
+        self.keyword("where")?;
+        loop {
+            self.keyword("time")?;
+            let op = self.next();
+            let value = self.int_expr()?;
+            match op {
+                Some(Token::Ge) => range.lo = range.lo.max(value),
+                Some(Token::Gt) => range.lo = range.lo.max(value.saturating_add(1)),
+                Some(Token::Le) => range.hi = range.hi.min(value),
+                Some(Token::Lt) => range.hi = range.hi.min(value.saturating_sub(1)),
+                Some(Token::Eq) => {
+                    range.lo = range.lo.max(value);
+                    range.hi = range.hi.min(value);
+                }
+                other => {
+                    return Err(SqlError::new(format!(
+                        "expected comparison operator, found {other:?}"
+                    )))
+                }
+            }
+            if self.peek_keyword("and") {
+                self.keyword("and")?;
+            } else {
+                return Ok(range);
+            }
+        }
+    }
+
+    fn insert(&mut self) -> Result<Statement, SqlError> {
+        self.keyword("insert")?;
+        self.keyword("into")?;
+        let device = self.path()?;
+        self.expect(&Token::LParen)?;
+        let ts_word = self.word()?;
+        if !ts_word.eq_ignore_ascii_case("timestamp") && !ts_word.eq_ignore_ascii_case("time") {
+            return Err(SqlError::new(format!(
+                "first insert column must be timestamp, found {ts_word:?}"
+            )));
+        }
+        let mut sensors = Vec::new();
+        while self.peek() == Some(&Token::Comma) {
+            self.next();
+            sensors.push(self.word()?);
+        }
+        self.expect(&Token::RParen)?;
+        if sensors.is_empty() {
+            return Err(SqlError::new("INSERT needs at least one sensor column"));
+        }
+        self.keyword("values")?;
+        self.expect(&Token::LParen)?;
+        let timestamp = self.int_expr()?;
+        let mut values = Vec::new();
+        while self.peek() == Some(&Token::Comma) {
+            self.next();
+            values.push(self.literal()?);
+        }
+        self.expect(&Token::RParen)?;
+        if values.len() != sensors.len() {
+            return Err(SqlError::new(format!(
+                "{} sensor columns but {} values",
+                sensors.len(),
+                values.len()
+            )));
+        }
+        Ok(Statement::Insert { device, sensors, timestamp, values })
+    }
+
+    fn literal(&mut self) -> Result<Literal, SqlError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Literal::Int(v)),
+            Some(Token::Float(v)) => Ok(Literal::Float(v)),
+            Some(Token::Str(s)) => Ok(Literal::Str(s)),
+            Some(Token::Minus) => match self.next() {
+                Some(Token::Int(v)) => Ok(Literal::Int(-v)),
+                Some(Token::Float(v)) => Ok(Literal::Float(-v)),
+                other => Err(SqlError::new(format!("expected number, found {other:?}"))),
+            },
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("true") => Ok(Literal::Bool(true)),
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("false") => Ok(Literal::Bool(false)),
+            other => Err(SqlError::new(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    fn delete(&mut self) -> Result<Statement, SqlError> {
+        self.keyword("delete")?;
+        self.keyword("from")?;
+        let full = self.path()?;
+        let Some((device, sensor)) = full.rsplit_once('.') else {
+            return Err(SqlError::new("DELETE path must be device.sensor"));
+        };
+        let range = self.where_clause()?;
+        Ok(Statement::Delete {
+            device: device.to_string(),
+            sensor: sensor.to_string(),
+            range,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_query_shape() {
+        // §VI-D: SELECT * FROM data WHERE time > current - window
+        let stmt = parse("SELECT * FROM root.sg.d1 WHERE time > 100000 - 2000").unwrap();
+        match stmt {
+            Statement::Select { items, device, range, group_by } => {
+                assert_eq!(items, vec![SelectItem::Star]);
+                assert_eq!(device, "root.sg.d1");
+                assert_eq!(range.lo, 98_001);
+                assert_eq!(range.hi, i64::MAX);
+                assert!(group_by.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_columns_and_aggregates() {
+        let stmt =
+            parse("select s1, count(s1), avg(s2) from root.sg.d1 where time >= 1 and time <= 9")
+                .unwrap();
+        match stmt {
+            Statement::Select { items, range, .. } => {
+                assert_eq!(items.len(), 3);
+                assert_eq!(items[1], SelectItem::Agg(Aggregate::Count, "s1".into()));
+                assert_eq!(items[2], SelectItem::Agg(Aggregate::Avg, "s2".into()));
+                assert_eq!((range.lo, range.hi), (1, 9));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_group_by() {
+        let stmt = parse("SELECT avg(s1) FROM root.sg.d1 GROUP BY (0, 1000, 100)").unwrap();
+        match stmt {
+            Statement::Select { group_by: Some(g), .. } => {
+                assert_eq!((g.start, g.end, g.step), (0, 1000, 100));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_insert() {
+        let stmt =
+            parse("INSERT INTO root.sg.d1(timestamp, s1, s2, s3, s4) VALUES (42, 3.5, 'on', -7, true)")
+                .unwrap();
+        match stmt {
+            Statement::Insert { device, sensors, timestamp, values } => {
+                assert_eq!(device, "root.sg.d1");
+                assert_eq!(sensors, vec!["s1", "s2", "s3", "s4"]);
+                assert_eq!(timestamp, 42);
+                assert_eq!(
+                    values,
+                    vec![
+                        Literal::Float(3.5),
+                        Literal::Str("on".into()),
+                        Literal::Int(-7),
+                        Literal::Bool(true),
+                    ]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_delete() {
+        let stmt = parse("DELETE FROM root.sg.d1.s1 WHERE time >= 10 AND time <= 99").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::Delete {
+                device: "root.sg.d1".into(),
+                sensor: "s1".into(),
+                range: TimeRange { lo: 10, hi: 99 },
+            }
+        );
+    }
+
+    #[test]
+    fn error_messages_are_actionable() {
+        assert!(parse("SELECT s1 root.d").unwrap_err().message.contains("expected from"));
+        assert!(parse("SELECT med(s1) FROM root.d").unwrap_err().message.contains("unknown aggregate"));
+        assert!(parse("DELETE FROM s1").unwrap_err().message.contains("device.sensor"));
+        assert!(parse("INSERT INTO root.d(timestamp, s1) VALUES (1)")
+            .unwrap_err()
+            .message
+            .contains("values"));
+        assert!(parse("SELECT * FROM root.d WHERE time >= 1 extra")
+            .unwrap_err()
+            .message
+            .contains("trailing"));
+        assert!(parse("SELECT avg(s1) FROM root.d GROUP BY (0, 10, 0)")
+            .unwrap_err()
+            .message
+            .contains("positive"));
+    }
+
+    #[test]
+    fn where_combinations_accumulate() {
+        let stmt = parse("SELECT s FROM root.d WHERE time > 5 AND time < 10 AND time >= 7").unwrap();
+        match stmt {
+            Statement::Select { range, .. } => assert_eq!((range.lo, range.hi), (7, 9)),
+            other => panic!("{other:?}"),
+        }
+    }
+}

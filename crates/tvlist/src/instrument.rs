@@ -1,0 +1,169 @@
+//! Access counting for move/comparison experiments.
+
+use std::cell::Cell;
+
+use crate::SeriesAccess;
+
+/// Counters accumulated by [`Instrumented`].
+///
+/// `writes` is the paper's "move" count: each `set` lands one element, and
+/// a `swap` is two element landings (the paper's Example 2 counts landed
+/// elements, so we follow that convention). `time_reads` upper-bounds
+/// comparisons, since every comparison reads at least one timestamp.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Timestamp reads (`time`/`get` calls).
+    pub time_reads: u64,
+    /// Element writes (`set` calls, plus 2 per `swap`).
+    pub writes: u64,
+    /// Pair exchanges (`swap` calls).
+    pub swaps: u64,
+}
+
+impl AccessStats {
+    /// Total elements moved, in the paper's Example 2 convention.
+    pub fn moves(&self) -> u64 {
+        self.writes
+    }
+}
+
+/// A [`SeriesAccess`] wrapper that counts every access.
+///
+/// The uninstrumented path pays nothing for this: algorithms are generic
+/// over `S: SeriesAccess`, so sorting a bare `TVList` monomorphizes without
+/// any counting code. Read counters live in a [`Cell`] because the trait's
+/// readers take `&self`.
+#[derive(Debug)]
+pub struct Instrumented<S> {
+    inner: S,
+    time_reads: Cell<u64>,
+    writes: u64,
+    swaps: u64,
+}
+
+impl<S: SeriesAccess> Instrumented<S> {
+    /// Wraps a series, starting all counters at zero.
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            time_reads: Cell::new(0),
+            writes: 0,
+            swaps: 0,
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> AccessStats {
+        AccessStats {
+            time_reads: self.time_reads.get(),
+            writes: self.writes,
+            swaps: self.swaps,
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        self.time_reads.set(0);
+        self.writes = 0;
+        self.swaps = 0;
+    }
+
+    /// Unwraps the inner series.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Borrows the inner series without counting.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: SeriesAccess> SeriesAccess for Instrumented<S> {
+    type Value = S::Value;
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    #[inline]
+    fn time(&self, i: usize) -> i64 {
+        self.time_reads.set(self.time_reads.get() + 1);
+        self.inner.time(i)
+    }
+
+    #[inline]
+    fn value(&self, i: usize) -> Self::Value {
+        self.inner.value(i)
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> (i64, Self::Value) {
+        self.time_reads.set(self.time_reads.get() + 1);
+        self.inner.get(i)
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, t: i64, v: Self::Value) {
+        self.writes += 1;
+        self.inner.set(i, t, v);
+    }
+
+    #[inline]
+    fn swap(&mut self, a: usize, b: usize) {
+        if a != b {
+            self.swaps += 1;
+            self.writes += 2;
+        }
+        self.inner.swap(a, b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SliceSeries;
+
+    #[test]
+    fn counts_writes_and_swaps() {
+        let mut data = vec![(2i64, 0i32), (1, 1), (3, 2)];
+        let mut s = Instrumented::new(SliceSeries::new(&mut data));
+        s.set(0, 9, 9);
+        s.swap(0, 1);
+        s.swap(2, 2); // self-swap is not a move
+        let stats = s.stats();
+        assert_eq!(stats.writes, 3);
+        assert_eq!(stats.swaps, 1);
+        assert_eq!(stats.moves(), 3);
+    }
+
+    #[test]
+    fn counts_time_reads() {
+        let mut data = vec![(2i64, 0i32), (1, 1)];
+        let s = Instrumented::new(SliceSeries::new(&mut data));
+        let _ = s.time(0);
+        let _ = s.get(1);
+        let _ = s.value(0); // value alone is not a timestamp read
+        assert_eq!(s.stats().time_reads, 2);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let mut data = vec![(1i64, 0i32)];
+        let mut s = Instrumented::new(SliceSeries::new(&mut data));
+        s.set(0, 2, 2);
+        let _ = s.time(0);
+        s.reset();
+        assert_eq!(s.stats(), AccessStats::default());
+    }
+
+    #[test]
+    fn into_inner_returns_mutated_series() {
+        let mut data = vec![(1i64, 0i32), (2, 0)];
+        let mut s = Instrumented::new(SliceSeries::new(&mut data));
+        s.swap(0, 1);
+        let inner = s.into_inner();
+        assert_eq!(inner.as_slice()[0].0, 2);
+    }
+}

@@ -1,0 +1,98 @@
+//! Chunk recycling, mirroring IoTDB's `PrimitiveArrayPool`.
+
+use crate::Value;
+
+/// A bounded free-list of TVList chunk allocations.
+///
+/// IoTDB recycles its primitive arrays through a pool so steady-state
+/// ingestion allocates nothing; [`crate::TVList::push_pooled`] and
+/// [`crate::TVList::release_into`] provide the same behaviour here. The
+/// pool is bounded so a flush burst cannot pin unbounded memory.
+#[derive(Debug)]
+pub struct ArrayPool<V: Value> {
+    capacity: usize,
+    times: Vec<Vec<i64>>,
+    values: Vec<Vec<V>>,
+}
+
+impl<V: Value> ArrayPool<V> {
+    /// Creates a pool retaining at most `capacity` chunk pairs.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            times: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Takes a recycled chunk pair, or allocates fresh ones with the given
+    /// capacity.
+    pub fn get(&mut self, array_size: usize) -> (Vec<i64>, Vec<V>) {
+        match (self.times.pop(), self.values.pop()) {
+            (Some(ts), Some(vs)) if ts.capacity() >= array_size && vs.capacity() >= array_size => {
+                (ts, vs)
+            }
+            _ => (
+                Vec::with_capacity(array_size),
+                Vec::with_capacity(array_size),
+            ),
+        }
+    }
+
+    /// Returns a chunk pair to the pool; drops it if the pool is full.
+    pub fn put(&mut self, mut ts: Vec<i64>, mut vs: Vec<V>) {
+        if self.times.len() < self.capacity {
+            ts.clear();
+            vs.clear();
+            self.times.push(ts);
+            self.values.push(vs);
+        }
+    }
+
+    /// Number of chunk pairs currently pooled.
+    pub fn available(&self) -> usize {
+        self.times.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_recycles_up_to_capacity() {
+        let mut pool = ArrayPool::<i32>::new(2);
+        pool.put(Vec::with_capacity(32), Vec::with_capacity(32));
+        pool.put(Vec::with_capacity(32), Vec::with_capacity(32));
+        pool.put(Vec::with_capacity(32), Vec::with_capacity(32)); // dropped
+        assert_eq!(pool.available(), 2);
+        let (ts, vs) = pool.get(32);
+        assert!(ts.capacity() >= 32 && vs.capacity() >= 32);
+        assert_eq!(pool.available(), 1);
+    }
+
+    #[test]
+    fn get_from_empty_pool_allocates() {
+        let mut pool = ArrayPool::<f64>::new(4);
+        let (ts, vs) = pool.get(16);
+        assert!(ts.is_empty() && vs.is_empty());
+        assert!(ts.capacity() >= 16 && vs.capacity() >= 16);
+    }
+
+    #[test]
+    fn undersized_recycled_chunks_are_replaced() {
+        let mut pool = ArrayPool::<i32>::new(4);
+        pool.put(Vec::with_capacity(4), Vec::with_capacity(4));
+        let (ts, _) = pool.get(32);
+        assert!(ts.capacity() >= 32);
+    }
+
+    #[test]
+    fn returned_chunks_are_cleared() {
+        let mut pool = ArrayPool::<i32>::new(4);
+        pool.put(vec![1, 2, 3], vec![4, 5, 6]);
+        let (ts, vs) = pool.get(2);
+        assert!(ts.is_empty());
+        assert!(vs.is_empty());
+    }
+}

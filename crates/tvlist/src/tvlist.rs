@@ -1,0 +1,460 @@
+//! The chunked time-value list.
+
+use crate::{ArrayPool, SeriesAccess, Value};
+
+/// IoTDB's default TVList chunk ("array") size (paper §V-B).
+pub const DEFAULT_ARRAY_SIZE: usize = 32;
+
+/// A chunked list of `(timestamp, value)` pairs in arrival order.
+///
+/// Storage is a `Vec` of fixed-size chunks for timestamps and values
+/// separately — the `List<Array>` deque compromise between
+/// allocate-per-point and one-big-buffer that IoTDB settled on (paper §V-B).
+/// Chunk size defaults to [`DEFAULT_ARRAY_SIZE`] and is configurable; when
+/// it is a power of two, index math uses shift/mask.
+///
+/// The list tracks whether appended timestamps have stayed non-decreasing
+/// (`is_sorted`), the minimum and maximum timestamp seen, and supports the
+/// full [`SeriesAccess`] sort interface in place.
+#[derive(Debug, Clone)]
+pub struct TVList<V: Value> {
+    array_size: usize,
+    /// `Some(shift)` when `array_size == 1 << shift`.
+    shift: Option<u32>,
+    times: Vec<Vec<i64>>,
+    values: Vec<Vec<V>>,
+    len: usize,
+    sorted: bool,
+    min_time: i64,
+    max_time: i64,
+}
+
+impl<V: Value> Default for TVList<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Value> TVList<V> {
+    /// Creates an empty list with the default chunk size.
+    pub fn new() -> Self {
+        Self::with_array_size(DEFAULT_ARRAY_SIZE)
+    }
+
+    /// Creates an empty list with a custom chunk size.
+    ///
+    /// # Panics
+    /// Panics if `array_size == 0`.
+    pub fn with_array_size(array_size: usize) -> Self {
+        assert!(array_size > 0, "TVList array size must be positive");
+        let shift = if array_size.is_power_of_two() {
+            Some(array_size.trailing_zeros())
+        } else {
+            None
+        };
+        Self {
+            array_size,
+            shift,
+            times: Vec::new(),
+            values: Vec::new(),
+            len: 0,
+            sorted: true,
+            min_time: i64::MAX,
+            max_time: i64::MIN,
+        }
+    }
+
+    /// Builds a list from an iterator of pairs, preserving order.
+    pub fn from_pairs<I: IntoIterator<Item = (i64, V)>>(pairs: I) -> Self {
+        let mut list = Self::new();
+        for (t, v) in pairs {
+            list.push(t, v);
+        }
+        list
+    }
+
+    /// The configured chunk size.
+    #[inline]
+    pub fn array_size(&self) -> usize {
+        self.array_size
+    }
+
+    #[inline]
+    fn locate(&self, i: usize) -> (usize, usize) {
+        debug_assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        match self.shift {
+            Some(sh) => (i >> sh, i & (self.array_size - 1)),
+            None => (i / self.array_size, i % self.array_size),
+        }
+    }
+
+    /// Appends a point in arrival order.
+    pub fn push(&mut self, t: i64, v: V) {
+        let (chunk, off) = match self.shift {
+            Some(sh) => (self.len >> sh, self.len & (self.array_size - 1)),
+            None => (self.len / self.array_size, self.len % self.array_size),
+        };
+        if chunk == self.times.len() {
+            self.times.push(Vec::with_capacity(self.array_size));
+            self.values.push(Vec::with_capacity(self.array_size));
+        }
+        debug_assert_eq!(self.times[chunk].len(), off);
+        self.times[chunk].push(t);
+        self.values[chunk].push(v);
+        if self.len > 0 && t < self.max_time {
+            self.sorted = false;
+        }
+        self.min_time = self.min_time.min(t);
+        self.max_time = self.max_time.max(t);
+        self.len += 1;
+    }
+
+    /// Appends a point, recycling chunk allocations from `pool`.
+    pub fn push_pooled(&mut self, t: i64, v: V, pool: &mut ArrayPool<V>) {
+        let chunk = match self.shift {
+            Some(sh) => self.len >> sh,
+            None => self.len / self.array_size,
+        };
+        if chunk == self.times.len() {
+            let (ts, vs) = pool.get(self.array_size);
+            self.times.push(ts);
+            self.values.push(vs);
+        }
+        self.push(t, v);
+    }
+
+    /// Releases all chunks back to `pool` and clears the list.
+    pub fn release_into(&mut self, pool: &mut ArrayPool<V>) {
+        for (ts, vs) in self.times.drain(..).zip(self.values.drain(..)) {
+            pool.put(ts, vs);
+        }
+        self.len = 0;
+        self.sorted = true;
+        self.min_time = i64::MAX;
+        self.max_time = i64::MIN;
+    }
+
+    /// Whether the appended timestamps have stayed non-decreasing.
+    ///
+    /// Maintained on `push`; invalidated conservatively by `set`/`swap` and
+    /// restored by [`TVList::mark_sorted`] after a sort completes.
+    #[inline]
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    /// Records that the list has been sorted by timestamp.
+    ///
+    /// Called by sorting pipelines after they finish. Debug builds verify
+    /// the claim.
+    pub fn mark_sorted(&mut self) {
+        debug_assert!(crate::is_time_sorted(self));
+        self.sorted = true;
+    }
+
+    /// Minimum timestamp seen, or `None` when empty.
+    pub fn min_time(&self) -> Option<i64> {
+        (self.len > 0).then_some(self.min_time)
+    }
+
+    /// Maximum timestamp seen, or `None` when empty.
+    pub fn max_time(&self) -> Option<i64> {
+        (self.len > 0).then_some(self.max_time)
+    }
+
+    /// Iterates over `(timestamp, value)` pairs in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, V)> + '_ {
+        self.times
+            .iter()
+            .zip(&self.values)
+            .flat_map(|(ts, vs)| ts.iter().copied().zip(vs.iter().copied()))
+    }
+
+    /// Copies the contents into a vector of pairs.
+    pub fn to_pairs(&self) -> Vec<(i64, V)> {
+        self.iter().collect()
+    }
+
+    /// Removes all points, keeping chunk allocations for reuse.
+    pub fn clear(&mut self) {
+        for (ts, vs) in self.times.iter_mut().zip(&mut self.values) {
+            ts.clear();
+            vs.clear();
+        }
+        self.len = 0;
+        self.sorted = true;
+        self.min_time = i64::MAX;
+        self.max_time = i64::MIN;
+    }
+
+    /// Approximate heap footprint in bytes, for memtable accounting.
+    pub fn memory_bytes(&self) -> usize {
+        self.times.len() * self.array_size * (8 + V::WIDTH)
+    }
+}
+
+impl<V: Value> SeriesAccess for TVList<V> {
+    type Value = V;
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn time(&self, i: usize) -> i64 {
+        let (c, o) = self.locate(i);
+        self.times[c][o]
+    }
+
+    #[inline]
+    fn value(&self, i: usize) -> V {
+        let (c, o) = self.locate(i);
+        self.values[c][o]
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, t: i64, v: V) {
+        let (c, o) = self.locate(i);
+        self.times[c][o] = t;
+        self.values[c][o] = v;
+        // A random write may break monotonicity; conservatively drop the
+        // flag. Sort pipelines call `mark_sorted` when done.
+        self.sorted = false;
+        self.min_time = self.min_time.min(t);
+        self.max_time = self.max_time.max(t);
+    }
+
+    #[inline]
+    fn swap(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (ca, oa) = self.locate(a);
+        let (cb, ob) = self.locate(b);
+        if ca == cb {
+            self.times[ca].swap(oa, ob);
+            self.values[ca].swap(oa, ob);
+        } else {
+            let (ta, va) = (self.times[ca][oa], self.values[ca][oa]);
+            let (tb, vb) = (self.times[cb][ob], self.values[cb][ob]);
+            self.times[ca][oa] = tb;
+            self.values[ca][oa] = vb;
+            self.times[cb][ob] = ta;
+            self.values[cb][ob] = va;
+        }
+        self.sorted = false;
+    }
+}
+
+impl<V: Value> FromIterator<(i64, V)> for TVList<V> {
+    fn from_iter<I: IntoIterator<Item = (i64, V)>>(iter: I) -> Self {
+        Self::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_across_chunks() {
+        let mut list = TVList::<i32>::with_array_size(4);
+        for i in 0..37 {
+            list.push(i as i64, i * 10);
+        }
+        assert_eq!(list.len(), 37);
+        for i in 0..37 {
+            assert_eq!(list.time(i), i as i64);
+            assert_eq!(list.value(i), i as i32 * 10);
+            assert_eq!(list.get(i), (i as i64, i as i32 * 10));
+        }
+        assert!(list.is_sorted());
+        assert_eq!(list.min_time(), Some(0));
+        assert_eq!(list.max_time(), Some(36));
+    }
+
+    #[test]
+    fn non_power_of_two_array_size() {
+        let mut list = TVList::<i64>::with_array_size(7);
+        for i in 0..50 {
+            list.push(50 - i, i);
+        }
+        assert_eq!(list.len(), 50);
+        assert_eq!(list.time(0), 50);
+        assert_eq!(list.time(49), 1);
+        assert!(!list.is_sorted());
+    }
+
+    #[test]
+    #[should_panic(expected = "array size must be positive")]
+    fn zero_array_size_panics() {
+        let _ = TVList::<i32>::with_array_size(0);
+    }
+
+    #[test]
+    fn sorted_flag_tracks_appends() {
+        let mut list = TVList::<i32>::new();
+        list.push(1, 1);
+        list.push(2, 2);
+        assert!(list.is_sorted());
+        list.push(1, 3); // delayed point
+        assert!(!list.is_sorted());
+    }
+
+    #[test]
+    fn duplicate_timestamp_keeps_sorted_flag() {
+        let mut list = TVList::<i32>::new();
+        list.push(5, 1);
+        list.push(5, 2);
+        assert!(list.is_sorted());
+    }
+
+    #[test]
+    fn swap_within_and_across_chunks() {
+        let mut list = TVList::<i32>::with_array_size(4);
+        for i in 0..8 {
+            list.push(i as i64, i);
+        }
+        list.swap(0, 1); // same chunk
+        assert_eq!(list.get(0), (1, 1));
+        assert_eq!(list.get(1), (0, 0));
+        list.swap(1, 7); // across chunks
+        assert_eq!(list.get(1), (7, 7));
+        assert_eq!(list.get(7), (0, 0));
+        assert!(!list.is_sorted());
+    }
+
+    #[test]
+    fn set_updates_bounds_and_flag() {
+        let mut list = TVList::<i32>::new();
+        list.push(10, 0);
+        list.push(20, 1);
+        list.set(1, 5, 9);
+        assert_eq!(list.get(1), (5, 9));
+        assert!(!list.is_sorted());
+        assert_eq!(list.min_time(), Some(5));
+    }
+
+    #[test]
+    fn mark_sorted_after_manual_sort() {
+        let mut list = TVList::<i32>::new();
+        list.push(2, 2);
+        list.push(1, 1);
+        list.swap(0, 1);
+        list.mark_sorted();
+        assert!(list.is_sorted());
+    }
+
+    #[test]
+    fn iter_and_to_pairs_match() {
+        let pairs = vec![(3i64, 1i32), (1, 2), (2, 3)];
+        let list = TVList::from_pairs(pairs.clone());
+        assert_eq!(list.to_pairs(), pairs);
+        assert_eq!(list.iter().count(), 3);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_resets_state() {
+        let mut list = TVList::<i32>::with_array_size(4);
+        for i in 0..10 {
+            list.push(i as i64, 0);
+        }
+        list.clear();
+        assert!(list.is_empty());
+        assert!(list.is_sorted());
+        assert_eq!(list.min_time(), None);
+        assert_eq!(list.max_time(), None);
+        list.push(7, 7);
+        assert_eq!(list.get(0), (7, 7));
+    }
+
+    #[test]
+    fn pooled_push_and_release() {
+        let mut pool = ArrayPool::<i32>::new(8);
+        let mut list = TVList::<i32>::with_array_size(4);
+        for i in 0..9 {
+            list.push_pooled(i as i64, 0, &mut pool);
+        }
+        assert_eq!(list.len(), 9);
+        list.release_into(&mut pool);
+        assert!(list.is_empty());
+        assert_eq!(pool.available(), 3);
+        // Chunks come back out of the pool on the next fill.
+        let mut list2 = TVList::<i32>::with_array_size(4);
+        list2.push_pooled(1, 1, &mut pool);
+        assert_eq!(pool.available(), 2);
+    }
+
+    #[test]
+    fn memory_accounting_scales_with_chunks() {
+        let mut list = TVList::<f64>::with_array_size(32);
+        assert_eq!(list.memory_bytes(), 0);
+        list.push(1, 1.0);
+        assert_eq!(list.memory_bytes(), 32 * 16);
+    }
+
+    #[test]
+    fn extreme_timestamps() {
+        let mut list = TVList::<i64>::new();
+        list.push(i64::MIN, 0);
+        list.push(i64::MAX, 1);
+        assert!(list.is_sorted());
+        assert_eq!(list.min_time(), Some(i64::MIN));
+        assert_eq!(list.max_time(), Some(i64::MAX));
+    }
+}
+
+impl<V: Value> TVList<V> {
+    /// Keeps only points satisfying `keep`, preserving order. Returns how
+    /// many points were removed. Rebuilds the chunk layout in place.
+    pub fn retain<F: FnMut(i64, V) -> bool>(&mut self, mut keep: F) -> usize {
+        let pairs: Vec<(i64, V)> = self.iter().filter(|&(t, v)| keep(t, v)).collect();
+        let removed = self.len() - pairs.len();
+        if removed == 0 {
+            return 0;
+        }
+        self.clear();
+        for (t, v) in pairs {
+            self.push(t, v);
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod retain_tests {
+    use super::*;
+
+    #[test]
+    fn retain_removes_matching_points() {
+        let mut list = TVList::<i32>::with_array_size(4);
+        for i in 0..20 {
+            list.push(i as i64, i);
+        }
+        let removed = list.retain(|t, _| !(5..10).contains(&t));
+        assert_eq!(removed, 5);
+        assert_eq!(list.len(), 15);
+        assert_eq!(list.time(5), 10);
+        assert!(list.is_sorted());
+    }
+
+    #[test]
+    fn retain_nothing_is_free() {
+        let mut list = TVList::<i32>::new();
+        list.push(2, 0);
+        list.push(1, 1); // out of order
+        assert_eq!(list.retain(|_, _| true), 0);
+        assert!(!list.is_sorted(), "no-op retain must not touch state");
+    }
+
+    #[test]
+    fn retain_everything_empties() {
+        let mut list = TVList::<i64>::new();
+        for i in 0..10 {
+            list.push(i, i);
+        }
+        assert_eq!(list.retain(|_, _| false), 10);
+        assert!(list.is_empty());
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests: a TVList must behave exactly like a vector of pairs
+//! under any interleaving of the sort-interface operations.
+
+use backsort_tvlist::{SeriesAccess, SliceSeries, TVList};
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Set { i: usize, t: i64, v: i32 },
+    Swap { a: usize, b: usize },
+}
+
+fn ops(len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..len, any::<i64>(), any::<i32>()).prop_map(|(i, t, v)| Op::Set { i, t, v }),
+            (0..len, 0..len).prop_map(|(a, b)| Op::Swap { a, b }),
+        ],
+        0..64,
+    )
+}
+
+proptest! {
+    #[test]
+    fn tvlist_matches_slice_model(
+        pairs in prop::collection::vec((any::<i64>(), any::<i32>()), 1..200),
+        array_size in 1usize..40,
+    ) {
+        let list = TVList::<i32>::with_array_size(array_size);
+        let mut list = pairs.iter().fold(list, |mut l, &(t, v)| { l.push(t, v); l });
+        let mut model = pairs.clone();
+
+        prop_assert_eq!(list.len(), model.len());
+        for (i, &pair) in model.iter().enumerate() {
+            prop_assert_eq!(list.get(i), pair);
+        }
+
+        // Drive both through identical op sequences.
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let op_seq = ops(model.len()).new_tree(&mut runner).unwrap().current();
+        {
+            let mut model_series = SliceSeries::new(&mut model);
+            for op in &op_seq {
+                match *op {
+                    Op::Set { i, t, v } => { list.set(i, t, v); model_series.set(i, t, v); }
+                    Op::Swap { a, b } => { list.swap(a, b); model_series.swap(a, b); }
+                }
+            }
+        }
+        prop_assert_eq!(list.to_pairs(), model);
+    }
+
+    #[test]
+    fn sorted_flag_is_sound(pairs in prop::collection::vec((any::<i64>(), any::<i32>()), 0..200)) {
+        let mut list = TVList::<i32>::new();
+        for &(t, v) in &pairs {
+            list.push(t, v);
+        }
+        // The flag may be conservatively false, but never falsely true.
+        if list.is_sorted() {
+            prop_assert!(backsort_tvlist::is_time_sorted(&list));
+        }
+    }
+
+    #[test]
+    fn min_max_time_are_exact(pairs in prop::collection::vec((any::<i64>(), any::<i32>()), 1..200)) {
+        let list = TVList::from_pairs(pairs.iter().copied());
+        let min = pairs.iter().map(|p| p.0).min();
+        let max = pairs.iter().map(|p| p.0).max();
+        prop_assert_eq!(list.min_time(), min);
+        prop_assert_eq!(list.max_time(), max);
+    }
+
+    #[test]
+    fn iter_matches_indexed_access(
+        pairs in prop::collection::vec((any::<i64>(), any::<i32>()), 0..200),
+        array_size in 1usize..40,
+    ) {
+        let mut list = TVList::<i32>::with_array_size(array_size);
+        for &(t, v) in &pairs {
+            list.push(t, v);
+        }
+        let via_iter: Vec<_> = list.iter().collect();
+        let via_index: Vec<_> = (0..list.len()).map(|i| list.get(i)).collect();
+        prop_assert_eq!(via_iter, via_index);
+    }
+}

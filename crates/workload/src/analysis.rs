@@ -1,0 +1,128 @@
+//! Closed-form results from the paper's performance analysis (§IV).
+
+/// PDF of the delay difference `Δτ = τ_i − τ_j` when `τ ~ Exp(λ)`
+/// (Example 6, Eq. 10): the Laplace density `f(t) = (λ/2)·e^{−λ|t|}`.
+pub fn delta_tau_pdf_exponential(lambda: f64, t: f64) -> f64 {
+    assert!(lambda > 0.0);
+    0.5 * lambda * (-lambda * t.abs()).exp()
+}
+
+/// Expected interval inversion ratio `E(α_L) = P(Δτ > L) = 1/(2·e^{λL})`
+/// for exponential delays (Example 6, Eq. 11). By Proposition 2 this is
+/// the tail of Δτ at `L`.
+pub fn expected_iir_exponential(lambda: f64, l: f64) -> f64 {
+    assert!(lambda > 0.0);
+    0.5 * (-lambda * l).exp()
+}
+
+/// `E(Δτ | Δτ ≥ 0)`-style expected overlap for the discrete uniform delay
+/// `P(τ = k) = 1/(k_max+1)` of Example 7: `Σ_{k≥1} P(Δτ ≥ k)` …
+/// the paper's accumulation `Σ_{k≥0} F̄_Δτ(k)` with strict tails, which
+/// for `k_max = 3` evaluates to `10/16 = 5/8`.
+pub fn expected_overlap_discrete_uniform(k_max: u32) -> f64 {
+    let m = k_max as i64 + 1; // number of values 0..=k_max
+    // F̄(k) = P(Δτ > k) for k = 0.. ; Δτ = τ_i − τ_j uniform difference.
+    // P(Δτ > k) = #{(a,b): a − b > k} / m².
+    let mut sum = 0.0;
+    for k in 0..m {
+        let mut count = 0i64;
+        for a in 0..m {
+            for b in 0..m {
+                if a - b > k {
+                    count += 1;
+                }
+            }
+        }
+        sum += count as f64 / (m * m) as f64;
+    }
+    sum
+}
+
+/// The paper's complexity objective `g(L) = n·(log L + η·Q/L)`
+/// (Proposition 5, Eq. 23). `log` is natural, matching the derivative in
+/// Eq. 24.
+pub fn complexity_objective(n: f64, l: f64, eta: f64, q: f64) -> f64 {
+    assert!(l >= 1.0);
+    n * (l.ln().max(0.0) + eta * q / l)
+}
+
+/// The minimizer of [`complexity_objective`]: `L* = η·Q` (from
+/// `g'(L) = n(L − ηQ)/L²`), clamped to `[1, n]`.
+pub fn optimal_block_size(n: f64, eta: f64, q: f64) -> f64 {
+    (eta * q).clamp(1.0, n.max(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pdf_is_even_and_normalized() {
+        for lambda in [1.0, 2.0, 3.0] {
+            for t in [0.1, 0.7, 2.5] {
+                let p = delta_tau_pdf_exponential(lambda, t);
+                let m = delta_tau_pdf_exponential(lambda, -t);
+                assert!((p - m).abs() < 1e-15, "even function");
+            }
+            // Numeric integral ≈ 1.
+            let dt = 1e-3;
+            let total: f64 = (-20_000..20_000)
+                .map(|i| delta_tau_pdf_exponential(lambda, i as f64 * dt) * dt)
+                .sum();
+            assert!((total - 1.0).abs() < 1e-3, "λ={lambda}: ∫f = {total}");
+        }
+    }
+
+    #[test]
+    fn pdf_peak_is_half_lambda() {
+        // Fig. 5: the peak at t=0 is λ/2.
+        assert!((delta_tau_pdf_exponential(2.0, 0.0) - 1.0).abs() < 1e-15);
+        assert!((delta_tau_pdf_exponential(3.0, 0.0) - 1.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn expected_iir_matches_example6() {
+        // Example 6 (λ=2): α1 = 1/(2e²) ≈ 0.067668, α5 = 1/(2e¹⁰)…
+        // note the paper's Eq. 12/13 write 1/(2e^L) for λ=2 with the λ
+        // folded in: α1 = 1/(2e²), α5 = 2.270e-5 = 1/(2e^10).
+        assert!((expected_iir_exponential(2.0, 1.0) - 0.067668).abs() < 1e-6);
+        assert!((expected_iir_exponential(2.0, 5.0) - 2.270e-5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn iir_is_tail_of_pdf() {
+        // Consistency: E(α_L) = ∫_L^∞ f_Δτ = e^{−λL}/2.
+        let lambda = 1.5;
+        for l in [0.5, 1.0, 3.0] {
+            let dt = 1e-4;
+            let numeric: f64 = (0..200_000)
+                .map(|i| delta_tau_pdf_exponential(lambda, l + i as f64 * dt) * dt)
+                .sum();
+            let closed = expected_iir_exponential(lambda, l);
+            assert!((numeric - closed).abs() < 1e-4, "L={l}");
+        }
+    }
+
+    #[test]
+    fn example7_overlap_is_five_eighths() {
+        let q = expected_overlap_discrete_uniform(3);
+        assert!((q - 5.0 / 8.0).abs() < 1e-12, "Q = {q}");
+    }
+
+    #[test]
+    fn objective_minimized_at_eta_q() {
+        let (n, eta, q) = (1e6, 2.0, 40.0);
+        let l_star = optimal_block_size(n, eta, q);
+        assert!((l_star - 80.0).abs() < 1e-12);
+        let at_opt = complexity_objective(n, l_star, eta, q);
+        for l in [l_star / 4.0, l_star / 2.0, l_star * 2.0, l_star * 4.0] {
+            assert!(complexity_objective(n, l, eta, q) > at_opt, "L={l}");
+        }
+    }
+
+    #[test]
+    fn optimal_block_size_is_clamped() {
+        assert_eq!(optimal_block_size(100.0, 1.0, 0.001), 1.0);
+        assert_eq!(optimal_block_size(100.0, 10.0, 1e9), 100.0);
+    }
+}

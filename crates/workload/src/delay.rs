@@ -1,0 +1,192 @@
+//! Delay distributions `D` (paper Definition 5).
+//!
+//! Delays are non-negative by construction ("delay-only", §II-B2): a
+//! point's arrival time is its generation time plus a sample from one of
+//! these models, measured in generation intervals.
+
+use rand::Rng;
+use rand_distr::{Distribution, Exp, LogNormal, Normal, Pareto};
+
+/// A non-negative delay distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DelayModel {
+    /// No delay: the stream arrives perfectly ordered.
+    None,
+    /// `|Normal(μ, σ)|` — the AbsNormal synthetic family (paper \[3\],
+    /// §VI-A3).
+    AbsNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal; the evaluation's
+        /// disorder knob (§VI-C1).
+        sigma: f64,
+    },
+    /// `LogNormal(μ, σ)` — the LogNormal synthetic family (paper \[5\],
+    /// \[13\]).
+    LogNormal {
+        /// Location of the underlying normal (of the log).
+        mu: f64,
+        /// Scale of the underlying normal (of the log).
+        sigma: f64,
+    },
+    /// `Exp(λ)` — used by the paper's closed-form analysis (Example 6).
+    Exponential {
+        /// Rate λ.
+        lambda: f64,
+    },
+    /// Uniform over `{0, 1, …, k}` — used by Example 7's overlap
+    /// calculation.
+    DiscreteUniform {
+        /// Inclusive upper bound `k`.
+        k: u32,
+    },
+    /// Every point delayed by the same constant (no disorder, but shifts
+    /// arrival).
+    Constant {
+        /// The fixed delay.
+        value: f64,
+    },
+    /// Mixture modelling heavy-tailed real traces: with probability `p`
+    /// a Pareto(scale, shape) delay, else AbsNormal(0, base_sigma).
+    /// Used by the CitiBike stand-in (DESIGN.md §5).
+    HeavyTail {
+        /// Probability of drawing from the Pareto tail.
+        p: f64,
+        /// Pareto scale (minimum tail delay).
+        scale: f64,
+        /// Pareto shape (smaller = heavier tail).
+        shape: f64,
+        /// σ of the AbsNormal body.
+        base_sigma: f64,
+        /// Delay ceiling: IoTDB's separation policy diverts anything
+        /// delayed beyond the memtable horizon to the unsequence path
+        /// (paper §II), so the in-memory series never sees longer delays.
+        cap: f64,
+    },
+}
+
+impl DelayModel {
+    /// Draws one delay, always `>= 0` and finite.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let raw = match *self {
+            DelayModel::None => 0.0,
+            DelayModel::AbsNormal { mu, sigma } => {
+                if sigma <= 0.0 {
+                    mu.abs()
+                } else {
+                    Normal::new(mu, sigma).expect("finite σ").sample(rng).abs()
+                }
+            }
+            DelayModel::LogNormal { mu, sigma } => {
+                if sigma <= 0.0 {
+                    mu.exp()
+                } else {
+                    LogNormal::new(mu, sigma).expect("finite σ").sample(rng)
+                }
+            }
+            DelayModel::Exponential { lambda } => {
+                Exp::new(lambda).expect("λ > 0").sample(rng)
+            }
+            DelayModel::DiscreteUniform { k } => rng.gen_range(0..=k) as f64,
+            DelayModel::Constant { value } => value,
+            DelayModel::HeavyTail { p, scale, shape, base_sigma, cap } => {
+                let d = if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    Pareto::new(scale, shape).expect("valid Pareto").sample(rng)
+                } else if base_sigma > 0.0 {
+                    Normal::new(0.0, base_sigma).expect("finite σ").sample(rng).abs()
+                } else {
+                    0.0
+                };
+                d.min(cap)
+            }
+        };
+        if raw.is_finite() {
+            raw.max(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Display label used in experiment tables, e.g. `AbsNormal(1,0.5)`.
+    pub fn label(&self) -> String {
+        match *self {
+            DelayModel::None => "None".into(),
+            DelayModel::AbsNormal { mu, sigma } => format!("AbsNormal({mu},{sigma})"),
+            DelayModel::LogNormal { mu, sigma } => format!("LogNormal({mu},{sigma})"),
+            DelayModel::Exponential { lambda } => format!("Exp({lambda})"),
+            DelayModel::DiscreteUniform { k } => format!("DiscreteUniform(0..={k})"),
+            DelayModel::Constant { value } => format!("Constant({value})"),
+            DelayModel::HeavyTail { p, shape, .. } => format!("HeavyTail(p={p},shape={shape})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_many(model: DelayModel, n: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(7);
+        (0..n).map(|_| model.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn all_models_produce_finite_nonnegative_delays() {
+        let models = [
+            DelayModel::None,
+            DelayModel::AbsNormal { mu: 1.0, sigma: 2.0 },
+            DelayModel::LogNormal { mu: 1.0, sigma: 1.0 },
+            DelayModel::Exponential { lambda: 2.0 },
+            DelayModel::DiscreteUniform { k: 3 },
+            DelayModel::Constant { value: 5.0 },
+            DelayModel::HeavyTail { p: 0.05, scale: 16.0, shape: 1.2, base_sigma: 1.0, cap: 1e5 },
+        ];
+        for m in models {
+            for d in sample_many(m, 5_000) {
+                assert!(d.is_finite() && d >= 0.0, "{m:?} produced {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn exponential_mean_matches_lambda() {
+        let samples = sample_many(DelayModel::Exponential { lambda: 2.0 }, 200_000);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn discrete_uniform_hits_all_values() {
+        let samples = sample_many(DelayModel::DiscreteUniform { k: 3 }, 10_000);
+        for want in [0.0, 1.0, 2.0, 3.0] {
+            assert!(samples.contains(&want), "missing {want}");
+        }
+        assert!(samples.iter().all(|&d| d <= 3.0));
+    }
+
+    #[test]
+    fn zero_sigma_degenerates_to_constant() {
+        let samples = sample_many(DelayModel::AbsNormal { mu: 1.5, sigma: 0.0 }, 10);
+        assert!(samples.iter().all(|&d| d == 1.5));
+    }
+
+    #[test]
+    fn heavier_sigma_means_larger_delays_on_average() {
+        let small = sample_many(DelayModel::AbsNormal { mu: 0.0, sigma: 0.5 }, 50_000);
+        let large = sample_many(DelayModel::AbsNormal { mu: 0.0, sigma: 4.0 }, 50_000);
+        let ms = small.iter().sum::<f64>() / small.len() as f64;
+        let ml = large.iter().sum::<f64>() / large.len() as f64;
+        assert!(ml > 4.0 * ms, "σ=4 mean {ml} vs σ=0.5 mean {ms}");
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(
+            DelayModel::AbsNormal { mu: 1.0, sigma: 0.5 }.label(),
+            "AbsNormal(1,0.5)"
+        );
+        assert_eq!(DelayModel::Exponential { lambda: 2.0 }.label(), "Exp(2)");
+    }
+}

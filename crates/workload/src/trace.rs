@@ -1,0 +1,143 @@
+//! Trace import/export: run the disorder tooling and the sorters on your
+//! own data.
+//!
+//! The format is the two-column CSV that IoTDB-benchmark and the paper's
+//! public experiment repository use: `timestamp,value` per line, rows in
+//! *arrival* order, optional header. Values may be integers or floats.
+
+use std::io::{BufRead, Write};
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line of the offending row.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Reads an arrival-ordered `timestamp,value` trace.
+///
+/// Skips blank lines; tolerates a `time,value`-style header on line 1;
+/// rejects anything else malformed with a line-precise error.
+pub fn read_csv<R: BufRead>(reader: R) -> Result<Vec<(i64, f64)>, TraceError> {
+    let mut out = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.map_err(|e| TraceError {
+            line: line_no,
+            message: format!("I/O error: {e}"),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut fields = trimmed.split(',');
+        let (Some(ts), Some(val)) = (fields.next(), fields.next()) else {
+            return Err(TraceError {
+                line: line_no,
+                message: "expected `timestamp,value`".into(),
+            });
+        };
+        if fields.next().is_some() {
+            return Err(TraceError {
+                line: line_no,
+                message: "more than two columns".into(),
+            });
+        }
+        let ts = ts.trim();
+        let val = val.trim();
+        match ts.parse::<i64>() {
+            Ok(t) => {
+                let v: f64 = val.parse().map_err(|_| TraceError {
+                    line: line_no,
+                    message: format!("bad value {val:?}"),
+                })?;
+                out.push((t, v));
+            }
+            Err(_) if line_no == 1 => continue, // header row
+            Err(_) => {
+                return Err(TraceError {
+                    line: line_no,
+                    message: format!("bad timestamp {ts:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Writes a trace in the same format (with header).
+pub fn write_csv<W: Write>(mut writer: W, pairs: &[(i64, f64)]) -> std::io::Result<()> {
+    writeln!(writer, "timestamp,value")?;
+    for &(t, v) in pairs {
+        writeln!(writer, "{t},{v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip() {
+        let pairs = vec![(5i64, 1.5), (2, -3.0), (7, 0.0)];
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &pairs).unwrap();
+        let back = read_csv(Cursor::new(buf)).unwrap();
+        assert_eq!(back, pairs);
+    }
+
+    #[test]
+    fn header_and_blank_lines_are_tolerated() {
+        let input = "time,value\n\n1,10\n\n2,20\n";
+        let pairs = read_csv(Cursor::new(input)).unwrap();
+        assert_eq!(pairs, vec![(1, 10.0), (2, 20.0)]);
+    }
+
+    #[test]
+    fn integer_values_parse_as_floats() {
+        let pairs = read_csv(Cursor::new("1,10\n2,-3\n")).unwrap();
+        assert_eq!(pairs, vec![(1, 10.0), (2, -3.0)]);
+    }
+
+    #[test]
+    fn malformed_rows_report_line_numbers() {
+        let err = read_csv(Cursor::new("1,2\nbanana,3\n")).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bad timestamp"));
+
+        let err = read_csv(Cursor::new("1,2\n3,grape\n")).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bad value"));
+
+        let err = read_csv(Cursor::new("1,2,3\n")).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("more than two"));
+
+        let err = read_csv(Cursor::new("1,2\njustone\n")).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn empty_input_is_empty_trace() {
+        assert_eq!(read_csv(Cursor::new("")).unwrap(), vec![]);
+        assert_eq!(read_csv(Cursor::new("timestamp,value\n")).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn whitespace_is_trimmed() {
+        let pairs = read_csv(Cursor::new(" 1 , 2.5 \n")).unwrap();
+        assert_eq!(pairs, vec![(1, 2.5)]);
+    }
+}

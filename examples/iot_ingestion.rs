@@ -1,0 +1,77 @@
+//! IoT ingestion end-to-end: out-of-order sensor streams flow into the
+//! mini-IoTDB engine, memtables rotate and flush through Backward-Sort,
+//! and time-range queries read back sorted data — including a straggler
+//! routed through the separation policy.
+//!
+//! Run with: `cargo run --release --example iot_ingestion`
+
+use backward_sort_repro::core::{Algorithm, BackwardSort};
+use backward_sort_repro::engine::{EngineConfig, SeriesKey, StorageEngine, TsValue};
+use backward_sort_repro::workload::{generate_pairs, DelayModel, SignalKind, StreamSpec};
+
+fn main() {
+    let engine = StorageEngine::new(EngineConfig {
+        memtable_max_points: 50_000,
+        array_size: 32,
+        sorter: Algorithm::Backward(BackwardSort::default()),
+    });
+
+    // Three turbine sensors with different delay behaviour.
+    let sensors = [
+        ("speed", DelayModel::AbsNormal { mu: 0.5, sigma: 1.0 }),
+        ("vibration", DelayModel::LogNormal { mu: 0.0, sigma: 1.0 }),
+        ("temperature", DelayModel::None),
+    ];
+
+    for (name, delay) in sensors {
+        let key = SeriesKey::new("root.turbines.t1", name);
+        let spec = StreamSpec {
+            n: 60_000,
+            interval: 1,
+            delay,
+            signal: SignalKind::Sine { period: 600.0, amp: 50.0, noise: 0.5 },
+            seed: 9,
+        };
+        for (t, v) in generate_pairs(&spec) {
+            engine.write(&key, t, TsValue::Double(v));
+        }
+    }
+
+    let (working, unseq) = engine.buffered_points();
+    println!("after ingestion:");
+    println!("  flushed files     : {}", engine.file_count());
+    println!("  working memtable  : {working} points");
+    println!("  unsequence buffer : {unseq} points");
+
+    // A very late straggler: timestamped before the flush watermark, so
+    // the separation policy sends it to the unsequence memtable instead
+    // of polluting the in-memory sort.
+    let key = SeriesKey::new("root.turbines.t1", "speed");
+    engine.write(&key, 10, TsValue::Double(-999.0));
+    let (_, unseq_after) = engine.buffered_points();
+    println!("  after straggler   : unsequence holds {unseq_after} points");
+
+    // Query the most recent window (memtable-only, as the paper does).
+    let latest = engine.latest_time(&key).expect("sensor exists");
+    let window = engine.query(&key, latest - 20, latest);
+    println!("\nlast 21 speed points (sorted on demand):");
+    for (t, v) in &window {
+        println!("  t={t:>6}  v={:+.2}", v.as_f64());
+    }
+    assert!(window.windows(2).all(|w| w[0].0 < w[1].0));
+
+    // And a range that reaches flushed data + the straggler override.
+    let deep = engine.query(&key, 5, 15);
+    println!("\nt ∈ [5, 15] (disk + unsequence merged):");
+    for (t, v) in &deep {
+        println!("  t={t:>6}  v={:+.2}", v.as_f64());
+    }
+    assert!(deep.iter().any(|(t, v)| *t == 10 && v.as_f64() == -999.0),
+        "the unsequence straggler must win at t=10");
+
+    let flushes = engine.flush_history();
+    let avg_ms = flushes.iter().map(|f| f.total_nanos()).sum::<u64>() as f64
+        / flushes.len().max(1) as f64
+        / 1e6;
+    println!("\n{} flushes, avg {:.2} ms each", flushes.len(), avg_ms);
+}

@@ -1,0 +1,23 @@
+//! Hosts the SQL-over-TCP server until killed, printing the port —
+//! `cargo run --release --example serve [-- port]`, then connect with
+//! any line-based client (`nc`, telnet, the bundled `SqlClient`).
+
+use std::sync::Arc;
+
+use backward_sort_repro::core::Algorithm;
+use backward_sort_repro::engine::{EngineConfig, StorageEngine};
+use backsort_server::SqlServer;
+
+fn main() {
+    let port: u16 = std::env::args().nth(1).and_then(|p| p.parse().ok()).unwrap_or(0);
+    let engine = Arc::new(StorageEngine::new(EngineConfig {
+        memtable_max_points: 100_000,
+        array_size: 32,
+        sorter: Algorithm::Backward(Default::default()),
+    }));
+    let server = SqlServer::start(("127.0.0.1", port), engine).expect("bind");
+    println!("listening on {}", server.addr());
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

