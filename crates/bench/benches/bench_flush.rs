@@ -9,7 +9,14 @@ use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criteri
 
 fn build_memtable(points: usize) -> MemTable {
     let key = SeriesKey::new("root.sg.d0", "s0");
-    let spec = StreamSpec::new(points, DelayModel::AbsNormal { mu: 1.0, sigma: 2.0 }, 42);
+    let spec = StreamSpec::new(
+        points,
+        DelayModel::AbsNormal {
+            mu: 1.0,
+            sigma: 2.0,
+        },
+        42,
+    );
     let mut mt = MemTable::new(32);
     for (t, v) in generate_pairs(&spec) {
         mt.write(&key, t, TsValue::Double(v));

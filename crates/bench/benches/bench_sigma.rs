@@ -18,8 +18,14 @@ fn pairs_for(delay: DelayModel, n: usize) -> Vec<(i64, i32)> {
 fn bench(c: &mut Criterion) {
     let n = 30_000;
     for (family, make) in [
-        ("fig09_absnormal", (|s| DelayModel::AbsNormal { mu: 1.0, sigma: s }) as fn(f64) -> DelayModel),
-        ("fig10_lognormal", (|s| DelayModel::LogNormal { mu: 1.0, sigma: s }) as fn(f64) -> DelayModel),
+        (
+            "fig09_absnormal",
+            (|s| DelayModel::AbsNormal { mu: 1.0, sigma: s }) as fn(f64) -> DelayModel,
+        ),
+        (
+            "fig10_lognormal",
+            (|s| DelayModel::LogNormal { mu: 1.0, sigma: s }) as fn(f64) -> DelayModel,
+        ),
     ] {
         let mut group = c.benchmark_group(family);
         group.sample_size(10);

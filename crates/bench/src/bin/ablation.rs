@@ -14,7 +14,10 @@ fn main() {
     let reps = args.get_or("reps", 3usize);
     let seed = args.get_or("seed", 42u64);
     let study = args.get("study").unwrap_or("all").to_string();
-    if !matches!(study.as_str(), "theta" | "l0" | "estimator" | "stability" | "model" | "all") {
+    if !matches!(
+        study.as_str(),
+        "theta" | "l0" | "estimator" | "stability" | "model" | "all"
+    ) {
         eprintln!("error: unknown --study {study:?} (theta|l0|estimator|stability|model|all)");
         std::process::exit(1);
     }

@@ -2,8 +2,11 @@
 //! lock, showing why faster sorting lifts both sides (paper §VI-D1:
 //! "the query process … takes the lock and blocks the write process").
 //!
-//! Usage: `concurrency [--ops N] [--writers W] [--queriers Q] [--json]`
-//! Sweeps thread mixes for each contender.
+//! Usage: `concurrency [--ops N] [--writers W] [--queriers Q] [--shards S] [--json]`
+//! Sweeps thread mixes for each contender. Without `--shards` the sweep
+//! also compares engine shard counts {1, 4}: one shard is the paper's
+//! single-lock engine, four shards partition the devices so disjoint
+//! writers stop contending.
 
 use backsort_benchmark::{run_benchmark_concurrent, BenchConfig};
 use backsort_core::Algorithm;
@@ -18,34 +21,48 @@ fn main() {
         (Some(w), Some(q)) => vec![(w.parse().expect("writers"), q.parse().expect("queriers"))],
         _ => vec![(1, 0), (2, 1), (4, 2), (4, 4)],
     };
+    let shard_counts: Vec<usize> = match args.get("shards") {
+        Some(s) => vec![s.parse().expect("shards")],
+        None => vec![1, 4],
+    };
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut json_rows = Vec::new();
-    for &(writers, queriers) in &mixes {
-        for alg in Algorithm::contenders() {
-            let config = BenchConfig {
-                devices: 2,
-                sensors_per_device: 4,
-                batch_size: 500,
-                write_percentage: 1.0, // writers saturate; queriers poll
-                operations: ops,
-                delay: DelayModel::AbsNormal { mu: 1.0, sigma: 2.0 },
-                query_window: 2_000,
-                memtable_max_points: 100_000,
-                sorter: alg,
-                seed: 42,
-            };
-            let report = run_benchmark_concurrent(&config, writers, queriers);
-            rows.push(vec![
-                format!("{writers}w/{queriers}q"),
-                report.sorter.clone(),
-                format!("{:.1}", report.total_latency_ms),
-                report
-                    .query_throughput_pps
-                    .map_or("-".into(), |v| format!("{v:.2e}")),
-                report.flushes.to_string(),
-            ]);
-            json_rows.push(report);
+    for &shards in &shard_counts {
+        for &(writers, queriers) in &mixes {
+            for alg in Algorithm::contenders() {
+                let config = BenchConfig {
+                    devices: 4,
+                    sensors_per_device: 4,
+                    batch_size: 500,
+                    write_percentage: 1.0, // writers saturate; queriers poll
+                    operations: ops,
+                    delay: DelayModel::AbsNormal {
+                        mu: 1.0,
+                        sigma: 2.0,
+                    },
+                    query_window: 2_000,
+                    memtable_max_points: 100_000,
+                    sorter: alg,
+                    shards,
+                    seed: 42,
+                };
+                let report = run_benchmark_concurrent(&config, writers, queriers);
+                rows.push(vec![
+                    shards.to_string(),
+                    format!("{writers}w/{queriers}q"),
+                    report.sorter.clone(),
+                    format!("{:.1}", report.total_latency_ms),
+                    report
+                        .write_throughput_pps
+                        .map_or("-".into(), |v| format!("{v:.2e}")),
+                    report
+                        .query_throughput_pps
+                        .map_or("-".into(), |v| format!("{v:.2e}")),
+                    report.flushes.to_string(),
+                ]);
+                json_rows.push(report);
+            }
         }
     }
 
@@ -53,9 +70,17 @@ fn main() {
         table::print_json(&json_rows);
         return;
     }
-    table::heading("Concurrency scaling (lock contention across sorters)");
+    table::heading("Concurrency scaling (lock contention across sorters and shard counts)");
     table::print_table(
-        &["threads", "algorithm", "ingest wall ms", "query pps", "flushes"],
+        &[
+            "shards",
+            "threads",
+            "algorithm",
+            "ingest wall ms",
+            "write pps",
+            "query pps",
+            "flushes",
+        ],
         &rows,
     );
 }

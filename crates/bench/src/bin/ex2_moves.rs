@@ -27,5 +27,8 @@ fn main() {
             ]
         })
         .collect();
-    table::print_table(&["M", "blocks", "straight", "backward", "reduction"], &printable);
+    table::print_table(
+        &["M", "blocks", "straight", "backward", "reduction"],
+        &printable,
+    );
 }

@@ -36,7 +36,9 @@ fn main() {
     }
 
     if metric == "qps" || metric == "all" {
-        table::heading(&format!("Figs. 13–15 — query throughput (points/s), {family}"));
+        table::heading(&format!(
+            "Figs. 13–15 — query throughput (points/s), {family}"
+        ));
         let printable: Vec<Vec<String>> = rows
             .iter()
             .filter(|r| r.report.query_throughput_pps.is_some())

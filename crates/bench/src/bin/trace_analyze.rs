@@ -10,9 +10,7 @@ use backsort_experiments::cli::Args;
 use backsort_experiments::table;
 use backsort_experiments::timing::time_sort_tvlist;
 use backsort_tvlist::SliceSeries;
-use backsort_workload::metrics::{
-    displacement_stats, interval_inversion_ratio, inversions, runs,
-};
+use backsort_workload::metrics::{displacement_stats, interval_inversion_ratio, inversions, runs};
 use backsort_workload::{generate_pairs, read_csv, DelayModel, StreamSpec};
 
 fn main() {
@@ -34,7 +32,10 @@ fn main() {
             eprintln!("(no --file given; analyzing a built-in AbsNormal(1,2) demo trace)");
             generate_pairs(&StreamSpec::new(
                 100_000,
-                DelayModel::AbsNormal { mu: 1.0, sigma: 2.0 },
+                DelayModel::AbsNormal {
+                    mu: 1.0,
+                    sigma: 2.0,
+                },
                 42,
             ))
         }
@@ -62,9 +63,16 @@ fn main() {
     println!("points             : {}", times.len());
     println!("inversions         : {inv}");
     println!("runs               : {r}");
-    println!("in place / delayed / ahead : {:.1}% / {:.1}% / {:.1}%",
-        disp.in_place * 100.0, disp.delayed * 100.0, disp.ahead * 100.0);
-    println!("max displacement   : {} back, {} forward", disp.max_backward, disp.max_forward);
+    println!(
+        "in place / delayed / ahead : {:.1}% / {:.1}% / {:.1}%",
+        disp.in_place * 100.0,
+        disp.delayed * 100.0,
+        disp.ahead * 100.0
+    );
+    println!(
+        "max displacement   : {} back, {} forward",
+        disp.max_backward, disp.max_forward
+    );
     println!("chosen block size  : {l} (after {loops} probe rounds, Θ=0.04, L0=4)");
 
     table::heading("interval inversion ratio");

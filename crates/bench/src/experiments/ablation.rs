@@ -32,7 +32,10 @@ pub fn theta_sweep(n: usize, reps: usize, seed: u64) -> Vec<AblationRow> {
     for kind in [DatasetKind::Citibike201808, DatasetKind::SamsungS10] {
         let ds = Dataset::generate(kind, n, seed);
         for &theta in &thetas {
-            let cfg = BackwardSort { theta, ..BackwardSort::default() };
+            let cfg = BackwardSort {
+                theta,
+                ..BackwardSort::default()
+            };
             let alg = Algorithm::Backward(cfg);
             let nanos = time_sort_tvlist(&alg, &ds.pairs, reps);
             // Record the block size the search settles on.
@@ -101,8 +104,14 @@ pub fn stability_cost(n: usize, reps: usize, seed: u64) -> Vec<AblationRow> {
     let mut rows = Vec::new();
     for kind in [DatasetKind::AbsNormal01, DatasetKind::Citibike201808] {
         let ds = Dataset::generate(kind, n, seed);
-        for (label, in_block) in [("quick", InBlockSort::Quick), ("stable", InBlockSort::Stable)] {
-            let cfg = BackwardSort { in_block, ..BackwardSort::default() };
+        for (label, in_block) in [
+            ("quick", InBlockSort::Quick),
+            ("stable", InBlockSort::Stable),
+        ] {
+            let cfg = BackwardSort {
+                in_block,
+                ..BackwardSort::default()
+            };
             let alg = Algorithm::Backward(cfg);
             rows.push(AblationRow {
                 study: "stability".into(),
@@ -123,11 +132,16 @@ mod tests {
     #[test]
     fn theta_sweep_block_size_shrinks_with_larger_theta() {
         let rows = theta_sweep(20_000, 1, 3);
-        let citibike: Vec<&AblationRow> =
-            rows.iter().filter(|r| r.dataset == "citibike-201808").collect();
+        let citibike: Vec<&AblationRow> = rows
+            .iter()
+            .filter(|r| r.dataset == "citibike-201808")
+            .collect();
         let tight = citibike.iter().find(|r| r.x == "0.005").unwrap().aux;
         let loose = citibike.iter().find(|r| r.x == "0.32").unwrap().aux;
-        assert!(tight >= loose, "Θ=0.005 gives L {tight} >= Θ=0.32's {loose}");
+        assert!(
+            tight >= loose,
+            "Θ=0.005 gives L {tight} >= Θ=0.32's {loose}"
+        );
     }
 
     #[test]
@@ -141,7 +155,13 @@ mod tests {
     fn estimator_error_is_small_at_small_intervals() {
         let rows = estimator_error(100_000, 3);
         for row in rows.iter().filter(|r| r.x == "1" || r.x == "2") {
-            assert!(row.aux < 0.05, "{}: L={} err {}", row.dataset, row.x, row.aux);
+            assert!(
+                row.aux < 0.05,
+                "{}: L={} err {}",
+                row.dataset,
+                row.x,
+                row.aux
+            );
         }
     }
 
@@ -163,7 +183,11 @@ mod tests {
 /// for η calibrated so the orders of magnitude can be compared (η = 1).
 pub fn model_check(n: usize, reps: usize, seed: u64) -> Vec<AblationRow> {
     let mut rows = Vec::new();
-    for kind in [DatasetKind::Citibike201808, DatasetKind::SamsungS10, DatasetKind::LogNormal01] {
+    for kind in [
+        DatasetKind::Citibike201808,
+        DatasetKind::SamsungS10,
+        DatasetKind::LogNormal01,
+    ] {
         let ds = Dataset::generate(kind, n, seed);
 
         // Measure Q with a mid-range reference block size.
@@ -227,7 +251,11 @@ mod model_tests {
         let qs: Vec<&AblationRow> = rows.iter().filter(|r| r.study == "model-q").collect();
         assert_eq!(qs.len(), 3);
         // Heavy-tail citibike must have a larger measured Q than samsung.
-        let q_cb = qs.iter().find(|r| r.dataset == "citibike-201808").unwrap().aux;
+        let q_cb = qs
+            .iter()
+            .find(|r| r.dataset == "citibike-201808")
+            .unwrap()
+            .aux;
         let q_sam = qs.iter().find(|r| r.dataset == "samsung-s10").unwrap().aux;
         assert!(q_cb > q_sam, "Q citibike {q_cb} vs samsung {q_sam}");
     }

@@ -70,13 +70,15 @@ pub fn run(block_lens: &[usize], blocks: usize) -> Vec<MoveRow> {
                 let n = s.len();
                 let mut total = 0usize;
                 for i in (0..blocks - 1).rev() {
-                    total += merge_block_with_suffix(&mut s, i * m, (i + 1) * m, n, &mut scratch)
-                        .moves;
+                    total +=
+                        merge_block_with_suffix(&mut s, i * m, (i + 1) * m, n, &mut scratch).moves;
                 }
                 total
             };
             assert_eq!(straight, backward, "strategies must agree on the result");
-            assert!(backsort_tvlist::is_time_sorted(&SliceSeries::new(&mut straight)));
+            assert!(backsort_tvlist::is_time_sorted(&SliceSeries::new(
+                &mut straight
+            )));
             MoveRow {
                 block_len: m,
                 blocks,
@@ -111,7 +113,11 @@ mod tests {
     #[test]
     fn reduction_approaches_25_percent() {
         let row = &run(&[4096], 4)[0];
-        assert!((row.reduction - 0.25).abs() < 0.01, "reduction {}", row.reduction);
+        assert!(
+            (row.reduction - 0.25).abs() < 0.01,
+            "reduction {}",
+            row.reduction
+        );
     }
 
     #[test]

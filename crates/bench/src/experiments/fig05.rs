@@ -110,6 +110,10 @@ mod tests {
         assert_eq!(a1.interval, 1);
         // Paper Eq. 12: α1 = 1/(2e²) ≈ 0.0677.
         assert!((a1.theory - 0.067668).abs() < 1e-5);
-        assert!((a1.empirical - a1.theory).abs() < 0.005, "emp {}", a1.empirical);
+        assert!(
+            (a1.empirical - a1.theory).abs() < 0.005,
+            "emp {}",
+            a1.empirical
+        );
     }
 }

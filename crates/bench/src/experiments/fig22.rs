@@ -37,7 +37,11 @@ pub fn run(points: usize, epochs: usize, seed: u64) -> Vec<ForecastRow> {
                 n: points,
                 interval: 1,
                 delay,
-                signal: SignalKind::Sine { period: 64.0, amp: 100.0, noise: 2.0 },
+                signal: SignalKind::Sine {
+                    period: 64.0,
+                    amp: 100.0,
+                    noise: 2.0,
+                },
                 seed,
             };
             // Values in storage (arrival) order — the disordered series
@@ -76,6 +80,8 @@ mod tests {
             wild.test_mse,
             ordered.test_mse
         );
-        assert!(rows.iter().all(|r| r.train_mse.is_finite() && r.test_mse.is_finite()));
+        assert!(rows
+            .iter()
+            .all(|r| r.train_mse.is_finite() && r.test_mse.is_finite()));
     }
 }

@@ -53,7 +53,11 @@ pub fn sigma_sweep(family: &str, n: usize, reps: usize, seed: u64) -> Vec<SortTi
                 rows.push(SortTimeRow {
                     panel: format!(
                         "{}({mu},σ)",
-                        if family == "absnormal" { "AbsNormal" } else { "LogNormal" }
+                        if family == "absnormal" {
+                            "AbsNormal"
+                        } else {
+                            "LogNormal"
+                        }
                     ),
                     x: format!("{sigma}"),
                     algorithm: alg.name().to_string(),

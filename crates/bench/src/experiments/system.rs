@@ -23,16 +23,64 @@ pub fn family_panels(family: &str) -> Vec<(String, DelayModel)> {
         // The paper's four AbsNormal panels combine μ ∈ {1, 4} with two
         // σ values.
         "absnormal" => vec![
-            ("AbsNormal(1,1)".into(), DelayModel::AbsNormal { mu: 1.0, sigma: 1.0 }),
-            ("AbsNormal(1,4)".into(), DelayModel::AbsNormal { mu: 1.0, sigma: 4.0 }),
-            ("AbsNormal(4,1)".into(), DelayModel::AbsNormal { mu: 4.0, sigma: 1.0 }),
-            ("AbsNormal(4,4)".into(), DelayModel::AbsNormal { mu: 4.0, sigma: 4.0 }),
+            (
+                "AbsNormal(1,1)".into(),
+                DelayModel::AbsNormal {
+                    mu: 1.0,
+                    sigma: 1.0,
+                },
+            ),
+            (
+                "AbsNormal(1,4)".into(),
+                DelayModel::AbsNormal {
+                    mu: 1.0,
+                    sigma: 4.0,
+                },
+            ),
+            (
+                "AbsNormal(4,1)".into(),
+                DelayModel::AbsNormal {
+                    mu: 4.0,
+                    sigma: 1.0,
+                },
+            ),
+            (
+                "AbsNormal(4,4)".into(),
+                DelayModel::AbsNormal {
+                    mu: 4.0,
+                    sigma: 4.0,
+                },
+            ),
         ],
         "lognormal" => vec![
-            ("LogNormal(1,1)".into(), DelayModel::LogNormal { mu: 1.0, sigma: 1.0 }),
-            ("LogNormal(1,4)".into(), DelayModel::LogNormal { mu: 1.0, sigma: 4.0 }),
-            ("LogNormal(4,1)".into(), DelayModel::LogNormal { mu: 4.0, sigma: 1.0 }),
-            ("LogNormal(4,4)".into(), DelayModel::LogNormal { mu: 4.0, sigma: 4.0 }),
+            (
+                "LogNormal(1,1)".into(),
+                DelayModel::LogNormal {
+                    mu: 1.0,
+                    sigma: 1.0,
+                },
+            ),
+            (
+                "LogNormal(1,4)".into(),
+                DelayModel::LogNormal {
+                    mu: 1.0,
+                    sigma: 4.0,
+                },
+            ),
+            (
+                "LogNormal(4,1)".into(),
+                DelayModel::LogNormal {
+                    mu: 4.0,
+                    sigma: 1.0,
+                },
+            ),
+            (
+                "LogNormal(4,4)".into(),
+                DelayModel::LogNormal {
+                    mu: 4.0,
+                    sigma: 4.0,
+                },
+            ),
         ],
         "real" => DatasetKind::REAL
             .iter()
@@ -66,10 +114,16 @@ pub fn run_grid(
                     query_window: 2_000,
                     memtable_max_points,
                     sorter: alg,
+                    // One shard: bit-identical to the paper's single-lock
+                    // engine (§VI-D reproduction).
+                    shards: 1,
                     seed,
                 };
                 let report = run_benchmark(&config);
-                rows.push(SystemRow { panel: panel.clone(), report });
+                rows.push(SystemRow {
+                    panel: panel.clone(),
+                    report,
+                });
             }
         }
     }

@@ -21,13 +21,26 @@ pub fn print_table(columns: &[&str], rows: &[Vec<String>]) {
         cells
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .map(|(i, c)| {
+                format!(
+                    "{:>width$}",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(c.len())
+                )
+            })
             .collect::<Vec<_>>()
             .join("  ")
     };
     let header: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
     println!("{}", fmt_row(&header));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

@@ -16,7 +16,11 @@ pub fn time_sort_tvlist(alg: &Algorithm, pairs: &[(i64, i32)], reps: usize) -> u
         let t0 = Instant::now();
         alg.sort_series(&mut list);
         samples.push(t0.elapsed().as_nanos() as u64);
-        assert!(backsort_tvlist::is_time_sorted(&list), "{} failed to sort", alg.name());
+        assert!(
+            backsort_tvlist::is_time_sorted(&list),
+            "{} failed to sort",
+            alg.name()
+        );
     }
     median(&mut samples)
 }

@@ -26,6 +26,10 @@ pub struct BenchConfig {
     pub memtable_max_points: usize,
     /// Sort algorithm under test.
     pub sorter: Algorithm,
+    /// Storage-engine shards (device-hash partitions). `1` reproduces the
+    /// paper's single-lock engine exactly; higher values let concurrent
+    /// writers on different devices proceed in parallel.
+    pub shards: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -38,10 +42,14 @@ impl Default for BenchConfig {
             batch_size: 500,
             write_percentage: 0.9,
             operations: 200,
-            delay: DelayModel::AbsNormal { mu: 0.0, sigma: 1.0 },
+            delay: DelayModel::AbsNormal {
+                mu: 0.0,
+                sigma: 1.0,
+            },
             query_window: 2_000,
             memtable_max_points: 100_000,
             sorter: Algorithm::Backward(backsort_core::BackwardSort::default()),
+            shards: 1,
             seed: 1,
         }
     }

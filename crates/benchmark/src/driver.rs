@@ -47,6 +47,7 @@ pub fn run_benchmark(config: &BenchConfig) -> BenchReport {
         memtable_max_points: config.memtable_max_points,
         array_size: 32,
         sorter: config.sorter,
+        shards: config.shards,
     });
 
     // Pre-generate each sensor's arrival-ordered stream; batches are
@@ -67,7 +68,11 @@ pub fn run_benchmark(config: &BenchConfig) -> BenchReport {
                 n: expected_batches_per_sensor + config.batch_size,
                 interval: 1,
                 delay: config.delay,
-                signal: SignalKind::Sine { period: 512.0, amp: 100.0, noise: 1.0 },
+                signal: SignalKind::Sine {
+                    period: 512.0,
+                    amp: 100.0,
+                    noise: 1.0,
+                },
                 seed: config.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             };
             generate_pairs(&spec)
@@ -113,9 +118,10 @@ pub fn run_benchmark(config: &BenchConfig) -> BenchReport {
                 .iter()
                 .map(|&(t, v)| (t, TsValue::Double(v)))
                 .collect();
-            engine.write_batch(&keys[idx], &batch);
+            let batch_len = batch.len() as u64;
+            engine.write_batch(&keys[idx], batch);
             report.writes += 1;
-            report.points_written += batch.len() as u64;
+            report.points_written += batch_len;
         } else {
             let idx = rng.gen_range(0..sensor_count);
             let key = &keys[idx];
@@ -159,10 +165,14 @@ mod tests {
             batch_size: 100,
             write_percentage: write_pct,
             operations: 60,
-            delay: DelayModel::AbsNormal { mu: 0.0, sigma: 2.0 },
+            delay: DelayModel::AbsNormal {
+                mu: 0.0,
+                sigma: 2.0,
+            },
             query_window: 300,
             memtable_max_points: 1_000,
             sorter,
+            shards: 1,
             seed: 3,
         }
     }

@@ -197,7 +197,7 @@ mod tests {
         for &(times, want) in cases {
             let data = series(times);
             let mut data = data.clone();
-        let s = SliceSeries::new(&mut data);
+            let s = SliceSeries::new(&mut data);
             assert_eq!(inversion_count(&s), want, "{times:?}");
         }
     }

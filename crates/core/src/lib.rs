@@ -373,8 +373,16 @@ mod tests {
     #[test]
     fn sorts_fig1_example() {
         let mut pts = vec![
-            (1i64, 1i32), (3, 2), (4, 3), (5, 4), (2, 5),
-            (6, 6), (7, 7), (9, 8), (8, 9), (10, 10),
+            (1i64, 1i32),
+            (3, 2),
+            (4, 3),
+            (5, 4),
+            (2, 5),
+            (6, 6),
+            (7, 7),
+            (9, 8),
+            (8, 9),
+            (10, 10),
         ];
         let mut s = SliceSeries::new(&mut pts);
         backward_sort(&mut s);
@@ -403,7 +411,11 @@ mod tests {
         assert!(report.blocks >= 1);
         assert!(report.size_loops >= 1);
         // Scratch stays bounded by the overlap, far below n.
-        assert!(report.scratch_peak < 10_000 / 2, "scratch {}", report.scratch_peak);
+        assert!(
+            report.scratch_peak < 10_000 / 2,
+            "scratch {}",
+            report.scratch_peak
+        );
     }
 
     #[test]
@@ -435,10 +447,17 @@ mod tests {
     #[test]
     fn all_in_block_sorters_work() {
         let pts = delayed_series(3_000, 12, 5);
-        for in_block in [InBlockSort::Quick, InBlockSort::Stable, InBlockSort::Insertion] {
+        for in_block in [
+            InBlockSort::Quick,
+            InBlockSort::Stable,
+            InBlockSort::Insertion,
+        ] {
             let mut data = pts.clone();
             let mut s = SliceSeries::new(&mut data);
-            let cfg = BackwardSort { in_block, ..BackwardSort::default() };
+            let cfg = BackwardSort {
+                in_block,
+                ..BackwardSort::default()
+            };
             cfg.sort_series(&mut s);
             assert!(backsort_tvlist::is_time_sorted(&s), "{in_block:?}");
         }
@@ -457,7 +476,10 @@ mod tests {
         }
         let mut expected = pts.clone();
         expected.sort_by_key(|p| p.0);
-        let cfg = BackwardSort { in_block: InBlockSort::Stable, ..BackwardSort::default() };
+        let cfg = BackwardSort {
+            in_block: InBlockSort::Stable,
+            ..BackwardSort::default()
+        };
         let mut s = SliceSeries::new(&mut pts);
         cfg.sort_series(&mut s);
         assert_eq!(s.as_slice(), &expected[..]);
@@ -499,7 +521,9 @@ mod tests {
 
     #[test]
     fn algorithm_from_name_roundtrip() {
-        for name in ["BackSort", "CKSort", "Quick", "Timsort", "YSort", "Patience"] {
+        for name in [
+            "BackSort", "CKSort", "Quick", "Timsort", "YSort", "Patience",
+        ] {
             let alg = Algorithm::from_name(name).expect(name);
             assert_eq!(alg.name().to_ascii_lowercase(), name.to_ascii_lowercase());
         }
@@ -556,12 +580,16 @@ mod growth_tests {
             .map(|(i, (_, g))| (g, i as i32))
             .collect();
         let s = SliceSeries::new(&mut pairs);
-        let (l_double, loops_double) =
-            choose_block_size_with(&s, 0.04, 4, BlockGrowth::Doubling);
-        let (l_ratio, loops_ratio) =
-            choose_block_size_with(&s, 0.04, 4, BlockGrowth::RatioScaled);
-        assert!(loops_ratio <= loops_double, "{loops_ratio} !<= {loops_double}");
-        assert!(l_ratio >= l_double / 2, "ratio L {l_ratio} vs doubling {l_double}");
+        let (l_double, loops_double) = choose_block_size_with(&s, 0.04, 4, BlockGrowth::Doubling);
+        let (l_ratio, loops_ratio) = choose_block_size_with(&s, 0.04, 4, BlockGrowth::RatioScaled);
+        assert!(
+            loops_ratio <= loops_double,
+            "{loops_ratio} !<= {loops_double}"
+        );
+        assert!(
+            l_ratio >= l_double / 2,
+            "ratio L {l_ratio} vs doubling {l_double}"
+        );
     }
 
     #[test]
@@ -581,7 +609,10 @@ mod growth_tests {
             .enumerate()
             .map(|(i, (_, g))| (g, i as i32))
             .collect();
-        let cfg = BackwardSort { growth: BlockGrowth::RatioScaled, ..BackwardSort::default() };
+        let cfg = BackwardSort {
+            growth: BlockGrowth::RatioScaled,
+            ..BackwardSort::default()
+        };
         let mut s = SliceSeries::new(&mut pairs);
         use backsort_sorts::SeriesSorter as _;
         cfg.sort_series(&mut s);

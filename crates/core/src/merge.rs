@@ -225,7 +225,12 @@ pub fn straight_merge_blocks<S: SeriesAccess>(
     }
     let b = (n / block_size).max(1);
     let mut bounds: Vec<(usize, usize)> = (0..b)
-        .map(|i| (i * block_size, if i + 1 == b { n } else { (i + 1) * block_size }))
+        .map(|i| {
+            (
+                i * block_size,
+                if i + 1 == b { n } else { (i + 1) * block_size },
+            )
+        })
         .collect();
     let mut moves = 0usize;
     while bounds.len() > 1 {
@@ -280,7 +285,9 @@ mod tests {
         let mid = data.len();
         data.extend(suffix);
         let stats = run_merge(&mut data, mid);
-        assert!(backsort_tvlist::is_time_sorted(&SliceSeries::new(&mut data)));
+        assert!(backsort_tvlist::is_time_sorted(&SliceSeries::new(
+            &mut data
+        )));
         assert!(stats.overlap <= 6, "overlap {}", stats.overlap);
         assert!(stats.scratch_used <= 3);
     }
@@ -292,7 +299,9 @@ mod tests {
         let mid = data.len();
         data.extend((0..20).map(|i| (2 * i as i64 + 1, 100 + i)));
         let stats = run_merge(&mut data, mid);
-        assert!(backsort_tvlist::is_time_sorted(&SliceSeries::new(&mut data)));
+        assert!(backsort_tvlist::is_time_sorted(&SliceSeries::new(
+            &mut data
+        )));
         // run1 = block elements > 1 => 19; run2 = suffix elements < 38
         // (odds 1..37) => 19.
         assert_eq!(stats.overlap, 38);
@@ -321,8 +330,13 @@ mod tests {
         data.push((5, 1)); // delayed point at suffix head
         data.extend((20..25).map(|t| (t as i64, 0)));
         let stats = run_merge(&mut data, mid);
-        assert!(backsort_tvlist::is_time_sorted(&SliceSeries::new(&mut data)));
-        assert_eq!(stats.scratch_used, 1, "should buffer the smaller suffix side");
+        assert!(backsort_tvlist::is_time_sorted(&SliceSeries::new(
+            &mut data
+        )));
+        assert_eq!(
+            stats.scratch_used, 1,
+            "should buffer the smaller suffix side"
+        );
     }
 
     #[test]
@@ -385,7 +399,9 @@ mod tests {
             let mut s = SliceSeries::new(&mut straight);
             straight_merge_blocks(&mut s, m, &mut scratch)
         };
-        assert!(backsort_tvlist::is_time_sorted(&SliceSeries::new(&mut straight)));
+        assert!(backsort_tvlist::is_time_sorted(&SliceSeries::new(
+            &mut straight
+        )));
 
         let mut backward = build();
         let backward_moves = {
@@ -393,13 +409,14 @@ mod tests {
             let n = s.len();
             let mut total = 0;
             for i in (0..2).rev() {
-                let stats =
-                    merge_block_with_suffix(&mut s, i * m, (i + 1) * m, n, &mut scratch);
+                let stats = merge_block_with_suffix(&mut s, i * m, (i + 1) * m, n, &mut scratch);
                 total += stats.moves;
             }
             total
         };
-        assert!(backsort_tvlist::is_time_sorted(&SliceSeries::new(&mut backward)));
+        assert!(backsort_tvlist::is_time_sorted(&SliceSeries::new(
+            &mut backward
+        )));
         assert_eq!(straight, backward, "both strategies produce the same order");
         assert!(
             backward_moves < straight_moves,
@@ -421,8 +438,16 @@ mod tests {
         for key in 0..14 {
             let upper = (0..s.len()).find(|&i| s.time(i) > key).unwrap_or(s.len());
             let lower = (0..s.len()).find(|&i| s.time(i) >= key).unwrap_or(s.len());
-            assert_eq!(gallop_upper_from_right(&s, 0, s.len(), key), upper, "upper key={key}");
-            assert_eq!(gallop_lower_from_left(&s, 0, s.len(), key), lower, "lower key={key}");
+            assert_eq!(
+                gallop_upper_from_right(&s, 0, s.len(), key),
+                upper,
+                "upper key={key}"
+            );
+            assert_eq!(
+                gallop_lower_from_left(&s, 0, s.len(), key),
+                lower,
+                "lower key={key}"
+            );
         }
     }
 }

@@ -60,7 +60,10 @@ pub fn aggregate_points(points: &[(i64, TsValue)], agg: Aggregation) -> AggValue
     if points.is_empty() {
         return AggValue::Empty;
     }
-    debug_assert!(points.windows(2).all(|w| w[0].0 <= w[1].0), "points must be sorted");
+    debug_assert!(
+        points.windows(2).all(|w| w[0].0 <= w[1].0),
+        "points must be sorted"
+    );
     let values = || points.iter().map(|(_, v)| v.as_f64());
     match agg {
         Aggregation::Count => AggValue::Number(points.len() as f64),
@@ -132,6 +135,7 @@ mod tests {
             memtable_max_points: 10_000,
             array_size: 16,
             sorter: Algorithm::Backward(Default::default()),
+            shards: 1,
         });
         let key = SeriesKey::new("root.sg.d1", "speed");
         // Out-of-order writes, values = 2 * t.
@@ -144,23 +148,59 @@ mod tests {
     #[test]
     fn basic_aggregations() {
         let (engine, key) = engine_with_data();
-        assert_eq!(engine.aggregate(&key, 1, 10, Aggregation::Count), AggValue::Number(10.0));
-        assert_eq!(engine.aggregate(&key, 1, 10, Aggregation::MinValue), AggValue::Number(2.0));
-        assert_eq!(engine.aggregate(&key, 1, 10, Aggregation::MaxValue), AggValue::Number(20.0));
-        assert_eq!(engine.aggregate(&key, 1, 10, Aggregation::Avg), AggValue::Number(11.0));
-        assert_eq!(engine.aggregate(&key, 1, 10, Aggregation::Sum), AggValue::Number(110.0));
-        assert_eq!(engine.aggregate(&key, 1, 10, Aggregation::FirstValue), AggValue::Number(2.0));
-        assert_eq!(engine.aggregate(&key, 1, 10, Aggregation::LastValue), AggValue::Number(20.0));
-        assert_eq!(engine.aggregate(&key, 1, 10, Aggregation::MinTime), AggValue::Time(1));
-        assert_eq!(engine.aggregate(&key, 1, 10, Aggregation::MaxTime), AggValue::Time(10));
+        assert_eq!(
+            engine.aggregate(&key, 1, 10, Aggregation::Count),
+            AggValue::Number(10.0)
+        );
+        assert_eq!(
+            engine.aggregate(&key, 1, 10, Aggregation::MinValue),
+            AggValue::Number(2.0)
+        );
+        assert_eq!(
+            engine.aggregate(&key, 1, 10, Aggregation::MaxValue),
+            AggValue::Number(20.0)
+        );
+        assert_eq!(
+            engine.aggregate(&key, 1, 10, Aggregation::Avg),
+            AggValue::Number(11.0)
+        );
+        assert_eq!(
+            engine.aggregate(&key, 1, 10, Aggregation::Sum),
+            AggValue::Number(110.0)
+        );
+        assert_eq!(
+            engine.aggregate(&key, 1, 10, Aggregation::FirstValue),
+            AggValue::Number(2.0)
+        );
+        assert_eq!(
+            engine.aggregate(&key, 1, 10, Aggregation::LastValue),
+            AggValue::Number(20.0)
+        );
+        assert_eq!(
+            engine.aggregate(&key, 1, 10, Aggregation::MinTime),
+            AggValue::Time(1)
+        );
+        assert_eq!(
+            engine.aggregate(&key, 1, 10, Aggregation::MaxTime),
+            AggValue::Time(10)
+        );
     }
 
     #[test]
     fn range_restriction_applies() {
         let (engine, key) = engine_with_data();
-        assert_eq!(engine.aggregate(&key, 3, 5, Aggregation::Count), AggValue::Number(3.0));
-        assert_eq!(engine.aggregate(&key, 3, 5, Aggregation::Avg), AggValue::Number(8.0));
-        assert_eq!(engine.aggregate(&key, 100, 200, Aggregation::Avg), AggValue::Empty);
+        assert_eq!(
+            engine.aggregate(&key, 3, 5, Aggregation::Count),
+            AggValue::Number(3.0)
+        );
+        assert_eq!(
+            engine.aggregate(&key, 3, 5, Aggregation::Avg),
+            AggValue::Number(8.0)
+        );
+        assert_eq!(
+            engine.aggregate(&key, 100, 200, Aggregation::Avg),
+            AggValue::Empty
+        );
     }
 
     #[test]
@@ -169,9 +209,18 @@ mod tests {
         // luck; FIRST/LAST must reflect *time* order even though writes
         // were shuffled.
         let (engine, key) = engine_with_data();
-        assert_eq!(engine.aggregate(&key, 1, 10, Aggregation::FirstValue), AggValue::Number(2.0));
-        assert_eq!(engine.aggregate(&key, 2, 9, Aggregation::FirstValue), AggValue::Number(4.0));
-        assert_eq!(engine.aggregate(&key, 2, 9, Aggregation::LastValue), AggValue::Number(18.0));
+        assert_eq!(
+            engine.aggregate(&key, 1, 10, Aggregation::FirstValue),
+            AggValue::Number(2.0)
+        );
+        assert_eq!(
+            engine.aggregate(&key, 2, 9, Aggregation::FirstValue),
+            AggValue::Number(4.0)
+        );
+        assert_eq!(
+            engine.aggregate(&key, 2, 9, Aggregation::LastValue),
+            AggValue::Number(18.0)
+        );
     }
 
     #[test]
@@ -189,7 +238,10 @@ mod tests {
         );
         let avgs = engine.group_by_time(&key, 1, 10, 5, Aggregation::Avg);
         // [1,6): values 2,4,6,8,10 -> 6; [6,11): 12,14,16,18,20 -> 16.
-        assert_eq!(avgs, vec![(1, AggValue::Number(6.0)), (6, AggValue::Number(16.0))]);
+        assert_eq!(
+            avgs,
+            vec![(1, AggValue::Number(6.0)), (6, AggValue::Number(16.0))]
+        );
     }
 
     #[test]

@@ -29,15 +29,37 @@ pub struct CompactionReport {
 }
 
 impl StorageEngine {
-    /// Merges all flushed files into one sorted, deduplicated file.
+    /// Merges each shard's flushed files into one sorted, deduplicated
+    /// file per shard, returning the summed report.
     ///
     /// Later files win on duplicate timestamps (they contain the fresher
     /// writes — unsequence flushes are appended after the sequence file
     /// they overlap). Memtables are untouched; queries before and after
-    /// return identical results.
+    /// return identical results. Shards are compacted one at a time in
+    /// ascending order (the engine's lock-ordering rule); files never
+    /// move between shards, so per-shard merging loses nothing.
     pub fn compact(&self) -> CompactionReport {
-        let images = self.take_files_for_compaction();
-        let tombstones = self.take_tombstones();
+        let mut total = CompactionReport {
+            files_in: 0,
+            files_out: 0,
+            points: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+        };
+        for shard in 0..self.shard_count() {
+            let r = self.compact_shard(shard);
+            total.files_in += r.files_in;
+            total.files_out += r.files_out;
+            total.points += r.points;
+            total.bytes_in += r.bytes_in;
+            total.bytes_out += r.bytes_out;
+        }
+        total
+    }
+
+    fn compact_shard(&self, shard: usize) -> CompactionReport {
+        let images = self.take_files_for_compaction(shard);
+        let tombstones = self.take_tombstones(shard);
         let files_in = images.len();
         let bytes_in: u64 = images.iter().map(|f| f.len() as u64).sum();
         if files_in <= 1 && tombstones.is_empty() {
@@ -49,7 +71,7 @@ impl StorageEngine {
                 bytes_in,
                 bytes_out: bytes_in,
             };
-            self.restore_files(images);
+            self.restore_files(shard, images);
             return report;
         }
         if files_in == 0 {
@@ -100,7 +122,7 @@ impl StorageEngine {
         }
         let image = writer.finish();
         let bytes_out = image.len() as u64;
-        self.restore_files(vec![image]);
+        self.restore_files(shard, vec![image]);
         CompactionReport {
             files_in,
             files_out: 1,
@@ -122,6 +144,7 @@ mod tests {
             memtable_max_points: max_points,
             array_size: 16,
             sorter: Algorithm::Backward(Default::default()),
+            shards: 1,
         })
     }
 
@@ -209,6 +232,7 @@ mod tests {
                 in_block: backsort_core::InBlockSort::Stable,
                 ..Default::default()
             }),
+            shards: 1,
         });
         // Duplicate-heavy workload: many timestamps rewritten.
         for round in 0..6i64 {
@@ -240,5 +264,31 @@ mod tests {
         eng.compact();
         assert_eq!(eng.query(&key("a"), 0, 100).len(), 90);
         assert_eq!(eng.query(&key("b"), 0, 100).len(), 90);
+    }
+
+    #[test]
+    fn sharded_compaction_merges_per_shard() {
+        let eng = StorageEngine::new(EngineConfig {
+            memtable_max_points: 30,
+            array_size: 16,
+            sorter: Algorithm::Backward(Default::default()),
+            shards: 4,
+        });
+        // d0 and d2 live on different shards; each produces several files.
+        let ka = SeriesKey::new("root.sg.d0", "s");
+        let kb = SeriesKey::new("root.sg.d2", "s");
+        for i in 0..90i64 {
+            eng.write(&ka, i, TsValue::Long(i));
+            eng.write(&kb, i, TsValue::Long(-i));
+        }
+        eng.flush();
+        assert!(eng.file_count() >= 4);
+
+        let report = eng.compact();
+        // One merged file per populated shard, never a cross-shard merge.
+        assert_eq!(report.files_out, 2);
+        assert_eq!(eng.file_count(), 2);
+        assert_eq!(eng.query(&ka, 0, 100).len(), 90);
+        assert_eq!(eng.query(&kb, 0, 100).len(), 90);
     }
 }

@@ -41,6 +41,7 @@ mod tests {
             memtable_max_points: max_points,
             array_size: 16,
             sorter: Algorithm::Backward(Default::default()),
+            shards: 1,
         })
     }
 
@@ -50,7 +51,11 @@ mod tests {
 
     #[test]
     fn tombstone_covers() {
-        let ts = Tombstone { key: key(), t_lo: 5, t_hi: 10 };
+        let ts = Tombstone {
+            key: key(),
+            t_lo: 5,
+            t_hi: 10,
+        };
         assert!(ts.covers(&key(), 5));
         assert!(ts.covers(&key(), 10));
         assert!(!ts.covers(&key(), 4));

@@ -186,9 +186,16 @@ pub mod ts2diff {
         for block in deltas.chunks(BLOCK) {
             let min = *block.iter().min().expect("non-empty block");
             varint::write_i64(&mut out, min);
-            let offsets: Vec<u64> = block.iter().map(|&d| (d.wrapping_sub(min)) as u64).collect();
+            let offsets: Vec<u64> = block
+                .iter()
+                .map(|&d| (d.wrapping_sub(min)) as u64)
+                .collect();
             let max = offsets.iter().copied().max().unwrap_or(0);
-            let width = if max == 0 { 0 } else { 64 - max.leading_zeros() as u8 };
+            let width = if max == 0 {
+                0
+            } else {
+                64 - max.leading_zeros() as u8
+            };
             out.push(width);
             varint::write_u64(&mut out, block.len() as u64);
             let mut bw = super::bitio::BitWriter::new();
@@ -552,7 +559,11 @@ mod tests {
         let values: Vec<i64> = (0..1000).map(|i| 1_600_000_000_000 + i * 1000).collect();
         let encoded = ts2diff::encode(&values);
         // Regular intervals compress drastically: constant delta-of-delta.
-        assert!(encoded.len() < values.len() * 8 / 10, "len {}", encoded.len());
+        assert!(
+            encoded.len() < values.len() * 8 / 10,
+            "len {}",
+            encoded.len()
+        );
         assert_eq!(ts2diff::decode(&encoded), Some(values));
     }
 
@@ -619,20 +630,30 @@ mod tests {
     #[test]
     fn gorilla_f32_roundtrip() {
         let values: Vec<f32> = (0..200).map(|i| i as f32 * 0.5 - 17.0).collect();
-        assert_eq!(gorilla::decode_f32(&gorilla::encode_f32(&values)), Some(values));
+        assert_eq!(
+            gorilla::decode_f32(&gorilla::encode_f32(&values)),
+            Some(values)
+        );
     }
 
     #[test]
     fn gorilla_empty_and_one() {
         assert_eq!(gorilla::decode_f64(&gorilla::encode_f64(&[])), Some(vec![]));
-        assert_eq!(gorilla::decode_f64(&gorilla::encode_f64(&[2.5])), Some(vec![2.5]));
+        assert_eq!(
+            gorilla::decode_f64(&gorilla::encode_f64(&[2.5])),
+            Some(vec![2.5])
+        );
     }
 
     #[test]
     fn rle_roundtrip_and_compression() {
         let plateaus: Vec<i64> = (0..1000).map(|i| (i / 100) * 7).collect();
         let encoded = rle::encode(&plateaus);
-        assert!(encoded.len() < 64, "10 runs should encode tiny, got {}", encoded.len());
+        assert!(
+            encoded.len() < 64,
+            "10 runs should encode tiny, got {}",
+            encoded.len()
+        );
         assert_eq!(rle::decode(&encoded), Some(plateaus));
         assert_eq!(rle::decode(&rle::encode(&[])), Some(vec![]));
         let mixed = vec![5i64, 5, -3, i64::MAX, i64::MAX, 0];
@@ -677,7 +698,10 @@ mod tests {
             .map(String::from)
             .collect::<Vec<_>>();
         assert_eq!(textpack::decode(&textpack::encode(&values)), Some(values));
-        assert_eq!(textpack::decode(&textpack::encode::<String>(&[])), Some(vec![]));
+        assert_eq!(
+            textpack::decode(&textpack::encode::<String>(&[])),
+            Some(vec![])
+        );
     }
 
     #[test]

@@ -1,10 +1,37 @@
-//! The storage engine: working/flushing/unsequence memtables behind one
-//! lock, the separation policy, and sorted time-range queries.
+//! The storage engine: working/flushing/unsequence memtables sharded by
+//! device, the separation policy, and sorted time-range queries.
+//!
+//! # Sharding
+//!
+//! The engine is split into [`EngineConfig::shards`] shards, each owning
+//! its own working/flushing/unsequence memtables, flush watermarks, file
+//! images and tombstones behind a `parking_lot::RwLock`. A point's shard
+//! is the FNV-1a hash of its *device* string modulo the shard count, so
+//! all sensors of one device — and therefore every point of one series —
+//! live in exactly one shard. Writes to different devices and queries on
+//! different devices proceed in parallel.
+//!
+//! With `shards == 1` (the default) the engine degenerates to the
+//! paper-faithful single-lock configuration: one lock serializes writes,
+//! flushes and queries, reproducing §VI-D1's "the query process in IoTDB
+//! takes the lock and blocks the write process". All figure
+//! reproductions run in that mode.
+//!
+//! # Lock order
+//!
+//! The deadlock-freedom rule is simple and global: **at most one shard
+//! lock is ever held at a time.** Single-series operations (write,
+//! query, delete, latest-time) touch only their key's shard.
+//! Multi-shard operations ([`StorageEngine::flush`],
+//! [`StorageEngine::flush_unseq`], [`StorageEngine::begin_flush`],
+//! [`StorageEngine::adopt_file`], compaction, and the metrics accessors)
+//! visit shards in **ascending index order**, releasing each shard's
+//! lock before taking the next. No code path nests shard locks.
 
 use std::collections::HashMap;
 
 use backsort_core::Algorithm;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 use crate::delete::Tombstone;
 use crate::flush::{flush_memtable, FlushMetrics};
@@ -17,12 +44,17 @@ use crate::types::{SeriesKey, TsValue};
 pub struct EngineConfig {
     /// Points per memtable before it rotates into flushing — the paper's
     /// "100,000 is the appropriate memory points size in the IoTDB"
-    /// (§VI-A3).
+    /// (§VI-A3). The budget applies *per shard*.
     pub memtable_max_points: usize,
     /// TVList chunk size (IoTDB default 32).
     pub array_size: usize,
     /// The sort algorithm under test.
     pub sorter: Algorithm,
+    /// Number of device-hash shards. `1` (the default) reproduces the
+    /// paper's single-lock engine exactly; values `> 1` let writes and
+    /// queries on different devices proceed in parallel. `0` is treated
+    /// as `1`.
+    pub shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -31,6 +63,7 @@ impl Default for EngineConfig {
             memtable_max_points: 100_000,
             array_size: 32,
             sorter: Algorithm::Backward(backsort_core::BackwardSort::default()),
+            shards: 1,
         }
     }
 }
@@ -39,20 +72,30 @@ impl Default for EngineConfig {
 /// range reaches below the flush watermark).
 pub type QueryResult = Vec<(i64, TsValue)>;
 
-/// A rotated memtable awaiting an asynchronous flush.
+/// A rotated memtable awaiting an asynchronous flush, tagged with the
+/// shard it came from.
 ///
 /// Produced by [`StorageEngine::begin_flush`] /
 /// [`StorageEngine::write_nonblocking`]; consumed by
-/// [`StorageEngine::complete_flush`] (directly or via [`AsyncFlusher`]).
-/// While the job is outstanding, queries still see the data through the
-/// engine's flushing slot.
+/// [`StorageEngine::complete_flush`] (directly or via an
+/// [`AsyncFlusher`](crate::AsyncFlusher) pool). While the job is
+/// outstanding, queries still see the data through the owning shard's
+/// flushing slot.
 #[derive(Debug)]
 pub struct FlushJob {
+    shard: usize,
     memtable: MemTable,
 }
 
+impl FlushJob {
+    /// The shard whose flushing slot this job will release.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+}
+
 #[derive(Debug, Default)]
-struct EngineState {
+struct ShardState {
     working: MemTable,
     /// Immutable memtable currently being flushed asynchronously (still
     /// visible to queries).
@@ -71,29 +114,47 @@ struct EngineState {
     flush_history: Vec<FlushMetrics>,
 }
 
-/// A single-storage-group IoTDB-style engine.
+impl ShardState {
+    fn new(array_size: usize) -> Self {
+        Self {
+            working: MemTable::new(array_size),
+            unseq: MemTable::new(array_size),
+            ..ShardState::default()
+        }
+    }
+}
+
+/// FNV-1a over a device name — stable across runs, so the same device
+/// always lands in the same shard.
+fn fnv1a(device: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in device.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A single-storage-group IoTDB-style engine, sharded by device.
 ///
-/// One big lock serializes writes, flushes and queries — deliberately, to
-/// reproduce the paper's observation that "the query process in IoTDB
-/// takes the lock and blocks the write process" (§VI-D1), which is why
-/// faster sorting lifts write throughput too.
+/// At `shards = 1` one big lock serializes writes, flushes and queries —
+/// deliberately, to reproduce the paper's observation that "the query
+/// process in IoTDB takes the lock and blocks the write process"
+/// (§VI-D1), which is why faster sorting lifts write throughput too. At
+/// higher shard counts only same-device traffic contends.
 pub struct StorageEngine {
     config: EngineConfig,
-    state: Mutex<EngineState>,
+    shards: Vec<RwLock<ShardState>>,
 }
 
 impl StorageEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
-        let state = EngineState {
-            working: MemTable::new(config.array_size),
-            unseq: MemTable::new(config.array_size),
-            ..EngineState::default()
-        };
-        Self {
-            config,
-            state: Mutex::new(state),
-        }
+        let n = config.shards.max(1);
+        let shards = (0..n)
+            .map(|_| RwLock::new(ShardState::new(config.array_size)))
+            .collect();
+        Self { config, shards }
     }
 
     /// The active configuration.
@@ -101,68 +162,129 @@ impl StorageEngine {
         &self.config
     }
 
+    /// Number of shards (always ≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a device's series live in.
+    pub fn shard_of(&self, device: &str) -> usize {
+        if self.shards.len() == 1 {
+            0
+        } else {
+            (fnv1a(device) % self.shards.len() as u64) as usize
+        }
+    }
+
     /// Writes one point, routing by the separation policy, and flushes
-    /// synchronously when the working memtable fills. Returns the flush
-    /// metrics if a flush was triggered.
+    /// synchronously when the shard's working memtable fills. Returns the
+    /// flush metrics if a flush was triggered.
     pub fn write(&self, key: &SeriesKey, t: i64, v: TsValue) -> Option<FlushMetrics> {
-        let mut st = self.state.lock();
-        let watermark = st.watermarks.get(key).copied();
-        match watermark {
+        let mut st = self.shards[self.shard_of(&key.device)].write();
+        match st.watermarks.get(key).copied() {
             Some(w) if t <= w => st.unseq.write(key, t, v),
             _ => st.working.write(key, t, v),
         }
         if st.working.total_points() >= self.config.memtable_max_points {
-            Some(self.flush_locked(&mut st))
+            Some(self.flush_shard_locked(&mut st))
         } else {
             None
         }
     }
 
     /// Writes a batch of points for one sensor (IoTDB-benchmark sends
-    /// batches; §VI-A2). Returns metrics for any flush triggered.
-    pub fn write_batch(
-        &self,
-        key: &SeriesKey,
-        points: &[(i64, TsValue)],
-    ) -> Vec<FlushMetrics> {
-        let mut st = self.state.lock();
+    /// batches; §VI-A2). Returns metrics for any flushes triggered.
+    ///
+    /// The batch targets a single series, so the separation watermark is
+    /// looked up once and only re-read after a mid-batch flush (the only
+    /// event that can move it); points are taken by value, so nothing is
+    /// cloned on the way into the memtable.
+    pub fn write_batch(&self, key: &SeriesKey, points: Vec<(i64, TsValue)>) -> Vec<FlushMetrics> {
+        let mut st = self.shards[self.shard_of(&key.device)].write();
         let mut flushes = Vec::new();
+        let mut watermark = st.watermarks.get(key).copied();
         for (t, v) in points {
-            let (t, v) = (*t, v.clone());
-            match st.watermarks.get(key).copied() {
+            match watermark {
                 Some(w) if t <= w => st.unseq.write(key, t, v),
                 _ => st.working.write(key, t, v),
             }
             if st.working.total_points() >= self.config.memtable_max_points {
-                flushes.push(self.flush_locked(&mut st));
+                flushes.push(self.flush_shard_locked(&mut st));
+                watermark = st.watermarks.get(key).copied();
             }
         }
         flushes
     }
 
-    /// Forces a flush of the working memtable.
-    pub fn flush(&self) -> FlushMetrics {
-        let mut st = self.state.lock();
-        self.flush_locked(&mut st)
+    /// Like [`StorageEngine::write_batch`], but a full working memtable
+    /// rotates into the shard's flushing slot instead of flushing inline;
+    /// the returned [`FlushJob`] is completed off the write path (by the
+    /// caller or an [`AsyncFlusher`](crate::AsyncFlusher)). At most one
+    /// job is returned per call: while it is outstanding, the shard
+    /// backpressures further rotations into the growing working memtable.
+    pub fn write_batch_nonblocking(
+        &self,
+        key: &SeriesKey,
+        points: Vec<(i64, TsValue)>,
+    ) -> Option<FlushJob> {
+        let shard = self.shard_of(&key.device);
+        let mut st = self.shards[shard].write();
+        let mut job = None;
+        let mut watermark = st.watermarks.get(key).copied();
+        for (t, v) in points {
+            match watermark {
+                Some(w) if t <= w => st.unseq.write(key, t, v),
+                _ => st.working.write(key, t, v),
+            }
+            if st.working.total_points() >= self.config.memtable_max_points {
+                if let Some(j) = self.begin_flush_shard_locked(shard, &mut st) {
+                    job = Some(j);
+                    watermark = st.watermarks.get(key).copied();
+                }
+            }
+        }
+        job
     }
 
-    /// Flushes the *unsequence* memtable to its own file. Watermarks are
-    /// untouched (unsequence data is below them by definition). Used by
-    /// the durable store so WAL segments can be truncated safely.
-    pub fn flush_unseq(&self) -> FlushMetrics {
-        let mut st = self.state.lock();
-        let mut flushing = std::mem::replace(&mut st.unseq, MemTable::new(self.config.array_size));
-        let (image, metrics) = flush_memtable(&mut flushing, &self.config.sorter);
-        if metrics.points > 0 {
-            st.files.push(image);
+    /// Forces a flush of every shard's working memtable (ascending shard
+    /// order, one lock at a time). Returns the metrics summed across
+    /// shards; each shard also records its own history entry.
+    pub fn flush(&self) -> FlushMetrics {
+        let mut total = FlushMetrics::default();
+        for shard in &self.shards {
+            let mut st = shard.write();
+            let m = self.flush_shard_locked(&mut st);
+            total = merge_metrics(total, m);
         }
-        st.flush_history.push(metrics);
-        metrics
+        total
+    }
+
+    /// Flushes every shard's *unsequence* memtable to its own file.
+    /// Watermarks are untouched (unsequence data is below them by
+    /// definition). Used by the durable store so WAL segments can be
+    /// truncated safely. Returns the metrics summed across shards.
+    pub fn flush_unseq(&self) -> FlushMetrics {
+        let mut total = FlushMetrics::default();
+        for shard in &self.shards {
+            let mut st = shard.write();
+            let mut flushing =
+                std::mem::replace(&mut st.unseq, MemTable::new(self.config.array_size));
+            let (image, metrics) = flush_memtable(&mut flushing, &self.config.sorter);
+            if metrics.points > 0 {
+                st.files.push(image);
+            }
+            st.flush_history.push(metrics);
+            total = merge_metrics(total, metrics);
+        }
+        total
     }
 
     /// Adopts an existing TsFile image (recovery path): registers it for
-    /// queries and advances watermarks from its chunk statistics. Returns
-    /// `false` (and adopts nothing) if the image does not parse.
+    /// queries and advances watermarks from its chunk statistics. The
+    /// image is installed into every shard that owns one of its devices
+    /// (ascending order; a copy per shard — queries filter by series, so
+    /// the duplication is invisible). Returns `false` (and adopts
+    /// nothing) if the image does not parse.
     pub fn adopt_file(&self, image: Vec<u8>) -> bool {
         let Some(reader) = TsFileReader::open(&image) else {
             return false;
@@ -173,57 +295,88 @@ impl StorageEngine {
             .map(|m| (m.key.clone(), m.max_time))
             .collect();
         drop(reader);
-        let mut st = self.state.lock();
-        for (key, max_time) in metas {
-            let w = st.watermarks.entry(key).or_insert(i64::MIN);
-            *w = (*w).max(max_time);
+        let mut targets: Vec<usize> = metas
+            .iter()
+            .map(|(k, _)| self.shard_of(&k.device))
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        if targets.is_empty() {
+            targets.push(0); // an empty (but valid) file: park it in shard 0
         }
-        st.files.push(image);
+        let last = targets.len() - 1;
+        let mut image = Some(image);
+        for (i, &shard) in targets.iter().enumerate() {
+            let mut st = self.shards[shard].write();
+            for (key, max_time) in &metas {
+                if self.shard_of(&key.device) == shard {
+                    let w = st.watermarks.entry(key.clone()).or_insert(i64::MIN);
+                    *w = (*w).max(*max_time);
+                }
+            }
+            let img = if i == last {
+                image.take().expect("moved once")
+            } else {
+                image.as_ref().expect("not yet moved").clone()
+            };
+            st.files.push(img);
+        }
         true
     }
 
-    /// A copy of the most recently flushed file image, if any — the
-    /// durable store persists this right after a flush.
-    pub fn last_file(&self) -> Option<Vec<u8>> {
-        self.state.lock().files.last().cloned()
+    /// File images of one shard from index `from` onwards, oldest first —
+    /// the durable store persists exactly the images it has not yet seen.
+    pub fn files_after(&self, shard: usize, from: usize) -> Vec<Vec<u8>> {
+        let st = self.shards[shard].read();
+        st.files
+            .get(from..)
+            .map(<[Vec<u8>]>::to_vec)
+            .unwrap_or_default()
     }
 
-    /// Removes and returns all flushed file images (compaction intake).
+    /// Number of file images currently installed in one shard.
+    pub fn shard_file_count(&self, shard: usize) -> usize {
+        self.shards[shard].read().files.len()
+    }
+
+    /// Removes and returns one shard's flushed file images (compaction
+    /// intake).
     ///
     /// Concurrent queries between this call and [`restore_files`] would
     /// miss disk data; run compaction from a maintenance context, as
     /// IoTDB schedules it.
     ///
     /// [`restore_files`]: StorageEngine::restore_files
-    pub(crate) fn take_files_for_compaction(&self) -> Vec<Vec<u8>> {
-        std::mem::take(&mut self.state.lock().files)
+    pub(crate) fn take_files_for_compaction(&self, shard: usize) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.shards[shard].write().files)
     }
 
-    /// Re-installs file images at the *oldest* position, so files flushed
-    /// while compaction ran stay newer (and keep winning duplicate
-    /// timestamps).
-    pub(crate) fn restore_files(&self, mut files: Vec<Vec<u8>>) {
-        let mut st = self.state.lock();
+    /// Re-installs file images at the *oldest* position of a shard, so
+    /// files flushed while compaction ran stay newer (and keep winning
+    /// duplicate timestamps).
+    pub(crate) fn restore_files(&self, shard: usize, mut files: Vec<Vec<u8>>) {
+        let mut st = self.shards[shard].write();
         files.append(&mut st.files);
         st.files = files;
     }
 
-    /// Tombstones pending physical application, paired with their file
-    /// horizons (compaction intake).
-    pub(crate) fn take_tombstones(&self) -> Vec<(Tombstone, usize)> {
-        std::mem::take(&mut self.state.lock().tombstones)
+    /// One shard's tombstones pending physical application, paired with
+    /// their file horizons (compaction intake).
+    pub(crate) fn take_tombstones(&self, shard: usize) -> Vec<(Tombstone, usize)> {
+        std::mem::take(&mut self.shards[shard].write().tombstones)
     }
 
-    /// Number of tombstones awaiting compaction.
+    /// Number of tombstones awaiting compaction, across all shards.
     pub fn tombstone_count(&self) -> usize {
-        self.state.lock().tombstones.len()
+        self.shards.iter().map(|s| s.read().tombstones.len()).sum()
     }
 
     /// All sensors known for `device`, across memtables and flushed
     /// files, sorted and deduplicated — the schema view `SELECT *`
-    /// expands against.
+    /// expands against. A device lives in exactly one shard, so this
+    /// takes a single read lock.
     pub fn list_sensors(&self, device: &str) -> Vec<SeriesKey> {
-        let st = self.state.lock();
+        let st = self.shards[self.shard_of(device)].read();
         let mut keys: Vec<SeriesKey> = Vec::new();
         let mems: Vec<&MemTable> = std::iter::once(&st.working)
             .chain(st.flushing.as_ref())
@@ -258,7 +411,7 @@ impl StorageEngine {
     /// IoTDB's "mods" mechanism. Returns how many in-memory points were
     /// removed.
     pub fn delete_range(&self, key: &SeriesKey, t_lo: i64, t_hi: i64) -> usize {
-        let mut st = self.state.lock();
+        let mut st = self.shards[self.shard_of(&key.device)].write();
         let mut removed = st.working.delete_range(key, t_lo, t_hi);
         removed += st.unseq.delete_range(key, t_lo, t_hi);
         if let Some(fl) = st.flushing.as_mut() {
@@ -269,7 +422,11 @@ impl StorageEngine {
         }
         let horizon = st.files.len() + usize::from(st.flushing.is_some());
         st.tombstones.push((
-            Tombstone { key: key.clone(), t_lo, t_hi },
+            Tombstone {
+                key: key.clone(),
+                t_lo,
+                t_hi,
+            },
             horizon,
         ));
         removed
@@ -277,34 +434,45 @@ impl StorageEngine {
 
     /// Writes one point like [`StorageEngine::write`], but instead of
     /// flushing synchronously when the memtable fills, rotates it into
-    /// the *flushing* slot and returns a [`FlushJob`] for the caller (or
-    /// an [`AsyncFlusher`]) to complete off the write path — IoTDB's
-    /// asynchronous flushing (paper §V-A, §VI-D2).
+    /// the shard's *flushing* slot and returns a [`FlushJob`] for the
+    /// caller (or an [`AsyncFlusher`](crate::AsyncFlusher)) to complete
+    /// off the write path — IoTDB's asynchronous flushing (paper §V-A,
+    /// §VI-D2).
     ///
-    /// Returns `None` while a previous flush is still pending (backpressure:
-    /// the working memtable keeps absorbing writes beyond its threshold,
-    /// just as IoTDB stalls rotation until the flusher catches up).
+    /// Returns `None` while a previous flush of the same shard is still
+    /// pending (backpressure: the working memtable keeps absorbing writes
+    /// beyond its threshold, just as IoTDB stalls rotation until the
+    /// flusher catches up). Different shards can each have a job in
+    /// flight at once — that is what the flusher *pool* drains.
     pub fn write_nonblocking(&self, key: &SeriesKey, t: i64, v: TsValue) -> Option<FlushJob> {
-        let mut st = self.state.lock();
+        let shard = self.shard_of(&key.device);
+        let mut st = self.shards[shard].write();
         match st.watermarks.get(key).copied() {
             Some(w) if t <= w => st.unseq.write(key, t, v),
             _ => st.working.write(key, t, v),
         }
         if st.working.total_points() >= self.config.memtable_max_points {
-            self.begin_flush_locked(&mut st)
+            self.begin_flush_shard_locked(shard, &mut st)
         } else {
             None
         }
     }
 
-    /// Rotates the working memtable into the flushing slot and returns
-    /// the job, or `None` if empty or a flush is already pending.
+    /// Rotates the first rotatable shard's working memtable (ascending
+    /// order) into its flushing slot and returns the job, or `None` if
+    /// every shard is empty or already has a flush pending.
     pub fn begin_flush(&self) -> Option<FlushJob> {
-        let mut st = self.state.lock();
-        self.begin_flush_locked(&mut st)
+        (0..self.shards.len()).find_map(|s| self.begin_flush_shard(s))
     }
 
-    fn begin_flush_locked(&self, st: &mut EngineState) -> Option<FlushJob> {
+    /// Rotates one specific shard's working memtable into its flushing
+    /// slot, or `None` if it is empty or a flush is already pending.
+    pub fn begin_flush_shard(&self, shard: usize) -> Option<FlushJob> {
+        let mut st = self.shards[shard].write();
+        self.begin_flush_shard_locked(shard, &mut st)
+    }
+
+    fn begin_flush_shard_locked(&self, shard: usize, st: &mut ShardState) -> Option<FlushJob> {
         if st.flushing.is_some() || st.working.is_empty() {
             return None;
         }
@@ -318,15 +486,18 @@ impl StorageEngine {
         // The flushing memtable stays visible to queries; the job works
         // on its own copy so sorting/encoding happens outside the lock.
         st.flushing = Some(flushing.clone());
-        Some(FlushJob { memtable: flushing })
+        Some(FlushJob {
+            shard,
+            memtable: flushing,
+        })
     }
 
-    /// Runs a [`FlushJob`] (sort + encode, outside the engine lock) and
-    /// installs the result: the file becomes queryable and the flushing
-    /// slot is released.
+    /// Runs a [`FlushJob`] (sort + encode, outside any lock) and installs
+    /// the result into the shard the job was rotated from: the file
+    /// becomes queryable and that shard's flushing slot is released.
     pub fn complete_flush(&self, mut job: FlushJob) -> FlushMetrics {
         let (image, metrics) = flush_memtable(&mut job.memtable, &self.config.sorter);
-        let mut st = self.state.lock();
+        let mut st = self.shards[job.shard].write();
         if metrics.points > 0 {
             st.files.push(image);
         }
@@ -335,11 +506,12 @@ impl StorageEngine {
         metrics
     }
 
-    fn flush_locked(&self, st: &mut EngineState) -> FlushMetrics {
+    fn flush_shard_locked(&self, st: &mut ShardState) -> FlushMetrics {
         // Rotate: working becomes flushing; a fresh working memtable
         // accepts subsequent writes. (Flushing is synchronous here — the
         // paper measures its duration, not its overlap.)
-        let mut flushing = std::mem::replace(&mut st.working, MemTable::new(self.config.array_size));
+        let mut flushing =
+            std::mem::replace(&mut st.working, MemTable::new(self.config.array_size));
         // Advance watermarks before encoding.
         for (key, buffer) in flushing.iter() {
             if let Some(max_t) = buffer.max_time() {
@@ -357,21 +529,19 @@ impl StorageEngine {
 
     /// Time-range query over `[t_lo, t_hi]`.
     ///
-    /// Takes the engine lock (blocking writers), sorts the working and
-    /// unsequence buffers with the configured algorithm — the cost the
-    /// paper's query-throughput experiments measure — then scans
-    /// memtables and, when the range reaches flushed data, disk images.
-    /// Duplicate timestamps resolve in favor of the freshest source
-    /// (unsequence > working > disk).
+    /// Takes the key's shard lock exclusively (blocking that shard's
+    /// writers — with one shard, *all* writers, as the paper observes in
+    /// §VI-D1), sorts the working and unsequence buffers with the
+    /// configured algorithm — the cost the paper's query-throughput
+    /// experiments measure — then scans memtables and, when the range
+    /// reaches flushed data, disk images. Duplicate timestamps resolve in
+    /// favor of the freshest source (unsequence > working > disk).
     pub fn query(&self, key: &SeriesKey, t_lo: i64, t_hi: i64) -> QueryResult {
-        let mut st = self.state.lock();
+        let mut st = self.shards[self.shard_of(&key.device)].write();
         let mut merged: Vec<(i64, TsValue, u8)> = Vec::new();
 
         // Disk first (lowest priority), only when the range can touch it.
-        let needs_disk = st
-            .watermarks
-            .get(key)
-            .is_some_and(|&w| t_lo <= w);
+        let needs_disk = st.watermarks.get(key).is_some_and(|&w| t_lo <= w);
         if needs_disk {
             for (file_idx, image) in st.files.iter().enumerate() {
                 if let Some(reader) = TsFileReader::open(image) {
@@ -389,7 +559,12 @@ impl StorageEngine {
         }
 
         let sorter = self.config.sorter;
-        let EngineState { working, flushing, unseq, .. } = &mut *st;
+        let ShardState {
+            working,
+            flushing,
+            unseq,
+            ..
+        } = &mut *st;
         let mut memtables: Vec<(&mut MemTable, u8)> = Vec::with_capacity(3);
         if let Some(fl) = flushing.as_mut() {
             memtables.push((fl, 1));
@@ -425,9 +600,10 @@ impl StorageEngine {
     }
 
     /// Latest timestamp seen for a sensor across memtables and flushed
-    /// data — the anchor the benchmark's window queries use.
+    /// data — the anchor the benchmark's window queries use. Takes the
+    /// shard's *read* lock only (no buffer is sorted).
     pub fn latest_time(&self, key: &SeriesKey) -> Option<i64> {
-        let st = self.state.lock();
+        let st = self.shards[self.shard_of(&key.device)].read();
         let mut latest = st.watermarks.get(key).copied();
         let mems: Vec<&MemTable> = std::iter::once(&st.working)
             .chain(st.flushing.as_ref())
@@ -441,20 +617,43 @@ impl StorageEngine {
         latest
     }
 
-    /// All flush metrics recorded so far.
+    /// All flush metrics recorded so far, shard 0 first.
     pub fn flush_history(&self) -> Vec<FlushMetrics> {
-        self.state.lock().flush_history.clone()
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.read().flush_history.iter().copied());
+        }
+        out
     }
 
-    /// Number of flushed file images.
+    /// Number of flushed file images across all shards. (A recovered
+    /// multi-device file adopted into several shards counts once per
+    /// shard.)
     pub fn file_count(&self) -> usize {
-        self.state.lock().files.len()
+        self.shards.iter().map(|s| s.read().files.len()).sum()
     }
 
-    /// Points currently buffered in (working, unsequence).
+    /// Points currently buffered in (working, unsequence), summed across
+    /// shards.
     pub fn buffered_points(&self) -> (usize, usize) {
-        let st = self.state.lock();
-        (st.working.total_points(), st.unseq.total_points())
+        let mut working = 0;
+        let mut unseq = 0;
+        for shard in &self.shards {
+            let st = shard.read();
+            working += st.working.total_points();
+            unseq += st.unseq.total_points();
+        }
+        (working, unseq)
+    }
+}
+
+fn merge_metrics(a: FlushMetrics, b: FlushMetrics) -> FlushMetrics {
+    FlushMetrics {
+        sort_nanos: a.sort_nanos + b.sort_nanos,
+        encode_nanos: a.encode_nanos + b.encode_nanos,
+        write_nanos: a.write_nanos + b.write_nanos,
+        points: a.points + b.points,
+        bytes: a.bytes + b.bytes,
     }
 }
 
@@ -472,6 +671,16 @@ mod tests {
             memtable_max_points: 100,
             array_size: 8,
             sorter,
+            shards: 1,
+        })
+    }
+
+    fn sharded_engine(shards: usize) -> StorageEngine {
+        StorageEngine::new(EngineConfig {
+            memtable_max_points: 100,
+            array_size: 8,
+            sorter: Algorithm::Backward(Default::default()),
+            shards,
         })
     }
 
@@ -561,9 +770,24 @@ mod tests {
     fn batch_write_matches_single_writes() {
         let eng = small_engine(Algorithm::Baseline(BaselineSorter::Quick));
         let pts: Vec<(i64, TsValue)> = (0..50).map(|i| (i, TsValue::Int(i as i32))).collect();
-        let flushes = eng.write_batch(&key("s"), &pts);
+        let flushes = eng.write_batch(&key("s"), pts);
         assert!(flushes.is_empty());
         assert_eq!(eng.query(&key("s"), 0, 100).len(), 50);
+    }
+
+    #[test]
+    fn batch_write_reroutes_after_mid_batch_flush() {
+        // A straggler after a mid-batch rotation must take the
+        // unsequence path: the hoisted watermark has to be re-read.
+        let eng = small_engine(Algorithm::Backward(Default::default()));
+        let mut pts: Vec<(i64, TsValue)> = (0..100).map(|i| (i, TsValue::Long(i))).collect();
+        pts.push((10, TsValue::Long(-10))); // below the post-flush watermark (99)
+        let flushes = eng.write_batch(&key("s"), pts);
+        assert_eq!(flushes.len(), 1);
+        let (working, unseq) = eng.buffered_points();
+        assert_eq!((working, unseq), (0, 1), "straggler routed to unsequence");
+        let got = eng.query(&key("s"), 9, 11);
+        assert_eq!(got[1], (10, TsValue::Long(-10)), "unsequence wins");
     }
 
     #[test]
@@ -602,5 +826,110 @@ mod tests {
         assert_eq!(hist.len(), 2);
         assert_eq!(hist[0].points, 100);
         assert_eq!(hist[1].points, 0);
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_total() {
+        let eng = sharded_engine(4);
+        assert_eq!(eng.shard_count(), 4);
+        for d in 0..64 {
+            let device = format!("root.sg.d{d}");
+            let s = eng.shard_of(&device);
+            assert!(s < 4);
+            assert_eq!(s, eng.shard_of(&device), "routing must be deterministic");
+        }
+        // Zero shards is clamped to one.
+        let eng = sharded_engine(0);
+        assert_eq!(eng.shard_count(), 1);
+        assert_eq!(eng.shard_of("root.sg.anything"), 0);
+    }
+
+    #[test]
+    fn shards_isolate_rotation_budgets() {
+        // Two devices on (very likely) different shards: 99 points each
+        // stays under the 100-point per-shard budget, so nothing flushes;
+        // the same load on shards=1 shares one budget and rotates.
+        let devices: Vec<String> = (0..8).map(|d| format!("root.sg.d{d}")).collect();
+        let eng4 = sharded_engine(4);
+        let eng1 = sharded_engine(1);
+        let mut flushes4 = 0;
+        let mut flushes1 = 0;
+        for d in &devices {
+            let k = SeriesKey::new(d.clone(), "s");
+            for t in 0..30i64 {
+                flushes4 += usize::from(eng4.write(&k, t, TsValue::Long(t)).is_some());
+                flushes1 += usize::from(eng1.write(&k, t, TsValue::Long(t)).is_some());
+            }
+        }
+        assert!(flushes1 >= 2, "one shared budget rotates (got {flushes1})");
+        assert!(
+            flushes4 < flushes1,
+            "per-shard budgets rotate less often ({flushes4} vs {flushes1})"
+        );
+        // Either way, no data is lost.
+        for d in &devices {
+            let k = SeriesKey::new(d.clone(), "s");
+            assert_eq!(eng4.query(&k, 0, 100).len(), 30);
+            assert_eq!(eng1.query(&k, 0, 100).len(), 30);
+        }
+    }
+
+    #[test]
+    fn sharded_engine_answers_identically_to_single_shard() {
+        let eng1 = sharded_engine(1);
+        let eng4 = sharded_engine(4);
+        let devices: Vec<String> = (0..6).map(|d| format!("root.sg.d{d}")).collect();
+        let mut x = 77u64;
+        for i in 0..600i64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = SeriesKey::new(devices[(x % 6) as usize].clone(), "s");
+            let t = i + (x % 5) as i64;
+            eng1.write(&k, t, TsValue::Long(i));
+            eng4.write(&k, t, TsValue::Long(i));
+        }
+        for d in &devices {
+            let k = SeriesKey::new(d.clone(), "s");
+            let a = eng1.query(&k, i64::MIN, i64::MAX);
+            let b = eng4.query(&k, i64::MIN, i64::MAX);
+            let at: Vec<i64> = a.iter().map(|p| p.0).collect();
+            let bt: Vec<i64> = b.iter().map(|p| p.0).collect();
+            assert_eq!(at, bt, "{d}");
+            assert!(at.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn independent_shards_each_carry_a_flush_job() {
+        // With 4 shards, two devices on different shards can both have a
+        // rotation in flight — the pool's raison d'être.
+        let eng = sharded_engine(4);
+        let (da, db) = ("root.sg.d0", "root.sg.d2");
+        assert_ne!(
+            eng.shard_of(da),
+            eng.shard_of(db),
+            "fixture devices must differ"
+        );
+        let ka = SeriesKey::new(da, "s");
+        let kb = SeriesKey::new(db, "s");
+        for t in 0..99i64 {
+            eng.write(&ka, t, TsValue::Long(t));
+            eng.write(&kb, t, TsValue::Long(t));
+        }
+        let ja = eng
+            .write_nonblocking(&ka, 99, TsValue::Long(99))
+            .expect("shard a rotates");
+        let jb = eng
+            .write_nonblocking(&kb, 99, TsValue::Long(99))
+            .expect("shard b rotates");
+        assert_ne!(ja.shard(), jb.shard());
+        // Data stays visible while both jobs are outstanding.
+        assert_eq!(eng.query(&ka, 0, 200).len(), 100);
+        assert_eq!(eng.query(&kb, 0, 200).len(), 100);
+        eng.complete_flush(jb);
+        eng.complete_flush(ja);
+        assert_eq!(eng.file_count(), 2);
+        assert_eq!(eng.query(&ka, 0, 200).len(), 100);
     }
 }

@@ -175,7 +175,10 @@ mod tests {
         assert!(metrics.encode_nanos > 0);
         assert!(metrics.write_nanos > 0);
         assert_eq!(metrics.points, 10_000);
-        assert_eq!(metrics.total_nanos(), metrics.sort_nanos + metrics.encode_nanos + metrics.write_nanos);
+        assert_eq!(
+            metrics.total_nanos(),
+            metrics.sort_nanos + metrics.encode_nanos + metrics.write_nanos
+        );
     }
 }
 
@@ -286,8 +289,7 @@ mod parallel_tests {
         let mut serial_mt = build(8, 2_000);
         let (serial_image, serial_metrics) = flush_memtable(&mut serial_mt, &alg);
         let mut parallel_mt = build(8, 2_000);
-        let (parallel_image, parallel_metrics) =
-            flush_memtable_parallel(&mut parallel_mt, &alg, 4);
+        let (parallel_image, parallel_metrics) = flush_memtable_parallel(&mut parallel_mt, &alg, 4);
 
         assert_eq!(serial_metrics.points, parallel_metrics.points);
         let sr = TsFileReader::open(&serial_image).unwrap();

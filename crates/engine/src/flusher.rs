@@ -1,71 +1,121 @@
-//! Background flush worker — IoTDB's asynchronous flushing (the paper's
+//! Background flush workers — IoTDB's asynchronous flushing (the paper's
 //! flush time "is asynchronously awaited, including processes such as
 //! sorting, encoding, and I/O", §VI-D2).
 //!
 //! Writers call [`crate::StorageEngine::write_nonblocking`]; when a
 //! rotation happens, the returned [`FlushJob`](crate::engine::FlushJob)
-//! is handed to the [`AsyncFlusher`], whose worker thread sorts and
-//! encodes off the write path. Queries keep seeing the rotating
-//! memtable's data throughout via the engine's flushing slot.
+//! is handed to the [`AsyncFlusher`], whose worker threads sort and
+//! encode off the write path. Queries keep seeing the rotating
+//! memtable's data throughout via the owning shard's flushing slot.
+//!
+//! With a sharded engine every shard can have a rotation in flight at
+//! once, so the flusher is a *pool*: `M` workers drain one shared
+//! channel of [`FlushJob`]s from all shards
+//! ([`AsyncFlusher::with_workers`]). The single-worker constructor
+//! ([`AsyncFlusher::new`]) preserves the original one-thread behavior.
 
-use std::sync::mpsc::{channel, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use parking_lot::Mutex;
+
 use crate::engine::{FlushJob, StorageEngine};
 
-/// A dedicated flush thread for one engine.
+/// Error returned by [`AsyncFlusher::submit`] when the worker pool is no
+/// longer accepting jobs (all workers exited). The job is handed back so
+/// the caller can complete it inline with
+/// [`StorageEngine::complete_flush`] instead of losing the rotation.
+#[derive(Debug)]
+pub struct FlusherClosed(pub FlushJob);
+
+impl std::fmt::Display for FlusherClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "flusher closed; complete the returned job inline")
+    }
+}
+
+impl std::error::Error for FlusherClosed {}
+
+/// A pool of flush threads for one engine.
 pub struct AsyncFlusher {
     sender: Option<Sender<FlushJob>>,
-    worker: Option<JoinHandle<usize>>,
+    workers: Vec<JoinHandle<usize>>,
 }
 
 impl AsyncFlusher {
-    /// Spawns the worker thread against `engine`.
+    /// Spawns a single worker thread against `engine` (the original
+    /// one-flusher configuration).
     pub fn new(engine: Arc<StorageEngine>) -> Self {
+        Self::with_workers(engine, 1)
+    }
+
+    /// Spawns a pool of `workers` threads (clamped to at least one)
+    /// draining a single shared job channel. Jobs from different shards
+    /// flush concurrently; jobs from the same shard cannot coexist (the
+    /// shard's flushing slot backpressures rotation), so no ordering
+    /// hazard arises from the work-stealing.
+    pub fn with_workers(engine: Arc<StorageEngine>, workers: usize) -> Self {
         let (sender, receiver) = channel::<FlushJob>();
-        let worker = std::thread::spawn(move || {
-            let mut completed = 0usize;
-            while let Ok(job) = receiver.recv() {
-                engine.complete_flush(job);
-                completed += 1;
-            }
-            completed
-        });
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let receiver: Arc<Mutex<Receiver<FlushJob>>> = Arc::clone(&receiver);
+                std::thread::spawn(move || {
+                    let mut completed = 0usize;
+                    loop {
+                        // Hold the receiver lock only for the dequeue;
+                        // the flush itself runs unlocked so workers
+                        // overlap.
+                        let job = receiver.lock().recv();
+                        match job {
+                            Ok(job) => {
+                                engine.complete_flush(job);
+                                completed += 1;
+                            }
+                            Err(_) => break, // channel closed: shutdown
+                        }
+                    }
+                    completed
+                })
+            })
+            .collect();
         Self {
             sender: Some(sender),
-            worker: Some(worker),
+            workers,
         }
     }
 
-    /// Queues a job for the worker.
+    /// Queues a job for the pool.
     ///
-    /// # Panics
-    /// Panics if the flusher has already been shut down.
-    pub fn submit(&self, job: FlushJob) {
-        self.sender
-            .as_ref()
-            .expect("flusher running")
-            .send(job)
-            .expect("flush worker alive");
+    /// # Errors
+    /// Returns [`FlusherClosed`] carrying the job back when the pool has
+    /// shut down; the caller should finish it inline via
+    /// [`StorageEngine::complete_flush`] so the shard's flushing slot is
+    /// released and no data is lost.
+    pub fn submit(&self, job: FlushJob) -> Result<(), FlusherClosed> {
+        match self.sender.as_ref() {
+            Some(sender) => sender.send(job).map_err(|e| FlusherClosed(e.0)),
+            None => Err(FlusherClosed(job)),
+        }
     }
 
-    /// Drains the queue, stops the worker, and returns how many flushes
-    /// it completed.
+    /// Drains the queue, stops all workers, and returns how many flushes
+    /// the pool completed.
     pub fn shutdown(mut self) -> usize {
         drop(self.sender.take());
-        self.worker
-            .take()
-            .expect("not yet joined")
-            .join()
-            .expect("flush worker panicked")
+        self.workers
+            .drain(..)
+            .map(|w| w.join().expect("flush worker panicked"))
+            .sum()
     }
 }
 
 impl Drop for AsyncFlusher {
     fn drop(&mut self) {
         drop(self.sender.take());
-        if let Some(worker) = self.worker.take() {
+        for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
     }
@@ -79,10 +129,15 @@ mod tests {
     use backsort_core::Algorithm;
 
     fn engine(max_points: usize) -> Arc<StorageEngine> {
+        engine_sharded(max_points, 1)
+    }
+
+    fn engine_sharded(max_points: usize, shards: usize) -> Arc<StorageEngine> {
         Arc::new(StorageEngine::new(EngineConfig {
             memtable_max_points: max_points,
             array_size: 16,
             sorter: Algorithm::Backward(Default::default()),
+            shards,
         }))
     }
 
@@ -96,7 +151,7 @@ mod tests {
         let flusher = AsyncFlusher::new(Arc::clone(&engine));
         for t in 0..450i64 {
             if let Some(job) = engine.write_nonblocking(&key(), t, TsValue::Long(t)) {
-                flusher.submit(job);
+                flusher.submit(job).expect("pool running");
             }
         }
         // How many rotations happen depends on how fast the worker keeps
@@ -138,7 +193,10 @@ mod tests {
         let engine = engine(20);
         let mut jobs = 0;
         for t in 0..100i64 {
-            if engine.write_nonblocking(&key(), t, TsValue::Long(t)).is_some() {
+            if engine
+                .write_nonblocking(&key(), t, TsValue::Long(t))
+                .is_some()
+            {
                 jobs += 1;
             }
         }
@@ -161,7 +219,7 @@ mod tests {
                     let k = SeriesKey::new("root.sg.d1", format!("s{w}"));
                     for t in 0..2_000i64 {
                         if let Some(job) = engine.write_nonblocking(&k, t, TsValue::Long(t)) {
-                            flusher.submit(job);
+                            flusher.submit(job).expect("pool running");
                         }
                     }
                 });
@@ -174,5 +232,57 @@ mod tests {
             let k = SeriesKey::new("root.sg.d1", format!("s{w}"));
             assert_eq!(engine.query(&k, 0, 10_000).len(), 2_000, "s{w}");
         }
+    }
+
+    #[test]
+    fn submit_after_close_hands_the_job_back() {
+        let engine = engine(10);
+        let flusher = AsyncFlusher::with_workers(Arc::clone(&engine), 2);
+        let mut job = None;
+        for t in 0..10i64 {
+            if let Some(j) = engine.write_nonblocking(&key(), t, TsValue::Long(t)) {
+                job = Some(j);
+            }
+        }
+        let job = job.expect("rotated at capacity");
+        // Kill the pool out from under the submit.
+        let dead = {
+            let mut f = flusher;
+            drop(f.sender.take());
+            for w in f.workers.drain(..) {
+                let _ = w.join();
+            }
+            f
+        };
+        let err = dead.submit(job).expect_err("pool is closed");
+        // The handed-back job completes inline; nothing is lost.
+        engine.complete_flush(err.0);
+        assert_eq!(engine.query(&key(), 0, 100).len(), 10);
+        assert_eq!(engine.file_count(), 1);
+    }
+
+    #[test]
+    fn pool_drains_jobs_from_multiple_shards() {
+        // d0 and d2 land on different shards (FNV-1a mod 4); both can
+        // have rotations in flight, and a 2-worker pool drains them.
+        let engine = engine_sharded(100, 4);
+        let flusher = AsyncFlusher::with_workers(Arc::clone(&engine), 2);
+        let ka = SeriesKey::new("root.sg.d0", "s");
+        let kb = SeriesKey::new("root.sg.d2", "s");
+        for t in 0..500i64 {
+            for k in [&ka, &kb] {
+                if let Some(job) = engine.write_nonblocking(k, t, TsValue::Long(t)) {
+                    flusher.submit(job).expect("pool running");
+                }
+            }
+        }
+        let completed = flusher.shutdown();
+        assert!(
+            completed >= 2,
+            "both shards flushed (completed {completed})"
+        );
+        engine.flush();
+        assert_eq!(engine.query(&ka, 0, 1_000).len(), 500);
+        assert_eq!(engine.query(&kb, 0, 1_000).len(), 500);
     }
 }

@@ -39,8 +39,8 @@ pub use aggregate::{AggValue, Aggregation};
 pub use compaction::CompactionReport;
 pub use delete::Tombstone;
 pub use engine::{EngineConfig, FlushJob, QueryResult, StorageEngine};
-pub use flusher::AsyncFlusher;
 pub use flush::{flush_memtable, flush_memtable_parallel, FlushMetrics};
+pub use flusher::{AsyncFlusher, FlusherClosed};
 pub use memtable::{MemTable, SeriesBuffer};
 pub use store::DurableEngine;
 pub use types::{DataType, SeriesKey, TsValue};

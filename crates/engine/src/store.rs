@@ -32,7 +32,11 @@ pub fn crc32(data: &[u8]) -> u32 {
             let mut c = i as u32;
             let mut k = 0;
             while k < 8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
                 k += 1;
             }
             t[i] = c;
@@ -120,8 +124,7 @@ impl WalRecord {
             ))),
             DataType::Boolean => TsValue::Bool(*payload.get(p)? != 0),
             DataType::Text => {
-                let len =
-                    u32::from_le_bytes(payload.get(p..p + 4)?.try_into().ok()?) as usize;
+                let len = u32::from_le_bytes(payload.get(p..p + 4)?.try_into().ok()?) as usize;
                 p += 4;
                 let bytes = payload.get(p..p.checked_add(len)?)?;
                 TsValue::Text(std::str::from_utf8(bytes).ok()?.to_string())
@@ -156,6 +159,9 @@ pub struct DurableEngine {
     dir: PathBuf,
     wal: BufWriter<File>,
     generation: u64,
+    /// Per-shard count of file images already persisted to disk; anything
+    /// a shard holds beyond this index is new since the last persist.
+    persisted: Vec<usize>,
 }
 
 impl DurableEngine {
@@ -202,7 +208,9 @@ impl DurableEngine {
             }
         }
 
-        // Replay surviving WAL segments into the memtables.
+        // Replay surviving WAL segments into the memtables. The engine
+        // routes each record to its device's shard exactly as the
+        // original write did.
         for (gen, path) in &wals {
             max_gen = max_gen.max(*gen);
             let mut bytes = Vec::new();
@@ -215,28 +223,23 @@ impl DurableEngine {
             }
             let _ = fs::remove_file(path);
         }
+        // The adopted images are already on disk: snapshot each shard's
+        // file count so only later images get persisted.
+        let mut persisted: Vec<usize> = (0..engine.shard_count())
+            .map(|s| engine.shard_file_count(s))
+            .collect();
         // Anything replayed sits in memtables again; a fresh WAL segment
         // re-covers it before we delete the old ones — simplest correct
         // scheme: rewrite the surviving points. They are still in memory,
         // so flush them to a file right away instead.
-        let generation = max_gen + 1;
+        let mut generation = max_gen;
         let (w, u) = engine.buffered_points();
         if w + u > 0 {
-            let metrics = engine.flush();
-            if metrics.points > 0 {
-                if let Some(image) = engine.last_file() {
-                    fs::write(dir.join(format!("tsfile-{generation}.bstf")), image)?;
-                }
-            }
-            let metrics = engine.flush_unseq();
-            if metrics.points > 0 {
-                if let Some(image) = engine.last_file() {
-                    fs::write(dir.join(format!("tsfile-{}.bstf", generation + 1)), image)?;
-                }
-            }
+            engine.flush();
+            engine.flush_unseq();
         }
-        let generation = generation + 2;
-
+        persist_new_files(&engine, &dir, &mut generation, &mut persisted)?;
+        let generation = generation + 1;
         let wal = BufWriter::new(
             OpenOptions::new()
                 .create(true)
@@ -248,6 +251,7 @@ impl DurableEngine {
             dir,
             wal,
             generation,
+            persisted,
         })
     }
 
@@ -258,42 +262,46 @@ impl DurableEngine {
 
     /// Durably writes one point: WAL first, then the memtable. On a
     /// flush, persists the file image and rotates the WAL.
-    pub fn write(&mut self, key: &SeriesKey, t: i64, v: TsValue) -> io::Result<Option<FlushMetrics>> {
+    pub fn write(
+        &mut self,
+        key: &SeriesKey,
+        t: i64,
+        v: TsValue,
+    ) -> io::Result<Option<FlushMetrics>> {
         let mut frame = Vec::with_capacity(64);
-        let record = WalRecord { key: key.clone(), t, v };
+        let record = WalRecord {
+            key: key.clone(),
+            t,
+            v,
+        };
         record.encode_into(&mut frame);
         self.wal.write_all(&frame)?;
 
         let flushed = self.engine.write(key, t, record.v);
-        if let Some(metrics) = flushed {
-            self.persist_after_flush(metrics)?;
+        if flushed.is_some() {
+            self.persist_and_rotate()?;
         }
         Ok(flushed)
     }
 
     /// Durably flushes everything buffered.
     pub fn flush(&mut self) -> io::Result<()> {
-        let metrics = self.engine.flush();
-        self.persist_after_flush(metrics)
+        self.engine.flush();
+        self.persist_and_rotate()
     }
 
-    fn persist_after_flush(&mut self, metrics: FlushMetrics) -> io::Result<()> {
+    fn persist_and_rotate(&mut self) -> io::Result<()> {
         self.wal.flush()?;
-        if metrics.points > 0 {
-            if let Some(image) = self.engine.last_file() {
-                self.generation += 1;
-                fs::write(self.dir.join(format!("tsfile-{}.bstf", self.generation)), image)?;
-            }
-        }
-        // Flush the unsequence buffer too so every WAL record up to this
-        // point is covered by persisted files.
-        let unseq_metrics = self.engine.flush_unseq();
-        if unseq_metrics.points > 0 {
-            if let Some(image) = self.engine.last_file() {
-                self.generation += 1;
-                fs::write(self.dir.join(format!("tsfile-{}.bstf", self.generation)), image)?;
-            }
-        }
+        // Flush the unsequence buffers too so every WAL record up to this
+        // point is covered by persisted files, then write out every new
+        // file image from every shard.
+        self.engine.flush_unseq();
+        persist_new_files(
+            &self.engine,
+            &self.dir,
+            &mut self.generation,
+            &mut self.persisted,
+        )?;
         // Rotate the WAL: older segments are now redundant.
         self.generation += 1;
         let new_wal = BufWriter::new(
@@ -335,16 +343,35 @@ impl DurableEngine {
     }
 }
 
+/// Writes every not-yet-persisted file image (walking shards in ascending
+/// order) to `tsfile-<gen>.bstf`, advancing the generation counter and the
+/// per-shard persisted counts. Within a shard images are persisted oldest
+/// first, so a rotation's sequence file always gets a lower generation
+/// than the unsequence file flushed right after it — adoption order at
+/// recovery therefore preserves last-write-wins.
+fn persist_new_files(
+    engine: &StorageEngine,
+    dir: &Path,
+    generation: &mut u64,
+    persisted: &mut [usize],
+) -> io::Result<()> {
+    for (shard, done) in persisted.iter_mut().enumerate() {
+        for image in engine.files_after(shard, *done) {
+            *generation += 1;
+            fs::write(dir.join(format!("tsfile-{generation}.bstf")), image)?;
+            *done += 1;
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use backsort_core::Algorithm;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "backsort-store-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("backsort-store-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -354,6 +381,7 @@ mod tests {
             memtable_max_points: max_points,
             array_size: 16,
             sorter: Algorithm::Backward(Default::default()),
+            shards: 1,
         }
     }
 
@@ -365,7 +393,10 @@ mod tests {
     fn crc32_known_vectors() {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -379,7 +410,12 @@ mod tests {
         ];
         let mut buf = Vec::new();
         for (i, v) in values.iter().enumerate() {
-            WalRecord { key: key(), t: i as i64, v: v.clone() }.encode_into(&mut buf);
+            WalRecord {
+                key: key(),
+                t: i as i64,
+                v: v.clone(),
+            }
+            .encode_into(&mut buf);
         }
         let recs = replay_wal(&buf);
         assert_eq!(recs.len(), values.len());
@@ -393,11 +429,26 @@ mod tests {
     #[test]
     fn torn_tail_stops_replay_cleanly() {
         let mut buf = Vec::new();
-        WalRecord { key: key(), t: 1, v: TsValue::Int(1) }.encode_into(&mut buf);
-        WalRecord { key: key(), t: 2, v: TsValue::Int(2) }.encode_into(&mut buf);
+        WalRecord {
+            key: key(),
+            t: 1,
+            v: TsValue::Int(1),
+        }
+        .encode_into(&mut buf);
+        WalRecord {
+            key: key(),
+            t: 2,
+            v: TsValue::Int(2),
+        }
+        .encode_into(&mut buf);
         // Simulate a crash mid-write of record 3.
         let mut partial = Vec::new();
-        WalRecord { key: key(), t: 3, v: TsValue::Int(3) }.encode_into(&mut partial);
+        WalRecord {
+            key: key(),
+            t: 3,
+            v: TsValue::Int(3),
+        }
+        .encode_into(&mut partial);
         buf.extend_from_slice(&partial[..partial.len() / 2]);
         let recs = replay_wal(&buf);
         assert_eq!(recs.len(), 2);
@@ -406,7 +457,12 @@ mod tests {
     #[test]
     fn corrupt_crc_stops_replay() {
         let mut buf = Vec::new();
-        WalRecord { key: key(), t: 1, v: TsValue::Int(1) }.encode_into(&mut buf);
+        WalRecord {
+            key: key(),
+            t: 1,
+            v: TsValue::Int(1),
+        }
+        .encode_into(&mut buf);
         let n = buf.len();
         buf[n - 1] ^= 0xFF;
         assert!(replay_wal(&buf).is_empty());
@@ -462,7 +518,8 @@ mod tests {
                 x ^= x << 13;
                 x ^= x >> 7;
                 x ^= x << 17;
-                eng.write(&key(), i + (x % 5) as i64, TsValue::Int(i as i32)).unwrap();
+                eng.write(&key(), i + (x % 5) as i64, TsValue::Int(i as i32))
+                    .unwrap();
             }
             // A straggler below the watermark (memtable rotated at 40).
             eng.write(&key(), 1, TsValue::Int(-1)).unwrap();
@@ -471,8 +528,10 @@ mod tests {
         let eng = DurableEngine::open(&dir, config(40)).unwrap();
         let got = eng.query(&key(), i64::MIN, i64::MAX);
         assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
-        assert!(got.iter().any(|(t, v)| *t == 1 && *v == TsValue::Int(-1)),
-            "straggler must survive restart and win at t=1");
+        assert!(
+            got.iter().any(|(t, v)| *t == 1 && *v == TsValue::Int(-1)),
+            "straggler must survive restart and win at t=1"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -496,6 +555,36 @@ mod tests {
             .count();
         assert_eq!(wal_count, 1, "only the active WAL segment survives");
         drop(eng);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_durable_engine_recovers_across_shards() {
+        let dir = tmpdir("sharded");
+        let sharded = || EngineConfig {
+            shards: 4,
+            ..config(40)
+        };
+        // d0 and d2 hash to different shards (FNV-1a mod 4); both flush
+        // and both tails live only in the WAL at crash time.
+        let ka = SeriesKey::new("root.sg.d0", "s");
+        let kb = SeriesKey::new("root.sg.d2", "s");
+        {
+            let mut eng = DurableEngine::open(&dir, sharded()).unwrap();
+            for t in 0..90i64 {
+                eng.write(&ka, t, TsValue::Long(t)).unwrap();
+                eng.write(&kb, t, TsValue::Long(-t)).unwrap();
+            }
+            eng.sync().unwrap();
+        }
+        let eng = DurableEngine::open(&dir, sharded()).unwrap();
+        for (k, sign) in [(&ka, 1i64), (&kb, -1i64)] {
+            let got = eng.query(k, 0, 200);
+            assert_eq!(got.len(), 90);
+            for (t, v) in got {
+                assert_eq!(v, TsValue::Long(sign * t));
+            }
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -85,8 +85,9 @@ impl TsFileWriter {
         self.offsets.push(self.buf.len() as u64);
         let name = key.to_string();
         let name_bytes = name.as_bytes();
-        self.buf
-            .extend_from_slice(&(u16::try_from(name_bytes.len()).expect("key too long")).to_le_bytes());
+        self.buf.extend_from_slice(
+            &(u16::try_from(name_bytes.len()).expect("key too long")).to_le_bytes(),
+        );
         self.buf.extend_from_slice(name_bytes);
         self.buf.push(data_type.tag());
         self.buf
@@ -216,7 +217,8 @@ impl<'a> TsFileReader<'a> {
             return None;
         }
         let footer_off_pos = buf.len() - MAGIC.len() - 8;
-        let footer_offset = u64::from_le_bytes(buf[footer_off_pos..footer_off_pos + 8].try_into().ok()?) as usize;
+        let footer_offset =
+            u64::from_le_bytes(buf[footer_off_pos..footer_off_pos + 8].try_into().ok()?) as usize;
         let mut pos = footer_offset;
         let count = read_u32(buf, &mut pos)? as usize;
         let mut chunks = Vec::with_capacity(count);
@@ -255,7 +257,8 @@ impl<'a> TsFileReader<'a> {
 
     /// Decodes one chunk's points (all pages).
     pub fn read_chunk(&self, meta: &ChunkMeta) -> Option<Vec<(i64, TsValue)>> {
-        self.read_chunk_range(meta, i64::MIN, i64::MAX).map(|(pts, _)| pts)
+        self.read_chunk_range(meta, i64::MIN, i64::MAX)
+            .map(|(pts, _)| pts)
     }
 
     /// Decodes only the pages of a chunk that overlap `[t_lo, t_hi]`,
@@ -432,7 +435,11 @@ mod tests {
         let got = r.query(&key("s"), 5, 12);
         assert_eq!(
             got,
-            vec![(5, TsValue::Long(5)), (9, TsValue::Long(9)), (11, TsValue::Long(11))]
+            vec![
+                (5, TsValue::Long(5)),
+                (9, TsValue::Long(9)),
+                (11, TsValue::Long(11))
+            ]
         );
         assert!(r.query(&key("other"), 0, 100).is_empty());
         assert!(r.query(&key("s"), 100, 200).is_empty());
@@ -442,10 +449,26 @@ mod tests {
     fn all_types_roundtrip() {
         let mut w = TsFileWriter::new();
         w.write_chunk(&key("i"), &[1, 2], &[TsValue::Int(-5), TsValue::Int(7)]);
-        w.write_chunk(&key("l"), &[1, 2], &[TsValue::Long(-5), TsValue::Long(1 << 40)]);
-        w.write_chunk(&key("f"), &[1, 2], &[TsValue::Float(1.5), TsValue::Float(-2.5)]);
-        w.write_chunk(&key("d"), &[1, 2], &[TsValue::Double(0.1), TsValue::Double(f64::MAX)]);
-        w.write_chunk(&key("b"), &[1, 2], &[TsValue::Bool(true), TsValue::Bool(false)]);
+        w.write_chunk(
+            &key("l"),
+            &[1, 2],
+            &[TsValue::Long(-5), TsValue::Long(1 << 40)],
+        );
+        w.write_chunk(
+            &key("f"),
+            &[1, 2],
+            &[TsValue::Float(1.5), TsValue::Float(-2.5)],
+        );
+        w.write_chunk(
+            &key("d"),
+            &[1, 2],
+            &[TsValue::Double(0.1), TsValue::Double(f64::MAX)],
+        );
+        w.write_chunk(
+            &key("b"),
+            &[1, 2],
+            &[TsValue::Bool(true), TsValue::Bool(false)],
+        );
         let image = w.finish();
         let r = TsFileReader::open(&image).unwrap();
         assert_eq!(r.chunks().len(), 5);

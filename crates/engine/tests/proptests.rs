@@ -4,8 +4,8 @@
 
 use backsort_core::Algorithm;
 use backsort_engine::encoding::{boolpack, gorilla, ts2diff, varint};
-use backsort_engine::{flush_memtable, MemTable, SeriesKey, TsValue};
 use backsort_engine::tsfile::{TsFileReader, TsFileWriter};
+use backsort_engine::{flush_memtable, MemTable, SeriesKey, TsValue};
 use proptest::prelude::*;
 
 proptest! {

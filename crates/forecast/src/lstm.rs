@@ -44,7 +44,14 @@ impl Layout {
         let b = u + 4 * h * h;
         let v = b + 4 * h;
         let c = v + h;
-        Self { w, u, b, v, c, total: c + 1 }
+        Self {
+            w,
+            u,
+            b,
+            v,
+            c,
+            total: c + 1,
+        }
     }
 }
 
@@ -88,7 +95,11 @@ impl Lstm {
         for j in 0..h {
             params[layout.b + h + j] = 1.0;
         }
-        Self { config, layout, params }
+        Self {
+            config,
+            layout,
+            params,
+        }
     }
 
     /// The network shape.
@@ -228,12 +239,10 @@ impl Lstm {
                 for (row, &d) in dzg.iter().enumerate() {
                     grad[self.layout.b + gate * h_size + row] += d;
                     for (col, &xv) in x.iter().enumerate() {
-                        grad[self.layout.w + gate * h_size * i_size + row * i_size + col] +=
-                            d * xv;
+                        grad[self.layout.w + gate * h_size * i_size + row * i_size + col] += d * xv;
                     }
                     for (col, &hv) in h_prev.iter().enumerate() {
-                        grad[self.layout.u + gate * h_size * h_size + row * h_size + col] +=
-                            d * hv;
+                        grad[self.layout.u + gate * h_size * h_size + row * h_size + col] += d * hv;
                         dh_prev[col] += d * self.u(gate, row, col);
                     }
                 }
@@ -250,7 +259,13 @@ mod tests {
     use super::*;
 
     fn tiny() -> Lstm {
-        Lstm::new(LstmConfig { input_size: 3, hidden_size: 2 }, 11)
+        Lstm::new(
+            LstmConfig {
+                input_size: 3,
+                hidden_size: 2,
+            },
+            11,
+        )
     }
 
     fn sample_seq(rng_seed: u64, t: usize, i: usize) -> Vec<Vec<f64>> {

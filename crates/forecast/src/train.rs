@@ -99,8 +99,7 @@ pub fn train_forecaster(series: &[f64], config: &TrainConfig) -> ForecastReport 
     // Normalize to zero mean / unit variance so MSE is comparable across
     // disorder degrees.
     let mean = series.iter().sum::<f64>() / series.len().max(1) as f64;
-    let var = series.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-        / series.len().max(1) as f64;
+    let var = series.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / series.len().max(1) as f64;
     let std = var.sqrt().max(1e-9);
     let normed: Vec<f64> = series.iter().map(|v| (v - mean) / std).collect();
 

@@ -120,11 +120,20 @@ fn handle_connection(stream: TcpStream, engine: &StorageEngine) -> std::io::Resu
         // Every received line gets exactly one response line, blank
         // included — silently skipping would desync pipelined clients.
         let response = if trimmed.is_empty() {
-            Response { output: None, error: Some("empty statement".into()) }
+            Response {
+                output: None,
+                error: Some("empty statement".into()),
+            }
         } else {
             match execute(engine, trimmed) {
-                Ok(output) => Response { output: Some(output), error: None },
-                Err(e) => Response { output: None, error: Some(e.message) },
+                Ok(output) => Response {
+                    output: Some(output),
+                    error: None,
+                },
+                Err(e) => Response {
+                    output: None,
+                    error: Some(e.message),
+                },
             }
         };
         // Non-finite floats make serde_json refuse; degrade to an error

@@ -13,6 +13,7 @@ fn start_server() -> (SqlServer, Arc<StorageEngine>) {
         memtable_max_points: 10_000,
         array_size: 32,
         sorter: Algorithm::Backward(Default::default()),
+        shards: 1,
     }));
     let server = SqlServer::start("127.0.0.1:0", Arc::clone(&engine)).expect("bind");
     (server, engine)
@@ -38,7 +39,10 @@ fn insert_query_roundtrip_over_tcp() {
     match out {
         QueryOutput::Rows { rows, .. } => {
             assert_eq!(rows.len(), 5);
-            assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "sorted over the wire");
+            assert!(
+                rows.windows(2).all(|w| w[0].0 < w[1].0),
+                "sorted over the wire"
+            );
             assert_eq!(rows[0].1[0], Some(TsValue::Long(2)));
         }
         other => panic!("{other:?}"),
@@ -112,7 +116,9 @@ fn the_papers_workload_over_the_wire() {
         x ^= x << 17;
         let t = i + (x % 5) as i64;
         client
-            .execute(&format!("INSERT INTO root.net.d1(timestamp, s) VALUES ({t}, {t})"))
+            .execute(&format!(
+                "INSERT INTO root.net.d1(timestamp, s) VALUES ({t}, {t})"
+            ))
             .expect("insert");
     }
     let out = client

@@ -134,7 +134,14 @@ mod tests {
         let mut data: Vec<(i64, i32)> = (0..64).map(|i| (i as i64, i)).collect();
         let mut s = Instrumented::new(SliceSeries::new(&mut data));
         insertion_sort(&mut s);
-        assert_eq!(s.stats(), AccessStats { writes: 0, swaps: 0, ..s.stats() });
+        assert_eq!(
+            s.stats(),
+            AccessStats {
+                writes: 0,
+                swaps: 0,
+                ..s.stats()
+            }
+        );
     }
 
     #[test]

@@ -38,7 +38,9 @@ mod util;
 mod y;
 
 pub use ck::{cksort, CkSort};
-pub use insertion::{binary_insertion_sort_range, insertion_sort, insertion_sort_range, InsertionSort};
+pub use insertion::{
+    binary_insertion_sort_range, insertion_sort, insertion_sort_range, InsertionSort,
+};
 pub use patience::{patience_sort, PatienceSort};
 pub use quick::{quicksort, quicksort_range, QuickSort};
 pub use smooth::{smoothsort, SmoothSort};
@@ -160,11 +162,25 @@ pub(crate) mod testutil {
             vec![(7, 0), (7, 1), (7, 2)],
             (0..100).map(|i| (i as i64, i)).collect(),
             (0..100).rev().map(|i| (i as i64, i)).collect(),
-            vec![(i64::MAX, 0), (i64::MIN, 1), (0, 2), (i64::MAX, 3), (i64::MIN, 4)],
+            vec![
+                (i64::MAX, 0),
+                (i64::MIN, 1),
+                (0, 2),
+                (i64::MAX, 3),
+                (i64::MIN, 4),
+            ],
             // paper Fig. 1: delayed p5 (t=10:02) and p9 (t=10:08)
             vec![
-                (1, 1), (3, 2), (4, 3), (5, 4), (2, 5),
-                (6, 6), (7, 7), (9, 8), (8, 9), (10, 10),
+                (1, 1),
+                (3, 2),
+                (4, 3),
+                (5, 4),
+                (2, 5),
+                (6, 6),
+                (7, 7),
+                (9, 8),
+                (8, 9),
+                (10, 10),
             ],
         ];
         // Nearly sorted with small random delays (delay-only).

@@ -151,8 +151,16 @@ mod tests {
     fn delayed_points_extend_few_piles() {
         // Delay-only pattern: mostly increasing with small dips.
         let input = vec![
-            (1i64, 0i32), (3, 1), (4, 2), (5, 3), (2, 4),
-            (6, 5), (7, 6), (9, 7), (8, 8), (10, 9),
+            (1i64, 0i32),
+            (3, 1),
+            (4, 2),
+            (5, 3),
+            (2, 4),
+            (6, 5),
+            (7, 6),
+            (9, 7),
+            (8, 8),
+            (10, 9),
         ];
         let mut data = input;
         let mut s = SliceSeries::new(&mut data);

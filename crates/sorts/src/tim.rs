@@ -37,7 +37,10 @@ pub fn timsort<S: SeriesAccess>(s: &mut S) {
             binary_insertion_sort_range(s, lo, lo + forced, lo + run_len);
             run_len = forced;
         }
-        ts.runs.push(Run { base: lo, len: run_len });
+        ts.runs.push(Run {
+            base: lo,
+            len: run_len,
+        });
         ts.merge_collapse(s);
         lo += run_len;
     }
@@ -134,7 +137,8 @@ impl<V: Copy> TimState<V> {
     fn merge_collapse<S: SeriesAccess<Value = V>>(&mut self, s: &mut S) {
         while self.runs.len() > 1 {
             let n = self.runs.len() - 2;
-            let need_merge = (n >= 1 && self.runs[n - 1].len <= self.runs[n].len + self.runs[n + 1].len)
+            let need_merge = (n >= 1
+                && self.runs[n - 1].len <= self.runs[n].len + self.runs[n + 1].len)
                 || (n >= 2 && self.runs[n - 2].len <= self.runs[n - 1].len + self.runs[n].len);
             if need_merge {
                 if self.runs[n - 1].len < self.runs[n + 1].len {
@@ -166,7 +170,10 @@ impl<V: Copy> TimState<V> {
         let run2 = self.runs[i + 1];
         debug_assert!(run1.base + run1.len == run2.base);
 
-        self.runs[i] = Run { base: run1.base, len: run1.len + run2.len };
+        self.runs[i] = Run {
+            base: run1.base,
+            len: run1.len + run2.len,
+        };
         self.runs.remove(i + 1);
 
         // Skip elements of run1 already in place: find where run2's first
@@ -494,11 +501,23 @@ fn gallop_right<S: SeriesAccess>(key: i64, s: &S, base: usize, len: usize, hint:
     gallop(key, len, hint, false, |i| s.time(base + i))
 }
 
-fn gallop_left_scratch<V>(key: i64, tmp: &[(i64, V)], base: usize, len: usize, hint: usize) -> usize {
+fn gallop_left_scratch<V>(
+    key: i64,
+    tmp: &[(i64, V)],
+    base: usize,
+    len: usize,
+    hint: usize,
+) -> usize {
     gallop(key, len, hint, true, |i| tmp[base + i].0)
 }
 
-fn gallop_right_scratch<V>(key: i64, tmp: &[(i64, V)], base: usize, len: usize, hint: usize) -> usize {
+fn gallop_right_scratch<V>(
+    key: i64,
+    tmp: &[(i64, V)],
+    base: usize,
+    len: usize,
+    hint: usize,
+) -> usize {
     gallop(key, len, hint, false, |i| tmp[base + i].0)
 }
 
@@ -544,7 +563,12 @@ fn gallop(key: i64, len: usize, hint: usize, left_bias: bool, at: impl Fn(usize)
 /// Binary search for the partition point of `after` in `[lo, hi]`;
 /// precondition: every index `< lo` satisfies `after` and every index
 /// `>= hi` does not.
-fn binary(mut lo: usize, mut hi: usize, after: &impl Fn(i64) -> bool, at: &impl Fn(usize) -> i64) -> usize {
+fn binary(
+    mut lo: usize,
+    mut hi: usize,
+    after: &impl Fn(i64) -> bool,
+    at: &impl Fn(usize) -> i64,
+) -> usize {
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
         if after(at(mid)) {
@@ -578,8 +602,7 @@ mod tests {
     #[test]
     fn descending_run_is_reversed_stably() {
         // Strictly descending block, then ascending tail.
-        let input: Vec<(i64, i32)> =
-            vec![(5, 0), (4, 1), (3, 2), (2, 3), (1, 4), (6, 5), (7, 6)];
+        let input: Vec<(i64, i32)> = vec![(5, 0), (4, 1), (3, 2), (2, 3), (1, 4), (6, 5), (7, 6)];
         check_sort(&input, |s| timsort(s));
     }
 
@@ -597,8 +620,14 @@ mod tests {
         }
         let ones: Vec<i32> = data.iter().filter(|p| p.0 == 1).map(|p| p.1).collect();
         let twos: Vec<i32> = data.iter().filter(|p| p.0 == 2).map(|p| p.1).collect();
-        assert!(ones.windows(2).all(|w| w[0] < w[1]), "stability violated for t=1");
-        assert!(twos.windows(2).all(|w| w[0] < w[1]), "stability violated for t=2");
+        assert!(
+            ones.windows(2).all(|w| w[0] < w[1]),
+            "stability violated for t=1"
+        );
+        assert!(
+            twos.windows(2).all(|w| w[0] < w[1]),
+            "stability violated for t=2"
+        );
     }
 
     #[test]
@@ -630,7 +659,10 @@ mod tests {
 
     #[test]
     fn gallop_left_right_agree_with_partition_point() {
-        let times: Vec<(i64, ())> = [1i64, 3, 3, 3, 5, 8, 8, 13].iter().map(|&t| (t, ())).collect();
+        let times: Vec<(i64, ())> = [1i64, 3, 3, 3, 5, 8, 8, 13]
+            .iter()
+            .map(|&t| (t, ()))
+            .collect();
         for key in 0..15 {
             for hint in 0..times.len() {
                 let gl = gallop_left_scratch(key, &times, 0, times.len(), hint);

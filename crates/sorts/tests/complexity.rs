@@ -129,7 +129,10 @@ fn backward_gap_over_quicksort_grows_with_n() {
     for n in [4_000usize, 16_000, 64_000] {
         let pairs = make(n);
         let ratio = work(&pairs, false) as f64 / work(&pairs, true) as f64;
-        assert!(ratio > 1.0, "n={n}: backward must do less work (ratio {ratio:.2})");
+        assert!(
+            ratio > 1.0,
+            "n={n}: backward must do less work (ratio {ratio:.2})"
+        );
         assert!(
             ratio >= prev_ratio * 0.9,
             "n={n}: advantage should not collapse ({ratio:.2} after {prev_ratio:.2})"

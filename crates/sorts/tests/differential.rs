@@ -3,8 +3,8 @@
 //! chunk sizes. Stable algorithms must additionally match `std`'s *stable*
 //! order on values.
 
-use backsort_tvlist::{SeriesAccess, SliceSeries, TVList};
 use backsort_sorts::{BaselineSorter, SeriesSorter};
+use backsort_tvlist::{SeriesAccess, SliceSeries, TVList};
 use proptest::prelude::*;
 
 fn sorted_times(mut pairs: Vec<(i64, u32)>) -> Vec<i64> {
@@ -51,7 +51,12 @@ fn check_tvlist(sorter: BaselineSorter, input: &[(i64, u32)], array_size: usize)
     }
     sorter.sort_series(&mut list);
     let got: Vec<i64> = (0..list.len()).map(|i| list.time(i)).collect();
-    assert_eq!(got, sorted_times(input.to_vec()), "{} on TVList", sorter.name());
+    assert_eq!(
+        got,
+        sorted_times(input.to_vec()),
+        "{} on TVList",
+        sorter.name()
+    );
 }
 
 proptest! {
@@ -126,12 +131,17 @@ fn adversarial_patterns_all_algorithms() {
         ("two-values", (0..n).map(|i| (i % 2) as i64).collect()),
         (
             "runs-of-64",
-            (0..n).map(|i| ((i / 64) * 1000 + (63 - i % 64)) as i64).collect(),
+            (0..n)
+                .map(|i| ((i / 64) * 1000 + (63 - i % 64)) as i64)
+                .collect(),
         ),
     ];
     for (name, times) in patterns {
-        let input: Vec<(i64, u32)> =
-            times.iter().enumerate().map(|(i, &t)| (t, i as u32)).collect();
+        let input: Vec<(i64, u32)> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i as u32))
+            .collect();
         for sorter in BaselineSorter::ALL {
             let mut data = input.clone();
             {
@@ -139,7 +149,12 @@ fn adversarial_patterns_all_algorithms() {
                 sorter.sort_series(&mut s);
             }
             let got: Vec<i64> = data.iter().map(|p| p.0).collect();
-            assert_eq!(got, sorted_times(input.clone()), "{} on {name}", sorter.name());
+            assert_eq!(
+                got,
+                sorted_times(input.clone()),
+                "{} on {name}",
+                sorter.name()
+            );
         }
     }
 }

@@ -81,10 +81,18 @@ pub fn execute_statement(
     statement: &Statement,
 ) -> Result<QueryOutput, SqlError> {
     match statement {
-        Statement::Select { items, device, range, group_by } => {
-            select(engine, items, device, *range, *group_by)
-        }
-        Statement::Insert { device, sensors, timestamp, values } => {
+        Statement::Select {
+            items,
+            device,
+            range,
+            group_by,
+        } => select(engine, items, device, *range, *group_by),
+        Statement::Insert {
+            device,
+            sensors,
+            timestamp,
+            values,
+        } => {
             for (sensor, value) in sensors.iter().zip(values) {
                 let key = SeriesKey::new(device.clone(), sensor.clone());
                 let v = match value {
@@ -97,7 +105,11 @@ pub fn execute_statement(
             }
             Ok(QueryOutput::Inserted(sensors.len()))
         }
-        Statement::Delete { device, sensor, range } => {
+        Statement::Delete {
+            device,
+            sensor,
+            range,
+        } => {
             let key = SeriesKey::new(device.clone(), sensor.clone());
             let removed = engine.delete_range(&key, range.lo, range.hi);
             Ok(QueryOutput::Deleted(removed))
@@ -205,6 +217,7 @@ mod tests {
             memtable_max_points: 10_000,
             array_size: 16,
             sorter: Algorithm::Backward(Default::default()),
+            shards: 1,
         })
     }
 
@@ -218,8 +231,11 @@ mod tests {
             );
             assert_eq!(execute(&eng, &sql).unwrap(), QueryOutput::Inserted(2));
         }
-        let out = execute(&eng, "SELECT speed, label FROM root.sg.d1 WHERE time >= 1 AND time <= 3")
-            .unwrap();
+        let out = execute(
+            &eng,
+            "SELECT speed, label FROM root.sg.d1 WHERE time >= 1 AND time <= 3",
+        )
+        .unwrap();
         match out {
             QueryOutput::Rows { columns, rows } => {
                 assert_eq!(columns, vec!["speed", "label"]);
@@ -235,7 +251,11 @@ mod tests {
     #[test]
     fn star_expands_to_all_sensors() {
         let eng = engine();
-        execute(&eng, "INSERT INTO root.sg.d1(timestamp, a, b) VALUES (1, 1, 2)").unwrap();
+        execute(
+            &eng,
+            "INSERT INTO root.sg.d1(timestamp, a, b) VALUES (1, 1, 2)",
+        )
+        .unwrap();
         execute(&eng, "INSERT INTO root.sg.d1(timestamp, b) VALUES (2, 4)").unwrap();
         let out = execute(&eng, "SELECT * FROM root.sg.d1").unwrap();
         match out {
@@ -259,7 +279,11 @@ mod tests {
             )
             .unwrap();
         }
-        let out = execute(&eng, "SELECT count(s), avg(s) FROM root.sg.d1 WHERE time <= 49").unwrap();
+        let out = execute(
+            &eng,
+            "SELECT count(s), avg(s) FROM root.sg.d1 WHERE time <= 49",
+        )
+        .unwrap();
         assert_eq!(
             out,
             QueryOutput::Aggregates {
@@ -282,9 +306,17 @@ mod tests {
     fn delete_via_sql() {
         let eng = engine();
         for t in 0..10i64 {
-            execute(&eng, &format!("INSERT INTO root.sg.d1(timestamp, s) VALUES ({t}, 1)")).unwrap();
+            execute(
+                &eng,
+                &format!("INSERT INTO root.sg.d1(timestamp, s) VALUES ({t}, 1)"),
+            )
+            .unwrap();
         }
-        let out = execute(&eng, "DELETE FROM root.sg.d1.s WHERE time >= 2 AND time <= 5").unwrap();
+        let out = execute(
+            &eng,
+            "DELETE FROM root.sg.d1.s WHERE time >= 2 AND time <= 5",
+        )
+        .unwrap();
         assert_eq!(out, QueryOutput::Deleted(4));
         let out = execute(&eng, "SELECT count(s) FROM root.sg.d1").unwrap();
         assert_eq!(
@@ -300,7 +332,11 @@ mod tests {
     fn the_papers_benchmark_query_runs() {
         let eng = engine();
         for t in 0..5_000i64 {
-            execute(&eng, &format!("INSERT INTO root.sg.d1(timestamp, s) VALUES ({t}, {t})")).unwrap();
+            execute(
+                &eng,
+                &format!("INSERT INTO root.sg.d1(timestamp, s) VALUES ({t}, {t})"),
+            )
+            .unwrap();
         }
         // SELECT * FROM data WHERE time > current - window (§VI-D)
         let out = execute(&eng, "SELECT * FROM root.sg.d1 WHERE time > 4999 - 100").unwrap();
@@ -318,10 +354,12 @@ mod tests {
             .unwrap_err()
             .message
             .contains("mix"));
-        assert!(execute(&eng, "SELECT s FROM root.sg.d1 GROUP BY (0, 10, 2)")
-            .unwrap_err()
-            .message
-            .contains("aggregate"));
+        assert!(
+            execute(&eng, "SELECT s FROM root.sg.d1 GROUP BY (0, 10, 2)")
+                .unwrap_err()
+                .message
+                .contains("aggregate")
+        );
         assert!(execute(&eng, "SELECT * FROM root.empty.device")
             .unwrap_err()
             .message

@@ -142,9 +142,9 @@ pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
                         .map_err(|_| SqlError::new(format!("bad float literal {text:?}")))?;
                     out.push(Token::Float(v));
                 } else {
-                    let v: i64 = text
-                        .parse()
-                        .map_err(|_| SqlError::new(format!("integer literal {text:?} out of range")))?;
+                    let v: i64 = text.parse().map_err(|_| {
+                        SqlError::new(format!("integer literal {text:?} out of range"))
+                    })?;
                     out.push(Token::Int(v));
                 }
             }
@@ -193,14 +193,22 @@ mod tests {
 
     #[test]
     fn comparison_operators() {
-        assert_eq!(lex("< <= > >= =").unwrap(),
-            vec![Token::Lt, Token::Le, Token::Gt, Token::Ge, Token::Eq]);
+        assert_eq!(
+            lex("< <= > >= =").unwrap(),
+            vec![Token::Lt, Token::Le, Token::Gt, Token::Ge, Token::Eq]
+        );
     }
 
     #[test]
     fn errors_are_descriptive() {
-        assert!(lex("'unterminated").unwrap_err().message.contains("unterminated"));
-        assert!(lex("select ;").unwrap_err().message.contains("unexpected character"));
+        assert!(lex("'unterminated")
+            .unwrap_err()
+            .message
+            .contains("unterminated"));
+        assert!(lex("select ;")
+            .unwrap_err()
+            .message
+            .contains("unexpected character"));
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub struct SqlError {
 
 impl SqlError {
     pub(crate) fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into() }
+        Self {
+            message: message.into(),
+        }
     }
 }
 

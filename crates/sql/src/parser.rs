@@ -78,7 +78,10 @@ pub struct TimeRange {
 
 impl Default for TimeRange {
     fn default() -> Self {
-        Self { lo: i64::MIN, hi: i64::MAX }
+        Self {
+            lo: i64::MIN,
+            hi: i64::MAX,
+        }
     }
 }
 
@@ -183,7 +186,9 @@ impl Parser {
     fn word(&mut self) -> Result<String, SqlError> {
         match self.next() {
             Some(Token::Word(w)) => Ok(w),
-            other => Err(SqlError::new(format!("expected identifier, found {other:?}"))),
+            other => Err(SqlError::new(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -269,7 +274,12 @@ impl Parser {
         } else {
             None
         };
-        Ok(Statement::Select { items, device, range, group_by })
+        Ok(Statement::Select {
+            items,
+            device,
+            range,
+            group_by,
+        })
     }
 
     fn select_item(&mut self) -> Result<SelectItem, SqlError> {
@@ -362,7 +372,12 @@ impl Parser {
                 values.len()
             )));
         }
-        Ok(Statement::Insert { device, sensors, timestamp, values })
+        Ok(Statement::Insert {
+            device,
+            sensors,
+            timestamp,
+            values,
+        })
     }
 
     fn literal(&mut self) -> Result<Literal, SqlError> {
@@ -406,7 +421,12 @@ mod tests {
         // §VI-D: SELECT * FROM data WHERE time > current - window
         let stmt = parse("SELECT * FROM root.sg.d1 WHERE time > 100000 - 2000").unwrap();
         match stmt {
-            Statement::Select { items, device, range, group_by } => {
+            Statement::Select {
+                items,
+                device,
+                range,
+                group_by,
+            } => {
                 assert_eq!(items, vec![SelectItem::Star]);
                 assert_eq!(device, "root.sg.d1");
                 assert_eq!(range.lo, 98_001);
@@ -437,7 +457,9 @@ mod tests {
     fn parses_group_by() {
         let stmt = parse("SELECT avg(s1) FROM root.sg.d1 GROUP BY (0, 1000, 100)").unwrap();
         match stmt {
-            Statement::Select { group_by: Some(g), .. } => {
+            Statement::Select {
+                group_by: Some(g), ..
+            } => {
                 assert_eq!((g.start, g.end, g.step), (0, 1000, 100));
             }
             other => panic!("{other:?}"),
@@ -446,11 +468,17 @@ mod tests {
 
     #[test]
     fn parses_insert() {
-        let stmt =
-            parse("INSERT INTO root.sg.d1(timestamp, s1, s2, s3, s4) VALUES (42, 3.5, 'on', -7, true)")
-                .unwrap();
+        let stmt = parse(
+            "INSERT INTO root.sg.d1(timestamp, s1, s2, s3, s4) VALUES (42, 3.5, 'on', -7, true)",
+        )
+        .unwrap();
         match stmt {
-            Statement::Insert { device, sensors, timestamp, values } => {
+            Statement::Insert {
+                device,
+                sensors,
+                timestamp,
+                values,
+            } => {
                 assert_eq!(device, "root.sg.d1");
                 assert_eq!(sensors, vec!["s1", "s2", "s3", "s4"]);
                 assert_eq!(timestamp, 42);
@@ -483,9 +511,18 @@ mod tests {
 
     #[test]
     fn error_messages_are_actionable() {
-        assert!(parse("SELECT s1 root.d").unwrap_err().message.contains("expected from"));
-        assert!(parse("SELECT med(s1) FROM root.d").unwrap_err().message.contains("unknown aggregate"));
-        assert!(parse("DELETE FROM s1").unwrap_err().message.contains("device.sensor"));
+        assert!(parse("SELECT s1 root.d")
+            .unwrap_err()
+            .message
+            .contains("expected from"));
+        assert!(parse("SELECT med(s1) FROM root.d")
+            .unwrap_err()
+            .message
+            .contains("unknown aggregate"));
+        assert!(parse("DELETE FROM s1")
+            .unwrap_err()
+            .message
+            .contains("device.sensor"));
         assert!(parse("INSERT INTO root.d(timestamp, s1) VALUES (1)")
             .unwrap_err()
             .message
@@ -502,7 +539,8 @@ mod tests {
 
     #[test]
     fn where_combinations_accumulate() {
-        let stmt = parse("SELECT s FROM root.d WHERE time > 5 AND time < 10 AND time >= 7").unwrap();
+        let stmt =
+            parse("SELECT s FROM root.d WHERE time > 5 AND time < 10 AND time >= 7").unwrap();
         match stmt {
             Statement::Select { range, .. } => assert_eq!((range.lo, range.hi), (7, 9)),
             other => panic!("{other:?}"),

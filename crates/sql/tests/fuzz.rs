@@ -11,6 +11,7 @@ fn engine() -> StorageEngine {
         memtable_max_points: 1_000,
         array_size: 16,
         sorter: Algorithm::Backward(Default::default()),
+        shards: 1,
     });
     let key = SeriesKey::new("root.sg.d1", "s");
     for t in 0..50i64 {

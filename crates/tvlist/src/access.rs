@@ -186,7 +186,10 @@ mod tests {
                 }
             }
         }
-        let mut two = Two { a: (9, 90), b: (4, 40) };
+        let mut two = Two {
+            a: (9, 90),
+            b: (4, 40),
+        };
         two.swap(0, 1);
         assert_eq!(two.a, (4, 40));
         assert_eq!(two.b, (9, 90));

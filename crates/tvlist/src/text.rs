@@ -69,8 +69,7 @@ impl TextTVList {
 
     /// Approximate heap footprint in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.index_list.memory_bytes()
-            + self.arena.iter().map(|s| s.capacity() + 24).sum::<usize>()
+        self.index_list.memory_bytes() + self.arena.iter().map(|s| s.capacity() + 24).sum::<usize>()
     }
 
     /// The sortable `(timestamp, arena index)` view.
@@ -118,10 +117,7 @@ mod tests {
         s.swap(1, 2); // [1,2,3]
         s.mark_sorted();
         let collected: Vec<_> = list.iter().collect();
-        assert_eq!(
-            collected,
-            vec![(1, "first"), (2, "second"), (3, "late")]
-        );
+        assert_eq!(collected, vec![(1, "first"), (2, "second"), (3, "late")]);
         assert!(list.is_sorted());
     }
 

@@ -21,8 +21,8 @@ pub fn expected_iir_exponential(lambda: f64, l: f64) -> f64 {
 /// for `k_max = 3` evaluates to `10/16 = 5/8`.
 pub fn expected_overlap_discrete_uniform(k_max: u32) -> f64 {
     let m = k_max as i64 + 1; // number of values 0..=k_max
-    // F̄(k) = P(Δτ > k) for k = 0.. ; Δτ = τ_i − τ_j uniform difference.
-    // P(Δτ > k) = #{(a,b): a − b > k} / m².
+                              // F̄(k) = P(Δτ > k) for k = 0.. ; Δτ = τ_i − τ_j uniform difference.
+                              // P(Δτ > k) = #{(a,b): a − b > k} / m².
     let mut sum = 0.0;
     for k in 0..m {
         let mut count = 0i64;

@@ -85,8 +85,14 @@ impl DatasetKind {
     /// The delay model realizing this dataset's disorder profile.
     pub fn delay_model(&self) -> DelayModel {
         match self {
-            DatasetKind::AbsNormal01 => DelayModel::AbsNormal { mu: 0.0, sigma: 1.0 },
-            DatasetKind::LogNormal01 => DelayModel::LogNormal { mu: 0.0, sigma: 1.0 },
+            DatasetKind::AbsNormal01 => DelayModel::AbsNormal {
+                mu: 0.0,
+                sigma: 1.0,
+            },
+            DatasetKind::LogNormal01 => DelayModel::LogNormal {
+                mu: 0.0,
+                sigma: 1.0,
+            },
             // Heavy tail reaching ~2^16: a Pareto straggler mixture on
             // top of a noisy body, calibrated so α1 ≈ 1.7e-1 and the IIR
             // stays non-zero at L = 2^16, matching Fig. 8(a)'s citibike
@@ -106,8 +112,14 @@ impl DatasetKind {
                 cap: 32_768.0,
             },
             // Short bounded-ish delays: IIR gone by L ≈ 2^5.
-            DatasetKind::SamsungD5 => DelayModel::AbsNormal { mu: 0.0, sigma: 0.6 },
-            DatasetKind::SamsungS10 => DelayModel::AbsNormal { mu: 0.0, sigma: 1.4 },
+            DatasetKind::SamsungD5 => DelayModel::AbsNormal {
+                mu: 0.0,
+                sigma: 0.6,
+            },
+            DatasetKind::SamsungS10 => DelayModel::AbsNormal {
+                mu: 0.0,
+                sigma: 1.4,
+            },
         }
     }
 }
@@ -181,7 +193,11 @@ mod tests {
         let ds = Dataset::generate(DatasetKind::SamsungD5, 100_000, 3);
         let times = ds.times();
         assert!(interval_inversion_ratio(&times, 1) > 0.0);
-        assert_eq!(interval_inversion_ratio(&times, 32), 0.0, "samsung IIR must die by 2^5");
+        assert_eq!(
+            interval_inversion_ratio(&times, 32),
+            0.0,
+            "samsung IIR must die by 2^5"
+        );
     }
 
     #[test]

@@ -84,16 +84,23 @@ impl DelayModel {
                     LogNormal::new(mu, sigma).expect("finite σ").sample(rng)
                 }
             }
-            DelayModel::Exponential { lambda } => {
-                Exp::new(lambda).expect("λ > 0").sample(rng)
-            }
+            DelayModel::Exponential { lambda } => Exp::new(lambda).expect("λ > 0").sample(rng),
             DelayModel::DiscreteUniform { k } => rng.gen_range(0..=k) as f64,
             DelayModel::Constant { value } => value,
-            DelayModel::HeavyTail { p, scale, shape, base_sigma, cap } => {
+            DelayModel::HeavyTail {
+                p,
+                scale,
+                shape,
+                base_sigma,
+                cap,
+            } => {
                 let d = if rng.gen_bool(p.clamp(0.0, 1.0)) {
                     Pareto::new(scale, shape).expect("valid Pareto").sample(rng)
                 } else if base_sigma > 0.0 {
-                    Normal::new(0.0, base_sigma).expect("finite σ").sample(rng).abs()
+                    Normal::new(0.0, base_sigma)
+                        .expect("finite σ")
+                        .sample(rng)
+                        .abs()
                 } else {
                     0.0
                 };
@@ -136,12 +143,24 @@ mod tests {
     fn all_models_produce_finite_nonnegative_delays() {
         let models = [
             DelayModel::None,
-            DelayModel::AbsNormal { mu: 1.0, sigma: 2.0 },
-            DelayModel::LogNormal { mu: 1.0, sigma: 1.0 },
+            DelayModel::AbsNormal {
+                mu: 1.0,
+                sigma: 2.0,
+            },
+            DelayModel::LogNormal {
+                mu: 1.0,
+                sigma: 1.0,
+            },
             DelayModel::Exponential { lambda: 2.0 },
             DelayModel::DiscreteUniform { k: 3 },
             DelayModel::Constant { value: 5.0 },
-            DelayModel::HeavyTail { p: 0.05, scale: 16.0, shape: 1.2, base_sigma: 1.0, cap: 1e5 },
+            DelayModel::HeavyTail {
+                p: 0.05,
+                scale: 16.0,
+                shape: 1.2,
+                base_sigma: 1.0,
+                cap: 1e5,
+            },
         ];
         for m in models {
             for d in sample_many(m, 5_000) {
@@ -168,14 +187,32 @@ mod tests {
 
     #[test]
     fn zero_sigma_degenerates_to_constant() {
-        let samples = sample_many(DelayModel::AbsNormal { mu: 1.5, sigma: 0.0 }, 10);
+        let samples = sample_many(
+            DelayModel::AbsNormal {
+                mu: 1.5,
+                sigma: 0.0,
+            },
+            10,
+        );
         assert!(samples.iter().all(|&d| d == 1.5));
     }
 
     #[test]
     fn heavier_sigma_means_larger_delays_on_average() {
-        let small = sample_many(DelayModel::AbsNormal { mu: 0.0, sigma: 0.5 }, 50_000);
-        let large = sample_many(DelayModel::AbsNormal { mu: 0.0, sigma: 4.0 }, 50_000);
+        let small = sample_many(
+            DelayModel::AbsNormal {
+                mu: 0.0,
+                sigma: 0.5,
+            },
+            50_000,
+        );
+        let large = sample_many(
+            DelayModel::AbsNormal {
+                mu: 0.0,
+                sigma: 4.0,
+            },
+            50_000,
+        );
         let ms = small.iter().sum::<f64>() / small.len() as f64;
         let ml = large.iter().sum::<f64>() / large.len() as f64;
         assert!(ml > 4.0 * ms, "σ=4 mean {ml} vs σ=0.5 mean {ms}");
@@ -184,7 +221,11 @@ mod tests {
     #[test]
     fn labels_are_informative() {
         assert_eq!(
-            DelayModel::AbsNormal { mu: 1.0, sigma: 0.5 }.label(),
+            DelayModel::AbsNormal {
+                mu: 1.0,
+                sigma: 0.5
+            }
+            .label(),
             "AbsNormal(1,0.5)"
         );
         assert_eq!(DelayModel::Exponential { lambda: 2.0 }.label(), "Exp(2)");

@@ -129,7 +129,12 @@ impl DeltaTauHistogram {
             }
             total += 1;
         }
-        Self { counts, total, bin_width, min }
+        Self {
+            counts,
+            total,
+            bin_width,
+            min,
+        }
     }
 
     /// Density estimate per bin: `(bin center, pdf)`.
@@ -210,7 +215,14 @@ mod tests {
     fn sampled_iir_approximates_exact() {
         use crate::delay::DelayModel;
         use crate::stream::{generate_pairs, StreamSpec};
-        let spec = StreamSpec::new(200_000, DelayModel::AbsNormal { mu: 0.0, sigma: 8.0 }, 5);
+        let spec = StreamSpec::new(
+            200_000,
+            DelayModel::AbsNormal {
+                mu: 0.0,
+                sigma: 8.0,
+            },
+            5,
+        );
         let times: Vec<i64> = generate_pairs(&spec).iter().map(|p| p.0).collect();
         for l in [2usize, 4, 8] {
             let exact = interval_inversion_ratio(&times, l);

@@ -129,17 +129,34 @@ mod tests {
 
     #[test]
     fn delayed_stream_is_a_permutation_of_generation_times() {
-        let spec = StreamSpec::new(5_000, DelayModel::AbsNormal { mu: 0.0, sigma: 4.0 }, 2);
+        let spec = StreamSpec::new(
+            5_000,
+            DelayModel::AbsNormal {
+                mu: 0.0,
+                sigma: 4.0,
+            },
+            2,
+        );
         let pairs = generate_pairs(&spec);
         let mut times: Vec<i64> = pairs.iter().map(|p| p.0).collect();
-        assert!(!times.windows(2).all(|w| w[0] <= w[1]), "should be out of order");
+        assert!(
+            !times.windows(2).all(|w| w[0] <= w[1]),
+            "should be out of order"
+        );
         times.sort_unstable();
         assert_eq!(times, (0..5_000).collect::<Vec<i64>>());
     }
 
     #[test]
     fn deterministic_in_seed() {
-        let spec = StreamSpec::new(500, DelayModel::LogNormal { mu: 1.0, sigma: 1.0 }, 42);
+        let spec = StreamSpec::new(
+            500,
+            DelayModel::LogNormal {
+                mu: 1.0,
+                sigma: 1.0,
+            },
+            42,
+        );
         assert_eq!(generate_pairs(&spec), generate_pairs(&spec));
         let other = StreamSpec { seed: 43, ..spec };
         assert_ne!(generate_pairs(&spec), generate_pairs(&other));
@@ -170,7 +187,11 @@ mod tests {
     #[test]
     fn sine_signal_is_bounded() {
         let spec = StreamSpec {
-            signal: SignalKind::Sine { period: 50.0, amp: 10.0, noise: 0.0 },
+            signal: SignalKind::Sine {
+                period: 50.0,
+                amp: 10.0,
+                noise: 0.0,
+            },
             ..StreamSpec::new(200, DelayModel::None, 5)
         };
         let pairs = generate_pairs(&spec);
@@ -192,7 +213,10 @@ mod tests {
         for (idx, &(t, _)) in pairs.iter().enumerate() {
             // Displacement backward is bounded by the max delay.
             let displacement = idx as i64 - t;
-            assert!(displacement <= k as i64 + 1, "point {t} displaced {displacement}");
+            assert!(
+                displacement <= k as i64 + 1,
+                "point {t} displaced {displacement}"
+            );
         }
     }
 }

@@ -5,8 +5,8 @@
 //! Run with: `cargo run --release --example durable_storage`
 
 use backward_sort_repro::core::Algorithm;
-use backward_sort_repro::engine::{DurableEngine, EngineConfig, SeriesKey, TsValue};
 use backward_sort_repro::engine::{AggValue, Aggregation};
+use backward_sort_repro::engine::{DurableEngine, EngineConfig, SeriesKey, TsValue};
 
 fn main() -> std::io::Result<()> {
     let dir = std::env::temp_dir().join(format!("backsort-demo-{}", std::process::id()));
@@ -15,6 +15,7 @@ fn main() -> std::io::Result<()> {
         memtable_max_points: 5_000,
         array_size: 32,
         sorter: Algorithm::Backward(Default::default()),
+        shards: 1,
     };
     let key = SeriesKey::new("root.plant.turbine7", "rpm");
 
@@ -36,8 +37,10 @@ fn main() -> std::io::Result<()> {
         engine.write(&key, 3, TsValue::Double(-1.0))?;
         engine.sync()?;
         let (working, unseq) = engine.engine().buffered_points();
-        println!("session 1: {} files on disk, {working} pts in working, {unseq} in unsequence",
-            std::fs::read_dir(&dir)?.count());
+        println!(
+            "session 1: {} files on disk, {working} pts in working, {unseq} in unsequence",
+            std::fs::read_dir(&dir)?.count()
+        );
         // ... process exits here without a clean flush.
     }
 
@@ -46,14 +49,20 @@ fn main() -> std::io::Result<()> {
         let engine = DurableEngine::open(&dir, config)?;
         let all = engine.query(&key, i64::MIN, i64::MAX);
         println!("session 2: recovered {} distinct timestamps", all.len());
-        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "recovered data is sorted");
         assert!(
-            all.iter().any(|(t, v)| *t == 3 && *v == TsValue::Double(-1.0)),
+            all.windows(2).all(|w| w[0].0 < w[1].0),
+            "recovered data is sorted"
+        );
+        assert!(
+            all.iter()
+                .any(|(t, v)| *t == 3 && *v == TsValue::Double(-1.0)),
             "the straggler survived the crash"
         );
 
         // Aggregations work straight off the recovered state.
-        let count = engine.engine().aggregate(&key, 0, 20_000, Aggregation::Count);
+        let count = engine
+            .engine()
+            .aggregate(&key, 0, 20_000, Aggregation::Count);
         let avg = engine.engine().aggregate(&key, 0, 20_000, Aggregation::Avg);
         println!("count = {count:?}, avg = {avg:?}");
         assert!(matches!(count, AggValue::Number(n) if n > 7_500.0));

@@ -21,7 +21,11 @@ fn main() {
             n: points,
             interval: 1,
             delay,
-            signal: SignalKind::Sine { period: 64.0, amp: 100.0, noise: 2.0 },
+            signal: SignalKind::Sine {
+                period: 64.0,
+                amp: 100.0,
+                noise: 2.0,
+            },
             seed: 42,
         };
         // Storage order: this is what an application reads if nobody

@@ -14,12 +14,25 @@ fn main() {
         memtable_max_points: 50_000,
         array_size: 32,
         sorter: Algorithm::Backward(BackwardSort::default()),
+        shards: 1,
     });
 
     // Three turbine sensors with different delay behaviour.
     let sensors = [
-        ("speed", DelayModel::AbsNormal { mu: 0.5, sigma: 1.0 }),
-        ("vibration", DelayModel::LogNormal { mu: 0.0, sigma: 1.0 }),
+        (
+            "speed",
+            DelayModel::AbsNormal {
+                mu: 0.5,
+                sigma: 1.0,
+            },
+        ),
+        (
+            "vibration",
+            DelayModel::LogNormal {
+                mu: 0.0,
+                sigma: 1.0,
+            },
+        ),
         ("temperature", DelayModel::None),
     ];
 
@@ -29,7 +42,11 @@ fn main() {
             n: 60_000,
             interval: 1,
             delay,
-            signal: SignalKind::Sine { period: 600.0, amp: 50.0, noise: 0.5 },
+            signal: SignalKind::Sine {
+                period: 600.0,
+                amp: 50.0,
+                noise: 0.5,
+            },
             seed: 9,
         };
         for (t, v) in generate_pairs(&spec) {
@@ -66,8 +83,10 @@ fn main() {
     for (t, v) in &deep {
         println!("  t={t:>6}  v={:+.2}", v.as_f64());
     }
-    assert!(deep.iter().any(|(t, v)| *t == 10 && v.as_f64() == -999.0),
-        "the unsequence straggler must win at t=10");
+    assert!(
+        deep.iter().any(|(t, v)| *t == 10 && v.as_f64() == -999.0),
+        "the unsequence straggler must win at t=10"
+    );
 
     let flushes = engine.flush_history();
     let avg_ms = flushes.iter().map(|f| f.total_nanos()).sum::<u64>() as f64

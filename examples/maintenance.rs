@@ -16,6 +16,7 @@ fn main() {
         memtable_max_points: 20_000,
         array_size: 32,
         sorter: Algorithm::Backward(Default::default()),
+        shards: 1,
     }));
     let key = SeriesKey::new("root.plant.press3", "pressure");
 
@@ -28,7 +29,11 @@ fn main() {
         x ^= x << 17;
         let t = i + (x % 4) as i64;
         if let Some(job) = engine.write_nonblocking(&key, t, TsValue::Double((t % 211) as f64)) {
-            flusher.submit(job); // sorting/encoding happens off-thread
+            // Sorting/encoding happens off-thread; a closed pool hands the
+            // job back, so finish it inline instead of losing data.
+            if let Err(closed) = flusher.submit(job) {
+                engine.complete_flush(closed.0);
+            }
         }
     }
     // Stragglers arriving below the watermark take the unsequence path.
@@ -43,8 +48,10 @@ fn main() {
 
     // --- Range deletion: drop a corrupted sensor window. ---------------
     let removed = engine.delete_range(&key, 30_000, 34_999);
-    println!("delete [30000,35000)    : {removed} in-memory points removed, {} tombstone(s)",
-        engine.tombstone_count());
+    println!(
+        "delete [30000,35000)    : {removed} in-memory points removed, {} tombstone(s)",
+        engine.tombstone_count()
+    );
     let count = engine.aggregate(&key, 29_000, 36_000, Aggregation::Count);
     println!("count around the hole   : {count:?}");
 
@@ -59,8 +66,10 @@ fn main() {
     let after = engine.query(&key, 0, 100_000);
     assert_eq!(before, after, "compaction must not change query results");
     assert!(after.iter().all(|(t, _)| !(30_000..35_000).contains(t)));
-    assert!(after.iter().any(|(t, v)| *t == 100 && v.as_f64() == -1.0),
-        "unsequence override survived the whole lifecycle");
+    assert!(
+        after.iter().any(|(t, v)| *t == 100 && v.as_f64() == -1.0),
+        "unsequence override survived the whole lifecycle"
+    );
 
     // Windowed analytics over the maintained store.
     let buckets = engine.group_by_time(&key, 0, 79_999, 20_000, Aggregation::Count);

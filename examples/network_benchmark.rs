@@ -7,16 +7,17 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use backsort_server::{SqlClient, SqlServer};
 use backward_sort_repro::core::Algorithm;
 use backward_sort_repro::engine::{EngineConfig, StorageEngine};
 use backward_sort_repro::sql::QueryOutput;
-use backsort_server::{SqlClient, SqlServer};
 
 fn main() {
     let engine = Arc::new(StorageEngine::new(EngineConfig {
         memtable_max_points: 100_000,
         array_size: 32,
         sorter: Algorithm::Backward(Default::default()),
+        shards: 1,
     }));
     let server = SqlServer::start("127.0.0.1:0", Arc::clone(&engine)).expect("bind");
     println!("server listening on {}", server.addr());
@@ -52,7 +53,10 @@ fn main() {
     let t1 = Instant::now();
     for _ in 0..queries {
         let out = client
-            .execute(&format!("SELECT s FROM root.bench.d1 WHERE time > {} - 2000", n))
+            .execute(&format!(
+                "SELECT s FROM root.bench.d1 WHERE time > {} - 2000",
+                n
+            ))
             .expect("query");
         if let QueryOutput::Rows { rows, .. } = out {
             points += rows.len();

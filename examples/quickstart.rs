@@ -12,17 +12,38 @@ fn main() {
     // --- 1. The paper's Fig. 1 example: p5 and p9 arrive late. ---------
     let mut fig1 = IntTVList::new();
     for (t, v) in [
-        (1, 1), (3, 2), (4, 3), (5, 4), (2, 5), // p5 delayed (t=2)
-        (6, 6), (7, 7), (9, 8), (8, 9), (10, 10), // p9 delayed (t=8)
+        (1, 1),
+        (3, 2),
+        (4, 3),
+        (5, 4),
+        (2, 5), // p5 delayed (t=2)
+        (6, 6),
+        (7, 7),
+        (9, 8),
+        (8, 9),
+        (10, 10), // p9 delayed (t=8)
     ] {
         fig1.push(t, v);
     }
-    println!("arrival order : {:?}", fig1.iter().map(|p| p.0).collect::<Vec<_>>());
+    println!(
+        "arrival order : {:?}",
+        fig1.iter().map(|p| p.0).collect::<Vec<_>>()
+    );
     backward_sort(&mut fig1);
-    println!("sorted        : {:?}", fig1.iter().map(|p| p.0).collect::<Vec<_>>());
+    println!(
+        "sorted        : {:?}",
+        fig1.iter().map(|p| p.0).collect::<Vec<_>>()
+    );
 
     // --- 2. A realistic delay-only stream, with diagnostics. ----------
-    let spec = StreamSpec::new(100_000, DelayModel::AbsNormal { mu: 1.0, sigma: 2.0 }, 7);
+    let spec = StreamSpec::new(
+        100_000,
+        DelayModel::AbsNormal {
+            mu: 1.0,
+            sigma: 2.0,
+        },
+        7,
+    );
     let mut pairs: Vec<(i64, f64)> = generate_pairs(&spec);
     let mut series = SliceSeries::new(&mut pairs);
 
@@ -42,7 +63,14 @@ fn main() {
         let mut data = check.clone();
         let mut s = SliceSeries::new(&mut data);
         sorter.sort_series(&mut s);
-        assert!((1..s.len()).all(|i| s.time(i - 1) <= s.time(i)), "{}", sorter.name());
+        assert!(
+            (1..s.len()).all(|i| s.time(i - 1) <= s.time(i)),
+            "{}",
+            sorter.name()
+        );
     }
-    println!("\nall {} baselines agree with Backward-Sort ✓", BaselineSorter::ALL.len());
+    println!(
+        "\nall {} baselines agree with Backward-Sort ✓",
+        BaselineSorter::ALL.len()
+    );
 }

@@ -4,16 +4,20 @@
 
 use std::sync::Arc;
 
+use backsort_server::SqlServer;
 use backward_sort_repro::core::Algorithm;
 use backward_sort_repro::engine::{EngineConfig, StorageEngine};
-use backsort_server::SqlServer;
 
 fn main() {
-    let port: u16 = std::env::args().nth(1).and_then(|p| p.parse().ok()).unwrap_or(0);
+    let port: u16 = std::env::args()
+        .nth(1)
+        .and_then(|p| p.parse().ok())
+        .unwrap_or(0);
     let engine = Arc::new(StorageEngine::new(EngineConfig {
         memtable_max_points: 100_000,
         array_size: 32,
         sorter: Algorithm::Backward(Default::default()),
+        shards: 1,
     }));
     let server = SqlServer::start(("127.0.0.1", port), engine).expect("bind");
     println!("listening on {}", server.addr());

@@ -31,8 +31,11 @@ fn show(engine: &StorageEngine, sql: &str) {
         }
         Ok(QueryOutput::Grouped { columns, buckets }) => {
             for (start, vals) in buckets {
-                let cells: Vec<String> =
-                    columns.iter().zip(&vals).map(|(c, v)| format!("{c}={v:?}")).collect();
+                let cells: Vec<String> = columns
+                    .iter()
+                    .zip(&vals)
+                    .map(|(c, v)| format!("{c}={v:?}"))
+                    .collect();
                 println!("  [{start:>5}, +step)  {}", cells.join("  "));
             }
         }
@@ -47,6 +50,7 @@ fn main() {
         memtable_max_points: 100_000,
         array_size: 32,
         sorter: Algorithm::Backward(Default::default()),
+        shards: 1,
     });
 
     // Out-of-order ingestion through SQL (delayed t=2 arrives last).
@@ -72,11 +76,23 @@ fn main() {
 
     show(&engine, "SELECT * FROM root.demo.engine WHERE time <= 5");
     // The paper's benchmark query: latest window only (§VI-D).
-    show(&engine, "SELECT rpm FROM root.demo.engine WHERE time > 1999 - 10");
-    show(&engine, "SELECT count(rpm), min_value(rpm), avg(rpm), max_time(rpm) FROM root.demo.engine");
+    show(
+        &engine,
+        "SELECT rpm FROM root.demo.engine WHERE time > 1999 - 10",
+    );
+    show(
+        &engine,
+        "SELECT count(rpm), min_value(rpm), avg(rpm), max_time(rpm) FROM root.demo.engine",
+    );
     // "the average speed of an engine in every minute" (§VI-E).
-    show(&engine, "SELECT avg(rpm) FROM root.demo.engine GROUP BY (0, 1999, 500)");
-    show(&engine, "DELETE FROM root.demo.engine.rpm WHERE time >= 100 AND time <= 199");
+    show(
+        &engine,
+        "SELECT avg(rpm) FROM root.demo.engine GROUP BY (0, 1999, 500)",
+    );
+    show(
+        &engine,
+        "DELETE FROM root.demo.engine.rpm WHERE time >= 100 AND time <= 199",
+    );
     show(&engine, "SELECT count(rpm) FROM root.demo.engine");
     show(&engine, "SELECT nope FROM"); // parse errors are reported, not panicked
 }

@@ -1,0 +1,200 @@
+//! Minimal offline stand-in for `rand_distr` 0.4: the continuous
+//! distributions this workspace samples (`Normal`, `LogNormal`, `Exp`,
+//! `Pareto`, `StandardNormal`) via inverse-transform / Box–Muller.
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, RngCore};
+
+/// Types that can draw samples of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by distribution constructors on invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A uniform draw in the half-open interval `(0, 1]` — safe as a log or
+/// division argument.
+fn unit_open_closed<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// One standard-normal draw via Box–Muller.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = unit_open_closed(rng);
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The standard normal distribution N(0, 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        standard_normal(rng)
+    }
+}
+
+/// The normal distribution N(mean, std_dev²).
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates N(mean, std_dev²); `std_dev` must be finite and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error("Normal: std_dev must be finite and >= 0"));
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with underlying normal N(mu, sigma²).
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        Ok(Self {
+            norm: Normal::new(mu, sigma)
+                .map_err(|_| Error("LogNormal: sigma must be finite and >= 0"))?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// The exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates Exp(lambda); `lambda` must be finite and positive.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(Error("Exp: lambda must be finite and > 0"));
+        }
+        Ok(Self { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        -unit_open_closed(rng).ln() / self.lambda
+    }
+}
+
+/// The Pareto distribution with given scale (minimum) and shape.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    scale: f64,
+    inv_shape: f64,
+}
+
+impl Pareto {
+    /// Creates Pareto(scale, shape); both must be finite and positive.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, Error> {
+        if !scale.is_finite() || scale <= 0.0 || !shape.is_finite() || shape <= 0.0 {
+            return Err(Error("Pareto: scale and shape must be finite and > 0"));
+        }
+        Ok(Self {
+            scale,
+            inv_shape: 1.0 / shape,
+        })
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.scale * unit_open_closed(rng).powf(-self.inv_shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn stats(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = stats(&xs);
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn exp_mean_and_positivity() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let d = Exp::new(0.5).unwrap();
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|&x| x >= 0.0 && x.is_finite()));
+        let (mean, _) = stats(&xs);
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let d = Pareto::new(1.5, 3.0).unwrap();
+        assert!((0..10_000).all(|_| {
+            let x = d.sample(&mut rng);
+            x >= 1.5 && x.is_finite()
+        }));
+    }
+
+    #[test]
+    fn lognormal_positive() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let d = LogNormal::new(0.0, 0.5).unwrap();
+        assert!((0..10_000).all(|_| d.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Exp::new(0.0).is_err());
+        assert!(Pareto::new(1.0, 0.0).is_err());
+        assert!(Pareto::new(-1.0, 1.0).is_err());
+    }
+}

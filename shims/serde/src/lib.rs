@@ -1,0 +1,265 @@
+//! Minimal offline stand-in for `serde` 1.x.
+//!
+//! Instead of serde's visitor machinery, this shim routes everything
+//! through a single self-describing [`Value`] tree: [`Serialize`]
+//! converts a type *to* a `Value`, [`Deserialize`] reconstructs it
+//! *from* one. The companion `serde_json` shim renders/parses `Value`
+//! as JSON, and the `serde_derive` shim generates these impls for
+//! `#[derive(Serialize, Deserialize)]` on non-generic types, matching
+//! serde's externally-tagged enum representation.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model all (de)serialization goes through.
+///
+/// Object keys keep insertion order (a `Vec`, not a map), so generated
+/// JSON lists fields in declaration order like real serde does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number with an integral value.
+    Int(i64),
+    /// JSON number with a fractional value (or outside i64 range).
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can be converted into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` to the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self`, with a human-readable error on mismatch.
+    fn from_value(v: &Value) -> Result<Self, String>;
+}
+
+/// Looks up `key` in an object's fields and deserializes it.
+///
+/// A missing key deserializes from `Null`, so `Option` fields default
+/// to `None` while mandatory fields report "missing field".
+pub fn de_field<T: Deserialize>(obj: &[(String, Value)], key: &str) -> Result<T, String> {
+    match obj.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v).map_err(|e| format!("field `{key}`: {e}")),
+        None => T::from_value(&Value::Null).map_err(|_| format!("missing field `{key}`")),
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::Float(*self as f64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| format!("{} out of range for {}", i, stringify!($t))),
+                    Value::Float(f) if f.fract() == 0.0 && f.is_finite() => {
+                        let i = *f as i64;
+                        <$t>::try_from(i)
+                            .map_err(|_| format!("{} out of range for {}", i, stringify!($t)))
+                    }
+                    other => Err(format!("expected integer, got {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+ser_de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    other => Err(format!("expected number, got {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(format!("expected 2-element array, got {other:?}")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            other => Err(format!("expected 3-element array, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(42u64.to_value(), Value::Int(42));
+        assert_eq!(u64::from_value(&Value::Int(42)), Ok(42));
+        assert_eq!(f64::from_value(&Value::Int(3)), Ok(3.0));
+        assert_eq!((-7i32).to_value(), Value::Int(-7));
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+    }
+
+    #[test]
+    fn option_none_is_null_and_missing_field() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+        let obj = vec![("a".to_string(), Value::Int(1))];
+        assert_eq!(de_field::<Option<u32>>(&obj, "b"), Ok(None));
+        assert!(de_field::<u32>(&obj, "b").is_err());
+        assert_eq!(de_field::<u32>(&obj, "a"), Ok(1));
+    }
+
+    #[test]
+    fn nested_containers() {
+        let v = vec![(1i64, vec![Some(2u32), None])];
+        let val = v.to_value();
+        let back: Vec<(i64, Vec<Option<u32>>)> = Deserialize::from_value(&val).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -17,6 +17,7 @@ fn config(delay: DelayModel, write_pct: f64, sorter: Algorithm) -> BenchConfig {
         query_window: 500,
         memtable_max_points: 2_000,
         sorter,
+        shards: 1,
         seed: 17,
     }
 }
@@ -24,13 +25,20 @@ fn config(delay: DelayModel, write_pct: f64, sorter: Algorithm) -> BenchConfig {
 #[test]
 fn write_percentage_grid_completes_for_all_families() {
     let delays = [
-        DelayModel::AbsNormal { mu: 1.0, sigma: 1.0 },
-        DelayModel::LogNormal { mu: 1.0, sigma: 1.0 },
+        DelayModel::AbsNormal {
+            mu: 1.0,
+            sigma: 1.0,
+        },
+        DelayModel::LogNormal {
+            mu: 1.0,
+            sigma: 1.0,
+        },
         DatasetKind::SamsungS10.delay_model(),
     ];
     for delay in delays {
         for &pct in &BenchConfig::WRITE_PERCENTAGES {
-            let report = run_benchmark(&config(delay, pct, Algorithm::Backward(Default::default())));
+            let report =
+                run_benchmark(&config(delay, pct, Algorithm::Backward(Default::default())));
             assert_eq!(report.write_percentage, pct);
             assert!(report.total_latency_ms > 0.0);
             if pct >= 1.0 {
@@ -49,25 +57,42 @@ fn write_percentage_grid_completes_for_all_families() {
 #[test]
 fn flush_metrics_attribute_sort_time() {
     let report = run_benchmark(&config(
-        DelayModel::AbsNormal { mu: 1.0, sigma: 4.0 },
+        DelayModel::AbsNormal {
+            mu: 1.0,
+            sigma: 4.0,
+        },
         1.0,
         Algorithm::Backward(Default::default()),
     ));
     assert!(report.flushes > 0);
     let flush = report.avg_flush_ms.expect("flushes happened");
     let sort = report.avg_flush_sort_ms.expect("sort time recorded");
-    assert!(sort > 0.0 && sort <= flush, "sort {sort} within flush {flush}");
+    assert!(
+        sort > 0.0 && sort <= flush,
+        "sort {sort} within flush {flush}"
+    );
 }
 
 #[test]
 fn contenders_report_comparable_workloads() {
     let mut first: Option<(u64, u64)> = None;
     for alg in Algorithm::contenders() {
-        let report = run_benchmark(&config(DelayModel::LogNormal { mu: 1.0, sigma: 2.0 }, 0.9, alg));
+        let report = run_benchmark(&config(
+            DelayModel::LogNormal {
+                mu: 1.0,
+                sigma: 2.0,
+            },
+            0.9,
+            alg,
+        ));
         let shape = (report.points_written, report.queries);
         match &first {
             None => first = Some(shape),
-            Some(want) => assert_eq!(&shape, want, "{}: workload must be identical", report.sorter),
+            Some(want) => assert_eq!(
+                &shape, want,
+                "{}: workload must be identical",
+                report.sorter
+            ),
         }
     }
 }

@@ -23,6 +23,7 @@ fn every_contender_agrees_end_to_end() {
             memtable_max_points: 8_192,
             array_size: 32,
             sorter: alg,
+            shards: 1,
         });
         ingest(&engine, &key, &ds);
         assert!(engine.file_count() >= 3, "memtables must have rotated");
@@ -55,6 +56,7 @@ fn every_dataset_profile_survives_the_engine() {
             memtable_max_points: 4_096,
             array_size: 32,
             sorter: Algorithm::Backward(Default::default()),
+            shards: 1,
         });
         ingest(&engine, &key, &ds);
 
@@ -78,10 +80,14 @@ fn heavy_straggler_workload_exercises_separation_policy() {
         memtable_max_points: 2_048,
         array_size: 32,
         sorter: Algorithm::Backward(Default::default()),
+        shards: 1,
     });
     ingest(&engine, &key, &ds);
     let (_, unseq) = engine.buffered_points();
-    assert!(unseq > 0, "heavy tails must route points through unsequence");
+    assert!(
+        unseq > 0,
+        "heavy tails must route points through unsequence"
+    );
 
     // Queries stay correct regardless.
     let got = engine.query(&key, 1_000, 2_000);
@@ -95,6 +101,7 @@ fn multi_sensor_multi_device_isolation() {
         memtable_max_points: 10_000,
         array_size: 16,
         sorter: Algorithm::Backward(Default::default()),
+        shards: 1,
     });
     let keys: Vec<SeriesKey> = (0..3)
         .flat_map(|d| (0..4).map(move |s| SeriesKey::new(format!("root.sg.d{d}"), format!("s{s}"))))

@@ -63,7 +63,14 @@ fn proposition4_overlap_is_bounded_by_delay_expectation() {
 /// `L = N` (pure quicksort) degenerate configuration on delay-only data.
 #[test]
 fn backward_sort_moves_no_more_than_its_quicksort_degenerate() {
-    let pairs = stream(100_000, DelayModel::AbsNormal { mu: 1.0, sigma: 2.0 }, 11);
+    let pairs = stream(
+        100_000,
+        DelayModel::AbsNormal {
+            mu: 1.0,
+            sigma: 2.0,
+        },
+        11,
+    );
 
     let run = |cfg: BackwardSort| -> AccessStats {
         let mut data = pairs.clone();

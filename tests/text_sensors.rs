@@ -3,15 +3,14 @@
 //! and queries.
 
 use backward_sort_repro::core::Algorithm;
-use backward_sort_repro::engine::{
-    DurableEngine, EngineConfig, SeriesKey, StorageEngine, TsValue,
-};
+use backward_sort_repro::engine::{DurableEngine, EngineConfig, SeriesKey, StorageEngine, TsValue};
 
 fn config(max_points: usize) -> EngineConfig {
     EngineConfig {
         memtable_max_points: max_points,
         array_size: 16,
         sorter: Algorithm::Backward(Default::default()),
+        shards: 1,
     }
 }
 
@@ -35,7 +34,13 @@ fn text_points_sort_and_query() {
     let texts: Vec<&str> = got.iter().filter_map(|(_, v)| v.as_text()).collect();
     assert_eq!(
         texts,
-        vec!["door_open", "door_close", "ignition", "seatbelt", "engine_start"]
+        vec![
+            "door_open",
+            "door_close",
+            "ignition",
+            "seatbelt",
+            "engine_start"
+        ]
     );
 }
 
@@ -95,10 +100,7 @@ fn mixed_text_and_numeric_sensors_coexist() {
     engine.compact();
     assert_eq!(engine.query(&tkey, 0, 300).len(), 200);
     assert_eq!(engine.query(&nkey, 0, 300).len(), 200);
-    assert_eq!(
-        engine.query(&tkey, 42, 42)[0].1.as_text(),
-        Some("L42")
-    );
+    assert_eq!(engine.query(&tkey, 42, 42)[0].1.as_text(), Some("L42"));
 }
 
 #[test]
