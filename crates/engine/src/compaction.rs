@@ -61,7 +61,7 @@ impl StorageEngine {
         let images = self.take_files_for_compaction(shard);
         let tombstones = self.take_tombstones(shard);
         let files_in = images.len();
-        let bytes_in: u64 = images.iter().map(|f| f.len() as u64).sum();
+        let bytes_in: u64 = images.iter().map(|(_, f)| f.len() as u64).sum();
         if files_in <= 1 && tombstones.is_empty() {
             // Nothing to merge or erase; put the files back untouched.
             let report = CompactionReport {
@@ -88,11 +88,18 @@ impl StorageEngine {
         // Gather every point per sensor; later files override earlier
         // ones on equal timestamps via BTreeMap insertion order.
         let mut merged: BTreeMap<SeriesKey, BTreeMap<i64, TsValue>> = BTreeMap::new();
-        for (file_idx, image) in images.iter().enumerate() {
+        for (file_idx, (_, image)) in images.iter().enumerate() {
             let Some(reader) = TsFileReader::open(image) else {
                 continue;
             };
             for meta in reader.chunks() {
+                // A recovered multi-device image is adopted as a copy
+                // into every shard owning one of its devices; keep only
+                // this shard's chunks so the merge does not duplicate
+                // other shards' data into this shard's compacted file.
+                if self.shard_of(&meta.key.device) != shard {
+                    continue;
+                }
                 if let Some(points) = reader.read_chunk(meta) {
                     let series = merged.entry(meta.key.clone()).or_default();
                     for (t, v) in points {
@@ -120,9 +127,22 @@ impl StorageEngine {
             points += times.len() as u64;
             writer.write_chunk(key, &times, &values);
         }
+        if points == 0 {
+            // Tombstones erased everything, or every chunk belonged to
+            // other shards' copies: keep no file at all.
+            return CompactionReport {
+                files_in,
+                files_out: 0,
+                points: 0,
+                bytes_in,
+                bytes_out: 0,
+            };
+        }
         let image = writer.finish();
         let bytes_out = image.len() as u64;
-        self.restore_files(shard, vec![image]);
+        // The merged file carries a fresh id: the durable store sees the
+        // old ids vanish and this one appear, and re-persists accordingly.
+        self.restore_files(shard, vec![(self.alloc_file_id(), image)]);
         CompactionReport {
             files_in,
             files_out: 1,
@@ -264,6 +284,51 @@ mod tests {
         eng.compact();
         assert_eq!(eng.query(&key("a"), 0, 100).len(), 90);
         assert_eq!(eng.query(&key("b"), 0, 100).len(), 90);
+    }
+
+    #[test]
+    fn adopted_multi_device_image_compacts_without_cross_shard_duplication() {
+        // Build one image holding two devices that hash to different
+        // shards (d0 and d2 under FNV-1a mod 4).
+        let single = engine(1_000);
+        let ka = SeriesKey::new("root.sg.d0", "s");
+        let kb = SeriesKey::new("root.sg.d2", "s");
+        for t in 0..20i64 {
+            single.write(&ka, t, TsValue::Long(t));
+            single.write(&kb, t, TsValue::Long(-t));
+        }
+        single.flush();
+        let ids = single.shard_file_ids(0);
+        assert_eq!(ids.len(), 1);
+        let image = single.file_image(0, ids[0]).unwrap();
+
+        let eng = StorageEngine::new(EngineConfig {
+            memtable_max_points: 1_000,
+            array_size: 16,
+            sorter: Algorithm::Backward(Default::default()),
+            shards: 4,
+        });
+        let installed = eng.adopt_file(image).expect("valid image");
+        assert_eq!(installed.len(), 2, "one copy per owning shard");
+        // Give each shard a second file so compaction actually merges.
+        for t in 20..40i64 {
+            eng.write(&ka, t, TsValue::Long(t));
+            eng.write(&kb, t, TsValue::Long(-t));
+        }
+        eng.flush();
+
+        let report = eng.compact();
+        // Each shard keeps only its own device's chunks: 40 + 40 points,
+        // not 60 + 60 with the adopted copies folded in twice.
+        assert_eq!(report.points, 80);
+        assert_eq!(eng.file_count(), 2);
+        for (k, sign) in [(&ka, 1i64), (&kb, -1i64)] {
+            let got = eng.query(k, i64::MIN, i64::MAX);
+            assert_eq!(got.len(), 40);
+            for (t, v) in got {
+                assert_eq!(v, TsValue::Long(sign * t));
+            }
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! lock before taking the next. No code path nests shard locks.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use backsort_core::Algorithm;
 use parking_lot::RwLock;
@@ -105,8 +106,11 @@ struct ShardState {
     /// so later arrivals below it are "very long delayed" and take the
     /// unsequence path (the separation policy, paper §II).
     watermarks: HashMap<SeriesKey, i64>,
-    /// Flushed file images, oldest first.
-    files: Vec<Vec<u8>>,
+    /// Flushed file images, oldest first, each tagged with an
+    /// engine-unique id. Durable persistence keys on the id (not the
+    /// position), so compaction replacing a shard's files is observable
+    /// as ids disappearing and a new id arriving.
+    files: Vec<(u64, Vec<u8>)>,
     /// Pending range deletions plus the file horizon they apply to:
     /// only files at an index below the horizon are filtered (data
     /// written after the delete must not be erased).
@@ -145,6 +149,8 @@ fn fnv1a(device: &str) -> u64 {
 pub struct StorageEngine {
     config: EngineConfig,
     shards: Vec<RwLock<ShardState>>,
+    /// Source of the per-file ids in [`ShardState::files`].
+    next_file_id: AtomicU64,
 }
 
 impl StorageEngine {
@@ -154,7 +160,15 @@ impl StorageEngine {
         let shards = (0..n)
             .map(|_| RwLock::new(ShardState::new(config.array_size)))
             .collect();
-        Self { config, shards }
+        Self {
+            config,
+            shards,
+            next_file_id: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn alloc_file_id(&self) -> u64 {
+        self.next_file_id.fetch_add(1, Ordering::Relaxed)
     }
 
     /// The active configuration.
@@ -259,6 +273,26 @@ impl StorageEngine {
         total
     }
 
+    /// Flushes only the shards whose working memtable holds points,
+    /// leaving clean shards' flush history untouched (an empty entry
+    /// would skew per-flush metrics). The durable store calls this
+    /// before truncating WAL segments: a segment interleaves every
+    /// shard's records, so *all* shards' buffered data must reach files
+    /// before any segment is deleted. Returns the metrics summed across
+    /// the shards that flushed.
+    pub fn flush_dirty(&self) -> FlushMetrics {
+        let mut total = FlushMetrics::default();
+        for shard in &self.shards {
+            let mut st = shard.write();
+            if st.working.is_empty() {
+                continue;
+            }
+            let m = self.flush_shard_locked(&mut st);
+            total = merge_metrics(total, m);
+        }
+        total
+    }
+
     /// Flushes every shard's *unsequence* memtable to its own file.
     /// Watermarks are untouched (unsequence data is below them by
     /// definition). Used by the durable store so WAL segments can be
@@ -271,7 +305,8 @@ impl StorageEngine {
                 std::mem::replace(&mut st.unseq, MemTable::new(self.config.array_size));
             let (image, metrics) = flush_memtable(&mut flushing, &self.config.sorter);
             if metrics.points > 0 {
-                st.files.push(image);
+                let id = self.alloc_file_id();
+                st.files.push((id, image));
             }
             st.flush_history.push(metrics);
             total = merge_metrics(total, metrics);
@@ -283,12 +318,12 @@ impl StorageEngine {
     /// queries and advances watermarks from its chunk statistics. The
     /// image is installed into every shard that owns one of its devices
     /// (ascending order; a copy per shard — queries filter by series, so
-    /// the duplication is invisible). Returns `false` (and adopts
+    /// the duplication is invisible, and per-shard compaction later
+    /// drops the chunks belonging to other shards). Returns the
+    /// `(shard, file id)` pairs installed, or `None` (and adopts
     /// nothing) if the image does not parse.
-    pub fn adopt_file(&self, image: Vec<u8>) -> bool {
-        let Some(reader) = TsFileReader::open(&image) else {
-            return false;
-        };
+    pub fn adopt_file(&self, image: Vec<u8>) -> Option<Vec<(usize, u64)>> {
+        let reader = TsFileReader::open(&image)?;
         let metas: Vec<(SeriesKey, i64)> = reader
             .chunks()
             .iter()
@@ -306,6 +341,7 @@ impl StorageEngine {
         }
         let last = targets.len() - 1;
         let mut image = Some(image);
+        let mut installed = Vec::with_capacity(targets.len());
         for (i, &shard) in targets.iter().enumerate() {
             let mut st = self.shards[shard].write();
             for (key, max_time) in &metas {
@@ -319,24 +355,30 @@ impl StorageEngine {
             } else {
                 image.as_ref().expect("not yet moved").clone()
             };
-            st.files.push(img);
+            let id = self.alloc_file_id();
+            st.files.push((id, img));
+            installed.push((shard, id));
         }
-        true
+        Some(installed)
     }
 
-    /// File images of one shard from index `from` onwards, oldest first —
-    /// the durable store persists exactly the images it has not yet seen.
-    pub fn files_after(&self, shard: usize, from: usize) -> Vec<Vec<u8>> {
+    /// Ids of one shard's file images, oldest first. The durable store
+    /// keys persistence on these ids: new ids are images it has not
+    /// persisted yet, and ids that vanish were merged away by
+    /// compaction.
+    pub fn shard_file_ids(&self, shard: usize) -> Vec<u64> {
+        let st = self.shards[shard].read();
+        st.files.iter().map(|(id, _)| *id).collect()
+    }
+
+    /// The image bytes of one file by id, or `None` if compaction merged
+    /// it away since the id was listed.
+    pub fn file_image(&self, shard: usize, id: u64) -> Option<Vec<u8>> {
         let st = self.shards[shard].read();
         st.files
-            .get(from..)
-            .map(<[Vec<u8>]>::to_vec)
-            .unwrap_or_default()
-    }
-
-    /// Number of file images currently installed in one shard.
-    pub fn shard_file_count(&self, shard: usize) -> usize {
-        self.shards[shard].read().files.len()
+            .iter()
+            .find(|(fid, _)| *fid == id)
+            .map(|(_, img)| img.clone())
     }
 
     /// Removes and returns one shard's flushed file images (compaction
@@ -347,14 +389,14 @@ impl StorageEngine {
     /// IoTDB schedules it.
     ///
     /// [`restore_files`]: StorageEngine::restore_files
-    pub(crate) fn take_files_for_compaction(&self, shard: usize) -> Vec<Vec<u8>> {
+    pub(crate) fn take_files_for_compaction(&self, shard: usize) -> Vec<(u64, Vec<u8>)> {
         std::mem::take(&mut self.shards[shard].write().files)
     }
 
     /// Re-installs file images at the *oldest* position of a shard, so
     /// files flushed while compaction ran stay newer (and keep winning
     /// duplicate timestamps).
-    pub(crate) fn restore_files(&self, shard: usize, mut files: Vec<Vec<u8>>) {
+    pub(crate) fn restore_files(&self, shard: usize, mut files: Vec<(u64, Vec<u8>)>) {
         let mut st = self.shards[shard].write();
         files.append(&mut st.files);
         st.files = files;
@@ -389,7 +431,7 @@ impl StorageEngine {
                 }
             }
         }
-        for image in &st.files {
+        for (_, image) in &st.files {
             if let Some(reader) = TsFileReader::open(image) {
                 for meta in reader.chunks() {
                     if meta.key.device == device {
@@ -497,9 +539,10 @@ impl StorageEngine {
     /// becomes queryable and that shard's flushing slot is released.
     pub fn complete_flush(&self, mut job: FlushJob) -> FlushMetrics {
         let (image, metrics) = flush_memtable(&mut job.memtable, &self.config.sorter);
+        let id = self.alloc_file_id();
         let mut st = self.shards[job.shard].write();
         if metrics.points > 0 {
-            st.files.push(image);
+            st.files.push((id, image));
         }
         st.flush_history.push(metrics);
         st.flushing = None;
@@ -521,7 +564,8 @@ impl StorageEngine {
         }
         let (image, metrics) = flush_memtable(&mut flushing, &self.config.sorter);
         if metrics.points > 0 {
-            st.files.push(image);
+            let id = self.alloc_file_id();
+            st.files.push((id, image));
         }
         st.flush_history.push(metrics);
         metrics
@@ -543,7 +587,7 @@ impl StorageEngine {
         // Disk first (lowest priority), only when the range can touch it.
         let needs_disk = st.watermarks.get(key).is_some_and(|&w| t_lo <= w);
         if needs_disk {
-            for (file_idx, image) in st.files.iter().enumerate() {
+            for (file_idx, (_, image)) in st.files.iter().enumerate() {
                 if let Some(reader) = TsFileReader::open(image) {
                     for (t, v) in reader.query(key, t_lo, t_hi) {
                         let erased = st
@@ -898,6 +942,29 @@ mod tests {
             assert_eq!(at, bt, "{d}");
             assert!(at.windows(2).all(|w| w[0] < w[1]));
         }
+    }
+
+    #[test]
+    fn flush_dirty_skips_clean_shards() {
+        let eng = sharded_engine(4);
+        let k = SeriesKey::new("root.sg.d0", "s");
+        for t in 0..10i64 {
+            eng.write(&k, t, TsValue::Long(t));
+        }
+        let m = eng.flush_dirty();
+        assert_eq!(m.points, 10);
+        assert_eq!(eng.file_count(), 1);
+        assert_eq!(
+            eng.flush_history().len(),
+            1,
+            "clean shards record no history entry"
+        );
+        let (working, _) = eng.buffered_points();
+        assert_eq!(working, 0);
+        // Everything is clean now: a second call is a complete no-op.
+        let m = eng.flush_dirty();
+        assert_eq!(m.points, 0);
+        assert_eq!(eng.flush_history().len(), 1);
     }
 
     #[test]

@@ -65,9 +65,14 @@ impl AsyncFlusher {
                 std::thread::spawn(move || {
                     let mut completed = 0usize;
                     loop {
-                        // Hold the receiver lock only for the dequeue;
-                        // the flush itself runs unlocked so workers
-                        // overlap.
+                        // recv() holds the receiver mutex for the whole
+                        // blocking wait, so exactly one idle worker
+                        // parks here at a time (the rest queue on the
+                        // mutex). Once a job is dequeued the temporary
+                        // guard drops, the next worker moves into
+                        // recv(), and the flush itself runs unlocked —
+                        // workers overlap on the sort/encode work, not
+                        // on the dequeue.
                         let job = receiver.lock().recv();
                         match job {
                             Ok(job) => {

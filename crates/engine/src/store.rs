@@ -6,14 +6,21 @@
 //!
 //! 1. every write is appended (CRC-framed) to the active WAL segment
 //!    *before* it enters a memtable;
-//! 2. when the working memtable flushes, the file image is persisted as
-//!    `tsfile-<gen>.bstf`, the unsequence memtable is flushed alongside
-//!    it, and all older WAL segments are deleted — their data is now in
-//!    files;
+//! 2. when a shard's working memtable flushes, every other shard's
+//!    buffered data is flushed alongside it (a WAL segment interleaves
+//!    all shards' records, so all of them must reach files before any
+//!    segment goes away), the new file images are persisted as
+//!    `tsfile-<gen>.bstf`, and only then are older WAL segments
+//!    deleted;
 //! 3. [`DurableEngine::open`] recovers by adopting every persisted
 //!    TsFile, then replaying surviving WAL segments (torn tails are
 //!    truncated at the first bad CRC).
+//!
+//! Persistence is keyed on the engine's per-file *ids*, not on file
+//! positions, so compaction collapsing a shard's files is picked up as
+//! "old ids gone, one new id" and the disk set follows along.
 
+use std::collections::{HashMap, HashSet};
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
@@ -159,9 +166,12 @@ pub struct DurableEngine {
     dir: PathBuf,
     wal: BufWriter<File>,
     generation: u64,
-    /// Per-shard count of file images already persisted to disk; anything
-    /// a shard holds beyond this index is new since the last persist.
-    persisted: Vec<usize>,
+    /// Per-shard map from engine file id to the disk generation it is
+    /// persisted under. Ids missing from a shard's current file set were
+    /// merged away by compaction; their disk files are deleted once no
+    /// shard references the generation (a multi-device file adopted into
+    /// several shards shares one).
+    persisted: Vec<HashMap<u64, u64>>,
 }
 
 impl DurableEngine {
@@ -196,21 +206,34 @@ impl DurableEngine {
         tsfiles.sort();
         wals.sort();
 
+        let mut persisted: Vec<HashMap<u64, u64>> = vec![HashMap::new(); engine.shard_count()];
         let mut max_gen = 0u64;
         for (gen, path) in &tsfiles {
             max_gen = max_gen.max(*gen);
             let mut bytes = Vec::new();
             File::open(path)?.read_to_end(&mut bytes)?;
-            if !engine.adopt_file(bytes) {
-                // A torn tsfile write: ignore it; its WAL segment (which
-                // we only delete after a complete persist) will replay.
-                let _ = fs::remove_file(path);
+            match engine.adopt_file(bytes) {
+                Some(installed) => {
+                    // Already on disk under this generation; only later
+                    // images need persisting.
+                    for (shard, id) in installed {
+                        persisted[shard].insert(id, *gen);
+                    }
+                }
+                None => {
+                    // A torn tsfile write: ignore it; its WAL segment
+                    // (which we only delete after a complete persist)
+                    // will replay.
+                    let _ = fs::remove_file(path);
+                }
             }
         }
 
         // Replay surviving WAL segments into the memtables. The engine
         // routes each record to its device's shard exactly as the
-        // original write did.
+        // original write did. The segments stay on disk until the
+        // replayed data is persisted below — deleting them here would
+        // lose the data to a crash mid-open.
         for (gen, path) in &wals {
             max_gen = max_gen.max(*gen);
             let mut bytes = Vec::new();
@@ -221,24 +244,20 @@ impl DurableEngine {
                 // correctly anyway.
                 let _ = engine.write(&rec.key, rec.t, rec.v.clone());
             }
-            let _ = fs::remove_file(path);
         }
-        // The adopted images are already on disk: snapshot each shard's
-        // file count so only later images get persisted.
-        let mut persisted: Vec<usize> = (0..engine.shard_count())
-            .map(|s| engine.shard_file_count(s))
-            .collect();
-        // Anything replayed sits in memtables again; a fresh WAL segment
-        // re-covers it before we delete the old ones — simplest correct
-        // scheme: rewrite the surviving points. They are still in memory,
-        // so flush them to a file right away instead.
+        // Anything replayed sits in memtables again and is still covered
+        // only by the old segments — flush it to files right away, then
+        // the segments can go.
         let mut generation = max_gen;
         let (w, u) = engine.buffered_points();
         if w + u > 0 {
             engine.flush();
             engine.flush_unseq();
         }
-        persist_new_files(&engine, &dir, &mut generation, &mut persisted)?;
+        sync_files_to_disk(&engine, &dir, &mut generation, &mut persisted)?;
+        for (_, path) in &wals {
+            let _ = fs::remove_file(path);
+        }
         let generation = generation + 1;
         let wal = BufWriter::new(
             OpenOptions::new()
@@ -292,11 +311,14 @@ impl DurableEngine {
 
     fn persist_and_rotate(&mut self) -> io::Result<()> {
         self.wal.flush()?;
-        // Flush the unsequence buffers too so every WAL record up to this
-        // point is covered by persisted files, then write out every new
-        // file image from every shard.
+        // A WAL segment interleaves every shard's records, so before any
+        // segment is deleted *all* shards' buffered data must reach
+        // persisted files: flush each non-empty working memtable (the
+        // shard whose rotation triggered this call is already empty) and
+        // every unsequence buffer, then write out the new images.
+        self.engine.flush_dirty();
         self.engine.flush_unseq();
-        persist_new_files(
+        sync_files_to_disk(
             &self.engine,
             &self.dir,
             &mut self.generation,
@@ -343,23 +365,56 @@ impl DurableEngine {
     }
 }
 
-/// Writes every not-yet-persisted file image (walking shards in ascending
-/// order) to `tsfile-<gen>.bstf`, advancing the generation counter and the
-/// per-shard persisted counts. Within a shard images are persisted oldest
-/// first, so a rotation's sequence file always gets a lower generation
-/// than the unsequence file flushed right after it — adoption order at
-/// recovery therefore preserves last-write-wins.
-fn persist_new_files(
+/// Brings the on-disk `tsfile-<gen>.bstf` set in line with the engine's
+/// current file images, keyed by file id.
+///
+/// First every not-yet-persisted image is written under a fresh
+/// generation (walking shards in ascending order, each shard's files
+/// oldest first — a rotation's sequence file always gets a lower
+/// generation than the unsequence file flushed right after it, and a
+/// compacted file a lower one than anything flushed after the
+/// compaction, so adoption order at recovery preserves last-write-wins).
+/// Only then are disk files whose ids no longer exist in any shard
+/// deleted (compaction leftovers); deleting before writing would lose
+/// the merged data to a crash between the two steps.
+fn sync_files_to_disk(
     engine: &StorageEngine,
     dir: &Path,
     generation: &mut u64,
-    persisted: &mut [usize],
+    persisted: &mut [HashMap<u64, u64>],
 ) -> io::Result<()> {
     for (shard, done) in persisted.iter_mut().enumerate() {
-        for image in engine.files_after(shard, *done) {
-            *generation += 1;
-            fs::write(dir.join(format!("tsfile-{generation}.bstf")), image)?;
-            *done += 1;
+        for id in engine.shard_file_ids(shard) {
+            if done.contains_key(&id) {
+                continue;
+            }
+            // The image can only be gone if compaction ran in between;
+            // the merged file then carries the data under its own id.
+            if let Some(image) = engine.file_image(shard, id) {
+                *generation += 1;
+                fs::write(dir.join(format!("tsfile-{generation}.bstf")), image)?;
+                done.insert(id, *generation);
+            }
+        }
+    }
+    // Forget ids compaction merged away; delete their disk files once no
+    // shard references the generation anymore (a multi-device file
+    // adopted into several shards shares one generation).
+    let mut dropped: Vec<u64> = Vec::new();
+    for (shard, done) in persisted.iter_mut().enumerate() {
+        let live: HashSet<u64> = engine.shard_file_ids(shard).into_iter().collect();
+        done.retain(|id, gen| {
+            if live.contains(id) {
+                true
+            } else {
+                dropped.push(*gen);
+                false
+            }
+        });
+    }
+    for gen in dropped {
+        if !persisted.iter().any(|m| m.values().any(|g| *g == gen)) {
+            let _ = fs::remove_file(dir.join(format!("tsfile-{gen}.bstf")));
         }
     }
     Ok(())
@@ -555,6 +610,81 @@ mod tests {
             .count();
         assert_eq!(wal_count, 1, "only the active WAL segment survives");
         drop(eng);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_without_rotation_survives_wal_truncation() {
+        let dir = tmpdir("asymmetric");
+        let sharded = || EngineConfig {
+            shards: 4,
+            ..config(40)
+        };
+        let ka = SeriesKey::new("root.sg.d0", "s"); // heavy: rotates twice
+        let kb = SeriesKey::new("root.sg.d2", "s"); // light: never rotates
+        {
+            let mut eng = DurableEngine::open(&dir, sharded()).unwrap();
+            for t in 0..10i64 {
+                eng.write(&kb, t, TsValue::Long(-t)).unwrap();
+            }
+            // d0's rotations truncate the older WAL segments, which also
+            // hold d2's only copies — d2's shard must be flushed too.
+            for t in 0..85i64 {
+                eng.write(&ka, t, TsValue::Long(t)).unwrap();
+            }
+            eng.sync().unwrap();
+        }
+        let eng = DurableEngine::open(&dir, sharded()).unwrap();
+        assert_eq!(eng.query(&ka, 0, 200).len(), 85);
+        let got = eng.query(&kb, 0, 200);
+        assert_eq!(got.len(), 10, "unrotated shard's points survive");
+        for (t, v) in got {
+            assert_eq!(v, TsValue::Long(-t));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_under_durable_engine_keeps_later_flushes_persisted() {
+        let dir = tmpdir("compact");
+        let key = key();
+        {
+            let mut eng = DurableEngine::open(&dir, config(25)).unwrap();
+            for t in 0..75i64 {
+                eng.write(&key, t, TsValue::Long(t)).unwrap(); // 3 files persisted
+            }
+            let report = eng.engine().compact();
+            assert!(report.files_in >= 2, "files_in {}", report.files_in);
+            // Everything flushed *after* the compaction must still reach
+            // disk (persistence keys on ids, not positions).
+            for t in 75..150i64 {
+                eng.write(&key, t, TsValue::Long(t)).unwrap();
+            }
+            eng.sync().unwrap();
+        }
+        let eng = DurableEngine::open(&dir, config(25)).unwrap();
+        let got = eng.query(&key, 0, 300);
+        assert_eq!(got.len(), 150, "post-compaction flushes survive restart");
+        for (t, v) in got {
+            assert_eq!(v, TsValue::Long(t));
+        }
+        // The merged-away generations were garbage collected from disk:
+        // the compacted image plus the post-compaction files remain.
+        drop(eng);
+        let tsfile_count = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with("tsfile-")
+            })
+            .count();
+        assert!(
+            tsfile_count <= 4,
+            "stale tsfiles not collected: {tsfile_count}"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 
