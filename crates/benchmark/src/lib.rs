@@ -18,7 +18,9 @@
 mod concurrent;
 mod config;
 mod driver;
+mod query_bench;
 
 pub use concurrent::{run_benchmark_concurrent, ConcurrentReport};
 pub use config::BenchConfig;
 pub use driver::{run_benchmark, BenchReport};
+pub use query_bench::{run_query_bench, QueryBenchReport, QueryMode};

@@ -1,0 +1,281 @@
+//! Query-path benchmark: concurrent readers over seeded, settled data.
+//!
+//! Unlike the mixed concurrent mode ([`crate::run_benchmark_concurrent`]),
+//! this harness first ingests a fixed dataset (with natural rotations,
+//! so queries span flushed files *and* memtable residue), lets the
+//! buffers settle, and then measures *queries only*: per-query latency
+//! percentiles and aggregate throughput as reader threads scale. Run
+//! with [`QueryMode::ReadLocked`] it exercises the read-lock fast path
+//! (same-shard readers overlap); with [`QueryMode::Exclusive`] it pins
+//! every query to the pre-overhaul write-locked collect-and-re-sort
+//! baseline ([`StorageEngine::query_exclusive`]), so the two reports
+//! side by side show what the overhaul bought.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
+
+use backsort_engine::{EngineConfig, SeriesKey, StorageEngine, TsValue};
+use backsort_sorts::SeriesSorter;
+use backsort_workload::{generate_pairs, SignalKind, StreamSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use crate::config::BenchConfig;
+
+/// Which query path a [`run_query_bench`] run drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryMode {
+    /// [`StorageEngine::query`]: read-locked fast path with
+    /// double-checked sort-on-read.
+    ReadLocked,
+    /// [`StorageEngine::query_exclusive`]: the pre-overhaul baseline —
+    /// every query takes the shard write lock and re-sorts its
+    /// candidate set.
+    Exclusive,
+}
+
+impl QueryMode {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryMode::ReadLocked => "read",
+            QueryMode::Exclusive => "exclusive",
+        }
+    }
+}
+
+/// Results of one query-bench run (one mode × thread-count cell).
+#[derive(Debug, Clone, Serialize)]
+pub struct QueryBenchReport {
+    /// Sorter name.
+    pub sorter: String,
+    /// Engine shards.
+    pub shards: usize,
+    /// Query threads.
+    pub threads: usize,
+    /// `"read"` or `"exclusive"`.
+    pub mode: String,
+    /// Queries executed across all threads.
+    pub queries: u64,
+    /// Points returned across all threads.
+    pub points: u64,
+    /// Median per-query latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-query latency, microseconds.
+    pub p99_us: f64,
+    /// Mean per-query latency, microseconds.
+    pub mean_us: f64,
+    /// Aggregate queries per second (all threads, wall time).
+    pub qps: f64,
+    /// Aggregate points returned per second of wall time.
+    pub pps: f64,
+    /// Wall time of the measured phase, milliseconds.
+    pub wall_ms: f64,
+    /// Queries served under the shard read lock (fast path). Stays 0 in
+    /// exclusive mode; equals `queries` on settled data in read mode.
+    pub read_lock_queries: u64,
+    /// Queries that had to sort a buffer under the write lock.
+    pub sorted_on_read_queries: u64,
+}
+
+/// Seeds an engine with `config`'s workload: every sensor's stream is
+/// ingested in batches (rotations flush naturally), then the tail is
+/// left buffered so queries cross disk and memtables.
+fn seed_engine(config: &BenchConfig) -> (StorageEngine, Vec<SeriesKey>) {
+    let engine = StorageEngine::new(EngineConfig {
+        memtable_max_points: config.memtable_max_points,
+        array_size: 32,
+        sorter: config.sorter,
+        shards: config.shards,
+    });
+    let keys: Vec<SeriesKey> = (0..config.devices)
+        .flat_map(|d| {
+            (0..config.sensors_per_device)
+                .map(move |s| SeriesKey::new(format!("root.sg.d{d}"), format!("s{s}")))
+        })
+        .collect();
+    let sensor_count = keys.len().max(1);
+    let per_sensor = (config.operations * config.batch_size) / sensor_count + config.batch_size;
+    for (i, key) in keys.iter().enumerate() {
+        let spec = StreamSpec {
+            n: per_sensor,
+            interval: 1,
+            delay: config.delay,
+            signal: SignalKind::Sine {
+                period: 512.0,
+                amp: 100.0,
+                noise: 1.0,
+            },
+            seed: config.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        };
+        let points: Vec<(i64, TsValue)> = generate_pairs(&spec)
+            .into_iter()
+            .map(|(t, v)| (t, TsValue::Double(v)))
+            .collect();
+        for batch in points.chunks(config.batch_size) {
+            engine.write_batch(key, batch.to_vec());
+        }
+    }
+    (engine, keys)
+}
+
+/// Runs the query benchmark: seed, warm up (one query per sensor sorts
+/// any out-of-order buffer once, off the clock), then `threads` readers
+/// each issue `queries_per_thread` window queries anchored at each
+/// sensor's latest timestamp.
+pub fn run_query_bench(
+    config: &BenchConfig,
+    threads: usize,
+    queries_per_thread: usize,
+    mode: QueryMode,
+) -> QueryBenchReport {
+    assert!(threads > 0 && queries_per_thread > 0);
+    let (engine, keys) = seed_engine(config);
+    let engine = Arc::new(engine);
+    let sensor_count = keys.len();
+
+    // Warmup: settle every buffer so the measured phase sees the steady
+    // state (on real deployments the first read after a burst pays the
+    // sort; the sweep measures the serving regime).
+    for key in &keys {
+        let current = engine.latest_time(key).unwrap_or(0);
+        engine.query(key, current - config.query_window, current);
+    }
+    let warm = engine.query_path_stats();
+
+    let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let points = Arc::new(AtomicUsize::new(0));
+    let barrier = Arc::new(Barrier::new(threads));
+    let wall_start = Instant::now();
+    std::thread::scope(|scope| {
+        for thread in 0..threads {
+            let engine = Arc::clone(&engine);
+            let keys = &keys;
+            let latencies = Arc::clone(&latencies);
+            let points = Arc::clone(&points);
+            let barrier = Arc::clone(&barrier);
+            let window = config.query_window;
+            let seed = config.seed ^ (thread as u64 + 7_777);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut local = Vec::with_capacity(queries_per_thread);
+                let mut returned = 0usize;
+                barrier.wait();
+                for _ in 0..queries_per_thread {
+                    let key = &keys[rng.gen_range(0..sensor_count)];
+                    let current = engine.latest_time(key).unwrap_or(0);
+                    let t0 = Instant::now();
+                    let result = match mode {
+                        QueryMode::ReadLocked => engine.query(key, current - window, current),
+                        QueryMode::Exclusive => {
+                            engine.query_exclusive(key, current - window, current)
+                        }
+                    };
+                    local.push(t0.elapsed().as_nanos() as u64);
+                    returned += result.len();
+                }
+                points.fetch_add(returned, Ordering::Relaxed);
+                latencies.lock().expect("no poisoning").extend(local);
+            });
+        }
+    });
+    let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+    let stats = engine.query_path_stats();
+
+    let mut lat = Arc::into_inner(latencies)
+        .expect("threads joined")
+        .into_inner()
+        .expect("no poisoning");
+    lat.sort_unstable();
+    let percentile = |p: f64| -> f64 {
+        if lat.is_empty() {
+            return 0.0;
+        }
+        let idx = ((lat.len() - 1) as f64 * p).round() as usize;
+        lat[idx] as f64 / 1e3
+    };
+    let queries = lat.len() as u64;
+    let mean_us = if lat.is_empty() {
+        0.0
+    } else {
+        lat.iter().sum::<u64>() as f64 / lat.len() as f64 / 1e3
+    };
+    let total_points = points.load(Ordering::Relaxed) as u64;
+    QueryBenchReport {
+        sorter: config.sorter.name().to_string(),
+        shards: engine.shard_count(),
+        threads,
+        mode: mode.label().to_string(),
+        queries,
+        points: total_points,
+        p50_us: percentile(0.50),
+        p99_us: percentile(0.99),
+        mean_us,
+        qps: queries as f64 / (wall_ms / 1e3),
+        pps: total_points as f64 / (wall_ms / 1e3),
+        wall_ms,
+        read_lock_queries: stats.read_lock - warm.read_lock,
+        sorted_on_read_queries: stats.sorted_on_read - warm.sorted_on_read,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backsort_core::Algorithm;
+    use backsort_workload::DelayModel;
+
+    fn config() -> BenchConfig {
+        BenchConfig {
+            devices: 1,
+            sensors_per_device: 4,
+            batch_size: 100,
+            write_percentage: 1.0,
+            operations: 40,
+            delay: DelayModel::AbsNormal {
+                mu: 0.5,
+                sigma: 1.5,
+            },
+            query_window: 300,
+            memtable_max_points: 1_000,
+            sorter: Algorithm::Backward(Default::default()),
+            shards: 1,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn read_mode_stays_on_the_fast_path() {
+        let report = run_query_bench(&config(), 2, 25, QueryMode::ReadLocked);
+        assert_eq!(report.queries, 50);
+        assert_eq!(report.mode, "read");
+        assert_eq!(
+            report.sorted_on_read_queries, 0,
+            "settled data must never hit the write path"
+        );
+        assert_eq!(report.read_lock_queries, 50);
+        assert!(report.p50_us <= report.p99_us);
+        assert!(report.points > 0);
+    }
+
+    #[test]
+    fn exclusive_mode_counts_no_fast_path_queries() {
+        let report = run_query_bench(&config(), 2, 10, QueryMode::Exclusive);
+        assert_eq!(report.queries, 20);
+        assert_eq!(report.mode, "exclusive");
+        assert_eq!(report.read_lock_queries, 0);
+        assert_eq!(report.sorted_on_read_queries, 0);
+        assert!(report.qps > 0.0);
+    }
+
+    #[test]
+    fn modes_return_the_same_data() {
+        // Same seed, same dataset: total points returned must agree for
+        // a fixed query sequence (both paths answer identically).
+        let a = run_query_bench(&config(), 1, 30, QueryMode::ReadLocked);
+        let b = run_query_bench(&config(), 1, 30, QueryMode::Exclusive);
+        assert_eq!(a.points, b.points);
+    }
+}

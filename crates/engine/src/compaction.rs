@@ -10,7 +10,8 @@
 use std::collections::BTreeMap;
 
 use crate::engine::StorageEngine;
-use crate::tsfile::{TsFileReader, TsFileWriter};
+use crate::read::FileHandle;
+use crate::tsfile::{read_chunk_range, TsFileWriter};
 use crate::types::{SeriesKey, TsValue};
 
 /// Outcome of a compaction pass.
@@ -58,10 +59,10 @@ impl StorageEngine {
     }
 
     fn compact_shard(&self, shard: usize) -> CompactionReport {
-        let images = self.take_files_for_compaction(shard);
+        let handles = self.take_files_for_compaction(shard);
         let tombstones = self.take_tombstones(shard);
-        let files_in = images.len();
-        let bytes_in: u64 = images.iter().map(|(_, f)| f.len() as u64).sum();
+        let files_in = handles.len();
+        let bytes_in: u64 = handles.iter().map(|h| h.image().len() as u64).sum();
         if files_in <= 1 && tombstones.is_empty() {
             // Nothing to merge or erase; put the files back untouched.
             let report = CompactionReport {
@@ -71,7 +72,7 @@ impl StorageEngine {
                 bytes_in,
                 bytes_out: bytes_in,
             };
-            self.restore_files(shard, images);
+            self.restore_files(shard, handles);
             return report;
         }
         if files_in == 0 {
@@ -88,11 +89,8 @@ impl StorageEngine {
         // Gather every point per sensor; later files override earlier
         // ones on equal timestamps via BTreeMap insertion order.
         let mut merged: BTreeMap<SeriesKey, BTreeMap<i64, TsValue>> = BTreeMap::new();
-        for (file_idx, (_, image)) in images.iter().enumerate() {
-            let Some(reader) = TsFileReader::open(image) else {
-                continue;
-            };
-            for meta in reader.chunks() {
+        for (file_idx, handle) in handles.iter().enumerate() {
+            for meta in handle.chunks() {
                 // A recovered multi-device image is adopted as a copy
                 // into every shard owning one of its devices; keep only
                 // this shard's chunks so the merge does not duplicate
@@ -100,7 +98,9 @@ impl StorageEngine {
                 if self.shard_of(&meta.key.device) != shard {
                     continue;
                 }
-                if let Some(points) = reader.read_chunk(meta) {
+                if let Some((points, _)) =
+                    read_chunk_range(handle.image(), meta, i64::MIN, i64::MAX)
+                {
                     let series = merged.entry(meta.key.clone()).or_default();
                     for (t, v) in points {
                         let erased = tombstones
@@ -142,7 +142,9 @@ impl StorageEngine {
         let bytes_out = image.len() as u64;
         // The merged file carries a fresh id: the durable store sees the
         // old ids vanish and this one appear, and re-persists accordingly.
-        self.restore_files(shard, vec![(self.alloc_file_id(), image)]);
+        let handle =
+            FileHandle::parse(self.alloc_file_id(), image).expect("compacted image parses");
+        self.restore_files(shard, vec![handle]);
         CompactionReport {
             files_in,
             files_out: 1,

@@ -31,13 +31,14 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use backsort_core::merge::LastWins;
 use backsort_core::Algorithm;
 use parking_lot::RwLock;
 
 use crate::delete::Tombstone;
 use crate::flush::{flush_memtable, FlushMetrics};
-use crate::memtable::MemTable;
-use crate::tsfile::TsFileReader;
+use crate::memtable::{MemTable, SeriesBuffer};
+use crate::read::{FileHandle, IntervalSet};
 use crate::types::{SeriesKey, TsValue};
 
 /// Engine tunables.
@@ -106,11 +107,13 @@ struct ShardState {
     /// so later arrivals below it are "very long delayed" and take the
     /// unsequence path (the separation policy, paper §II).
     watermarks: HashMap<SeriesKey, i64>,
-    /// Flushed file images, oldest first, each tagged with an
-    /// engine-unique id. Durable persistence keys on the id (not the
-    /// position), so compaction replacing a shard's files is observable
-    /// as ids disappearing and a new id arriving.
-    files: Vec<(u64, Vec<u8>)>,
+    /// Flushed files, oldest first, each parsed once into a
+    /// [`FileHandle`] when installed (flush, adoption, compaction) —
+    /// queries prune and read through the cached chunk index and never
+    /// re-parse a footer. Durable persistence keys on the handle's id
+    /// (not the position), so compaction replacing a shard's files is
+    /// observable as ids disappearing and a new id arriving.
+    files: Vec<FileHandle>,
     /// Pending range deletions plus the file horizon they apply to:
     /// only files at an index below the horizon are filtered (data
     /// written after the delete must not be erased).
@@ -126,6 +129,27 @@ impl ShardState {
             ..ShardState::default()
         }
     }
+}
+
+/// How queries have been served, split by the lock they ran under — the
+/// observable proof of the read-lock fast path. Snapshot returned by
+/// [`StorageEngine::query_path_stats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct QueryPathStats {
+    /// Queries served entirely under the shard's shared *read* lock
+    /// (every relevant buffer was already sorted), running concurrently
+    /// with other readers.
+    pub read_lock: u64,
+    /// Queries that found an unsorted buffer, upgraded to the exclusive
+    /// write lock and sorted it first (the double-checked
+    /// sort-on-read path).
+    pub sorted_on_read: u64,
+}
+
+#[derive(Debug, Default)]
+struct QueryPathCounters {
+    read_lock: AtomicU64,
+    sorted_on_read: AtomicU64,
 }
 
 /// FNV-1a over a device name — stable across runs, so the same device
@@ -151,6 +175,7 @@ pub struct StorageEngine {
     shards: Vec<RwLock<ShardState>>,
     /// Source of the per-file ids in [`ShardState::files`].
     next_file_id: AtomicU64,
+    query_paths: QueryPathCounters,
 }
 
 impl StorageEngine {
@@ -164,6 +189,18 @@ impl StorageEngine {
             config,
             shards,
             next_file_id: AtomicU64::new(0),
+            query_paths: QueryPathCounters::default(),
+        }
+    }
+
+    /// How queries have been served so far: read-locked fast path vs
+    /// sort-on-read write path. On a workload whose buffers are already
+    /// time-ordered, `sorted_on_read` stays at zero — queries never
+    /// exclude each other.
+    pub fn query_path_stats(&self) -> QueryPathStats {
+        QueryPathStats {
+            read_lock: self.query_paths.read_lock.load(Ordering::Relaxed),
+            sorted_on_read: self.query_paths.sorted_on_read.load(Ordering::Relaxed),
         }
     }
 
@@ -306,7 +343,8 @@ impl StorageEngine {
             let (image, metrics) = flush_memtable(&mut flushing, &self.config.sorter);
             if metrics.points > 0 {
                 let id = self.alloc_file_id();
-                st.files.push((id, image));
+                let handle = FileHandle::parse(id, image).expect("flushed image parses");
+                st.files.push(handle);
             }
             st.flush_history.push(metrics);
             total = merge_metrics(total, metrics);
@@ -316,20 +354,20 @@ impl StorageEngine {
 
     /// Adopts an existing TsFile image (recovery path): registers it for
     /// queries and advances watermarks from its chunk statistics. The
-    /// image is installed into every shard that owns one of its devices
-    /// (ascending order; a copy per shard — queries filter by series, so
-    /// the duplication is invisible, and per-shard compaction later
-    /// drops the chunks belonging to other shards). Returns the
+    /// image is parsed into a [`FileHandle`] exactly once; every shard
+    /// that owns one of its devices gets a copy reusing that parsed
+    /// index (ascending order — queries filter by series, so the
+    /// duplication is invisible, and per-shard compaction later drops
+    /// the chunks belonging to other shards). Returns the
     /// `(shard, file id)` pairs installed, or `None` (and adopts
     /// nothing) if the image does not parse.
     pub fn adopt_file(&self, image: Vec<u8>) -> Option<Vec<(usize, u64)>> {
-        let reader = TsFileReader::open(&image)?;
-        let metas: Vec<(SeriesKey, i64)> = reader
+        let handle = FileHandle::parse(self.alloc_file_id(), image)?;
+        let metas: Vec<(SeriesKey, i64)> = handle
             .chunks()
             .iter()
             .map(|m| (m.key.clone(), m.max_time))
             .collect();
-        drop(reader);
         let mut targets: Vec<usize> = metas
             .iter()
             .map(|(k, _)| self.shard_of(&k.device))
@@ -340,7 +378,7 @@ impl StorageEngine {
             targets.push(0); // an empty (but valid) file: park it in shard 0
         }
         let last = targets.len() - 1;
-        let mut image = Some(image);
+        let mut handle = Some(handle);
         let mut installed = Vec::with_capacity(targets.len());
         for (i, &shard) in targets.iter().enumerate() {
             let mut st = self.shards[shard].write();
@@ -350,14 +388,16 @@ impl StorageEngine {
                     *w = (*w).max(*max_time);
                 }
             }
-            let img = if i == last {
-                image.take().expect("moved once")
+            let h = if i == last {
+                handle.take().expect("moved once")
             } else {
-                image.as_ref().expect("not yet moved").clone()
+                // A copy for this shard under a fresh id, reusing the
+                // already-parsed chunk index.
+                let src = handle.as_ref().expect("not yet moved");
+                src.with_id(self.alloc_file_id())
             };
-            let id = self.alloc_file_id();
-            st.files.push((id, img));
-            installed.push((shard, id));
+            installed.push((shard, h.id()));
+            st.files.push(h);
         }
         Some(installed)
     }
@@ -368,7 +408,7 @@ impl StorageEngine {
     /// compaction.
     pub fn shard_file_ids(&self, shard: usize) -> Vec<u64> {
         let st = self.shards[shard].read();
-        st.files.iter().map(|(id, _)| *id).collect()
+        st.files.iter().map(|h| h.id()).collect()
     }
 
     /// The image bytes of one file by id, or `None` if compaction merged
@@ -377,8 +417,8 @@ impl StorageEngine {
         let st = self.shards[shard].read();
         st.files
             .iter()
-            .find(|(fid, _)| *fid == id)
-            .map(|(_, img)| img.clone())
+            .find(|h| h.id() == id)
+            .map(|h| h.image().to_vec())
     }
 
     /// Removes and returns one shard's flushed file images (compaction
@@ -389,14 +429,14 @@ impl StorageEngine {
     /// IoTDB schedules it.
     ///
     /// [`restore_files`]: StorageEngine::restore_files
-    pub(crate) fn take_files_for_compaction(&self, shard: usize) -> Vec<(u64, Vec<u8>)> {
+    pub(crate) fn take_files_for_compaction(&self, shard: usize) -> Vec<FileHandle> {
         std::mem::take(&mut self.shards[shard].write().files)
     }
 
-    /// Re-installs file images at the *oldest* position of a shard, so
+    /// Re-installs file handles at the *oldest* position of a shard, so
     /// files flushed while compaction ran stay newer (and keep winning
     /// duplicate timestamps).
-    pub(crate) fn restore_files(&self, shard: usize, mut files: Vec<(u64, Vec<u8>)>) {
+    pub(crate) fn restore_files(&self, shard: usize, mut files: Vec<FileHandle>) {
         let mut st = self.shards[shard].write();
         files.append(&mut st.files);
         st.files = files;
@@ -431,12 +471,10 @@ impl StorageEngine {
                 }
             }
         }
-        for (_, image) in &st.files {
-            if let Some(reader) = TsFileReader::open(image) {
-                for meta in reader.chunks() {
-                    if meta.key.device == device {
-                        keys.push(meta.key.clone());
-                    }
+        for handle in &st.files {
+            for meta in handle.chunks() {
+                if meta.key.device == device {
+                    keys.push(meta.key.clone());
                 }
             }
         }
@@ -539,10 +577,13 @@ impl StorageEngine {
     /// becomes queryable and that shard's flushing slot is released.
     pub fn complete_flush(&self, mut job: FlushJob) -> FlushMetrics {
         let (image, metrics) = flush_memtable(&mut job.memtable, &self.config.sorter);
-        let id = self.alloc_file_id();
+        // Parse the chunk index outside the lock too — installing the
+        // handle is then just a push.
+        let handle = (metrics.points > 0)
+            .then(|| FileHandle::parse(self.alloc_file_id(), image).expect("flushed image parses"));
         let mut st = self.shards[job.shard].write();
-        if metrics.points > 0 {
-            st.files.push((id, image));
+        if let Some(handle) = handle {
+            st.files.push(handle);
         }
         st.flush_history.push(metrics);
         st.flushing = None;
@@ -565,7 +606,8 @@ impl StorageEngine {
         let (image, metrics) = flush_memtable(&mut flushing, &self.config.sorter);
         if metrics.points > 0 {
             let id = self.alloc_file_id();
-            st.files.push((id, image));
+            let handle = FileHandle::parse(id, image).expect("flushed image parses");
+            st.files.push(handle);
         }
         st.flush_history.push(metrics);
         metrics
@@ -573,23 +615,56 @@ impl StorageEngine {
 
     /// Time-range query over `[t_lo, t_hi]`.
     ///
-    /// Takes the key's shard lock exclusively (blocking that shard's
-    /// writers — with one shard, *all* writers, as the paper observes in
-    /// §VI-D1), sorts the working and unsequence buffers with the
-    /// configured algorithm — the cost the paper's query-throughput
-    /// experiments measure — then scans memtables and, when the range
-    /// reaches flushed data, disk images. Duplicate timestamps resolve in
-    /// favor of the freshest source (unsequence > working > disk).
+    /// Double-checked sort-on-read: first take the shard lock *shared*;
+    /// if every buffer holding the key is already time-ordered
+    /// ([`SeriesBuffer::is_sorted`]), the whole query is served under
+    /// the read lock — concurrent readers of the same shard overlap
+    /// instead of serializing, and writers are only blocked for the scan
+    /// itself. Only when an unsorted buffer is found does the query drop
+    /// the read lock, take the write lock, sort the buffers with the
+    /// configured algorithm (where Backward-Sort earns its keep) and
+    /// serve under the write lock (no release-and-retry, so a steady
+    /// writer cannot livelock the reader).
+    ///
+    /// The scan itself is a streaming k-way merge over sorted runs —
+    /// cached disk chunk readers (pruned by the per-key time ranges in
+    /// each [`FileHandle`], masked by a pre-resolved tombstone
+    /// [`IntervalSet`]) plus the flushing/working/unsequence buffer
+    /// slices — emitting last-write-wins per timestamp (unsequence >
+    /// working > flushing > disk; among files, later wins). Nothing is
+    /// collected and re-sorted.
     pub fn query(&self, key: &SeriesKey, t_lo: i64, t_hi: i64) -> QueryResult {
-        let mut st = self.shards[self.shard_of(&key.device)].write();
-        let mut merged: Vec<(i64, TsValue, u8)> = Vec::new();
+        let shard = self.shard_of(&key.device);
+        {
+            let st = self.shards[shard].read();
+            if buffers_sorted(&st, key) {
+                self.query_paths.read_lock.fetch_add(1, Ordering::Relaxed);
+                return query_with_state(&st, key, t_lo, t_hi);
+            }
+        }
+        let mut st = self.shards[shard].write();
+        sort_key_buffers(&mut st, key, &self.config.sorter);
+        self.query_paths
+            .sorted_on_read
+            .fetch_add(1, Ordering::Relaxed);
+        query_with_state(&st, key, t_lo, t_hi)
+    }
 
-        // Disk first (lowest priority), only when the range can touch it.
-        let needs_disk = st.watermarks.get(key).is_some_and(|&w| t_lo <= w);
-        if needs_disk {
-            for (file_idx, (_, image)) in st.files.iter().enumerate() {
-                if let Some(reader) = TsFileReader::open(image) {
-                    for (t, v) in reader.query(key, t_lo, t_hi) {
+    /// The pre-overhaul query path, kept as the benchmark baseline:
+    /// unconditionally takes the shard lock *exclusively* (serializing
+    /// all of that shard's readers and writers, as the paper observes in
+    /// §VI-D1) and resolves duplicates by collecting every candidate
+    /// point and re-sorting, instead of streaming the merge. Returns
+    /// exactly what [`StorageEngine::query`] returns.
+    pub fn query_exclusive(&self, key: &SeriesKey, t_lo: i64, t_hi: i64) -> QueryResult {
+        let mut st = self.shards[self.shard_of(&key.device)].write();
+        sort_key_buffers(&mut st, key, &self.config.sorter);
+
+        let mut merged: Vec<(i64, TsValue, u8)> = Vec::new();
+        if needs_disk(&st, key, t_lo) {
+            for (file_idx, handle) in st.files.iter().enumerate() {
+                for chunk in handle.points_in_range(key, t_lo, t_hi) {
+                    for (t, v) in chunk {
                         let erased = st
                             .tombstones
                             .iter()
@@ -601,31 +676,15 @@ impl StorageEngine {
                 }
             }
         }
-
-        let sorter = self.config.sorter;
-        let ShardState {
-            working,
-            flushing,
-            unseq,
-            ..
-        } = &mut *st;
-        let mut memtables: Vec<(&mut MemTable, u8)> = Vec::with_capacity(3);
-        if let Some(fl) = flushing.as_mut() {
-            memtables.push((fl, 1));
-        }
-        memtables.push((working, 2u8));
-        memtables.push((unseq, 3u8));
-        for (mem, priority) in memtables {
-            if let Some(buffer) = mem.get_mut(key) {
-                buffer.sort_with(&sorter);
-                let start = buffer.lower_bound(t_lo);
-                for i in start..buffer.len() {
-                    let (t, v) = buffer.get(i);
-                    if t > t_hi {
-                        break;
-                    }
-                    merged.push((t, v, priority));
+        for (i, buffer) in key_buffers(&st, key).enumerate() {
+            let priority = i as u8 + 1;
+            let start = buffer.lower_bound(t_lo);
+            for idx in start..buffer.len() {
+                let (t, v) = buffer.get(idx);
+                if t > t_hi {
+                    break;
                 }
+                merged.push((t, v, priority));
             }
         }
 
@@ -643,22 +702,37 @@ impl StorageEngine {
         out
     }
 
-    /// Latest timestamp seen for a sensor across memtables and flushed
-    /// data — the anchor the benchmark's window queries use. Takes the
-    /// shard's *read* lock only (no buffer is sorted).
-    pub fn latest_time(&self, key: &SeriesKey) -> Option<i64> {
-        let st = self.shards[self.shard_of(&key.device)].read();
-        let mut latest = st.watermarks.get(key).copied();
-        let mems: Vec<&MemTable> = std::iter::once(&st.working)
-            .chain(st.flushing.as_ref())
-            .chain(std::iter::once(&st.unseq))
-            .collect();
-        for mem in mems {
-            if let Some(buffer) = mem.get(key) {
-                latest = latest.max(buffer.max_time());
+    /// The freshest point of a sensor across memtables and flushed data,
+    /// honoring deletions and duplicate-timestamp overrides. Same
+    /// double-checked locking as [`StorageEngine::query`]: read lock
+    /// when the buffers are sorted, write lock (sorting them) otherwise.
+    pub fn latest_value(&self, key: &SeriesKey) -> Option<(i64, TsValue)> {
+        let shard = self.shard_of(&key.device);
+        {
+            let st = self.shards[shard].read();
+            if buffers_sorted(&st, key) {
+                self.query_paths.read_lock.fetch_add(1, Ordering::Relaxed);
+                return latest_value_with_state(&st, key);
             }
         }
-        latest
+        let mut st = self.shards[shard].write();
+        sort_key_buffers(&mut st, key, &self.config.sorter);
+        self.query_paths
+            .sorted_on_read
+            .fetch_add(1, Ordering::Relaxed);
+        latest_value_with_state(&st, key)
+    }
+
+    /// Latest timestamp seen for a sensor across memtables and flushed
+    /// data — the anchor the benchmark's window queries use. Takes the
+    /// shard's *read* lock only (no buffer is sorted; buffer maxima are
+    /// tracked on write).
+    pub fn latest_time(&self, key: &SeriesKey) -> Option<i64> {
+        let st = self.shards[self.shard_of(&key.device)].read();
+        key_buffers(&st, key)
+            .filter_map(|b| b.max_time())
+            .chain(st.watermarks.get(key).copied())
+            .max()
     }
 
     /// All flush metrics recorded so far, shard 0 first.
@@ -689,6 +763,162 @@ impl StorageEngine {
         }
         (working, unseq)
     }
+}
+
+/// The shard's memtable buffers holding `key`, in ascending merge rank
+/// (flushing, then working, then unsequence — fresher sources override
+/// older ones on duplicate timestamps). The single place the
+/// query/latest paths enumerate buffers, so they cannot disagree on
+/// priorities.
+fn key_buffers<'s>(st: &'s ShardState, key: &SeriesKey) -> impl Iterator<Item = &'s SeriesBuffer> {
+    st.flushing
+        .as_ref()
+        .and_then(|m| m.get(key))
+        .into_iter()
+        .chain(st.working.get(key))
+        .chain(st.unseq.get(key))
+}
+
+/// Whether every buffer holding `key` is already time-ordered — the
+/// read-lock fast path's admission check.
+fn buffers_sorted(st: &ShardState, key: &SeriesKey) -> bool {
+    key_buffers(st, key).all(|b| b.is_sorted())
+}
+
+/// Sorts every buffer holding `key` with the configured algorithm (under
+/// the shard's write lock).
+fn sort_key_buffers(st: &mut ShardState, key: &SeriesKey, sorter: &Algorithm) {
+    let ShardState {
+        working,
+        flushing,
+        unseq,
+        ..
+    } = st;
+    for mem in [Some(working), flushing.as_mut(), Some(unseq)]
+        .into_iter()
+        .flatten()
+    {
+        if let Some(buffer) = mem.get_mut(key) {
+            buffer.sort_with(sorter);
+        }
+    }
+}
+
+/// Whether a `[t_lo, ..]` range can reach flushed data: only when it
+/// starts at or below the key's flush watermark (the shared
+/// watermark-consulting check of `query` / `query_exclusive` /
+/// `latest_value`).
+fn needs_disk(st: &ShardState, key: &SeriesKey, t_lo: i64) -> bool {
+    st.watermarks.get(key).is_some_and(|&w| t_lo <= w)
+}
+
+/// The streaming read path, shared by the read-locked fast path and the
+/// sorted-on-read write path (`st` must have `key`'s buffers sorted).
+///
+/// Registers one time-sorted source per surviving run — each pruned disk
+/// chunk (files oldest first, a file's chunks in file order, masked by
+/// the file's pre-resolved tombstone [`IntervalSet`]), then the
+/// flushing/working/unsequence buffer slices bounded by
+/// `lower_bound`/`upper_bound` — and lets [`LastWins`] emit the merge,
+/// resolving duplicate timestamps toward the highest-ranked (freshest)
+/// source.
+fn query_with_state(st: &ShardState, key: &SeriesKey, t_lo: i64, t_hi: i64) -> QueryResult {
+    debug_assert!(buffers_sorted(st, key));
+    let mut sources: Vec<Box<dyn Iterator<Item = (i64, TsValue)> + '_>> = Vec::new();
+    if needs_disk(st, key, t_lo) {
+        for (file_idx, handle) in st.files.iter().enumerate() {
+            if !handle.overlaps(key, t_lo, t_hi) {
+                continue;
+            }
+            let erased = IntervalSet::resolve(&st.tombstones, key, file_idx);
+            for chunk in handle.points_in_range(key, t_lo, t_hi) {
+                if erased.is_empty() {
+                    sources.push(Box::new(chunk));
+                } else {
+                    let erased = erased.clone();
+                    sources.push(Box::new(chunk.filter(move |&(t, _)| !erased.contains(t))));
+                }
+            }
+        }
+    }
+    for buffer in key_buffers(st, key) {
+        let (lo, hi) = (buffer.lower_bound(t_lo), buffer.upper_bound(t_hi));
+        if lo < hi {
+            sources.push(Box::new((lo..hi).map(move |i| buffer.get(i))));
+        }
+    }
+    match sources.len() {
+        // The overwhelmingly common shapes — one buffer covers the
+        // range, or working + unsequence — skip the heap entirely.
+        1 => {
+            let mut out: QueryResult = Vec::new();
+            for (t, v) in sources.pop().expect("len checked") {
+                push_last_wins(&mut out, t, v);
+            }
+            out
+        }
+        2 => {
+            let hi = sources.pop().expect("len checked");
+            let lo = sources.pop().expect("len checked");
+            merge_two_last_wins(lo, hi)
+        }
+        _ => LastWins::new(sources).collect(),
+    }
+}
+
+/// Appends `(t, v)` keeping one point per timestamp, the later append
+/// winning — the streaming equivalent of the last-wins dedup.
+fn push_last_wins(out: &mut QueryResult, t: i64, v: TsValue) {
+    match out.last_mut() {
+        Some(last) if last.0 == t => *last = (t, v),
+        _ => out.push((t, v)),
+    }
+}
+
+/// Direct two-way merge with last-wins dedup: on equal timestamps the
+/// lower-priority point is emitted first so `hi`'s overwrites it, which
+/// is exactly [`LastWins`] over `[lo, hi]` without the heap.
+fn merge_two_last_wins(
+    mut lo: impl Iterator<Item = (i64, TsValue)>,
+    mut hi: impl Iterator<Item = (i64, TsValue)>,
+) -> QueryResult {
+    let mut out: QueryResult = Vec::new();
+    let mut a = lo.next();
+    let mut b = hi.next();
+    while let (Some((ta, _)), Some((tb, _))) = (&a, &b) {
+        if ta <= tb {
+            let (t, v) = a.take().expect("checked");
+            push_last_wins(&mut out, t, v);
+            a = lo.next();
+        } else {
+            let (t, v) = b.take().expect("checked");
+            push_last_wins(&mut out, t, v);
+            b = hi.next();
+        }
+    }
+    for (t, v) in a.into_iter().chain(lo).chain(b).chain(hi) {
+        push_last_wins(&mut out, t, v);
+    }
+    out
+}
+
+/// `latest_value` under a lock guard: anchor on the maximum timestamp
+/// any source reports and merge just `[anchor, ∞)`; only if tombstones
+/// erased everything there (rare) fall back to a full-range merge.
+fn latest_value_with_state(st: &ShardState, key: &SeriesKey) -> Option<(i64, TsValue)> {
+    let mem_max = key_buffers(st, key).filter_map(|b| b.max_time()).max();
+    let disk_max = st
+        .files
+        .iter()
+        .filter_map(|h| h.key_time_range(key).map(|(_, hi)| hi))
+        .max();
+    let anchor = mem_max.into_iter().chain(disk_max).max()?;
+    if let Some(last) = query_with_state(st, key, anchor, i64::MAX).last() {
+        return Some(last.clone());
+    }
+    query_with_state(st, key, i64::MIN, i64::MAX)
+        .last()
+        .cloned()
 }
 
 fn merge_metrics(a: FlushMetrics, b: FlushMetrics) -> FlushMetrics {

@@ -12,9 +12,12 @@
 //! * **Flush pipeline** ([`flush`]) — sort (the component under test) →
 //!   deduplicate → encode (TS_2DIFF timestamps, Gorilla floats;
 //!   [`encoding`]) → write a TsFile-like chunked layout ([`tsfile`]).
-//! * **Queries** ([`engine`]) — time-range queries take the engine lock
-//!   (blocking writes, as the paper measures in §VI-D1) and sort the
-//!   memtable on demand before scanning.
+//! * **Queries** ([`engine`], [`read`]) — time-range queries serve from
+//!   a shard *read* lock when every relevant buffer is already sorted
+//!   (concurrent readers overlap), upgrading to the write lock only to
+//!   sort an unsorted buffer on demand (§VI-D1's lock contention, now
+//!   confined to the sort). The scan is a streaming k-way merge over
+//!   cached per-file chunk indexes and the memtable buffers.
 //!
 //! The sort algorithm is pluggable per engine instance
 //! ([`EngineConfig::sorter`]), which is how the system experiments compare
@@ -31,6 +34,7 @@ pub mod engine;
 pub mod flush;
 pub mod flusher;
 pub mod memtable;
+pub mod read;
 pub mod store;
 pub mod tsfile;
 pub mod types;
@@ -38,9 +42,10 @@ pub mod types;
 pub use aggregate::{AggValue, Aggregation};
 pub use compaction::CompactionReport;
 pub use delete::Tombstone;
-pub use engine::{EngineConfig, FlushJob, QueryResult, StorageEngine};
+pub use engine::{EngineConfig, FlushJob, QueryPathStats, QueryResult, StorageEngine};
 pub use flush::{flush_memtable, flush_memtable_parallel, FlushMetrics};
 pub use flusher::{AsyncFlusher, FlusherClosed};
 pub use memtable::{MemTable, SeriesBuffer};
+pub use read::{FileHandle, IntervalSet};
 pub use store::DurableEngine;
 pub use types::{DataType, SeriesKey, TsValue};

@@ -167,6 +167,24 @@ impl SeriesBuffer {
         lo
     }
 
+    /// Binary-searches the first index with `time > t` (the exclusive
+    /// end of a `[t_lo, t_hi]` range scan). Requires the buffer to be
+    /// sorted.
+    pub fn upper_bound(&self, t: i64) -> usize {
+        debug_assert!(self.is_sorted());
+        let (mut lo, mut hi) = (0usize, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let mt = for_each_buffer!(self, l => l.time(mid), t => t.time(mid));
+            if mt <= t {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
     /// Timestamp at index `i`.
     pub fn time(&self, i: usize) -> i64 {
         for_each_buffer!(self, l => l.time(i), t => t.time(i))
@@ -333,6 +351,22 @@ mod tests {
         assert_eq!(buf.lower_bound(3), 1);
         assert_eq!(buf.lower_bound(4), 2);
         assert_eq!(buf.lower_bound(10), 5);
+    }
+
+    #[test]
+    fn upper_bound_on_sorted_buffer() {
+        let mut buf = SeriesBuffer::new(DataType::Int64, 4);
+        for t in [1i64, 3, 5, 7, 9] {
+            buf.push(t, TsValue::Long(t));
+        }
+        assert_eq!(buf.upper_bound(0), 0);
+        assert_eq!(buf.upper_bound(1), 1);
+        assert_eq!(buf.upper_bound(3), 2);
+        assert_eq!(buf.upper_bound(4), 2);
+        assert_eq!(buf.upper_bound(9), 5);
+        assert_eq!(buf.upper_bound(100), 5);
+        // [lower_bound(lo), upper_bound(hi)) is the inclusive-range slice.
+        assert_eq!((buf.lower_bound(3), buf.upper_bound(7)), (1, 4));
     }
 
     #[test]

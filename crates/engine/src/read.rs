@@ -1,0 +1,273 @@
+//! The read path: parse-once file handles and tombstone pre-resolution.
+//!
+//! Queries used to re-parse every TsFile footer via
+//! [`TsFileReader::open`](crate::tsfile::TsFileReader::open) on every
+//! call and re-scan the whole tombstone list per point. This module
+//! supplies the cached state the streaming read path works from instead:
+//!
+//! * [`FileHandle`] — a flushed (or adopted, or recovered) file image
+//!   bundled with its chunk index, parsed exactly once when the file is
+//!   installed into a shard. Queries prune by key presence and per-key
+//!   time range straight off the cached index and hand page decoding to
+//!   [`ChunkPointsIter`](crate::tsfile::ChunkPointsIter) lazily.
+//! * [`IntervalSet`] — the tombstones applicable to one `(key, file)`
+//!   pair resolved into a sorted, merged interval list once per query,
+//!   so per-point erasure checks are a binary search instead of a scan
+//!   of every tombstone.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::delete::Tombstone;
+use crate::tsfile::{ChunkMeta, ChunkPointsIter, TsFileReader};
+use crate::types::SeriesKey;
+
+/// How many times [`FileHandle::parse`] has run, process-wide. Queries
+/// must never move this counter — the index is parsed once per install —
+/// which tests assert directly.
+static PARSE_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// A TsFile image with its chunk index parsed once, at install time.
+///
+/// Holds everything a query needs without touching the image bytes:
+/// which keys the file contains and each key's `(min_time, max_time)`
+/// envelope (straight from the key-sorted chunk index). Only when a
+/// query survives that pruning are the overlapping chunks' pages
+/// decoded — lazily, through [`FileHandle::points_in_range`].
+#[derive(Debug, Clone)]
+pub struct FileHandle {
+    id: u64,
+    image: Vec<u8>,
+    /// Chunk index sorted by key (chunks of one key in file order), as
+    /// [`TsFileReader::open`] produces it.
+    chunks: Vec<ChunkMeta>,
+}
+
+impl FileHandle {
+    /// Parses an image's footer and chunk index. `None` if the image is
+    /// not a valid TsFile. This is the *only* place the footer is
+    /// parsed; every later read reuses the cached index.
+    pub fn parse(id: u64, image: Vec<u8>) -> Option<Self> {
+        PARSE_COUNT.fetch_add(1, Ordering::Relaxed);
+        let chunks = TsFileReader::open(&image)?.chunks().to_vec();
+        Some(Self { id, image, chunks })
+    }
+
+    /// Re-tags an already-parsed handle with a new engine file id,
+    /// reusing the cached index (the adopt path installs one parsed
+    /// image into several shards).
+    pub fn with_id(&self, id: u64) -> Self {
+        Self {
+            id,
+            image: self.image.clone(),
+            chunks: self.chunks.clone(),
+        }
+    }
+
+    /// Total [`FileHandle::parse`] calls so far, process-wide.
+    pub fn parse_count() -> u64 {
+        PARSE_COUNT.load(Ordering::Relaxed)
+    }
+
+    /// The engine-unique file id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The raw image bytes.
+    pub fn image(&self) -> &[u8] {
+        &self.image
+    }
+
+    /// The cached chunk index, sorted by key.
+    pub fn chunks(&self) -> &[ChunkMeta] {
+        &self.chunks
+    }
+
+    /// The chunks of one series, by binary search.
+    pub fn chunks_for(&self, key: &SeriesKey) -> &[ChunkMeta] {
+        crate::tsfile::chunks_for(&self.chunks, key)
+    }
+
+    /// The `(min_time, max_time)` envelope of one series in this file,
+    /// or `None` if the file holds no chunk for it — the per-key pruning
+    /// statistic queries consult before touching any page.
+    pub fn key_time_range(&self, key: &SeriesKey) -> Option<(i64, i64)> {
+        let chunks = self.chunks_for(key);
+        let min = chunks.iter().map(|m| m.min_time).min()?;
+        let max = chunks.iter().map(|m| m.max_time).max()?;
+        Some((min, max))
+    }
+
+    /// Whether any of the series' points can fall inside `[t_lo, t_hi]`.
+    pub fn overlaps(&self, key: &SeriesKey, t_lo: i64, t_hi: i64) -> bool {
+        self.chunks_for(key)
+            .iter()
+            .any(|m| m.max_time >= t_lo && m.min_time <= t_hi)
+    }
+
+    /// Lazy page-streaming readers over the series' chunks that overlap
+    /// `[t_lo, t_hi]`, in file order (oldest chunk first — the order the
+    /// merge's duplicate resolution relies on).
+    pub fn points_in_range<'h>(
+        &'h self,
+        key: &SeriesKey,
+        t_lo: i64,
+        t_hi: i64,
+    ) -> impl Iterator<Item = ChunkPointsIter<'h>> + 'h {
+        self.chunks_for(key)
+            .iter()
+            .filter(move |m| m.max_time >= t_lo && m.min_time <= t_hi)
+            .map(move |m| ChunkPointsIter::new(&self.image, m, t_lo, t_hi))
+    }
+}
+
+/// A sorted, merged set of closed timestamp intervals — the tombstones
+/// applicable to one `(key, file)` pair, resolved once per query.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct IntervalSet {
+    /// Disjoint `[lo, hi]` intervals in ascending order.
+    intervals: Vec<(i64, i64)>,
+}
+
+impl IntervalSet {
+    /// Resolves the tombstones whose horizon covers `file_idx` and whose
+    /// key matches into a merged interval list. `tombstones` pairs each
+    /// [`Tombstone`] with its file horizon: only files *below* the
+    /// horizon existed when the delete was issued, so only they are
+    /// masked.
+    pub fn resolve(tombstones: &[(Tombstone, usize)], key: &SeriesKey, file_idx: usize) -> Self {
+        let mut intervals: Vec<(i64, i64)> = tombstones
+            .iter()
+            .filter(|(ts, horizon)| file_idx < *horizon && &ts.key == key)
+            .map(|(ts, _)| (ts.t_lo, ts.t_hi))
+            .filter(|(lo, hi)| lo <= hi)
+            .collect();
+        intervals.sort_unstable();
+        let mut merged: Vec<(i64, i64)> = Vec::with_capacity(intervals.len());
+        for (lo, hi) in intervals {
+            match merged.last_mut() {
+                Some((_, phi)) if lo <= phi.saturating_add(1) => *phi = (*phi).max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        Self { intervals: merged }
+    }
+
+    /// Whether no interval covers anything.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Whether `t` falls inside any interval, by binary search.
+    pub fn contains(&self, t: i64) -> bool {
+        let idx = self.intervals.partition_point(|&(lo, _)| lo <= t);
+        idx > 0 && self.intervals[idx - 1].1 >= t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tsfile::TsFileWriter;
+    use crate::types::TsValue;
+
+    fn key(s: &str) -> SeriesKey {
+        SeriesKey::new("root.sg.d1", s)
+    }
+
+    fn two_key_image() -> Vec<u8> {
+        let mut w = TsFileWriter::new();
+        w.write_chunk(
+            &key("a"),
+            &[10, 20, 30],
+            &[TsValue::Long(1), TsValue::Long(2), TsValue::Long(3)],
+        );
+        w.write_chunk(
+            &key("b"),
+            &[5, 50],
+            &[TsValue::Long(-5), TsValue::Long(-50)],
+        );
+        w.finish()
+    }
+
+    #[test]
+    fn handle_caches_index_and_prunes_by_key_and_range() {
+        let before = FileHandle::parse_count();
+        let h = FileHandle::parse(7, two_key_image()).expect("valid image");
+        assert_eq!(FileHandle::parse_count(), before + 1);
+        assert_eq!(h.id(), 7);
+        assert_eq!(h.chunks().len(), 2);
+        assert_eq!(h.key_time_range(&key("a")), Some((10, 30)));
+        assert_eq!(h.key_time_range(&key("b")), Some((5, 50)));
+        assert_eq!(h.key_time_range(&key("c")), None);
+        assert!(h.overlaps(&key("a"), 25, 100));
+        assert!(!h.overlaps(&key("a"), 31, 100));
+        assert!(!h.overlaps(&key("c"), i64::MIN, i64::MAX));
+
+        // Reading goes through the cached index: no parse counter move.
+        let pts: Vec<(i64, TsValue)> = h.points_in_range(&key("a"), 15, 30).flatten().collect();
+        assert_eq!(pts, vec![(20, TsValue::Long(2)), (30, TsValue::Long(3))]);
+        assert_eq!(FileHandle::parse_count(), before + 1);
+
+        // Re-tagging reuses the index without a reparse.
+        let h2 = h.with_id(9);
+        assert_eq!(h2.id(), 9);
+        assert_eq!(h2.chunks().len(), 2);
+        assert_eq!(FileHandle::parse_count(), before + 1);
+    }
+
+    #[test]
+    fn handle_rejects_garbage() {
+        assert!(FileHandle::parse(0, b"not a tsfile".to_vec()).is_none());
+    }
+
+    fn ts(s: &str, lo: i64, hi: i64) -> Tombstone {
+        Tombstone {
+            key: key(s),
+            t_lo: lo,
+            t_hi: hi,
+        }
+    }
+
+    #[test]
+    fn interval_set_resolves_horizon_and_key() {
+        let tombs = vec![
+            (ts("a", 10, 20), 2), // masks files 0 and 1
+            (ts("a", 15, 30), 1), // masks file 0 only
+            (ts("b", 0, 100), 2), // other key
+        ];
+        let f0 = IntervalSet::resolve(&tombs, &key("a"), 0);
+        assert!(f0.contains(10) && f0.contains(25) && f0.contains(30));
+        assert!(!f0.contains(9) && !f0.contains(31));
+        let f1 = IntervalSet::resolve(&tombs, &key("a"), 1);
+        assert!(f1.contains(20) && !f1.contains(25));
+        let f2 = IntervalSet::resolve(&tombs, &key("a"), 2);
+        assert!(f2.is_empty() && !f2.contains(15));
+        let b0 = IntervalSet::resolve(&tombs, &key("b"), 0);
+        assert!(b0.contains(0) && b0.contains(100) && !b0.contains(101));
+    }
+
+    #[test]
+    fn interval_set_merges_adjacent_and_overlapping() {
+        let tombs = vec![
+            (ts("a", 1, 5), 1),
+            (ts("a", 6, 9), 1), // adjacent: merges with [1,5]
+            (ts("a", 20, 25), 1),
+            (ts("a", 22, 30), 1), // overlapping
+        ];
+        let set = IntervalSet::resolve(&tombs, &key("a"), 0);
+        assert_eq!(set.intervals, vec![(1, 9), (20, 30)]);
+        for t in 1..=9 {
+            assert!(set.contains(t));
+        }
+        assert!(!set.contains(10) && !set.contains(19));
+        assert!(set.contains(20) && set.contains(30) && !set.contains(31));
+    }
+
+    #[test]
+    fn interval_set_handles_extreme_bounds() {
+        let tombs = vec![(ts("a", i64::MIN, i64::MAX), 1)];
+        let set = IntervalSet::resolve(&tombs, &key("a"), 0);
+        assert!(set.contains(i64::MIN) && set.contains(0) && set.contains(i64::MAX));
+    }
+}

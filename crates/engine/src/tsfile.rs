@@ -209,6 +209,10 @@ pub struct TsFileReader<'a> {
 impl<'a> TsFileReader<'a> {
     /// Parses the footer and chunk headers. `None` if the image is not a
     /// valid TsFile.
+    ///
+    /// The chunk index is held sorted by series key (chunks of one key
+    /// keep their file order), so key lookups binary-search instead of
+    /// scanning — see [`TsFileReader::chunks_for`].
     pub fn open(buf: &'a [u8]) -> Option<Self> {
         if buf.len() < MAGIC.len() * 2 + 12 || &buf[..MAGIC.len()] != MAGIC {
             return None;
@@ -226,6 +230,9 @@ impl<'a> TsFileReader<'a> {
             let off = read_u64(buf, &mut pos)? as usize;
             chunks.push(Self::read_chunk_meta(buf, off)?);
         }
+        // Stable, so multiple chunks of one key stay in file order
+        // (older chunks first — the order dedup priorities rely on).
+        chunks.sort_by(|a, b| a.key.cmp(&b.key));
         Some(Self { buf, chunks })
     }
 
@@ -250,9 +257,16 @@ impl<'a> TsFileReader<'a> {
         })
     }
 
-    /// The chunk index.
+    /// The chunk index, sorted by series key (one key's chunks in file
+    /// order).
     pub fn chunks(&self) -> &[ChunkMeta] {
         &self.chunks
+    }
+
+    /// The chunks of one series, located by binary search over the
+    /// key-sorted index (in file order within the key).
+    pub fn chunks_for(&self, key: &SeriesKey) -> &[ChunkMeta] {
+        chunks_for(&self.chunks, key)
     }
 
     /// Decodes one chunk's points (all pages).
@@ -270,59 +284,16 @@ impl<'a> TsFileReader<'a> {
         t_lo: i64,
         t_hi: i64,
     ) -> Option<(Vec<(i64, TsValue)>, usize)> {
-        let mut pos = meta.offset as usize;
-        let name_len = read_u16(self.buf, &mut pos)? as usize;
-        pos += name_len + 1; // name + type tag
-        let num_points = read_u32(self.buf, &mut pos)? as usize;
-        pos += 16; // chunk min/max time
-        let page_count = read_u32(self.buf, &mut pos)? as usize;
-        let mut out = Vec::new();
-        let mut pages_decoded = 0usize;
-        let mut points_seen = 0usize;
-        for _ in 0..page_count {
-            let page_min = read_i64(self.buf, &mut pos)?;
-            let page_max = read_i64(self.buf, &mut pos)?;
-            let count = read_u32(self.buf, &mut pos)? as usize;
-            let ts_len = read_u32(self.buf, &mut pos)? as usize;
-            let ts_range = pos..pos.checked_add(ts_len)?;
-            pos = ts_range.end;
-            let val_len = read_u32(self.buf, &mut pos)? as usize;
-            let val_range = pos..pos.checked_add(val_len)?;
-            pos = val_range.end;
-            points_seen = points_seen.checked_add(count)?;
-            if page_max < t_lo || page_min > t_hi {
-                continue; // page pruned by its statistics
-            }
-            pages_decoded += 1;
-            let ts_bytes = self.buf.get(ts_range)?;
-            let val_bytes = self.buf.get(val_range)?;
-            let times = ts2diff::decode(ts_bytes)?;
-            if times.len() != count {
-                return None;
-            }
-            let values = decode_values(meta.data_type, val_bytes)?;
-            if values.len() != count {
-                return None;
-            }
-            out.extend(
-                times
-                    .into_iter()
-                    .zip(values)
-                    .filter(|&(t, _)| t >= t_lo && t <= t_hi),
-            );
-        }
-        if points_seen != num_points {
-            return None;
-        }
-        Some((out, pages_decoded))
+        read_chunk_range(self.buf, meta, t_lo, t_hi)
     }
 
-    /// Reads all points of `key` within `[t_lo, t_hi]`, using chunk and
-    /// page min/max pruning.
+    /// Reads all points of `key` within `[t_lo, t_hi]`, binary-searching
+    /// the key-sorted chunk index and pruning chunks and pages by their
+    /// min/max statistics.
     pub fn query(&self, key: &SeriesKey, t_lo: i64, t_hi: i64) -> Vec<(i64, TsValue)> {
         let mut out = Vec::new();
-        for meta in &self.chunks {
-            if &meta.key != key || meta.max_time < t_lo || meta.min_time > t_hi {
+        for meta in self.chunks_for(key) {
+            if meta.max_time < t_lo || meta.min_time > t_hi {
                 continue;
             }
             if let Some((points, _)) = self.read_chunk_range(meta, t_lo, t_hi) {
@@ -330,6 +301,193 @@ impl<'a> TsFileReader<'a> {
             }
         }
         out
+    }
+}
+
+/// The contiguous run of `chunks` belonging to `key`, located by binary
+/// search. Requires `chunks` sorted by key, as [`TsFileReader::open`]
+/// produces.
+pub fn chunks_for<'c>(chunks: &'c [ChunkMeta], key: &SeriesKey) -> &'c [ChunkMeta] {
+    let lo = chunks.partition_point(|m| m.key < *key);
+    let hi = lo + chunks[lo..].partition_point(|m| m.key == *key);
+    &chunks[lo..hi]
+}
+
+/// Decodes only the pages of a chunk that overlap `[t_lo, t_hi]`,
+/// returning the in-range points and how many pages were decoded (the
+/// pruning the page statistics buy). `None` on a corrupt chunk.
+pub fn read_chunk_range(
+    buf: &[u8],
+    meta: &ChunkMeta,
+    t_lo: i64,
+    t_hi: i64,
+) -> Option<(Vec<(i64, TsValue)>, usize)> {
+    let mut pos = meta.offset as usize;
+    let name_len = read_u16(buf, &mut pos)? as usize;
+    pos += name_len + 1; // name + type tag
+    let num_points = read_u32(buf, &mut pos)? as usize;
+    pos += 16; // chunk min/max time
+    let page_count = read_u32(buf, &mut pos)? as usize;
+    let mut out = Vec::new();
+    let mut pages_decoded = 0usize;
+    let mut points_seen = 0usize;
+    for _ in 0..page_count {
+        let page_min = read_i64(buf, &mut pos)?;
+        let page_max = read_i64(buf, &mut pos)?;
+        let count = read_u32(buf, &mut pos)? as usize;
+        let ts_len = read_u32(buf, &mut pos)? as usize;
+        let ts_range = pos..pos.checked_add(ts_len)?;
+        pos = ts_range.end;
+        let val_len = read_u32(buf, &mut pos)? as usize;
+        let val_range = pos..pos.checked_add(val_len)?;
+        pos = val_range.end;
+        points_seen = points_seen.checked_add(count)?;
+        if page_max < t_lo || page_min > t_hi {
+            continue; // page pruned by its statistics
+        }
+        pages_decoded += 1;
+        let ts_bytes = buf.get(ts_range)?;
+        let val_bytes = buf.get(val_range)?;
+        let times = ts2diff::decode(ts_bytes)?;
+        if times.len() != count {
+            return None;
+        }
+        let values = decode_values(meta.data_type, val_bytes)?;
+        if values.len() != count {
+            return None;
+        }
+        out.extend(
+            times
+                .into_iter()
+                .zip(values)
+                .filter(|&(t, _)| t >= t_lo && t <= t_hi),
+        );
+    }
+    if points_seen != num_points {
+        return None;
+    }
+    Some((out, pages_decoded))
+}
+
+/// A streaming reader over one chunk's in-range points: pages are
+/// decoded lazily, one at a time, as the consumer advances — the unit of
+/// work a k-way merge pulls on demand instead of materializing the whole
+/// chunk up front. Pages outside `[t_lo, t_hi]` are skipped without
+/// decoding (their statistics prune them). A corrupt page ends the
+/// stream.
+pub struct ChunkPointsIter<'a> {
+    buf: &'a [u8],
+    data_type: DataType,
+    pos: usize,
+    pages_left: usize,
+    t_lo: i64,
+    t_hi: i64,
+    page: std::vec::IntoIter<(i64, TsValue)>,
+    pages_decoded: usize,
+}
+
+impl<'a> ChunkPointsIter<'a> {
+    /// Positions a lazy reader at `meta`'s first page. An unparsable
+    /// chunk header yields an empty iterator.
+    pub fn new(buf: &'a [u8], meta: &ChunkMeta, t_lo: i64, t_hi: i64) -> Self {
+        let mut iter = Self {
+            buf,
+            data_type: meta.data_type,
+            pos: 0,
+            pages_left: 0,
+            t_lo,
+            t_hi,
+            page: Vec::new().into_iter(),
+            pages_decoded: 0,
+        };
+        let mut pos = meta.offset as usize;
+        let header = (|| {
+            let name_len = read_u16(buf, &mut pos)? as usize;
+            pos = pos.checked_add(name_len + 1)?; // name + type tag
+            read_u32(buf, &mut pos)?; // num_points
+            pos = pos.checked_add(16)?; // chunk min/max time
+            let pages = read_u32(buf, &mut pos)? as usize;
+            Some((pages, pos))
+        })();
+        if let Some((pages, pos)) = header {
+            iter.pages_left = pages;
+            iter.pos = pos;
+        }
+        iter
+    }
+
+    /// Pages decoded so far (pruned pages are skipped, not counted).
+    pub fn pages_decoded(&self) -> usize {
+        self.pages_decoded
+    }
+
+    /// Decodes pages until one yields in-range points. `false` when the
+    /// chunk is exhausted (or corrupt).
+    fn advance_page(&mut self) -> bool {
+        while self.pages_left > 0 {
+            self.pages_left -= 1;
+            let buf = self.buf;
+            let pos = &mut self.pos;
+            let Some((page_min, page_max, count, ts_range, val_range)) = (|| {
+                let page_min = read_i64(buf, pos)?;
+                let page_max = read_i64(buf, pos)?;
+                let count = read_u32(buf, pos)? as usize;
+                let ts_len = read_u32(buf, pos)? as usize;
+                let ts_range = *pos..pos.checked_add(ts_len)?;
+                *pos = ts_range.end;
+                let val_len = read_u32(buf, pos)? as usize;
+                let val_range = *pos..pos.checked_add(val_len)?;
+                *pos = val_range.end;
+                Some((page_min, page_max, count, ts_range, val_range))
+            })() else {
+                self.pages_left = 0;
+                return false;
+            };
+            if page_max < self.t_lo || page_min > self.t_hi {
+                continue; // pruned without decoding
+            }
+            let Some(points) = (|| {
+                let times = ts2diff::decode(buf.get(ts_range)?)?;
+                if times.len() != count {
+                    return None;
+                }
+                let values = decode_values(self.data_type, buf.get(val_range)?)?;
+                if values.len() != count {
+                    return None;
+                }
+                Some(
+                    times
+                        .into_iter()
+                        .zip(values)
+                        .filter(|&(t, _)| t >= self.t_lo && t <= self.t_hi)
+                        .collect::<Vec<_>>(),
+                )
+            })() else {
+                self.pages_left = 0;
+                return false;
+            };
+            self.pages_decoded += 1;
+            if !points.is_empty() {
+                self.page = points.into_iter();
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Iterator for ChunkPointsIter<'_> {
+    type Item = (i64, TsValue);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(p) = self.page.next() {
+                return Some(p);
+            }
+            if !self.advance_page() {
+                return None;
+            }
+        }
     }
 }
 
@@ -479,6 +637,31 @@ mod tests {
     }
 
     #[test]
+    fn chunk_index_is_key_sorted_and_binary_searchable() {
+        // Write chunks in non-key order, with two chunks for "m".
+        let mut w = TsFileWriter::new();
+        w.write_chunk(&key("z"), &[1, 2], &[TsValue::Long(1), TsValue::Long(2)]);
+        w.write_chunk(&key("m"), &[1, 5], &[TsValue::Long(1), TsValue::Long(5)]);
+        w.write_chunk(&key("a"), &[3], &[TsValue::Long(3)]);
+        w.write_chunk(&key("m"), &[7, 9], &[TsValue::Long(7), TsValue::Long(9)]);
+        let image = w.finish();
+        let r = TsFileReader::open(&image).unwrap();
+        let keys: Vec<&SeriesKey> = r.chunks().iter().map(|m| &m.key).collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]), "index key-sorted");
+        let m = r.chunks_for(&key("m"));
+        assert_eq!(m.len(), 2);
+        assert_eq!(
+            (m[0].min_time, m[1].min_time),
+            (1, 7),
+            "chunks of one key keep file order"
+        );
+        assert_eq!(r.chunks_for(&key("a")).len(), 1);
+        assert!(r.chunks_for(&key("nope")).is_empty());
+        // Query still sees all of "m" across both chunks.
+        assert_eq!(r.query(&key("m"), 0, 10).len(), 4);
+    }
+
+    #[test]
     fn corrupt_images_are_rejected() {
         assert!(TsFileReader::open(b"").is_none());
         assert!(TsFileReader::open(b"not a tsfile at all").is_none());
@@ -566,6 +749,52 @@ mod page_tests {
         let (pts, pages) = r.read_chunk_range(meta, t, t).unwrap();
         assert_eq!(pts, vec![(t, TsValue::Long(t * 3))]);
         assert_eq!(pages, 1);
+    }
+
+    #[test]
+    fn chunk_points_iter_streams_pages_lazily() {
+        let image = big_chunk(10 * PAGE_POINTS);
+        let r = TsFileReader::open(&image).unwrap();
+        let meta = &r.chunks()[0];
+        // Full scan yields everything, page by page.
+        let all: Vec<(i64, TsValue)> =
+            ChunkPointsIter::new(&image, meta, i64::MIN, i64::MAX).collect();
+        assert_eq!(all.len(), 10 * PAGE_POINTS);
+        assert_eq!(all[4_000], (4_000, TsValue::Long(12_000)));
+        // A narrow range decodes only the containing page.
+        let lo = 3 * PAGE_POINTS as i64 + 10;
+        let mut iter = ChunkPointsIter::new(&image, meta, lo, lo + 50);
+        let pts: Vec<(i64, TsValue)> = iter.by_ref().collect();
+        assert_eq!(pts.len(), 51);
+        assert_eq!(iter.pages_decoded(), 1);
+        // Taking only the first point decodes only the first page.
+        let mut iter = ChunkPointsIter::new(&image, meta, i64::MIN, i64::MAX);
+        assert_eq!(iter.next(), Some((0, TsValue::Long(0))));
+        assert_eq!(iter.pages_decoded(), 1);
+        // Out-of-range decodes nothing.
+        let mut iter = ChunkPointsIter::new(&image, meta, -100, -1);
+        assert_eq!(iter.next(), None);
+        assert_eq!(iter.pages_decoded(), 0);
+    }
+
+    #[test]
+    fn chunk_points_iter_matches_read_chunk_range() {
+        let image = big_chunk(3 * PAGE_POINTS + 100);
+        let r = TsFileReader::open(&image).unwrap();
+        let meta = &r.chunks()[0];
+        for (lo, hi) in [
+            (i64::MIN, i64::MAX),
+            (0, 0),
+            (100, 2_000),
+            (PAGE_POINTS as i64 - 1, PAGE_POINTS as i64),
+            (3 * PAGE_POINTS as i64, i64::MAX),
+        ] {
+            let (eager, pages) = r.read_chunk_range(meta, lo, hi).unwrap();
+            let mut iter = ChunkPointsIter::new(&image, meta, lo, hi);
+            let lazy: Vec<(i64, TsValue)> = iter.by_ref().collect();
+            assert_eq!(lazy, eager, "range [{lo}, {hi}]");
+            assert!(iter.pages_decoded() <= pages);
+        }
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Differential test: the engine's query path versus a naive oracle.
+//!
+//! The oracle replays the same operation sequence chronologically into a
+//! per-key `BTreeMap<i64, i64>` — inserts overwrite (last write wins),
+//! deletes remove — which is exactly the visible semantics the engine
+//! promises across memtables, flushed files, tombstones and adopted
+//! files. Randomized interleavings of writes, deletions, flushes,
+//! unsequence flushes, adoptions and queries are driven through engines
+//! with 1 and 4 shards; every query must agree with the oracle and with
+//! the single-shard engine.
+//!
+//! The engines use the *stable* Backward-Sort configuration: with the
+//! unstable default, equal timestamps inside one buffer may settle in
+//! either order (flush.rs documents the caveat), which the chronological
+//! oracle cannot predict.
+
+use std::collections::{BTreeMap, HashMap};
+
+use backsort_core::{Algorithm, BackwardSort, InBlockSort};
+use backsort_engine::tsfile::TsFileWriter;
+use backsort_engine::{EngineConfig, SeriesKey, StorageEngine, TsValue};
+use proptest::prelude::*;
+
+fn engine(shards: usize) -> StorageEngine {
+    StorageEngine::new(EngineConfig {
+        memtable_max_points: 40, // small: natural rotations mid-sequence
+        array_size: 8,
+        sorter: Algorithm::Backward(BackwardSort {
+            in_block: InBlockSort::Stable,
+            ..Default::default()
+        }),
+        shards,
+    })
+}
+
+/// Two devices that land on different shards under FNV-1a mod 4.
+fn keys() -> [SeriesKey; 2] {
+    [
+        SeriesKey::new("root.sg.d0", "s"),
+        SeriesKey::new("root.sg.d2", "s"),
+    ]
+}
+
+type Oracle = HashMap<SeriesKey, BTreeMap<i64, i64>>;
+
+fn oracle_range(oracle: &Oracle, key: &SeriesKey, lo: i64, hi: i64) -> Vec<(i64, TsValue)> {
+    oracle
+        .get(key)
+        .map(|m| {
+            m.range(lo..=hi)
+                .map(|(&t, &v)| (t, TsValue::Long(v)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// One encoded operation: `(opcode, timestamp-ish, value-ish)`.
+fn apply(engines: &[StorageEngine], oracle: &mut Oracle, op: (u8, i64, i32)) -> Result<(), String> {
+    let (code, t, v) = op;
+    let keys = keys();
+    let key = &keys[(code % 2) as usize];
+    match code % 12 {
+        // Writes (weighted heaviest).
+        0..=5 => {
+            for eng in engines {
+                eng.write(key, t, TsValue::Long(v as i64));
+            }
+            oracle.entry(key.clone()).or_default().insert(t, v as i64);
+        }
+        // Range delete of a bounded window.
+        6 | 7 => {
+            let hi = t + (v as i64).rem_euclid(60);
+            for eng in engines {
+                eng.delete_range(key, t, hi);
+            }
+            if let Some(m) = oracle.get_mut(key) {
+                m.retain(|&ot, _| !(t..=hi).contains(&ot));
+            }
+        }
+        // Flush the dirty working memtables.
+        8 => {
+            for eng in engines {
+                eng.flush_dirty();
+            }
+        }
+        // Flush the unsequence memtables.
+        9 => {
+            for eng in engines {
+                eng.flush_unseq();
+            }
+        }
+        // Adopt a freshly-built file. Everything buffered is flushed
+        // first so the adopted file is strictly the newest source and
+        // chronological order matches merge priority.
+        10 => {
+            for eng in engines {
+                eng.flush_dirty();
+                eng.flush_unseq();
+            }
+            let mut w = TsFileWriter::new();
+            let times = [t, t + 1, t + 2];
+            let values: Vec<TsValue> = times
+                .iter()
+                .map(|&ts| TsValue::Long(v as i64 ^ ts))
+                .collect();
+            w.write_chunk(key, &times, &values);
+            let image = w.finish();
+            for eng in engines {
+                eng.adopt_file(image.clone())
+                    .ok_or("adoptable image must parse")?;
+            }
+            let m = oracle.entry(key.clone()).or_default();
+            for &ts in &times {
+                m.insert(ts, v as i64 ^ ts);
+            }
+        }
+        // Mid-sequence query: both engines must agree with the oracle.
+        _ => {
+            let hi = t + (v as i64).rem_euclid(300);
+            let want = oracle_range(oracle, key, t, hi);
+            for eng in engines {
+                let got = eng.query(key, t, hi);
+                if got != want {
+                    return Err(format!(
+                        "shards={}: query({key:?}, {t}, {hi}) = {got:?}, oracle = {want:?}",
+                        eng.shard_count()
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn query_matches_naive_oracle(
+        ops in prop::collection::vec((0u8..12, 0i64..800, any::<i32>()), 1..150)
+    ) {
+        let engines = [engine(1), engine(4)];
+        let mut oracle = Oracle::new();
+        for op in ops {
+            if let Err(msg) = apply(&engines, &mut oracle, op) {
+                return Err(TestCaseError::fail(msg));
+            }
+        }
+        // Final sweep: full range and a few windows, every key, both
+        // engines, plus the latest-value accessor.
+        for key in &keys() {
+            for (lo, hi) in [(i64::MIN, i64::MAX), (0, 400), (350, 801), (795, 810)] {
+                let want = oracle_range(&oracle, key, lo, hi);
+                for eng in &engines {
+                    prop_assert_eq!(
+                        eng.query(key, lo, hi),
+                        want.clone(),
+                        "shards={} range=[{}, {}]", eng.shard_count(), lo, hi
+                    );
+                }
+            }
+            let want_latest = oracle_range(&oracle, key, i64::MIN, i64::MAX)
+                .last()
+                .cloned();
+            for eng in &engines {
+                prop_assert_eq!(eng.latest_value(key), want_latest.clone());
+            }
+        }
+    }
+}

@@ -1,7 +1,6 @@
 //! Statement execution against a [`StorageEngine`].
 
-use std::collections::BTreeMap;
-
+use backsort_core::merge::KWayMerge;
 use backsort_engine::{AggValue, Aggregation, SeriesKey, StorageEngine, TsValue};
 
 use crate::parser::{Aggregate, GroupBy, Literal, SelectItem, Statement, TimeRange};
@@ -186,24 +185,41 @@ fn select(
         return Ok(QueryOutput::Aggregates { columns, values });
     }
 
-    // Raw rows: query each sensor, align by timestamp.
+    // Raw rows: query each sensor, then align by timestamp with the same
+    // streaming k-way merge the engine's read path uses. Each sensor's
+    // result is already time-sorted with unique timestamps, and the
+    // merge tags every point with its source rank (here: the column), so
+    // one heap pass emits the aligned rows in order — no map needed.
     let mut columns = Vec::new();
-    let mut by_time: BTreeMap<i64, Vec<Option<TsValue>>> = BTreeMap::new();
-    let width = expanded.len();
-    for (idx, item) in expanded.iter().enumerate() {
+    let mut results: Vec<Vec<(i64, TsValue)>> = Vec::new();
+    for item in &expanded {
         let SelectItem::Column(column) = item else {
             unreachable!("checked above");
         };
         columns.push(column.clone());
         let key = SeriesKey::new(device, column.clone());
-        for (t, v) in engine.query(&key, range.lo, range.hi) {
-            by_time.entry(t).or_insert_with(|| vec![None; width])[idx] = Some(v);
+        results.push(engine.query(&key, range.lo, range.hi));
+    }
+    let width = expanded.len();
+    let sources: Vec<Box<dyn Iterator<Item = (i64, TsValue)> + '_>> = results
+        .iter()
+        .map(|r| {
+            Box::new(r.iter().map(|(t, v)| (*t, v.clone())))
+                as Box<dyn Iterator<Item = (i64, TsValue)> + '_>
+        })
+        .collect();
+    let mut rows: Vec<(i64, Vec<Option<TsValue>>)> = Vec::new();
+    for (t, column, v) in KWayMerge::new(sources) {
+        match rows.last_mut() {
+            Some((last_t, cells)) if *last_t == t => cells[column] = Some(v),
+            _ => {
+                let mut cells = vec![None; width];
+                cells[column] = Some(v);
+                rows.push((t, cells));
+            }
         }
     }
-    Ok(QueryOutput::Rows {
-        columns,
-        rows: by_time.into_iter().collect(),
-    })
+    Ok(QueryOutput::Rows { columns, rows })
 }
 
 #[cfg(test)]
