@@ -1,0 +1,5 @@
+//! Thin wrapper; see [`backsort_experiments::obs_tools::obs_check_main`].
+
+fn main() {
+    backsort_experiments::obs_tools::obs_check_main()
+}

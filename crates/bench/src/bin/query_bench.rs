@@ -1,97 +1,5 @@
-//! Query-path scaling: concurrent readers over settled data, read-locked
-//! fast path versus the pre-overhaul write-locked baseline.
-//!
-//! Usage: `query_bench [--ops N] [--threads T] [--shards S] [--smoke] [--json]`
-//! Without `--threads` the sweep runs {1, 2, 4, 8} reader threads; without
-//! `--shards` it compares engine shard counts {1, 4}. Every cell runs
-//! twice — mode `read` drives `StorageEngine::query` (shared lock,
-//! streaming k-way merge) and mode `exclusive` drives
-//! `StorageEngine::query_exclusive` (write lock, collect + re-sort) — so
-//! the table reads as a before/after of the read-path overhaul.
-//! `--smoke` shrinks the dataset and query counts for CI.
-
-use backsort_benchmark::{run_query_bench, BenchConfig, QueryMode};
-use backsort_core::Algorithm;
-use backsort_experiments::cli::Args;
-use backsort_experiments::table;
-use backsort_workload::DelayModel;
+//! Thin wrapper; see [`backsort_experiments::query_bench_cli`].
 
 fn main() {
-    let args = Args::from_env();
-    let smoke = args.has("smoke");
-    let ops = args.get_or("ops", if smoke { 20 } else { 400usize });
-    let queries_per_thread = if smoke { 25 } else { 2_000 };
-    let thread_counts: Vec<usize> = match args.get("threads") {
-        Some(t) => vec![t.parse().expect("threads")],
-        None if smoke => vec![1, 4],
-        None => vec![1, 2, 4, 8],
-    };
-    let shard_counts: Vec<usize> = match args.get("shards") {
-        Some(s) => vec![s.parse().expect("shards")],
-        None if smoke => vec![1],
-        None => vec![1, 4],
-    };
-    let sorters: Vec<Algorithm> = if smoke {
-        vec![Algorithm::Backward(Default::default())]
-    } else {
-        Algorithm::contenders()
-    };
-
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut json_rows = Vec::new();
-    for &shards in &shard_counts {
-        for &threads in &thread_counts {
-            for &sorter in &sorters {
-                let config = BenchConfig {
-                    devices: 4,
-                    sensors_per_device: 4,
-                    batch_size: 500,
-                    write_percentage: 1.0,
-                    operations: ops,
-                    delay: DelayModel::AbsNormal {
-                        mu: 1.0,
-                        sigma: 2.0,
-                    },
-                    query_window: 2_000,
-                    memtable_max_points: 20_000,
-                    sorter,
-                    shards,
-                    seed: 42,
-                };
-                for mode in [QueryMode::ReadLocked, QueryMode::Exclusive] {
-                    let report = run_query_bench(&config, threads, queries_per_thread, mode);
-                    rows.push(vec![
-                        shards.to_string(),
-                        threads.to_string(),
-                        report.sorter.clone(),
-                        report.mode.clone(),
-                        format!("{:.1}", report.p50_us),
-                        format!("{:.1}", report.p99_us),
-                        format!("{:.0}", report.qps),
-                        format!("{:.2e}", report.pps),
-                    ]);
-                    json_rows.push(report);
-                }
-            }
-        }
-    }
-
-    if args.json() {
-        table::print_json(&json_rows);
-        return;
-    }
-    table::heading("Query-path scaling (read-locked fast path vs exclusive baseline)");
-    table::print_table(
-        &[
-            "shards",
-            "threads",
-            "algorithm",
-            "mode",
-            "p50 us",
-            "p99 us",
-            "qps",
-            "query pps",
-        ],
-        &rows,
-    );
+    backsort_experiments::query_bench_cli::main()
 }

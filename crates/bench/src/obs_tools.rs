@@ -1,0 +1,226 @@
+//! Observability acceptance tools: the `obs_check` and `obs_overhead`
+//! binaries' entry points.
+//!
+//! * [`obs_check_main`] validates a `--stats-json` dump from
+//!   `query_bench`: every metric in the declared catalog
+//!   ([`backsort_obs::names::REQUIRED`]) must be present, and the
+//!   telemetry the paper's exhibit depends on (`query.read_path`,
+//!   `sort.block_size`, `merge.overlap_q`) must actually have fired.
+//!   CI runs it after the smoke bench, so removing or renaming a metric
+//!   fails the build instead of silently blanking a dashboard.
+//! * [`obs_overhead_main`] measures what the instrumentation costs:
+//!   identical single-thread ingest into an engine with a live registry
+//!   versus one with [`backsort_obs::Registry::new_disabled`], reporting
+//!   points/sec for both and the relative overhead (budget: < 5%).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use backsort_core::Algorithm;
+use backsort_engine::{EngineConfig, SeriesKey, StorageEngine, TsValue};
+use backsort_obs::Registry;
+use backsort_workload::{generate_pairs, DelayModel, SignalKind, StreamSpec};
+
+use crate::cli::Args;
+use crate::table;
+
+/// Looks up `name` in a shim-`serde` JSON object.
+fn field<'a>(value: &'a serde::Value, name: &str) -> Option<&'a serde::Value> {
+    match value {
+        serde::Value::Object(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn as_u64(value: &serde::Value) -> Option<u64> {
+    match value {
+        serde::Value::Int(i) if *i >= 0 => Some(*i as u64),
+        serde::Value::Float(f) if *f >= 0.0 => Some(*f as u64),
+        _ => None,
+    }
+}
+
+/// Checks a registry JSON dump for catalog completeness and live
+/// Backward-Sort telemetry. Exits 1 with a diagnostic on any failure.
+pub fn obs_check_main() {
+    let args = Args::from_env();
+    let path = args.get("stats").unwrap_or_else(|| {
+        eprintln!("usage: obs_check --stats <registry.json>");
+        std::process::exit(1);
+    });
+    let raw = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("obs_check: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let doc: serde::Value = serde_json::from_str(&raw).unwrap_or_else(|e| {
+        eprintln!("obs_check: {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+
+    let keys_of = |section: &str| -> Vec<String> {
+        match field(&doc, section) {
+            Some(serde::Value::Object(entries)) => entries.iter().map(|(k, _)| k.clone()).collect(),
+            _ => Vec::new(),
+        }
+    };
+    let mut present = keys_of("counters");
+    present.extend(keys_of("gauges"));
+    present.extend(keys_of("histograms"));
+
+    let missing: Vec<&str> = backsort_obs::names::REQUIRED
+        .iter()
+        .copied()
+        .filter(|name| !present.iter().any(|p| p == name))
+        .collect();
+    if !missing.is_empty() {
+        eprintln!(
+            "obs_check: {} declared metric(s) missing from {path}: {}",
+            missing.len(),
+            missing.join(", ")
+        );
+        std::process::exit(1);
+    }
+
+    let counter = |name: &str| -> u64 {
+        field(&doc, "counters")
+            .and_then(|c| field(c, name))
+            .and_then(as_u64)
+            .unwrap_or(0)
+    };
+    let histogram_count = |name: &str| -> u64 {
+        field(&doc, "histograms")
+            .and_then(|h| field(h, name))
+            .and_then(|h| field(h, "count"))
+            .and_then(as_u64)
+            .unwrap_or(0)
+    };
+    let live = [
+        (
+            backsort_obs::names::QUERY_READ_PATH,
+            counter(backsort_obs::names::QUERY_READ_PATH),
+        ),
+        (
+            backsort_obs::names::SORT_BLOCK_SIZE,
+            histogram_count(backsort_obs::names::SORT_BLOCK_SIZE),
+        ),
+        (
+            backsort_obs::names::MERGE_OVERLAP_Q,
+            histogram_count(backsort_obs::names::MERGE_OVERLAP_Q),
+        ),
+    ];
+    let dead: Vec<&str> = live
+        .iter()
+        .filter(|(_, v)| *v == 0)
+        .map(|(n, _)| *n)
+        .collect();
+    if !dead.is_empty() {
+        eprintln!(
+            "obs_check: telemetry never fired in {path}: {}",
+            dead.join(", ")
+        );
+        std::process::exit(1);
+    }
+
+    println!(
+        "obs_check: ok — {} metrics present, all {} declared names found; \
+         query.read_path={} sort.block_size samples={} merge.overlap_q samples={}",
+        present.len(),
+        backsort_obs::names::REQUIRED.len(),
+        live[0].1,
+        live[1].1,
+        live[2].1,
+    );
+}
+
+/// One timed single-thread ingest run; returns points/sec.
+fn ingest_pps(registry: Arc<Registry>, points: &[(i64, TsValue)], batch: usize) -> f64 {
+    let engine = StorageEngine::with_registry(
+        EngineConfig {
+            memtable_max_points: 50_000,
+            array_size: 32,
+            sorter: Algorithm::Backward(Default::default()),
+            shards: 1,
+        },
+        registry,
+    );
+    let key = SeriesKey::new("root.obs.d0", "s0");
+    let start = Instant::now();
+    for chunk in points.chunks(batch) {
+        engine.write_batch(&key, chunk.to_vec());
+    }
+    points.len() as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Measures instrumentation overhead on the write path. `--points N`
+/// sets the ingest size (default 1M, `--smoke` 200k); `--rounds R`
+/// alternates R enabled/disabled runs and keeps each mode's best.
+pub fn obs_overhead_main() {
+    let args = Args::from_env();
+    let smoke = args.has("smoke");
+    let n = args.get_or("points", if smoke { 200_000usize } else { 1_000_000 });
+    let rounds = args.get_or("rounds", 3usize);
+    let batch = 1_000;
+
+    let spec = StreamSpec {
+        n,
+        interval: 1,
+        delay: DelayModel::AbsNormal {
+            mu: 1.0,
+            sigma: 2.0,
+        },
+        signal: SignalKind::Sine {
+            period: 512.0,
+            amp: 100.0,
+            noise: 1.0,
+        },
+        seed: 42,
+    };
+    let points: Vec<(i64, TsValue)> = generate_pairs(&spec)
+        .into_iter()
+        .map(|(t, v)| (t, TsValue::Double(v)))
+        .collect();
+
+    // Warmup outside the clock (allocator + flusher pool spin-up).
+    ingest_pps(
+        Arc::new(Registry::new()),
+        &points[..points.len().min(batch * 10)],
+        batch,
+    );
+
+    let mut best_enabled: f64 = 0.0;
+    let mut best_disabled: f64 = 0.0;
+    for _ in 0..rounds {
+        best_disabled = best_disabled.max(ingest_pps(
+            Arc::new(Registry::new_disabled()),
+            &points,
+            batch,
+        ));
+        best_enabled = best_enabled.max(ingest_pps(Arc::new(Registry::new()), &points, batch));
+    }
+    let overhead_pct = (best_disabled - best_enabled) / best_disabled * 100.0;
+
+    if args.json() {
+        println!(
+            "{{\"points\":{n},\"pps_disabled\":{best_disabled:.0},\"pps_enabled\":{best_enabled:.0},\"overhead_pct\":{overhead_pct:.2}}}"
+        );
+        return;
+    }
+    table::heading("Write-path instrumentation overhead (single thread, best of rounds)");
+    table::print_table(
+        &["registry", "points", "best pps", "overhead %"],
+        &[
+            vec![
+                "disabled".into(),
+                n.to_string(),
+                format!("{best_disabled:.2e}"),
+                "-".into(),
+            ],
+            vec![
+                "enabled".into(),
+                n.to_string(),
+                format!("{best_enabled:.2e}"),
+                format!("{overhead_pct:.2}"),
+            ],
+        ],
+    );
+}

@@ -23,4 +23,4 @@ mod query_bench;
 pub use concurrent::{run_benchmark_concurrent, ConcurrentReport};
 pub use config::BenchConfig;
 pub use driver::{run_benchmark, BenchReport};
-pub use query_bench::{run_query_bench, QueryBenchReport, QueryMode};
+pub use query_bench::{run_query_bench, run_query_bench_with, QueryBenchReport, QueryMode};

@@ -78,18 +78,31 @@ pub struct QueryBenchReport {
     pub read_lock_queries: u64,
     /// Queries that had to sort a buffer under the write lock.
     pub sorted_on_read_queries: u64,
+    /// Queries pinned to the exclusive (write-locked) baseline path.
+    pub exclusive_queries: u64,
+    /// Flushed files examined by the measured queries (registry delta).
+    pub files_considered: u64,
+    /// Of those, files skipped by the cached per-key time-range index.
+    pub files_pruned: u64,
 }
 
 /// Seeds an engine with `config`'s workload: every sensor's stream is
 /// ingested in batches (rotations flush naturally), then the tail is
 /// left buffered so queries cross disk and memtables.
-fn seed_engine(config: &BenchConfig) -> (StorageEngine, Vec<SeriesKey>) {
-    let engine = StorageEngine::new(EngineConfig {
+fn seed_engine(
+    config: &BenchConfig,
+    registry: Option<Arc<backsort_obs::Registry>>,
+) -> (StorageEngine, Vec<SeriesKey>) {
+    let engine_config = EngineConfig {
         memtable_max_points: config.memtable_max_points,
         array_size: 32,
         sorter: config.sorter,
         shards: config.shards,
-    });
+    };
+    let engine = match registry {
+        Some(registry) => StorageEngine::with_registry(engine_config, registry),
+        None => StorageEngine::new(engine_config),
+    };
     let keys: Vec<SeriesKey> = (0..config.devices)
         .flat_map(|d| {
             (0..config.sensors_per_device)
@@ -131,8 +144,22 @@ pub fn run_query_bench(
     queries_per_thread: usize,
     mode: QueryMode,
 ) -> QueryBenchReport {
+    run_query_bench_with(config, threads, queries_per_thread, mode, None)
+}
+
+/// [`run_query_bench`] with an optional shared metrics registry. When
+/// `registry` is given the seeded engine records into it, so a caller
+/// (the `query_bench` bin's `--stats-json`) can accumulate telemetry
+/// across every sweep cell and dump one registry at the end.
+pub fn run_query_bench_with(
+    config: &BenchConfig,
+    threads: usize,
+    queries_per_thread: usize,
+    mode: QueryMode,
+    registry: Option<Arc<backsort_obs::Registry>>,
+) -> QueryBenchReport {
     assert!(threads > 0 && queries_per_thread > 0);
-    let (engine, keys) = seed_engine(config);
+    let (engine, keys) = seed_engine(config, registry);
     let engine = Arc::new(engine);
     let sensor_count = keys.len();
 
@@ -143,7 +170,9 @@ pub fn run_query_bench(
         let current = engine.latest_time(key).unwrap_or(0);
         engine.query(key, current - config.query_window, current);
     }
-    let warm = engine.query_path_stats();
+    // Snapshot after warmup: the measured phase reports as a registry
+    // delta, so seeding/settling traffic never pollutes the cell.
+    let warm_snapshot = engine.obs().snapshot();
 
     let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
     let points = Arc::new(AtomicUsize::new(0));
@@ -182,7 +211,7 @@ pub fn run_query_bench(
         }
     });
     let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
-    let stats = engine.query_path_stats();
+    let delta = engine.obs().snapshot().delta_since(&warm_snapshot);
 
     let mut lat = Arc::into_inner(latencies)
         .expect("threads joined")
@@ -216,8 +245,11 @@ pub fn run_query_bench(
         qps: queries as f64 / (wall_ms / 1e3),
         pps: total_points as f64 / (wall_ms / 1e3),
         wall_ms,
-        read_lock_queries: stats.read_lock - warm.read_lock,
-        sorted_on_read_queries: stats.sorted_on_read - warm.sorted_on_read,
+        read_lock_queries: delta.counter(backsort_obs::names::QUERY_READ_PATH),
+        sorted_on_read_queries: delta.counter(backsort_obs::names::QUERY_SORTED_ON_READ),
+        exclusive_queries: delta.counter(backsort_obs::names::QUERY_EXCLUSIVE_PATH),
+        files_considered: delta.counter(backsort_obs::names::QUERY_FILES_CONSIDERED),
+        files_pruned: delta.counter(backsort_obs::names::QUERY_FILES_PRUNED),
     }
 }
 
@@ -256,8 +288,13 @@ mod tests {
             "settled data must never hit the write path"
         );
         assert_eq!(report.read_lock_queries, 50);
+        assert_eq!(report.exclusive_queries, 0);
         assert!(report.p50_us <= report.p99_us);
         assert!(report.points > 0);
+        assert!(
+            report.files_pruned <= report.files_considered,
+            "pruned is a subset of considered"
+        );
     }
 
     #[test]
@@ -267,7 +304,32 @@ mod tests {
         assert_eq!(report.mode, "exclusive");
         assert_eq!(report.read_lock_queries, 0);
         assert_eq!(report.sorted_on_read_queries, 0);
+        assert_eq!(report.exclusive_queries, 20);
         assert!(report.qps > 0.0);
+    }
+
+    #[test]
+    fn shared_registry_accumulates_across_cells() {
+        let registry = Arc::new(backsort_obs::Registry::new());
+        let before = registry.snapshot();
+        run_query_bench_with(
+            &config(),
+            1,
+            10,
+            QueryMode::ReadLocked,
+            Some(Arc::clone(&registry)),
+        );
+        run_query_bench_with(
+            &config(),
+            1,
+            10,
+            QueryMode::Exclusive,
+            Some(Arc::clone(&registry)),
+        );
+        let delta = registry.snapshot().delta_since(&before);
+        assert!(delta.counter(backsort_obs::names::QUERY_READ_PATH) >= 10);
+        assert_eq!(delta.counter(backsort_obs::names::QUERY_EXCLUSIVE_PATH), 10);
+        assert!(delta.counter(backsort_obs::names::ENGINE_WRITE_POINTS) > 0);
     }
 
     #[test]

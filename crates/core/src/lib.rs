@@ -143,6 +143,10 @@ pub struct SortReport {
     pub overlap_total: usize,
     /// Peak scratch usage in elements (bounded by the largest overlap).
     pub scratch_peak: usize,
+    /// The last `α̃_L` the block-size probe sampled — the measured
+    /// interval inversion ratio at the chosen `L` (0.0 when phase 1 was
+    /// skipped: fixed block size or trivially small input).
+    pub alpha: f64,
 }
 
 impl BackwardSort {
@@ -166,6 +170,19 @@ impl BackwardSort {
 
     /// Sorts `s` and returns phase diagnostics.
     pub fn sort_with_report<S: SeriesAccess>(&self, s: &mut S) -> SortReport {
+        self.sort_observed(s, None)
+    }
+
+    /// [`sort_with_report`](Self::sort_with_report), additionally
+    /// streaming live telemetry into `obs` when given: the chosen `L`,
+    /// probe loop count, measured `α̃_L` (ppm), and the per-step
+    /// backward-merge overlap `Q` — zero-overlap merges included, since
+    /// the Theorem bounds the expectation over *all* merge steps.
+    pub fn sort_observed<S: SeriesAccess>(
+        &self,
+        s: &mut S,
+        obs: Option<&backsort_obs::Registry>,
+    ) -> SortReport {
         let n = s.len();
         let mut report = SortReport::default();
         if n < 2 {
@@ -175,12 +192,21 @@ impl BackwardSort {
         }
 
         // Phase 1: set block size.
-        let (l, loops) = match self.fixed_block_size {
-            Some(l) => (l.min(n), 0),
-            None => choose_block_size_with(s, self.theta, self.l0, self.growth),
+        let (l, loops, alpha) = match self.fixed_block_size {
+            Some(l) => (l.min(n), 0, 0.0),
+            None => choose_block_size_reporting(s, self.theta, self.l0, self.growth),
         };
         report.block_size = l;
         report.size_loops = loops;
+        report.alpha = alpha;
+        if let Some(obs) = obs {
+            obs.histogram(backsort_obs::names::SORT_BLOCK_SIZE)
+                .record(l as u64);
+            obs.histogram(backsort_obs::names::SORT_PROBE_LOOPS)
+                .record(loops as u64);
+            obs.histogram(backsort_obs::names::SORT_ALPHA_PPM)
+                .record((alpha.max(0.0) * 1e6) as u64);
+        }
 
         if l >= n {
             // Degenerates to a single block: plain quicksort (Fig. 6).
@@ -204,15 +230,26 @@ impl BackwardSort {
         // sorted, so each merge is block-vs-sorted-suffix and
         // `findOverlappedBlock` happens implicitly: the gallop into the
         // suffix reaches exactly as far as blocks i+1..k overlap.
+        // Per-merge Q lands in a stack-local accumulator (a sort does up
+        // to n/L merges; one atomic fold at the end keeps the shared
+        // histogram off the merge loop).
+        let mut overlap_q = obs.map(|_| backsort_obs::LocalHistogram::new());
         let mut scratch: Vec<(i64, S::Value)> = Vec::new();
         for i in (0..b - 1).rev() {
             let suffix_start = (i + 1) * l;
             let m = merge::merge_block_with_suffix(s, i * l, suffix_start, n, &mut scratch);
+            if let Some(h) = &mut overlap_q {
+                h.record(m.suffix_overlap as u64);
+            }
             if m.overlap > 0 {
                 report.merges += 1;
                 report.overlap_total += m.overlap;
                 report.scratch_peak = report.scratch_peak.max(m.scratch_used);
             }
+        }
+        if let (Some(obs), Some(local)) = (obs, &overlap_q) {
+            obs.histogram(backsort_obs::names::MERGE_OVERLAP_Q)
+                .merge_local(local);
         }
         report
     }
@@ -275,18 +312,33 @@ pub fn choose_block_size_with<S: SeriesAccess>(
     l0: usize,
     growth: BlockGrowth,
 ) -> (usize, usize) {
+    let (l, loops, _) = choose_block_size_reporting(s, theta, l0, growth);
+    (l, loops)
+}
+
+/// [`choose_block_size_with`], additionally returning the last `α̃_L`
+/// sampled — the measured inversion ratio at the chosen block size (0.0
+/// when the loop never ran, i.e. `l0 > n`).
+pub fn choose_block_size_reporting<S: SeriesAccess>(
+    s: &S,
+    theta: f64,
+    l0: usize,
+    growth: BlockGrowth,
+) -> (usize, usize, f64) {
     let n = s.len();
     let mut l = l0.max(1);
     let mut loops = 0;
+    let mut last_alpha = 0.0;
     while l <= n {
         loops += 1;
         let alpha = iir::sampled_iir(s, l);
+        last_alpha = alpha;
         if alpha < theta {
             break;
         }
         l = growth.next(l, alpha, theta);
     }
-    (l.min(n.max(1)), loops)
+    (l.min(n.max(1)), loops, last_alpha)
 }
 
 /// Every algorithm the evaluation compares, including Backward-Sort.
@@ -309,6 +361,23 @@ impl Algorithm {
             Algorithm::Baseline(BaselineSorter::Y),
             Algorithm::Baseline(BaselineSorter::Patience),
         ]
+    }
+
+    /// Sorts `s`, streaming Backward-Sort telemetry (block size, probe
+    /// count, `α̃_L`, per-merge `Q`) into `obs` when this algorithm is
+    /// Backward-Sort. Baselines have no block/merge structure to report,
+    /// so they sort silently.
+    pub fn sort_series_observed<S: SeriesAccess>(
+        &self,
+        s: &mut S,
+        obs: Option<&backsort_obs::Registry>,
+    ) {
+        match self {
+            Algorithm::Backward(b) => {
+                let _ = b.sort_observed(s, obs);
+            }
+            Algorithm::Baseline(b) => b.sort_series(s),
+        }
     }
 
     /// Parses a contender name as used on experiment command lines.

@@ -19,6 +19,10 @@ pub struct MergeStats {
     /// Elements that participated (run1 + run2 lengths); 0 when the block
     /// and suffix were already in order.
     pub overlap: usize,
+    /// Suffix-side overlap length alone (run2): how many already-sorted
+    /// suffix elements the block interleaved with — the paper's per-step
+    /// `Q`, the quantity Theorem 1 bounds by `E[Δτ | Δτ ≥ 0]`.
+    pub suffix_overlap: usize,
     /// Scratch elements used (the smaller run's length).
     pub scratch_used: usize,
     /// Elements written back into the series.
@@ -63,6 +67,7 @@ pub fn merge_block_with_suffix<S: SeriesAccess>(
 
     let stats = MergeStats {
         overlap: len1 + len2,
+        suffix_overlap: len2,
         scratch_used: len1.min(len2),
         moves: 0, // filled below
     };

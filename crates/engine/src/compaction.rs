@@ -40,6 +40,7 @@ impl StorageEngine {
     /// ascending order (the engine's lock-ordering rule); files never
     /// move between shards, so per-shard merging loses nothing.
     pub fn compact(&self) -> CompactionReport {
+        let span_start = std::time::Instant::now();
         let mut total = CompactionReport {
             files_in: 0,
             files_out: 0,
@@ -55,6 +56,17 @@ impl StorageEngine {
             total.bytes_in += r.bytes_in;
             total.bytes_out += r.bytes_out;
         }
+        let obs = self.obs();
+        obs.counter(backsort_obs::names::COMPACTION_RUNS).inc();
+        obs.counter(backsort_obs::names::COMPACTION_BYTES_IN)
+            .add(total.bytes_in);
+        obs.counter(backsort_obs::names::COMPACTION_BYTES_OUT)
+            .add(total.bytes_out);
+        obs.tracer().record(
+            backsort_obs::names::SPAN_COMPACTION,
+            format!("files_in={} files_out={}", total.files_in, total.files_out),
+            span_start.elapsed().as_nanos() as u64,
+        );
         total
     }
 

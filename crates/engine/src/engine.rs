@@ -30,13 +30,16 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 use backsort_core::merge::LastWins;
 use backsort_core::Algorithm;
+use backsort_obs::{names, Counter, Gauge, Histogram, LocalHistogram, Registry};
 use parking_lot::RwLock;
 
 use crate::delete::Tombstone;
-use crate::flush::{flush_memtable, FlushMetrics};
+use crate::flush::{flush_memtable_observed, FlushMetrics};
 use crate::memtable::{MemTable, SeriesBuffer};
 use crate::read::{FileHandle, IntervalSet};
 use crate::types::{SeriesKey, TsValue};
@@ -87,6 +90,9 @@ pub type QueryResult = Vec<(i64, TsValue)>;
 pub struct FlushJob {
     shard: usize,
     memtable: MemTable,
+    /// When the rotation happened — the start of the submit→install span
+    /// the tracer records at completion.
+    submitted: Instant,
 }
 
 impl FlushJob {
@@ -146,10 +152,119 @@ pub struct QueryPathStats {
     pub sorted_on_read: u64,
 }
 
-#[derive(Debug, Default)]
-struct QueryPathCounters {
-    read_lock: AtomicU64,
-    sorted_on_read: AtomicU64,
+/// Handles into the engine's [`Registry`], cached at construction so hot
+/// paths record through lock-free `Arc`s and never take the registry's
+/// name-map lock. Constructing this also pre-registers the complete
+/// metric catalog ([`names::REQUIRED`]) — including metrics recorded by
+/// other layers against the same registry (WAL, compaction, sort
+/// telemetry) — so a snapshot carries every declared name from the first
+/// render, at zero, and the CI catalog check can tell "metric removed"
+/// from "metric not yet hit".
+#[derive(Debug)]
+struct EngineObs {
+    registry: Arc<Registry>,
+    write_batch_nanos: Arc<Histogram>,
+    write_points: Arc<Counter>,
+    flush_queue_depth: Arc<Gauge>,
+    read_path: Arc<Counter>,
+    sorted_on_read: Arc<Counter>,
+    exclusive_path: Arc<Counter>,
+    files_considered: Arc<Counter>,
+    files_pruned: Arc<Counter>,
+    ooo_points: Arc<Counter>,
+    delta_tau: Arc<Histogram>,
+    dirty_buffer_points: Arc<Histogram>,
+    flush_count: Arc<Counter>,
+    shard_flush_count: Vec<Arc<Counter>>,
+    flush_sort_nanos: Arc<Counter>,
+    flush_encode_nanos: Arc<Counter>,
+    flush_write_nanos: Arc<Counter>,
+    flush_points: Arc<Counter>,
+    flush_bytes: Arc<Counter>,
+}
+
+impl EngineObs {
+    fn new(registry: Arc<Registry>, shards: usize) -> Self {
+        // Catalog metrics owned by other layers (sorts, flush pipeline,
+        // durable store, compaction): registered here so they exist from
+        // the first snapshot, recorded at their own sites.
+        for name in [
+            names::MEMTABLE_DIRTY_BUFFER_POINTS,
+            names::SORT_BLOCK_SIZE,
+            names::SORT_PROBE_LOOPS,
+            names::SORT_ALPHA_PPM,
+            names::MERGE_OVERLAP_Q,
+        ] {
+            registry.histogram(name);
+        }
+        for name in [
+            names::WAL_BYTES,
+            names::WAL_APPENDS,
+            names::WAL_ROTATIONS,
+            names::COMPACTION_RUNS,
+            names::COMPACTION_BYTES_IN,
+            names::COMPACTION_BYTES_OUT,
+        ] {
+            registry.counter(name);
+        }
+        let shard_flush_count = (0..shards)
+            .map(|s| registry.counter(&Registry::labeled(names::FLUSH_COUNT, "shard", s)))
+            .collect();
+        Self {
+            write_batch_nanos: registry.histogram(names::ENGINE_WRITE_BATCH_NANOS),
+            write_points: registry.counter(names::ENGINE_WRITE_POINTS),
+            flush_queue_depth: registry.gauge(names::ENGINE_FLUSH_QUEUE_DEPTH),
+            read_path: registry.counter(names::QUERY_READ_PATH),
+            sorted_on_read: registry.counter(names::QUERY_SORTED_ON_READ),
+            exclusive_path: registry.counter(names::QUERY_EXCLUSIVE_PATH),
+            files_considered: registry.counter(names::QUERY_FILES_CONSIDERED),
+            files_pruned: registry.counter(names::QUERY_FILES_PRUNED),
+            ooo_points: registry.counter(names::MEMTABLE_OOO_POINTS),
+            delta_tau: registry.histogram(names::MEMTABLE_DELTA_TAU),
+            dirty_buffer_points: registry.histogram(names::MEMTABLE_DIRTY_BUFFER_POINTS),
+            flush_count: registry.counter(names::FLUSH_COUNT),
+            shard_flush_count,
+            flush_sort_nanos: registry.counter(names::FLUSH_SORT_NANOS),
+            flush_encode_nanos: registry.counter(names::FLUSH_ENCODE_NANOS),
+            flush_write_nanos: registry.counter(names::FLUSH_WRITE_NANOS),
+            flush_points: registry.counter(names::FLUSH_POINTS),
+            flush_bytes: registry.counter(names::FLUSH_BYTES),
+            registry,
+        }
+    }
+
+    /// Records one point's memtable routing outcome: `delta` is the
+    /// out-of-order distance `Δτ` returned by [`MemTable::write`].
+    #[inline]
+    fn record_point_delta(&self, delta: Option<i64>) {
+        if let Some(d) = delta {
+            self.ooo_points.inc();
+            self.delta_tau.record(d as u64);
+        }
+    }
+
+    /// Batch-path variant of [`EngineObs::record_point_delta`]: the
+    /// write-batch loops accumulate `Δτ` into a stack-local histogram
+    /// (no atomics per point) and fold it in here once per batch.
+    fn record_batch_deltas(&self, deltas: &LocalHistogram) {
+        if deltas.count() > 0 {
+            self.ooo_points.add(deltas.count());
+            self.delta_tau.merge_local(deltas);
+        }
+    }
+
+    /// Records one completed flush's metric breakdown.
+    fn record_flush(&self, shard: usize, m: &FlushMetrics) {
+        self.flush_count.inc();
+        if let Some(c) = self.shard_flush_count.get(shard) {
+            c.inc();
+        }
+        self.flush_sort_nanos.add(m.sort_nanos);
+        self.flush_encode_nanos.add(m.encode_nanos);
+        self.flush_write_nanos.add(m.write_nanos);
+        self.flush_points.add(m.points);
+        self.flush_bytes.add(m.bytes);
+    }
 }
 
 /// FNV-1a over a device name — stable across runs, so the same device
@@ -175,12 +290,20 @@ pub struct StorageEngine {
     shards: Vec<RwLock<ShardState>>,
     /// Source of the per-file ids in [`ShardState::files`].
     next_file_id: AtomicU64,
-    query_paths: QueryPathCounters,
+    obs: EngineObs,
 }
 
 impl StorageEngine {
-    /// Creates an engine with the given configuration.
+    /// Creates an engine with the given configuration and a fresh,
+    /// enabled metrics registry of its own.
     pub fn new(config: EngineConfig) -> Self {
+        Self::with_registry(config, Arc::new(Registry::new()))
+    }
+
+    /// Creates an engine recording into the given registry — shared by a
+    /// bench harness across engines, or built with
+    /// [`Registry::new_disabled`] to measure instrumentation overhead.
+    pub fn with_registry(config: EngineConfig, registry: Arc<Registry>) -> Self {
         let n = config.shards.max(1);
         let shards = (0..n)
             .map(|_| RwLock::new(ShardState::new(config.array_size)))
@@ -189,18 +312,26 @@ impl StorageEngine {
             config,
             shards,
             next_file_id: AtomicU64::new(0),
-            query_paths: QueryPathCounters::default(),
+            obs: EngineObs::new(registry, n),
         }
+    }
+
+    /// The engine's metrics registry — every internal observable
+    /// (catalogued in [`backsort_obs::names`]) plus the lifecycle span
+    /// tracer. Render it with `render_prometheus()` / `render_json()` or
+    /// diff [`Registry::snapshot`]s around a workload phase.
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.obs.registry
     }
 
     /// How queries have been served so far: read-locked fast path vs
     /// sort-on-read write path. On a workload whose buffers are already
     /// time-ordered, `sorted_on_read` stays at zero — queries never
-    /// exclude each other.
+    /// exclude each other. Reads the registry's `query.*` counters.
     pub fn query_path_stats(&self) -> QueryPathStats {
         QueryPathStats {
-            read_lock: self.query_paths.read_lock.load(Ordering::Relaxed),
-            sorted_on_read: self.query_paths.sorted_on_read.load(Ordering::Relaxed),
+            read_lock: self.obs.read_path.get(),
+            sorted_on_read: self.obs.sorted_on_read.get(),
         }
     }
 
@@ -231,13 +362,16 @@ impl StorageEngine {
     /// synchronously when the shard's working memtable fills. Returns the
     /// flush metrics if a flush was triggered.
     pub fn write(&self, key: &SeriesKey, t: i64, v: TsValue) -> Option<FlushMetrics> {
-        let mut st = self.shards[self.shard_of(&key.device)].write();
-        match st.watermarks.get(key).copied() {
+        let shard = self.shard_of(&key.device);
+        let mut st = self.shards[shard].write();
+        let delta = match st.watermarks.get(key).copied() {
             Some(w) if t <= w => st.unseq.write(key, t, v),
             _ => st.working.write(key, t, v),
-        }
+        };
+        self.obs.write_points.inc();
+        self.obs.record_point_delta(delta);
         if st.working.total_points() >= self.config.memtable_max_points {
-            Some(self.flush_shard_locked(&mut st))
+            Some(self.flush_shard_locked(shard, &mut st))
         } else {
             None
         }
@@ -251,18 +385,33 @@ impl StorageEngine {
     /// event that can move it); points are taken by value, so nothing is
     /// cloned on the way into the memtable.
     pub fn write_batch(&self, key: &SeriesKey, points: Vec<(i64, TsValue)>) -> Vec<FlushMetrics> {
-        let mut st = self.shards[self.shard_of(&key.device)].write();
+        let start = self.obs.registry.is_enabled().then(Instant::now);
+        let shard = self.shard_of(&key.device);
+        let mut st = self.shards[shard].write();
         let mut flushes = Vec::new();
         let mut watermark = st.watermarks.get(key).copied();
+        let mut n = 0u64;
+        let mut deltas = LocalHistogram::new();
         for (t, v) in points {
-            match watermark {
+            n += 1;
+            let delta = match watermark {
                 Some(w) if t <= w => st.unseq.write(key, t, v),
                 _ => st.working.write(key, t, v),
+            };
+            if let Some(d) = delta {
+                deltas.record(d as u64);
             }
             if st.working.total_points() >= self.config.memtable_max_points {
-                flushes.push(self.flush_shard_locked(&mut st));
+                flushes.push(self.flush_shard_locked(shard, &mut st));
                 watermark = st.watermarks.get(key).copied();
             }
+        }
+        self.obs.write_points.add(n);
+        self.obs.record_batch_deltas(&deltas);
+        if let Some(start) = start {
+            self.obs
+                .write_batch_nanos
+                .record(start.elapsed().as_nanos() as u64);
         }
         flushes
     }
@@ -278,14 +427,21 @@ impl StorageEngine {
         key: &SeriesKey,
         points: Vec<(i64, TsValue)>,
     ) -> Option<FlushJob> {
+        let start = self.obs.registry.is_enabled().then(Instant::now);
         let shard = self.shard_of(&key.device);
         let mut st = self.shards[shard].write();
         let mut job = None;
         let mut watermark = st.watermarks.get(key).copied();
+        let mut n = 0u64;
+        let mut deltas = LocalHistogram::new();
         for (t, v) in points {
-            match watermark {
+            n += 1;
+            let delta = match watermark {
                 Some(w) if t <= w => st.unseq.write(key, t, v),
                 _ => st.working.write(key, t, v),
+            };
+            if let Some(d) = delta {
+                deltas.record(d as u64);
             }
             if st.working.total_points() >= self.config.memtable_max_points {
                 if let Some(j) = self.begin_flush_shard_locked(shard, &mut st) {
@@ -293,6 +449,13 @@ impl StorageEngine {
                     watermark = st.watermarks.get(key).copied();
                 }
             }
+        }
+        self.obs.write_points.add(n);
+        self.obs.record_batch_deltas(&deltas);
+        if let Some(start) = start {
+            self.obs
+                .write_batch_nanos
+                .record(start.elapsed().as_nanos() as u64);
         }
         job
     }
@@ -302,9 +465,9 @@ impl StorageEngine {
     /// shards; each shard also records its own history entry.
     pub fn flush(&self) -> FlushMetrics {
         let mut total = FlushMetrics::default();
-        for shard in &self.shards {
-            let mut st = shard.write();
-            let m = self.flush_shard_locked(&mut st);
+        for (shard, lock) in self.shards.iter().enumerate() {
+            let mut st = lock.write();
+            let m = self.flush_shard_locked(shard, &mut st);
             total = merge_metrics(total, m);
         }
         total
@@ -319,12 +482,12 @@ impl StorageEngine {
     /// the shards that flushed.
     pub fn flush_dirty(&self) -> FlushMetrics {
         let mut total = FlushMetrics::default();
-        for shard in &self.shards {
-            let mut st = shard.write();
+        for (shard, lock) in self.shards.iter().enumerate() {
+            let mut st = lock.write();
             if st.working.is_empty() {
                 continue;
             }
-            let m = self.flush_shard_locked(&mut st);
+            let m = self.flush_shard_locked(shard, &mut st);
             total = merge_metrics(total, m);
         }
         total
@@ -336,17 +499,22 @@ impl StorageEngine {
     /// truncated safely. Returns the metrics summed across shards.
     pub fn flush_unseq(&self) -> FlushMetrics {
         let mut total = FlushMetrics::default();
-        for shard in &self.shards {
-            let mut st = shard.write();
+        for (shard, lock) in self.shards.iter().enumerate() {
+            let mut st = lock.write();
             let mut flushing =
                 std::mem::replace(&mut st.unseq, MemTable::new(self.config.array_size));
-            let (image, metrics) = flush_memtable(&mut flushing, &self.config.sorter);
+            let (image, metrics) = flush_memtable_observed(
+                &mut flushing,
+                &self.config.sorter,
+                Some(&self.obs.registry),
+            );
             if metrics.points > 0 {
                 let id = self.alloc_file_id();
                 let handle = FileHandle::parse(id, image).expect("flushed image parses");
                 st.files.push(handle);
             }
             st.flush_history.push(metrics);
+            self.obs.record_flush(shard, &metrics);
             total = merge_metrics(total, metrics);
         }
         total
@@ -527,10 +695,12 @@ impl StorageEngine {
     pub fn write_nonblocking(&self, key: &SeriesKey, t: i64, v: TsValue) -> Option<FlushJob> {
         let shard = self.shard_of(&key.device);
         let mut st = self.shards[shard].write();
-        match st.watermarks.get(key).copied() {
+        let delta = match st.watermarks.get(key).copied() {
             Some(w) if t <= w => st.unseq.write(key, t, v),
             _ => st.working.write(key, t, v),
-        }
+        };
+        self.obs.write_points.inc();
+        self.obs.record_point_delta(delta);
         if st.working.total_points() >= self.config.memtable_max_points {
             self.begin_flush_shard_locked(shard, &mut st)
         } else {
@@ -566,9 +736,11 @@ impl StorageEngine {
         // The flushing memtable stays visible to queries; the job works
         // on its own copy so sorting/encoding happens outside the lock.
         st.flushing = Some(flushing.clone());
+        self.obs.flush_queue_depth.inc();
         Some(FlushJob {
             shard,
             memtable: flushing,
+            submitted: Instant::now(),
         })
     }
 
@@ -576,7 +748,11 @@ impl StorageEngine {
     /// the result into the shard the job was rotated from: the file
     /// becomes queryable and that shard's flushing slot is released.
     pub fn complete_flush(&self, mut job: FlushJob) -> FlushMetrics {
-        let (image, metrics) = flush_memtable(&mut job.memtable, &self.config.sorter);
+        let (image, metrics) = flush_memtable_observed(
+            &mut job.memtable,
+            &self.config.sorter,
+            Some(&self.obs.registry),
+        );
         // Parse the chunk index outside the lock too — installing the
         // handle is then just a push.
         let handle = (metrics.points > 0)
@@ -587,10 +763,18 @@ impl StorageEngine {
         }
         st.flush_history.push(metrics);
         st.flushing = None;
+        drop(st);
+        self.obs.flush_queue_depth.dec();
+        self.obs.record_flush(job.shard, &metrics);
+        self.obs.registry.tracer().record(
+            names::SPAN_FLUSH,
+            format!("shard={} points={}", job.shard, metrics.points),
+            job.submitted.elapsed().as_nanos() as u64,
+        );
         metrics
     }
 
-    fn flush_shard_locked(&self, st: &mut ShardState) -> FlushMetrics {
+    fn flush_shard_locked(&self, shard: usize, st: &mut ShardState) -> FlushMetrics {
         // Rotate: working becomes flushing; a fresh working memtable
         // accepts subsequent writes. (Flushing is synchronous here — the
         // paper measures its duration, not its overlap.)
@@ -603,13 +787,15 @@ impl StorageEngine {
                 *w = (*w).max(max_t);
             }
         }
-        let (image, metrics) = flush_memtable(&mut flushing, &self.config.sorter);
+        let (image, metrics) =
+            flush_memtable_observed(&mut flushing, &self.config.sorter, Some(&self.obs.registry));
         if metrics.points > 0 {
             let id = self.alloc_file_id();
             let handle = FileHandle::parse(id, image).expect("flushed image parses");
             st.files.push(handle);
         }
         st.flush_history.push(metrics);
+        self.obs.record_flush(shard, &metrics);
         metrics
     }
 
@@ -638,16 +824,22 @@ impl StorageEngine {
         {
             let st = self.shards[shard].read();
             if buffers_sorted(&st, key) {
-                self.query_paths.read_lock.fetch_add(1, Ordering::Relaxed);
-                return query_with_state(&st, key, t_lo, t_hi);
+                self.obs.read_path.inc();
+                return query_with_state(&st, key, t_lo, t_hi, &self.obs);
             }
         }
         let mut st = self.shards[shard].write();
-        sort_key_buffers(&mut st, key, &self.config.sorter);
-        self.query_paths
-            .sorted_on_read
-            .fetch_add(1, Ordering::Relaxed);
-        query_with_state(&st, key, t_lo, t_hi)
+        let start = self.obs.registry.is_enabled().then(Instant::now);
+        sort_key_buffers(&mut st, key, &self.config.sorter, &self.obs);
+        if let Some(start) = start {
+            self.obs.registry.tracer().record(
+                names::SPAN_SORT_ON_READ,
+                key.to_string(),
+                start.elapsed().as_nanos() as u64,
+            );
+        }
+        self.obs.sorted_on_read.inc();
+        query_with_state(&st, key, t_lo, t_hi, &self.obs)
     }
 
     /// The pre-overhaul query path, kept as the benchmark baseline:
@@ -658,7 +850,8 @@ impl StorageEngine {
     /// exactly what [`StorageEngine::query`] returns.
     pub fn query_exclusive(&self, key: &SeriesKey, t_lo: i64, t_hi: i64) -> QueryResult {
         let mut st = self.shards[self.shard_of(&key.device)].write();
-        sort_key_buffers(&mut st, key, &self.config.sorter);
+        sort_key_buffers(&mut st, key, &self.config.sorter, &self.obs);
+        self.obs.exclusive_path.inc();
 
         let mut merged: Vec<(i64, TsValue, u8)> = Vec::new();
         if needs_disk(&st, key, t_lo) {
@@ -711,16 +904,22 @@ impl StorageEngine {
         {
             let st = self.shards[shard].read();
             if buffers_sorted(&st, key) {
-                self.query_paths.read_lock.fetch_add(1, Ordering::Relaxed);
-                return latest_value_with_state(&st, key);
+                self.obs.read_path.inc();
+                return latest_value_with_state(&st, key, &self.obs);
             }
         }
         let mut st = self.shards[shard].write();
-        sort_key_buffers(&mut st, key, &self.config.sorter);
-        self.query_paths
-            .sorted_on_read
-            .fetch_add(1, Ordering::Relaxed);
-        latest_value_with_state(&st, key)
+        let start = self.obs.registry.is_enabled().then(Instant::now);
+        sort_key_buffers(&mut st, key, &self.config.sorter, &self.obs);
+        if let Some(start) = start {
+            self.obs.registry.tracer().record(
+                names::SPAN_SORT_ON_READ,
+                key.to_string(),
+                start.elapsed().as_nanos() as u64,
+            );
+        }
+        self.obs.sorted_on_read.inc();
+        latest_value_with_state(&st, key, &self.obs)
     }
 
     /// Latest timestamp seen for a sensor across memtables and flushed
@@ -786,8 +985,9 @@ fn buffers_sorted(st: &ShardState, key: &SeriesKey) -> bool {
 }
 
 /// Sorts every buffer holding `key` with the configured algorithm (under
-/// the shard's write lock).
-fn sort_key_buffers(st: &mut ShardState, key: &SeriesKey, sorter: &Algorithm) {
+/// the shard's write lock), recording each still-dirty buffer's size and
+/// the sort's own telemetry.
+fn sort_key_buffers(st: &mut ShardState, key: &SeriesKey, sorter: &Algorithm, obs: &EngineObs) {
     let ShardState {
         working,
         flushing,
@@ -799,7 +999,10 @@ fn sort_key_buffers(st: &mut ShardState, key: &SeriesKey, sorter: &Algorithm) {
         .flatten()
     {
         if let Some(buffer) = mem.get_mut(key) {
-            buffer.sort_with(sorter);
+            if !buffer.is_sorted() {
+                obs.dirty_buffer_points.record(buffer.len() as u64);
+            }
+            buffer.sort_with_observed(sorter, Some(&obs.registry));
         }
     }
 }
@@ -822,12 +1025,20 @@ fn needs_disk(st: &ShardState, key: &SeriesKey, t_lo: i64) -> bool {
 /// `lower_bound`/`upper_bound` — and lets [`LastWins`] emit the merge,
 /// resolving duplicate timestamps toward the highest-ranked (freshest)
 /// source.
-fn query_with_state(st: &ShardState, key: &SeriesKey, t_lo: i64, t_hi: i64) -> QueryResult {
+fn query_with_state(
+    st: &ShardState,
+    key: &SeriesKey,
+    t_lo: i64,
+    t_hi: i64,
+    obs: &EngineObs,
+) -> QueryResult {
     debug_assert!(buffers_sorted(st, key));
     let mut sources: Vec<Box<dyn Iterator<Item = (i64, TsValue)> + '_>> = Vec::new();
     if needs_disk(st, key, t_lo) {
+        obs.files_considered.add(st.files.len() as u64);
         for (file_idx, handle) in st.files.iter().enumerate() {
             if !handle.overlaps(key, t_lo, t_hi) {
+                obs.files_pruned.inc();
                 continue;
             }
             let erased = IntervalSet::resolve(&st.tombstones, key, file_idx);
@@ -905,7 +1116,11 @@ fn merge_two_last_wins(
 /// `latest_value` under a lock guard: anchor on the maximum timestamp
 /// any source reports and merge just `[anchor, ∞)`; only if tombstones
 /// erased everything there (rare) fall back to a full-range merge.
-fn latest_value_with_state(st: &ShardState, key: &SeriesKey) -> Option<(i64, TsValue)> {
+fn latest_value_with_state(
+    st: &ShardState,
+    key: &SeriesKey,
+    obs: &EngineObs,
+) -> Option<(i64, TsValue)> {
     let mem_max = key_buffers(st, key).filter_map(|b| b.max_time()).max();
     let disk_max = st
         .files
@@ -913,10 +1128,10 @@ fn latest_value_with_state(st: &ShardState, key: &SeriesKey) -> Option<(i64, TsV
         .filter_map(|h| h.key_time_range(key).map(|(_, hi)| hi))
         .max();
     let anchor = mem_max.into_iter().chain(disk_max).max()?;
-    if let Some(last) = query_with_state(st, key, anchor, i64::MAX).last() {
+    if let Some(last) = query_with_state(st, key, anchor, i64::MAX, obs).last() {
         return Some(last.clone());
     }
-    query_with_state(st, key, i64::MIN, i64::MAX)
+    query_with_state(st, key, i64::MIN, i64::MAX, obs)
         .last()
         .cloned()
 }

@@ -42,15 +42,33 @@ impl FlushMetrics {
 /// among duplicates is unspecified; with the stable configuration it is
 /// the latest arrival.)
 pub fn flush_memtable(memtable: &mut MemTable, sorter: &Algorithm) -> (Vec<u8>, FlushMetrics) {
+    flush_memtable_observed(memtable, sorter, None)
+}
+
+/// [`flush_memtable`], streaming telemetry into `obs` when given: each
+/// still-dirty buffer's size (buffer dirtiness at flush time) plus the
+/// sort-phase telemetry Backward-Sort reports per buffer (block size,
+/// `α̃_L`, per-merge overlap `Q`).
+pub fn flush_memtable_observed(
+    memtable: &mut MemTable,
+    sorter: &Algorithm,
+    obs: Option<&backsort_obs::Registry>,
+) -> (Vec<u8>, FlushMetrics) {
     let mut metrics = FlushMetrics::default();
     let mut writer = TsFileWriter::new();
+    let dirty_points = obs.map(|o| o.histogram(backsort_obs::names::MEMTABLE_DIRTY_BUFFER_POINTS));
 
     for (key, buffer) in memtable.iter_mut() {
         if buffer.is_empty() {
             continue;
         }
+        if let Some(h) = &dirty_points {
+            if !buffer.is_sorted() {
+                h.record(buffer.len() as u64);
+            }
+        }
         let t0 = Instant::now();
-        buffer.sort_with(sorter);
+        buffer.sort_with_observed(sorter, obs);
         metrics.sort_nanos += t0.elapsed().as_nanos() as u64;
 
         let t1 = Instant::now();

@@ -4,7 +4,6 @@
 use std::collections::BTreeMap;
 
 use backsort_core::Algorithm;
-use backsort_sorts::SeriesSorter;
 use backsort_tvlist::{SeriesAccess, TVList, TextTVList};
 
 use crate::types::{DataType, SeriesKey, TsValue};
@@ -125,14 +124,25 @@ impl SeriesBuffer {
     /// Sorts the buffer by timestamp with the given algorithm, if not
     /// already sorted. Returns whether a sort ran.
     pub fn sort_with(&mut self, alg: &Algorithm) -> bool {
+        self.sort_with_observed(alg, None)
+    }
+
+    /// [`sort_with`](Self::sort_with), streaming Backward-Sort telemetry
+    /// (block size, probe loops, `α̃_L`, per-merge overlap `Q`) into
+    /// `obs` when given.
+    pub fn sort_with_observed(
+        &mut self,
+        alg: &Algorithm,
+        obs: Option<&backsort_obs::Registry>,
+    ) -> bool {
         if self.is_sorted() {
             return false;
         }
         for_each_buffer!(self, l => {
-            alg.sort_series(l);
+            alg.sort_series_observed(l, obs);
             l.mark_sorted();
         }, t => {
-            alg.sort_series(t.sortable());
+            alg.sort_series_observed(t.sortable(), obs);
             t.mark_sorted();
         });
         true
@@ -221,17 +231,27 @@ impl MemTable {
 
     /// Appends one point, creating the sensor's buffer on first write.
     ///
+    /// Returns the point's out-of-order distance `Δτ` — how far behind
+    /// the buffer's previous maximum timestamp it arrived — when
+    /// positive, `None` for in-order arrivals (the common case). The
+    /// buffer maximum is tracked on write, so this is one compare per
+    /// point, not a scan.
+    ///
     /// # Panics
     /// Panics if the sensor exists with a different data type.
-    pub fn write(&mut self, key: &SeriesKey, t: i64, v: TsValue) {
-        if let Some(buf) = self.series.get_mut(key) {
+    pub fn write(&mut self, key: &SeriesKey, t: i64, v: TsValue) -> Option<i64> {
+        let delta = if let Some(buf) = self.series.get_mut(key) {
+            let delta = buf.max_time().filter(|&m| t < m).map(|m| m - t);
             buf.push(t, v);
+            delta
         } else {
             let mut buf = SeriesBuffer::new(v.data_type(), self.array_size);
             buf.push(t, v);
             self.series.insert(key.clone(), buf);
-        }
+            None
+        };
         self.total_points += 1;
+        delta
     }
 
     /// Total points across all sensors.

@@ -15,16 +15,9 @@
 //!   so per-point erasure checks are a binary search instead of a scan
 //!   of every tombstone.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use crate::delete::Tombstone;
 use crate::tsfile::{ChunkMeta, ChunkPointsIter, TsFileReader};
 use crate::types::SeriesKey;
-
-/// How many times [`FileHandle::parse`] has run, process-wide. Queries
-/// must never move this counter — the index is parsed once per install —
-/// which tests assert directly.
-static PARSE_COUNT: AtomicU64 = AtomicU64::new(0);
 
 /// A TsFile image with its chunk index parsed once, at install time.
 ///
@@ -47,7 +40,12 @@ impl FileHandle {
     /// not a valid TsFile. This is the *only* place the footer is
     /// parsed; every later read reuses the cached index.
     pub fn parse(id: u64, image: Vec<u8>) -> Option<Self> {
-        PARSE_COUNT.fetch_add(1, Ordering::Relaxed);
+        // Installs are process-wide facts (handles migrate across
+        // engines via adoption), so the counter lives on the global
+        // registry, mirroring the static it replaced.
+        backsort_obs::global()
+            .counter(backsort_obs::names::FILE_PARSE)
+            .inc();
         let chunks = TsFileReader::open(&image)?.chunks().to_vec();
         Some(Self { id, image, chunks })
     }
@@ -63,9 +61,12 @@ impl FileHandle {
         }
     }
 
-    /// Total [`FileHandle::parse`] calls so far, process-wide.
+    /// Total [`FileHandle::parse`] calls so far, process-wide — the
+    /// `file.parse` counter on [`backsort_obs::global`]. Queries must
+    /// never move it (the index is parsed once per install), which tests
+    /// assert by diffing it around query storms.
     pub fn parse_count() -> u64 {
-        PARSE_COUNT.load(Ordering::Relaxed)
+        backsort_obs::global().counter_value(backsort_obs::names::FILE_PARSE)
     }
 
     /// The engine-unique file id.

@@ -172,6 +172,10 @@ pub struct DurableEngine {
     /// shard references the generation (a multi-device file adopted into
     /// several shards shares one).
     persisted: Vec<HashMap<u64, u64>>,
+    /// Cached registry handles — the WAL append sits on the durable
+    /// write path, so it must not take the registry's name-map lock.
+    wal_appends: std::sync::Arc<backsort_obs::Counter>,
+    wal_bytes: std::sync::Arc<backsort_obs::Counter>,
 }
 
 impl DurableEngine {
@@ -265,12 +269,16 @@ impl DurableEngine {
                 .append(true)
                 .open(dir.join(format!("wal-{generation}.log")))?,
         );
+        let wal_appends = engine.obs().counter(backsort_obs::names::WAL_APPENDS);
+        let wal_bytes = engine.obs().counter(backsort_obs::names::WAL_BYTES);
         Ok(Self {
             engine,
             dir,
             wal,
             generation,
             persisted,
+            wal_appends,
+            wal_bytes,
         })
     }
 
@@ -295,6 +303,8 @@ impl DurableEngine {
         };
         record.encode_into(&mut frame);
         self.wal.write_all(&frame)?;
+        self.wal_appends.inc();
+        self.wal_bytes.add(frame.len() as u64);
 
         let flushed = self.engine.write(key, t, record.v);
         if flushed.is_some() {
@@ -310,6 +320,7 @@ impl DurableEngine {
     }
 
     fn persist_and_rotate(&mut self) -> io::Result<()> {
+        let span_start = std::time::Instant::now();
         self.wal.flush()?;
         // A WAL segment interleaves every shard's records, so before any
         // segment is deleted *all* shards' buffered data must reach
@@ -349,6 +360,13 @@ impl DurableEngine {
                 }
             }
         }
+        let obs = self.engine.obs();
+        obs.counter(backsort_obs::names::WAL_ROTATIONS).inc();
+        obs.tracer().record(
+            backsort_obs::names::SPAN_WAL_ROTATE,
+            format!("generation={}", self.generation),
+            span_start.elapsed().as_nanos() as u64,
+        );
         Ok(())
     }
 

@@ -1,0 +1,133 @@
+//! The metric name catalog — the single source of truth for every metric
+//! the engine stack records.
+//!
+//! Instrumentation sites reference these constants instead of string
+//! literals, so a renamed metric is a compile error everywhere at once,
+//! and the CI catalog check ([`REQUIRED`]) can assert that a bench run's
+//! exported snapshot still carries every declared metric — silent
+//! instrumentation rot (a refactor dropping a `record` call) fails the
+//! build instead of producing a dashboard full of zeros.
+//!
+//! Naming convention: `<subsystem>.<measure>`, dot-separated, with an
+//! optional `{label=value}` suffix for per-shard variants (see
+//! [`Registry::labeled`](crate::Registry::labeled)).
+
+/// Per-batch `write_batch` wall latency, nanoseconds (histogram).
+pub const ENGINE_WRITE_BATCH_NANOS: &str = "engine.write_batch_nanos";
+/// Points accepted by the write paths (counter).
+pub const ENGINE_WRITE_POINTS: &str = "engine.write_points";
+/// Memtable rotations currently awaiting an asynchronous flush (gauge,
+/// incremented at submit, decremented at install).
+pub const ENGINE_FLUSH_QUEUE_DEPTH: &str = "engine.flush_queue_depth";
+
+/// Queries served entirely under a shard *read* lock (counter).
+pub const QUERY_READ_PATH: &str = "query.read_path";
+/// Queries that upgraded to the write lock to sort a dirty buffer
+/// (counter).
+pub const QUERY_SORTED_ON_READ: &str = "query.sorted_on_read";
+/// Queries served by the pre-overhaul exclusive baseline path (counter).
+pub const QUERY_EXCLUSIVE_PATH: &str = "query.exclusive_path";
+/// Flushed files examined by queries that reached disk (counter).
+pub const QUERY_FILES_CONSIDERED: &str = "query.files_considered";
+/// Of those, files skipped by the per-key time-range prune (counter).
+pub const QUERY_FILES_PRUNED: &str = "query.files_pruned";
+
+/// Out-of-order arrivals: points written behind their buffer's maximum
+/// timestamp (counter).
+pub const MEMTABLE_OOO_POINTS: &str = "memtable.ooo_points";
+/// Out-of-order distance `Δτ` — how far behind the buffer maximum a late
+/// point landed (histogram; the paper's delay-only disorder measure).
+pub const MEMTABLE_DELTA_TAU: &str = "memtable.delta_tau";
+/// Sizes of buffers that were actually unsorted when a flush or
+/// sort-on-read reached them (histogram — buffer dirtiness).
+pub const MEMTABLE_DIRTY_BUFFER_POINTS: &str = "memtable.dirty_buffer_points";
+
+/// Memtable flushes completed (counter; also per shard via the
+/// `{shard=N}` label).
+pub const FLUSH_COUNT: &str = "flush.count";
+/// Cumulative flush sort time, nanoseconds (counter).
+pub const FLUSH_SORT_NANOS: &str = "flush.sort_nanos";
+/// Cumulative flush dedup+encode time, nanoseconds (counter).
+pub const FLUSH_ENCODE_NANOS: &str = "flush.encode_nanos";
+/// Cumulative flush image-assembly time, nanoseconds (counter).
+pub const FLUSH_WRITE_NANOS: &str = "flush.write_nanos";
+/// Points flushed to files, after dedup (counter).
+pub const FLUSH_POINTS: &str = "flush.points";
+/// Bytes of file images produced by flushes (counter).
+pub const FLUSH_BYTES: &str = "flush.bytes";
+
+/// Bytes appended to the write-ahead log (counter).
+pub const WAL_BYTES: &str = "wal.bytes";
+/// Records appended to the write-ahead log (counter).
+pub const WAL_APPENDS: &str = "wal.appends";
+/// WAL segment rotations (persist + truncate cycles; counter).
+pub const WAL_ROTATIONS: &str = "wal.rotations";
+
+/// Compaction passes run (counter).
+pub const COMPACTION_RUNS: &str = "compaction.runs";
+/// Bytes entering compaction (counter).
+pub const COMPACTION_BYTES_IN: &str = "compaction.bytes_in";
+/// Bytes surviving compaction (counter).
+pub const COMPACTION_BYTES_OUT: &str = "compaction.bytes_out";
+
+/// Block size `L` chosen by Backward-Sort's phase 1 (histogram).
+pub const SORT_BLOCK_SIZE: &str = "sort.block_size";
+/// Iterations of the set-block-size probe loop (histogram; the paper's
+/// `P`, bounded by `log2(n/L0)`).
+pub const SORT_PROBE_LOOPS: &str = "sort.probe_loops";
+/// The measured interval inversion ratio `α̃_L` at the chosen `L`, in
+/// parts per million (histogram; `α̃` is a ratio ≤ 1, scaled by 10⁶ to
+/// live in integer buckets).
+pub const SORT_ALPHA_PPM: &str = "sort.alpha_ppm";
+/// Backward-merge overlap `Q`: suffix elements interleaved per merge
+/// step, *including* zero-overlap merges (histogram). The live exhibit
+/// of the paper's Theorem bound `E[Q] ≤ E[Δτ | Δτ ≥ 0]`.
+pub const MERGE_OVERLAP_Q: &str = "merge.overlap_q";
+
+/// TsFile footer parses, process-wide (counter on the
+/// [`global()`](crate::global) registry — installs parse once; queries
+/// must never move it).
+pub const FILE_PARSE: &str = "file.parse";
+
+/// Span kind: flush submit → install.
+pub const SPAN_FLUSH: &str = "flush";
+/// Span kind: WAL persist-and-rotate.
+pub const SPAN_WAL_ROTATE: &str = "wal_rotate";
+/// Span kind: compaction pass.
+pub const SPAN_COMPACTION: &str = "compaction";
+/// Span kind: sort-on-read write-lock upgrade.
+pub const SPAN_SORT_ON_READ: &str = "sort_on_read";
+
+/// Every metric an instrumented [`StorageEngine`] registers at
+/// construction — the catalog the CI smoke check asserts against an
+/// exported snapshot. [`FILE_PARSE`] is absent deliberately: it lives on
+/// the process-global registry, not the engine's.
+pub const REQUIRED: &[&str] = &[
+    ENGINE_WRITE_BATCH_NANOS,
+    ENGINE_WRITE_POINTS,
+    ENGINE_FLUSH_QUEUE_DEPTH,
+    QUERY_READ_PATH,
+    QUERY_SORTED_ON_READ,
+    QUERY_EXCLUSIVE_PATH,
+    QUERY_FILES_CONSIDERED,
+    QUERY_FILES_PRUNED,
+    MEMTABLE_OOO_POINTS,
+    MEMTABLE_DELTA_TAU,
+    MEMTABLE_DIRTY_BUFFER_POINTS,
+    FLUSH_COUNT,
+    FLUSH_SORT_NANOS,
+    FLUSH_ENCODE_NANOS,
+    FLUSH_WRITE_NANOS,
+    FLUSH_POINTS,
+    FLUSH_BYTES,
+    WAL_BYTES,
+    WAL_APPENDS,
+    WAL_ROTATIONS,
+    COMPACTION_RUNS,
+    COMPACTION_BYTES_IN,
+    COMPACTION_BYTES_OUT,
+    SORT_BLOCK_SIZE,
+    SORT_PROBE_LOOPS,
+    SORT_ALPHA_PPM,
+    MERGE_OVERLAP_Q,
+];

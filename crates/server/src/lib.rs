@@ -152,6 +152,119 @@ fn handle_connection(stream: TcpStream, engine: &StorageEngine) -> std::io::Resu
     Ok(())
 }
 
+/// A minimal HTTP exporter for a metrics [`Registry`](backsort_obs::Registry).
+///
+/// Serves two read-only endpoints off the live registry:
+///
+/// * `GET /metrics` — Prometheus text exposition;
+/// * `GET /metrics.json` — the registry's compact JSON rendering.
+///
+/// Same lifecycle as [`SqlServer`]: nonblocking accept loop, stop flag,
+/// joined on [`MetricsServer::shutdown`] or drop. Each request is one
+/// short-lived connection (`Connection: close`), so no worker threads
+/// outlive their response.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `registry`'s snapshots.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        registry: Arc<backsort_obs::Registry>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = serve_metrics_request(stream, &registry);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(Self {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Reads one HTTP request line, writes one response, closes. Renders
+/// are taken inside the request (not cached) so every scrape sees a
+/// fresh snapshot. Served inline on the accept thread: a render is
+/// microseconds and scrapes arrive at human cadence, so a worker pool
+/// would only add shutdown hazards.
+fn serve_metrics_request(
+    stream: TcpStream,
+    registry: &backsort_obs::Registry,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers so the peer's write isn't cut off mid-request.
+    let mut header = String::new();
+    while reader.read_line(&mut header)? > 2 {
+        header.clear();
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            registry.render_prometheus(),
+        ),
+        "/metrics.json" => ("200 OK", "application/json", registry.render_json()),
+        _ => (
+            "404 Not Found",
+            "text/plain",
+            "try /metrics or /metrics.json\n".to_string(),
+        ),
+    };
+    let mut writer = BufWriter::new(stream);
+    write!(
+        writer,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()
+}
+
 /// A blocking client for [`SqlServer`].
 pub struct SqlClient {
     reader: BufReader<TcpStream>,

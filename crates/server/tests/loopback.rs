@@ -133,3 +133,45 @@ fn the_papers_workload_over_the_wire() {
     }
     server.shutdown();
 }
+
+#[test]
+fn metrics_endpoint_serves_prometheus_and_json() {
+    use std::io::{Read, Write};
+
+    let (server, engine) = start_server();
+    let metrics = backsort_server::MetricsServer::start("127.0.0.1:0", Arc::clone(engine.obs()))
+        .expect("bind");
+
+    let mut client = SqlClient::connect(server.addr()).expect("connect");
+    for t in [3i64, 1, 2] {
+        client
+            .execute(&format!(
+                "INSERT INTO root.net.d1(timestamp, s) VALUES ({t}, {t})"
+            ))
+            .expect("insert");
+    }
+    client.execute("SELECT s FROM root.net.d1").expect("select");
+
+    let http_get = |path: &str| -> String {
+        let mut stream = std::net::TcpStream::connect(metrics.addr()).expect("connect metrics");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        response
+    };
+
+    let prom = http_get("/metrics");
+    assert!(prom.starts_with("HTTP/1.1 200 OK"), "{prom}");
+    assert!(prom.contains("backsort_engine_write_points 3"), "{prom}");
+    assert!(prom.contains("backsort_query_read_path"), "{prom}");
+
+    let json = http_get("/metrics.json");
+    assert!(json.starts_with("HTTP/1.1 200 OK"), "{json}");
+    assert!(json.contains("\"engine.write_points\":3"), "{json}");
+
+    let missing = http_get("/nope");
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+    metrics.shutdown();
+    server.shutdown();
+}

@@ -37,6 +37,15 @@ pub enum QueryOutput {
     /// In-memory points removed by a `DELETE` (flushed data is masked by
     /// a tombstone; see the engine's delete docs).
     Deleted(usize),
+    /// Metric name/value rows from `SHOW STATS`. Counters and gauges are
+    /// one row each; a histogram expands into `name.count`, `name.mean`,
+    /// `name.p50`, `name.p99` and `name.max` rows.
+    Stats {
+        /// Metric names, sorted.
+        names: Vec<String>,
+        /// Rendered values, aligned with `names`.
+        values: Vec<String>,
+    },
 }
 
 fn agg_label(agg: Aggregate, column: &str) -> String {
@@ -113,7 +122,36 @@ pub fn execute_statement(
             let removed = engine.delete_range(&key, range.lo, range.hi);
             Ok(QueryOutput::Deleted(removed))
         }
+        Statement::ShowStats => Ok(show_stats(engine)),
     }
+}
+
+/// Flattens the engine's registry snapshot into sorted name/value rows.
+fn show_stats(engine: &StorageEngine) -> QueryOutput {
+    let snap = engine.obs().snapshot();
+    let mut names = Vec::new();
+    let mut values = Vec::new();
+    for (name, v) in &snap.counters {
+        names.push(name.clone());
+        values.push(v.to_string());
+    }
+    for (name, v) in &snap.gauges {
+        names.push(name.clone());
+        values.push(v.to_string());
+    }
+    for (name, h) in &snap.histograms {
+        names.push(format!("{name}.count"));
+        values.push(h.count.to_string());
+        names.push(format!("{name}.mean"));
+        values.push(format!("{:.1}", h.mean()));
+        names.push(format!("{name}.p50"));
+        values.push(h.percentile(0.50).to_string());
+        names.push(format!("{name}.p99"));
+        values.push(h.percentile(0.99).to_string());
+        names.push(format!("{name}.max"));
+        values.push(h.max.to_string());
+    }
+    QueryOutput::Stats { names, values }
 }
 
 fn select(
@@ -358,6 +396,31 @@ mod tests {
         let out = execute(&eng, "SELECT * FROM root.sg.d1 WHERE time > 4999 - 100").unwrap();
         match out {
             QueryOutput::Rows { rows, .. } => assert_eq!(rows.len(), 100),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn show_stats_reports_live_counters() {
+        let eng = engine();
+        execute(&eng, "INSERT INTO root.sg.d1(timestamp, s) VALUES (1, 1)").unwrap();
+        execute(&eng, "SELECT s FROM root.sg.d1").unwrap();
+        let out = execute(&eng, "SHOW STATS").unwrap();
+        match out {
+            QueryOutput::Stats { names, values } => {
+                assert_eq!(names.len(), values.len());
+                let get = |n: &str| {
+                    let i = names.iter().position(|x| x == n).unwrap_or_else(|| {
+                        panic!("metric {n} missing from SHOW STATS");
+                    });
+                    values[i].clone()
+                };
+                assert_eq!(get("engine.write_points"), "1");
+                assert_eq!(get("query.read_path"), "1");
+                // Histograms expand into summary rows.
+                assert_eq!(get("engine.write_batch_nanos.count"), "0");
+                assert!(names.iter().any(|n| n == "merge.overlap_q.p99"));
+            }
             other => panic!("{other:?}"),
         }
     }

@@ -131,6 +131,9 @@ pub enum Statement {
         /// Time bounds.
         range: TimeRange,
     },
+    /// `SHOW STATS` — dump the engine's metrics registry as name/value
+    /// rows (counters, gauges, and histogram summaries).
+    ShowStats,
 }
 
 /// Parses one statement.
@@ -237,8 +240,13 @@ impl Parser {
             Some(Token::Word(w)) if w.eq_ignore_ascii_case("select") => self.select(),
             Some(Token::Word(w)) if w.eq_ignore_ascii_case("insert") => self.insert(),
             Some(Token::Word(w)) if w.eq_ignore_ascii_case("delete") => self.delete(),
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("show") => {
+                self.keyword("show")?;
+                self.keyword("stats")?;
+                Ok(Statement::ShowStats)
+            }
             other => Err(SqlError::new(format!(
-                "expected SELECT, INSERT or DELETE, found {other:?}"
+                "expected SELECT, INSERT, DELETE or SHOW, found {other:?}"
             ))),
         }
     }
@@ -494,6 +502,14 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_show_stats() {
+        assert_eq!(parse("SHOW STATS").unwrap(), Statement::ShowStats);
+        assert_eq!(parse("show stats").unwrap(), Statement::ShowStats);
+        assert!(parse("SHOW TABLES").is_err());
+        assert!(parse("SHOW STATS extra").is_err());
     }
 
     #[test]

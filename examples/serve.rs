@@ -1,10 +1,14 @@
 //! Hosts the SQL-over-TCP server until killed, printing the port —
 //! `cargo run --release --example serve [-- port]`, then connect with
 //! any line-based client (`nc`, telnet, the bundled `SqlClient`).
+//!
+//! A metrics endpoint rides along on a second port: `GET /metrics`
+//! (Prometheus text) or `GET /metrics.json` against the printed
+//! "metrics on" address shows the live engine registry.
 
 use std::sync::Arc;
 
-use backsort_server::SqlServer;
+use backsort_server::{MetricsServer, SqlServer};
 use backward_sort_repro::core::Algorithm;
 use backward_sort_repro::engine::{EngineConfig, StorageEngine};
 
@@ -19,8 +23,11 @@ fn main() {
         sorter: Algorithm::Backward(Default::default()),
         shards: 1,
     }));
+    let metrics =
+        MetricsServer::start(("127.0.0.1", 0), engine.obs().clone()).expect("bind metrics");
     let server = SqlServer::start(("127.0.0.1", port), engine).expect("bind");
     println!("listening on {}", server.addr());
+    println!("metrics on {}", metrics.addr());
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
     }

@@ -41,6 +41,14 @@ fn show(engine: &StorageEngine, sql: &str) {
         }
         Ok(QueryOutput::Inserted(n)) => println!("  ok, {n} column(s) written"),
         Ok(QueryOutput::Deleted(n)) => println!("  ok, {n} in-memory point(s) removed"),
+        Ok(QueryOutput::Stats { names, values }) => {
+            // Show the interesting subset: the live Backward-Sort story.
+            for (n, v) in names.iter().zip(&values) {
+                if n.starts_with("sort.") || n.starts_with("merge.") || n.starts_with("query.") {
+                    println!("  {n:<28} {v}");
+                }
+            }
+        }
         Err(e) => println!("  {e}"),
     }
 }
@@ -94,5 +102,7 @@ fn main() {
         "DELETE FROM root.demo.engine.rpm WHERE time >= 100 AND time <= 199",
     );
     show(&engine, "SELECT count(rpm) FROM root.demo.engine");
+    // Live engine telemetry, filtered to the Backward-Sort metrics.
+    show(&engine, "SHOW STATS");
     show(&engine, "SELECT nope FROM"); // parse errors are reported, not panicked
 }

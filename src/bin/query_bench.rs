@@ -1,0 +1,7 @@
+//! Workspace-root alias for the `backsort-experiments` bin of the same
+//! name, so `cargo run --bin query_bench -- --smoke --stats-json out.json`
+//! works without `-p backsort-experiments`.
+
+fn main() {
+    backsort_experiments::query_bench_cli::main()
+}

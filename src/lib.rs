@@ -17,6 +17,8 @@
 //!   datasets;
 //! * [`engine`] — the mini-IoTDB storage engine;
 //! * [`sql`] — the IoTDB-style SQL surface over it;
+//! * [`server`] — the SQL-over-TCP server plus the metrics HTTP exporter;
+//! * [`obs`] — the metrics/tracing registry every layer records into;
 //! * [`benchmark`] — the workload driver with the paper's system metrics;
 //! * [`forecast`] — the LSTM for the downstream experiment.
 //!
@@ -44,6 +46,8 @@ pub use backsort_benchmark as benchmark;
 pub use backsort_core as core;
 pub use backsort_engine as engine;
 pub use backsort_forecast as forecast;
+pub use backsort_obs as obs;
+pub use backsort_server as server;
 pub use backsort_sorts as sorts;
 pub use backsort_sql as sql;
 pub use backsort_tvlist as tvlist;
