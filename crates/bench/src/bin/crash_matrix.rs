@@ -1,0 +1,57 @@
+//! Standalone crash-matrix runner: the same deterministic
+//! fault-injection sweep the CI gate runs, with a choosable seed for
+//! soak runs.
+//!
+//! ```text
+//! cargo run --release -p backsort-experiments --bin crash_matrix -- [--seed N]
+//! ```
+//!
+//! Exits non-zero (after printing one line per failure) if any case
+//! violates the durability oracle or any registered failpoint goes
+//! unexercised.
+
+use backsort_engine::crashtest::run_matrix;
+
+fn main() {
+    let mut seed: u64 = 0xB5EE_D001;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = args.next().unwrap_or_default();
+                seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--seed needs an integer, got {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (usage: crash_matrix [--seed N])");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut failed = false;
+    for shards in [1usize, 4] {
+        let outcome = run_matrix(shards, seed);
+        if outcome.failures.is_empty() {
+            println!(
+                "shards={shards}: {} cases passed (seed {seed:#x})",
+                outcome.cases
+            );
+        } else {
+            failed = true;
+            println!(
+                "shards={shards}: {} of {} cases FAILED (seed {seed:#x})",
+                outcome.failures.len(),
+                outcome.cases
+            );
+            for line in &outcome.failures {
+                println!("  {line}");
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

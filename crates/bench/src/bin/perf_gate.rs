@@ -1,0 +1,5 @@
+//! Thin wrapper; see [`backsort_experiments::perf_gate`].
+
+fn main() {
+    backsort_experiments::perf_gate::main()
+}

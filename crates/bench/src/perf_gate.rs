@@ -1,0 +1,192 @@
+//! Perf-smoke regression gate: compares a `query_bench --smoke` run
+//! against a checked-in baseline and fails on large regressions.
+//!
+//! Usage (also wired into CI as its own step):
+//!
+//! ```text
+//! # measure in-process and compare against the checked-in baseline
+//! cargo run --release -p backsort-experiments --bin perf_gate
+//!
+//! # compare an existing `query_bench --smoke --json` dump instead
+//! cargo run --release -p backsort-experiments --bin perf_gate -- --input rows.json
+//!
+//! # refresh the baseline after an intentional perf change
+//! cargo run --release -p backsort-experiments --bin perf_gate -- --update
+//! ```
+//!
+//! Cells are matched by `(sorter, shards, threads, mode)`; the gated
+//! metrics are throughput (`qps`, `pps`). The default tolerance is
+//! generous (−40%) because the smoke run is small and CI machines are
+//! noisy — the gate exists to catch *collapses* (an accidental `O(n²)`,
+//! a lock held across the merge), not single-digit drift. A big
+//! improvement is reported as a hint to refresh the baseline, never as
+//! a failure. Cell-set drift (a cell present on one side only) fails:
+//! it means the smoke grid and the baseline no longer describe the same
+//! experiment.
+
+use backsort_benchmark::QueryBenchReport;
+
+use crate::cli::Args;
+use crate::query_bench_cli::{run_cells, smoke_grid};
+use crate::table;
+
+/// Default location of the checked-in baseline, relative to the repo
+/// root (where CI and `cargo run` execute).
+pub const DEFAULT_BASELINE: &str = "ci/perf_smoke_baseline.json";
+
+/// Default allowed regression, percent.
+pub const DEFAULT_TOLERANCE_PCT: f64 = 40.0;
+
+/// Accepts either a JSON array of report rows or the newline-delimited
+/// objects `query_bench --smoke --json` prints.
+fn parse_reports(text: &str) -> Result<Vec<QueryBenchReport>, String> {
+    let trimmed = text.trim_start();
+    if trimmed.starts_with('[') {
+        return serde_json::from_str(trimmed).map_err(|e| format!("{e:?}"));
+    }
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(|l| serde_json::from_str(l).map_err(|e| format!("{e:?} in line {l:.60}")))
+        .collect()
+}
+
+fn cell_key(r: &QueryBenchReport) -> String {
+    format!(
+        "{} shards={} threads={} mode={}",
+        r.sorter, r.shards, r.threads, r.mode
+    )
+}
+
+/// One gated comparison row.
+struct Diff {
+    cell: String,
+    metric: &'static str,
+    baseline: f64,
+    current: f64,
+    delta_pct: f64,
+    verdict: &'static str,
+}
+
+/// Compares `current` against `baseline`, returning the full diff table
+/// and the list of failure lines (empty = gate passes).
+fn compare(
+    baseline: &[QueryBenchReport],
+    current: &[QueryBenchReport],
+    tolerance_pct: f64,
+) -> (Vec<Diff>, Vec<String>) {
+    let mut diffs = Vec::new();
+    let mut failures = Vec::new();
+    for b in baseline {
+        let key = cell_key(b);
+        let Some(c) = current.iter().find(|c| cell_key(c) == key) else {
+            failures.push(format!("cell missing from current run: {key}"));
+            continue;
+        };
+        for (metric, bv, cv) in [("qps", b.qps, c.qps), ("pps", b.pps, c.pps)] {
+            let delta_pct = if bv > 0.0 {
+                (cv - bv) / bv * 100.0
+            } else {
+                0.0
+            };
+            let verdict = if delta_pct < -tolerance_pct {
+                failures.push(format!(
+                    "{key}: {metric} regressed {delta_pct:.1}% ({bv:.0} -> {cv:.0}, tolerance -{tolerance_pct:.0}%)"
+                ));
+                "FAIL"
+            } else if delta_pct > tolerance_pct {
+                "improved (refresh baseline?)"
+            } else {
+                "ok"
+            };
+            diffs.push(Diff {
+                cell: key.clone(),
+                metric,
+                baseline: bv,
+                current: cv,
+                delta_pct,
+                verdict,
+            });
+        }
+    }
+    for c in current {
+        let key = cell_key(c);
+        if !baseline.iter().any(|b| cell_key(b) == key) {
+            failures.push(format!(
+                "cell missing from baseline (run with --update after reviewing): {key}"
+            ));
+        }
+    }
+    (diffs, failures)
+}
+
+/// The `perf_gate` binary's entry point. Exits non-zero when the gate
+/// fails; prints the full diff table either way.
+pub fn main() {
+    let args = Args::from_env();
+    let baseline_path = args.get("baseline").unwrap_or(DEFAULT_BASELINE).to_string();
+    let tolerance_pct = args.get_or("tolerance", DEFAULT_TOLERANCE_PCT);
+
+    let current: Vec<QueryBenchReport> = match args.get("input") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("read --input {path}: {e}"));
+            parse_reports(&text).unwrap_or_else(|e| panic!("parse --input {path}: {e}"))
+        }
+        None => {
+            eprintln!("measuring the perf-smoke grid in-process...");
+            let (ops, qpt, threads, shards, sorters) = smoke_grid();
+            run_cells(ops, qpt, &threads, &shards, &sorters, None)
+        }
+    };
+
+    if args.has("update") {
+        let rendered = serde_json::to_string(&current).expect("render baseline");
+        if let Some(parent) = std::path::Path::new(&baseline_path).parent() {
+            std::fs::create_dir_all(parent).expect("create baseline dir");
+        }
+        std::fs::write(&baseline_path, rendered).expect("write baseline");
+        println!(
+            "wrote {} cells to {baseline_path}; review and commit it",
+            current.len()
+        );
+        return;
+    }
+
+    let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        panic!("read baseline {baseline_path}: {e} (generate one with --update)")
+    });
+    let baseline: Vec<QueryBenchReport> =
+        parse_reports(&text).unwrap_or_else(|e| panic!("parse {baseline_path}: {e}"));
+
+    let (diffs, failures) = compare(&baseline, &current, tolerance_pct);
+    table::heading(&format!(
+        "Perf-smoke gate vs {baseline_path} (tolerance -{tolerance_pct:.0}%)"
+    ));
+    let rows: Vec<Vec<String>> = diffs
+        .iter()
+        .map(|d| {
+            vec![
+                d.cell.clone(),
+                d.metric.to_string(),
+                format!("{:.0}", d.baseline),
+                format!("{:.0}", d.current),
+                format!("{:+.1}%", d.delta_pct),
+                d.verdict.to_string(),
+            ]
+        })
+        .collect();
+    table::print_table(
+        &["cell", "metric", "baseline", "current", "delta", "verdict"],
+        &rows,
+    );
+    if failures.is_empty() {
+        println!("perf gate passed ({} comparisons)", diffs.len());
+    } else {
+        println!("perf gate FAILED:");
+        for f in &failures {
+            println!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -29,20 +29,21 @@ use crate::table;
 pub fn main() {
     let args = Args::from_env();
     let smoke = args.has("smoke");
-    let ops = args.get_or("ops", if smoke { 20 } else { 400usize });
-    let queries_per_thread = if smoke { 25 } else { 2_000 };
+    let (smoke_ops, smoke_qpt, smoke_threads, smoke_shards, smoke_sorters) = smoke_grid();
+    let ops = args.get_or("ops", if smoke { smoke_ops } else { 400usize });
+    let queries_per_thread = if smoke { smoke_qpt } else { 2_000 };
     let thread_counts: Vec<usize> = match args.get("threads") {
         Some(t) => vec![t.parse().expect("threads")],
-        None if smoke => vec![1, 4],
+        None if smoke => smoke_threads,
         None => vec![1, 2, 4, 8],
     };
     let shard_counts: Vec<usize> = match args.get("shards") {
         Some(s) => vec![s.parse().expect("shards")],
-        None if smoke => vec![1],
+        None if smoke => smoke_shards,
         None => vec![1, 4],
     };
     let sorters: Vec<Algorithm> = if smoke {
-        vec![Algorithm::Backward(Default::default())]
+        smoke_sorters
     } else {
         Algorithm::contenders()
     };
@@ -51,50 +52,29 @@ pub fn main() {
         .as_ref()
         .map(|_| Arc::new(backsort_obs::Registry::new()));
 
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut json_rows = Vec::new();
-    for &shards in &shard_counts {
-        for &threads in &thread_counts {
-            for &sorter in &sorters {
-                let config = BenchConfig {
-                    devices: 4,
-                    sensors_per_device: 4,
-                    batch_size: 500,
-                    write_percentage: 1.0,
-                    operations: ops,
-                    delay: DelayModel::AbsNormal {
-                        mu: 1.0,
-                        sigma: 2.0,
-                    },
-                    query_window: 2_000,
-                    memtable_max_points: 20_000,
-                    sorter,
-                    shards,
-                    seed: 42,
-                };
-                for mode in [QueryMode::ReadLocked, QueryMode::Exclusive] {
-                    let report = run_query_bench_with(
-                        &config,
-                        threads,
-                        queries_per_thread,
-                        mode,
-                        registry.clone(),
-                    );
-                    rows.push(vec![
-                        shards.to_string(),
-                        threads.to_string(),
-                        report.sorter.clone(),
-                        report.mode.clone(),
-                        format!("{:.1}", report.p50_us),
-                        format!("{:.1}", report.p99_us),
-                        format!("{:.0}", report.qps),
-                        format!("{:.2e}", report.pps),
-                    ]);
-                    json_rows.push(report);
-                }
-            }
-        }
-    }
+    let json_rows = run_cells(
+        ops,
+        queries_per_thread,
+        &thread_counts,
+        &shard_counts,
+        &sorters,
+        registry.clone(),
+    );
+    let rows: Vec<Vec<String>> = json_rows
+        .iter()
+        .map(|report| {
+            vec![
+                report.shards.to_string(),
+                report.threads.to_string(),
+                report.sorter.clone(),
+                report.mode.clone(),
+                format!("{:.1}", report.p50_us),
+                format!("{:.1}", report.p99_us),
+                format!("{:.0}", report.qps),
+                format!("{:.2e}", report.pps),
+            ]
+        })
+        .collect();
 
     if let (Some(path), Some(registry)) = (stats_json, &registry) {
         std::fs::write(path, registry.render_json()).expect("write stats json");
@@ -118,4 +98,64 @@ pub fn main() {
         ],
         &rows,
     );
+}
+
+/// Runs the full (shards × threads × sorter × mode) grid and returns the
+/// per-cell reports. Shared by [`main`] and the perf-smoke regression
+/// gate ([`crate::perf_gate`]), so the gate measures exactly the cells
+/// `query_bench --smoke` prints.
+pub fn run_cells(
+    ops: usize,
+    queries_per_thread: usize,
+    thread_counts: &[usize],
+    shard_counts: &[usize],
+    sorters: &[Algorithm],
+    registry: Option<Arc<backsort_obs::Registry>>,
+) -> Vec<backsort_benchmark::QueryBenchReport> {
+    let mut reports = Vec::new();
+    for &shards in shard_counts {
+        for &threads in thread_counts {
+            for &sorter in sorters {
+                let config = BenchConfig {
+                    devices: 4,
+                    sensors_per_device: 4,
+                    batch_size: 500,
+                    write_percentage: 1.0,
+                    operations: ops,
+                    delay: DelayModel::AbsNormal {
+                        mu: 1.0,
+                        sigma: 2.0,
+                    },
+                    query_window: 2_000,
+                    memtable_max_points: 20_000,
+                    sorter,
+                    shards,
+                    seed: 42,
+                };
+                for mode in [QueryMode::ReadLocked, QueryMode::Exclusive] {
+                    reports.push(run_query_bench_with(
+                        &config,
+                        threads,
+                        queries_per_thread,
+                        mode,
+                        registry.clone(),
+                    ));
+                }
+            }
+        }
+    }
+    reports
+}
+
+/// The exact cell grid `--smoke` runs, for callers that need to re-run
+/// it programmatically: ops, queries per thread, thread counts, shard
+/// counts, sorters.
+pub fn smoke_grid() -> (usize, usize, Vec<usize>, Vec<usize>, Vec<Algorithm>) {
+    (
+        20,
+        25,
+        vec![1, 4],
+        vec![1],
+        vec![Algorithm::Backward(Default::default())],
+    )
 }

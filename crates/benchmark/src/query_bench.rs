@@ -20,7 +20,7 @@ use backsort_sorts::SeriesSorter;
 use backsort_workload::{generate_pairs, SignalKind, StreamSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::config::BenchConfig;
 
@@ -47,7 +47,7 @@ impl QueryMode {
 }
 
 /// Results of one query-bench run (one mode × thread-count cell).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QueryBenchReport {
     /// Sorter name.
     pub sorter: String,

@@ -73,6 +73,12 @@ impl StorageEngine {
     fn compact_shard(&self, shard: usize) -> CompactionReport {
         let handles = self.take_files_for_compaction(shard);
         let tombstones = self.take_tombstones(shard);
+        // Crash site: inputs are removed from the shard (in memory) and
+        // the merged file does not exist yet. Recovery must serve the
+        // data from the persisted inputs — the durable store only GCs
+        // them after the merged image and manifest are on disk.
+        self.faults()
+            .kill_point(backsort_faults::sites::COMPACTION_AFTER_TAKE);
         let files_in = handles.len();
         let bytes_in: u64 = handles.iter().map(|h| h.image().len() as u64).sum();
         if files_in <= 1 && tombstones.is_empty() {
@@ -152,6 +158,10 @@ impl StorageEngine {
         }
         let image = writer.finish();
         let bytes_out = image.len() as u64;
+        // Crash site: the merged image exists in memory but is not yet
+        // visible to queries or the durable store.
+        self.faults()
+            .kill_point(backsort_faults::sites::COMPACTION_BEFORE_RESTORE);
         // The merged file carries a fresh id: the durable store sees the
         // old ids vanish and this one appear, and re-persists accordingly.
         let handle =

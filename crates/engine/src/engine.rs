@@ -35,6 +35,7 @@ use std::time::Instant;
 
 use backsort_core::merge::LastWins;
 use backsort_core::Algorithm;
+use backsort_faults::{sites as fault_sites, FailpointRegistry};
 use backsort_obs::{names, Counter, Gauge, Histogram, LocalHistogram, Registry};
 use parking_lot::RwLock;
 
@@ -201,6 +202,7 @@ impl EngineObs {
             names::WAL_BYTES,
             names::WAL_APPENDS,
             names::WAL_ROTATIONS,
+            names::WAL_REPLAY_DISCARDED_BYTES,
             names::COMPACTION_RUNS,
             names::COMPACTION_BYTES_IN,
             names::COMPACTION_BYTES_OUT,
@@ -291,6 +293,10 @@ pub struct StorageEngine {
     /// Source of the per-file ids in [`ShardState::files`].
     next_file_id: AtomicU64,
     obs: EngineObs,
+    /// Failpoint sites on the flush/compaction paths (see
+    /// [`backsort_faults::sites`]). Disarmed — the production state —
+    /// each site costs one relaxed atomic load.
+    faults: Arc<FailpointRegistry>,
 }
 
 impl StorageEngine {
@@ -304,6 +310,18 @@ impl StorageEngine {
     /// bench harness across engines, or built with
     /// [`Registry::new_disabled`] to measure instrumentation overhead.
     pub fn with_registry(config: EngineConfig, registry: Arc<Registry>) -> Self {
+        Self::with_instrumentation(config, registry, Arc::new(FailpointRegistry::new()))
+    }
+
+    /// Creates an engine with both a metrics registry and a failpoint
+    /// registry — the crash-matrix harness shares one registry between
+    /// the engine and a simulated disk so an armed site can fire on
+    /// either side of the `Io` boundary.
+    pub fn with_instrumentation(
+        config: EngineConfig,
+        registry: Arc<Registry>,
+        faults: Arc<FailpointRegistry>,
+    ) -> Self {
         let n = config.shards.max(1);
         let shards = (0..n)
             .map(|_| RwLock::new(ShardState::new(config.array_size)))
@@ -313,7 +331,13 @@ impl StorageEngine {
             shards,
             next_file_id: AtomicU64::new(0),
             obs: EngineObs::new(registry, n),
+            faults,
         }
+    }
+
+    /// The engine's failpoint registry (disarmed unless a test armed it).
+    pub fn faults(&self) -> &Arc<FailpointRegistry> {
+        &self.faults
     }
 
     /// The engine's metrics registry — every internal observable
@@ -659,6 +683,19 @@ impl StorageEngine {
     /// IoTDB's "mods" mechanism. Returns how many in-memory points were
     /// removed.
     pub fn delete_range(&self, key: &SeriesKey, t_lo: i64, t_hi: i64) -> usize {
+        self.delete_range_with_horizon(key, t_lo, t_hi).0
+    }
+
+    /// Like [`delete_range`](Self::delete_range), additionally returning
+    /// the file horizon the tombstone was recorded under — the durable
+    /// store logs it in the delete's WAL record so a replayed tombstone
+    /// covers the same files (and nothing flushed after the delete).
+    pub fn delete_range_with_horizon(
+        &self,
+        key: &SeriesKey,
+        t_lo: i64,
+        t_hi: i64,
+    ) -> (usize, usize) {
         let mut st = self.shards[self.shard_of(&key.device)].write();
         let mut removed = st.working.delete_range(key, t_lo, t_hi);
         removed += st.unseq.delete_range(key, t_lo, t_hi);
@@ -677,7 +714,72 @@ impl StorageEngine {
             },
             horizon,
         ));
+        (removed, horizon)
+    }
+
+    /// Re-applies a delete recovered from the WAL. The logged horizon is
+    /// clamped to the shard's current file count: files created *during*
+    /// replay after this record cannot exist yet, so the clamp only ever
+    /// covers files whose contents predate the delete — erasing their
+    /// in-range points is exactly the delete's semantics, while later
+    /// re-writes are replayed (and flushed) after this record and stay
+    /// untouched.
+    pub fn apply_delete_with_horizon(
+        &self,
+        key: &SeriesKey,
+        t_lo: i64,
+        t_hi: i64,
+        logged_horizon: usize,
+    ) -> usize {
+        let mut st = self.shards[self.shard_of(&key.device)].write();
+        let mut removed = st.working.delete_range(key, t_lo, t_hi);
+        removed += st.unseq.delete_range(key, t_lo, t_hi);
+        if let Some(fl) = st.flushing.as_mut() {
+            fl.delete_range(key, t_lo, t_hi);
+        }
+        let current = st.files.len() + usize::from(st.flushing.is_some());
+        st.tombstones.push((
+            Tombstone {
+                key: key.clone(),
+                t_lo,
+                t_hi,
+            },
+            logged_horizon.min(current),
+        ));
         removed
+    }
+
+    /// Restores a *re-logged* tombstone recovered from the WAL: pushes
+    /// the file mask (horizon clamped exactly as in
+    /// [`apply_delete_with_horizon`](Self::apply_delete_with_horizon))
+    /// without touching any memtable. A re-logged record sits *after*
+    /// records of writes issued after the original delete — when the
+    /// segment carrying the original record also survives a crash,
+    /// deleting memtable points at the re-log's replay position would
+    /// erase those later writes. The delete's memtable effect is either
+    /// replayed positionally from the original record or already
+    /// persisted in the flushed files the mask covers.
+    pub fn restore_tombstone(&self, key: &SeriesKey, t_lo: i64, t_hi: i64, logged_horizon: usize) {
+        let mut st = self.shards[self.shard_of(&key.device)].write();
+        let current = st.files.len() + usize::from(st.flushing.is_some());
+        st.tombstones.push((
+            Tombstone {
+                key: key.clone(),
+                t_lo,
+                t_hi,
+            },
+            logged_horizon.min(current),
+        ));
+    }
+
+    /// A snapshot of one shard's tombstones still awaiting physical
+    /// application, with their file horizons. The durable store re-logs
+    /// these into each fresh WAL segment at rotation — the segments that
+    /// originally carried the delete records are about to be truncated,
+    /// and until compaction applies a tombstone the WAL is its only
+    /// durable record.
+    pub fn pending_tombstones(&self, shard: usize) -> Vec<(Tombstone, usize)> {
+        self.shards[shard].read().tombstones.clone()
     }
 
     /// Writes one point like [`StorageEngine::write`], but instead of
@@ -753,6 +855,11 @@ impl StorageEngine {
             &self.config.sorter,
             Some(&self.obs.registry),
         );
+        // Crash site on the async flusher's worker path: the image is
+        // encoded but not yet installed — a killed worker must lose the
+        // file cleanly (its points stay WAL-covered until rotation).
+        self.faults
+            .kill_point(fault_sites::FLUSH_COMPLETE_BEFORE_INSTALL);
         // Parse the chunk index outside the lock too — installing the
         // handle is then just a push.
         let handle = (metrics.points > 0)
@@ -787,6 +894,9 @@ impl StorageEngine {
                 *w = (*w).max(max_t);
             }
         }
+        // Crash site: the memtable has rotated but nothing is encoded
+        // yet — the points' only durable copy is the WAL.
+        self.faults.kill_point(fault_sites::FLUSH_ROTATE);
         let (image, metrics) =
             flush_memtable_observed(&mut flushing, &self.config.sorter, Some(&self.obs.registry));
         if metrics.points > 0 {

@@ -28,6 +28,7 @@
 
 pub mod aggregate;
 pub mod compaction;
+pub mod crashtest;
 pub mod delete;
 pub mod encoding;
 pub mod engine;

@@ -5,25 +5,46 @@
 //! real IoTDB uses around its memtables:
 //!
 //! 1. every write is appended (CRC-framed) to the active WAL segment
-//!    *before* it enters a memtable;
+//!    *before* it enters a memtable, and every delete is appended right
+//!    after its tombstone is recorded (with the tombstone's file
+//!    horizon, so a replayed delete covers the same files);
 //! 2. when a shard's working memtable flushes, every other shard's
 //!    buffered data is flushed alongside it (a WAL segment interleaves
 //!    all shards' records, so all of them must reach files before any
-//!    segment goes away), the new file images are persisted as
-//!    `tsfile-<gen>.bstf`, and only then are older WAL segments
-//!    deleted;
-//! 3. [`DurableEngine::open`] recovers by adopting every persisted
-//!    TsFile, then replaying surviving WAL segments (torn tails are
-//!    truncated at the first bad CRC).
+//!    segment is retired), the new file images are persisted durably as
+//!    `tsfile-<gen>.bstf`, still-pending tombstones are re-logged into
+//!    the fresh segment, the `MANIFEST` commits the live generation set
+//!    plus the new WAL floor — the single atomic point that retires the
+//!    old segments — and only then is anything deleted;
+//! 3. [`DurableEngine::open`] recovers by adopting every
+//!    manifest-listed TsFile, then replaying the WAL segments at or
+//!    above the manifest's floor (torn tails are truncated at the first
+//!    bad CRC, and the discarded byte count is reported through
+//!    `wal.replay_discarded_bytes`).
 //!
 //! Persistence is keyed on the engine's per-file *ids*, not on file
 //! positions, so compaction collapsing a shard's files is picked up as
-//! "old ids gone, one new id" and the disk set follows along.
+//! "old ids gone, one new id" and the disk set follows along. The
+//! `MANIFEST` (live generations, CRC-guarded, written after new images
+//! and *before* GC) is what makes that safe across a crash: a merged
+//! image whose manifest write never happened is ignored at recovery
+//! (its data is still WAL-covered or in the manifest-listed inputs),
+//! and GC'd inputs that survived a mid-GC crash are dropped instead of
+//! resurrecting already-deleted points.
+//!
+//! All file traffic goes through an injectable [`Io`] sink and every
+//! state-changing step passes a named failpoint
+//! ([`backsort_faults::sites`]), which is how `tests/crash_matrix.rs`
+//! kills the engine at each site and checks recovery.
 
 use std::collections::{HashMap, HashSet};
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, BufWriter, Read, Write};
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use backsort_faults::io::{Io, RealIo, WalFile};
+use backsort_faults::{sites as fault_sites, FailpointRegistry};
+use backsort_obs::Registry;
 
 use crate::engine::{EngineConfig, QueryResult, StorageEngine};
 use crate::flush::FlushMetrics;
@@ -59,35 +80,102 @@ pub fn crc32(data: &[u8]) -> u32 {
     !c
 }
 
-/// One WAL record: a single point write.
+const KIND_POINT: u8 = 0;
+const KIND_DELETE: u8 = 1;
+const KIND_TOMBSTONE: u8 = 2;
+
+/// One WAL record: a point write, a range delete, or a re-logged
+/// tombstone.
 #[derive(Debug, Clone, PartialEq)]
-pub struct WalRecord {
-    /// Destination series.
-    pub key: SeriesKey,
-    /// Timestamp.
-    pub t: i64,
-    /// Value.
-    pub v: TsValue,
+pub enum WalRecord {
+    /// A single point write.
+    Point {
+        /// Destination series.
+        key: SeriesKey,
+        /// Timestamp.
+        t: i64,
+        /// Value.
+        v: TsValue,
+    },
+    /// A range delete, with the tombstone's file horizon at the time it
+    /// was recorded — replay restores the tombstone over the same files
+    /// and never over files flushed after the delete.
+    Delete {
+        /// Target series.
+        key: SeriesKey,
+        /// Inclusive range start.
+        t_lo: i64,
+        /// Inclusive range end.
+        t_hi: i64,
+        /// File-count horizon the tombstone covered when recorded.
+        horizon: u32,
+    },
+    /// A pending tombstone *re-logged* into a fresh segment at rotation
+    /// (the segment carrying the original [`WalRecord::Delete`] is being
+    /// retired). Replay restores only the file mask — unlike a `Delete`,
+    /// it never removes memtable points, because a re-logged record sits
+    /// after the records of writes issued after the original delete and
+    /// must not erase them when both segments survive a crash.
+    Tombstone {
+        /// Target series.
+        key: SeriesKey,
+        /// Inclusive range start.
+        t_lo: i64,
+        /// Inclusive range end.
+        t_hi: i64,
+        /// File-count horizon the tombstone covered when recorded.
+        horizon: u32,
+    },
 }
 
 impl WalRecord {
-    /// Serializes as `len(u32) | payload | crc32(payload)`.
+    /// Serializes as `len(u32) | payload | crc32(payload)`; the payload
+    /// starts with a kind byte.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         let mut payload = Vec::with_capacity(32);
-        let name = self.key.to_string();
-        payload.extend_from_slice(&(name.len() as u16).to_le_bytes());
-        payload.extend_from_slice(name.as_bytes());
-        payload.extend_from_slice(&self.t.to_le_bytes());
-        payload.push(self.v.data_type().tag());
-        match self.v {
-            TsValue::Int(x) => payload.extend_from_slice(&x.to_le_bytes()),
-            TsValue::Long(x) => payload.extend_from_slice(&x.to_le_bytes()),
-            TsValue::Float(x) => payload.extend_from_slice(&x.to_bits().to_le_bytes()),
-            TsValue::Double(x) => payload.extend_from_slice(&x.to_bits().to_le_bytes()),
-            TsValue::Bool(x) => payload.push(x as u8),
-            TsValue::Text(ref s) => {
-                payload.extend_from_slice(&(s.len() as u32).to_le_bytes());
-                payload.extend_from_slice(s.as_bytes());
+        match self {
+            WalRecord::Point { key, t, v } => {
+                payload.push(KIND_POINT);
+                let name = key.to_string();
+                payload.extend_from_slice(&(name.len() as u16).to_le_bytes());
+                payload.extend_from_slice(name.as_bytes());
+                payload.extend_from_slice(&t.to_le_bytes());
+                payload.push(v.data_type().tag());
+                match v {
+                    TsValue::Int(x) => payload.extend_from_slice(&x.to_le_bytes()),
+                    TsValue::Long(x) => payload.extend_from_slice(&x.to_le_bytes()),
+                    TsValue::Float(x) => payload.extend_from_slice(&x.to_bits().to_le_bytes()),
+                    TsValue::Double(x) => payload.extend_from_slice(&x.to_bits().to_le_bytes()),
+                    TsValue::Bool(x) => payload.push(*x as u8),
+                    TsValue::Text(s) => {
+                        payload.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                        payload.extend_from_slice(s.as_bytes());
+                    }
+                }
+            }
+            WalRecord::Delete {
+                key,
+                t_lo,
+                t_hi,
+                horizon,
+            }
+            | WalRecord::Tombstone {
+                key,
+                t_lo,
+                t_hi,
+                horizon,
+            } => {
+                payload.push(if matches!(self, WalRecord::Delete { .. }) {
+                    KIND_DELETE
+                } else {
+                    KIND_TOMBSTONE
+                });
+                let name = key.to_string();
+                payload.extend_from_slice(&(name.len() as u16).to_le_bytes());
+                payload.extend_from_slice(name.as_bytes());
+                payload.extend_from_slice(&t_lo.to_le_bytes());
+                payload.extend_from_slice(&t_hi.to_le_bytes());
+                payload.extend_from_slice(&horizon.to_le_bytes());
             }
         }
         out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -95,9 +183,10 @@ impl WalRecord {
         out.extend_from_slice(&crc32(&payload).to_le_bytes());
     }
 
-    /// Parses one record at `pos`, advancing it. `None` on a torn or
-    /// corrupt tail (callers stop replaying there).
-    fn read_from(buf: &[u8], pos: &mut usize) -> Option<WalRecord> {
+    /// Parses one record at `pos`, advancing it on success. `None` on a
+    /// torn or corrupt tail (callers stop replaying there; `pos` is left
+    /// at the start of the bad frame).
+    pub fn read_from(buf: &[u8], pos: &mut usize) -> Option<WalRecord> {
         let len = u32::from_le_bytes(buf.get(*pos..*pos + 4)?.try_into().ok()?) as usize;
         let payload = buf.get(*pos + 4..(*pos + 4).checked_add(len)?)?;
         let crc_pos = *pos + 4 + len;
@@ -107,48 +196,80 @@ impl WalRecord {
         }
         // Decode the payload.
         let mut p = 0usize;
+        let kind = *payload.get(p)?;
+        p += 1;
         let name_len = u16::from_le_bytes(payload.get(p..p + 2)?.try_into().ok()?) as usize;
         p += 2;
         let name = std::str::from_utf8(payload.get(p..p + name_len)?).ok()?;
         p += name_len;
         let (device, sensor) = name.rsplit_once('.')?;
-        let t = i64::from_le_bytes(payload.get(p..p + 8)?.try_into().ok()?);
-        p += 8;
-        let dt = DataType::from_tag(*payload.get(p)?)?;
-        p += 1;
-        let v = match dt {
-            DataType::Int32 => {
-                TsValue::Int(i32::from_le_bytes(payload.get(p..p + 4)?.try_into().ok()?))
+        let key = SeriesKey::new(device, sensor);
+        let record = match kind {
+            KIND_POINT => {
+                let t = i64::from_le_bytes(payload.get(p..p + 8)?.try_into().ok()?);
+                p += 8;
+                let dt = DataType::from_tag(*payload.get(p)?)?;
+                p += 1;
+                let v = match dt {
+                    DataType::Int32 => {
+                        TsValue::Int(i32::from_le_bytes(payload.get(p..p + 4)?.try_into().ok()?))
+                    }
+                    DataType::Int64 => {
+                        TsValue::Long(i64::from_le_bytes(payload.get(p..p + 8)?.try_into().ok()?))
+                    }
+                    DataType::Float => TsValue::Float(f32::from_bits(u32::from_le_bytes(
+                        payload.get(p..p + 4)?.try_into().ok()?,
+                    ))),
+                    DataType::Double => TsValue::Double(f64::from_bits(u64::from_le_bytes(
+                        payload.get(p..p + 8)?.try_into().ok()?,
+                    ))),
+                    DataType::Boolean => TsValue::Bool(*payload.get(p)? != 0),
+                    DataType::Text => {
+                        let len =
+                            u32::from_le_bytes(payload.get(p..p + 4)?.try_into().ok()?) as usize;
+                        p += 4;
+                        let bytes = payload.get(p..p.checked_add(len)?)?;
+                        TsValue::Text(std::str::from_utf8(bytes).ok()?.to_string())
+                    }
+                };
+                WalRecord::Point { key, t, v }
             }
-            DataType::Int64 => {
-                TsValue::Long(i64::from_le_bytes(payload.get(p..p + 8)?.try_into().ok()?))
+            KIND_DELETE | KIND_TOMBSTONE => {
+                let t_lo = i64::from_le_bytes(payload.get(p..p + 8)?.try_into().ok()?);
+                p += 8;
+                let t_hi = i64::from_le_bytes(payload.get(p..p + 8)?.try_into().ok()?);
+                p += 8;
+                let horizon = u32::from_le_bytes(payload.get(p..p + 4)?.try_into().ok()?);
+                if kind == KIND_DELETE {
+                    WalRecord::Delete {
+                        key,
+                        t_lo,
+                        t_hi,
+                        horizon,
+                    }
+                } else {
+                    WalRecord::Tombstone {
+                        key,
+                        t_lo,
+                        t_hi,
+                        horizon,
+                    }
+                }
             }
-            DataType::Float => TsValue::Float(f32::from_bits(u32::from_le_bytes(
-                payload.get(p..p + 4)?.try_into().ok()?,
-            ))),
-            DataType::Double => TsValue::Double(f64::from_bits(u64::from_le_bytes(
-                payload.get(p..p + 8)?.try_into().ok()?,
-            ))),
-            DataType::Boolean => TsValue::Bool(*payload.get(p)? != 0),
-            DataType::Text => {
-                let len = u32::from_le_bytes(payload.get(p..p + 4)?.try_into().ok()?) as usize;
-                p += 4;
-                let bytes = payload.get(p..p.checked_add(len)?)?;
-                TsValue::Text(std::str::from_utf8(bytes).ok()?.to_string())
-            }
+            _ => return None,
         };
         *pos = crc_pos + 4;
-        Some(WalRecord {
-            key: SeriesKey::new(device, sensor),
-            t,
-            v,
-        })
+        Some(record)
     }
 }
 
 /// Replays a WAL segment's bytes, stopping at the first torn/corrupt
-/// record. Returns the recovered records.
-pub fn replay_wal(bytes: &[u8]) -> Vec<WalRecord> {
+/// record. Returns the recovered records and how many trailing bytes
+/// were discarded — zero for a cleanly closed segment, nonzero for a
+/// torn tail or real corruption (the caller reports it through the
+/// `wal.replay_discarded_bytes` counter instead of tolerating it
+/// silently).
+pub fn replay_wal(bytes: &[u8]) -> (Vec<WalRecord>, usize) {
     let mut out = Vec::new();
     let mut pos = 0;
     while pos < bytes.len() {
@@ -157,14 +278,88 @@ pub fn replay_wal(bytes: &[u8]) -> Vec<WalRecord> {
             None => break,
         }
     }
-    out
+    (out, bytes.len() - pos)
+}
+
+const MANIFEST_NAME: &str = "MANIFEST";
+const MANIFEST_MAGIC: &str = "backsort-manifest-v1";
+
+/// The durable commit record of a persist pass: which TsFile
+/// generations are live, and the oldest WAL generation that still
+/// matters.
+///
+/// The `wal_floor` is what makes a killed rotation recover to a clean
+/// prefix: once a rotation's images are durable, its manifest raises
+/// the floor past the old segments *atomically* — recovery then ignores
+/// them even if their physical deletion never happened. Without it, a
+/// surviving old segment would replay a committed prefix of records
+/// whose newer versions are already in the adopted images, and the
+/// replayed memtable (which shadows files) would resurrect stale
+/// values.
+#[derive(Debug, PartialEq)]
+struct Manifest {
+    live_gens: HashSet<u64>,
+    wal_floor: u64,
+}
+
+/// Durably records the manifest. Written after new images, after the
+/// pending tombstones are re-logged into the floor segment, and
+/// *before* any GC — the commit point of a persist pass. CRC-guarded so
+/// a torn write reads as "no manifest".
+fn write_manifest(io: &dyn Io, dir: &Path, gens: &[u64], wal_floor: u64) -> io::Result<()> {
+    let list = gens
+        .iter()
+        .map(|g| g.to_string())
+        .collect::<Vec<_>>()
+        .join(" ");
+    let body = format!("{MANIFEST_MAGIC}\nfiles {list}\nwal-floor {wal_floor}\n");
+    let full = format!("{body}crc {:08x}\n", crc32(body.as_bytes()));
+    io.write_durable(&dir.join(MANIFEST_NAME), full.as_bytes())
+}
+
+/// Reads the manifest, or `None` if it is absent, torn or corrupt —
+/// recovery then falls back to adopting every on-disk TsFile and
+/// replaying every segment, which is safe because a manifest only goes
+/// missing before the *first* persist pass completes (afterwards each
+/// rewrite is atomic-durable): at that point no GC and no logical WAL
+/// truncation has happened yet.
+fn read_manifest(io: &dyn Io, dir: &Path) -> Option<Manifest> {
+    let bytes = io.read(&dir.join(MANIFEST_NAME)).ok()?;
+    let text = std::str::from_utf8(&bytes).ok()?;
+    let mut lines = text.lines();
+    let magic = lines.next()?;
+    if magic != MANIFEST_MAGIC {
+        return None;
+    }
+    let files_line = lines.next()?;
+    let floor_line = lines.next()?;
+    let crc_line = lines.next()?;
+    if lines.next().is_some() {
+        return None;
+    }
+    let body = format!("{magic}\n{files_line}\n{floor_line}\n");
+    let stored = u32::from_str_radix(crc_line.strip_prefix("crc ")?, 16).ok()?;
+    if crc32(body.as_bytes()) != stored {
+        return None;
+    }
+    let mut live_gens = HashSet::new();
+    for tok in files_line.strip_prefix("files ")?.split_whitespace() {
+        live_gens.insert(tok.parse().ok()?);
+    }
+    let wal_floor = floor_line.strip_prefix("wal-floor ")?.parse().ok()?;
+    Some(Manifest {
+        live_gens,
+        wal_floor,
+    })
 }
 
 /// A [`StorageEngine`] with WAL-backed durability in a directory.
 pub struct DurableEngine {
     engine: StorageEngine,
     dir: PathBuf,
-    wal: BufWriter<File>,
+    io: Arc<dyn Io>,
+    faults: Arc<FailpointRegistry>,
+    wal: Box<dyn WalFile>,
     generation: u64,
     /// Per-shard map from engine file id to the disk generation it is
     /// persisted under. Ids missing from a shard's current file set were
@@ -174,48 +369,79 @@ pub struct DurableEngine {
     persisted: Vec<HashMap<u64, u64>>,
     /// Cached registry handles — the WAL append sits on the durable
     /// write path, so it must not take the registry's name-map lock.
-    wal_appends: std::sync::Arc<backsort_obs::Counter>,
-    wal_bytes: std::sync::Arc<backsort_obs::Counter>,
+    wal_appends: Arc<backsort_obs::Counter>,
+    wal_bytes: Arc<backsort_obs::Counter>,
 }
 
 impl DurableEngine {
-    /// Opens (creating or recovering) a durable engine in `dir`.
+    /// Opens (creating or recovering) a durable engine in `dir`, on the
+    /// real file system. Failpoints arm from the `BACKSORT_FAULTS`
+    /// environment variable (unset ⇒ all disarmed).
     pub fn open(dir: impl AsRef<Path>, config: EngineConfig) -> io::Result<Self> {
-        let dir = dir.as_ref().to_path_buf();
-        fs::create_dir_all(&dir)?;
-        let engine = StorageEngine::new(config);
+        Self::open_with(dir, config, Arc::new(RealIo), FailpointRegistry::from_env())
+    }
 
-        // Adopt persisted TsFiles, oldest generation first.
-        let mut tsfiles: Vec<(u64, PathBuf)> = Vec::new();
-        let mut wals: Vec<(u64, PathBuf)> = Vec::new();
-        for entry in fs::read_dir(&dir)? {
-            let path = entry?.path();
-            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
-                continue;
-            };
+    /// Opens a durable engine over an injected [`Io`] sink and failpoint
+    /// registry — the crash-matrix harness passes a
+    /// [`SimIo`](backsort_faults::sim::SimIo) sharing the registry, so
+    /// armed sites can fire either in the engine's control flow or at
+    /// byte granularity inside the sink.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        config: EngineConfig,
+        io: Arc<dyn Io>,
+        faults: Arc<FailpointRegistry>,
+    ) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        io.create_dir_all(&dir)?;
+        let engine = StorageEngine::with_instrumentation(
+            config,
+            Arc::new(Registry::new()),
+            Arc::clone(&faults),
+        );
+
+        // Scan the directory for persisted TsFiles and WAL segments.
+        let mut tsfiles: Vec<(u64, String)> = Vec::new();
+        let mut wals: Vec<(u64, String)> = Vec::new();
+        for name in io.list_dir(&dir)? {
             if let Some(gen) = name
                 .strip_prefix("tsfile-")
                 .and_then(|s| s.strip_suffix(".bstf"))
                 .and_then(|s| s.parse().ok())
             {
-                tsfiles.push((gen, path));
+                tsfiles.push((gen, name));
             } else if let Some(gen) = name
                 .strip_prefix("wal-")
                 .and_then(|s| s.strip_suffix(".log"))
                 .and_then(|s| s.parse().ok())
             {
-                wals.push((gen, path));
+                wals.push((gen, name));
             }
         }
         tsfiles.sort();
         wals.sort();
 
+        // Adopt persisted TsFiles, oldest generation first, filtered by
+        // the manifest's live set: a generation on disk but not in the
+        // manifest is either a GC survivor (compaction inputs whose
+        // deletion was interrupted — adopting them would resurrect
+        // deleted points) or an image persisted by a rotation whose
+        // manifest commit never happened (its records are still covered
+        // by the replayed WAL segments). Both are removed.
+        let manifest = read_manifest(io.as_ref(), &dir);
+        let wal_floor = manifest.as_ref().map_or(0, |m| m.wal_floor);
         let mut persisted: Vec<HashMap<u64, u64>> = vec![HashMap::new(); engine.shard_count()];
         let mut max_gen = 0u64;
-        for (gen, path) in &tsfiles {
+        for (gen, name) in &tsfiles {
             max_gen = max_gen.max(*gen);
-            let mut bytes = Vec::new();
-            File::open(path)?.read_to_end(&mut bytes)?;
+            let path = dir.join(name);
+            if let Some(manifest) = &manifest {
+                if !manifest.live_gens.contains(gen) {
+                    let _ = io.remove(&path);
+                    continue;
+                }
+            }
+            let bytes = io.read(&path)?;
             match engine.adopt_file(bytes) {
                 Some(installed) => {
                     // Already on disk under this generation; only later
@@ -228,63 +454,135 @@ impl DurableEngine {
                     // A torn tsfile write: ignore it; its WAL segment
                     // (which we only delete after a complete persist)
                     // will replay.
-                    let _ = fs::remove_file(path);
+                    let _ = io.remove(&path);
                 }
             }
         }
+        faults.hit(fault_sites::STORE_OPEN_AFTER_ADOPT)?;
 
-        // Replay surviving WAL segments into the memtables. The engine
-        // routes each record to its device's shard exactly as the
-        // original write did. The segments stay on disk until the
-        // replayed data is persisted below — deleting them here would
-        // lose the data to a crash mid-open.
-        for (gen, path) in &wals {
+        // Replay live WAL segments (at or above the manifest's floor)
+        // into the memtables. The engine routes each record to its
+        // device's shard exactly as the original write did. Segments
+        // below the floor are logically dead — their surviving records
+        // are stale duplicates of data already in the adopted images —
+        // and are only physically deleted at the end. Live segments
+        // stay on disk until the replayed data is persisted below;
+        // deleting them here would lose the data to a crash mid-open.
+        let mut discarded_total = 0usize;
+        for (gen, name) in &wals {
             max_gen = max_gen.max(*gen);
-            let mut bytes = Vec::new();
-            File::open(path)?.read_to_end(&mut bytes)?;
-            for rec in replay_wal(&bytes) {
-                // Recovery writes must not trigger re-flushing mid-replay
-                // in a surprising order; regular write handles rotation
-                // correctly anyway.
-                let _ = engine.write(&rec.key, rec.t, rec.v.clone());
+            if *gen < wal_floor {
+                continue;
+            }
+            let bytes = io.read(&dir.join(name))?;
+            let (records, discarded) = replay_wal(&bytes);
+            discarded_total += discarded;
+            for rec in records {
+                match rec {
+                    // Recovery writes must not trigger re-flushing
+                    // mid-replay in a surprising order; regular write
+                    // handles rotation correctly anyway.
+                    WalRecord::Point { key, t, v } => {
+                        let _ = engine.write(&key, t, v);
+                    }
+                    WalRecord::Delete {
+                        key,
+                        t_lo,
+                        t_hi,
+                        horizon,
+                    } => {
+                        let _ =
+                            engine.apply_delete_with_horizon(&key, t_lo, t_hi, horizon as usize);
+                    }
+                    // Mask-only: a re-logged tombstone replays after the
+                    // records of writes issued after the original delete
+                    // and must not erase them from the memtables.
+                    WalRecord::Tombstone {
+                        key,
+                        t_lo,
+                        t_hi,
+                        horizon,
+                    } => {
+                        engine.restore_tombstone(&key, t_lo, t_hi, horizon as usize);
+                    }
+                }
             }
         }
+        if discarded_total > 0 {
+            engine
+                .obs()
+                .counter(backsort_obs::names::WAL_REPLAY_DISCARDED_BYTES)
+                .add(discarded_total as u64);
+        }
+        faults.hit(fault_sites::STORE_OPEN_AFTER_REPLAY)?;
+
         // Anything replayed sits in memtables again and is still covered
         // only by the old segments — flush it to files right away, then
-        // the segments can go.
+        // commit a manifest whose floor retires those segments.
         let mut generation = max_gen;
         let (w, u) = engine.buffered_points();
         if w + u > 0 {
             engine.flush();
             engine.flush_unseq();
         }
-        sync_files_to_disk(&engine, &dir, &mut generation, &mut persisted)?;
-        for (_, path) in &wals {
-            let _ = fs::remove_file(path);
-        }
+        let dropped = write_images(
+            &engine,
+            io.as_ref(),
+            &faults,
+            &dir,
+            &mut generation,
+            &mut persisted,
+        )?;
         let generation = generation + 1;
-        let wal = BufWriter::new(
-            OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(dir.join(format!("wal-{generation}.log")))?,
-        );
+        let wal = io.open_append(&dir.join(format!("wal-{generation}.log")))?;
         let wal_appends = engine.obs().counter(backsort_obs::names::WAL_APPENDS);
         let wal_bytes = engine.obs().counter(backsort_obs::names::WAL_BYTES);
-        Ok(Self {
+        let mut this = Self {
             engine,
             dir,
+            io,
+            faults,
             wal,
             generation,
             persisted,
             wal_appends,
             wal_bytes,
-        })
+        };
+        // Replayed deletes recreated pending tombstones whose only
+        // durable record is the segments about to be retired: re-log
+        // them into the fresh floor segment *before* the manifest commit
+        // makes the old segments dead.
+        this.log_pending_tombstones()?;
+        commit_manifest_and_gc(
+            this.io.as_ref(),
+            &this.faults,
+            &this.dir,
+            &this.persisted,
+            dropped,
+            this.generation,
+        )?;
+        this.faults.hit(fault_sites::STORE_OPEN_BEFORE_WAL_DELETE)?;
+        for (gen, name) in &wals {
+            if *gen < this.generation {
+                let _ = this.io.remove(&this.dir.join(name));
+            }
+        }
+        Ok(this)
     }
 
     /// The wrapped engine (for queries, aggregation, metrics).
     pub fn engine(&self) -> &StorageEngine {
         &self.engine
+    }
+
+    /// Encodes and appends one record to the active WAL segment.
+    fn append_record(&mut self, record: &WalRecord) -> io::Result<()> {
+        let mut frame = Vec::with_capacity(64);
+        record.encode_into(&mut frame);
+        self.wal.append(&frame)?;
+        self.wal_appends.inc();
+        self.wal_bytes.add(frame.len() as u64);
+        Ok(())
     }
 
     /// Durably writes one point: WAL first, then the memtable. On a
@@ -295,22 +593,40 @@ impl DurableEngine {
         t: i64,
         v: TsValue,
     ) -> io::Result<Option<FlushMetrics>> {
-        let mut frame = Vec::with_capacity(64);
-        let record = WalRecord {
+        let record = WalRecord::Point {
             key: key.clone(),
             t,
             v,
         };
-        record.encode_into(&mut frame);
-        self.wal.write_all(&frame)?;
-        self.wal_appends.inc();
-        self.wal_bytes.add(frame.len() as u64);
-
-        let flushed = self.engine.write(key, t, record.v);
+        self.append_record(&record)?;
+        self.faults.hit(fault_sites::STORE_WRITE_AFTER_WAL)?;
+        let WalRecord::Point { v, .. } = record else {
+            unreachable!()
+        };
+        let flushed = self.engine.write(key, t, v);
         if flushed.is_some() {
             self.persist_and_rotate()?;
         }
         Ok(flushed)
+    }
+
+    /// Durably deletes all points of `key` in `[t_lo, t_hi]`: the
+    /// tombstone is recorded in the engine (capturing the exact file
+    /// horizon), then logged to the WAL. A crash between the two loses
+    /// an unacknowledged delete — never an acknowledged one, and never a
+    /// previously acknowledged write. Returns how many in-memory points
+    /// were removed.
+    pub fn delete_range(&mut self, key: &SeriesKey, t_lo: i64, t_hi: i64) -> io::Result<usize> {
+        let (removed, horizon) = self.engine.delete_range_with_horizon(key, t_lo, t_hi);
+        let record = WalRecord::Delete {
+            key: key.clone(),
+            t_lo,
+            t_hi,
+            horizon: horizon.min(u32::MAX as usize) as u32,
+        };
+        self.append_record(&record)?;
+        self.faults.hit(fault_sites::STORE_DELETE_AFTER_WAL)?;
+        Ok(removed)
     }
 
     /// Durably flushes everything buffered.
@@ -319,9 +635,40 @@ impl DurableEngine {
         self.persist_and_rotate()
     }
 
+    /// Re-logs every still-pending tombstone into the active segment and
+    /// syncs it. Until compaction applies a tombstone physically, the
+    /// WAL is its only durable record — so each fresh segment must carry
+    /// the pending set before the segments that logged it originally are
+    /// truncated.
+    fn log_pending_tombstones(&mut self) -> io::Result<()> {
+        let mut any = false;
+        for shard in 0..self.engine.shard_count() {
+            for (tomb, horizon) in self.engine.pending_tombstones(shard) {
+                let record = WalRecord::Tombstone {
+                    key: tomb.key,
+                    t_lo: tomb.t_lo,
+                    t_hi: tomb.t_hi,
+                    horizon: horizon.min(u32::MAX as usize) as u32,
+                };
+                self.append_record(&record)?;
+                any = true;
+            }
+        }
+        if any {
+            self.wal.sync()?;
+        }
+        Ok(())
+    }
+
     fn persist_and_rotate(&mut self) -> io::Result<()> {
         let span_start = std::time::Instant::now();
-        self.wal.flush()?;
+        self.faults.hit(fault_sites::STORE_ROTATE_BEGIN)?;
+        // Commit the outgoing segment before any persist work. If the
+        // pass dies after writing images but before its manifest commit,
+        // recovery discards those images (not yet live) and must be able
+        // to rebuild their content from this segment — which it can only
+        // do if the records survived the crash.
+        self.wal.sync()?;
         // A WAL segment interleaves every shard's records, so before any
         // segment is deleted *all* shards' buffered data must reach
         // persisted files: flush each non-empty working memtable (the
@@ -329,36 +676,55 @@ impl DurableEngine {
         // every unsequence buffer, then write out the new images.
         self.engine.flush_dirty();
         self.engine.flush_unseq();
-        sync_files_to_disk(
+        self.faults.hit(fault_sites::STORE_ROTATE_AFTER_FLUSH)?;
+        let dropped = write_images(
             &self.engine,
+            self.io.as_ref(),
+            &self.faults,
             &self.dir,
             &mut self.generation,
             &mut self.persisted,
         )?;
-        // Rotate the WAL: older segments are now redundant.
+        // Rotate the WAL. The old segments stay *live* until the
+        // manifest commit below raises the floor past them — and before
+        // that commit, any still-pending tombstones (whose only durable
+        // record sits in those old segments) are re-logged into the new
+        // segment and synced.
         self.generation += 1;
-        let new_wal = BufWriter::new(
-            OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(self.dir.join(format!("wal-{}.log", self.generation)))?,
-        );
+        let new_wal = self
+            .io
+            .open_append(&self.dir.join(format!("wal-{}.log", self.generation)))?;
         let old = std::mem::replace(&mut self.wal, new_wal);
         drop(old);
-        for entry in fs::read_dir(&self.dir)? {
-            let path = entry?.path();
-            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
-                continue;
-            };
-            if let Some(gen) = name
-                .strip_prefix("wal-")
-                .and_then(|s| s.strip_suffix(".log"))
-                .and_then(|s| s.parse::<u64>().ok())
-            {
-                if gen < self.generation {
-                    let _ = fs::remove_file(path);
-                }
-            }
+        self.log_pending_tombstones()?;
+        commit_manifest_and_gc(
+            self.io.as_ref(),
+            &self.faults,
+            &self.dir,
+            &self.persisted,
+            dropped,
+            self.generation,
+        )?;
+        // Truncate stale segments strictly oldest-first: a crash mid-loop
+        // then leaves a *suffix* of segments, so a surviving re-logged
+        // tombstone record implies every later record survived too —
+        // replay can re-apply the delete without losing newer writes.
+        let mut stale: Vec<u64> = self
+            .io
+            .list_dir(&self.dir)?
+            .into_iter()
+            .filter_map(|name| {
+                name.strip_prefix("wal-")?
+                    .strip_suffix(".log")?
+                    .parse()
+                    .ok()
+            })
+            .filter(|gen| *gen < self.generation)
+            .collect();
+        stale.sort_unstable();
+        for gen in stale {
+            self.faults.hit(fault_sites::STORE_ROTATE_TRUNCATE)?;
+            let _ = self.io.remove(&self.dir.join(format!("wal-{gen}.log")));
         }
         let obs = self.engine.obs();
         obs.counter(backsort_obs::names::WAL_ROTATIONS).inc();
@@ -375,32 +741,36 @@ impl DurableEngine {
         self.engine.query(key, t_lo, t_hi)
     }
 
-    /// Syncs the WAL to the OS; call before relying on durability of
-    /// unflushed points.
+    /// Durability barrier: fsyncs the WAL. On `Ok`, everything written
+    /// so far survives a crash; on `Err`, nothing since the previous
+    /// successful barrier may be assumed durable (a failed fsync leaves
+    /// the page cache in an unknown state — do not ack).
     pub fn sync(&mut self) -> io::Result<()> {
-        self.wal.flush()?;
-        self.wal.get_ref().sync_data()
+        self.faults.hit(fault_sites::STORE_SYNC)?;
+        self.wal.sync()
     }
 }
 
-/// Brings the on-disk `tsfile-<gen>.bstf` set in line with the engine's
-/// current file images, keyed by file id.
+/// Phase one of a persist pass: writes every not-yet-persisted file
+/// image durably under a fresh generation, keyed by file id.
 ///
-/// First every not-yet-persisted image is written under a fresh
-/// generation (walking shards in ascending order, each shard's files
-/// oldest first — a rotation's sequence file always gets a lower
-/// generation than the unsequence file flushed right after it, and a
-/// compacted file a lower one than anything flushed after the
-/// compaction, so adoption order at recovery preserves last-write-wins).
-/// Only then are disk files whose ids no longer exist in any shard
-/// deleted (compaction leftovers); deleting before writing would lose
-/// the merged data to a crash between the two steps.
-fn sync_files_to_disk(
+/// Shards are walked in ascending order, each shard's files oldest
+/// first — a rotation's sequence file always gets a lower generation
+/// than the unsequence file flushed right after it, and a compacted
+/// file a lower one than anything flushed after the compaction, so
+/// adoption order at recovery preserves last-write-wins. Returns the
+/// generations of files compaction merged away (no longer referenced by
+/// any id), for [`commit_manifest_and_gc`] to collect *after* the
+/// manifest commit.
+fn write_images(
     engine: &StorageEngine,
+    io: &dyn Io,
+    faults: &FailpointRegistry,
     dir: &Path,
     generation: &mut u64,
     persisted: &mut [HashMap<u64, u64>],
-) -> io::Result<()> {
+) -> io::Result<Vec<u64>> {
+    let mut first_written = false;
     for (shard, done) in persisted.iter_mut().enumerate() {
         for id in engine.shard_file_ids(shard) {
             if done.contains_key(&id) {
@@ -410,29 +780,58 @@ fn sync_files_to_disk(
             // the merged file then carries the data under its own id.
             if let Some(image) = engine.file_image(shard, id) {
                 *generation += 1;
-                fs::write(dir.join(format!("tsfile-{generation}.bstf")), image)?;
+                io.write_durable(&dir.join(format!("tsfile-{generation}.bstf")), &image)?;
                 done.insert(id, *generation);
+                if !first_written {
+                    first_written = true;
+                    faults.hit(fault_sites::STORE_PERSIST_AFTER_FIRST_WRITE)?;
+                }
             }
         }
     }
-    // Forget ids compaction merged away; delete their disk files once no
-    // shard references the generation anymore (a multi-device file
-    // adopted into several shards shares one generation).
-    let mut dropped: Vec<u64> = Vec::new();
+    // Forget ids compaction merged away; a generation is dropped only
+    // once no shard references it anymore (a multi-device file adopted
+    // into several shards shares one).
+    let mut dropped_gens: Vec<u64> = Vec::new();
     for (shard, done) in persisted.iter_mut().enumerate() {
         let live: HashSet<u64> = engine.shard_file_ids(shard).into_iter().collect();
         done.retain(|id, gen| {
             if live.contains(id) {
                 true
             } else {
-                dropped.push(*gen);
+                dropped_gens.push(*gen);
                 false
             }
         });
     }
-    for gen in dropped {
-        if !persisted.iter().any(|m| m.values().any(|g| *g == gen)) {
-            let _ = fs::remove_file(dir.join(format!("tsfile-{gen}.bstf")));
+    Ok(dropped_gens)
+}
+
+/// Phase two: durably commits the manifest (live file generations plus
+/// the WAL floor), then garbage-collects disk files no shard references
+/// anymore. The manifest write is the commit point of the whole pass —
+/// GC before it would let a crash in between resurrect compaction
+/// inputs at recovery, with their tombstones already consumed by the
+/// compaction.
+fn commit_manifest_and_gc(
+    io: &dyn Io,
+    faults: &FailpointRegistry,
+    dir: &Path,
+    persisted: &[HashMap<u64, u64>],
+    mut dropped_gens: Vec<u64>,
+    wal_floor: u64,
+) -> io::Result<()> {
+    let mut live_gens: Vec<u64> = persisted.iter().flat_map(|m| m.values().copied()).collect();
+    live_gens.sort_unstable();
+    live_gens.dedup();
+    write_manifest(io, dir, &live_gens, wal_floor)?;
+    faults.hit(fault_sites::STORE_PERSIST_BEFORE_GC)?;
+    dropped_gens.sort_unstable();
+    dropped_gens.dedup();
+    for gen in dropped_gens {
+        if live_gens.binary_search(&gen).is_err() {
+            faults.hit(fault_sites::STORE_PERSIST_GC)?;
+            let _ = io.remove(&dir.join(format!("tsfile-{gen}.bstf")));
         }
     }
     Ok(())
@@ -442,6 +841,7 @@ fn sync_files_to_disk(
 mod tests {
     use super::*;
     use backsort_core::Algorithm;
+    use std::fs;
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("backsort-store-{tag}-{}", std::process::id()));
@@ -462,6 +862,10 @@ mod tests {
         SeriesKey::new("root.sg.d1", "s1")
     }
 
+    fn point(t: i64, v: TsValue) -> WalRecord {
+        WalRecord::Point { key: key(), t, v }
+    }
+
     #[test]
     fn crc32_known_vectors() {
         assert_eq!(crc32(b""), 0);
@@ -480,65 +884,98 @@ mod tests {
             TsValue::Float(2.5),
             TsValue::Double(-0.125),
             TsValue::Bool(true),
+            TsValue::Text("état du capteur".to_string()),
         ];
         let mut buf = Vec::new();
         for (i, v) in values.iter().enumerate() {
-            WalRecord {
-                key: key(),
-                t: i as i64,
-                v: v.clone(),
-            }
-            .encode_into(&mut buf);
+            point(i as i64, v.clone()).encode_into(&mut buf);
         }
-        let recs = replay_wal(&buf);
+        let (recs, discarded) = replay_wal(&buf);
+        assert_eq!(discarded, 0);
         assert_eq!(recs.len(), values.len());
         for (i, rec) in recs.iter().enumerate() {
-            assert_eq!(rec.t, i as i64);
-            assert_eq!(&rec.v, &values[i]);
-            assert_eq!(rec.key, key());
+            assert_eq!(rec, &point(i as i64, values[i].clone()));
         }
+    }
+
+    #[test]
+    fn wal_delete_record_roundtrips() {
+        let mut buf = Vec::new();
+        let del = WalRecord::Delete {
+            key: key(),
+            t_lo: -5,
+            t_hi: 1 << 33,
+            horizon: 7,
+        };
+        del.encode_into(&mut buf);
+        point(1, TsValue::Int(1)).encode_into(&mut buf);
+        let relog = WalRecord::Tombstone {
+            key: key(),
+            t_lo: -5,
+            t_hi: 1 << 33,
+            horizon: 7,
+        };
+        relog.encode_into(&mut buf);
+        let (recs, discarded) = replay_wal(&buf);
+        assert_eq!(discarded, 0);
+        assert_eq!(recs, vec![del, point(1, TsValue::Int(1)), relog]);
     }
 
     #[test]
     fn torn_tail_stops_replay_cleanly() {
         let mut buf = Vec::new();
-        WalRecord {
-            key: key(),
-            t: 1,
-            v: TsValue::Int(1),
-        }
-        .encode_into(&mut buf);
-        WalRecord {
-            key: key(),
-            t: 2,
-            v: TsValue::Int(2),
-        }
-        .encode_into(&mut buf);
+        point(1, TsValue::Int(1)).encode_into(&mut buf);
+        point(2, TsValue::Int(2)).encode_into(&mut buf);
         // Simulate a crash mid-write of record 3.
         let mut partial = Vec::new();
-        WalRecord {
-            key: key(),
-            t: 3,
-            v: TsValue::Int(3),
-        }
-        .encode_into(&mut partial);
-        buf.extend_from_slice(&partial[..partial.len() / 2]);
-        let recs = replay_wal(&buf);
+        point(3, TsValue::Int(3)).encode_into(&mut partial);
+        let torn = partial.len() / 2;
+        buf.extend_from_slice(&partial[..torn]);
+        let (recs, discarded) = replay_wal(&buf);
         assert_eq!(recs.len(), 2);
+        assert_eq!(discarded, torn, "exactly the torn tail is discarded");
     }
 
     #[test]
     fn corrupt_crc_stops_replay() {
         let mut buf = Vec::new();
-        WalRecord {
-            key: key(),
-            t: 1,
-            v: TsValue::Int(1),
-        }
-        .encode_into(&mut buf);
+        point(1, TsValue::Int(1)).encode_into(&mut buf);
         let n = buf.len();
         buf[n - 1] ^= 0xFF;
-        assert!(replay_wal(&buf).is_empty());
+        let (recs, discarded) = replay_wal(&buf);
+        assert!(recs.is_empty());
+        assert_eq!(discarded, n);
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_rejects_corruption() {
+        let io = RealIo;
+        let dir = tmpdir("manifest");
+        io.create_dir_all(&dir).unwrap();
+        write_manifest(&io, &dir, &[3, 7, 12], 13).unwrap();
+        assert_eq!(
+            read_manifest(&io, &dir),
+            Some(Manifest {
+                live_gens: [3u64, 7, 12].into_iter().collect(),
+                wal_floor: 13,
+            })
+        );
+        // An empty generation set is a valid manifest.
+        write_manifest(&io, &dir, &[], 1).unwrap();
+        assert_eq!(
+            read_manifest(&io, &dir),
+            Some(Manifest {
+                live_gens: HashSet::new(),
+                wal_floor: 1,
+            })
+        );
+        // Any corruption (here: a flipped byte) reads as "no manifest".
+        let path = dir.join(MANIFEST_NAME);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[0] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(read_manifest(&io, &dir), None);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -576,6 +1013,54 @@ mod tests {
         for _ in 0..2 {
             let eng = DurableEngine::open(&dir, config(30)).unwrap();
             assert_eq!(eng.query(&key(), 0, 100).len(), 75);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deletes_survive_restart() {
+        let dir = tmpdir("delete");
+        {
+            let mut eng = DurableEngine::open(&dir, config(25)).unwrap();
+            for t in 0..60i64 {
+                eng.write(&key(), t, TsValue::Long(t)).unwrap(); // 2 files + WAL tail
+            }
+            // Covers flushed files (via tombstone) and memtable points.
+            let removed = eng.delete_range(&key(), 10, 54).unwrap();
+            assert!(removed > 0);
+            eng.sync().unwrap();
+        }
+        for _ in 0..2 {
+            let eng = DurableEngine::open(&dir, config(25)).unwrap();
+            let got = eng.query(&key(), i64::MIN, i64::MAX);
+            let times: Vec<i64> = got.iter().map(|(t, _)| *t).collect();
+            let want: Vec<i64> = (0..10).chain(55..60).collect();
+            assert_eq!(times, want, "deleted range stays deleted after reopen");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delete_then_write_survives_restart() {
+        let dir = tmpdir("delete-rewrite");
+        {
+            let mut eng = DurableEngine::open(&dir, config(25)).unwrap();
+            for t in 0..30i64 {
+                eng.write(&key(), t, TsValue::Long(t)).unwrap();
+            }
+            eng.delete_range(&key(), 0, 100).unwrap();
+            // Re-written points arrive after the delete and must
+            // survive replay (the logged horizon excludes their file).
+            for t in 5..15i64 {
+                eng.write(&key(), t, TsValue::Long(-t)).unwrap();
+            }
+            eng.sync().unwrap();
+        }
+        let eng = DurableEngine::open(&dir, config(25)).unwrap();
+        let got = eng.query(&key(), i64::MIN, i64::MAX);
+        assert_eq!(got.len(), 10);
+        for (t, v) in got {
+            assert_eq!(v, TsValue::Long(-t), "re-written value wins at t={t}");
         }
         let _ = fs::remove_dir_all(&dir);
     }

@@ -1,0 +1,32 @@
+//! CI gate: the full deterministic crash matrix, at one shard and at
+//! four. Every registered failpoint is armed in every meaningful fault
+//! mode; after each injected crash the store must recover to a state
+//! the durability oracle accepts (no acked write lost, nothing
+//! invented, reopen idempotent). See `backsort_engine::crashtest`.
+
+use backsort_engine::crashtest::run_matrix;
+
+/// Fixed seed so CI failures reproduce locally byte-for-byte:
+/// `cargo test --release -p backsort-engine --test crash_matrix`.
+const SEED: u64 = 0xB5EE_D001;
+
+fn assert_matrix(shards: usize) {
+    let outcome = run_matrix(shards, SEED);
+    assert!(
+        outcome.failures.is_empty(),
+        "crash matrix failed {}/{} cases:\n{}",
+        outcome.failures.len(),
+        outcome.cases,
+        outcome.failures.join("\n"),
+    );
+}
+
+#[test]
+fn crash_matrix_single_shard() {
+    assert_matrix(1);
+}
+
+#[test]
+fn crash_matrix_four_shards() {
+    assert_matrix(4);
+}

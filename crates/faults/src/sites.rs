@@ -1,0 +1,104 @@
+//! The failpoint site catalog — the single source of truth for every
+//! named crash site in the durability stack, mirroring the metric-name
+//! catalog in `backsort_obs::names`.
+//!
+//! The crash-matrix harness enumerates [`ALL`] and fails if any site was
+//! never exercised, so a refactor that silently drops an instrumented
+//! site breaks CI the same way dropping a metric breaks `obs_check`.
+//!
+//! Naming convention: `<layer>.<operation>.<step>`. Sites under `io.`
+//! are byte-granularity faults applied *inside* the simulated disk
+//! ([`crate::sim::SimIo`]); everything else is a control-flow failpoint
+//! the engine passes through via [`crate::FailpointRegistry::hit`] /
+//! [`kill_point`](crate::FailpointRegistry::kill_point).
+
+/// After a point's WAL frame is appended, before the memtable insert.
+/// Models: crash between logging and applying a write.
+pub const STORE_WRITE_AFTER_WAL: &str = "store.write.after_wal";
+/// After a delete's tombstone is applied and its WAL frame appended,
+/// before the caller is acked. Models: crash right after a delete.
+pub const STORE_DELETE_AFTER_WAL: &str = "store.delete.after_wal";
+/// Entry of `persist_and_rotate`, before anything is flushed.
+/// Models: crash at the rotation decision point.
+pub const STORE_ROTATE_BEGIN: &str = "store.rotate.begin";
+/// After every shard's memtables flushed, before images persist.
+/// Models: crash with flushed-but-unpersisted file images.
+pub const STORE_ROTATE_AFTER_FLUSH: &str = "store.rotate.after_flush";
+/// Before each obsolete WAL segment is removed post-rotation.
+/// Models: crash mid-truncation leaving stale segments behind.
+pub const STORE_ROTATE_TRUNCATE: &str = "store.rotate.truncate";
+/// After the first TsFile image of a persist pass is written.
+/// Models: crash with a partially persisted generation set.
+pub const STORE_PERSIST_AFTER_FIRST_WRITE: &str = "store.persist.after_first_write";
+/// After all images and the manifest are durable, before GC starts.
+/// Models: crash between commit point and stale-file cleanup.
+pub const STORE_PERSIST_BEFORE_GC: &str = "store.persist.before_gc";
+/// Before each stale on-disk generation is removed during GC.
+/// Models: crash mid-GC (the write-before-delete ordering under test).
+pub const STORE_PERSIST_GC: &str = "store.persist.gc";
+/// During recovery, after on-disk TsFiles are adopted, before WAL replay.
+/// Models: crash in the middle of a restart.
+pub const STORE_OPEN_AFTER_ADOPT: &str = "store.open.after_adopt";
+/// During recovery, after WAL replay, before the recovered state is
+/// re-persisted. Models: crash after replay work, before it's durable.
+pub const STORE_OPEN_AFTER_REPLAY: &str = "store.open.after_replay";
+/// During recovery, before replayed WAL segments are deleted.
+/// Models: crash after re-persist, mid-cleanup (segments must be
+/// harmless to replay twice).
+pub const STORE_OPEN_BEFORE_WAL_DELETE: &str = "store.open.before_wal_delete";
+/// Entry of `DurableEngine::sync` — the explicit durability barrier.
+/// Models: fsync failure (fsyncgate): the caller must not ack.
+pub const STORE_SYNC: &str = "store.sync";
+
+/// In the engine's locked flush path, after the working memtable
+/// rotated into the flushing slot, before encoding. Kill-only.
+pub const FLUSH_ROTATE: &str = "flush.rotate";
+/// In `complete_flush` (the async flusher worker's path), after the
+/// image is encoded, before it is installed in the shard. Kill-only.
+pub const FLUSH_COMPLETE_BEFORE_INSTALL: &str = "flush.complete.before_install";
+
+/// After compaction removed the input files from the shard (in memory),
+/// before the merged image exists. Kill-only.
+pub const COMPACTION_AFTER_TAKE: &str = "compaction.after_take";
+/// After the merged image is built, before it is restored into the
+/// shard. Kill-only.
+pub const COMPACTION_BEFORE_RESTORE: &str = "compaction.before_restore";
+
+/// Byte-granularity: a WAL frame append inside the `Io` sink.
+/// `short` commits a torn prefix of the frame then dies; `flip` commits
+/// the frame with one bit flipped then dies.
+pub const IO_WAL_APPEND: &str = "io.wal.append";
+/// Byte-granularity: the WAL fsync. `error` fails the sync and commits
+/// nothing — the lost-sync case; the caller must surface it.
+pub const IO_WAL_SYNC: &str = "io.wal.sync";
+/// Byte-granularity: a TsFile image write. `short` leaves a torn image
+/// on disk then dies (recovery must detect and drop it).
+pub const IO_TSFILE_WRITE: &str = "io.tsfile.write";
+/// Byte-granularity: the manifest write. `short` leaves a torn manifest
+/// then dies (recovery must fall back to adopt-everything).
+pub const IO_MANIFEST_WRITE: &str = "io.manifest.write";
+
+/// Every registered failpoint site. The crash matrix enumerates this
+/// list and fails on any site it could not exercise.
+pub const ALL: &[&str] = &[
+    STORE_WRITE_AFTER_WAL,
+    STORE_DELETE_AFTER_WAL,
+    STORE_ROTATE_BEGIN,
+    STORE_ROTATE_AFTER_FLUSH,
+    STORE_ROTATE_TRUNCATE,
+    STORE_PERSIST_AFTER_FIRST_WRITE,
+    STORE_PERSIST_BEFORE_GC,
+    STORE_PERSIST_GC,
+    STORE_OPEN_AFTER_ADOPT,
+    STORE_OPEN_AFTER_REPLAY,
+    STORE_OPEN_BEFORE_WAL_DELETE,
+    STORE_SYNC,
+    FLUSH_ROTATE,
+    FLUSH_COMPLETE_BEFORE_INSTALL,
+    COMPACTION_AFTER_TAKE,
+    COMPACTION_BEFORE_RESTORE,
+    IO_WAL_APPEND,
+    IO_WAL_SYNC,
+    IO_TSFILE_WRITE,
+    IO_MANIFEST_WRITE,
+];

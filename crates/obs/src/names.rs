@@ -62,6 +62,10 @@ pub const WAL_BYTES: &str = "wal.bytes";
 pub const WAL_APPENDS: &str = "wal.appends";
 /// WAL segment rotations (persist + truncate cycles; counter).
 pub const WAL_ROTATIONS: &str = "wal.rotations";
+/// Trailing bytes discarded by WAL replay at the first torn or corrupt
+/// record (counter). Nonzero after a recovery means the log really was
+/// damaged — visible corruption instead of silent tolerance.
+pub const WAL_REPLAY_DISCARDED_BYTES: &str = "wal.replay_discarded_bytes";
 
 /// Compaction passes run (counter).
 pub const COMPACTION_RUNS: &str = "compaction.runs";
@@ -123,6 +127,7 @@ pub const REQUIRED: &[&str] = &[
     WAL_BYTES,
     WAL_APPENDS,
     WAL_ROTATIONS,
+    WAL_REPLAY_DISCARDED_BYTES,
     COMPACTION_RUNS,
     COMPACTION_BYTES_IN,
     COMPACTION_BYTES_OUT,
