@@ -1,0 +1,162 @@
+//! `analyzer.toml` — a hand-rolled parser for the small TOML subset the
+//! analyzer needs: `[section.sub]` headers, string / bool / string-array
+//! values, and `#` comments. Anything fancier is a parse error, loudly.
+
+use std::collections::BTreeMap;
+
+/// A configuration value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// An array of quoted strings.
+    List(Vec<String>),
+}
+
+/// Parsed configuration: `section -> key -> value`, with nested section
+/// names joined by `.` (so `[lint.lock-scope]` is the section
+/// `"lint.lock-scope"`).
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    sections: BTreeMap<String, BTreeMap<String, Value>>,
+}
+
+impl Config {
+    /// Parses the TOML subset; errors carry the offending line number.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = idx + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                cfg.sections.entry(section.clone()).or_default();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("analyzer.toml:{lineno}: expected `key = value`"));
+            };
+            let value =
+                parse_value(value.trim()).map_err(|e| format!("analyzer.toml:{lineno}: {e}"))?;
+            cfg.sections
+                .entry(section.clone())
+                .or_default()
+                .insert(key.trim().to_string(), value);
+        }
+        Ok(cfg)
+    }
+
+    /// String value at `section` / `key`.
+    pub fn str(&self, section: &str, key: &str) -> Option<&str> {
+        match self.sections.get(section)?.get(key)? {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool value, with a default.
+    pub fn bool_or(&self, section: &str, key: &str, default: bool) -> bool {
+        match self.sections.get(section).and_then(|s| s.get(key)) {
+            Some(Value::Bool(b)) => *b,
+            _ => default,
+        }
+    }
+
+    /// String-list value; empty slice when absent.
+    pub fn list(&self, section: &str, key: &str) -> &[String] {
+        match self.sections.get(section).and_then(|s| s.get(key)) {
+            Some(Value::List(l)) => l,
+            _ => &[],
+        }
+    }
+
+    /// Whether a section exists at all.
+    pub fn has_section(&self, section: &str) -> bool {
+        self.sections.contains_key(section)
+    }
+}
+
+fn parse_value(v: &str) -> Result<Value, String> {
+    if v == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if v == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(s) = parse_str(v) {
+        return Ok(Value::Str(s));
+    }
+    if let Some(body) = v.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| "unterminated array".to_string())?;
+        let mut items = Vec::new();
+        for item in split_top_level(body) {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            items.push(
+                parse_str(item).ok_or_else(|| format!("expected string in array: `{item}`"))?,
+            );
+        }
+        return Ok(Value::List(items));
+    }
+    Err(format!("unsupported value: `{v}`"))
+}
+
+fn parse_str(v: &str) -> Option<String> {
+    let body = v.strip_prefix('"')?.strip_suffix('"')?;
+    // No escape processing: the config never needs it.
+    Some(body.to_string())
+}
+
+/// Splits an array body on commas that sit outside quotes.
+fn split_top_level(body: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in body.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => out.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_values() {
+        let cfg = Config::parse(
+            "# comment\n[workspace]\nexclude = [\"shims\", \"target\"]\n\n[lint.lock-scope]\nenabled = true\nseverity = \"deny\"\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.list("workspace", "exclude"), &["shims", "target"]);
+        assert!(cfg.bool_or("lint.lock-scope", "enabled", false));
+        assert_eq!(cfg.str("lint.lock-scope", "severity"), Some("deny"));
+        assert!(cfg.has_section("lint.lock-scope"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Config::parse("key value\n").is_err());
+        assert!(Config::parse("key = {oops}\n").is_err());
+    }
+}

@@ -1,0 +1,398 @@
+//! A small hand-rolled Rust line scanner.
+//!
+//! The analyzer deliberately avoids `syn` (the offline shim toolchain
+//! cannot build it), so every pass works from this lexer's per-line view
+//! of a source file:
+//!
+//! - `clean`: the source with comments removed and string/char literal
+//!   *contents* dropped (the delimiting quotes survive), so substring
+//!   matching never fires inside a comment or a literal;
+//! - `strings`: every string literal with its start line and its column
+//!   in the clean text, so catalog passes can resolve "the literal right
+//!   after `.counter(`";
+//! - `depth_at_start` / `in_test`: brace depth at each line start and
+//!   whether the line sits inside a `#[cfg(test)]` region;
+//! - `suppressions`: parsed `// analyzer:allow(<lint-id>): <why>`
+//!   comments.
+//!
+//! It understands line and (nested) block comments, plain/byte/raw
+//! string literals, char literals vs. lifetimes, and multi-line
+//! literals. It does not try to be a full lexer — it only has to be
+//! right about what is code and what is not.
+
+/// One string literal occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StringLit {
+    /// 1-based line of the opening quote.
+    pub line: usize,
+    /// Byte column of the opening quote in the *clean* line text.
+    pub col: usize,
+    /// The literal's raw content (escapes not processed).
+    pub value: String,
+}
+
+/// One `// analyzer:allow(<id>): <justification>` comment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suppression {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// The suppressed lint id.
+    pub lint: String,
+    /// The justification text (may be empty — the framework rejects
+    /// that).
+    pub justification: String,
+}
+
+/// The scanner's per-file output.
+#[derive(Debug, Default)]
+pub struct Scanned {
+    /// Comment- and literal-stripped source, one entry per line.
+    pub clean: Vec<String>,
+    /// Every string literal, in source order.
+    pub strings: Vec<StringLit>,
+    /// Brace depth at the start of each line.
+    pub depth_at_start: Vec<usize>,
+    /// Whether each line is inside (or opens) a `#[cfg(test)]` region.
+    pub in_test: Vec<bool>,
+    /// Parsed inline suppressions.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl Scanned {
+    /// Number of lines.
+    pub fn line_count(&self) -> usize {
+        self.clean.len()
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scans `src` into its per-line clean view.
+pub fn scan(src: &str) -> Scanned {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut clean: Vec<String> = Vec::new();
+    let mut strings: Vec<StringLit> = Vec::new();
+    let mut suppressions: Vec<Suppression> = Vec::new();
+    let mut cur = String::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    let n = bytes.len();
+    let mut prev_code_char = ' ';
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                clean.push(std::mem::take(&mut cur));
+                line += 1;
+                i += 1;
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                // Line comment: capture its text for suppression parsing.
+                let start = i + 2;
+                let mut j = start;
+                while j < n && bytes[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = bytes[start..j].iter().collect();
+                if let Some(s) = parse_suppression(&text, line) {
+                    suppressions.push(s);
+                }
+                i = j;
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                // Block comment, possibly nested and multi-line.
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if bytes[i] == '\n' {
+                        clean.push(std::mem::take(&mut cur));
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                i = consume_string(&bytes, i, 0, &mut cur, &mut clean, &mut line, &mut strings);
+                prev_code_char = '"';
+            }
+            'r' | 'b' if !is_ident_char(prev_code_char) => {
+                // Possible raw/byte string: r", r#", b", br#", rb... etc.
+                let mut j = i;
+                let mut saw_quote = false;
+                let mut hashes = 0usize;
+                // Accept a prefix of [rb]+ then #* then ".
+                while j < n && (bytes[j] == 'r' || bytes[j] == 'b') && j - i < 2 {
+                    j += 1;
+                }
+                while j < n && bytes[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && bytes[j] == '"' {
+                    saw_quote = true;
+                }
+                let raw = hashes > 0 || (saw_quote && bytes[i..j].contains(&'r'));
+                if saw_quote && (raw || j == i + 1) {
+                    // Emit the prefix into clean, then the literal.
+                    for &p in &bytes[i..j] {
+                        cur.push(p);
+                    }
+                    let hashes = if raw { hashes } else { 0 };
+                    i = consume_string(
+                        &bytes,
+                        j,
+                        hashes,
+                        &mut cur,
+                        &mut clean,
+                        &mut line,
+                        &mut strings,
+                    );
+                    prev_code_char = '"';
+                } else {
+                    cur.push(c);
+                    prev_code_char = c;
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal or lifetime.
+                if i + 1 < n && bytes[i + 1] == '\\' {
+                    // Escaped char literal: skip to the closing quote.
+                    cur.push('\'');
+                    let mut j = i + 2;
+                    if j < n {
+                        j += 1; // the escaped character itself
+                    }
+                    while j < n && bytes[j] != '\'' && bytes[j] != '\n' {
+                        j += 1;
+                    }
+                    cur.push('\'');
+                    i = if j < n { j + 1 } else { j };
+                } else if i + 2 < n && bytes[i + 2] == '\'' && bytes[i + 1] != '\'' {
+                    // 'x'
+                    cur.push('\'');
+                    cur.push('\'');
+                    i += 3;
+                } else {
+                    // Lifetime (or stray quote): keep as-is.
+                    cur.push('\'');
+                    i += 1;
+                }
+                prev_code_char = '\'';
+            }
+            _ => {
+                cur.push(c);
+                if !c.is_whitespace() {
+                    prev_code_char = c;
+                }
+                i += 1;
+            }
+        }
+    }
+    clean.push(cur);
+
+    // Second pass over the clean lines: brace depth and cfg(test)
+    // regions.
+    let mut depth_at_start = Vec::with_capacity(clean.len());
+    let mut in_test = Vec::with_capacity(clean.len());
+    let mut depth = 0usize;
+    let mut test_open_depth: Option<usize> = None;
+    let mut pending_test_attr = false;
+    for text in &clean {
+        depth_at_start.push(depth);
+        let mut this_test = test_open_depth.is_some();
+        if text.contains("cfg(test)") {
+            pending_test_attr = true;
+            this_test = true;
+        }
+        for ch in text.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending_test_attr && test_open_depth.is_none() {
+                        test_open_depth = Some(depth);
+                        pending_test_attr = false;
+                        this_test = true;
+                    }
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if let Some(d) = test_open_depth {
+                        if depth < d {
+                            test_open_depth = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        in_test.push(this_test);
+    }
+
+    Scanned {
+        clean,
+        strings,
+        depth_at_start,
+        in_test,
+        suppressions,
+    }
+}
+
+/// Consumes a string literal starting at the opening quote `bytes[i]`,
+/// with `hashes` trailing `#`s required to close (0 for plain strings,
+/// where `\"` escapes are honoured). Pushes the delimiting quotes into
+/// `cur`, records the literal, and returns the index after the literal.
+#[allow(clippy::too_many_arguments)]
+fn consume_string(
+    bytes: &[char],
+    i: usize,
+    hashes: usize,
+    cur: &mut String,
+    clean: &mut Vec<String>,
+    line: &mut usize,
+    strings: &mut Vec<StringLit>,
+) -> usize {
+    let start_line = *line;
+    let start_col = cur.len();
+    cur.push('"');
+    let mut value = String::new();
+    let mut j = i + 1;
+    let n = bytes.len();
+    loop {
+        if j >= n {
+            break;
+        }
+        let c = bytes[j];
+        if c == '\n' {
+            clean.push(std::mem::take(cur));
+            *line += 1;
+            value.push('\n');
+            j += 1;
+            continue;
+        }
+        if hashes == 0 {
+            if c == '\\' && j + 1 < n {
+                value.push(c);
+                value.push(bytes[j + 1]);
+                j += 2;
+                continue;
+            }
+            if c == '"' {
+                j += 1;
+                break;
+            }
+        } else if c == '"' {
+            // Close only on `"` followed by the right number of `#`s.
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < n && bytes[k] == '#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                j = k;
+                break;
+            }
+        }
+        value.push(c);
+        j += 1;
+    }
+    cur.push('"');
+    strings.push(StringLit {
+        line: start_line,
+        col: start_col,
+        value,
+    });
+    j
+}
+
+/// Parses `analyzer:allow(<id>)` / `analyzer:allow(<id>): <why>` out of
+/// a line comment's text. The directive must open the comment (doc
+/// comments merely *mentioning* the syntax start with `/` or `!` and
+/// don't count).
+fn parse_suppression(comment: &str, line: usize) -> Option<Suppression> {
+    let trimmed = comment.trim_start();
+    if !trimmed.starts_with("analyzer:allow(") {
+        return None;
+    }
+    let idx = comment.find("analyzer:allow(")?;
+    let rest = &comment[idx + "analyzer:allow(".len()..];
+    let close = rest.find(')')?;
+    let lint = rest[..close].trim().to_string();
+    let after = &rest[close + 1..];
+    let justification = after
+        .strip_prefix(':')
+        .map(|j| j.trim().to_string())
+        .unwrap_or_default();
+    Some(Suppression {
+        line,
+        lint,
+        justification,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_literals() {
+        let s = scan("let a = \"x.y\"; // trailing\nlet b = 1; /* block\nstill */ let c = 'z';\n");
+        assert_eq!(s.clean[0], "let a = \"\"; ");
+        assert_eq!(s.clean[1], "let b = 1; ");
+        assert_eq!(s.clean[2], " let c = '';");
+        assert_eq!(s.strings.len(), 1);
+        assert_eq!(s.strings[0].value, "x.y");
+        assert_eq!(s.strings[0].line, 1);
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let s = scan(r####"let a = r#"quote " inside"#; let b = "esc \" done";"####);
+        assert_eq!(s.strings.len(), 2);
+        assert_eq!(s.strings[0].value, "quote \" inside");
+        assert_eq!(s.strings[1].value, "esc \\\" done");
+        assert!(!s.clean[0].contains("inside"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) -> &'a str { x } // \"not a string\"\n");
+        assert!(s.strings.is_empty());
+        assert!(s.clean[0].contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn cfg_test_region_tracks_braces() {
+        let src = "fn live() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\nfn live2() {}\n";
+        let s = scan(src);
+        assert!(!s.in_test[0]);
+        assert!(s.in_test[1] && s.in_test[2] && s.in_test[3] && s.in_test[4]);
+        assert!(!s.in_test[5]);
+    }
+
+    #[test]
+    fn suppression_parses_justification() {
+        let s = scan("x(); // analyzer:allow(lock-scope): kill_point never blocks\ny();\n");
+        assert_eq!(s.suppressions.len(), 1);
+        assert_eq!(s.suppressions[0].lint, "lock-scope");
+        assert_eq!(s.suppressions[0].justification, "kill_point never blocks");
+    }
+
+    #[test]
+    fn depth_at_start_counts_code_braces_only() {
+        let s = scan("fn f() {\n    let s = \"{{{\"; // }}}\n    g();\n}\n");
+        assert_eq!(s.depth_at_start, vec![0, 1, 1, 1, 0]);
+    }
+}

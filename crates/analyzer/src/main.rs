@@ -1,0 +1,112 @@
+//! `backsort-analyzer` CLI.
+//!
+//! ```text
+//! cargo run -p backsort-analyzer -- check [--json] [--deny]
+//!     [--allow <lint-id>]... [--root <dir>] [--only <lint-id>]...
+//! cargo run -p backsort-analyzer -- lints
+//! ```
+//!
+//! Exit status: 0 when no deny-severity finding survives, 1 otherwise,
+//! 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use backsort_analyzer::{all_lints, check_root, find_root, render_json, CheckOptions, Severity};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        eprintln!("usage: backsort-analyzer <check|lints> [options]");
+        return ExitCode::from(2);
+    };
+    match cmd.as_str() {
+        "lints" => {
+            for lint in all_lints() {
+                println!("{:<16} {}", lint.id(), lint.description());
+            }
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            let mut opts = CheckOptions::default();
+            let mut json = false;
+            let mut root: Option<PathBuf> = None;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    "--deny" => opts.deny = true,
+                    "--allow" => match it.next() {
+                        Some(id) => opts.allow.push(id.clone()),
+                        None => return usage("--allow needs a lint id"),
+                    },
+                    "--only" => match it.next() {
+                        Some(id) => opts.only.push(id.clone()),
+                        None => return usage("--only needs a lint id"),
+                    },
+                    "--root" => match it.next() {
+                        Some(dir) => root = Some(PathBuf::from(dir)),
+                        None => return usage("--root needs a directory"),
+                    },
+                    other => return usage(&format!("unknown option `{other}`")),
+                }
+            }
+            let known: Vec<&str> = all_lints()
+                .iter()
+                .map(|l| l.id())
+                .chain([backsort_analyzer::SUPPRESSION_LINT])
+                .collect();
+            for id in opts.only.iter().chain(&opts.allow) {
+                if !known.contains(&id.as_str()) {
+                    return usage(&format!(
+                        "unknown lint id `{id}` (see `backsort-analyzer lints`)"
+                    ));
+                }
+            }
+            let root = match root
+                .or_else(|| std::env::current_dir().ok().and_then(|d| find_root(&d)))
+            {
+                Some(r) => r,
+                None => {
+                    eprintln!("backsort-analyzer: no analyzer.toml found walking up from the current directory");
+                    return ExitCode::from(2);
+                }
+            };
+            let findings = match check_root(&root, &opts) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("backsort-analyzer: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            if json {
+                print!("{}", render_json(&findings));
+            } else {
+                for f in &findings {
+                    println!("{f}");
+                }
+                let denies = findings
+                    .iter()
+                    .filter(|f| f.severity == Severity::Deny)
+                    .count();
+                println!(
+                    "backsort-analyzer: {} finding(s), {} deny",
+                    findings.len(),
+                    denies
+                );
+            }
+            if findings.iter().any(|f| f.severity == Severity::Deny) {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        other => usage(&format!("unknown command `{other}`")),
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("backsort-analyzer: {msg}");
+    eprintln!("usage: backsort-analyzer <check|lints> [--json] [--deny] [--allow <id>] [--only <id>] [--root <dir>]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,178 @@
+//! atomic-ordering: Relaxed is only for file-local atomics; SeqCst is
+//! never the answer.
+//!
+//! The repo's convention (PR 3/4): an atomic whose writers and readers
+//! all live in one file may use `Relaxed` (pure counters); any atomic
+//! that is *written in another file* carries a protocol and must use an
+//! acquire/release pair; `SeqCst` is banned outright (it papers over a
+//! protocol nobody wrote down). A line scanner can't do alias analysis,
+//! so atomics are keyed by field name: `self.armed.store(...)` and
+//! `reg.armed.load(...)` are the same atomic wherever they appear.
+
+use crate::{Config, Finding, Lint, Severity, Workspace};
+
+use super::in_crates;
+
+/// The pass.
+pub struct AtomicOrdering;
+
+const SECTION: &str = "lint.atomic-ordering";
+
+const OP_PATTERNS: &[(&str, bool)] = &[
+    (".load(", false),
+    (".store(", true),
+    (".swap(", true),
+    (".compare_exchange", true),
+    (".fetch_add(", true),
+    (".fetch_sub(", true),
+    (".fetch_and(", true),
+    (".fetch_or(", true),
+    (".fetch_xor(", true),
+    (".fetch_max(", true),
+    (".fetch_min(", true),
+    (".fetch_update(", true),
+];
+
+struct Access {
+    file_idx: usize,
+    line: usize,
+    field: String,
+    write: bool,
+    relaxed: bool,
+}
+
+impl Lint for AtomicOrdering {
+    fn id(&self) -> &'static str {
+        "atomic-ordering"
+    }
+
+    fn description(&self) -> &'static str {
+        "no SeqCst; no Relaxed on atomics written from another file"
+    }
+
+    fn run(&self, ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+        let crates = cfg.list(SECTION, "crates");
+        let mut accesses: Vec<Access> = Vec::new();
+
+        for (file_idx, file) in ws.files.iter().enumerate() {
+            if !in_crates(file, crates) {
+                continue;
+            }
+            for (i, text) in file.scan.clean.iter().enumerate() {
+                let line = i + 1;
+                if !file.is_prod_line(line) {
+                    continue;
+                }
+                if text.contains("SeqCst") {
+                    out.push(Finding {
+                        file: file.rel.clone(),
+                        line,
+                        lint: self.id(),
+                        severity: Severity::Deny,
+                        message: "SeqCst ordering — use an explicit acquire/release protocol"
+                            .to_string(),
+                    });
+                }
+                for (pat, write) in OP_PATTERNS {
+                    let mut from = 0;
+                    while let Some(rel) = text.get(from..).and_then(|t| t.find(pat)) {
+                        let idx = from + rel;
+                        from = idx + pat.len();
+                        // Orderings are line-local in this codebase: the
+                        // call and its Ordering argument share a line.
+                        let relaxed = text.contains("Relaxed");
+                        if !relaxed && !text.contains("Ordering") {
+                            // Not an atomic op (e.g. io.load(path), or the
+                            // ordering sits on a continuation line — treat
+                            // conservatively as non-Relaxed).
+                            continue;
+                        }
+                        if let Some(field) = receiver_field(&text[..idx]) {
+                            accesses.push(Access {
+                                file_idx,
+                                line,
+                                field,
+                                write: *write,
+                                relaxed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Key by field name: collect the set of writer files per field.
+        for a in &accesses {
+            if !a.relaxed {
+                continue;
+            }
+            let foreign_writer = accesses
+                .iter()
+                .find(|b| b.field == a.field && b.write && b.file_idx != a.file_idx);
+            if let Some(w) = foreign_writer {
+                out.push(Finding {
+                    file: ws.files[a.file_idx].rel.clone(),
+                    line: a.line,
+                    lint: self.id(),
+                    severity: Severity::Deny,
+                    message: format!(
+                        "Relaxed ordering on `{}`, which is written in {} — use Acquire/Release",
+                        a.field, ws.files[w.file_idx].rel
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The field name an atomic op is called on: `self.buckets[i]` →
+/// `buckets`, `reg.armed` → `armed`, `COUNTER` → `COUNTER`.
+fn receiver_field(before: &str) -> Option<String> {
+    let mut chars: Vec<char> = before.chars().collect();
+    // Strip a trailing index expression.
+    if chars.last() == Some(&']') {
+        let mut depth = 0i32;
+        while let Some(c) = chars.pop() {
+            match c {
+                ']' => depth += 1,
+                '[' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut field = String::new();
+    while let Some(&c) = chars.last() {
+        if c.is_alphanumeric() || c == '_' {
+            field.insert(0, c);
+            chars.pop();
+        } else {
+            break;
+        }
+    }
+    if field.is_empty() {
+        None
+    } else {
+        Some(field)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::receiver_field;
+
+    #[test]
+    fn receiver_extraction() {
+        assert_eq!(receiver_field("self.armed"), Some("armed".to_string()));
+        assert_eq!(
+            receiver_field("self.buckets[bucket_of(v)]"),
+            Some("buckets".to_string())
+        );
+        assert_eq!(receiver_field("NEXT_ID"), Some("NEXT_ID".to_string()));
+        assert_eq!(receiver_field(""), None);
+    }
+}

@@ -1,0 +1,52 @@
+//! The built-in lint passes.
+
+pub mod atomic_ordering;
+pub mod catalog_sync;
+pub mod doc_drift;
+pub mod lock_scope;
+pub mod panic_freedom;
+
+use crate::SourceFile;
+
+/// Whether `file` belongs to one of the crates named in `crates` (an
+/// empty list means "no files" — every pass must be scoped explicitly).
+pub(crate) fn in_crates(file: &SourceFile, crates: &[String]) -> bool {
+    crates.iter().any(|c| c == &file.crate_name)
+}
+
+/// Finds `needle` in `hay` at a word boundary (the char before the
+/// match, if any, is not an identifier char).
+pub(crate) fn find_word(hay: &str, needle: &str, from: usize) -> Option<usize> {
+    let mut start = from;
+    while let Some(rel) = hay.get(start..).and_then(|h| h.find(needle)) {
+        let idx = start + rel;
+        let prev_ok = idx == 0
+            || !hay[..idx]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if prev_ok {
+            return Some(idx);
+        }
+        start = idx + needle.len();
+    }
+    None
+}
+
+/// Whether the identifier `ident` occurs as a full token in `hay`
+/// (word-bounded on both sides).
+pub(crate) fn contains_token(hay: &str, ident: &str) -> bool {
+    let mut from = 0;
+    while let Some(idx) = find_word(hay, ident, from) {
+        let end = idx + ident.len();
+        let next_ok = !hay[end..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if next_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}

@@ -1,0 +1,125 @@
+//! panic-freedom: production crates don't panic.
+//!
+//! The crash matrix proved that injected I/O errors reach deep into the
+//! engine; a stray `unwrap()` on those paths turns a recoverable fault
+//! into a process abort. This pass denies `unwrap()` / `expect(` /
+//! `panic!` / `unreachable!` / `todo!` / `unimplemented!` and
+//! indexing-by-integer-literal in the configured crates' non-test
+//! library code (tests, benches, and bins are exempt). The rare
+//! invariant-backed site carries an inline
+//! `// analyzer:allow(panic-freedom): <why>`.
+
+use crate::{Config, Finding, Lint, Severity, Workspace};
+
+use super::{find_word, in_crates};
+
+/// The pass.
+pub struct PanicFreedom;
+
+const SECTION: &str = "lint.panic-freedom";
+
+const CALL_PATTERNS: &[(&str, &str)] = &[
+    (".unwrap()", "unwrap() can panic"),
+    (".expect(", "expect() can panic"),
+];
+
+const MACRO_PATTERNS: &[(&str, &str)] = &[
+    ("panic!", "panic! in production code"),
+    ("unreachable!", "unreachable! in production code"),
+    ("todo!", "todo! in production code"),
+    ("unimplemented!", "unimplemented! in production code"),
+];
+
+impl Lint for PanicFreedom {
+    fn id(&self) -> &'static str {
+        "panic-freedom"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic/literal-index in production library code"
+    }
+
+    fn run(&self, ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+        let crates = cfg.list(SECTION, "crates");
+        for file in ws.files.iter().filter(|f| in_crates(f, crates)) {
+            for (i, text) in file.scan.clean.iter().enumerate() {
+                let line = i + 1;
+                if !file.is_prod_line(line) {
+                    continue;
+                }
+                for (pat, why) in CALL_PATTERNS {
+                    if text.contains(pat) {
+                        out.push(finding(self.id(), file, line, why));
+                    }
+                }
+                for (pat, why) in MACRO_PATTERNS {
+                    if find_word(text, pat, 0).is_some() {
+                        out.push(finding(self.id(), file, line, why));
+                    }
+                }
+                if let Some(lit) = literal_index(text) {
+                    out.push(finding(
+                        self.id(),
+                        file,
+                        line,
+                        &format!("indexing by literal `[{lit}]` can panic — use .first()/.get()"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn finding(lint: &'static str, file: &crate::SourceFile, line: usize, msg: &str) -> Finding {
+    Finding {
+        file: file.rel.clone(),
+        line,
+        lint,
+        severity: Severity::Deny,
+        message: msg.to_string(),
+    }
+}
+
+/// Detects `expr[<digits>]`: a `[` whose preceding non-space char ends
+/// an expression (identifier, `)`, or `]`) and whose content is purely
+/// digits. `[0u32; N]` array literals and `[a..b]` slicing don't match.
+fn literal_index(text: &str) -> Option<String> {
+    let bytes = text.as_bytes();
+    for (idx, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        let prev = text[..idx].trim_end().chars().next_back();
+        let expr_end =
+            prev.is_some_and(|c| c.is_alphanumeric() || c == '_' || c == ')' || c == ']');
+        if !expr_end {
+            continue;
+        }
+        let close = text[idx + 1..].find(']').map(|c| idx + 1 + c);
+        let Some(close) = close else { continue };
+        let content = text[idx + 1..close].trim();
+        if !content.is_empty() && content.bytes().all(|c| c.is_ascii_digit()) {
+            return Some(content.to_string());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::literal_index;
+
+    #[test]
+    fn literal_index_detection() {
+        assert_eq!(literal_index("let x = v[0];"), Some("0".to_string()));
+        assert_eq!(
+            literal_index("w[1].wrapping_sub(w[0])"),
+            Some("1".to_string())
+        );
+        assert_eq!(literal_index("let a = [0u32; 256];"), None);
+        assert_eq!(literal_index("let a = [0; N];"), None);
+        assert_eq!(literal_index("&buf[0..4]"), None);
+        assert_eq!(literal_index("v[i]"), None);
+        assert_eq!(literal_index("f(x)[2]"), Some("2".to_string()));
+    }
+}

@@ -1,0 +1,16 @@
+//! Atomic fixture, reader side: `armed` is written in another file, so a
+//! Relaxed load here misses the protocol; Acquire is correct.
+
+impl Checker {
+    pub fn racy(&self) -> bool {
+        self.armed.load(Ordering::Relaxed) //~ atomic-ordering
+    }
+
+    pub fn correct(&self) -> bool {
+        self.armed.load(Ordering::Acquire)
+    }
+
+    pub fn not_an_atomic(&self, io: &dyn Io) {
+        io.load(path);
+    }
+}

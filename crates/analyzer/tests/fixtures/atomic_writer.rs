@@ -1,0 +1,17 @@
+//! Atomic fixture, writer side: release stores, a file-local Relaxed
+//! counter (fine), and a banned SeqCst.
+
+impl Registry {
+    pub fn arm(&self) {
+        self.armed.store(true, Ordering::Release);
+    }
+
+    pub fn bump(&self) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.calls.load(Ordering::Relaxed);
+    }
+
+    pub fn over_synchronized(&self) {
+        self.armed.store(false, Ordering::SeqCst); //~ atomic-ordering
+    }
+}

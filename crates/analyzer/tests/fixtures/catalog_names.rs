@@ -1,0 +1,6 @@
+//! Metric catalog fixture.
+
+/// Referenced by the engine fixture.
+pub const ENGINE_WRITES: &str = "engine.writes";
+/// Declared but referenced nowhere — drift.
+pub const ENGINE_ORPHAN: &str = "engine.orphan"; //~ catalog-sync

@@ -1,0 +1,4 @@
+//! Failpoint catalog fixture.
+
+/// Referenced by the engine fixture.
+pub const FLUSH_ROTATE: &str = "flush.rotate";

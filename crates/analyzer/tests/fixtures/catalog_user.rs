@@ -1,0 +1,23 @@
+//! Catalog-user fixture: catalog constants are the only way to name a
+//! metric or failpoint in production code.
+
+use backsort_faults::sites::FLUSH_ROTATE;
+use backsort_obs::names::ENGINE_WRITES;
+
+impl Engine {
+    pub fn observe(&self) {
+        self.obs.counter(ENGINE_WRITES).inc();
+        self.faults.hit(FLUSH_ROTATE).ok();
+        self.obs.counter("engine.writes").inc();
+        self.obs.counter("engine.adhoc").inc(); //~ catalog-sync
+        self.faults.kill_point("flush.adhoc"); //~ catalog-sync
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_mint_names_freely() {
+        registry.counter("test.only.name").inc();
+    }
+}

@@ -1,0 +1,17 @@
+//! Bad fixture: every panic path the pass must catch in production
+//! library code.
+
+pub fn panics(v: &[u32]) -> u32 {
+    let a = v.first().unwrap(); //~ panic-freedom
+    let b = v.last().expect("non-empty"); //~ panic-freedom
+    if *a > 3 {
+        panic!("boom"); //~ panic-freedom
+    }
+    let c = v[0]; //~ panic-freedom
+    match *b {
+        0 => unreachable!(), //~ panic-freedom
+        1 => todo!(), //~ panic-freedom
+        2 => unimplemented!(), //~ panic-freedom
+        x => x + c,
+    }
+}

@@ -1,0 +1,24 @@
+//! Good fixture: fallible idioms, variable indexing, a justified allow,
+//! and test-region exemption.
+
+pub fn no_panics(v: &[u32], i: usize) -> u32 {
+    let first = v.first().copied().unwrap_or(0);
+    let x = v.get(i).copied().unwrap_or_default();
+    // analyzer:allow(panic-freedom): fixture demonstrates a justified allow
+    let second = v.get(1).expect("fixture contract");
+    let lock = v
+        .iter()
+        .max();
+    first + x + second + lock.copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(Some(1).unwrap(), 1);
+        let v = vec![1, 2];
+        assert_eq!(v[0], 1);
+        panic!("even this is fine in a test");
+    }
+}

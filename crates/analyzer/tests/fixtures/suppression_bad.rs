@@ -1,0 +1,21 @@
+//! Suppression-hygiene fixture: an allow with no justification does not
+//! suppress (and is itself a finding), and an allow whose finding never
+//! fires is reported as unused.
+
+pub fn unjustified() -> u32 {
+    // analyzer:allow(panic-freedom)
+    Some(1).unwrap()
+}
+
+pub fn unused_allow() -> u32 {
+    // analyzer:allow(panic-freedom): nothing below can actually panic
+    Some(1).unwrap_or(0)
+}
+
+pub fn wrapped_statement_is_covered(v: Vec<u32>) -> u32 {
+    // analyzer:allow(panic-freedom): the allow covers the whole wrapped statement
+    let first = v
+        .first()
+        .expect("fixture contract");
+    *first
+}

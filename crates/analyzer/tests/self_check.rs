@@ -1,0 +1,28 @@
+//! The analyzer's own acceptance gate: the real workspace must be
+//! clean in deny mode. Any new violation (or stale suppression) in the
+//! tree fails this test before it ever reaches CI.
+
+use backsort_analyzer::{check_root, CheckOptions};
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_in_deny_mode() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = check_root(
+        &root,
+        &CheckOptions {
+            deny: true,
+            ..Default::default()
+        },
+    )
+    .expect("workspace analysis runs");
+    assert!(
+        findings.is_empty(),
+        "workspace has analyzer findings:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {}:{} [{}] {}", f.file, f.line, f.lint, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -57,11 +57,11 @@ impl AggValue {
 
 /// Computes one aggregation over sorted points.
 pub fn aggregate_points(points: &[(i64, TsValue)], agg: Aggregation) -> AggValue {
-    if points.is_empty() {
+    let (Some(first), Some(last)) = (points.first(), points.last()) else {
         return AggValue::Empty;
-    }
+    };
     debug_assert!(
-        points.windows(2).all(|w| w[0].0 <= w[1].0),
+        points.is_sorted_by(|a, b| a.0 <= b.0),
         "points must be sorted"
     );
     let values = || points.iter().map(|(_, v)| v.as_f64());
@@ -71,10 +71,10 @@ pub fn aggregate_points(points: &[(i64, TsValue)], agg: Aggregation) -> AggValue
         Aggregation::MaxValue => AggValue::Number(values().fold(f64::NEG_INFINITY, f64::max)),
         Aggregation::Sum => AggValue::Number(values().sum()),
         Aggregation::Avg => AggValue::Number(values().sum::<f64>() / points.len() as f64),
-        Aggregation::FirstValue => AggValue::Number(points[0].1.as_f64()),
-        Aggregation::LastValue => AggValue::Number(points[points.len() - 1].1.as_f64()),
-        Aggregation::MinTime => AggValue::Time(points[0].0),
-        Aggregation::MaxTime => AggValue::Time(points[points.len() - 1].0),
+        Aggregation::FirstValue => AggValue::Number(first.1.as_f64()),
+        Aggregation::LastValue => AggValue::Number(last.1.as_f64()),
+        Aggregation::MinTime => AggValue::Time(first.0),
+        Aggregation::MaxTime => AggValue::Time(last.0),
     }
 }
 

@@ -380,7 +380,7 @@ fn open(
     io: &Arc<SimIo>,
     faults: &Arc<FailpointRegistry>,
     shards: usize,
-) -> std::io::Result<DurableEngine> {
+) -> crate::store::StoreResult<DurableEngine> {
     let sink: Arc<dyn Io> = Arc::clone(io) as Arc<dyn Io>;
     DurableEngine::open_with(Path::new(DIR), config(shards), sink, Arc::clone(faults))
 }
@@ -420,10 +420,12 @@ pub fn run_case(spec: &CaseSpec, shards: usize, seed: u64) -> Result<(), String>
                     Err(e) => return Err(format!("unarmored write failed: {e}")),
                 }
             }
-            let (lo, hi) = (4, tick[0] * 2);
-            oracle.record(0, KeyOp::Delete(lo, hi));
-            eng.delete_range(&keys[0], lo, hi)
-                .map_err(|e| format!("unarmored delete failed: {e}"))?;
+            if let (Some(&tick0), Some(key0)) = (tick.first(), keys.first()) {
+                let (lo, hi) = (4, tick0 * 2);
+                oracle.record(0, KeyOp::Delete(lo, hi));
+                eng.delete_range(key0, lo, hi)
+                    .map_err(|e| format!("unarmored delete failed: {e}"))?;
+            }
             eng.sync()
                 .map_err(|e| format!("unarmored sync failed: {e}"))?;
             oracle.barrier();

@@ -88,15 +88,15 @@ pub mod bitio {
             debug_assert!(bits <= 64);
             let mut remaining = bits;
             while remaining > 0 {
-                if self.used == 0 {
-                    self.bytes.push(0);
-                }
                 let free = 8 - self.used;
                 let take = free.min(remaining);
                 let shift = remaining - take;
                 let chunk = ((v >> shift) & ((1u64 << take) - 1)) as u8;
-                let last = self.bytes.last_mut().expect("pushed above");
-                *last |= chunk << (free - take);
+                if self.used == 0 {
+                    self.bytes.push(chunk << (free - take));
+                } else if let Some(last) = self.bytes.last_mut() {
+                    *last |= chunk << (free - take);
+                }
                 self.used = (self.used + take) % 8;
                 remaining -= take;
             }
@@ -174,17 +174,23 @@ pub mod ts2diff {
     pub fn encode(values: &[i64]) -> Vec<u8> {
         let mut out = Vec::with_capacity(values.len());
         varint::write_u64(&mut out, values.len() as u64);
-        if values.is_empty() {
+        let Some((&head, rest)) = values.split_first() else {
             return out;
-        }
-        varint::write_i64(&mut out, values[0]);
-        if values.len() == 1 {
+        };
+        varint::write_i64(&mut out, head);
+        if rest.is_empty() {
             return out;
         }
         // First-order deltas; their own deltas get packed.
-        let deltas: Vec<i64> = values.windows(2).map(|w| w[1].wrapping_sub(w[0])).collect();
+        let deltas: Vec<i64> = values
+            .iter()
+            .zip(rest)
+            .map(|(a, b)| b.wrapping_sub(*a))
+            .collect();
         for block in deltas.chunks(BLOCK) {
-            let min = *block.iter().min().expect("non-empty block");
+            let Some(&min) = block.iter().min() else {
+                continue;
+            };
             varint::write_i64(&mut out, min);
             let offsets: Vec<u64> = block
                 .iter()
@@ -244,7 +250,7 @@ pub mod ts2diff {
             for _ in 0..block_len {
                 let offset = if width == 0 { 0 } else { br.read_bits(width)? };
                 let delta = min.wrapping_add(offset as i64);
-                let prev = *values.last().expect("first pushed");
+                let prev = *values.last()?;
                 values.push(prev.wrapping_add(delta));
                 if values.len() == count {
                     break;
@@ -267,15 +273,15 @@ pub mod gorilla {
     pub fn encode_f64(values: &[f64]) -> Vec<u8> {
         let mut out = Vec::new();
         varint::write_u64(&mut out, values.len() as u64);
-        if values.is_empty() {
+        let Some((&head, rest)) = values.split_first() else {
             return out;
-        }
+        };
         let mut bw = BitWriter::new();
-        let mut prev = values[0].to_bits();
+        let mut prev = head.to_bits();
         bw.write_bits(prev, 64);
         let mut prev_leading = 65u8; // invalid -> force new window
         let mut prev_trailing = 0u8;
-        for &v in &values[1..] {
+        for &v in rest {
             let bits = v.to_bits();
             let xor = bits ^ prev;
             if xor == 0 {

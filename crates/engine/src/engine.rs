@@ -534,6 +534,7 @@ impl StorageEngine {
             );
             if metrics.points > 0 {
                 let id = self.alloc_file_id();
+                // analyzer:allow(panic-freedom): the image was produced by our own encoder one call above; dropping it on a parse error would silently lose acked writes
                 let handle = FileHandle::parse(id, image).expect("flushed image parses");
                 st.files.push(handle);
             }
@@ -580,13 +581,17 @@ impl StorageEngine {
                     *w = (*w).max(*max_time);
                 }
             }
-            let h = if i == last {
-                handle.take().expect("moved once")
-            } else {
-                // A copy for this shard under a fresh id, reusing the
-                // already-parsed chunk index.
-                let src = handle.as_ref().expect("not yet moved");
-                src.with_id(self.alloc_file_id())
+            let h = match handle.take() {
+                Some(h) if i == last => h,
+                Some(src) => {
+                    // A copy for this shard under a fresh id, reusing
+                    // the already-parsed chunk index.
+                    let copy = src.with_id(self.alloc_file_id());
+                    handle = Some(src);
+                    copy
+                }
+                // The handle is only consumed on the final target.
+                None => break,
             };
             installed.push((shard, h.id()));
             st.files.push(h);
@@ -862,6 +867,7 @@ impl StorageEngine {
             .kill_point(fault_sites::FLUSH_COMPLETE_BEFORE_INSTALL);
         // Parse the chunk index outside the lock too — installing the
         // handle is then just a push.
+        // analyzer:allow(panic-freedom): the image was produced by our own encoder one call above; dropping it on a parse error would silently lose acked writes
         let handle = (metrics.points > 0)
             .then(|| FileHandle::parse(self.alloc_file_id(), image).expect("flushed image parses"));
         let mut st = self.shards[job.shard].write();
@@ -896,11 +902,13 @@ impl StorageEngine {
         }
         // Crash site: the memtable has rotated but nothing is encoded
         // yet — the points' only durable copy is the WAL.
+        // analyzer:allow(lock-scope): kill_point never blocks (it either returns or aborts the process) and must fire inside the critical section to model dying mid-rotation
         self.faults.kill_point(fault_sites::FLUSH_ROTATE);
         let (image, metrics) =
             flush_memtable_observed(&mut flushing, &self.config.sorter, Some(&self.obs.registry));
         if metrics.points > 0 {
             let id = self.alloc_file_id();
+            // analyzer:allow(panic-freedom): the image was produced by our own encoder one call above; dropping it on a parse error would silently lose acked writes
             let handle = FileHandle::parse(id, image).expect("flushed image parses");
             st.files.push(handle);
         }
@@ -996,11 +1004,7 @@ impl StorageEngine {
         merged.sort_by_key(|&(t, _, p)| (t, p));
         let mut out: QueryResult = Vec::with_capacity(merged.len());
         for (t, v, _) in merged {
-            if out.last().map(|&(lt, _)| lt) == Some(t) {
-                *out.last_mut().expect("non-empty") = (t, v);
-            } else {
-                out.push((t, v));
-            }
+            push_last_wins(&mut out, t, v);
         }
         out
     }
@@ -1168,22 +1172,24 @@ fn query_with_state(
             sources.push(Box::new((lo..hi).map(move |i| buffer.get(i))));
         }
     }
-    match sources.len() {
-        // The overwhelmingly common shapes — one buffer covers the
-        // range, or working + unsequence — skip the heap entirely.
-        1 => {
+    // The overwhelmingly common shapes — one buffer covers the range,
+    // or working + unsequence — skip the heap entirely. Popping twice
+    // yields (highest-priority, second-highest).
+    match (sources.pop(), sources.pop()) {
+        (None, _) => Vec::new(),
+        (Some(only), None) => {
             let mut out: QueryResult = Vec::new();
-            for (t, v) in sources.pop().expect("len checked") {
+            for (t, v) in only {
                 push_last_wins(&mut out, t, v);
             }
             out
         }
-        2 => {
-            let hi = sources.pop().expect("len checked");
-            let lo = sources.pop().expect("len checked");
-            merge_two_last_wins(lo, hi)
+        (Some(hi), Some(lo)) if sources.is_empty() => merge_two_last_wins(lo, hi),
+        (Some(hi), Some(lo)) => {
+            sources.push(lo);
+            sources.push(hi);
+            LastWins::new(sources).collect()
         }
-        _ => LastWins::new(sources).collect(),
     }
 }
 
@@ -1206,21 +1212,27 @@ fn merge_two_last_wins(
     let mut out: QueryResult = Vec::new();
     let mut a = lo.next();
     let mut b = hi.next();
-    while let (Some((ta, _)), Some((tb, _))) = (&a, &b) {
-        if ta <= tb {
-            let (t, v) = a.take().expect("checked");
-            push_last_wins(&mut out, t, v);
-            a = lo.next();
-        } else {
-            let (t, v) = b.take().expect("checked");
-            push_last_wins(&mut out, t, v);
-            b = hi.next();
+    loop {
+        match (a, b) {
+            (Some((ta, va)), Some((tb, vb))) => {
+                if ta <= tb {
+                    push_last_wins(&mut out, ta, va);
+                    a = lo.next();
+                    b = Some((tb, vb));
+                } else {
+                    push_last_wins(&mut out, tb, vb);
+                    a = Some((ta, va));
+                    b = hi.next();
+                }
+            }
+            (rest_a, rest_b) => {
+                for (t, v) in rest_a.into_iter().chain(lo).chain(rest_b).chain(hi) {
+                    push_last_wins(&mut out, t, v);
+                }
+                return out;
+            }
         }
     }
-    for (t, v) in a.into_iter().chain(lo).chain(b).chain(hi) {
-        push_last_wins(&mut out, t, v);
-    }
-    out
 }
 
 /// `latest_value` under a lock guard: anchor on the maximum timestamp

@@ -97,7 +97,9 @@ fn dedup_last(buffer: &SeriesBuffer) -> (Vec<i64>, Vec<TsValue>) {
     for i in 0..n {
         let (t, v) = buffer.get(i);
         if times.last() == Some(&t) {
-            *values.last_mut().expect("paired") = v;
+            if let Some(slot) = values.last_mut() {
+                *slot = v;
+            }
         } else {
             times.push(t);
             values.push(v);
@@ -223,7 +225,7 @@ pub fn flush_memtable_parallel(
     let chunk_size = buffers.len().div_ceil(threads);
     /// One sensor's sorted, deduplicated columns plus per-phase timings.
     struct Prepared {
-        name: String,
+        key: crate::types::SeriesKey,
         times: Vec<i64>,
         values: Vec<TsValue>,
         sort_ns: u64,
@@ -243,7 +245,7 @@ pub fn flush_memtable_parallel(
                     let (times, values) = dedup_last(buffer);
                     let encode_ns = t1.elapsed().as_nanos() as u64;
                     out.push(Prepared {
-                        name: key.to_string(),
+                        key: (*key).clone(),
                         times,
                         values,
                         sort_ns,
@@ -254,7 +256,10 @@ pub fn flush_memtable_parallel(
             }));
         }
         for handle in handles {
-            prepared.push(handle.join().expect("flush worker panicked"));
+            let group = handle
+                .join()
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+            prepared.push(group);
         }
     });
 
@@ -264,12 +269,7 @@ pub fn flush_memtable_parallel(
             metrics.sort_nanos += p.sort_ns;
             metrics.encode_nanos += p.encode_ns;
             metrics.points += p.times.len() as u64;
-            let (device, sensor) = p.name.rsplit_once('.').expect("device.sensor key");
-            writer.write_chunk(
-                &crate::types::SeriesKey::new(device, sensor),
-                &p.times,
-                &p.values,
-            );
+            writer.write_chunk(&p.key, &p.times, &p.values);
         }
     }
     let image = writer.finish();

@@ -112,7 +112,10 @@ impl AsyncFlusher {
         drop(self.sender.take());
         self.workers
             .drain(..)
-            .map(|w| w.join().expect("flush worker panicked"))
+            .map(|w| {
+                w.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
             .sum()
     }
 }

@@ -83,6 +83,7 @@ impl SeriesBuffer {
             (SeriesBuffer::Double(l), TsValue::Double(v)) => l.push(t, v),
             (SeriesBuffer::Bool(l), TsValue::Bool(v)) => l.push(t, v),
             (SeriesBuffer::Text(l), TsValue::Text(v)) => l.push(t, v),
+            // analyzer:allow(panic-freedom): documented "# Panics" schema contract — the engine validates types before calling push
             (buf, v) => panic!(
                 "type mismatch: buffer is {:?}, value is {:?}",
                 buf.data_type(),

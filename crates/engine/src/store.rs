@@ -80,6 +80,59 @@ pub fn crc32(data: &[u8]) -> u32 {
     !c
 }
 
+/// A durability-protocol failure, classified by the stage that hit it.
+///
+/// The stage matters to callers: a [`StoreError::Wal`] means the write
+/// being acknowledged never became durable (do not ack), while a
+/// [`StoreError::Persist`] or [`StoreError::Manifest`] failure leaves
+/// every acknowledged record still covered by the WAL — the engine can
+/// be reopened and recovery replays it. [`StoreError::Recover`] aborts
+/// an `open` with the directory untouched beyond idempotent cleanup.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Appending to or syncing the active WAL segment failed.
+    Wal(io::Error),
+    /// Durably writing a TsFile image failed mid-persist.
+    Persist(io::Error),
+    /// The manifest commit (or the GC gated behind it) failed.
+    Manifest(io::Error),
+    /// Recovery I/O — directory scan, image adoption, or WAL replay —
+    /// failed while opening.
+    Recover(io::Error),
+}
+
+impl StoreError {
+    /// The underlying I/O error, whatever the stage.
+    pub fn io_error(&self) -> &io::Error {
+        match self {
+            StoreError::Wal(e)
+            | StoreError::Persist(e)
+            | StoreError::Manifest(e)
+            | StoreError::Recover(e) => e,
+        }
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Wal(e) => write!(f, "wal append/sync failed: {e}"),
+            StoreError::Persist(e) => write!(f, "tsfile persist failed: {e}"),
+            StoreError::Manifest(e) => write!(f, "manifest commit failed: {e}"),
+            StoreError::Recover(e) => write!(f, "recovery failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(self.io_error())
+    }
+}
+
+/// Result alias for every fallible [`DurableEngine`] operation.
+pub type StoreResult<T> = Result<T, StoreError>;
+
 const KIND_POINT: u8 = 0;
 const KIND_DELETE: u8 = 1;
 const KIND_TOMBSTONE: u8 = 2;
@@ -377,7 +430,7 @@ impl DurableEngine {
     /// Opens (creating or recovering) a durable engine in `dir`, on the
     /// real file system. Failpoints arm from the `BACKSORT_FAULTS`
     /// environment variable (unset ⇒ all disarmed).
-    pub fn open(dir: impl AsRef<Path>, config: EngineConfig) -> io::Result<Self> {
+    pub fn open(dir: impl AsRef<Path>, config: EngineConfig) -> StoreResult<Self> {
         Self::open_with(dir, config, Arc::new(RealIo), FailpointRegistry::from_env())
     }
 
@@ -391,9 +444,9 @@ impl DurableEngine {
         config: EngineConfig,
         io: Arc<dyn Io>,
         faults: Arc<FailpointRegistry>,
-    ) -> io::Result<Self> {
+    ) -> StoreResult<Self> {
         let dir = dir.as_ref().to_path_buf();
-        io.create_dir_all(&dir)?;
+        io.create_dir_all(&dir).map_err(StoreError::Recover)?;
         let engine = StorageEngine::with_instrumentation(
             config,
             Arc::new(Registry::new()),
@@ -403,7 +456,7 @@ impl DurableEngine {
         // Scan the directory for persisted TsFiles and WAL segments.
         let mut tsfiles: Vec<(u64, String)> = Vec::new();
         let mut wals: Vec<(u64, String)> = Vec::new();
-        for name in io.list_dir(&dir)? {
+        for name in io.list_dir(&dir).map_err(StoreError::Recover)? {
             if let Some(gen) = name
                 .strip_prefix("tsfile-")
                 .and_then(|s| s.strip_suffix(".bstf"))
@@ -441,7 +494,7 @@ impl DurableEngine {
                     continue;
                 }
             }
-            let bytes = io.read(&path)?;
+            let bytes = io.read(&path).map_err(StoreError::Recover)?;
             match engine.adopt_file(bytes) {
                 Some(installed) => {
                     // Already on disk under this generation; only later
@@ -458,7 +511,9 @@ impl DurableEngine {
                 }
             }
         }
-        faults.hit(fault_sites::STORE_OPEN_AFTER_ADOPT)?;
+        faults
+            .hit(fault_sites::STORE_OPEN_AFTER_ADOPT)
+            .map_err(StoreError::Recover)?;
 
         // Replay live WAL segments (at or above the manifest's floor)
         // into the memtables. The engine routes each record to its
@@ -474,7 +529,7 @@ impl DurableEngine {
             if *gen < wal_floor {
                 continue;
             }
-            let bytes = io.read(&dir.join(name))?;
+            let bytes = io.read(&dir.join(name)).map_err(StoreError::Recover)?;
             let (records, discarded) = replay_wal(&bytes);
             discarded_total += discarded;
             for rec in records {
@@ -514,7 +569,9 @@ impl DurableEngine {
                 .counter(backsort_obs::names::WAL_REPLAY_DISCARDED_BYTES)
                 .add(discarded_total as u64);
         }
-        faults.hit(fault_sites::STORE_OPEN_AFTER_REPLAY)?;
+        faults
+            .hit(fault_sites::STORE_OPEN_AFTER_REPLAY)
+            .map_err(StoreError::Recover)?;
 
         // Anything replayed sits in memtables again and is still covered
         // only by the old segments — flush it to files right away, then
@@ -534,7 +591,9 @@ impl DurableEngine {
             &mut persisted,
         )?;
         let generation = generation + 1;
-        let wal = io.open_append(&dir.join(format!("wal-{generation}.log")))?;
+        let wal = io
+            .open_append(&dir.join(format!("wal-{generation}.log")))
+            .map_err(StoreError::Wal)?;
         let wal_appends = engine.obs().counter(backsort_obs::names::WAL_APPENDS);
         let wal_bytes = engine.obs().counter(backsort_obs::names::WAL_BYTES);
         let mut this = Self {
@@ -561,7 +620,9 @@ impl DurableEngine {
             dropped,
             this.generation,
         )?;
-        this.faults.hit(fault_sites::STORE_OPEN_BEFORE_WAL_DELETE)?;
+        this.faults
+            .hit(fault_sites::STORE_OPEN_BEFORE_WAL_DELETE)
+            .map_err(StoreError::Recover)?;
         for (gen, name) in &wals {
             if *gen < this.generation {
                 let _ = this.io.remove(&this.dir.join(name));
@@ -576,10 +637,10 @@ impl DurableEngine {
     }
 
     /// Encodes and appends one record to the active WAL segment.
-    fn append_record(&mut self, record: &WalRecord) -> io::Result<()> {
+    fn append_record(&mut self, record: &WalRecord) -> StoreResult<()> {
         let mut frame = Vec::with_capacity(64);
         record.encode_into(&mut frame);
-        self.wal.append(&frame)?;
+        self.wal.append(&frame).map_err(StoreError::Wal)?;
         self.wal_appends.inc();
         self.wal_bytes.add(frame.len() as u64);
         Ok(())
@@ -592,18 +653,22 @@ impl DurableEngine {
         key: &SeriesKey,
         t: i64,
         v: TsValue,
-    ) -> io::Result<Option<FlushMetrics>> {
+    ) -> StoreResult<Option<FlushMetrics>> {
         let record = WalRecord::Point {
             key: key.clone(),
             t,
             v,
         };
         self.append_record(&record)?;
-        self.faults.hit(fault_sites::STORE_WRITE_AFTER_WAL)?;
-        let WalRecord::Point { v, .. } = record else {
-            unreachable!()
+        self.faults
+            .hit(fault_sites::STORE_WRITE_AFTER_WAL)
+            .map_err(StoreError::Wal)?;
+        let flushed = match record {
+            WalRecord::Point { v, .. } => self.engine.write(key, t, v),
+            // `record` is constructed as a Point above; a delete or
+            // tombstone cannot reach here.
+            WalRecord::Delete { .. } | WalRecord::Tombstone { .. } => None,
         };
-        let flushed = self.engine.write(key, t, v);
         if flushed.is_some() {
             self.persist_and_rotate()?;
         }
@@ -616,7 +681,7 @@ impl DurableEngine {
     /// an unacknowledged delete — never an acknowledged one, and never a
     /// previously acknowledged write. Returns how many in-memory points
     /// were removed.
-    pub fn delete_range(&mut self, key: &SeriesKey, t_lo: i64, t_hi: i64) -> io::Result<usize> {
+    pub fn delete_range(&mut self, key: &SeriesKey, t_lo: i64, t_hi: i64) -> StoreResult<usize> {
         let (removed, horizon) = self.engine.delete_range_with_horizon(key, t_lo, t_hi);
         let record = WalRecord::Delete {
             key: key.clone(),
@@ -625,12 +690,14 @@ impl DurableEngine {
             horizon: horizon.min(u32::MAX as usize) as u32,
         };
         self.append_record(&record)?;
-        self.faults.hit(fault_sites::STORE_DELETE_AFTER_WAL)?;
+        self.faults
+            .hit(fault_sites::STORE_DELETE_AFTER_WAL)
+            .map_err(StoreError::Wal)?;
         Ok(removed)
     }
 
     /// Durably flushes everything buffered.
-    pub fn flush(&mut self) -> io::Result<()> {
+    pub fn flush(&mut self) -> StoreResult<()> {
         self.engine.flush();
         self.persist_and_rotate()
     }
@@ -640,7 +707,7 @@ impl DurableEngine {
     /// WAL is its only durable record — so each fresh segment must carry
     /// the pending set before the segments that logged it originally are
     /// truncated.
-    fn log_pending_tombstones(&mut self) -> io::Result<()> {
+    fn log_pending_tombstones(&mut self) -> StoreResult<()> {
         let mut any = false;
         for shard in 0..self.engine.shard_count() {
             for (tomb, horizon) in self.engine.pending_tombstones(shard) {
@@ -655,20 +722,22 @@ impl DurableEngine {
             }
         }
         if any {
-            self.wal.sync()?;
+            self.wal.sync().map_err(StoreError::Wal)?;
         }
         Ok(())
     }
 
-    fn persist_and_rotate(&mut self) -> io::Result<()> {
+    fn persist_and_rotate(&mut self) -> StoreResult<()> {
         let span_start = std::time::Instant::now();
-        self.faults.hit(fault_sites::STORE_ROTATE_BEGIN)?;
+        self.faults
+            .hit(fault_sites::STORE_ROTATE_BEGIN)
+            .map_err(StoreError::Wal)?;
         // Commit the outgoing segment before any persist work. If the
         // pass dies after writing images but before its manifest commit,
         // recovery discards those images (not yet live) and must be able
         // to rebuild their content from this segment — which it can only
         // do if the records survived the crash.
-        self.wal.sync()?;
+        self.wal.sync().map_err(StoreError::Wal)?;
         // A WAL segment interleaves every shard's records, so before any
         // segment is deleted *all* shards' buffered data must reach
         // persisted files: flush each non-empty working memtable (the
@@ -676,7 +745,9 @@ impl DurableEngine {
         // every unsequence buffer, then write out the new images.
         self.engine.flush_dirty();
         self.engine.flush_unseq();
-        self.faults.hit(fault_sites::STORE_ROTATE_AFTER_FLUSH)?;
+        self.faults
+            .hit(fault_sites::STORE_ROTATE_AFTER_FLUSH)
+            .map_err(StoreError::Persist)?;
         let dropped = write_images(
             &self.engine,
             self.io.as_ref(),
@@ -693,7 +764,8 @@ impl DurableEngine {
         self.generation += 1;
         let new_wal = self
             .io
-            .open_append(&self.dir.join(format!("wal-{}.log", self.generation)))?;
+            .open_append(&self.dir.join(format!("wal-{}.log", self.generation)))
+            .map_err(StoreError::Wal)?;
         let old = std::mem::replace(&mut self.wal, new_wal);
         drop(old);
         self.log_pending_tombstones()?;
@@ -711,7 +783,8 @@ impl DurableEngine {
         // replay can re-apply the delete without losing newer writes.
         let mut stale: Vec<u64> = self
             .io
-            .list_dir(&self.dir)?
+            .list_dir(&self.dir)
+            .map_err(StoreError::Wal)?
             .into_iter()
             .filter_map(|name| {
                 name.strip_prefix("wal-")?
@@ -723,7 +796,9 @@ impl DurableEngine {
             .collect();
         stale.sort_unstable();
         for gen in stale {
-            self.faults.hit(fault_sites::STORE_ROTATE_TRUNCATE)?;
+            self.faults
+                .hit(fault_sites::STORE_ROTATE_TRUNCATE)
+                .map_err(StoreError::Wal)?;
             let _ = self.io.remove(&self.dir.join(format!("wal-{gen}.log")));
         }
         let obs = self.engine.obs();
@@ -745,9 +820,11 @@ impl DurableEngine {
     /// so far survives a crash; on `Err`, nothing since the previous
     /// successful barrier may be assumed durable (a failed fsync leaves
     /// the page cache in an unknown state — do not ack).
-    pub fn sync(&mut self) -> io::Result<()> {
-        self.faults.hit(fault_sites::STORE_SYNC)?;
-        self.wal.sync()
+    pub fn sync(&mut self) -> StoreResult<()> {
+        self.faults
+            .hit(fault_sites::STORE_SYNC)
+            .map_err(StoreError::Wal)?;
+        self.wal.sync().map_err(StoreError::Wal)
     }
 }
 
@@ -769,7 +846,7 @@ fn write_images(
     dir: &Path,
     generation: &mut u64,
     persisted: &mut [HashMap<u64, u64>],
-) -> io::Result<Vec<u64>> {
+) -> StoreResult<Vec<u64>> {
     let mut first_written = false;
     for (shard, done) in persisted.iter_mut().enumerate() {
         for id in engine.shard_file_ids(shard) {
@@ -780,11 +857,14 @@ fn write_images(
             // the merged file then carries the data under its own id.
             if let Some(image) = engine.file_image(shard, id) {
                 *generation += 1;
-                io.write_durable(&dir.join(format!("tsfile-{generation}.bstf")), &image)?;
+                io.write_durable(&dir.join(format!("tsfile-{generation}.bstf")), &image)
+                    .map_err(StoreError::Persist)?;
                 done.insert(id, *generation);
                 if !first_written {
                     first_written = true;
-                    faults.hit(fault_sites::STORE_PERSIST_AFTER_FIRST_WRITE)?;
+                    faults
+                        .hit(fault_sites::STORE_PERSIST_AFTER_FIRST_WRITE)
+                        .map_err(StoreError::Persist)?;
                 }
             }
         }
@@ -820,17 +900,21 @@ fn commit_manifest_and_gc(
     persisted: &[HashMap<u64, u64>],
     mut dropped_gens: Vec<u64>,
     wal_floor: u64,
-) -> io::Result<()> {
+) -> StoreResult<()> {
     let mut live_gens: Vec<u64> = persisted.iter().flat_map(|m| m.values().copied()).collect();
     live_gens.sort_unstable();
     live_gens.dedup();
-    write_manifest(io, dir, &live_gens, wal_floor)?;
-    faults.hit(fault_sites::STORE_PERSIST_BEFORE_GC)?;
+    write_manifest(io, dir, &live_gens, wal_floor).map_err(StoreError::Manifest)?;
+    faults
+        .hit(fault_sites::STORE_PERSIST_BEFORE_GC)
+        .map_err(StoreError::Manifest)?;
     dropped_gens.sort_unstable();
     dropped_gens.dedup();
     for gen in dropped_gens {
         if live_gens.binary_search(&gen).is_err() {
-            faults.hit(fault_sites::STORE_PERSIST_GC)?;
+            faults
+                .hit(fault_sites::STORE_PERSIST_GC)
+                .map_err(StoreError::Manifest)?;
             let _ = io.remove(&dir.join(format!("tsfile-{gen}.bstf")));
         }
     }

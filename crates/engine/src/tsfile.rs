@@ -77,24 +77,28 @@ impl TsFileWriter {
         assert_eq!(times.len(), values.len(), "column length mismatch");
         assert!(!times.is_empty(), "empty chunk");
         assert!(
-            times.windows(2).all(|w| w[0] < w[1]),
+            times.is_sorted_by(|a, b| a < b),
             "chunk timestamps must be strictly increasing"
         );
-        let data_type = values[0].data_type();
+        let (Some(first_value), Some(&first_time), Some(&last_time)) =
+            (values.first(), times.first(), times.last())
+        else {
+            return; // unreachable: the asserts above reject empty columns
+        };
+        let data_type = first_value.data_type();
 
         self.offsets.push(self.buf.len() as u64);
         let name = key.to_string();
         let name_bytes = name.as_bytes();
-        self.buf.extend_from_slice(
-            &(u16::try_from(name_bytes.len()).expect("key too long")).to_le_bytes(),
-        );
+        assert!(name_bytes.len() <= u16::MAX as usize, "key too long");
+        self.buf
+            .extend_from_slice(&(name_bytes.len() as u16).to_le_bytes());
         self.buf.extend_from_slice(name_bytes);
         self.buf.push(data_type.tag());
         self.buf
             .extend_from_slice(&(times.len() as u32).to_le_bytes());
-        self.buf.extend_from_slice(&times[0].to_le_bytes());
-        self.buf
-            .extend_from_slice(&times[times.len() - 1].to_le_bytes());
+        self.buf.extend_from_slice(&first_time.to_le_bytes());
+        self.buf.extend_from_slice(&last_time.to_le_bytes());
 
         // Pages: fixed point budget per page with its own statistics,
         // so range reads decode only the overlapping pages (IoTDB's
@@ -103,9 +107,11 @@ impl TsFileWriter {
         self.buf
             .extend_from_slice(&(page_count as u32).to_le_bytes());
         for (t_page, v_page) in times.chunks(PAGE_POINTS).zip(values.chunks(PAGE_POINTS)) {
-            self.buf.extend_from_slice(&t_page[0].to_le_bytes());
-            self.buf
-                .extend_from_slice(&t_page[t_page.len() - 1].to_le_bytes());
+            let (Some(&page_first), Some(&page_last)) = (t_page.first(), t_page.last()) else {
+                continue; // unreachable: chunks() never yields an empty slice
+            };
+            self.buf.extend_from_slice(&page_first.to_le_bytes());
+            self.buf.extend_from_slice(&page_last.to_le_bytes());
             self.buf
                 .extend_from_slice(&(t_page.len() as u32).to_le_bytes());
             let ts_bytes = ts2diff::encode(t_page);
@@ -134,6 +140,14 @@ impl TsFileWriter {
     }
 }
 
+/// Aborts on a chunk whose values do not all match the declared column
+/// type — a caller bug per [`TsFileWriter::write_chunk`]'s contract.
+#[cold]
+fn type_mismatch(expected: DataType, got: &TsValue) -> ! {
+    // analyzer:allow(panic-freedom): write_chunk documents mixed-type chunks as caller bugs; one cold panic site serves every per-value match arm below
+    panic!("expected {expected:?}, got {got:?}")
+}
+
 fn encode_values(dt: DataType, values: &[TsValue]) -> Vec<u8> {
     match dt {
         DataType::Int32 => {
@@ -141,7 +155,7 @@ fn encode_values(dt: DataType, values: &[TsValue]) -> Vec<u8> {
                 .iter()
                 .map(|v| match v {
                     TsValue::Int(x) => *x as i64,
-                    other => panic!("expected Int32, got {other:?}"),
+                    other => type_mismatch(DataType::Int32, other),
                 })
                 .collect();
             intcolumn::encode(&col)
@@ -151,7 +165,7 @@ fn encode_values(dt: DataType, values: &[TsValue]) -> Vec<u8> {
                 .iter()
                 .map(|v| match v {
                     TsValue::Long(x) => *x,
-                    other => panic!("expected Int64, got {other:?}"),
+                    other => type_mismatch(DataType::Int64, other),
                 })
                 .collect();
             intcolumn::encode(&col)
@@ -161,7 +175,7 @@ fn encode_values(dt: DataType, values: &[TsValue]) -> Vec<u8> {
                 .iter()
                 .map(|v| match v {
                     TsValue::Float(x) => *x,
-                    other => panic!("expected Float, got {other:?}"),
+                    other => type_mismatch(DataType::Float, other),
                 })
                 .collect();
             gorilla::encode_f32(&col)
@@ -171,7 +185,7 @@ fn encode_values(dt: DataType, values: &[TsValue]) -> Vec<u8> {
                 .iter()
                 .map(|v| match v {
                     TsValue::Double(x) => *x,
-                    other => panic!("expected Double, got {other:?}"),
+                    other => type_mismatch(DataType::Double, other),
                 })
                 .collect();
             gorilla::encode_f64(&col)
@@ -181,7 +195,7 @@ fn encode_values(dt: DataType, values: &[TsValue]) -> Vec<u8> {
                 .iter()
                 .map(|v| match v {
                     TsValue::Bool(x) => *x,
-                    other => panic!("expected Boolean, got {other:?}"),
+                    other => type_mismatch(DataType::Boolean, other),
                 })
                 .collect();
             boolpack::encode(&col)
@@ -191,7 +205,7 @@ fn encode_values(dt: DataType, values: &[TsValue]) -> Vec<u8> {
                 .iter()
                 .map(|v| match v {
                     TsValue::Text(s) => s.as_str(),
-                    other => panic!("expected Text, got {other:?}"),
+                    other => type_mismatch(DataType::Text, other),
                 })
                 .collect();
             textpack::encode(&col)

@@ -119,6 +119,7 @@ impl FailpointRegistry {
         if let Ok(spec) = std::env::var("BACKSORT_FAULTS") {
             if !spec.trim().is_empty() {
                 reg.arm_spec(&spec)
+                    // analyzer:allow(panic-freedom): documented contract — a mistyped BACKSORT_FAULTS plan aborts the harness at startup rather than silently arming nothing
                     .unwrap_or_else(|e| panic!("BACKSORT_FAULTS: {e}"));
             }
         }
@@ -127,7 +128,10 @@ impl FailpointRegistry {
 
     /// Arms `site` to fire `mode` on its `after`-th hit (1-based).
     pub fn arm(&self, site: &str, mode: FaultMode, after: u64) {
-        let mut sites = self.sites.lock().unwrap();
+        let mut sites = self
+            .sites
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let entry = sites.entry(site.to_string()).or_default();
         entry.plan = Some(Plan {
             mode,
@@ -168,7 +172,10 @@ impl FailpointRegistry {
     /// Clears every plan and the dead flag; hit/fired counters survive
     /// so coverage can still be asserted after recovery.
     pub fn revive(&self) {
-        let mut sites = self.sites.lock().unwrap();
+        let mut sites = self
+            .sites
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for state in sites.values_mut() {
             state.plan = None;
         }
@@ -194,7 +201,10 @@ impl FailpointRegistry {
     /// Core trigger: records a hit on `site` and returns the fault mode
     /// if this hit fires its plan. Only called while armed.
     fn trigger(&self, site: &str) -> Option<FaultMode> {
-        let mut sites = self.sites.lock().unwrap();
+        let mut sites = self
+            .sites
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let state = sites.entry(site.to_string()).or_default();
         state.hits += 1;
         let plan = state.plan?;
@@ -254,12 +264,20 @@ impl FailpointRegistry {
 
     /// How many times `site` has fired (0 if never hit).
     pub fn fired(&self, site: &str) -> u64 {
-        self.sites.lock().unwrap().get(site).map_or(0, |s| s.fired)
+        self.sites
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(site)
+            .map_or(0, |s| s.fired)
     }
 
     /// How many times `site` has been hit while armed (0 if never).
     pub fn hits(&self, site: &str) -> u64 {
-        self.sites.lock().unwrap().get(site).map_or(0, |s| s.hits)
+        self.sites
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(site)
+            .map_or(0, |s| s.hits)
     }
 
     /// Every site observed so far (hit at least once while armed), for
@@ -267,7 +285,7 @@ impl FailpointRegistry {
     pub fn observed_sites(&self) -> Vec<String> {
         self.sites
             .lock()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .filter(|(_, s)| s.hits > 0)
             .map(|(k, _)| k.clone())
@@ -353,7 +371,10 @@ mod tests {
     fn spec_parsing_round_trip() {
         let reg = FailpointRegistry::new();
         reg.arm_spec("a=kill@3; b=error ;c=short@2;d=flip").unwrap();
-        let plans = reg.sites.lock().unwrap();
+        let plans = reg
+            .sites
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let p = |k: &str| plans.get(k).unwrap().plan.unwrap();
         assert_eq!(p("a").mode, FaultMode::Kill);
         assert_eq!(p("a").after, 3);

@@ -59,7 +59,10 @@ impl SimIo {
     /// Power cut: every file loses its un-committed suffix. The dead
     /// flag is *not* cleared — revive the registry to model the restart.
     pub fn crash(&self) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for file in state.files.values_mut() {
             let committed = file.committed;
             file.data.truncate(committed);
@@ -69,7 +72,10 @@ impl SimIo {
     /// `(path, visible bytes, committed bytes)` for every file, for
     /// harness diagnostics.
     pub fn file_sizes(&self) -> Vec<(PathBuf, usize, usize)> {
-        let state = self.state.lock().unwrap();
+        let state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         state
             .files
             .iter()
@@ -100,7 +106,10 @@ fn flip_one_bit(bytes: &[u8]) -> Vec<u8> {
 impl Io for SimIo {
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
         self.check_dead("sim.create_dir_all")?;
-        let mut state = self.state.lock().unwrap();
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut p = path.to_path_buf();
         loop {
             state.dirs.insert(p.clone());
@@ -114,7 +123,10 @@ impl Io for SimIo {
 
     fn list_dir(&self, path: &Path) -> io::Result<Vec<String>> {
         self.check_dead("sim.list_dir")?;
-        let state = self.state.lock().unwrap();
+        let state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if !state.dirs.contains(path) {
             return Err(io::Error::new(
                 io::ErrorKind::NotFound,
@@ -132,7 +144,10 @@ impl Io for SimIo {
 
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
         self.check_dead("sim.read")?;
-        let state = self.state.lock().unwrap();
+        let state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         state
             .files
             .get(path)
@@ -156,7 +171,10 @@ impl Io for SimIo {
         };
         self.check_dead(site)?;
         let fault = self.faults.io_fault(site);
-        let mut state = self.state.lock().unwrap();
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         match fault {
             None => {
                 state.files.insert(
@@ -209,7 +227,10 @@ impl Io for SimIo {
 
     fn remove(&self, path: &Path) -> io::Result<()> {
         self.check_dead("sim.remove")?;
-        let mut state = self.state.lock().unwrap();
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if state.files.remove(path).is_none() {
             return Err(io::Error::new(
                 io::ErrorKind::NotFound,
@@ -221,7 +242,10 @@ impl Io for SimIo {
 
     fn open_append(&self, path: &Path) -> io::Result<Box<dyn WalFile>> {
         self.check_dead("sim.open_append")?;
-        let mut state = self.state.lock().unwrap();
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         state.files.entry(path.to_path_buf()).or_default();
         Ok(Box::new(SimWalFile {
             path: path.to_path_buf(),
@@ -239,7 +263,10 @@ struct SimWalFile {
 
 impl SimWalFile {
     fn with_file<R>(&self, f: impl FnOnce(&mut SimFile) -> R) -> R {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         f(state.files.entry(self.path.clone()).or_default())
     }
 }
@@ -359,7 +386,7 @@ mod tests {
         assert!(reg.is_dead());
         assert!(wal.append(b"cccc").is_err(), "dead disk takes no writes");
         sim.crash();
-        assert_eq!(sim.read(path).is_err(), true, "disk still frozen");
+        assert!(sim.read(path).is_err(), "disk still frozen");
         reg.revive();
         assert_eq!(sim.read(path).unwrap(), b"aaaabb");
         assert_eq!(reg.fired(sites::IO_WAL_APPEND), 1);

@@ -376,6 +376,9 @@ pub struct Tracer {
     enabled: bool,
     capacity: usize,
     total: AtomicU64,
+    // Poisoning is recovered (`PoisonError::into_inner`) everywhere this
+    // lock is taken: a panicking recorder must not take telemetry down
+    // with it, and a half-updated ring is still well-formed spans.
     ring: Mutex<VecDeque<SpanEvent>>,
 }
 
@@ -395,7 +398,10 @@ impl Tracer {
             return;
         }
         self.total.fetch_add(1, Ordering::Relaxed);
-        let mut ring = self.ring.lock().expect("tracer lock");
+        let mut ring = self
+            .ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if ring.len() == self.capacity {
             ring.pop_front();
         }
@@ -410,7 +416,7 @@ impl Tracer {
     pub fn recent(&self) -> Vec<SpanEvent> {
         self.ring
             .lock()
-            .expect("tracer lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .cloned()
             .collect()
@@ -446,6 +452,10 @@ struct Inner {
 #[derive(Debug)]
 pub struct Registry {
     enabled: bool,
+    // Poisoning is recovered (`PoisonError::into_inner`) at every
+    // acquisition: the maps only ever gain fully-constructed entries, so
+    // a panic mid-insert leaves them consistent, and metrics must never
+    // abort the process that is trying to report a failure.
     inner: RwLock<Inner>,
     tracer: Tracer,
 }
@@ -490,10 +500,19 @@ impl Registry {
 
     /// Registers (or retrieves) a counter.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        if let Some(c) = self.inner.read().expect("registry lock").counters.get(name) {
+        if let Some(c) = self
+            .inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .counters
+            .get(name)
+        {
             return Arc::clone(c);
         }
-        let mut inner = self.inner.write().expect("registry lock");
+        let mut inner = self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Arc::clone(
             inner
                 .counters
@@ -504,10 +523,19 @@ impl Registry {
 
     /// Registers (or retrieves) a gauge.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        if let Some(g) = self.inner.read().expect("registry lock").gauges.get(name) {
+        if let Some(g) = self
+            .inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .gauges
+            .get(name)
+        {
             return Arc::clone(g);
         }
-        let mut inner = self.inner.write().expect("registry lock");
+        let mut inner = self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Arc::clone(
             inner
                 .gauges
@@ -521,13 +549,16 @@ impl Registry {
         if let Some(h) = self
             .inner
             .read()
-            .expect("registry lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .histograms
             .get(name)
         {
             return Arc::clone(h);
         }
-        let mut inner = self.inner.write().expect("registry lock");
+        let mut inner = self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Arc::clone(
             inner
                 .histograms
@@ -540,7 +571,7 @@ impl Registry {
     pub fn counter_value(&self, name: &str) -> u64 {
         self.inner
             .read()
-            .expect("registry lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .counters
             .get(name)
             .map_or(0, |c| c.get())
@@ -550,7 +581,7 @@ impl Registry {
     pub fn gauge_value(&self, name: &str) -> i64 {
         self.inner
             .read()
-            .expect("registry lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .gauges
             .get(name)
             .map_or(0, |g| g.get())
@@ -563,7 +594,10 @@ impl Registry {
 
     /// A point-in-time copy of every registered metric.
     pub fn snapshot(&self) -> Snapshot {
-        let inner = self.inner.read().expect("registry lock");
+        let inner = self
+            .inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Snapshot {
             counters: inner
                 .counters

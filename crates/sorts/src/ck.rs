@@ -36,7 +36,7 @@ pub fn cksort<S: SeriesAccess>(s: &mut S) {
             _ => kept.push(x),
         }
     }
-    debug_assert!(kept.windows(2).all(|w| w[0].0 <= w[1].0));
+    debug_assert!(kept.is_sorted_by(|a, b| a.0 <= b.0));
 
     if side.is_empty() {
         // Input was already sorted; nothing moved, nothing to write.

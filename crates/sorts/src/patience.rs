@@ -34,9 +34,9 @@ pub fn patience_sort<S: SeriesAccess>(s: &mut S) {
         // Fast path: the pile used last time still accepts `t`.
         if !piles.is_empty() {
             let lu = last_used.min(piles.len() - 1);
-            let tail = piles[lu].last().expect("piles are never empty").0;
-            let next_tail = piles.get(lu + 1).map(|p| p.last().expect("non-empty").0);
-            if tail <= t && next_tail.is_none_or(|nt| nt > t) {
+            let tail = piles.get(lu).and_then(|p| p.last()).map(|pv| pv.0);
+            let next_tail = piles.get(lu + 1).and_then(|p| p.last()).map(|pv| pv.0);
+            if tail.is_some_and(|tail| tail <= t) && next_tail.is_none_or(|nt| nt > t) {
                 piles[lu].push((t, v));
                 last_used = lu;
                 continue;
@@ -48,7 +48,11 @@ pub fn patience_sort<S: SeriesAccess>(s: &mut S) {
         let mut hi = piles.len();
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
-            if piles[mid].last().expect("non-empty").0 <= t {
+            if piles
+                .get(mid)
+                .and_then(|p| p.last())
+                .is_some_and(|pv| pv.0 <= t)
+            {
                 lo = mid + 1;
             } else {
                 hi = mid;
@@ -77,7 +81,9 @@ pub fn patience_sort<S: SeriesAccess>(s: &mut S) {
         }
         piles = next;
     }
-    write_back(s, 0, &piles[0]);
+    if let Some(pile) = piles.first() {
+        write_back(s, 0, pile);
+    }
 }
 
 /// Merges two sorted pile vectors; ties prefer `a` (the earlier pile).

@@ -384,8 +384,9 @@ impl<V: Copy> TimState<V> {
                 s.set(dest, t, v);
             }
             dest -= 1;
-            let (t, v) = tmp[0];
-            s.set(dest, t, v);
+            if let Some(&(t, v)) = tmp.first() {
+                s.set(dest, t, v);
+            }
             return;
         }
 

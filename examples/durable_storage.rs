@@ -8,7 +8,7 @@ use backward_sort_repro::core::Algorithm;
 use backward_sort_repro::engine::{AggValue, Aggregation};
 use backward_sort_repro::engine::{DurableEngine, EngineConfig, SeriesKey, TsValue};
 
-fn main() -> std::io::Result<()> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join(format!("backsort-demo-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let config = EngineConfig {
