@@ -19,7 +19,8 @@ fn build_memtable(points: usize) -> MemTable {
     );
     let mut mt = MemTable::new(32);
     for (t, v) in generate_pairs(&spec) {
-        mt.write(&key, t, TsValue::Double(v));
+        mt.write(&key, t, TsValue::Double(v))
+            .expect("uniform Double writes");
     }
     mt
 }

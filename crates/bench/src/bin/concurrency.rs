@@ -7,6 +7,12 @@
 //! also compares engine shard counts {1, 4}: one shard is the paper's
 //! single-lock engine, four shards partition the devices so disjoint
 //! writers stop contending.
+//!
+//! Each shard count also runs a batch-size sweep (batch = 1/64/1024 at
+//! constant total points, BackSort, 4 writers, no queriers): batch = 1
+//! is point-at-a-time framing, so the ratio of the b64/b1024 cells to
+//! the b1 cell is the amortization the columnar `PointBatch` path buys
+//! on the write lock, watermark split, and memtable append.
 
 use backsort_benchmark::{run_benchmark_concurrent, BenchConfig};
 use backsort_core::Algorithm;
@@ -63,6 +69,40 @@ fn main() {
                 ]);
                 json_rows.push(report);
             }
+        }
+        // Batch-size sweep: same total point count per cell, so pps is
+        // directly comparable across batch sizes.
+        let sweep_points = ops * 500;
+        for &batch in &[1usize, 64, 1024] {
+            let config = BenchConfig {
+                devices: 4,
+                sensors_per_device: 4,
+                batch_size: batch,
+                write_percentage: 1.0,
+                operations: sweep_points / batch,
+                delay: DelayModel::AbsNormal {
+                    mu: 1.0,
+                    sigma: 2.0,
+                },
+                query_window: 2_000,
+                memtable_max_points: 100_000,
+                sorter: Algorithm::Backward(Default::default()),
+                shards,
+                seed: 42,
+            };
+            let report = run_benchmark_concurrent(&config, 4, 0);
+            rows.push(vec![
+                shards.to_string(),
+                format!("4w/0q b{batch}"),
+                report.sorter.clone(),
+                format!("{:.1}", report.total_latency_ms),
+                report
+                    .write_throughput_pps
+                    .map_or("-".into(), |v| format!("{v:.2e}")),
+                "-".into(),
+                report.flushes.to_string(),
+            ]);
+            json_rows.push(report);
         }
     }
 

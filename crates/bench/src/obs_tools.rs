@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use backsort_core::Algorithm;
-use backsort_engine::{EngineConfig, SeriesKey, StorageEngine, TsValue};
+use backsort_engine::{EngineConfig, PointBatch, SeriesKey, StorageEngine, TsValue};
 use backsort_obs::Registry;
 use backsort_workload::{generate_pairs, DelayModel, SignalKind, StreamSpec};
 
@@ -162,7 +162,8 @@ fn ingest_pps(registry: Arc<Registry>, points: &[(i64, TsValue)], batch: usize) 
     let key = SeriesKey::new("root.obs.d0", "s0");
     let start = Instant::now();
     for chunk in points.chunks(batch) {
-        engine.write_batch(&key, chunk.to_vec());
+        let batch = PointBatch::from_rows(chunk.iter().cloned()).expect("uniform rows");
+        engine.write_batch(&key, &batch).expect("uniform batch");
     }
     points.len() as f64 / start.elapsed().as_secs_f64()
 }

@@ -100,10 +100,105 @@ pub fn main() {
     );
 }
 
-/// Runs the full (shards × threads × sorter × mode) grid and returns the
-/// per-cell reports. Shared by [`main`] and the perf-smoke regression
-/// gate ([`crate::perf_gate`]), so the gate measures exactly the cells
-/// `query_bench --smoke` prints.
+/// Batch sizes for the ingest sweep cells appended to every grid run:
+/// batch = 1 degenerates the columnar path to point-at-a-time framing,
+/// 64 and 1024 amortize the per-batch watermark split and bulk append.
+pub const INGEST_BATCH_SIZES: [usize; 3] = [1, 64, 1024];
+
+/// One single-writer ingest cell: chunks each sensor's arrival-ordered
+/// stream into [`backsort_engine::PointBatch`]es of `batch` points and
+/// measures aggregate write throughput through
+/// [`backsort_engine::StorageEngine::write_batch`]. Reported in the same
+/// [`backsort_benchmark::QueryBenchReport`] shape as the query cells
+/// (`mode = "ingest-b{batch}"`, `pps` = write points/sec, `qps` = 0) so
+/// the perf-smoke gate ratchets ingest alongside query throughput.
+fn run_ingest_cell(
+    sorter: Algorithm,
+    shards: usize,
+    batch: usize,
+    total_points: usize,
+    registry: Option<Arc<backsort_obs::Registry>>,
+) -> backsort_benchmark::QueryBenchReport {
+    use backsort_engine::{EngineConfig, PointBatch, SeriesKey, StorageEngine, TsValue};
+    use backsort_workload::{generate_pairs, SignalKind, StreamSpec};
+
+    let engine_config = EngineConfig {
+        memtable_max_points: 20_000,
+        array_size: 32,
+        sorter,
+        shards,
+    };
+    let engine = match registry {
+        Some(registry) => StorageEngine::with_registry(engine_config, registry),
+        None => StorageEngine::new(engine_config),
+    };
+    let devices = 4usize;
+    let keys: Vec<SeriesKey> = (0..devices)
+        .map(|d| SeriesKey::new(format!("root.sg.d{d}"), "s0"))
+        .collect();
+    let streams: Vec<Vec<(i64, TsValue)>> = (0..devices)
+        .map(|d| {
+            let spec = StreamSpec {
+                n: total_points / devices,
+                interval: 1,
+                delay: DelayModel::AbsNormal {
+                    mu: 1.0,
+                    sigma: 2.0,
+                },
+                signal: SignalKind::Sine {
+                    period: 512.0,
+                    amp: 100.0,
+                    noise: 1.0,
+                },
+                seed: 42 ^ (d as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            };
+            generate_pairs(&spec)
+                .into_iter()
+                .map(|(t, v)| (t, TsValue::Double(v)))
+                .collect()
+        })
+        .collect();
+
+    let mut written = 0u64;
+    let start = std::time::Instant::now();
+    for (key, stream) in keys.iter().zip(&streams) {
+        for rows in stream.chunks(batch) {
+            let pb = PointBatch::from_rows(rows.iter().cloned()).expect("uniform Double rows");
+            engine.write_batch(key, &pb).expect("uniform Double batch");
+            written += rows.len() as u64;
+        }
+    }
+    let wall = start.elapsed();
+
+    backsort_benchmark::QueryBenchReport {
+        sorter: {
+            use backsort_sorts::SeriesSorter;
+            sorter.name().to_string()
+        },
+        shards: engine.shard_count(),
+        threads: 1,
+        mode: format!("ingest-b{batch}"),
+        queries: 0,
+        points: written,
+        p50_us: 0.0,
+        p99_us: 0.0,
+        mean_us: 0.0,
+        qps: 0.0,
+        pps: written as f64 / wall.as_secs_f64().max(1e-9),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        read_lock_queries: 0,
+        sorted_on_read_queries: 0,
+        exclusive_queries: 0,
+        files_considered: 0,
+        files_pruned: 0,
+    }
+}
+
+/// Runs the full (shards × threads × sorter × mode) grid — plus one
+/// ingest sweep cell per (shards × sorter × batch size) — and returns
+/// the per-cell reports. Shared by [`main`] and the perf-smoke
+/// regression gate ([`crate::perf_gate`]), so the gate measures exactly
+/// the cells `query_bench --smoke` prints.
 pub fn run_cells(
     ops: usize,
     queries_per_thread: usize,
@@ -141,6 +236,17 @@ pub fn run_cells(
                         registry.clone(),
                     ));
                 }
+            }
+        }
+        for &sorter in sorters {
+            for &batch in &INGEST_BATCH_SIZES {
+                reports.push(run_ingest_cell(
+                    sorter,
+                    shards,
+                    batch,
+                    ops * 500,
+                    registry.clone(),
+                ));
             }
         }
     }

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use backsort_engine::{AsyncFlusher, EngineConfig, SeriesKey, StorageEngine, TsValue};
+use backsort_engine::{AsyncFlusher, EngineConfig, PointBatch, SeriesKey, StorageEngine, TsValue};
 use backsort_workload::{generate_pairs, SignalKind, StreamSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -29,6 +29,9 @@ pub struct ConcurrentReport {
     pub shards: usize,
     /// Writer threads used.
     pub writer_threads: usize,
+    /// Points per ingest batch (the sweep dimension of the columnar
+    /// path: batch = 1 degenerates to point-at-a-time framing).
+    pub batch_size: usize,
     /// Query threads used.
     pub query_threads: usize,
     /// Points ingested across all writers.
@@ -147,8 +150,11 @@ pub fn run_benchmark_concurrent(
                     if lo == hi {
                         continue;
                     }
+                    let batch = PointBatch::from_rows(streams[sensor][lo..hi].iter().cloned())
+                        .expect("uniform Double rows");
                     let rotated = engine
-                        .write_batch_nonblocking(&keys[sensor], streams[sensor][lo..hi].to_vec());
+                        .write_batch_nonblocking(&keys[sensor], &batch)
+                        .expect("uniform Double batch");
                     if let Some(job) = rotated {
                         // Sorting and encoding happen on the pool, off the
                         // write path; if it already shut down, finish the
@@ -213,6 +219,7 @@ pub fn run_benchmark_concurrent(
         },
         shards: engine.shard_count(),
         writer_threads,
+        batch_size: config.batch_size,
         query_threads,
         points_written: w_points,
         points_queried: q_points,

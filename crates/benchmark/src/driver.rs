@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use backsort_engine::{EngineConfig, SeriesKey, StorageEngine, TsValue};
+use backsort_engine::{EngineConfig, PointBatch, SeriesKey, StorageEngine, TsValue};
 use backsort_workload::{generate_pairs, SignalKind, StreamSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -114,14 +114,14 @@ pub fn run_benchmark(config: &BenchConfig) -> BenchReport {
             if lo == hi {
                 continue; // stream exhausted; count as a no-op write
             }
-            let batch: Vec<(i64, TsValue)> = stream[lo..hi]
-                .iter()
-                .map(|&(t, v)| (t, TsValue::Double(v)))
-                .collect();
-            let batch_len = batch.len() as u64;
-            engine.write_batch(&keys[idx], batch);
+            let batch =
+                PointBatch::from_rows(stream[lo..hi].iter().map(|&(t, v)| (t, TsValue::Double(v))))
+                    .expect("uniform Double rows");
+            engine
+                .write_batch(&keys[idx], &batch)
+                .expect("uniform Double batch");
             report.writes += 1;
-            report.points_written += batch_len;
+            report.points_written += (hi - lo) as u64;
         } else {
             let idx = rng.gen_range(0..sensor_count);
             let key = &keys[idx];

@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
 
-use backsort_engine::{EngineConfig, SeriesKey, StorageEngine, TsValue};
+use backsort_engine::{EngineConfig, PointBatch, SeriesKey, StorageEngine, TsValue};
 use backsort_sorts::SeriesSorter;
 use backsort_workload::{generate_pairs, SignalKind, StreamSpec};
 use rand::rngs::StdRng;
@@ -127,8 +127,11 @@ fn seed_engine(
             .into_iter()
             .map(|(t, v)| (t, TsValue::Double(v)))
             .collect();
-        for batch in points.chunks(config.batch_size) {
-            engine.write_batch(key, batch.to_vec());
+        for rows in points.chunks(config.batch_size) {
+            let batch = PointBatch::from_rows(rows.iter().cloned()).expect("uniform Double rows");
+            engine
+                .write_batch(key, &batch)
+                .expect("uniform Double batch");
         }
     }
     (engine, keys)

@@ -138,6 +138,13 @@ fn gallop_lower_from_left<S: SeriesAccess>(s: &S, lo: usize, hi: usize, key: i64
 
 /// Merge when run1 (the block tail) is the smaller side: buffer it and
 /// merge front-to-back. Ties take run1 first (stability).
+///
+/// The copy loop is run-based rather than element-based: each iteration
+/// lands a whole run from one side — the scratch run end found by binary
+/// search on the buffered (sorted) slice, the series run end by galloping —
+/// then moves it with one bulk `copy_from_slice`/`copy_within` call. That
+/// removes the per-element branch and lets contiguous `SeriesAccess`
+/// implementations use memcpy/memmove.
 fn merge_forward<S: SeriesAccess>(
     s: &mut S,
     b: usize,
@@ -146,30 +153,38 @@ fn merge_forward<S: SeriesAccess>(
     scratch: &mut Vec<(i64, S::Value)>,
 ) -> usize {
     scratch.clear();
-    scratch.extend((b..mid).map(|i| s.get(i)));
+    s.read_into(b, mid, scratch);
     let mut moves = scratch.len(); // copies into scratch count as moves
     let mut i = 0usize; // scratch cursor (run1)
     let mut j = mid; // series cursor (run2)
     let mut dest = b;
     while i < scratch.len() && j < e {
-        if scratch[i].0 <= s.time(j) {
-            let (t, v) = scratch[i];
-            s.set(dest, t, v);
-            i += 1;
-        } else {
-            let (t, v) = s.get(j);
-            s.set(dest, t, v);
-            j += 1;
+        // Scratch run: everything <= the series head goes first (ties take
+        // run1 for stability).
+        let t = s.time(j);
+        let run1_end = i + scratch[i..].partition_point(|p| p.0 <= t);
+        if run1_end > i {
+            s.copy_from_slice(dest, &scratch[i..run1_end]);
+            dest += run1_end - i;
+            moves += run1_end - i;
+            i = run1_end;
+            if i == scratch.len() {
+                break;
+            }
         }
-        dest += 1;
-        moves += 1;
+        // Series run: everything strictly below the next scratch element.
+        // `dest < j` always holds here, so the overlapping move is safe.
+        let key = scratch[i].0;
+        let run2_end = gallop_lower_from_left(s, j, e, key);
+        s.copy_within(j, run2_end, dest);
+        dest += run2_end - j;
+        moves += run2_end - j;
+        j = run2_end;
     }
-    while i < scratch.len() {
-        let (t, v) = scratch[i];
-        s.set(dest, t, v);
-        i += 1;
-        dest += 1;
-        moves += 1;
+    if i < scratch.len() {
+        let n = scratch.len() - i;
+        s.copy_from_slice(dest, &scratch[i..]);
+        moves += n;
     }
     // Any remaining run2 elements are already in place.
     moves
@@ -177,6 +192,10 @@ fn merge_forward<S: SeriesAccess>(
 
 /// Merge when run2 (the suffix head) is the smaller side: buffer it and
 /// merge back-to-front. Ties take run2 last (stability).
+///
+/// Run-based like [`merge_forward`], mirrored: series runs are found by
+/// galloping leftward from the boundary, scratch runs by binary search, and
+/// both land via one bulk copy per run.
 fn merge_backward<S: SeriesAccess>(
     s: &mut S,
     b: usize,
@@ -185,31 +204,40 @@ fn merge_backward<S: SeriesAccess>(
     scratch: &mut Vec<(i64, S::Value)>,
 ) -> usize {
     scratch.clear();
-    scratch.extend((mid..e).map(|i| s.get(i)));
+    s.read_into(mid, e, scratch);
     let mut moves = scratch.len();
     let mut i = scratch.len(); // one past scratch cursor (run2)
     let mut j = mid; // one past series cursor (run1)
     let mut dest = e; // one past write position
     while i > 0 && j > b {
-        if s.time(j - 1) > scratch[i - 1].0 {
-            j -= 1;
-            dest -= 1;
-            let (t, v) = s.get(j);
-            s.set(dest, t, v);
-        } else {
-            i -= 1;
-            dest -= 1;
-            let (t, v) = scratch[i];
-            s.set(dest, t, v);
+        // Series run: everything strictly above the scratch tail lands at
+        // the back (ties take run2 last). `dest > run1_start` always holds
+        // here, so the overlapping move is safe.
+        let key = scratch[i - 1].0;
+        let run1_start = gallop_upper_from_right(s, b, j, key);
+        if run1_start < j {
+            let n = j - run1_start;
+            dest -= n;
+            s.copy_within(run1_start, j, dest);
+            moves += n;
+            j = run1_start;
+            if j == b {
+                break;
+            }
         }
-        moves += 1;
+        // Scratch run: the tail of the buffer at or above the series tail.
+        // Non-empty, because the gallop above stopped at `time(j-1) <= key`.
+        let t = s.time(j - 1);
+        let run2_start = scratch[..i].partition_point(|p| p.0 < t);
+        let n = i - run2_start;
+        dest -= n;
+        s.copy_from_slice(dest, &scratch[run2_start..i]);
+        moves += n;
+        i = run2_start;
     }
-    while i > 0 {
-        i -= 1;
-        dest -= 1;
-        let (t, v) = scratch[i];
-        s.set(dest, t, v);
-        moves += 1;
+    if i > 0 {
+        s.copy_from_slice(dest - i, &scratch[..i]);
+        moves += i;
     }
     moves
 }

@@ -38,6 +38,7 @@ use backsort_faults::io::Io;
 use backsort_faults::sim::SimIo;
 use backsort_faults::{sites, FailpointRegistry, FaultMode};
 
+use crate::batch::PointBatch;
 use crate::engine::EngineConfig;
 use crate::store::DurableEngine;
 use crate::types::{SeriesKey, TsValue};
@@ -233,6 +234,7 @@ pub fn matrix() -> Vec<CaseSpec> {
     // must surface cleanly, and a simulated death.
     for site in [
         sites::STORE_WRITE_AFTER_WAL,
+        sites::STORE_WRITE_BATCH_APPEND,
         sites::STORE_DELETE_AFTER_WAL,
         sites::STORE_ROTATE_BEGIN,
         sites::STORE_ROTATE_AFTER_FLUSH,
@@ -268,6 +270,7 @@ pub fn matrix() -> Vec<CaseSpec> {
     for site in [
         sites::STORE_OPEN_AFTER_ADOPT,
         sites::STORE_OPEN_AFTER_REPLAY,
+        sites::STORE_OPEN_BATCH_REPLAY,
         sites::STORE_OPEN_BEFORE_WAL_DELETE,
     ] {
         for mode in [Error, Kill] {
@@ -323,6 +326,38 @@ fn workload(
                 Ok(Some(_)) => oracle.barrier(), // completed a rotation
                 Ok(None) => {}
                 Err(_) => oracle.mark_optional(k, idx),
+            }
+            if faults.is_dead() {
+                return;
+            }
+        }
+        // One columnar batch per round: a single WAL frame carrying
+        // several points. A fault on the frame append loses or keeps
+        // the batch *whole* — each point is marked indeterminate so the
+        // checker tries both readings (and, the frame being atomic, any
+        // half-applied batch shows up as a state matching no prefix).
+        {
+            let k = (round % keys.len() as u64) as usize;
+            let mut rows = Vec::new();
+            for _ in 0..5 {
+                let t = tick[k] * 4 + rng.below(7) as i64 - 3;
+                tick[k] += 1;
+                rows.push((t, TsValue::Long(rng.below(100_000) as i64 - 50_000)));
+            }
+            if let Ok(batch) = PointBatch::from_rows(rows.clone()) {
+                let idxs: Vec<usize> = rows
+                    .iter()
+                    .map(|(t, v)| oracle.record(k, KeyOp::Write(*t, v.clone())))
+                    .collect();
+                match eng.write_batch(&keys[k], &batch) {
+                    Ok(flushed) if !flushed.is_empty() => oracle.barrier(),
+                    Ok(_) => {}
+                    Err(_) => {
+                        for idx in idxs {
+                            oracle.mark_optional(k, idx);
+                        }
+                    }
+                }
             }
             if faults.is_dead() {
                 return;
@@ -425,6 +460,40 @@ pub fn run_case(spec: &CaseSpec, shards: usize, seed: u64) -> Result<(), String>
                 oracle.record(0, KeyOp::Delete(lo, hi));
                 eng.delete_range(key0, lo, hi)
                     .map_err(|e| format!("unarmored delete failed: {e}"))?;
+            }
+            // Leave batch frames in the live WAL tail so the armed
+            // recovery exercises the batch-replay path. A batch that
+            // completes a rotation wipes the tail (its frame is flushed
+            // and the segment retired), so keep writing until two batch
+            // frames land *without* triggering one — guaranteed to
+            // terminate because a rotation empties every memtable and
+            // two 3-point batches cannot refill one.
+            let mut pending = 2u32;
+            let mut b = 0u64;
+            while pending > 0 {
+                let k = ((b + 1) % keys.len() as u64) as usize;
+                b += 1;
+                let mut rows = Vec::new();
+                for _ in 0..3 {
+                    let t = tick[k] * 4 + rng.below(7) as i64 - 3;
+                    tick[k] += 1;
+                    rows.push((t, TsValue::Long(rng.below(100_000) as i64 - 50_000)));
+                }
+                let Ok(batch) = PointBatch::from_rows(rows.clone()) else {
+                    continue;
+                };
+                for (t, v) in &rows {
+                    oracle.record(k, KeyOp::Write(*t, v.clone()));
+                }
+                let flushed = eng
+                    .write_batch(&keys[k], &batch)
+                    .map_err(|e| format!("unarmored batch write failed: {e}"))?;
+                if flushed.is_empty() {
+                    pending -= 1;
+                } else {
+                    oracle.barrier();
+                    pending = 2;
+                }
             }
             eng.sync()
                 .map_err(|e| format!("unarmored sync failed: {e}"))?;

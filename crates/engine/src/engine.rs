@@ -39,6 +39,7 @@ use backsort_faults::{sites as fault_sites, FailpointRegistry};
 use backsort_obs::{names, Counter, Gauge, Histogram, LocalHistogram, Registry};
 use parking_lot::RwLock;
 
+use crate::batch::{type_mismatch, PointBatch, WriteError};
 use crate::delete::Tombstone;
 use crate::flush::{flush_memtable_observed, FlushMetrics};
 use crate::memtable::{MemTable, SeriesBuffer};
@@ -165,6 +166,9 @@ pub struct QueryPathStats {
 struct EngineObs {
     registry: Arc<Registry>,
     write_batch_nanos: Arc<Histogram>,
+    batch_split_nanos: Arc<Histogram>,
+    batch_append_nanos: Arc<Histogram>,
+    type_mismatch_rejects: Arc<Counter>,
     write_points: Arc<Counter>,
     flush_queue_depth: Arc<Gauge>,
     read_path: Arc<Counter>,
@@ -191,6 +195,7 @@ impl EngineObs {
         // the first snapshot, recorded at their own sites.
         for name in [
             names::MEMTABLE_DIRTY_BUFFER_POINTS,
+            names::WAL_BATCH_ENCODE_NANOS,
             names::SORT_BLOCK_SIZE,
             names::SORT_PROBE_LOOPS,
             names::SORT_ALPHA_PPM,
@@ -214,6 +219,9 @@ impl EngineObs {
             .collect();
         Self {
             write_batch_nanos: registry.histogram(names::ENGINE_WRITE_BATCH_NANOS),
+            batch_split_nanos: registry.histogram(names::ENGINE_BATCH_SPLIT_NANOS),
+            batch_append_nanos: registry.histogram(names::MEMTABLE_BATCH_APPEND_NANOS),
+            type_mismatch_rejects: registry.counter(names::MEMTABLE_TYPE_MISMATCH_REJECTS),
             write_points: registry.counter(names::ENGINE_WRITE_POINTS),
             flush_queue_depth: registry.gauge(names::ENGINE_FLUSH_QUEUE_DEPTH),
             read_path: registry.counter(names::QUERY_READ_PATH),
@@ -267,6 +275,36 @@ impl EngineObs {
         self.flush_points.add(m.points);
         self.flush_bytes.add(m.bytes);
     }
+}
+
+/// Finds the end of the next maximal same-route run of a batch's
+/// timestamp column, starting at `idx`: consecutive points that all land
+/// on the same side of the separation watermark. A sequence-bound run is
+/// additionally capped at the working memtable's remaining room (at
+/// least one point), so the caller flushes — and re-reads the moved
+/// watermark — before routing the rest of the batch. Returns
+/// `(run_end, routes_unseq, split_nanos)`.
+fn next_run(
+    ts: &[i64],
+    idx: usize,
+    watermark: Option<i64>,
+    working: &MemTable,
+    max_points: usize,
+    timed: bool,
+) -> (usize, bool, u64) {
+    let start = timed.then(Instant::now);
+    let routes_unseq = |t: i64| matches!(watermark, Some(w) if t <= w);
+    let unseq = ts.get(idx).copied().is_some_and(routes_unseq);
+    let mut end = idx + 1;
+    while end < ts.len() && ts.get(end).copied().is_some_and(routes_unseq) == unseq {
+        end += 1;
+    }
+    if !unseq {
+        let room = max_points.saturating_sub(working.total_points()).max(1);
+        end = end.min(idx + room);
+    }
+    let ns = start.map_or(0, |s| s.elapsed().as_nanos() as u64);
+    (end, unseq, ns)
 }
 
 /// FNV-1a over a device name — stable across runs, so the same device
@@ -385,15 +423,24 @@ impl StorageEngine {
     /// Writes one point, routing by the separation policy, and flushes
     /// synchronously when the shard's working memtable fills. Returns the
     /// flush metrics if a flush was triggered.
+    ///
+    /// A value whose type does not match the series' established type is
+    /// dropped (and counted in `memtable.type_mismatch_rejects`) instead
+    /// of aborting the engine.
     pub fn write(&self, key: &SeriesKey, t: i64, v: TsValue) -> Option<FlushMetrics> {
         let shard = self.shard_of(&key.device);
         let mut st = self.shards[shard].write();
-        let delta = match st.watermarks.get(key).copied() {
+        let written = match st.watermarks.get(key).copied() {
             Some(w) if t <= w => st.unseq.write(key, t, v),
             _ => st.working.write(key, t, v),
         };
-        self.obs.write_points.inc();
-        self.obs.record_point_delta(delta);
+        match written {
+            Ok(delta) => {
+                self.obs.write_points.inc();
+                self.obs.record_point_delta(delta);
+            }
+            Err(_) => self.obs.type_mismatch_rejects.inc(),
+        }
         if st.working.total_points() >= self.config.memtable_max_points {
             Some(self.flush_shard_locked(shard, &mut st))
         } else {
@@ -401,43 +448,92 @@ impl StorageEngine {
         }
     }
 
-    /// Writes a batch of points for one sensor (IoTDB-benchmark sends
-    /// batches; §VI-A2). Returns metrics for any flushes triggered.
+    /// Checks a batch's value type against the series' established buffer
+    /// type in any memtable of the (locked) shard, so a mismatched batch
+    /// is rejected whole before any column lands.
+    fn check_batch_type(
+        &self,
+        st: &ShardState,
+        key: &SeriesKey,
+        batch: &PointBatch,
+    ) -> Result<(), WriteError> {
+        let existing = st
+            .working
+            .get(key)
+            .or_else(|| st.unseq.get(key))
+            .or_else(|| st.flushing.as_ref().and_then(|m| m.get(key)));
+        match existing {
+            Some(buf) if buf.data_type() != batch.data_type() => {
+                self.obs.type_mismatch_rejects.inc();
+                Err(type_mismatch(buf.data_type(), batch.data_type()))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Writes a columnar [`PointBatch`] for one sensor (IoTDB-benchmark
+    /// sends batches; §VI-A2). Returns metrics for any flushes triggered.
     ///
-    /// The batch targets a single series, so the separation watermark is
-    /// looked up once and only re-read after a mid-batch flush (the only
-    /// event that can move it); points are taken by value, so nothing is
-    /// cloned on the way into the memtable.
-    pub fn write_batch(&self, key: &SeriesKey, points: Vec<(i64, TsValue)>) -> Vec<FlushMetrics> {
-        let start = self.obs.registry.is_enabled().then(Instant::now);
+    /// The batch is split *once* at the separation watermark into
+    /// seq/unseq column runs — the watermark is looked up once per run
+    /// boundary and only re-read after a mid-batch flush (the only event
+    /// that can move it) — and each run lands with a single memtable
+    /// series lookup and one bulk [`MemTable::write_columns`] append.
+    /// A batch whose type does not match the series is rejected whole.
+    pub fn write_batch(
+        &self,
+        key: &SeriesKey,
+        batch: &PointBatch,
+    ) -> Result<Vec<FlushMetrics>, WriteError> {
+        let enabled = self.obs.registry.is_enabled();
+        let start = enabled.then(Instant::now);
         let shard = self.shard_of(&key.device);
         let mut st = self.shards[shard].write();
+        self.check_batch_type(&st, key, batch)?;
         let mut flushes = Vec::new();
-        let mut watermark = st.watermarks.get(key).copied();
-        let mut n = 0u64;
         let mut deltas = LocalHistogram::new();
-        for (t, v) in points {
-            n += 1;
-            let delta = match watermark {
-                Some(w) if t <= w => st.unseq.write(key, t, v),
-                _ => st.working.write(key, t, v),
+        let mut split_nanos = 0u64;
+        let ts = batch.ts();
+        let mut watermark = st.watermarks.get(key).copied();
+        let mut idx = 0;
+        while idx < ts.len() {
+            let (run_end, unseq, split_ns) = next_run(
+                ts,
+                idx,
+                watermark,
+                &st.working,
+                self.config.memtable_max_points,
+                enabled,
+            );
+            split_nanos += split_ns;
+            let append_start = enabled.then(Instant::now);
+            let (run_ts, run_vals) = batch.slice(idx, run_end);
+            let target = if unseq {
+                &mut st.unseq
+            } else {
+                &mut st.working
             };
-            if let Some(d) = delta {
-                deltas.record(d as u64);
+            target.write_columns(key, run_ts, run_vals, &mut deltas)?;
+            if let Some(s) = append_start {
+                self.obs
+                    .batch_append_nanos
+                    .record(s.elapsed().as_nanos() as u64);
             }
+            idx = run_end;
             if st.working.total_points() >= self.config.memtable_max_points {
                 flushes.push(self.flush_shard_locked(shard, &mut st));
                 watermark = st.watermarks.get(key).copied();
             }
         }
-        self.obs.write_points.add(n);
+        self.obs.write_points.add(ts.len() as u64);
         self.obs.record_batch_deltas(&deltas);
         if let Some(start) = start {
+            self.obs.batch_split_nanos.record(split_nanos);
             self.obs
                 .write_batch_nanos
                 .record(start.elapsed().as_nanos() as u64);
         }
-        flushes
+        Ok(flushes)
     }
 
     /// Like [`StorageEngine::write_batch`], but a full working memtable
@@ -449,24 +545,43 @@ impl StorageEngine {
     pub fn write_batch_nonblocking(
         &self,
         key: &SeriesKey,
-        points: Vec<(i64, TsValue)>,
-    ) -> Option<FlushJob> {
-        let start = self.obs.registry.is_enabled().then(Instant::now);
+        batch: &PointBatch,
+    ) -> Result<Option<FlushJob>, WriteError> {
+        let enabled = self.obs.registry.is_enabled();
+        let start = enabled.then(Instant::now);
         let shard = self.shard_of(&key.device);
         let mut st = self.shards[shard].write();
+        self.check_batch_type(&st, key, batch)?;
         let mut job = None;
-        let mut watermark = st.watermarks.get(key).copied();
-        let mut n = 0u64;
         let mut deltas = LocalHistogram::new();
-        for (t, v) in points {
-            n += 1;
-            let delta = match watermark {
-                Some(w) if t <= w => st.unseq.write(key, t, v),
-                _ => st.working.write(key, t, v),
+        let mut split_nanos = 0u64;
+        let ts = batch.ts();
+        let mut watermark = st.watermarks.get(key).copied();
+        let mut idx = 0;
+        while idx < ts.len() {
+            let (run_end, unseq, split_ns) = next_run(
+                ts,
+                idx,
+                watermark,
+                &st.working,
+                self.config.memtable_max_points,
+                enabled,
+            );
+            split_nanos += split_ns;
+            let append_start = enabled.then(Instant::now);
+            let (run_ts, run_vals) = batch.slice(idx, run_end);
+            let target = if unseq {
+                &mut st.unseq
+            } else {
+                &mut st.working
             };
-            if let Some(d) = delta {
-                deltas.record(d as u64);
+            target.write_columns(key, run_ts, run_vals, &mut deltas)?;
+            if let Some(s) = append_start {
+                self.obs
+                    .batch_append_nanos
+                    .record(s.elapsed().as_nanos() as u64);
             }
+            idx = run_end;
             if st.working.total_points() >= self.config.memtable_max_points {
                 if let Some(j) = self.begin_flush_shard_locked(shard, &mut st) {
                     job = Some(j);
@@ -474,14 +589,15 @@ impl StorageEngine {
                 }
             }
         }
-        self.obs.write_points.add(n);
+        self.obs.write_points.add(ts.len() as u64);
         self.obs.record_batch_deltas(&deltas);
         if let Some(start) = start {
+            self.obs.batch_split_nanos.record(split_nanos);
             self.obs
                 .write_batch_nanos
                 .record(start.elapsed().as_nanos() as u64);
         }
-        job
+        Ok(job)
     }
 
     /// Forces a flush of every shard's working memtable (ascending shard
@@ -802,12 +918,17 @@ impl StorageEngine {
     pub fn write_nonblocking(&self, key: &SeriesKey, t: i64, v: TsValue) -> Option<FlushJob> {
         let shard = self.shard_of(&key.device);
         let mut st = self.shards[shard].write();
-        let delta = match st.watermarks.get(key).copied() {
+        let written = match st.watermarks.get(key).copied() {
             Some(w) if t <= w => st.unseq.write(key, t, v),
             _ => st.working.write(key, t, v),
         };
-        self.obs.write_points.inc();
-        self.obs.record_point_delta(delta);
+        match written {
+            Ok(delta) => {
+                self.obs.write_points.inc();
+                self.obs.record_point_delta(delta);
+            }
+            Err(_) => self.obs.type_mismatch_rejects.inc(),
+        }
         if st.working.total_points() >= self.config.memtable_max_points {
             self.begin_flush_shard_locked(shard, &mut st)
         } else {
@@ -1380,8 +1501,8 @@ mod tests {
     #[test]
     fn batch_write_matches_single_writes() {
         let eng = small_engine(Algorithm::Baseline(BaselineSorter::Quick));
-        let pts: Vec<(i64, TsValue)> = (0..50).map(|i| (i, TsValue::Int(i as i32))).collect();
-        let flushes = eng.write_batch(&key("s"), pts);
+        let batch = PointBatch::from_rows((0..50).map(|i| (i, TsValue::Int(i as i32)))).unwrap();
+        let flushes = eng.write_batch(&key("s"), &batch).unwrap();
         assert!(flushes.is_empty());
         assert_eq!(eng.query(&key("s"), 0, 100).len(), 50);
     }
@@ -1389,16 +1510,71 @@ mod tests {
     #[test]
     fn batch_write_reroutes_after_mid_batch_flush() {
         // A straggler after a mid-batch rotation must take the
-        // unsequence path: the hoisted watermark has to be re-read.
+        // unsequence path: the run split has to re-read the watermark.
         let eng = small_engine(Algorithm::Backward(Default::default()));
         let mut pts: Vec<(i64, TsValue)> = (0..100).map(|i| (i, TsValue::Long(i))).collect();
         pts.push((10, TsValue::Long(-10))); // below the post-flush watermark (99)
-        let flushes = eng.write_batch(&key("s"), pts);
+        let batch = PointBatch::from_rows(pts).unwrap();
+        let flushes = eng.write_batch(&key("s"), &batch).unwrap();
         assert_eq!(flushes.len(), 1);
         let (working, unseq) = eng.buffered_points();
         assert_eq!((working, unseq), (0, 1), "straggler routed to unsequence");
         let got = eng.query(&key("s"), 9, 11);
         assert_eq!(got[1], (10, TsValue::Long(-10)), "unsequence wins");
+    }
+
+    #[test]
+    fn batch_write_splits_seq_and_unseq_runs() {
+        // Establish a watermark at 99, then send a batch interleaving
+        // late and fresh points: each side must land whole, in order,
+        // and answer identically to single-point writes.
+        let eng = small_engine(Algorithm::Backward(Default::default()));
+        let eng_ref = small_engine(Algorithm::Backward(Default::default()));
+        for i in 0..100i64 {
+            eng.write(&key("s"), i, TsValue::Long(i));
+            eng_ref.write(&key("s"), i, TsValue::Long(i));
+        }
+        let pts: Vec<(i64, TsValue)> = vec![
+            (40, TsValue::Long(-40)),
+            (41, TsValue::Long(-41)),
+            (150, TsValue::Long(150)),
+            (151, TsValue::Long(151)),
+            (50, TsValue::Long(-50)),
+            (152, TsValue::Long(152)),
+        ];
+        for (t, v) in &pts {
+            eng_ref.write(&key("s"), *t, v.clone());
+        }
+        let batch = PointBatch::from_rows(pts).unwrap();
+        eng.write_batch(&key("s"), &batch).unwrap();
+        assert_eq!(eng.buffered_points(), eng_ref.buffered_points());
+        assert_eq!(
+            eng.query(&key("s"), 0, 200),
+            eng_ref.query(&key("s"), 0, 200)
+        );
+    }
+
+    #[test]
+    fn type_mismatch_rejects_instead_of_aborting() {
+        // Regression for the documented memtable panic: a mistyped
+        // INSERT must drop the write and leave the engine serving.
+        let eng = small_engine(Algorithm::Backward(Default::default()));
+        eng.write(&key("s"), 1, TsValue::Long(1));
+        eng.write(&key("s"), 2, TsValue::Double(2.0)); // dropped
+        let bad = PointBatch::from_rows(vec![(3, TsValue::Bool(true))]).unwrap();
+        let err = eng.write_batch(&key("s"), &bad).unwrap_err();
+        assert!(matches!(err, WriteError::TypeMismatch { .. }));
+        let err = eng.write_batch_nonblocking(&key("s"), &bad).unwrap_err();
+        assert!(matches!(err, WriteError::TypeMismatch { .. }));
+        // The engine is alive, the series intact, and the rejects
+        // counted.
+        eng.write(&key("s"), 3, TsValue::Long(3));
+        assert_eq!(
+            eng.query(&key("s"), 0, 10),
+            vec![(1, TsValue::Long(1)), (3, TsValue::Long(3))]
+        );
+        let snap = eng.obs().snapshot();
+        assert_eq!(snap.counter(names::MEMTABLE_TYPE_MISMATCH_REJECTS), 3);
     }
 
     #[test]

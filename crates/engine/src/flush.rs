@@ -11,7 +11,6 @@ use backsort_core::Algorithm;
 
 use crate::memtable::{MemTable, SeriesBuffer};
 use crate::tsfile::TsFileWriter;
-use crate::types::TsValue;
 
 /// Timing breakdown of one memtable flush.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -72,12 +71,12 @@ pub fn flush_memtable_observed(
         metrics.sort_nanos += t0.elapsed().as_nanos() as u64;
 
         let t1 = Instant::now();
-        let (times, values) = dedup_last(buffer);
+        let (times, values) = buffer.dedup_columns();
         metrics.encode_nanos += t1.elapsed().as_nanos() as u64;
         metrics.points += times.len() as u64;
 
         let t2 = Instant::now();
-        writer.write_chunk(key, &times, &values);
+        writer.write_chunk_columns(key, &times, values.as_slice());
         metrics.write_nanos += t2.elapsed().as_nanos() as u64;
     }
 
@@ -88,31 +87,11 @@ pub fn flush_memtable_observed(
     (image, metrics)
 }
 
-/// Extracts sorted columns keeping the last point of each duplicate
-/// timestamp run.
-fn dedup_last(buffer: &SeriesBuffer) -> (Vec<i64>, Vec<TsValue>) {
-    let n = buffer.len();
-    let mut times = Vec::with_capacity(n);
-    let mut values = Vec::with_capacity(n);
-    for i in 0..n {
-        let (t, v) = buffer.get(i);
-        if times.last() == Some(&t) {
-            if let Some(slot) = values.last_mut() {
-                *slot = v;
-            }
-        } else {
-            times.push(t);
-            values.push(v);
-        }
-    }
-    (times, values)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::tsfile::TsFileReader;
-    use crate::types::SeriesKey;
+    use crate::types::{SeriesKey, TsValue};
     use backsort_core::BackwardSort;
     use backsort_sorts::BaselineSorter;
 
@@ -124,7 +103,7 @@ mod tests {
     fn flush_sorts_dedups_and_roundtrips() {
         let mut mt = MemTable::new(8);
         for (t, v) in [(5i64, 50i32), (1, 10), (3, 30), (3, 31), (2, 20)] {
-            mt.write(&key("s1"), t, TsValue::Int(v));
+            mt.write(&key("s1"), t, TsValue::Int(v)).unwrap();
         }
         let alg = Algorithm::Backward(BackwardSort {
             in_block: backsort_core::InBlockSort::Stable,
@@ -152,7 +131,7 @@ mod tests {
                 x ^= x >> 7;
                 x ^= x << 17;
                 let t = i + (x % 9) as i64;
-                mt.write(&key("s"), t, TsValue::Double(i as f64));
+                mt.write(&key("s"), t, TsValue::Double(i as f64)).unwrap();
             }
             mt
         };
@@ -187,7 +166,7 @@ mod tests {
     fn metrics_components_are_populated() {
         let mut mt = MemTable::new(32);
         for i in (0..10_000i64).rev() {
-            mt.write(&key("s"), i, TsValue::Long(i));
+            mt.write(&key("s"), i, TsValue::Long(i)).unwrap();
         }
         let alg = Algorithm::Baseline(BaselineSorter::Quick);
         let (_, metrics) = flush_memtable(&mut mt, &alg);
@@ -227,7 +206,7 @@ pub fn flush_memtable_parallel(
     struct Prepared {
         key: crate::types::SeriesKey,
         times: Vec<i64>,
-        values: Vec<TsValue>,
+        values: crate::batch::ValueColumn,
         sort_ns: u64,
         encode_ns: u64,
     }
@@ -242,7 +221,7 @@ pub fn flush_memtable_parallel(
                     buffer.sort_with(sorter);
                     let sort_ns = t0.elapsed().as_nanos() as u64;
                     let t1 = Instant::now();
-                    let (times, values) = dedup_last(buffer);
+                    let (times, values) = buffer.dedup_columns();
                     let encode_ns = t1.elapsed().as_nanos() as u64;
                     out.push(Prepared {
                         key: (*key).clone(),
@@ -269,7 +248,7 @@ pub fn flush_memtable_parallel(
             metrics.sort_nanos += p.sort_ns;
             metrics.encode_nanos += p.encode_ns;
             metrics.points += p.times.len() as u64;
-            writer.write_chunk(&p.key, &p.times, &p.values);
+            writer.write_chunk_columns(&p.key, &p.times, p.values.as_slice());
         }
     }
     let image = writer.finish();
@@ -295,7 +274,8 @@ mod parallel_tests {
                 x ^= x << 17;
                 // Collision-free delay-only timestamps (stride 8 > max
                 // delay), so point counts survive dedup exactly.
-                mt.write(&key, i * 8 + (x % 5) as i64, TsValue::Long(i));
+                mt.write(&key, i * 8 + (x % 5) as i64, TsValue::Long(i))
+                    .unwrap();
             }
         }
         mt

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod batch;
 pub mod compaction;
 pub mod crashtest;
 pub mod delete;
@@ -41,6 +42,7 @@ pub mod tsfile;
 pub mod types;
 
 pub use aggregate::{AggValue, Aggregation};
+pub use batch::{BatchPool, ColumnSlice, PointBatch, ValueColumn, WriteError};
 pub use compaction::CompactionReport;
 pub use delete::Tombstone;
 pub use engine::{EngineConfig, FlushJob, QueryPathStats, QueryResult, StorageEngine};

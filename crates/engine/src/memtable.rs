@@ -4,8 +4,10 @@
 use std::collections::BTreeMap;
 
 use backsort_core::Algorithm;
+use backsort_obs::LocalHistogram;
 use backsort_tvlist::{SeriesAccess, TVList, TextTVList};
 
+use crate::batch::{type_mismatch, ColumnSlice, ValueColumn, WriteError};
 use crate::types::{DataType, SeriesKey, TsValue};
 
 /// One sensor's in-memory buffer: a typed TVList.
@@ -70,12 +72,12 @@ impl SeriesBuffer {
         }
     }
 
-    /// Appends a point.
+    /// Appends a point, rejecting a type mismatch.
     ///
-    /// # Panics
-    /// Panics if `v`'s type does not match the buffer's type — a schema
-    /// violation the engine checks before calling.
-    pub fn push(&mut self, t: i64, v: TsValue) {
+    /// The error path is built by the `#[cold]` constructor in
+    /// [`crate::batch`], so one mistyped INSERT is a dropped write and a
+    /// bumped counter, never an engine abort.
+    pub fn push(&mut self, t: i64, v: TsValue) -> Result<(), WriteError> {
         match (self, v) {
             (SeriesBuffer::Int(l), TsValue::Int(v)) => l.push(t, v),
             (SeriesBuffer::Long(l), TsValue::Long(v)) => l.push(t, v),
@@ -83,13 +85,30 @@ impl SeriesBuffer {
             (SeriesBuffer::Double(l), TsValue::Double(v)) => l.push(t, v),
             (SeriesBuffer::Bool(l), TsValue::Bool(v)) => l.push(t, v),
             (SeriesBuffer::Text(l), TsValue::Text(v)) => l.push(t, v),
-            // analyzer:allow(panic-freedom): documented "# Panics" schema contract — the engine validates types before calling push
-            (buf, v) => panic!(
-                "type mismatch: buffer is {:?}, value is {:?}",
-                buf.data_type(),
-                v.data_type()
-            ),
+            (buf, v) => return Err(type_mismatch(buf.data_type(), v.data_type())),
         }
+        Ok(())
+    }
+
+    /// Bulk-appends an aligned column run, rejecting a type mismatch
+    /// before any mutation. The numeric arms hand the slices straight to
+    /// [`TVList::extend_from_slices`] — one monomorphized memcpy-style
+    /// append per chunk instead of a per-point enum dispatch.
+    pub fn extend_columns(&mut self, ts: &[i64], vals: ColumnSlice<'_>) -> Result<(), WriteError> {
+        match (self, vals) {
+            (SeriesBuffer::Int(l), ColumnSlice::Int(vs)) => l.extend_from_slices(ts, vs),
+            (SeriesBuffer::Long(l), ColumnSlice::Long(vs)) => l.extend_from_slices(ts, vs),
+            (SeriesBuffer::Float(l), ColumnSlice::Float(vs)) => l.extend_from_slices(ts, vs),
+            (SeriesBuffer::Double(l), ColumnSlice::Double(vs)) => l.extend_from_slices(ts, vs),
+            (SeriesBuffer::Bool(l), ColumnSlice::Bool(vs)) => l.extend_from_slices(ts, vs),
+            (SeriesBuffer::Text(l), ColumnSlice::Text(vs)) => {
+                for (&t, v) in ts.iter().zip(vs) {
+                    l.push(t, v.clone());
+                }
+            }
+            (buf, vals) => return Err(type_mismatch(buf.data_type(), vals.data_type())),
+        }
+        Ok(())
     }
 
     /// Number of buffered points.
@@ -201,6 +220,42 @@ impl SeriesBuffer {
         for_each_buffer!(self, l => l.time(i), t => t.time(i))
     }
 
+    /// Copies the buffer out as deduplicated columns — last write wins on
+    /// equal timestamps — ready for
+    /// [`write_chunk_columns`](crate::tsfile::TsFileWriter::write_chunk_columns).
+    /// Requires the buffer to be sorted; this is the flush pipeline's
+    /// no-row-materialization handoff.
+    pub fn dedup_columns(&self) -> (Vec<i64>, ValueColumn) {
+        debug_assert!(self.is_sorted());
+        let n = self.len();
+        match self {
+            SeriesBuffer::Int(l) => {
+                let (ts, vs) = dedup_last(n, |i| l.time(i), |i| l.value(i));
+                (ts, ValueColumn::Int(vs))
+            }
+            SeriesBuffer::Long(l) => {
+                let (ts, vs) = dedup_last(n, |i| l.time(i), |i| l.value(i));
+                (ts, ValueColumn::Long(vs))
+            }
+            SeriesBuffer::Float(l) => {
+                let (ts, vs) = dedup_last(n, |i| l.time(i), |i| l.value(i));
+                (ts, ValueColumn::Float(vs))
+            }
+            SeriesBuffer::Double(l) => {
+                let (ts, vs) = dedup_last(n, |i| l.time(i), |i| l.value(i));
+                (ts, ValueColumn::Double(vs))
+            }
+            SeriesBuffer::Bool(l) => {
+                let (ts, vs) = dedup_last(n, |i| l.time(i), |i| l.value(i));
+                (ts, ValueColumn::Bool(vs))
+            }
+            SeriesBuffer::Text(l) => {
+                let (ts, vs) = dedup_last(n, |i| l.time(i), |i| l.text(i).to_string());
+                (ts, ValueColumn::Text(vs))
+            }
+        }
+    }
+
     /// Removes all points with timestamps in `[t_lo, t_hi]`. Returns how
     /// many were removed.
     pub fn delete_range(&mut self, t_lo: i64, t_hi: i64) -> usize {
@@ -210,6 +265,43 @@ impl SeriesBuffer {
             t => t.retain(|ts, _| !(t_lo..=t_hi).contains(&ts))
         )
     }
+}
+
+/// The `Δτ` pre-pass for a bulk append: walks the raw timestamp column
+/// with a running maximum seeded from the buffer's previous max and
+/// records `max − t` for every late arrival — identical, point for
+/// point, to what a sequence of single writes would have measured.
+fn record_delta_tau(ts: &[i64], prev_max: Option<i64>, deltas: &mut LocalHistogram) {
+    let mut max = prev_max.unwrap_or(i64::MIN);
+    for &t in ts {
+        if t < max {
+            deltas.record((max - t) as u64);
+        } else {
+            max = t;
+        }
+    }
+}
+
+/// Columnar last-wins dedup over an index-addressable sorted buffer.
+fn dedup_last<T>(
+    n: usize,
+    time: impl Fn(usize) -> i64,
+    value: impl Fn(usize) -> T,
+) -> (Vec<i64>, Vec<T>) {
+    let mut ts: Vec<i64> = Vec::with_capacity(n);
+    let mut vs: Vec<T> = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = time(i);
+        if ts.last() == Some(&t) {
+            if let Some(slot) = vs.last_mut() {
+                *slot = value(i);
+            }
+        } else {
+            ts.push(t);
+            vs.push(value(i));
+        }
+    }
+    (ts, vs)
 }
 
 /// A memtable: one [`SeriesBuffer`] per sensor, plus occupancy accounting.
@@ -238,21 +330,58 @@ impl MemTable {
     /// buffer maximum is tracked on write, so this is one compare per
     /// point, not a scan.
     ///
-    /// # Panics
-    /// Panics if the sensor exists with a different data type.
-    pub fn write(&mut self, key: &SeriesKey, t: i64, v: TsValue) -> Option<i64> {
+    /// A value whose type does not match the sensor's established type
+    /// is rejected with [`WriteError::TypeMismatch`]; the buffer is left
+    /// untouched.
+    pub fn write(
+        &mut self,
+        key: &SeriesKey,
+        t: i64,
+        v: TsValue,
+    ) -> Result<Option<i64>, WriteError> {
         let delta = if let Some(buf) = self.series.get_mut(key) {
             let delta = buf.max_time().filter(|&m| t < m).map(|m| m - t);
-            buf.push(t, v);
+            buf.push(t, v)?;
             delta
         } else {
             let mut buf = SeriesBuffer::new(v.data_type(), self.array_size);
-            buf.push(t, v);
+            buf.push(t, v)?;
             self.series.insert(key.clone(), buf);
             None
         };
         self.total_points += 1;
-        delta
+        Ok(delta)
+    }
+
+    /// Bulk-appends an aligned column run to one sensor: a single series
+    /// lookup and a single [`SeriesBuffer::extend_columns`] for the whole
+    /// run, with the `Δτ` disorder pass done over the raw timestamp
+    /// column (one branch per point, recorded into `deltas`).
+    ///
+    /// A run whose value type does not match the sensor's established
+    /// type is rejected whole, before any mutation.
+    pub fn write_columns(
+        &mut self,
+        key: &SeriesKey,
+        ts: &[i64],
+        vals: ColumnSlice<'_>,
+        deltas: &mut LocalHistogram,
+    ) -> Result<(), WriteError> {
+        if ts.is_empty() {
+            return Ok(());
+        }
+        if let Some(buf) = self.series.get_mut(key) {
+            let prev_max = buf.max_time();
+            buf.extend_columns(ts, vals)?;
+            record_delta_tau(ts, prev_max, deltas);
+        } else {
+            let mut buf = SeriesBuffer::new(vals.data_type(), self.array_size);
+            buf.extend_columns(ts, vals)?;
+            record_delta_tau(ts, None, deltas);
+            self.series.insert(key.clone(), buf);
+        }
+        self.total_points += ts.len();
+        Ok(())
     }
 
     /// Total points across all sensors.
@@ -319,9 +448,9 @@ mod tests {
     #[test]
     fn write_and_read_back() {
         let mut mt = MemTable::new(32);
-        mt.write(&key("s1"), 5, TsValue::Double(1.5));
-        mt.write(&key("s1"), 3, TsValue::Double(2.5));
-        mt.write(&key("s2"), 1, TsValue::Int(7));
+        mt.write(&key("s1"), 5, TsValue::Double(1.5)).unwrap();
+        mt.write(&key("s1"), 3, TsValue::Double(2.5)).unwrap();
+        mt.write(&key("s2"), 1, TsValue::Int(7)).unwrap();
         assert_eq!(mt.total_points(), 3);
         assert_eq!(mt.series_count(), 2);
         let s1 = mt.get(&key("s1")).unwrap();
@@ -331,18 +460,84 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "type mismatch")]
-    fn type_mismatch_panics() {
+    fn type_mismatch_is_rejected_not_fatal() {
         let mut mt = MemTable::new(32);
-        mt.write(&key("s1"), 1, TsValue::Int(1));
-        mt.write(&key("s1"), 2, TsValue::Double(2.0));
+        mt.write(&key("s1"), 1, TsValue::Int(1)).unwrap();
+        let err = mt.write(&key("s1"), 2, TsValue::Double(2.0)).unwrap_err();
+        assert!(matches!(err, WriteError::TypeMismatch { .. }));
+        // The rejected write must leave the memtable untouched and alive:
+        // accounting unchanged, and correctly-typed writes still land.
+        assert_eq!(mt.total_points(), 1);
+        assert_eq!(mt.get(&key("s1")).unwrap().len(), 1);
+        assert_eq!(mt.write(&key("s1"), 2, TsValue::Int(2)), Ok(None));
+        assert_eq!(mt.total_points(), 2);
+
+        // Same contract on the bulk path, including first-contact runs.
+        let mut deltas = LocalHistogram::new();
+        let err = mt
+            .write_columns(
+                &key("s1"),
+                &[3, 4],
+                ColumnSlice::Bool(&[true, false]),
+                &mut deltas,
+            )
+            .unwrap_err();
+        assert!(matches!(err, WriteError::TypeMismatch { .. }));
+        assert_eq!(mt.total_points(), 2);
+        assert_eq!(deltas.count(), 0, "no Δτ recorded for a rejected run");
+        mt.write_columns(&key("s1"), &[3, 4], ColumnSlice::Int(&[3, 4]), &mut deltas)
+            .unwrap();
+        assert_eq!(mt.total_points(), 4);
+    }
+
+    #[test]
+    fn write_columns_matches_single_writes() {
+        let ts = [5i64, 3, 9, 9, 1, 12];
+        let vs = [50i64, 30, 90, 91, 10, 120];
+
+        let mut a = MemTable::new(4);
+        let mut single_deltas: Vec<i64> = Vec::new();
+        for (&t, &v) in ts.iter().zip(&vs) {
+            if let Some(d) = a.write(&key("s"), t, TsValue::Long(v)).unwrap() {
+                single_deltas.push(d);
+            }
+        }
+
+        let mut b = MemTable::new(4);
+        let mut deltas = LocalHistogram::new();
+        b.write_columns(&key("s"), &ts, ColumnSlice::Long(&vs), &mut deltas)
+            .unwrap();
+
+        assert_eq!(b.total_points(), a.total_points());
+        let (ba, bb) = (a.get(&key("s")).unwrap(), b.get(&key("s")).unwrap());
+        assert_eq!(ba.len(), bb.len());
+        for i in 0..ba.len() {
+            assert_eq!(ba.get(i), bb.get(i));
+        }
+        assert_eq!(ba.is_sorted(), bb.is_sorted());
+        assert_eq!(
+            deltas.count() as usize,
+            single_deltas.len(),
+            "bulk Δτ pass must see the same late arrivals"
+        );
+    }
+
+    #[test]
+    fn dedup_columns_keeps_last_write() {
+        let mut buf = SeriesBuffer::new(DataType::Int32, 4);
+        for (t, v) in [(1i64, 1i32), (2, 2), (2, 22), (2, 222), (3, 3)] {
+            buf.push(t, TsValue::Int(v)).unwrap();
+        }
+        let (ts, vals) = buf.dedup_columns();
+        assert_eq!(ts, vec![1, 2, 3]);
+        assert_eq!(vals, ValueColumn::Int(vec![1, 222, 3]));
     }
 
     #[test]
     fn sort_with_backward_sort_orders_buffer() {
         let mut mt = MemTable::new(8);
         for (t, v) in [(4i64, 40i32), (1, 10), (3, 30), (2, 20)] {
-            mt.write(&key("s1"), t, TsValue::Int(v));
+            mt.write(&key("s1"), t, TsValue::Int(v)).unwrap();
         }
         let alg = Algorithm::Backward(BackwardSort::default());
         let buf = mt.get_mut(&key("s1")).unwrap();
@@ -366,7 +561,7 @@ mod tests {
     fn lower_bound_on_sorted_buffer() {
         let mut buf = SeriesBuffer::new(DataType::Int64, 4);
         for t in [1i64, 3, 5, 7, 9] {
-            buf.push(t, TsValue::Long(t));
+            buf.push(t, TsValue::Long(t)).unwrap();
         }
         assert_eq!(buf.lower_bound(0), 0);
         assert_eq!(buf.lower_bound(3), 1);
@@ -378,7 +573,7 @@ mod tests {
     fn upper_bound_on_sorted_buffer() {
         let mut buf = SeriesBuffer::new(DataType::Int64, 4);
         for t in [1i64, 3, 5, 7, 9] {
-            buf.push(t, TsValue::Long(t));
+            buf.push(t, TsValue::Long(t)).unwrap();
         }
         assert_eq!(buf.upper_bound(0), 0);
         assert_eq!(buf.upper_bound(1), 1);
@@ -393,11 +588,11 @@ mod tests {
     #[test]
     fn all_data_types_buffer() {
         let mut mt = MemTable::new(16);
-        mt.write(&key("i"), 1, TsValue::Int(1));
-        mt.write(&key("l"), 1, TsValue::Long(2));
-        mt.write(&key("f"), 1, TsValue::Float(3.0));
-        mt.write(&key("d"), 1, TsValue::Double(4.0));
-        mt.write(&key("b"), 1, TsValue::Bool(true));
+        mt.write(&key("i"), 1, TsValue::Int(1)).unwrap();
+        mt.write(&key("l"), 1, TsValue::Long(2)).unwrap();
+        mt.write(&key("f"), 1, TsValue::Float(3.0)).unwrap();
+        mt.write(&key("d"), 1, TsValue::Double(4.0)).unwrap();
+        mt.write(&key("b"), 1, TsValue::Bool(true)).unwrap();
         assert_eq!(mt.series_count(), 5);
         for (_, buf) in mt.iter() {
             assert_eq!(buf.len(), 1);
@@ -410,7 +605,7 @@ mod tests {
         let mut mt = MemTable::new(32);
         assert_eq!(mt.memory_bytes(), 0);
         for t in 0..100 {
-            mt.write(&key("s"), t, TsValue::Double(0.0));
+            mt.write(&key("s"), t, TsValue::Double(0.0)).unwrap();
         }
         assert!(mt.memory_bytes() >= 100 * 16);
     }

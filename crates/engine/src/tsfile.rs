@@ -20,6 +20,7 @@
 //!   "BSTF1\0"                              trailing magic
 //! ```
 
+use crate::batch::{ColumnSlice, ValueColumn};
 use crate::encoding::{boolpack, gorilla, intcolumn, textpack, ts2diff};
 use crate::types::{DataType, SeriesKey, TsValue};
 
@@ -66,13 +67,39 @@ impl TsFileWriter {
         }
     }
 
-    /// Appends one sensor chunk. `times` must be sorted and deduplicated;
-    /// `values` must all match `data_type` and be as long as `times`.
+    /// Appends one sensor chunk from dynamic row values. `times` must be
+    /// sorted and deduplicated; `values` must all be one type and as long
+    /// as `times`. Materializes a typed column and delegates to
+    /// [`write_chunk_columns`](Self::write_chunk_columns) — the flush
+    /// pipeline calls the columnar form directly and skips this copy.
     ///
     /// # Panics
     /// Panics on length mismatch, unsorted timestamps, or a value of the
     /// wrong type — all caller bugs.
     pub fn write_chunk(&mut self, key: &SeriesKey, times: &[i64], values: &[TsValue]) {
+        assert_eq!(times.len(), values.len(), "column length mismatch");
+        assert!(!values.is_empty(), "empty chunk");
+        let Some(first_value) = values.first() else {
+            return; // unreachable: the assert above rejects empty columns
+        };
+        let dt = first_value.data_type();
+        let mut col = ValueColumn::with_capacity(dt, values.len());
+        for v in values {
+            if col.push(v.clone()).is_err() {
+                type_mismatch(dt, v);
+            }
+        }
+        self.write_chunk_columns(key, times, col.as_slice());
+    }
+
+    /// Appends one sensor chunk straight from column slices — the
+    /// zero-materialization handoff the flush pipeline uses. `times` must
+    /// be sorted and deduplicated and as long as `values`.
+    ///
+    /// # Panics
+    /// Panics on length mismatch, empty input, or unsorted timestamps —
+    /// all caller bugs.
+    pub fn write_chunk_columns(&mut self, key: &SeriesKey, times: &[i64], values: ColumnSlice<'_>) {
         assert!(!self.finished, "writer already finished");
         assert_eq!(times.len(), values.len(), "column length mismatch");
         assert!(!times.is_empty(), "empty chunk");
@@ -80,12 +107,10 @@ impl TsFileWriter {
             times.is_sorted_by(|a, b| a < b),
             "chunk timestamps must be strictly increasing"
         );
-        let (Some(first_value), Some(&first_time), Some(&last_time)) =
-            (values.first(), times.first(), times.last())
-        else {
+        let (Some(&first_time), Some(&last_time)) = (times.first(), times.last()) else {
             return; // unreachable: the asserts above reject empty columns
         };
-        let data_type = first_value.data_type();
+        let data_type = values.data_type();
 
         self.offsets.push(self.buf.len() as u64);
         let name = key.to_string();
@@ -106,7 +131,7 @@ impl TsFileWriter {
         let page_count = times.len().div_ceil(PAGE_POINTS);
         self.buf
             .extend_from_slice(&(page_count as u32).to_le_bytes());
-        for (t_page, v_page) in times.chunks(PAGE_POINTS).zip(values.chunks(PAGE_POINTS)) {
+        for (page_idx, t_page) in times.chunks(PAGE_POINTS).enumerate() {
             let (Some(&page_first), Some(&page_last)) = (t_page.first(), t_page.last()) else {
                 continue; // unreachable: chunks() never yields an empty slice
             };
@@ -118,7 +143,8 @@ impl TsFileWriter {
             self.buf
                 .extend_from_slice(&(ts_bytes.len() as u32).to_le_bytes());
             self.buf.extend_from_slice(&ts_bytes);
-            let val_bytes = encode_values(data_type, v_page);
+            let lo = page_idx * PAGE_POINTS;
+            let val_bytes = encode_column_page(values, lo, lo + t_page.len());
             self.buf
                 .extend_from_slice(&(val_bytes.len() as u32).to_le_bytes());
             self.buf.extend_from_slice(&val_bytes);
@@ -148,68 +174,21 @@ fn type_mismatch(expected: DataType, got: &TsValue) -> ! {
     panic!("expected {expected:?}, got {got:?}")
 }
 
-fn encode_values(dt: DataType, values: &[TsValue]) -> Vec<u8> {
-    match dt {
-        DataType::Int32 => {
-            let col: Vec<i64> = values
-                .iter()
-                .map(|v| match v {
-                    TsValue::Int(x) => *x as i64,
-                    other => type_mismatch(DataType::Int32, other),
-                })
-                .collect();
-            intcolumn::encode(&col)
+/// Encodes one page's worth of a typed column (`lo..hi`) with the
+/// per-type scheme: TS_2DIFF/RLE for integers, Gorilla for floats, bit
+/// packing for booleans, length-prefixed UTF-8 for text. The INT32 arm
+/// widens to `i64` per page so the shared integer codec applies.
+fn encode_column_page(col: ColumnSlice<'_>, lo: usize, hi: usize) -> Vec<u8> {
+    match col {
+        ColumnSlice::Int(s) => {
+            let widened: Vec<i64> = s[lo..hi].iter().map(|&v| i64::from(v)).collect();
+            intcolumn::encode(&widened)
         }
-        DataType::Int64 => {
-            let col: Vec<i64> = values
-                .iter()
-                .map(|v| match v {
-                    TsValue::Long(x) => *x,
-                    other => type_mismatch(DataType::Int64, other),
-                })
-                .collect();
-            intcolumn::encode(&col)
-        }
-        DataType::Float => {
-            let col: Vec<f32> = values
-                .iter()
-                .map(|v| match v {
-                    TsValue::Float(x) => *x,
-                    other => type_mismatch(DataType::Float, other),
-                })
-                .collect();
-            gorilla::encode_f32(&col)
-        }
-        DataType::Double => {
-            let col: Vec<f64> = values
-                .iter()
-                .map(|v| match v {
-                    TsValue::Double(x) => *x,
-                    other => type_mismatch(DataType::Double, other),
-                })
-                .collect();
-            gorilla::encode_f64(&col)
-        }
-        DataType::Boolean => {
-            let col: Vec<bool> = values
-                .iter()
-                .map(|v| match v {
-                    TsValue::Bool(x) => *x,
-                    other => type_mismatch(DataType::Boolean, other),
-                })
-                .collect();
-            boolpack::encode(&col)
-        }
-        DataType::Text => {
-            let col: Vec<&str> = values
-                .iter()
-                .map(|v| match v {
-                    TsValue::Text(s) => s.as_str(),
-                    other => type_mismatch(DataType::Text, other),
-                })
-                .collect();
-            textpack::encode(&col)
-        }
+        ColumnSlice::Long(s) => intcolumn::encode(&s[lo..hi]),
+        ColumnSlice::Float(s) => gorilla::encode_f32(&s[lo..hi]),
+        ColumnSlice::Double(s) => gorilla::encode_f64(&s[lo..hi]),
+        ColumnSlice::Bool(s) => boolpack::encode(&s[lo..hi]),
+        ColumnSlice::Text(s) => textpack::encode(&s[lo..hi]),
     }
 }
 

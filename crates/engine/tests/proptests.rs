@@ -99,7 +99,7 @@ proptest! {
         let key = SeriesKey::new("root.sg.d", "s");
         let mut mt = MemTable::new(16);
         for &(t, v) in &raw {
-            mt.write(&key, t, TsValue::Int(v));
+            mt.write(&key, t, TsValue::Int(v)).unwrap();
         }
         let (image, metrics) = flush_memtable(&mut mt, &Algorithm::Backward(Default::default()));
         let reader = TsFileReader::open(&image).expect("valid image");
@@ -151,6 +151,71 @@ proptest! {
         for (rec, &(t, v)) in recs.iter().zip(&points) {
             let want = WalRecord::Point { key: key.clone(), t, v: TsValue::Long(v) };
             prop_assert_eq!(rec, &want);
+        }
+    }
+
+    // A columnar batch record survives the WAL byte-exactly, whatever
+    // the timestamp distribution and value column.
+    #[test]
+    fn wal_batch_record_roundtrips(
+        rows in prop::collection::vec((any::<i64>(), any::<i64>()), 0..200),
+    ) {
+        use backsort_engine::store::{replay_wal, WalRecord};
+        use backsort_engine::PointBatch;
+        let key = SeriesKey::new("root.sg.d", "s");
+        let batch = PointBatch::from_rows(rows.iter().map(|&(t, v)| (t, TsValue::Long(v))))
+            .expect("uniform Long rows");
+        let mut buf = Vec::new();
+        WalRecord::PointBatch { key: key.clone(), batch: batch.clone() }.encode_into(&mut buf);
+        let (recs, discarded) = replay_wal(&buf);
+        prop_assert_eq!(discarded, 0);
+        prop_assert_eq!(recs, vec![WalRecord::PointBatch { key, batch }]);
+    }
+
+    // The batch frame is the atomicity unit: truncate anywhere inside it
+    // and replay keeps every earlier record but never a partial batch.
+    #[test]
+    fn wal_batch_frame_is_atomic_under_truncation(
+        rows in prop::collection::vec((0i64..10_000, any::<i32>()), 1..60),
+        cut_seed in any::<u64>(),
+    ) {
+        use backsort_engine::store::{replay_wal, WalRecord};
+        use backsort_engine::PointBatch;
+        let key = SeriesKey::new("root.sg.d", "s");
+        let point = WalRecord::Point { key: key.clone(), t: -1, v: TsValue::Long(7) };
+        let mut buf = Vec::new();
+        point.encode_into(&mut buf);
+        let head = buf.len();
+        let batch = PointBatch::from_rows(rows.iter().map(|&(t, v)| (t, TsValue::Int(v))))
+            .expect("uniform Int rows");
+        WalRecord::PointBatch { key: key.clone(), batch: batch.clone() }.encode_into(&mut buf);
+        let cut = head + (cut_seed as usize) % (buf.len() - head);
+        let (recs, discarded) = replay_wal(&buf[..cut]);
+        prop_assert_eq!(recs, vec![point], "cut at {} left a partial batch", cut);
+        prop_assert_eq!(discarded, cut - head);
+    }
+
+    // A flipped bit anywhere in a batch frame must never surface a
+    // *different* batch: the CRC rejects the frame (or a length-prefix
+    // flip stops framing), so replay sees the original or nothing.
+    #[test]
+    fn wal_batch_frame_rejects_bit_flips(
+        rows in prop::collection::vec((0i64..10_000, any::<i64>()), 1..40),
+        flip in any::<usize>(),
+    ) {
+        use backsort_engine::store::WalRecord;
+        use backsort_engine::PointBatch;
+        let key = SeriesKey::new("root.sg.d", "s");
+        let batch = PointBatch::from_rows(rows.iter().map(|&(t, v)| (t, TsValue::Long(v))))
+            .expect("uniform Long rows");
+        let original = WalRecord::PointBatch { key, batch };
+        let mut buf = Vec::new();
+        original.encode_into(&mut buf);
+        let bit = flip % (buf.len() * 8);
+        buf[bit / 8] ^= 1 << (bit % 8);
+        let mut pos = 0;
+        if let Some(rec) = WalRecord::read_from(&buf, &mut pos) {
+            prop_assert_eq!(rec, original);
         }
     }
 

@@ -15,6 +15,10 @@
 /// After a point's WAL frame is appended, before the memtable insert.
 /// Models: crash between logging and applying a write.
 pub const STORE_WRITE_AFTER_WAL: &str = "store.write.after_wal";
+/// After a `PointBatch` record's WAL frame is appended, before the batch
+/// is applied to the memtable. Models: crash between logging and
+/// applying a whole batch — a torn frame must lose only unacked points.
+pub const STORE_WRITE_BATCH_APPEND: &str = "store.write_batch.append";
 /// After a delete's tombstone is applied and its WAL frame appended,
 /// before the caller is acked. Models: crash right after a delete.
 pub const STORE_DELETE_AFTER_WAL: &str = "store.delete.after_wal";
@@ -42,6 +46,10 @@ pub const STORE_OPEN_AFTER_ADOPT: &str = "store.open.after_adopt";
 /// During recovery, after WAL replay, before the recovered state is
 /// re-persisted. Models: crash after replay work, before it's durable.
 pub const STORE_OPEN_AFTER_REPLAY: &str = "store.open.after_replay";
+/// During recovery, as each replayed `PointBatch` record is applied.
+/// Models: crash mid-replay of a batched log — a second replay of the
+/// same batch must be harmless.
+pub const STORE_OPEN_BATCH_REPLAY: &str = "store.open.batch_replay";
 /// During recovery, before replayed WAL segments are deleted.
 /// Models: crash after re-persist, mid-cleanup (segments must be
 /// harmless to replay twice).
@@ -82,6 +90,7 @@ pub const IO_MANIFEST_WRITE: &str = "io.manifest.write";
 /// list and fails on any site it could not exercise.
 pub const ALL: &[&str] = &[
     STORE_WRITE_AFTER_WAL,
+    STORE_WRITE_BATCH_APPEND,
     STORE_DELETE_AFTER_WAL,
     STORE_ROTATE_BEGIN,
     STORE_ROTATE_AFTER_FLUSH,
@@ -91,6 +100,7 @@ pub const ALL: &[&str] = &[
     STORE_PERSIST_GC,
     STORE_OPEN_AFTER_ADOPT,
     STORE_OPEN_AFTER_REPLAY,
+    STORE_OPEN_BATCH_REPLAY,
     STORE_OPEN_BEFORE_WAL_DELETE,
     STORE_SYNC,
     FLUSH_ROTATE,

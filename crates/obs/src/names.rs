@@ -14,6 +14,9 @@
 
 /// Per-batch `write_batch` wall latency, nanoseconds (histogram).
 pub const ENGINE_WRITE_BATCH_NANOS: &str = "engine.write_batch_nanos";
+/// Time spent partitioning a `PointBatch` into seq/unseq column runs at
+/// the watermark, nanoseconds per batch (histogram).
+pub const ENGINE_BATCH_SPLIT_NANOS: &str = "engine.batch_split_nanos";
 /// Points accepted by the write paths (counter).
 pub const ENGINE_WRITE_POINTS: &str = "engine.write_points";
 /// Memtable rotations currently awaiting an asynchronous flush (gauge,
@@ -41,6 +44,14 @@ pub const MEMTABLE_DELTA_TAU: &str = "memtable.delta_tau";
 /// Sizes of buffers that were actually unsorted when a flush or
 /// sort-on-read reached them (histogram — buffer dirtiness).
 pub const MEMTABLE_DIRTY_BUFFER_POINTS: &str = "memtable.dirty_buffer_points";
+/// Time spent bulk-appending a batch's column run into a series buffer,
+/// nanoseconds per run (histogram).
+pub const MEMTABLE_BATCH_APPEND_NANOS: &str = "memtable.batch_append_nanos";
+/// Writes rejected because the value type did not match the series
+/// buffer's established type (counter). A nonzero value means a client
+/// sent a mistyped INSERT; the engine drops the write instead of
+/// aborting.
+pub const MEMTABLE_TYPE_MISMATCH_REJECTS: &str = "memtable.type_mismatch_rejects";
 
 /// Memtable flushes completed (counter; also per shard via the
 /// `{shard=N}` label).
@@ -66,6 +77,9 @@ pub const WAL_ROTATIONS: &str = "wal.rotations";
 /// record (counter). Nonzero after a recovery means the log really was
 /// damaged — visible corruption instead of silent tolerance.
 pub const WAL_REPLAY_DISCARDED_BYTES: &str = "wal.replay_discarded_bytes";
+/// Time spent encoding a `PointBatch` WAL frame (delta-encoded timestamp
+/// column + value column), nanoseconds per batch (histogram).
+pub const WAL_BATCH_ENCODE_NANOS: &str = "wal.batch_encode_nanos";
 
 /// Compaction passes run (counter).
 pub const COMPACTION_RUNS: &str = "compaction.runs";
@@ -108,6 +122,7 @@ pub const SPAN_SORT_ON_READ: &str = "sort_on_read";
 /// the process-global registry, not the engine's.
 pub const REQUIRED: &[&str] = &[
     ENGINE_WRITE_BATCH_NANOS,
+    ENGINE_BATCH_SPLIT_NANOS,
     ENGINE_WRITE_POINTS,
     ENGINE_FLUSH_QUEUE_DEPTH,
     QUERY_READ_PATH,
@@ -118,6 +133,8 @@ pub const REQUIRED: &[&str] = &[
     MEMTABLE_OOO_POINTS,
     MEMTABLE_DELTA_TAU,
     MEMTABLE_DIRTY_BUFFER_POINTS,
+    MEMTABLE_BATCH_APPEND_NANOS,
+    MEMTABLE_TYPE_MISMATCH_REJECTS,
     FLUSH_COUNT,
     FLUSH_SORT_NANOS,
     FLUSH_ENCODE_NANOS,
@@ -128,6 +145,7 @@ pub const REQUIRED: &[&str] = &[
     WAL_APPENDS,
     WAL_ROTATIONS,
     WAL_REPLAY_DISCARDED_BYTES,
+    WAL_BATCH_ENCODE_NANOS,
     COMPACTION_RUNS,
     COMPACTION_BYTES_IN,
     COMPACTION_BYTES_OUT,

@@ -111,16 +111,19 @@ pub enum Statement {
         /// Optional time-window grouping (aggregates only).
         group_by: Option<GroupBy>,
     },
-    /// `INSERT INTO device(timestamp, s1, …) VALUES (t, v1, …)`
+    /// `INSERT INTO device(timestamp, s1, …) VALUES (t, v1, …)[, (t, v1, …)]…`
+    ///
+    /// Multi-row inserts are the batched ingest surface: the executor
+    /// assembles each sensor's rows into one columnar
+    /// [`PointBatch`](backsort_engine::PointBatch) and hands it to the
+    /// engine whole.
     Insert {
         /// Device path.
         device: String,
         /// Sensor names (excluding the leading `timestamp`).
         sensors: Vec<String>,
-        /// The timestamp literal.
-        timestamp: i64,
-        /// One literal per sensor.
-        values: Vec<Literal>,
+        /// One `(timestamp, one literal per sensor)` tuple per row.
+        rows: Vec<(i64, Vec<Literal>)>,
     },
     /// `DELETE FROM device.sensor [WHERE …]`
     Delete {
@@ -365,26 +368,34 @@ impl Parser {
             return Err(SqlError::new("INSERT needs at least one sensor column"));
         }
         self.keyword("values")?;
-        self.expect(&Token::LParen)?;
-        let timestamp = self.int_expr()?;
-        let mut values = Vec::new();
-        while self.peek() == Some(&Token::Comma) {
-            self.next();
-            values.push(self.literal()?);
-        }
-        self.expect(&Token::RParen)?;
-        if values.len() != sensors.len() {
-            return Err(SqlError::new(format!(
-                "{} sensor columns but {} values",
-                sensors.len(),
-                values.len()
-            )));
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&Token::LParen)?;
+            let timestamp = self.int_expr()?;
+            let mut values = Vec::new();
+            while self.peek() == Some(&Token::Comma) {
+                self.next();
+                values.push(self.literal()?);
+            }
+            self.expect(&Token::RParen)?;
+            if values.len() != sensors.len() {
+                return Err(SqlError::new(format!(
+                    "{} sensor columns but {} values",
+                    sensors.len(),
+                    values.len()
+                )));
+            }
+            rows.push((timestamp, values));
+            if self.peek() == Some(&Token::Comma) {
+                self.next();
+            } else {
+                break;
+            }
         }
         Ok(Statement::Insert {
             device,
             sensors,
-            timestamp,
-            values,
+            rows,
         })
     }
 
@@ -484,24 +495,47 @@ mod tests {
             Statement::Insert {
                 device,
                 sensors,
-                timestamp,
-                values,
+                rows,
             } => {
                 assert_eq!(device, "root.sg.d1");
                 assert_eq!(sensors, vec!["s1", "s2", "s3", "s4"]);
-                assert_eq!(timestamp, 42);
                 assert_eq!(
-                    values,
-                    vec![
-                        Literal::Float(3.5),
-                        Literal::Str("on".into()),
-                        Literal::Int(-7),
-                        Literal::Bool(true),
-                    ]
+                    rows,
+                    vec![(
+                        42,
+                        vec![
+                            Literal::Float(3.5),
+                            Literal::Str("on".into()),
+                            Literal::Int(-7),
+                            Literal::Bool(true),
+                        ]
+                    )]
                 );
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_multi_row_insert() {
+        let stmt = parse(
+            "INSERT INTO root.sg.d1(timestamp, s1, s2) VALUES (1, 10, 1.5), (2, 20, 2.5), (3, 30, 3.5)",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Insert { sensors, rows, .. } => {
+                assert_eq!(sensors, vec!["s1", "s2"]);
+                assert_eq!(rows.len(), 3);
+                assert_eq!(rows[0], (1, vec![Literal::Int(10), Literal::Float(1.5)]));
+                assert_eq!(rows[2], (3, vec![Literal::Int(30), Literal::Float(3.5)]));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Every row must match the declared sensor width.
+        assert!(parse("INSERT INTO root.d(timestamp, s) VALUES (1, 1), (2)")
+            .unwrap_err()
+            .message
+            .contains("1 sensor columns but 0 values"));
     }
 
     #[test]

@@ -47,6 +47,46 @@ pub trait SeriesAccess {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Reads the points in `lo..hi` into `out`, preserving order.
+    ///
+    /// The bulk read side of the sort interface: merges buffer whole runs
+    /// through this instead of `get` per element. Contiguous
+    /// implementations override it with slice copies.
+    fn read_into(&self, lo: usize, hi: usize, out: &mut Vec<(i64, Self::Value)>) {
+        out.extend((lo..hi).map(|i| self.get(i)));
+    }
+
+    /// Overwrites the points starting at `dst` with `src`, in order.
+    ///
+    /// The bulk write side: a merge landing a run of buffered elements
+    /// pays one call instead of `set` per element.
+    fn copy_from_slice(&mut self, dst: usize, src: &[(i64, Self::Value)]) {
+        for (k, &(t, v)) in src.iter().enumerate() {
+            self.set(dst + k, t, v);
+        }
+    }
+
+    /// Copies the range `src_lo..src_hi` so it starts at `dst`, with
+    /// memmove semantics: the two ranges may overlap in either
+    /// direction.
+    fn copy_within(&mut self, src_lo: usize, src_hi: usize, dst: usize) {
+        let len = src_hi - src_lo;
+        if len == 0 || dst == src_lo {
+            return;
+        }
+        if dst < src_lo {
+            for k in 0..len {
+                let (t, v) = self.get(src_lo + k);
+                self.set(dst + k, t, v);
+            }
+        } else {
+            for k in (0..len).rev() {
+                let (t, v) = self.get(src_lo + k);
+                self.set(dst + k, t, v);
+            }
+        }
+    }
 }
 
 /// Sort-interface adapter over a mutable slice of `(timestamp, value)`
@@ -104,6 +144,21 @@ impl<V: Copy> SeriesAccess for SliceSeries<'_, V> {
     fn swap(&mut self, a: usize, b: usize) {
         self.data.swap(a, b);
     }
+
+    #[inline]
+    fn read_into(&self, lo: usize, hi: usize, out: &mut Vec<(i64, V)>) {
+        out.extend_from_slice(&self.data[lo..hi]);
+    }
+
+    #[inline]
+    fn copy_from_slice(&mut self, dst: usize, src: &[(i64, V)]) {
+        self.data[dst..dst + src.len()].copy_from_slice(src);
+    }
+
+    #[inline]
+    fn copy_within(&mut self, src_lo: usize, src_hi: usize, dst: usize) {
+        self.data.copy_within(src_lo..src_hi, dst);
+    }
 }
 
 impl<S: SeriesAccess + ?Sized> SeriesAccess for &mut S {
@@ -137,6 +192,21 @@ impl<S: SeriesAccess + ?Sized> SeriesAccess for &mut S {
     #[inline]
     fn swap(&mut self, a: usize, b: usize) {
         (**self).swap(a, b)
+    }
+
+    #[inline]
+    fn read_into(&self, lo: usize, hi: usize, out: &mut Vec<(i64, Self::Value)>) {
+        (**self).read_into(lo, hi, out)
+    }
+
+    #[inline]
+    fn copy_from_slice(&mut self, dst: usize, src: &[(i64, Self::Value)]) {
+        (**self).copy_from_slice(dst, src)
+    }
+
+    #[inline]
+    fn copy_within(&mut self, src_lo: usize, src_hi: usize, dst: usize) {
+        (**self).copy_within(src_lo, src_hi, dst)
     }
 }
 
@@ -203,5 +273,73 @@ mod tests {
         let s = SliceSeries::new(&mut data);
         assert!(s.is_empty());
         assert_eq!(s.len(), 0);
+    }
+
+    /// A minimal custom impl that only provides the required methods, so
+    /// every bulk default routes through `get`/`set`.
+    struct VecSeries(Vec<(i64, i32)>);
+
+    impl SeriesAccess for VecSeries {
+        type Value = i32;
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn time(&self, i: usize) -> i64 {
+            self.0[i].0
+        }
+        fn value(&self, i: usize) -> i32 {
+            self.0[i].1
+        }
+        fn set(&mut self, i: usize, t: i64, v: i32) {
+            self.0[i] = (t, v);
+        }
+    }
+
+    #[test]
+    fn bulk_defaults_match_slice_overrides() {
+        let base: Vec<(i64, i32)> = (0..20).map(|i| (i as i64, i * 10)).collect();
+
+        let mut via_default = VecSeries(base.clone());
+        let mut data = base.clone();
+        let mut via_slice = SliceSeries::new(&mut data);
+
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        via_default.read_into(3, 11, &mut a);
+        via_slice.read_into(3, 11, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+
+        let patch = [(100i64, 1i32), (101, 2), (102, 3)];
+        via_default.copy_from_slice(5, &patch);
+        via_slice.copy_from_slice(5, &patch);
+        assert_eq!(via_default.0, via_slice.as_slice());
+
+        // Overlapping move, both directions.
+        via_default.copy_within(4, 12, 2);
+        via_slice.copy_within(4, 12, 2);
+        assert_eq!(via_default.0, via_slice.as_slice());
+        via_default.copy_within(2, 10, 6);
+        via_slice.copy_within(2, 10, 6);
+        assert_eq!(via_default.0, via_slice.as_slice());
+
+        // Degenerate: empty range and self-move are no-ops.
+        let before = via_default.0.clone();
+        via_default.copy_within(3, 3, 0);
+        via_default.copy_within(3, 8, 3);
+        assert_eq!(via_default.0, before);
+    }
+
+    #[test]
+    fn blanket_impl_forwards_bulk_methods() {
+        let mut data = vec![(1i64, 1i32), (2, 2), (3, 3), (4, 4)];
+        let mut s = SliceSeries::new(&mut data);
+        let via_ref: &mut SliceSeries<i32> = &mut s;
+        let mut out = Vec::new();
+        via_ref.read_into(1, 3, &mut out);
+        assert_eq!(out, vec![(2, 2), (3, 3)]);
+        via_ref.copy_from_slice(0, &[(9, 9)]);
+        via_ref.copy_within(0, 2, 2);
+        assert_eq!(s.as_slice(), &[(9, 9), (2, 2), (9, 9), (2, 2)]);
     }
 }

@@ -191,6 +191,83 @@ impl<V: Value> TVList<V> {
     pub fn memory_bytes(&self) -> usize {
         self.times.len() * self.array_size * (8 + V::WIDTH)
     }
+
+    /// Appends a timestamp column and a value column in one pass.
+    ///
+    /// This is the columnar ingest entry point: one call amortizes the
+    /// chunk bookkeeping (`locate`, sorted-flag and bound maintenance) over
+    /// the whole batch, copying chunk-sized runs with `extend_from_slice`
+    /// instead of paying `push` per point. The sorted flag survives iff it
+    /// was set, the slice is internally non-decreasing, and the slice
+    /// starts at or after the current maximum timestamp.
+    ///
+    /// # Panics
+    /// Panics if `ts.len() != vs.len()`.
+    pub fn extend_from_slices(&mut self, ts: &[i64], vs: &[V]) {
+        self.extend_from_slices_inner(ts, vs, None)
+    }
+
+    /// [`TVList::extend_from_slices`], recycling chunk allocations from
+    /// `pool`.
+    pub fn extend_from_slices_pooled(&mut self, ts: &[i64], vs: &[V], pool: &mut ArrayPool<V>) {
+        self.extend_from_slices_inner(ts, vs, Some(pool))
+    }
+
+    fn extend_from_slices_inner(
+        &mut self,
+        ts: &[i64],
+        vs: &[V],
+        mut pool: Option<&mut ArrayPool<V>>,
+    ) {
+        assert_eq!(
+            ts.len(),
+            vs.len(),
+            "timestamp and value columns must have equal length"
+        );
+        if ts.is_empty() {
+            return;
+        }
+        // One pass over the timestamp column: slice bounds plus internal
+        // monotonicity, so the flag/bound updates below are O(1).
+        let mut slice_sorted = true;
+        let mut lo = ts[0];
+        let mut hi = ts[0];
+        let mut prev = ts[0];
+        for &t in &ts[1..] {
+            slice_sorted &= t >= prev;
+            prev = t;
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+        self.sorted = self.sorted && slice_sorted && (self.len == 0 || ts[0] >= self.max_time);
+        self.min_time = self.min_time.min(lo);
+        self.max_time = self.max_time.max(hi);
+
+        let mut k = 0;
+        while k < ts.len() {
+            let (chunk, off) = match self.shift {
+                Some(sh) => (self.len >> sh, self.len & (self.array_size - 1)),
+                None => (self.len / self.array_size, self.len % self.array_size),
+            };
+            if chunk == self.times.len() {
+                let (t_chunk, v_chunk) = match pool.as_deref_mut() {
+                    Some(p) => p.get(self.array_size),
+                    None => (
+                        Vec::with_capacity(self.array_size),
+                        Vec::with_capacity(self.array_size),
+                    ),
+                };
+                self.times.push(t_chunk);
+                self.values.push(v_chunk);
+            }
+            debug_assert_eq!(self.times[chunk].len(), off);
+            let n = (self.array_size - off).min(ts.len() - k);
+            self.times[chunk].extend_from_slice(&ts[k..k + n]);
+            self.values[chunk].extend_from_slice(&vs[k..k + n]);
+            self.len += n;
+            k += n;
+        }
+    }
 }
 
 impl<V: Value> SeriesAccess for TVList<V> {
@@ -242,6 +319,91 @@ impl<V: Value> SeriesAccess for TVList<V> {
             self.values[ca][oa] = vb;
             self.times[cb][ob] = ta;
             self.values[cb][ob] = va;
+        }
+        self.sorted = false;
+    }
+
+    fn read_into(&self, lo: usize, hi: usize, out: &mut Vec<(i64, V)>) {
+        out.reserve(hi - lo);
+        let mut k = lo;
+        while k < hi {
+            let (c, o) = self.locate(k);
+            let n = (self.array_size - o).min(hi - k);
+            out.extend(
+                self.times[c][o..o + n]
+                    .iter()
+                    .copied()
+                    .zip(self.values[c][o..o + n].iter().copied()),
+            );
+            k += n;
+        }
+    }
+
+    fn copy_from_slice(&mut self, dst: usize, src: &[(i64, V)]) {
+        if src.is_empty() {
+            return;
+        }
+        let mut k = 0;
+        while k < src.len() {
+            let (c, o) = self.locate(dst + k);
+            let n = (self.array_size - o).min(src.len() - k);
+            for (j, &(t, v)) in src[k..k + n].iter().enumerate() {
+                self.times[c][o + j] = t;
+                self.values[c][o + j] = v;
+            }
+            k += n;
+        }
+        // Same conservative semantics as `set`: monotonicity may be broken,
+        // bounds only grow.
+        for &(t, _) in src {
+            self.min_time = self.min_time.min(t);
+            self.max_time = self.max_time.max(t);
+        }
+        self.sorted = false;
+    }
+
+    fn copy_within(&mut self, src_lo: usize, src_hi: usize, dst: usize) {
+        let len = src_hi - src_lo;
+        if len == 0 || dst == src_lo {
+            return;
+        }
+        // Decompose into maximal segments where both the source and the
+        // destination stay inside a single chunk each, then apply the
+        // segments in source order (dst < src) or reverse (dst > src) so
+        // overlapping ranges keep memmove semantics across segment
+        // boundaries; within a segment, same-chunk copies use the inner
+        // `Vec::copy_within` (itself overlap-safe) and cross-chunk copies
+        // touch disjoint chunks.
+        let mut segments = Vec::new();
+        let mut k = 0;
+        while k < len {
+            let (cs, os) = self.locate(src_lo + k);
+            let (cd, od) = self.locate(dst + k);
+            let n = (self.array_size - os)
+                .min(self.array_size - od)
+                .min(len - k);
+            segments.push((cs, os, cd, od, n));
+            k += n;
+        }
+        if dst > src_lo {
+            segments.reverse();
+        }
+        for (cs, os, cd, od, n) in segments {
+            if cs == cd {
+                self.times[cs].copy_within(os..os + n, od);
+                self.values[cs].copy_within(os..os + n, od);
+            } else {
+                let hi = cs.max(cd);
+                let (t_head, t_tail) = self.times.split_at_mut(hi);
+                let (v_head, v_tail) = self.values.split_at_mut(hi);
+                if cs < cd {
+                    t_tail[0][od..od + n].copy_from_slice(&t_head[cs][os..os + n]);
+                    v_tail[0][od..od + n].copy_from_slice(&v_head[cs][os..os + n]);
+                } else {
+                    t_head[cd][od..od + n].copy_from_slice(&t_tail[0][os..os + n]);
+                    v_head[cd][od..od + n].copy_from_slice(&v_tail[0][os..os + n]);
+                }
+            }
         }
         self.sorted = false;
     }
@@ -402,6 +564,119 @@ mod tests {
         assert!(list.is_sorted());
         assert_eq!(list.min_time(), Some(i64::MIN));
         assert_eq!(list.max_time(), Some(i64::MAX));
+    }
+
+    #[test]
+    fn extend_from_slices_matches_push() {
+        for array_size in [3usize, 4, 32] {
+            let ts: Vec<i64> = (0..77).map(|i| (i * 7 % 41) as i64).collect();
+            let vs: Vec<i32> = (0..77).collect();
+            let mut pushed = TVList::<i32>::with_array_size(array_size);
+            for (&t, &v) in ts.iter().zip(&vs) {
+                pushed.push(t, v);
+            }
+            let mut bulk = TVList::<i32>::with_array_size(array_size);
+            // Split across several calls so the tail-of-chunk path runs.
+            bulk.extend_from_slices(&ts[..10], &vs[..10]);
+            bulk.extend_from_slices(&ts[10..11], &vs[10..11]);
+            bulk.extend_from_slices(&ts[11..], &vs[11..]);
+            assert_eq!(bulk.to_pairs(), pushed.to_pairs());
+            assert_eq!(bulk.len(), pushed.len());
+            assert_eq!(bulk.is_sorted(), pushed.is_sorted());
+            assert_eq!(bulk.min_time(), pushed.min_time());
+            assert_eq!(bulk.max_time(), pushed.max_time());
+        }
+    }
+
+    #[test]
+    fn extend_from_slices_sorted_flag_cases() {
+        // Sorted + appended slice sorted and at/after max: stays sorted.
+        let mut list = TVList::<i32>::with_array_size(4);
+        list.extend_from_slices(&[1, 2, 3], &[1, 2, 3]);
+        assert!(list.is_sorted());
+        list.extend_from_slices(&[3, 5], &[4, 5]);
+        assert!(list.is_sorted());
+        // Slice starting before max breaks it.
+        list.extend_from_slices(&[4], &[6]);
+        assert!(!list.is_sorted());
+        // Internally unsorted slice breaks a fresh list.
+        let mut list2 = TVList::<i32>::new();
+        list2.extend_from_slices(&[5, 3], &[0, 1]);
+        assert!(!list2.is_sorted());
+        assert_eq!(list2.min_time(), Some(3));
+        assert_eq!(list2.max_time(), Some(5));
+        // Empty slice is a no-op.
+        let before = list2.to_pairs();
+        list2.extend_from_slices(&[], &[]);
+        assert_eq!(list2.to_pairs(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn extend_from_slices_length_mismatch_panics() {
+        let mut list = TVList::<i32>::new();
+        list.extend_from_slices(&[1, 2], &[1]);
+    }
+
+    #[test]
+    fn extend_from_slices_pooled_recycles_chunks() {
+        let mut pool = ArrayPool::<i32>::new(8);
+        pool.put(Vec::with_capacity(4), Vec::with_capacity(4));
+        pool.put(Vec::with_capacity(4), Vec::with_capacity(4));
+        let mut list = TVList::<i32>::with_array_size(4);
+        let ts: Vec<i64> = (0..9).collect();
+        let vs: Vec<i32> = (0..9).collect();
+        list.extend_from_slices_pooled(&ts, &vs, &mut pool);
+        assert_eq!(list.len(), 9);
+        assert_eq!(pool.available(), 0, "two recycled, one fresh");
+        assert_eq!(list.to_pairs()[8], (8, 8));
+    }
+
+    #[test]
+    fn bulk_read_into_matches_iter() {
+        let mut list = TVList::<i32>::with_array_size(4);
+        for i in 0..19 {
+            list.push(i as i64, i * 2);
+        }
+        let mut out = Vec::new();
+        list.read_into(2, 15, &mut out);
+        assert_eq!(out, list.to_pairs()[2..15].to_vec());
+        out.clear();
+        list.read_into(4, 4, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn bulk_copy_from_slice_matches_set() {
+        let mut a = TVList::<i32>::with_array_size(4);
+        let mut b = TVList::<i32>::with_array_size(4);
+        for i in 0..17 {
+            a.push(i as i64 * 10, i);
+            b.push(i as i64 * 10, i);
+        }
+        let patch: Vec<(i64, i32)> = (0..9).map(|k| (k as i64 - 3, 100 + k)).collect();
+        a.copy_from_slice(3, &patch);
+        for (k, &(t, v)) in patch.iter().enumerate() {
+            b.set(3 + k, t, v);
+        }
+        assert_eq!(a.to_pairs(), b.to_pairs());
+        assert_eq!(a.min_time(), b.min_time());
+        assert_eq!(a.max_time(), b.max_time());
+        assert!(!a.is_sorted());
+    }
+
+    #[test]
+    fn bulk_copy_within_matches_naive_both_directions() {
+        for (src_lo, src_hi, dst) in [(2usize, 14usize, 0usize), (0, 12, 5), (3, 7, 3), (6, 6, 1)] {
+            let mut fast = TVList::<i32>::with_array_size(4);
+            let mut pairs: Vec<(i64, i32)> = (0..18).map(|i| (i as i64 * 3, i)).collect();
+            for &(t, v) in &pairs {
+                fast.push(t, v);
+            }
+            fast.copy_within(src_lo, src_hi, dst);
+            pairs.copy_within(src_lo..src_hi, dst);
+            assert_eq!(fast.to_pairs(), pairs, "case {src_lo}..{src_hi} -> {dst}");
+        }
     }
 }
 

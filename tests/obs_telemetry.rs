@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use backward_sort_repro::core::Algorithm;
-use backward_sort_repro::engine::{EngineConfig, SeriesKey, StorageEngine, TsValue};
+use backward_sort_repro::engine::{EngineConfig, PointBatch, SeriesKey, StorageEngine, TsValue};
 use backward_sort_repro::obs::{names, Registry};
 use backward_sort_repro::workload::{generate_pairs, DelayModel, SignalKind, StreamSpec};
 
@@ -69,7 +69,8 @@ fn live_overlap_q_respects_the_papers_bound() {
         .map(|&(t, v)| (t, TsValue::Double(v)))
         .collect();
     for chunk in points.chunks(1_000) {
-        engine.write_batch(&key, chunk.to_vec());
+        let batch = PointBatch::from_rows(chunk.iter().cloned()).expect("uniform Double rows");
+        engine.write_batch(&key, &batch).expect("uniform batch");
     }
     engine.flush();
 
@@ -132,7 +133,11 @@ fn flush_spans_land_in_the_tracer() {
         .collect();
     let flusher = backward_sort_repro::engine::AsyncFlusher::with_workers(Arc::clone(&engine), 2);
     for chunk in points.chunks(500) {
-        if let Some(job) = engine.write_batch_nonblocking(&key, chunk.to_vec()) {
+        let batch = PointBatch::from_rows(chunk.iter().cloned()).expect("uniform Double rows");
+        if let Some(job) = engine
+            .write_batch_nonblocking(&key, &batch)
+            .expect("uniform batch")
+        {
             flusher.submit(job).expect("flusher alive");
         }
     }
