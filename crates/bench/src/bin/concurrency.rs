@@ -52,6 +52,7 @@ fn main() {
                     sorter: alg,
                     shards,
                     seed: 42,
+                    ..BenchConfig::default()
                 };
                 let report = run_benchmark_concurrent(&config, writers, queriers);
                 rows.push(vec![
@@ -89,6 +90,7 @@ fn main() {
                 sorter: Algorithm::Backward(Default::default()),
                 shards,
                 seed: 42,
+                ..BenchConfig::default()
             };
             let report = run_benchmark_concurrent(&config, 4, 0);
             rows.push(vec![

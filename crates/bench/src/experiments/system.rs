@@ -118,6 +118,7 @@ pub fn run_grid(
                     // engine (§VI-D reproduction).
                     shards: 1,
                     seed,
+                    ..BenchConfig::default()
                 };
                 let report = run_benchmark(&config);
                 rows.push(SystemRow {

@@ -2,7 +2,7 @@
 //! fast path versus the pre-overhaul write-locked baseline.
 //!
 //! Usage: `query_bench [--ops N] [--threads T] [--shards S] [--smoke]
-//! [--json] [--stats-json PATH]`
+//! [--cache-bytes B] [--json] [--stats-json PATH]`
 //! Without `--threads` the sweep runs {1, 2, 4, 8} reader threads; without
 //! `--shards` it compares engine shard counts {1, 4}. Every cell runs
 //! twice — mode `read` drives `StorageEngine::query` (shared lock,
@@ -10,9 +10,16 @@
 //! `StorageEngine::query_exclusive` (write lock, collect + re-sort) — so
 //! the table reads as a before/after of the read-path overhaul.
 //! `--smoke` shrinks the dataset and query counts for CI.
-//! `--stats-json PATH` shares one metrics registry across every cell and
-//! writes its JSON rendering (all counters, gauges and histogram
-//! summaries) to PATH at the end.
+//! `--cache-bytes B` sets the engine's block-cache budget for every cell
+//! (0 disables the cache). `--stats-json PATH` shares one metrics
+//! registry across every cell and writes its JSON rendering (all
+//! counters, gauges and histogram summaries) to PATH at the end.
+//!
+//! Every grid run appends one high-cardinality cell pair per sorter
+//! (≥1k devices, device-banded files): `hicard-filter` runs with the
+//! per-file key existence filters on, `hicard-envelope` pins the
+//! envelope-only baseline, so the pair's `files_pruned_by_filter` delta
+//! is the read-path win the filters buy before any chunk-index walk.
 
 use std::sync::Arc;
 
@@ -47,17 +54,19 @@ pub fn main() {
     } else {
         Algorithm::contenders()
     };
+    let cache_bytes = args.get_or("cache-bytes", BenchConfig::default().cache_bytes);
     let stats_json = args.get("stats-json");
     let registry = stats_json
         .as_ref()
         .map(|_| Arc::new(backsort_obs::Registry::new()));
 
-    let json_rows = run_cells(
+    let json_rows = run_cells_with_cache(
         ops,
         queries_per_thread,
         &thread_counts,
         &shard_counts,
         &sorters,
+        cache_bytes,
         registry.clone(),
     );
     let rows: Vec<Vec<String>> = json_rows
@@ -127,6 +136,7 @@ fn run_ingest_cell(
         array_size: 32,
         sorter,
         shards,
+        ..EngineConfig::default()
     };
     let engine = match registry {
         Some(registry) => StorageEngine::with_registry(engine_config, registry),
@@ -191,20 +201,91 @@ fn run_ingest_cell(
         exclusive_queries: 0,
         files_considered: 0,
         files_pruned: 0,
+        files_pruned_by_filter: 0,
     }
 }
 
-/// Runs the full (shards × threads × sorter × mode) grid — plus one
-/// ingest sweep cell per (shards × sorter × batch size) — and returns
-/// the per-cell reports. Shared by [`main`] and the perf-smoke
-/// regression gate ([`crate::perf_gate`]), so the gate measures exactly
-/// the cells `query_bench --smoke` prints.
+/// One high-cardinality cell pair: ≥1k devices with a single sensor
+/// each, ingested device-sequentially with a small memtable so every
+/// flushed file covers a narrow device band. Any one query's series
+/// lives in a handful of those files; the rest are dead weight the read
+/// path must dismiss. The pair runs the identical workload twice —
+/// filters on (`hicard-filter`) and the envelope-only baseline
+/// (`hicard-envelope`) — so the filtered cell's `files_pruned_by_filter`
+/// and its reduced probed count (`files_considered` minus filter prunes)
+/// measure what the split-Bloom footer block buys.
+pub fn run_high_cardinality_cells(
+    sorter: Algorithm,
+    shards: usize,
+    cache_bytes: usize,
+    registry: Option<Arc<backsort_obs::Registry>>,
+) -> Vec<backsort_benchmark::QueryBenchReport> {
+    let base = BenchConfig {
+        devices: 1_024,
+        sensors_per_device: 1,
+        batch_size: 32,
+        write_percentage: 1.0,
+        operations: 1_024,
+        delay: DelayModel::AbsNormal {
+            mu: 1.0,
+            sigma: 2.0,
+        },
+        query_window: 300,
+        memtable_max_points: 2_000,
+        sorter,
+        shards,
+        use_file_filters: true,
+        cache_bytes,
+        seed: 42,
+    };
+    [("hicard-filter", true), ("hicard-envelope", false)]
+        .into_iter()
+        .map(|(mode, filters)| {
+            let config = BenchConfig {
+                use_file_filters: filters,
+                ..base
+            };
+            let mut report =
+                run_query_bench_with(&config, 2, 50, QueryMode::ReadLocked, registry.clone());
+            report.mode = mode.to_string();
+            report
+        })
+        .collect()
+}
+
+/// [`run_cells_with_cache`] at the default block-cache budget.
 pub fn run_cells(
     ops: usize,
     queries_per_thread: usize,
     thread_counts: &[usize],
     shard_counts: &[usize],
     sorters: &[Algorithm],
+    registry: Option<Arc<backsort_obs::Registry>>,
+) -> Vec<backsort_benchmark::QueryBenchReport> {
+    run_cells_with_cache(
+        ops,
+        queries_per_thread,
+        thread_counts,
+        shard_counts,
+        sorters,
+        BenchConfig::default().cache_bytes,
+        registry,
+    )
+}
+
+/// Runs the full (shards × threads × sorter × mode) grid — plus one
+/// ingest sweep cell per (shards × sorter × batch size) and one
+/// high-cardinality filter/envelope cell pair per sorter — and returns
+/// the per-cell reports. Shared by [`main`] and the perf-smoke
+/// regression gate ([`crate::perf_gate`]), so the gate measures exactly
+/// the cells `query_bench --smoke` prints.
+pub fn run_cells_with_cache(
+    ops: usize,
+    queries_per_thread: usize,
+    thread_counts: &[usize],
+    shard_counts: &[usize],
+    sorters: &[Algorithm],
+    cache_bytes: usize,
     registry: Option<Arc<backsort_obs::Registry>>,
 ) -> Vec<backsort_benchmark::QueryBenchReport> {
     let mut reports = Vec::new();
@@ -225,7 +306,9 @@ pub fn run_cells(
                     memtable_max_points: 20_000,
                     sorter,
                     shards,
+                    cache_bytes,
                     seed: 42,
+                    ..BenchConfig::default()
                 };
                 for mode in [QueryMode::ReadLocked, QueryMode::Exclusive] {
                     reports.push(run_query_bench_with(
@@ -250,6 +333,19 @@ pub fn run_cells(
             }
         }
     }
+    // The high-cardinality pair runs once per sorter at the first shard
+    // count: it measures filter pruning, which is per-file and
+    // shard-independent, and the 1k-device seed is the grid's most
+    // expensive ingest.
+    let hicard_shards = shard_counts.first().copied().unwrap_or(1);
+    for &sorter in sorters {
+        reports.extend(run_high_cardinality_cells(
+            sorter,
+            hicard_shards,
+            cache_bytes,
+            registry.clone(),
+        ));
+    }
     reports
 }
 
@@ -264,4 +360,53 @@ pub fn smoke_grid() -> (usize, usize, Vec<usize>, Vec<usize>, Vec<Algorithm>) {
         vec![1],
         vec![Algorithm::Backward(Default::default())],
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The tentpole's measurable claim: on high-cardinality data the
+    /// filtered cell prunes files *before* the envelope walk, so it
+    /// probes strictly fewer files than the envelope-only baseline over
+    /// the identical (seeded) workload.
+    #[test]
+    fn high_cardinality_pair_shows_filter_pruning() {
+        let cells = run_high_cardinality_cells(
+            Algorithm::Backward(Default::default()),
+            1,
+            BenchConfig::default().cache_bytes,
+            None,
+        );
+        assert_eq!(cells.len(), 2);
+        let filtered = &cells[0];
+        let envelope = &cells[1];
+        assert_eq!(filtered.mode, "hicard-filter");
+        assert_eq!(envelope.mode, "hicard-envelope");
+        assert_eq!(
+            filtered.files_considered, envelope.files_considered,
+            "identical workload must consider the same files"
+        );
+        assert!(
+            filtered.files_pruned_by_filter > 0,
+            "device-banded files must trip the existence filter"
+        );
+        assert_eq!(
+            envelope.files_pruned_by_filter, 0,
+            "the baseline runs with filters disabled"
+        );
+        let probed = |r: &backsort_benchmark::QueryBenchReport| {
+            r.files_considered - r.files_pruned_by_filter
+        };
+        assert!(
+            probed(filtered) < probed(envelope),
+            "filters must reduce the files reaching the envelope walk \
+             ({} vs {})",
+            probed(filtered),
+            probed(envelope)
+        );
+        // Both paths return the same answers: the filter may only skip
+        // files that provably lack the series.
+        assert_eq!(filtered.points, envelope.points);
+    }
 }

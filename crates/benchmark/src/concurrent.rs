@@ -69,6 +69,7 @@ pub fn run_benchmark_concurrent(
         array_size: 32,
         sorter: config.sorter,
         shards: config.shards,
+        ..EngineConfig::default()
     }));
     // One flush worker per shard: every shard's rotation can drain
     // concurrently, and with shards = 1 this is the original single
@@ -254,6 +255,7 @@ mod tests {
             sorter: Algorithm::Backward(Default::default()),
             shards: 1,
             seed: 5,
+            ..BenchConfig::default()
         }
     }
 

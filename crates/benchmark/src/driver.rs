@@ -48,6 +48,7 @@ pub fn run_benchmark(config: &BenchConfig) -> BenchReport {
         array_size: 32,
         sorter: config.sorter,
         shards: config.shards,
+        ..EngineConfig::default()
     });
 
     // Pre-generate each sensor's arrival-ordered stream; batches are
@@ -174,6 +175,7 @@ mod tests {
             sorter,
             shards: 1,
             seed: 3,
+            ..BenchConfig::default()
         }
     }
 

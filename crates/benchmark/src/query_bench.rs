@@ -84,6 +84,11 @@ pub struct QueryBenchReport {
     pub files_considered: u64,
     /// Of those, files skipped by the cached per-key time-range index.
     pub files_pruned: u64,
+    /// Of the considered files, those skipped because the per-file key
+    /// existence filter proved the series absent (registry delta).
+    /// Stays 0 when the engine runs with filters disabled.
+    #[serde(default)]
+    pub files_pruned_by_filter: u64,
 }
 
 /// Seeds an engine with `config`'s workload: every sensor's stream is
@@ -98,6 +103,9 @@ fn seed_engine(
         array_size: 32,
         sorter: config.sorter,
         shards: config.shards,
+        use_file_filters: config.use_file_filters,
+        cache_bytes: config.cache_bytes,
+        ..EngineConfig::default()
     };
     let engine = match registry {
         Some(registry) => StorageEngine::with_registry(engine_config, registry),
@@ -253,6 +261,7 @@ pub fn run_query_bench_with(
         exclusive_queries: delta.counter(backsort_obs::names::QUERY_EXCLUSIVE_PATH),
         files_considered: delta.counter(backsort_obs::names::QUERY_FILES_CONSIDERED),
         files_pruned: delta.counter(backsort_obs::names::QUERY_FILES_PRUNED),
+        files_pruned_by_filter: delta.counter(backsort_obs::names::QUERY_FILES_PRUNED_BY_FILTER),
     }
 }
 
@@ -278,6 +287,7 @@ mod tests {
             sorter: Algorithm::Backward(Default::default()),
             shards: 1,
             seed: 5,
+            ..BenchConfig::default()
         }
     }
 

@@ -136,6 +136,7 @@ mod tests {
             array_size: 16,
             sorter: Algorithm::Backward(Default::default()),
             shards: 1,
+            ..EngineConfig::default()
         });
         let key = SeriesKey::new("root.sg.d1", "speed");
         // Out-of-order writes, values = 2 * t.

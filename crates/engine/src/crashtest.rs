@@ -55,6 +55,15 @@ fn config(shards: usize) -> EngineConfig {
         array_size: 16,
         sorter: Algorithm::Backward(Default::default()),
         shards,
+        // A hair-trigger leveling policy: with files this small, every
+        // scripted `compact_auto` round finds an eligible run, so the
+        // level-move failpoints actually fire.
+        compaction: crate::engine::CompactionConfig {
+            l0_trigger: 2,
+            level_base_bytes: 1 << 10,
+            growth: 2,
+        },
+        ..EngineConfig::default()
     }
 }
 
@@ -260,10 +269,17 @@ pub fn matrix() -> Vec<CaseSpec> {
         sites::FLUSH_COMPLETE_BEFORE_INSTALL,
         sites::COMPACTION_AFTER_TAKE,
         sites::COMPACTION_BEFORE_RESTORE,
+        sites::COMPACTION_LEVEL_PUBLISH,
     ] {
         cases.push(case(site, Kill, 1));
         cases.push(case(site, Kill, 2));
     }
+    // The level-commit gap: every image of the pass durable, manifest
+    // (which names the files and their levels) not yet written. The old
+    // manifest must keep describing a complete state.
+    cases.push(case(sites::STORE_PERSIST_BEFORE_MANIFEST, Error, 1));
+    cases.push(case(sites::STORE_PERSIST_BEFORE_MANIFEST, Kill, 1));
+    cases.push(case(sites::STORE_PERSIST_BEFORE_MANIFEST, Kill, 3));
 
     // Recovery-path failpoints: armed across a reopen of a dirty
     // directory (each is hit exactly once per open).
@@ -392,6 +408,29 @@ fn workload(
             eng.engine().compact();
             if faults.is_dead() {
                 return;
+            }
+        }
+        if round == 3 || round == 5 {
+            // The leveled path: flush whatever is buffered first so the
+            // L0 suffix is long enough for the hair-trigger policy to
+            // pick a run (round 4's full compaction folds everything to
+            // one file, so round 5 needs the extra L0 files), then run
+            // the leveled pass. The WAL still covers the flushed points.
+            eng.engine().flush_dirty();
+            eng.engine().flush_unseq();
+            // One pass does at most one move per shard (a disjoint
+            // leading file promotes instead of merging), so drain the
+            // ladder: keep passing until a pass moves nothing. Bounded —
+            // every pass either shrinks the file count or raises a
+            // level, and the cap backstops it regardless.
+            for _ in 0..4 {
+                let report = eng.engine().compact_auto();
+                if faults.is_dead() {
+                    return;
+                }
+                if report.level_moves == 0 {
+                    break;
+                }
             }
         }
         if round >= 1 {
@@ -535,6 +574,25 @@ pub fn run_case(spec: &CaseSpec, shards: usize, seed: u64) -> Result<(), String>
         oracle
             .check_key(k, state)
             .map_err(|e| format!("series {}: {e}", keys[k]))?;
+    }
+    // Level oracle: recovery must not leave a file live twice, and each
+    // shard's level sequence must stay non-increasing oldest→newest —
+    // the shape the leveled picker relies on. A merge output surviving
+    // alongside its inputs, or a manifest/adoption ordering bug, shows
+    // up here as a duplicate id or an inversion.
+    for shard in 0..shards {
+        let meta = eng.engine().shard_file_meta(shard);
+        let mut ids: Vec<u64> = meta.iter().map(|&(id, _)| id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.len() != meta.len() {
+            return Err(format!("shard {shard}: duplicate live file id in {meta:?}"));
+        }
+        if meta.iter().zip(meta.iter().skip(1)).any(|(a, b)| a.1 < b.1) {
+            return Err(format!(
+                "shard {shard}: recovered levels increase oldest→newest: {meta:?}"
+            ));
+        }
     }
     drop(eng);
     io.crash();

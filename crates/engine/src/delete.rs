@@ -42,6 +42,7 @@ mod tests {
             array_size: 16,
             sorter: Algorithm::Backward(Default::default()),
             shards: 1,
+            ..EngineConfig::default()
         })
     }
 

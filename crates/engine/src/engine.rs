@@ -40,11 +40,43 @@ use backsort_obs::{names, Counter, Gauge, Histogram, LocalHistogram, Registry};
 use parking_lot::RwLock;
 
 use crate::batch::{type_mismatch, PointBatch, WriteError};
+use crate::cache::BlockCache;
 use crate::delete::Tombstone;
 use crate::flush::{flush_memtable_observed, FlushMetrics};
 use crate::memtable::{MemTable, SeriesBuffer};
 use crate::read::{FileHandle, IntervalSet};
 use crate::types::{SeriesKey, TsValue};
+
+/// Tunables of the leveled compaction policy
+/// ([`StorageEngine::compact_auto`](crate::compaction)).
+///
+/// Freshly flushed (and adopted) files sit at level 0. When a shard's
+/// newest files accumulate [`l0_trigger`](Self::l0_trigger) consecutive
+/// level-0 files, the run is merged into one level-1 file; a run at
+/// level `L ≥ 1` moves to `L + 1` when it reaches the same count *or*
+/// its combined bytes exceed
+/// `level_base_bytes · growth^(L-1)` — the level is "full". Zero values
+/// are clamped to their minimums at use.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactionConfig {
+    /// Consecutive same-level files that trigger a merge up (min 2).
+    pub l0_trigger: usize,
+    /// Byte capacity of level 1; each level up multiplies by
+    /// [`growth`](Self::growth).
+    pub level_base_bytes: usize,
+    /// Per-level capacity multiplier (min 2).
+    pub growth: usize,
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        Self {
+            l0_trigger: 4,
+            level_base_bytes: 64 << 10,
+            growth: 8,
+        }
+    }
+}
 
 /// Engine tunables.
 #[derive(Debug, Clone, Copy)]
@@ -62,6 +94,16 @@ pub struct EngineConfig {
     /// queries on different devices proceed in parallel. `0` is treated
     /// as `1`.
     pub shards: usize,
+    /// Total byte budget of the decoded-page block cache
+    /// ([`BlockCache`]); `0` disables caching entirely (every disk read
+    /// decodes from the image).
+    pub cache_bytes: usize,
+    /// Whether queries consult each file's `(device, sensor)` existence
+    /// filter before walking its chunk index. Disabling reproduces the
+    /// envelope-only baseline the benchmark compares against.
+    pub use_file_filters: bool,
+    /// Leveled compaction policy knobs.
+    pub compaction: CompactionConfig,
 }
 
 impl Default for EngineConfig {
@@ -71,6 +113,9 @@ impl Default for EngineConfig {
             array_size: 32,
             sorter: Algorithm::Backward(backsort_core::BackwardSort::default()),
             shards: 1,
+            cache_bytes: 16 << 20,
+            use_file_filters: true,
+            compaction: CompactionConfig::default(),
         }
     }
 }
@@ -176,6 +221,7 @@ struct EngineObs {
     exclusive_path: Arc<Counter>,
     files_considered: Arc<Counter>,
     files_pruned: Arc<Counter>,
+    files_pruned_by_filter: Arc<Counter>,
     ooo_points: Arc<Counter>,
     delta_tau: Arc<Histogram>,
     dirty_buffer_points: Arc<Histogram>,
@@ -211,9 +257,14 @@ impl EngineObs {
             names::COMPACTION_RUNS,
             names::COMPACTION_BYTES_IN,
             names::COMPACTION_BYTES_OUT,
+            names::COMPACTION_LEVEL_MOVES,
+            names::CACHE_HITS,
+            names::CACHE_MISSES,
+            names::CACHE_EVICTIONS,
         ] {
             registry.counter(name);
         }
+        registry.gauge(names::CACHE_BYTES);
         let shard_flush_count = (0..shards)
             .map(|s| registry.counter(&Registry::labeled(names::FLUSH_COUNT, "shard", s)))
             .collect();
@@ -229,6 +280,7 @@ impl EngineObs {
             exclusive_path: registry.counter(names::QUERY_EXCLUSIVE_PATH),
             files_considered: registry.counter(names::QUERY_FILES_CONSIDERED),
             files_pruned: registry.counter(names::QUERY_FILES_PRUNED),
+            files_pruned_by_filter: registry.counter(names::QUERY_FILES_PRUNED_BY_FILTER),
             ooo_points: registry.counter(names::MEMTABLE_OOO_POINTS),
             delta_tau: registry.histogram(names::MEMTABLE_DELTA_TAU),
             dirty_buffer_points: registry.histogram(names::MEMTABLE_DIRTY_BUFFER_POINTS),
@@ -335,6 +387,9 @@ pub struct StorageEngine {
     /// [`backsort_faults::sites`]). Disarmed — the production state —
     /// each site costs one relaxed atomic load.
     faults: Arc<FailpointRegistry>,
+    /// Decoded-page block cache, shared by every shard's read path.
+    /// `None` when [`EngineConfig::cache_bytes`] is zero.
+    cache: Option<Arc<BlockCache>>,
 }
 
 impl StorageEngine {
@@ -364,13 +419,22 @@ impl StorageEngine {
         let shards = (0..n)
             .map(|_| RwLock::new(ShardState::new(config.array_size)))
             .collect();
+        let cache = (config.cache_bytes > 0)
+            .then(|| Arc::new(BlockCache::new(config.cache_bytes, &registry)));
         Self {
             config,
             shards,
             next_file_id: AtomicU64::new(0),
             obs: EngineObs::new(registry, n),
             faults,
+            cache,
         }
+    }
+
+    /// The decoded-page block cache, or `None` when disabled
+    /// ([`EngineConfig::cache_bytes`] = 0).
+    pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
+        self.cache.as_ref()
     }
 
     /// The engine's failpoint registry (disarmed unless a test armed it).
@@ -671,7 +735,15 @@ impl StorageEngine {
     /// `(shard, file id)` pairs installed, or `None` (and adopts
     /// nothing) if the image does not parse.
     pub fn adopt_file(&self, image: Vec<u8>) -> Option<Vec<(usize, u64)>> {
-        let handle = FileHandle::parse(self.alloc_file_id(), image)?;
+        self.adopt_file_at_level(image, 0)
+    }
+
+    /// [`adopt_file`](Self::adopt_file) with an explicit compaction
+    /// level — the durable store's recovery path reinstalls each file at
+    /// the level the manifest recorded, so a reopened engine resumes the
+    /// leveling ladder instead of re-treating merged output as fresh L0.
+    pub fn adopt_file_at_level(&self, image: Vec<u8>, level: u32) -> Option<Vec<(usize, u64)>> {
+        let handle = FileHandle::parse(self.alloc_file_id(), image)?.with_level(level);
         let metas: Vec<(SeriesKey, i64)> = handle
             .chunks()
             .iter()
@@ -722,6 +794,14 @@ impl StorageEngine {
     pub fn shard_file_ids(&self, shard: usize) -> Vec<u64> {
         let st = self.shards[shard].read();
         st.files.iter().map(|h| h.id()).collect()
+    }
+
+    /// `(id, level)` of one shard's file images, oldest first — what the
+    /// durable store records per file in the manifest so recovery can
+    /// re-adopt each image at its compaction level.
+    pub fn shard_file_meta(&self, shard: usize) -> Vec<(u64, u32)> {
+        let st = self.shards[shard].read();
+        st.files.iter().map(|h| (h.id(), h.level())).collect()
     }
 
     /// The image bytes of one file by id, or `None` if compaction merged
@@ -1064,7 +1144,7 @@ impl StorageEngine {
             let st = self.shards[shard].read();
             if buffers_sorted(&st, key) {
                 self.obs.read_path.inc();
-                return query_with_state(&st, key, t_lo, t_hi, &self.obs);
+                return query_with_state(&st, key, t_lo, t_hi, self);
             }
         }
         let mut st = self.shards[shard].write();
@@ -1078,7 +1158,7 @@ impl StorageEngine {
             );
         }
         self.obs.sorted_on_read.inc();
-        query_with_state(&st, key, t_lo, t_hi, &self.obs)
+        query_with_state(&st, key, t_lo, t_hi, self)
     }
 
     /// The pre-overhaul query path, kept as the benchmark baseline:
@@ -1140,7 +1220,7 @@ impl StorageEngine {
             let st = self.shards[shard].read();
             if buffers_sorted(&st, key) {
                 self.obs.read_path.inc();
-                return latest_value_with_state(&st, key, &self.obs);
+                return latest_value_with_state(&st, key, self);
             }
         }
         let mut st = self.shards[shard].write();
@@ -1154,7 +1234,7 @@ impl StorageEngine {
             );
         }
         self.obs.sorted_on_read.inc();
-        latest_value_with_state(&st, key, &self.obs)
+        latest_value_with_state(&st, key, self)
     }
 
     /// Latest timestamp seen for a sensor across memtables and flushed
@@ -1260,24 +1340,33 @@ fn needs_disk(st: &ShardState, key: &SeriesKey, t_lo: i64) -> bool {
 /// `lower_bound`/`upper_bound` — and lets [`LastWins`] emit the merge,
 /// resolving duplicate timestamps toward the highest-ranked (freshest)
 /// source.
-fn query_with_state(
-    st: &ShardState,
+fn query_with_state<'s>(
+    st: &'s ShardState,
     key: &SeriesKey,
     t_lo: i64,
     t_hi: i64,
-    obs: &EngineObs,
+    eng: &'s StorageEngine,
 ) -> QueryResult {
     debug_assert!(buffers_sorted(st, key));
-    let mut sources: Vec<Box<dyn Iterator<Item = (i64, TsValue)> + '_>> = Vec::new();
+    let obs = &eng.obs;
+    let mut sources: Vec<Box<dyn Iterator<Item = (i64, TsValue)> + 's>> = Vec::new();
     if needs_disk(st, key, t_lo) {
         obs.files_considered.add(st.files.len() as u64);
         for (file_idx, handle) in st.files.iter().enumerate() {
+            // The O(1) existence filter runs before any chunk-index
+            // walk: a file that provably never stored this series is
+            // skipped without touching its (string-keyed) envelope
+            // table. v1 files carry no filter and fall through.
+            if eng.config.use_file_filters && !handle.may_contain(key) {
+                obs.files_pruned_by_filter.inc();
+                continue;
+            }
             if !handle.overlaps(key, t_lo, t_hi) {
                 obs.files_pruned.inc();
                 continue;
             }
             let erased = IntervalSet::resolve(&st.tombstones, key, file_idx);
-            for chunk in handle.points_in_range(key, t_lo, t_hi) {
+            for chunk in handle.points_in_range_cached(key, t_lo, t_hi, eng.cache.as_ref()) {
                 if erased.is_empty() {
                     sources.push(Box::new(chunk));
                 } else {
@@ -1362,7 +1451,7 @@ fn merge_two_last_wins(
 fn latest_value_with_state(
     st: &ShardState,
     key: &SeriesKey,
-    obs: &EngineObs,
+    eng: &StorageEngine,
 ) -> Option<(i64, TsValue)> {
     let mem_max = key_buffers(st, key).filter_map(|b| b.max_time()).max();
     let disk_max = st
@@ -1371,10 +1460,10 @@ fn latest_value_with_state(
         .filter_map(|h| h.key_time_range(key).map(|(_, hi)| hi))
         .max();
     let anchor = mem_max.into_iter().chain(disk_max).max()?;
-    if let Some(last) = query_with_state(st, key, anchor, i64::MAX, obs).last() {
+    if let Some(last) = query_with_state(st, key, anchor, i64::MAX, eng).last() {
         return Some(last.clone());
     }
-    query_with_state(st, key, i64::MIN, i64::MAX, obs)
+    query_with_state(st, key, i64::MIN, i64::MAX, eng)
         .last()
         .cloned()
 }
@@ -1404,6 +1493,7 @@ mod tests {
             array_size: 8,
             sorter,
             shards: 1,
+            ..EngineConfig::default()
         })
     }
 
@@ -1413,6 +1503,7 @@ mod tests {
             array_size: 8,
             sorter: Algorithm::Backward(Default::default()),
             shards,
+            ..EngineConfig::default()
         })
     }
 
@@ -1741,5 +1832,100 @@ mod tests {
         eng.complete_flush(ja);
         assert_eq!(eng.file_count(), 2);
         assert_eq!(eng.query(&ka, 0, 200).len(), 100);
+    }
+
+    #[test]
+    fn key_filter_prunes_files_before_the_chunk_walk() {
+        let eng = small_engine(Algorithm::Backward(Default::default()));
+        // Two flushed files, each holding a different sensor.
+        for i in 0..100i64 {
+            eng.write(&key("a"), i, TsValue::Long(i));
+        }
+        for i in 0..100i64 {
+            eng.write(&key("b"), i, TsValue::Long(i));
+        }
+        assert_eq!(eng.file_count(), 2);
+        let before = eng.obs().snapshot();
+        assert_eq!(eng.query(&key("a"), 0, 100).len(), 100);
+        let delta = eng.obs().snapshot().delta_since(&before);
+        assert_eq!(delta.counter(names::QUERY_FILES_CONSIDERED), 2);
+        assert_eq!(
+            delta.counter(names::QUERY_FILES_PRUNED_BY_FILTER),
+            1,
+            "the file holding only sensor b is filter-pruned for sensor a"
+        );
+        // With filters disabled the same query probes both files.
+        let eng2 = StorageEngine::new(EngineConfig {
+            memtable_max_points: 100,
+            array_size: 8,
+            sorter: Algorithm::Backward(Default::default()),
+            use_file_filters: false,
+            ..EngineConfig::default()
+        });
+        for i in 0..100i64 {
+            eng2.write(&key("a"), i, TsValue::Long(i));
+        }
+        for i in 0..100i64 {
+            eng2.write(&key("b"), i, TsValue::Long(i));
+        }
+        let before = eng2.obs().snapshot();
+        assert_eq!(eng2.query(&key("a"), 0, 100).len(), 100);
+        let delta = eng2.obs().snapshot().delta_since(&before);
+        assert_eq!(delta.counter(names::QUERY_FILES_PRUNED_BY_FILTER), 0);
+    }
+
+    #[test]
+    fn block_cache_serves_repeated_disk_reads() {
+        let eng = small_engine(Algorithm::Backward(Default::default()));
+        assert!(
+            eng.block_cache().is_some(),
+            "default config enables the cache"
+        );
+        for i in 0..100i64 {
+            eng.write(&key("s"), i, TsValue::Long(i));
+        }
+        assert_eq!(eng.file_count(), 1);
+        let a = eng.query(&key("s"), 0, 99);
+        let hits_after_first = eng.obs().counter_value(names::CACHE_HITS);
+        let b = eng.query(&key("s"), 0, 99);
+        assert_eq!(a, b);
+        assert!(
+            eng.obs().counter_value(names::CACHE_HITS) > hits_after_first,
+            "the second identical query re-serves decoded pages"
+        );
+        assert!(eng.obs().gauge_value(names::CACHE_BYTES) > 0);
+
+        // cache_bytes = 0 disables the cache; results are identical.
+        let cold = StorageEngine::new(EngineConfig {
+            memtable_max_points: 100,
+            array_size: 8,
+            sorter: Algorithm::Backward(Default::default()),
+            cache_bytes: 0,
+            ..EngineConfig::default()
+        });
+        assert!(cold.block_cache().is_none());
+        for i in 0..100i64 {
+            cold.write(&key("s"), i, TsValue::Long(i));
+        }
+        assert_eq!(cold.query(&key("s"), 0, 99), a);
+        assert_eq!(cold.obs().counter_value(names::CACHE_MISSES), 0);
+    }
+
+    #[test]
+    fn adoption_level_rides_shard_file_meta() {
+        let eng = small_engine(Algorithm::Backward(Default::default()));
+        for i in 0..100i64 {
+            eng.write(&key("s"), i, TsValue::Long(i));
+        }
+        let image = eng
+            .file_image(0, eng.shard_file_ids(0)[0])
+            .expect("flushed image");
+        let other = small_engine(Algorithm::Backward(Default::default()));
+        other.adopt_file_at_level(image.clone(), 3).expect("adopts");
+        other.adopt_file(image).expect("adopts");
+        let meta = other.shard_file_meta(0);
+        assert_eq!(meta.len(), 2);
+        assert_eq!(meta[0].1, 3, "explicit level survives adoption");
+        assert_eq!(meta[1].1, 0, "plain adoption lands at level 0");
     }
 }

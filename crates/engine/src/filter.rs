@@ -1,0 +1,251 @@
+//! Per-file existence filters: a blocked (register-split) Bloom filter
+//! over `(device, sensor)` keys.
+//!
+//! Flush and compaction build one filter per TsFile and serialize it
+//! into the v2 footer (see [`crate::tsfile`]); the read path consults it
+//! in [`FileHandle`](crate::read::FileHandle) *before* any chunk-index
+//! walk, so a high-cardinality query skips files that cannot contain its
+//! series with one hash and at most seven bit probes — no string
+//! comparisons, no binary search.
+//!
+//! The layout is *blocked*: the filter is an array of 512-bit blocks and
+//! every key sets all of its probe bits inside a single block chosen by
+//! its hash, so a membership test touches one cache line regardless of
+//! filter size. At [`BITS_PER_KEY`] = 14 and [`PROBES`] = 7 the
+//! theoretical false-positive rate of a classic Bloom filter is ~0.2%;
+//! blocking costs a small variance penalty, and the unit tests below pin
+//! the measured rate under the 1% budget the read path is designed for.
+
+use crate::types::SeriesKey;
+
+/// Filter bits budgeted per distinct series key.
+pub const BITS_PER_KEY: usize = 14;
+
+/// Probe bits set per key, all within one block.
+pub const PROBES: usize = 7;
+
+/// Bytes per block: one cache line.
+const BLOCK_BYTES: usize = 64;
+
+/// Bits per block.
+const BLOCK_BITS: usize = BLOCK_BYTES * 8;
+
+/// FNV-1a over `device`, a `0xFF` separator, then `sensor`. The
+/// separator cannot occur in UTF-8 key text, so `("ab", "c")` and
+/// `("a", "bc")` hash differently even though both render as `"ab.c"`
+/// under some dot placements.
+pub fn key_hash(key: &SeriesKey) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key.device.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h = (h ^ 0xFF).wrapping_mul(0x0000_0100_0000_01B3);
+    for &b in key.sensor.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The second hash stream, derived by a splitmix64 finalizer so the
+/// probe sequence is independent of the block-selection bits.
+fn remix(mut h: u64) -> u64 {
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+/// A blocked split Bloom filter over series-key hashes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyFilter {
+    /// Probe bits per key (serialized, so the format can tune it later).
+    probes: u8,
+    /// `num_blocks * 64` bytes of filter bits.
+    blocks: Vec<u8>,
+}
+
+impl KeyFilter {
+    /// Builds a filter sized for the given key hashes at
+    /// [`BITS_PER_KEY`]. Duplicate hashes are fine (they set the same
+    /// bits twice).
+    pub fn from_hashes(hashes: &[u64]) -> Self {
+        let bits = hashes.len().saturating_mul(BITS_PER_KEY).max(1);
+        let num_blocks = bits.div_ceil(BLOCK_BITS).max(1);
+        let mut filter = Self {
+            probes: PROBES as u8,
+            blocks: vec![0u8; num_blocks * BLOCK_BYTES],
+        };
+        for &h in hashes {
+            filter.insert_hash(h);
+        }
+        filter
+    }
+
+    /// Builds a filter over the given keys.
+    pub fn from_keys<'k>(keys: impl Iterator<Item = &'k SeriesKey>) -> Self {
+        let hashes: Vec<u64> = keys.map(key_hash).collect();
+        Self::from_hashes(&hashes)
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.blocks.len() / BLOCK_BYTES
+    }
+
+    /// `(block byte base, first probe bit, probe stride)` for one hash.
+    fn probe_plan(&self, h: u64) -> (usize, u64, u64) {
+        let block = (h % self.num_blocks().max(1) as u64) as usize;
+        let h2 = remix(h);
+        // An odd stride visits distinct in-block bit positions.
+        (block * BLOCK_BYTES, h2, (h2 >> 32) | 1)
+    }
+
+    fn insert_hash(&mut self, h: u64) {
+        let (base, mut bit, stride) = self.probe_plan(h);
+        for _ in 0..self.probes {
+            let pos = (bit % BLOCK_BITS as u64) as usize;
+            if let Some(byte) = self.blocks.get_mut(base + pos / 8) {
+                *byte |= 1 << (pos % 8);
+            }
+            bit = bit.wrapping_add(stride);
+        }
+    }
+
+    /// Whether the filter may contain the key with this hash. `false` is
+    /// definitive; `true` is probabilistic (bounded by the tests below).
+    pub fn may_contain_hash(&self, h: u64) -> bool {
+        let (base, mut bit, stride) = self.probe_plan(h);
+        for _ in 0..self.probes {
+            let pos = (bit % BLOCK_BITS as u64) as usize;
+            let Some(byte) = self.blocks.get(base + pos / 8) else {
+                return true; // corrupt sizing: never prune on a bad read
+            };
+            if byte & (1 << (pos % 8)) == 0 {
+                return false;
+            }
+            bit = bit.wrapping_add(stride);
+        }
+        true
+    }
+
+    /// Whether the filter may contain `key`.
+    pub fn may_contain(&self, key: &SeriesKey) -> bool {
+        self.may_contain_hash(key_hash(key))
+    }
+
+    /// Serialized size in bytes.
+    pub fn serialized_len(&self) -> usize {
+        5 + self.blocks.len()
+    }
+
+    /// Appends the wire form: `probes u8 | num_blocks u32 | blocks`.
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        out.push(self.probes);
+        out.extend_from_slice(&(self.num_blocks() as u32).to_le_bytes());
+        out.extend_from_slice(&self.blocks);
+    }
+
+    /// Parses the wire form. `None` if the bytes are not a filter block
+    /// (truncated, oversized, or zero probes).
+    pub fn deserialize(buf: &[u8]) -> Option<Self> {
+        let (&probes, rest) = buf.split_first()?;
+        if probes == 0 {
+            return None;
+        }
+        let (len_bytes, blocks) = rest.split_first_chunk::<4>()?;
+        let num_blocks = u32::from_le_bytes(*len_bytes) as usize;
+        if blocks.len() != num_blocks.checked_mul(BLOCK_BYTES)? {
+            return None;
+        }
+        Some(Self {
+            probes,
+            blocks: blocks.to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<SeriesKey> {
+        (0..n)
+            .map(|i| SeriesKey::new(format!("root.sg.d{}", i / 4), format!("s{}", i % 4)))
+            .collect()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        for n in [1usize, 7, 64, 1_000, 5_000] {
+            let ks = keys(n);
+            let filter = KeyFilter::from_keys(ks.iter());
+            for k in &ks {
+                assert!(filter.may_contain(k), "inserted key {k} reported absent");
+            }
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_bounded() {
+        // The satellite acceptance bound: ≤1% FPR at the chosen
+        // bits/key, measured over a disjoint probe set much larger than
+        // the inserted set.
+        let inserted = keys(4_000);
+        let filter = KeyFilter::from_keys(inserted.iter());
+        let probes: Vec<SeriesKey> = (0..40_000)
+            .map(|i| SeriesKey::new(format!("root.other.g{}", i / 4), format!("t{}", i % 4)))
+            .collect();
+        let hits = probes.iter().filter(|k| filter.may_contain(k)).count();
+        let fpr = hits as f64 / probes.len() as f64;
+        assert!(
+            fpr <= 0.01,
+            "false-positive rate {fpr:.4} exceeds the 1% budget"
+        );
+    }
+
+    #[test]
+    fn serialization_roundtrips() {
+        for n in [0usize, 1, 3, 500] {
+            let filter = KeyFilter::from_keys(keys(n).iter());
+            let mut wire = Vec::new();
+            filter.serialize_into(&mut wire);
+            assert_eq!(wire.len(), filter.serialized_len());
+            let back = KeyFilter::deserialize(&wire).expect("roundtrip");
+            assert_eq!(back, filter);
+        }
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage() {
+        assert!(KeyFilter::deserialize(&[]).is_none());
+        assert!(KeyFilter::deserialize(&[7]).is_none());
+        assert!(
+            KeyFilter::deserialize(&[7, 1, 0, 0, 0]).is_none(),
+            "truncated blocks"
+        );
+        assert!(
+            KeyFilter::deserialize(&[0, 0, 0, 0, 0]).is_none(),
+            "zero probes"
+        );
+        let filter = KeyFilter::from_keys(keys(10).iter());
+        let mut wire = Vec::new();
+        filter.serialize_into(&mut wire);
+        wire.pop();
+        assert!(KeyFilter::deserialize(&wire).is_none(), "short by one byte");
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let filter = KeyFilter::from_hashes(&[]);
+        for k in keys(100) {
+            assert!(!filter.may_contain(&k));
+        }
+    }
+
+    #[test]
+    fn device_sensor_split_is_unambiguous() {
+        // Same rendered path, different (device, sensor) split: the
+        // separator keeps the hashes distinct.
+        let a = SeriesKey::new("root.sg.d1", "s1");
+        let b = SeriesKey::new("root.sg", "d1.s1");
+        assert_ne!(key_hash(&a), key_hash(&b));
+    }
+}

@@ -146,6 +146,7 @@ mod tests {
             array_size: 16,
             sorter: Algorithm::Backward(Default::default()),
             shards,
+            ..EngineConfig::default()
         }))
     }
 

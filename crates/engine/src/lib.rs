@@ -28,11 +28,13 @@
 
 pub mod aggregate;
 pub mod batch;
+pub mod cache;
 pub mod compaction;
 pub mod crashtest;
 pub mod delete;
 pub mod encoding;
 pub mod engine;
+pub mod filter;
 pub mod flush;
 pub mod flusher;
 pub mod memtable;
@@ -43,9 +45,13 @@ pub mod types;
 
 pub use aggregate::{AggValue, Aggregation};
 pub use batch::{BatchPool, ColumnSlice, PointBatch, ValueColumn, WriteError};
+pub use cache::BlockCache;
 pub use compaction::CompactionReport;
 pub use delete::Tombstone;
-pub use engine::{EngineConfig, FlushJob, QueryPathStats, QueryResult, StorageEngine};
+pub use engine::{
+    CompactionConfig, EngineConfig, FlushJob, QueryPathStats, QueryResult, StorageEngine,
+};
+pub use filter::KeyFilter;
 pub use flush::{flush_memtable, flush_memtable_parallel, FlushMetrics};
 pub use flusher::{AsyncFlusher, FlusherClosed};
 pub use memtable::{MemTable, SeriesBuffer};

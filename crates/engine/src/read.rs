@@ -15,15 +15,20 @@
 //!   so per-point erasure checks are a binary search instead of a scan
 //!   of every tombstone.
 
+use std::sync::Arc;
+
+use crate::cache::BlockCache;
 use crate::delete::Tombstone;
+use crate::filter::KeyFilter;
 use crate::tsfile::{ChunkMeta, ChunkPointsIter, TsFileReader};
 use crate::types::SeriesKey;
 
 /// A TsFile image with its chunk index parsed once, at install time.
 ///
 /// Holds everything a query needs without touching the image bytes:
-/// which keys the file contains and each key's `(min_time, max_time)`
-/// envelope (straight from the key-sorted chunk index). Only when a
+/// the v2 footer's key existence filter (when present), each key's
+/// `(min_time, max_time)` envelope — computed once at parse, not
+/// re-derived per query — and the key-sorted chunk index. Only when a
 /// query survives that pruning are the overlapping chunks' pages
 /// decoded — lazily, through [`FileHandle::points_in_range`].
 #[derive(Debug, Clone)]
@@ -33,12 +38,21 @@ pub struct FileHandle {
     /// Chunk index sorted by key (chunks of one key in file order), as
     /// [`TsFileReader::open`] produces it.
     chunks: Vec<ChunkMeta>,
+    /// Per-key `(min_time, max_time)` envelopes, sorted by key — one
+    /// entry per distinct series, folded over its chunks at parse time.
+    envelopes: Vec<(SeriesKey, i64, i64)>,
+    /// The v2 footer's key existence filter; `None` for v1 images.
+    filter: Option<KeyFilter>,
+    /// Compaction level (0 = fresh flush or adoption). Assigned by the
+    /// engine when the handle is installed; persisted in the manifest.
+    level: u32,
 }
 
 impl FileHandle {
-    /// Parses an image's footer and chunk index. `None` if the image is
-    /// not a valid TsFile. This is the *only* place the footer is
-    /// parsed; every later read reuses the cached index.
+    /// Parses an image's footer and chunk index, folds the per-key
+    /// envelopes, and captures the key filter (v2 images). `None` if
+    /// the image is not a valid TsFile. This is the *only* place the
+    /// footer is parsed; every later read reuses the cached state.
     pub fn parse(id: u64, image: Vec<u8>) -> Option<Self> {
         // Installs are process-wide facts (handles migrate across
         // engines via adoption), so the counter lives on the global
@@ -46,8 +60,29 @@ impl FileHandle {
         backsort_obs::global()
             .counter(backsort_obs::names::FILE_PARSE)
             .inc();
-        let chunks = TsFileReader::open(&image)?.chunks().to_vec();
-        Some(Self { id, image, chunks })
+        let mut reader = TsFileReader::open(&image)?;
+        let filter = reader.take_filter();
+        let chunks = reader.chunks().to_vec();
+        // One pass over the key-sorted index: chunks of one key are
+        // adjacent, so the envelope fold is a linear group-by.
+        let mut envelopes: Vec<(SeriesKey, i64, i64)> = Vec::new();
+        for m in &chunks {
+            match envelopes.last_mut() {
+                Some((key, min, max)) if key == &m.key => {
+                    *min = (*min).min(m.min_time);
+                    *max = (*max).max(m.max_time);
+                }
+                _ => envelopes.push((m.key.clone(), m.min_time, m.max_time)),
+            }
+        }
+        Some(Self {
+            id,
+            image,
+            chunks,
+            envelopes,
+            filter,
+            level: 0,
+        })
     }
 
     /// Re-tags an already-parsed handle with a new engine file id,
@@ -58,7 +93,27 @@ impl FileHandle {
             id,
             image: self.image.clone(),
             chunks: self.chunks.clone(),
+            envelopes: self.envelopes.clone(),
+            filter: self.filter.clone(),
+            level: self.level,
         }
+    }
+
+    /// The handle's compaction level (0 = fresh).
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Sets the compaction level (used when installing compaction
+    /// output and when recovering level metadata from the manifest).
+    pub fn set_level(&mut self, level: u32) {
+        self.level = level;
+    }
+
+    /// Builder form of [`set_level`](Self::set_level).
+    pub fn with_level(mut self, level: u32) -> Self {
+        self.level = level;
+        self
     }
 
     /// Total [`FileHandle::parse`] calls so far, process-wide — the
@@ -89,21 +144,71 @@ impl FileHandle {
         crate::tsfile::chunks_for(&self.chunks, key)
     }
 
+    /// The key filter from the v2 footer, `None` for v1 images.
+    pub fn filter(&self) -> Option<&KeyFilter> {
+        self.filter.as_ref()
+    }
+
+    /// Whether the file can contain the series at all, by one filter
+    /// probe — O(1), no string comparison, no chunk-index walk. `true`
+    /// for v1 images (no filter: never prune on absence of evidence)
+    /// and for any key the filter might hold; `false` is definitive.
+    pub fn may_contain(&self, key: &SeriesKey) -> bool {
+        self.filter.as_ref().is_none_or(|f| f.may_contain(key))
+    }
+
+    /// The per-key envelope table, sorted by key — one
+    /// `(key, min_time, max_time)` entry per distinct series.
+    pub fn envelopes(&self) -> &[(SeriesKey, i64, i64)] {
+        &self.envelopes
+    }
+
     /// The `(min_time, max_time)` envelope of one series in this file,
     /// or `None` if the file holds no chunk for it — the per-key pruning
-    /// statistic queries consult before touching any page.
+    /// statistic queries consult before touching any page. Served from
+    /// the envelope table cached at parse time by binary search; the
+    /// chunk metas are not walked.
     pub fn key_time_range(&self, key: &SeriesKey) -> Option<(i64, i64)> {
-        let chunks = self.chunks_for(key);
-        let min = chunks.iter().map(|m| m.min_time).min()?;
-        let max = chunks.iter().map(|m| m.max_time).max()?;
-        Some((min, max))
+        let idx = self.envelopes.partition_point(|(k, _, _)| k < key);
+        match self.envelopes.get(idx) {
+            Some((k, min, max)) if k == key => Some((*min, *max)),
+            _ => None,
+        }
+    }
+
+    /// The `(first, last)` device names in this file — the device range
+    /// compaction's overlap-driven picking compares. `None` for an
+    /// empty file. Keys sort by `(device, sensor)`, so the table's ends
+    /// bound the device set.
+    pub fn device_range(&self) -> Option<(&str, &str)> {
+        let (first, _, _) = self.envelopes.first()?;
+        let (last, _, _) = self.envelopes.last()?;
+        Some((first.device.as_str(), last.device.as_str()))
+    }
+
+    /// Whether this file's device range intersects `other`'s — the
+    /// overlap test leveled compaction uses to keep disjoint-device
+    /// files out of one merge.
+    pub fn devices_overlap(&self, other: &FileHandle) -> bool {
+        match (self.device_range(), other.device_range()) {
+            (Some((a_lo, a_hi)), Some((b_lo, b_hi))) => a_lo <= b_hi && b_lo <= a_hi,
+            _ => false,
+        }
     }
 
     /// Whether any of the series' points can fall inside `[t_lo, t_hi]`.
+    /// The cached envelope rejects most misses in one binary search;
+    /// only an envelope hit walks the key's chunk run for the exact
+    /// per-chunk answer.
     pub fn overlaps(&self, key: &SeriesKey, t_lo: i64, t_hi: i64) -> bool {
-        self.chunks_for(key)
-            .iter()
-            .any(|m| m.max_time >= t_lo && m.min_time <= t_hi)
+        match self.key_time_range(key) {
+            None => false,
+            Some((min, max)) if max < t_lo || min > t_hi => false,
+            Some(_) => self
+                .chunks_for(key)
+                .iter()
+                .any(|m| m.max_time >= t_lo && m.min_time <= t_hi),
+        }
     }
 
     /// Lazy page-streaming readers over the series' chunks that overlap
@@ -115,10 +220,30 @@ impl FileHandle {
         t_lo: i64,
         t_hi: i64,
     ) -> impl Iterator<Item = ChunkPointsIter<'h>> + 'h {
+        self.points_in_range_cached(key, t_lo, t_hi, None)
+    }
+
+    /// [`points_in_range`](Self::points_in_range) with an optional
+    /// decoded-page cache: each reader serves pages out of `cache`
+    /// (keyed by this file's id) instead of re-decoding, inserting on
+    /// miss.
+    pub fn points_in_range_cached<'h>(
+        &'h self,
+        key: &SeriesKey,
+        t_lo: i64,
+        t_hi: i64,
+        cache: Option<&'h Arc<BlockCache>>,
+    ) -> impl Iterator<Item = ChunkPointsIter<'h>> + 'h {
+        let id = self.id;
         self.chunks_for(key)
             .iter()
             .filter(move |m| m.max_time >= t_lo && m.min_time <= t_hi)
-            .map(move |m| ChunkPointsIter::new(&self.image, m, t_lo, t_hi))
+            .map(move |m| match cache {
+                Some(cache) => {
+                    ChunkPointsIter::with_cache(&self.image, m, t_lo, t_hi, id, Arc::clone(cache))
+                }
+                None => ChunkPointsIter::new(&self.image, m, t_lo, t_hi),
+            })
     }
 }
 
@@ -220,6 +345,76 @@ mod tests {
     #[test]
     fn handle_rejects_garbage() {
         assert!(FileHandle::parse(0, b"not a tsfile".to_vec()).is_none());
+    }
+
+    #[test]
+    fn envelope_table_is_cached_and_exact() {
+        let h = FileHandle::parse(1, two_key_image()).expect("valid image");
+        assert_eq!(
+            h.envelopes(),
+            &[(key("a"), 10, 30), (key("b"), 5, 50)],
+            "one folded envelope per key, sorted"
+        );
+        // Multiple chunks of one key fold into one envelope.
+        let mut w = TsFileWriter::new();
+        w.write_chunk(&key("m"), &[1, 5], &[TsValue::Long(1), TsValue::Long(5)]);
+        w.write_chunk(&key("m"), &[40, 90], &[TsValue::Long(4), TsValue::Long(9)]);
+        let h = FileHandle::parse(2, w.finish()).expect("valid image");
+        assert_eq!(h.envelopes(), &[(key("m"), 1, 90)]);
+        assert_eq!(h.key_time_range(&key("m")), Some((1, 90)));
+        // The envelope spans the inter-chunk gap, but overlaps() stays
+        // chunk-exact: a range falling wholly in the gap matches no
+        // chunk.
+        assert!(!h.overlaps(&key("m"), 10, 30));
+        assert!(h.overlaps(&key("m"), 5, 10));
+    }
+
+    #[test]
+    fn filter_prunes_absent_keys_and_v1_never_prunes() {
+        let h = FileHandle::parse(1, two_key_image()).expect("valid image");
+        assert!(h.filter().is_some(), "flushed images are v2");
+        assert!(h.may_contain(&key("a")) && h.may_contain(&key("b")));
+        assert!(
+            !h.may_contain(&SeriesKey::new("root.absent.d", "x")),
+            "absent key pruned by the filter (deterministic hash)"
+        );
+        // A v1 image has no filter: may_contain must never prune.
+        let mut w = TsFileWriter::new();
+        w.write_chunk(&key("a"), &[1], &[TsValue::Long(1)]);
+        let v1 = FileHandle::parse(2, w.finish_v1()).expect("v1 opens");
+        assert!(v1.filter().is_none());
+        assert!(v1.may_contain(&SeriesKey::new("root.absent.d", "x")));
+        assert_eq!(v1.key_time_range(&key("a")), Some((1, 1)));
+    }
+
+    #[test]
+    fn level_metadata_rides_the_handle() {
+        let h = FileHandle::parse(1, two_key_image()).expect("valid image");
+        assert_eq!(h.level(), 0, "fresh handles are L0");
+        let h = h.with_level(3);
+        assert_eq!(h.level(), 3);
+        assert_eq!(h.with_id(9).level(), 3, "re-tagging keeps the level");
+        let mut h = h;
+        h.set_level(1);
+        assert_eq!(h.level(), 1);
+    }
+
+    #[test]
+    fn device_range_and_overlap() {
+        let mk = |device: &str| {
+            let mut w = TsFileWriter::new();
+            w.write_chunk(&SeriesKey::new(device, "s"), &[1], &[TsValue::Long(1)]);
+            FileHandle::parse(0, w.finish()).expect("valid image")
+        };
+        let a = mk("root.sg.d1");
+        let b = mk("root.sg.d9");
+        let c = mk("root.sg.d1");
+        assert_eq!(a.device_range(), Some(("root.sg.d1", "root.sg.d1")));
+        assert!(a.devices_overlap(&c));
+        assert!(!a.devices_overlap(&b));
+        let empty = FileHandle::parse(0, TsFileWriter::new().finish()).expect("empty image");
+        assert_eq!(empty.device_range(), None);
+        assert!(!empty.devices_overlap(&a));
     }
 
     fn ts(s: &str, lo: i64, hi: i64) -> Tombstone {

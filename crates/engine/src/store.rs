@@ -436,18 +436,35 @@ const MANIFEST_MAGIC: &str = "backsort-manifest-v1";
 /// values.
 #[derive(Debug, PartialEq)]
 struct Manifest {
-    live_gens: HashSet<u64>,
+    /// Live files in merge-priority order (shard-major, each shard's
+    /// files oldest-first), each with its compaction level. The order is
+    /// load-bearing: a leveled compaction output sits *before* newer
+    /// files of its shard but is persisted under a *later* generation,
+    /// so numeric generation order no longer equals priority order —
+    /// recovery must walk this list front-to-back to preserve
+    /// last-write-wins.
+    files: Vec<(u64, u32)>,
     wal_floor: u64,
+}
+
+impl Manifest {
+    fn live_gens(&self) -> HashSet<u64> {
+        self.files.iter().map(|&(gen, _)| gen).collect()
+    }
 }
 
 /// Durably records the manifest. Written after new images, after the
 /// pending tombstones are re-logged into the floor segment, and
 /// *before* any GC — the commit point of a persist pass. CRC-guarded so
 /// a torn write reads as "no manifest".
-fn write_manifest(io: &dyn Io, dir: &Path, gens: &[u64], wal_floor: u64) -> io::Result<()> {
-    let list = gens
+///
+/// Each file token is `generation:level`, making the compaction level a
+/// crash-safe part of the commit record; legacy manifests with plain
+/// `generation` tokens read back as level 0.
+fn write_manifest(io: &dyn Io, dir: &Path, files: &[(u64, u32)], wal_floor: u64) -> io::Result<()> {
+    let list = files
         .iter()
-        .map(|g| g.to_string())
+        .map(|(gen, level)| format!("{gen}:{level}"))
         .collect::<Vec<_>>()
         .join(" ");
     let body = format!("{MANIFEST_MAGIC}\nfiles {list}\nwal-floor {wal_floor}\n");
@@ -480,15 +497,19 @@ fn read_manifest(io: &dyn Io, dir: &Path) -> Option<Manifest> {
     if crc32(body.as_bytes()) != stored {
         return None;
     }
-    let mut live_gens = HashSet::new();
+    let mut files = Vec::new();
     for tok in files_line.strip_prefix("files ")?.split_whitespace() {
-        live_gens.insert(tok.parse().ok()?);
+        // `gen:level` is the v2 token; a bare generation is a legacy
+        // manifest written before levels existed — everything was
+        // effectively level 0 then.
+        let (gen, level) = match tok.split_once(':') {
+            Some((gen, level)) => (gen.parse().ok()?, level.parse().ok()?),
+            None => (tok.parse().ok()?, 0),
+        };
+        files.push((gen, level));
     }
     let wal_floor = floor_line.strip_prefix("wal-floor ")?.parse().ok()?;
-    Some(Manifest {
-        live_gens,
-        wal_floor,
-    })
+    Some(Manifest { files, wal_floor })
 }
 
 /// A [`StorageEngine`] with WAL-backed durability in a directory.
@@ -573,24 +594,46 @@ impl DurableEngine {
         // by the replayed WAL segments). Both are removed.
         let manifest = read_manifest(io.as_ref(), &dir);
         let wal_floor = manifest.as_ref().map_or(0, |m| m.wal_floor);
+        let live_gens = manifest.as_ref().map(Manifest::live_gens);
         let mut persisted: Vec<HashMap<u64, u64>> = vec![HashMap::new(); engine.shard_count()];
         let mut max_gen = 0u64;
+        let mut on_disk: HashMap<u64, String> = HashMap::new();
         for (gen, name) in &tsfiles {
             max_gen = max_gen.max(*gen);
-            let path = dir.join(name);
-            if let Some(manifest) = &manifest {
-                if !manifest.live_gens.contains(gen) {
-                    let _ = io.remove(&path);
+            if let Some(live) = &live_gens {
+                if !live.contains(gen) {
+                    let _ = io.remove(&dir.join(name));
                     continue;
                 }
             }
+            on_disk.insert(*gen, name.clone());
+        }
+        // Adoption order is the manifest's listed order — the previous
+        // process's in-memory merge-priority order, which a leveled
+        // compaction output (persisted late, ranked early) makes
+        // different from numeric generation order. Without a manifest
+        // (nothing ever committed, so no compaction output can be on
+        // disk either) numeric order is the write order and suffices.
+        let adoption: Vec<(u64, u32)> = match &manifest {
+            Some(m) => m.files.clone(),
+            None => {
+                let mut gens: Vec<(u64, u32)> = on_disk.keys().map(|&gen| (gen, 0)).collect();
+                gens.sort_unstable();
+                gens
+            }
+        };
+        for (gen, level) in adoption {
+            let Some(name) = on_disk.get(&gen) else {
+                continue;
+            };
+            let path = dir.join(name);
             let bytes = io.read(&path).map_err(StoreError::Recover)?;
-            match engine.adopt_file(bytes) {
+            match engine.adopt_file_at_level(bytes, level) {
                 Some(installed) => {
                     // Already on disk under this generation; only later
                     // images need persisting.
                     for (shard, id) in installed {
-                        persisted[shard].insert(id, *gen);
+                        persisted[shard].insert(id, gen);
                     }
                 }
                 None => {
@@ -717,6 +760,7 @@ impl DurableEngine {
         // makes the old segments dead.
         this.log_pending_tombstones()?;
         commit_manifest_and_gc(
+            &this.engine,
             this.io.as_ref(),
             &this.faults,
             &this.dir,
@@ -915,6 +959,7 @@ impl DurableEngine {
         drop(old);
         self.log_pending_tombstones()?;
         commit_manifest_and_gc(
+            &self.engine,
             self.io.as_ref(),
             &self.faults,
             &self.dir,
@@ -977,13 +1022,13 @@ impl DurableEngine {
 /// image durably under a fresh generation, keyed by file id.
 ///
 /// Shards are walked in ascending order, each shard's files oldest
-/// first — a rotation's sequence file always gets a lower generation
-/// than the unsequence file flushed right after it, and a compacted
-/// file a lower one than anything flushed after the compaction, so
-/// adoption order at recovery preserves last-write-wins. Returns the
-/// generations of files compaction merged away (no longer referenced by
-/// any id), for [`commit_manifest_and_gc`] to collect *after* the
-/// manifest commit.
+/// first. Generation numbers are only identities here, not priorities:
+/// a leveled compaction output ranks *before* newer files of its shard
+/// but is persisted later (higher generation), so merge priority at
+/// recovery comes from the manifest's listed order, not numeric order.
+/// Returns the generations of files compaction merged away (no longer
+/// referenced by any id), for [`commit_manifest_and_gc`] to collect
+/// *after* the manifest commit.
 fn write_images(
     engine: &StorageEngine,
     io: &dyn Io,
@@ -1039,6 +1084,7 @@ fn write_images(
 /// inputs at recovery, with their tombstones already consumed by the
 /// compaction.
 fn commit_manifest_and_gc(
+    engine: &StorageEngine,
     io: &dyn Io,
     faults: &FailpointRegistry,
     dir: &Path,
@@ -1046,10 +1092,41 @@ fn commit_manifest_and_gc(
     mut dropped_gens: Vec<u64>,
     wal_floor: u64,
 ) -> StoreResult<()> {
-    let mut live_gens: Vec<u64> = persisted.iter().flat_map(|m| m.values().copied()).collect();
+    // The live list is built from the engine *now*, not captured during
+    // `write_images`: a level promotion rewrites no image (same id, same
+    // generation), so only the current in-memory level is authoritative.
+    // Order follows each shard's current file order (the merge-priority
+    // order recovery must reproduce), shards concatenated in index
+    // order. A generation adopted into several shards keeps its first
+    // position and takes the maximum level any shard assigned it;
+    // recovery re-adopts it at that level everywhere, which only delays
+    // (never corrupts) future compaction.
+    let mut live_files: Vec<(u64, u32)> = Vec::new();
+    let mut seen: HashMap<u64, usize> = HashMap::new();
+    for (shard, done) in persisted.iter().enumerate() {
+        for (id, level) in engine.shard_file_meta(shard) {
+            if let Some(&gen) = done.get(&id) {
+                match seen.get(&gen) {
+                    Some(&pos) => {
+                        let slot = &mut live_files[pos].1;
+                        *slot = (*slot).max(level);
+                    }
+                    None => {
+                        seen.insert(gen, live_files.len());
+                        live_files.push((gen, level));
+                    }
+                }
+            }
+        }
+    }
+    let mut live_gens: Vec<u64> = live_files.iter().map(|&(gen, _)| gen).collect();
     live_gens.sort_unstable();
-    live_gens.dedup();
-    write_manifest(io, dir, &live_gens, wal_floor).map_err(StoreError::Manifest)?;
+    // Every image of the pass is durable at this point; the manifest
+    // write below is what makes them (and their levels) live.
+    faults
+        .hit(fault_sites::STORE_PERSIST_BEFORE_MANIFEST)
+        .map_err(StoreError::Manifest)?;
+    write_manifest(io, dir, &live_files, wal_floor).map_err(StoreError::Manifest)?;
     faults
         .hit(fault_sites::STORE_PERSIST_BEFORE_GC)
         .map_err(StoreError::Manifest)?;
@@ -1084,6 +1161,7 @@ mod tests {
             array_size: 16,
             sorter: Algorithm::Backward(Default::default()),
             shards: 1,
+            ..EngineConfig::default()
         }
     }
 
@@ -1181,11 +1259,11 @@ mod tests {
         let io = RealIo;
         let dir = tmpdir("manifest");
         io.create_dir_all(&dir).unwrap();
-        write_manifest(&io, &dir, &[3, 7, 12], 13).unwrap();
+        write_manifest(&io, &dir, &[(3, 0), (7, 2), (12, 1)], 13).unwrap();
         assert_eq!(
             read_manifest(&io, &dir),
             Some(Manifest {
-                live_gens: [3u64, 7, 12].into_iter().collect(),
+                files: vec![(3, 0), (7, 2), (12, 1)],
                 wal_floor: 13,
             })
         );
@@ -1194,7 +1272,7 @@ mod tests {
         assert_eq!(
             read_manifest(&io, &dir),
             Some(Manifest {
-                live_gens: HashSet::new(),
+                files: Vec::new(),
                 wal_floor: 1,
             })
         );
@@ -1204,6 +1282,65 @@ mod tests {
         bytes[0] ^= 0x01;
         fs::write(&path, &bytes).unwrap();
         assert_eq!(read_manifest(&io, &dir), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_manifest_tokens_read_as_level_zero() {
+        let io = RealIo;
+        let dir = tmpdir("manifest-legacy");
+        io.create_dir_all(&dir).unwrap();
+        // A manifest written before levels existed: bare generations.
+        let body = format!("{MANIFEST_MAGIC}\nfiles 4 9 11\nwal-floor 12\n");
+        let full = format!("{body}crc {:08x}\n", crc32(body.as_bytes()));
+        io.write_durable(&dir.join(MANIFEST_NAME), full.as_bytes())
+            .unwrap();
+        assert_eq!(
+            read_manifest(&io, &dir),
+            Some(Manifest {
+                files: vec![(4, 0), (9, 0), (11, 0)],
+                wal_floor: 12,
+            })
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_levels_survive_reopen() {
+        let dir = tmpdir("level-reopen");
+        let cfg = || EngineConfig {
+            compaction: crate::engine::CompactionConfig {
+                l0_trigger: 2,
+                level_base_bytes: 1 << 10,
+                growth: 2,
+            },
+            ..config(20)
+        };
+        {
+            let mut eng = DurableEngine::open(&dir, cfg()).unwrap();
+            // Four flushed files → the leveled pass folds the L0 suffix.
+            for round in 0..4i64 {
+                for t in 0..20i64 {
+                    eng.write(&key(), round * 100 + t, TsValue::Long(round * 100 + t))
+                        .unwrap();
+                }
+            }
+            eng.engine().compact_auto();
+            let meta = eng.engine().shard_file_meta(0);
+            assert!(
+                meta.iter().any(|&(_, level)| level > 0),
+                "compaction produced a leveled file: {meta:?}"
+            );
+            // Force a persist pass so the manifest records the levels.
+            eng.flush().unwrap();
+        }
+        let eng = DurableEngine::open(&dir, cfg()).unwrap();
+        let meta = eng.engine().shard_file_meta(0);
+        assert!(
+            meta.iter().any(|&(_, level)| level > 0),
+            "levels recovered from the manifest: {meta:?}"
+        );
+        assert_eq!(eng.query(&key(), i64::MIN, i64::MAX).len(), 80);
         let _ = fs::remove_dir_all(&dir);
     }
 

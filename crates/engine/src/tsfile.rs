@@ -13,18 +13,32 @@
 //!     min_time i64 | max_time i64 | count u32
 //!     ts_len u32   | ts bytes              TS_2DIFF
 //!     val_len u32  | val bytes             per-type encoding
-//! footer:
+//! footer (v2, written by [`TsFileWriter::finish`]):
 //!   chunk_count u32
 //!   (chunk_offset u64)*                    byte offsets of each chunk
+//!   filter_len u32 | filter bytes          key existence filter
 //!   footer_offset u64                      offset of chunk_count
+//!   "BSTF2\0"                              trailing magic
+//! footer (v1, legacy — still readable):
+//!   chunk_count u32
+//!   (chunk_offset u64)*
+//!   footer_offset u64
 //!   "BSTF1\0"                              trailing magic
 //! ```
+//!
+//! The trailing magic is the version marker: `"BSTF1\0"` closes a v1
+//! footer (no filter block), `"BSTF2\0"` a v2 footer carrying a
+//! serialized [`KeyFilter`] over the file's `(device, sensor)` keys.
+//! The leading magic stays `"BSTF1\0"` for both, so a v1 reader's
+//! cheap header sniff still recognizes the family.
 
 use crate::batch::{ColumnSlice, ValueColumn};
 use crate::encoding::{boolpack, gorilla, intcolumn, textpack, ts2diff};
+use crate::filter::{key_hash, KeyFilter};
 use crate::types::{DataType, SeriesKey, TsValue};
 
 const MAGIC: &[u8; 6] = b"BSTF1\0";
+const MAGIC_V2: &[u8; 6] = b"BSTF2\0";
 
 /// Points per page within a chunk (IoTDB's `max_number_of_points_in_page`
 /// defaults to the same order of magnitude).
@@ -52,6 +66,7 @@ pub struct ChunkMeta {
 pub struct TsFileWriter {
     buf: Vec<u8>,
     offsets: Vec<u64>,
+    key_hashes: Vec<u64>,
     finished: bool,
 }
 
@@ -63,6 +78,7 @@ impl TsFileWriter {
         Self {
             buf,
             offsets: Vec::new(),
+            key_hashes: Vec::new(),
             finished: false,
         }
     }
@@ -112,6 +128,7 @@ impl TsFileWriter {
         };
         let data_type = values.data_type();
 
+        self.key_hashes.push(key_hash(key));
         self.offsets.push(self.buf.len() as u64);
         let name = key.to_string();
         let name_bytes = name.as_bytes();
@@ -151,8 +168,33 @@ impl TsFileWriter {
         }
     }
 
-    /// Writes the footer and returns the file image.
+    /// Writes the v2 footer — chunk index plus the key existence filter
+    /// built from every chunk written — and returns the file image.
     pub fn finish(mut self) -> Vec<u8> {
+        self.finished = true;
+        let footer_offset = self.buf.len() as u64;
+        self.buf
+            .extend_from_slice(&(self.offsets.len() as u32).to_le_bytes());
+        for off in &self.offsets {
+            self.buf.extend_from_slice(&off.to_le_bytes());
+        }
+        self.key_hashes.sort_unstable();
+        self.key_hashes.dedup();
+        let filter = KeyFilter::from_hashes(&self.key_hashes);
+        self.buf
+            .extend_from_slice(&(filter.serialized_len() as u32).to_le_bytes());
+        filter.serialize_into(&mut self.buf);
+        self.buf.extend_from_slice(&footer_offset.to_le_bytes());
+        self.buf.extend_from_slice(MAGIC_V2);
+        self.buf
+    }
+
+    /// Writes the legacy v1 footer (no filter block) and returns the
+    /// file image. Production paths always write v2 via
+    /// [`finish`](Self::finish); this exists so the reader's v1
+    /// compatibility — files flushed before the format change must keep
+    /// opening and querying — stays under test.
+    pub fn finish_v1(mut self) -> Vec<u8> {
         self.finished = true;
         let footer_offset = self.buf.len() as u64;
         self.buf
@@ -197,11 +239,17 @@ fn encode_column_page(col: ColumnSlice<'_>, lo: usize, hi: usize) -> Vec<u8> {
 pub struct TsFileReader<'a> {
     buf: &'a [u8],
     chunks: Vec<ChunkMeta>,
+    filter: Option<KeyFilter>,
 }
 
 impl<'a> TsFileReader<'a> {
     /// Parses the footer and chunk headers. `None` if the image is not a
     /// valid TsFile.
+    ///
+    /// Both footer versions open: the trailing magic selects the layout,
+    /// and a v1 image simply carries no filter
+    /// ([`TsFileReader::filter`] returns `None` — the caller falls back
+    /// to chunk-index pruning alone).
     ///
     /// The chunk index is held sorted by series key (chunks of one key
     /// keep their file order), so key lookups binary-search instead of
@@ -210,12 +258,20 @@ impl<'a> TsFileReader<'a> {
         if buf.len() < MAGIC.len() * 2 + 12 || &buf[..MAGIC.len()] != MAGIC {
             return None;
         }
-        if &buf[buf.len() - MAGIC.len()..] != MAGIC {
+        let trailer = buf.get(buf.len() - MAGIC.len()..)?;
+        let v2 = if trailer == MAGIC_V2 {
+            true
+        } else if trailer == MAGIC {
+            false
+        } else {
             return None;
-        }
+        };
         let footer_off_pos = buf.len() - MAGIC.len() - 8;
-        let footer_offset =
-            u64::from_le_bytes(buf[footer_off_pos..footer_off_pos + 8].try_into().ok()?) as usize;
+        let footer_offset = u64::from_le_bytes(
+            buf.get(footer_off_pos..footer_off_pos + 8)?
+                .try_into()
+                .ok()?,
+        ) as usize;
         let mut pos = footer_offset;
         let count = read_u32(buf, &mut pos)? as usize;
         let mut chunks = Vec::with_capacity(count);
@@ -223,10 +279,33 @@ impl<'a> TsFileReader<'a> {
             let off = read_u64(buf, &mut pos)? as usize;
             chunks.push(Self::read_chunk_meta(buf, off)?);
         }
+        let filter = if v2 {
+            let filter_len = read_u32(buf, &mut pos)? as usize;
+            let filter_bytes = buf.get(pos..pos.checked_add(filter_len)?)?;
+            Some(KeyFilter::deserialize(filter_bytes)?)
+        } else {
+            None
+        };
         // Stable, so multiple chunks of one key stay in file order
         // (older chunks first — the order dedup priorities rely on).
         chunks.sort_by(|a, b| a.key.cmp(&b.key));
-        Some(Self { buf, chunks })
+        Some(Self {
+            buf,
+            chunks,
+            filter,
+        })
+    }
+
+    /// The v2 footer's key existence filter, or `None` for a v1 image.
+    pub fn filter(&self) -> Option<&KeyFilter> {
+        self.filter.as_ref()
+    }
+
+    /// Consumes the reader, handing the parsed filter (if any) to the
+    /// caller — [`FileHandle::parse`](crate::read::FileHandle::parse)
+    /// moves it into the cached handle instead of cloning.
+    pub fn take_filter(&mut self) -> Option<KeyFilter> {
+        self.filter.take()
     }
 
     fn read_chunk_meta(buf: &[u8], off: usize) -> Option<ChunkMeta> {
@@ -368,6 +447,12 @@ pub fn read_chunk_range(
 /// chunk up front. Pages outside `[t_lo, t_hi]` are skipped without
 /// decoding (their statistics prune them). A corrupt page ends the
 /// stream.
+///
+/// Built [`with_cache`](Self::with_cache), each page is first looked up
+/// in the engine's [`BlockCache`](crate::cache::BlockCache) under
+/// `(file id, chunk offset, page index)`; a hit serves the decoded
+/// points without touching the image bytes, a miss decodes the full
+/// page and inserts it before filtering to the query range.
 pub struct ChunkPointsIter<'a> {
     buf: &'a [u8],
     data_type: DataType,
@@ -377,6 +462,9 @@ pub struct ChunkPointsIter<'a> {
     t_hi: i64,
     page: std::vec::IntoIter<(i64, TsValue)>,
     pages_decoded: usize,
+    cache: Option<(std::sync::Arc<crate::cache::BlockCache>, u64)>,
+    chunk_offset: u64,
+    page_idx: u32,
 }
 
 impl<'a> ChunkPointsIter<'a> {
@@ -392,6 +480,9 @@ impl<'a> ChunkPointsIter<'a> {
             t_hi,
             page: Vec::new().into_iter(),
             pages_decoded: 0,
+            cache: None,
+            chunk_offset: meta.offset,
+            page_idx: 0,
         };
         let mut pos = meta.offset as usize;
         let header = (|| {
@@ -409,6 +500,22 @@ impl<'a> ChunkPointsIter<'a> {
         iter
     }
 
+    /// [`new`](Self::new), but serving pages through a decoded-page
+    /// cache keyed by `file_id` — the engine's read path uses this form
+    /// whenever a block cache is configured.
+    pub fn with_cache(
+        buf: &'a [u8],
+        meta: &ChunkMeta,
+        t_lo: i64,
+        t_hi: i64,
+        file_id: u64,
+        cache: std::sync::Arc<crate::cache::BlockCache>,
+    ) -> Self {
+        let mut iter = Self::new(buf, meta, t_lo, t_hi);
+        iter.cache = Some((cache, file_id));
+        iter
+    }
+
     /// Pages decoded so far (pruned pages are skipped, not counted).
     pub fn pages_decoded(&self) -> usize {
         self.pages_decoded
@@ -419,6 +526,8 @@ impl<'a> ChunkPointsIter<'a> {
     fn advance_page(&mut self) -> bool {
         while self.pages_left > 0 {
             self.pages_left -= 1;
+            let this_page = self.page_idx;
+            self.page_idx = self.page_idx.wrapping_add(1);
             let buf = self.buf;
             let pos = &mut self.pos;
             let Some((page_min, page_max, count, ts_range, val_range)) = (|| {
@@ -439,19 +548,44 @@ impl<'a> ChunkPointsIter<'a> {
             if page_max < self.t_lo || page_min > self.t_hi {
                 continue; // pruned without decoding
             }
+            // A configured cache serves and stores *full* decoded pages;
+            // the query range is filtered out of the shared Arc.
+            if let Some((cache, file_id)) = self.cache.clone() {
+                let cache_key = crate::cache::PageKey {
+                    file: file_id,
+                    chunk: self.chunk_offset,
+                    page: this_page,
+                };
+                let full = match cache.get(cache_key) {
+                    Some(hit) => hit,
+                    None => {
+                        let Some(decoded) =
+                            decode_page(buf, self.data_type, count, ts_range, val_range)
+                        else {
+                            self.pages_left = 0;
+                            return false;
+                        };
+                        let decoded = std::sync::Arc::new(decoded);
+                        cache.insert(cache_key, std::sync::Arc::clone(&decoded));
+                        decoded
+                    }
+                };
+                self.pages_decoded += 1;
+                let points: Vec<(i64, TsValue)> = full
+                    .iter()
+                    .filter(|&&(t, _)| t >= self.t_lo && t <= self.t_hi)
+                    .cloned()
+                    .collect();
+                if !points.is_empty() {
+                    self.page = points.into_iter();
+                    return true;
+                }
+                continue;
+            }
             let Some(points) = (|| {
-                let times = ts2diff::decode(buf.get(ts_range)?)?;
-                if times.len() != count {
-                    return None;
-                }
-                let values = decode_values(self.data_type, buf.get(val_range)?)?;
-                if values.len() != count {
-                    return None;
-                }
+                let full = decode_page(buf, self.data_type, count, ts_range, val_range)?;
                 Some(
-                    times
-                        .into_iter()
-                        .zip(values)
+                    full.into_iter()
                         .filter(|&(t, _)| t >= self.t_lo && t <= self.t_hi)
                         .collect::<Vec<_>>(),
                 )
@@ -482,6 +616,26 @@ impl Iterator for ChunkPointsIter<'_> {
             }
         }
     }
+}
+
+/// Decodes one full page (timestamps plus values), verifying both
+/// columns carry exactly `count` entries. `None` on corruption.
+fn decode_page(
+    buf: &[u8],
+    data_type: DataType,
+    count: usize,
+    ts_range: std::ops::Range<usize>,
+    val_range: std::ops::Range<usize>,
+) -> Option<Vec<(i64, TsValue)>> {
+    let times = ts2diff::decode(buf.get(ts_range)?)?;
+    if times.len() != count {
+        return None;
+    }
+    let values = decode_values(data_type, buf.get(val_range)?)?;
+    if values.len() != count {
+        return None;
+    }
+    Some(times.into_iter().zip(values).collect())
 }
 
 fn decode_values(dt: DataType, val_bytes: &[u8]) -> Option<Vec<TsValue>> {
@@ -678,6 +832,68 @@ mod tests {
         let image = TsFileWriter::new().finish();
         let r = TsFileReader::open(&image).unwrap();
         assert!(r.chunks().is_empty());
+    }
+
+    #[test]
+    fn v2_footer_carries_a_key_filter() {
+        let mut w = TsFileWriter::new();
+        w.write_chunk(&key("s1"), &[1, 2], &[TsValue::Long(1), TsValue::Long(2)]);
+        w.write_chunk(&key("s2"), &[3], &[TsValue::Long(3)]);
+        let image = w.finish();
+        let r = TsFileReader::open(&image).unwrap();
+        let filter = r.filter().expect("v2 images carry a filter");
+        assert!(filter.may_contain(&key("s1")));
+        assert!(filter.may_contain(&key("s2")));
+        assert!(
+            !filter.may_contain(&SeriesKey::new("root.other.d9", "nope")),
+            "an absent key must be pruned (deterministic hash, no collision here)"
+        );
+    }
+
+    #[test]
+    fn v1_images_still_open_and_query() {
+        // The backward-compatibility acceptance case: a legacy footer
+        // without a filter block opens, indexes, and queries exactly as
+        // before.
+        let mut w = TsFileWriter::new();
+        w.write_chunk(
+            &key("s"),
+            &[1, 5, 9],
+            &[TsValue::Long(1), TsValue::Long(5), TsValue::Long(9)],
+        );
+        let image = w.finish_v1();
+        let r = TsFileReader::open(&image).unwrap();
+        assert!(r.filter().is_none(), "v1 images have no filter");
+        assert_eq!(r.chunks().len(), 1);
+        assert_eq!(
+            r.query(&key("s"), 2, 9),
+            vec![(5, TsValue::Long(5)), (9, TsValue::Long(9))]
+        );
+    }
+
+    #[test]
+    fn corrupt_v2_filter_block_is_rejected() {
+        let mut w = TsFileWriter::new();
+        w.write_chunk(&key("s"), &[1], &[TsValue::Int(1)]);
+        let image = w.finish();
+        let r = TsFileReader::open(&image).unwrap();
+        // Locate the filter block: it sits between the chunk offsets and
+        // the trailing footer_offset. Truncate its declared length by
+        // corrupting the length prefix.
+        let footer_off_pos = image.len() - 6 - 8;
+        let footer_offset = u64::from_le_bytes(
+            image[footer_off_pos..footer_off_pos + 8]
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        let filter_len_pos = footer_offset + 4 + 8; // chunk_count + one offset
+        let mut bad = image.clone();
+        bad[filter_len_pos] ^= 0xFF;
+        assert!(
+            TsFileReader::open(&bad).is_none(),
+            "a mangled filter length must reject the image, not mis-prune"
+        );
+        drop(r);
     }
 }
 

@@ -60,6 +60,7 @@ fn config(shards: usize) -> EngineConfig {
         array_size: 16,
         sorter: Algorithm::Backward(Default::default()),
         shards,
+        ..EngineConfig::default()
     }
 }
 

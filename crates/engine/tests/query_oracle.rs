@@ -30,6 +30,7 @@ fn engine(shards: usize) -> StorageEngine {
             ..Default::default()
         }),
         shards,
+        ..EngineConfig::default()
     })
 }
 

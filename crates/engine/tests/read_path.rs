@@ -16,6 +16,7 @@ fn engine(memtable_max_points: usize, shards: usize) -> StorageEngine {
         array_size: 16,
         sorter: Algorithm::Backward(Default::default()),
         shards,
+        ..EngineConfig::default()
     })
 }
 

@@ -71,6 +71,19 @@ pub const COMPACTION_AFTER_TAKE: &str = "compaction.after_take";
 /// After the merged image is built, before it is restored into the
 /// shard. Kill-only.
 pub const COMPACTION_BEFORE_RESTORE: &str = "compaction.before_restore";
+/// In leveled compaction, after a run's merged image is parsed (filter
+/// block written, level assigned), before the rebuilt file list is
+/// published to the shard — i.e. between the level-move's output
+/// existing and the manifest ever hearing about it. Kill-only. Recovery
+/// must serve the run's data from the still-persisted inputs, and no
+/// file may end up live at two levels.
+pub const COMPACTION_LEVEL_PUBLISH: &str = "compaction.level.publish";
+/// In `commit_manifest_and_gc`, after every image of the new generation
+/// set is durable, before the manifest that names (and levels) them is
+/// written. Models: crash between filter/image write and manifest
+/// publish — the old manifest must still describe a complete, correct
+/// state.
+pub const STORE_PERSIST_BEFORE_MANIFEST: &str = "store.persist.before_manifest";
 
 /// Byte-granularity: a WAL frame append inside the `Io` sink.
 /// `short` commits a torn prefix of the frame then dies; `flip` commits
@@ -107,6 +120,8 @@ pub const ALL: &[&str] = &[
     FLUSH_COMPLETE_BEFORE_INSTALL,
     COMPACTION_AFTER_TAKE,
     COMPACTION_BEFORE_RESTORE,
+    COMPACTION_LEVEL_PUBLISH,
+    STORE_PERSIST_BEFORE_MANIFEST,
     IO_WAL_APPEND,
     IO_WAL_SYNC,
     IO_TSFILE_WRITE,

@@ -34,6 +34,11 @@ pub const QUERY_EXCLUSIVE_PATH: &str = "query.exclusive_path";
 pub const QUERY_FILES_CONSIDERED: &str = "query.files_considered";
 /// Of those, files skipped by the per-key time-range prune (counter).
 pub const QUERY_FILES_PRUNED: &str = "query.files_pruned";
+/// Files skipped by the per-file key existence filter *before* any
+/// chunk-index walk (counter). Disjoint from
+/// [`QUERY_FILES_PRUNED`]: a filter-pruned file never reaches the
+/// envelope check.
+pub const QUERY_FILES_PRUNED_BY_FILTER: &str = "query.files_pruned_by_filter";
 
 /// Out-of-order arrivals: points written behind their buffer's maximum
 /// timestamp (counter).
@@ -87,6 +92,19 @@ pub const COMPACTION_RUNS: &str = "compaction.runs";
 pub const COMPACTION_BYTES_IN: &str = "compaction.bytes_in";
 /// Bytes surviving compaction (counter).
 pub const COMPACTION_BYTES_OUT: &str = "compaction.bytes_out";
+/// Files moved up a level by leveled compaction — merged runs and
+/// singleton promotions both count (counter).
+pub const COMPACTION_LEVEL_MOVES: &str = "compaction.level_moves";
+
+/// Decoded pages served from the block cache (counter).
+pub const CACHE_HITS: &str = "cache.hits";
+/// Block-cache lookups that had to decode from the image (counter).
+pub const CACHE_MISSES: &str = "cache.misses";
+/// Decoded pages evicted to hold the byte budget (counter).
+pub const CACHE_EVICTIONS: &str = "cache.evictions";
+/// Bytes of decoded pages currently resident in the block cache
+/// (gauge).
+pub const CACHE_BYTES: &str = "cache.bytes";
 
 /// Block size `L` chosen by Backward-Sort's phase 1 (histogram).
 pub const SORT_BLOCK_SIZE: &str = "sort.block_size";
@@ -130,6 +148,7 @@ pub const REQUIRED: &[&str] = &[
     QUERY_EXCLUSIVE_PATH,
     QUERY_FILES_CONSIDERED,
     QUERY_FILES_PRUNED,
+    QUERY_FILES_PRUNED_BY_FILTER,
     MEMTABLE_OOO_POINTS,
     MEMTABLE_DELTA_TAU,
     MEMTABLE_DIRTY_BUFFER_POINTS,
@@ -149,6 +168,11 @@ pub const REQUIRED: &[&str] = &[
     COMPACTION_RUNS,
     COMPACTION_BYTES_IN,
     COMPACTION_BYTES_OUT,
+    COMPACTION_LEVEL_MOVES,
+    CACHE_HITS,
+    CACHE_MISSES,
+    CACHE_EVICTIONS,
+    CACHE_BYTES,
     SORT_BLOCK_SIZE,
     SORT_PROBE_LOOPS,
     SORT_ALPHA_PPM,

@@ -14,6 +14,7 @@ fn start_server() -> (SqlServer, Arc<StorageEngine>) {
         array_size: 32,
         sorter: Algorithm::Backward(Default::default()),
         shards: 1,
+        ..EngineConfig::default()
     }));
     let server = SqlServer::start("127.0.0.1:0", Arc::clone(&engine)).expect("bind");
     (server, engine)

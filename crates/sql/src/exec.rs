@@ -319,6 +319,7 @@ mod tests {
             array_size: 16,
             sorter: Algorithm::Backward(Default::default()),
             shards: 1,
+            ..EngineConfig::default()
         })
     }
 
@@ -474,6 +475,15 @@ mod tests {
                 // store in front).
                 assert_eq!(get("wal.batch_encode_nanos.count"), "0");
                 assert!(names.iter().any(|n| n == "merge.overlap_q.p99"));
+                // The read-path additions are pre-registered, so an
+                // operator sees the cache, filter, and leveling
+                // counters even before they first fire.
+                assert_eq!(get("cache.hits"), "0");
+                assert_eq!(get("cache.misses"), "0");
+                assert_eq!(get("cache.evictions"), "0");
+                assert_eq!(get("cache.bytes"), "0");
+                assert_eq!(get("query.files_pruned_by_filter"), "0");
+                assert_eq!(get("compaction.level_moves"), "0");
             }
             other => panic!("{other:?}"),
         }

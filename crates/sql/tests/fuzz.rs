@@ -12,6 +12,7 @@ fn engine() -> StorageEngine {
         array_size: 16,
         sorter: Algorithm::Backward(Default::default()),
         shards: 1,
+        ..EngineConfig::default()
     });
     let key = SeriesKey::new("root.sg.d1", "s");
     for t in 0..50i64 {

@@ -16,6 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         array_size: 32,
         sorter: Algorithm::Backward(Default::default()),
         shards: 1,
+        ..EngineConfig::default()
     };
     let key = SeriesKey::new("root.plant.turbine7", "rpm");
 

@@ -15,6 +15,7 @@ fn main() {
         array_size: 32,
         sorter: Algorithm::Backward(BackwardSort::default()),
         shards: 1,
+        ..EngineConfig::default()
     });
 
     // Three turbine sensors with different delay behaviour.

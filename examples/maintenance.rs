@@ -17,6 +17,7 @@ fn main() {
         array_size: 32,
         sorter: Algorithm::Backward(Default::default()),
         shards: 1,
+        ..EngineConfig::default()
     }));
     let key = SeriesKey::new("root.plant.press3", "pressure");
 

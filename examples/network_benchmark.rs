@@ -18,6 +18,7 @@ fn main() {
         array_size: 32,
         sorter: Algorithm::Backward(Default::default()),
         shards: 1,
+        ..EngineConfig::default()
     }));
     let server = SqlServer::start("127.0.0.1:0", Arc::clone(&engine)).expect("bind");
     println!("server listening on {}", server.addr());

@@ -22,6 +22,7 @@ fn main() {
         array_size: 32,
         sorter: Algorithm::Backward(Default::default()),
         shards: 1,
+        ..EngineConfig::default()
     }));
     let metrics =
         MetricsServer::start(("127.0.0.1", 0), engine.obs().clone()).expect("bind metrics");

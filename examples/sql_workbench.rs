@@ -59,6 +59,7 @@ fn main() {
         array_size: 32,
         sorter: Algorithm::Backward(Default::default()),
         shards: 1,
+        ..EngineConfig::default()
     });
 
     // Out-of-order ingestion through SQL (delayed t=2 arrives last).

@@ -19,6 +19,7 @@ fn config(delay: DelayModel, write_pct: f64, sorter: Algorithm) -> BenchConfig {
         sorter,
         shards: 1,
         seed: 17,
+        ..BenchConfig::default()
     }
 }
 

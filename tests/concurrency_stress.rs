@@ -15,6 +15,7 @@ fn writers_queriers_and_flusher_do_not_corrupt_data() {
         array_size: 32,
         sorter: Algorithm::Backward(Default::default()),
         shards: 1,
+        ..EngineConfig::default()
     }));
     let flusher = Arc::new(AsyncFlusher::new(Arc::clone(&engine)));
     let stop = Arc::new(AtomicBool::new(false));
@@ -152,6 +153,7 @@ fn run_sharded_stress(shards: usize) -> Vec<Vec<(i64, TsValue)>> {
         array_size: 32,
         sorter: Algorithm::Backward(Default::default()),
         shards,
+        ..EngineConfig::default()
     }));
     let flusher = Arc::new(AsyncFlusher::with_workers(Arc::clone(&engine), 4));
     let stop = Arc::new(AtomicBool::new(false));

@@ -24,6 +24,7 @@ fn every_contender_agrees_end_to_end() {
             array_size: 32,
             sorter: alg,
             shards: 1,
+            ..EngineConfig::default()
         });
         ingest(&engine, &key, &ds);
         assert!(engine.file_count() >= 3, "memtables must have rotated");
@@ -57,6 +58,7 @@ fn every_dataset_profile_survives_the_engine() {
             array_size: 32,
             sorter: Algorithm::Backward(Default::default()),
             shards: 1,
+            ..EngineConfig::default()
         });
         ingest(&engine, &key, &ds);
 
@@ -81,6 +83,7 @@ fn heavy_straggler_workload_exercises_separation_policy() {
         array_size: 32,
         sorter: Algorithm::Backward(Default::default()),
         shards: 1,
+        ..EngineConfig::default()
     });
     ingest(&engine, &key, &ds);
     let (_, unseq) = engine.buffered_points();
@@ -102,6 +105,7 @@ fn multi_sensor_multi_device_isolation() {
         array_size: 16,
         sorter: Algorithm::Backward(Default::default()),
         shards: 1,
+        ..EngineConfig::default()
     });
     let keys: Vec<SeriesKey> = (0..3)
         .flat_map(|d| (0..4).map(move |s| SeriesKey::new(format!("root.sg.d{d}"), format!("s{s}"))))

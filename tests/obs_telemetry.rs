@@ -57,6 +57,7 @@ fn live_overlap_q_respects_the_papers_bound() {
             array_size: 32,
             sorter: Algorithm::Backward(Default::default()),
             shards: 1,
+            ..EngineConfig::default()
         },
         Arc::clone(&registry),
     );
@@ -122,6 +123,7 @@ fn flush_spans_land_in_the_tracer() {
             array_size: 32,
             sorter: Algorithm::Backward(Default::default()),
             shards: 1,
+            ..EngineConfig::default()
         },
         Arc::clone(&registry),
     );

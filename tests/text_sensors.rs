@@ -11,6 +11,7 @@ fn config(max_points: usize) -> EngineConfig {
         array_size: 16,
         sorter: Algorithm::Backward(Default::default()),
         shards: 1,
+        ..EngineConfig::default()
     }
 }
 
