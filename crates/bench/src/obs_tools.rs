@@ -81,6 +81,82 @@ fn check_catalog_sync() {
     }
 }
 
+/// Verifies the span-name catalog is shape-complete in a registry dump:
+/// every stage in [`backsort_obs::names::SPAN_STAGES`] must have its
+/// `trace.span_nanos{stage=…}` histogram pre-registered (present even at
+/// zero samples), so a renamed or dropped stage fails CI instead of
+/// silently vanishing from dashboards.
+fn check_span_catalog(doc: &serde::Value) {
+    let missing: Vec<String> = backsort_obs::names::SPAN_STAGES
+        .iter()
+        .map(|stage| {
+            backsort_obs::Registry::labeled(backsort_obs::names::TRACE_SPAN_NANOS, "stage", stage)
+        })
+        .filter(|name| {
+            field(doc, "histograms")
+                .and_then(|h| field(h, name))
+                .is_none()
+        })
+        .collect();
+    if !missing.is_empty() {
+        eprintln!(
+            "obs_check: span catalog not pre-registered in the dump: {}",
+            missing.join(", ")
+        );
+        std::process::exit(1);
+    }
+}
+
+/// In-process smoke: `EXPLAIN ANALYZE` over a freshly seeded engine
+/// must produce a span tree that opens `query.root` and reaches
+/// `query.merge`. Guards the whole trace pipeline (begin → engine spans
+/// → finish → render) without needing a server.
+fn check_explain_analyze_smoke() {
+    let engine = StorageEngine::new(EngineConfig {
+        memtable_max_points: 10_000,
+        array_size: 32,
+        sorter: Algorithm::Backward(Default::default()),
+        shards: 1,
+        ..EngineConfig::default()
+    });
+    for t in 0..64i64 {
+        let sql = format!("INSERT INTO root.check.d0(timestamp, s0) VALUES ({t}, {t})");
+        if let Err(e) = backsort_sql::execute(&engine, &sql) {
+            eprintln!("obs_check: smoke insert failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    engine.flush();
+    let out = backsort_sql::execute(
+        &engine,
+        "EXPLAIN ANALYZE SELECT s0 FROM root.check.d0 WHERE time >= 0",
+    );
+    let spans = match out {
+        Ok(backsort_sql::QueryOutput::Analyze { spans, .. }) => spans,
+        Ok(other) => {
+            eprintln!("obs_check: EXPLAIN ANALYZE returned {other:?}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("obs_check: EXPLAIN ANALYZE failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    for required in [
+        backsort_obs::names::SPAN_QUERY_ROOT,
+        backsort_obs::names::SPAN_QUERY_MERGE,
+    ] {
+        if !spans.iter().any(|s| s.name == required) {
+            eprintln!(
+                "obs_check: EXPLAIN ANALYZE smoke produced no {required} span \
+                 (got: {:?})",
+                spans.iter().map(|s| s.name.as_str()).collect::<Vec<_>>()
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Checks the catalog statically (via [`check_catalog_sync`]) and a
 /// registry JSON dump for live Backward-Sort telemetry. Exits 1 with a
 /// diagnostic on any failure.
@@ -100,6 +176,8 @@ pub fn obs_check_main() {
     });
 
     check_catalog_sync();
+    check_span_catalog(&doc);
+    check_explain_analyze_smoke();
 
     let counter = |name: &str| -> u64 {
         field(&doc, "counters")
@@ -142,9 +220,13 @@ pub fn obs_check_main() {
     }
 
     println!(
-        "obs_check: ok — catalog in sync with call sites; \
+        "obs_check: ok — catalog in sync with call sites; span catalog \
+         pre-registered ({} stages); EXPLAIN ANALYZE smoke traced; \
          query.read_path={} sort.block_size samples={} merge.overlap_q samples={}",
-        live[0].1, live[1].1, live[2].1,
+        backsort_obs::names::SPAN_STAGES.len(),
+        live[0].1,
+        live[1].1,
+        live[2].1,
     );
 }
 
@@ -169,9 +251,43 @@ fn ingest_pps(registry: Arc<Registry>, points: &[(i64, TsValue)], batch: usize) 
     points.len() as f64 / start.elapsed().as_secs_f64()
 }
 
-/// Measures instrumentation overhead on the write path. `--points N`
-/// sets the ingest size (default 1M, `--smoke` 200k); `--rounds R`
-/// alternates R enabled/disabled runs and keeps each mode's best.
+/// One timed query run at a given trace sampling rate; returns
+/// queries/sec over a settled, flushed single-sensor dataset.
+fn query_qps(trace_sample_n: u64, points: &[(i64, TsValue)], queries: usize) -> f64 {
+    let engine = StorageEngine::new(EngineConfig {
+        memtable_max_points: 50_000,
+        array_size: 32,
+        sorter: Algorithm::Backward(Default::default()),
+        shards: 1,
+        trace_sample_n,
+        ..EngineConfig::default()
+    });
+    let key = SeriesKey::new("root.obs.d0", "s0");
+    for chunk in points.chunks(1_000) {
+        let batch = PointBatch::from_rows(chunk.iter().cloned()).expect("uniform rows");
+        engine.write_batch(&key, &batch).expect("uniform batch");
+    }
+    engine.flush();
+    let current = engine.latest_time(&key).unwrap_or(0);
+    let window = 2_000;
+    // Warmup settles any sort-on-read and primes the block cache.
+    engine.query(&key, current - window, current);
+    let start = Instant::now();
+    for _ in 0..queries {
+        std::hint::black_box(engine.query(&key, current - window, current));
+    }
+    queries as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Measures instrumentation overhead on the write path — identical
+/// ingest with the registry enabled vs disabled — and per-query tracing
+/// overhead on the read path: the same settled query workload with
+/// tracing off (`trace_sample_n = 0`), at the default 1-in-16 sampling,
+/// and traced always. Budget: < 5% write-path registry overhead, < 2%
+/// query overhead at the default sampling rate.
+///
+/// `--points N` sets the ingest size (default 1M, `--smoke` 200k);
+/// `--rounds R` alternates R runs per mode and keeps each mode's best.
 pub fn obs_overhead_main() {
     let args = Args::from_env();
     let smoke = args.has("smoke");
@@ -217,9 +333,26 @@ pub fn obs_overhead_main() {
     }
     let overhead_pct = (best_disabled - best_enabled) / best_disabled * 100.0;
 
+    // Query-side tracing cells share a smaller settled dataset (the
+    // query loop, not the ingest, is on the clock).
+    let trace_points = &points[..points.len().min(100_000)];
+    let queries = if smoke { 2_000 } else { 20_000 };
+    let mut best_off: f64 = 0.0;
+    let mut best_sampled: f64 = 0.0;
+    let mut best_always: f64 = 0.0;
+    for _ in 0..rounds {
+        best_off = best_off.max(query_qps(0, trace_points, queries));
+        best_sampled = best_sampled.max(query_qps(16, trace_points, queries));
+        best_always = best_always.max(query_qps(1, trace_points, queries));
+    }
+    let trace_sampled_pct = (best_off - best_sampled) / best_off * 100.0;
+    let trace_always_pct = (best_off - best_always) / best_off * 100.0;
+
     if args.json() {
         println!(
-            "{{\"points\":{n},\"pps_disabled\":{best_disabled:.0},\"pps_enabled\":{best_enabled:.0},\"overhead_pct\":{overhead_pct:.2}}}"
+            "{{\"points\":{n},\"pps_disabled\":{best_disabled:.0},\"pps_enabled\":{best_enabled:.0},\"overhead_pct\":{overhead_pct:.2},\
+             \"qps_trace_off\":{best_off:.0},\"qps_trace_sampled\":{best_sampled:.0},\"qps_trace_always\":{best_always:.0},\
+             \"trace_sampled_overhead_pct\":{trace_sampled_pct:.2},\"trace_always_overhead_pct\":{trace_always_pct:.2}}}"
         );
         return;
     }
@@ -238,6 +371,30 @@ pub fn obs_overhead_main() {
                 n.to_string(),
                 format!("{best_enabled:.2e}"),
                 format!("{overhead_pct:.2}"),
+            ],
+        ],
+    );
+    table::heading("Per-query tracing overhead (settled reads, best of rounds)");
+    table::print_table(
+        &["tracing", "queries", "best qps", "overhead %"],
+        &[
+            vec![
+                "off (n=0)".into(),
+                queries.to_string(),
+                format!("{best_off:.0}"),
+                "-".into(),
+            ],
+            vec![
+                "1-in-16 (default)".into(),
+                queries.to_string(),
+                format!("{best_sampled:.0}"),
+                format!("{trace_sampled_pct:.2}"),
+            ],
+            vec![
+                "always (n=1)".into(),
+                queries.to_string(),
+                format!("{best_always:.0}"),
+                format!("{trace_always_pct:.2}"),
             ],
         ],
     );

@@ -202,6 +202,9 @@ fn run_ingest_cell(
         files_considered: 0,
         files_pruned: 0,
         files_pruned_by_filter: 0,
+        slow_queries: 0,
+        p99_files_stage_us: 0.0,
+        p99_merge_stage_us: 0.0,
     }
 }
 

@@ -89,6 +89,30 @@ pub struct QueryBenchReport {
     /// Stays 0 when the engine runs with filters disabled.
     #[serde(default)]
     pub files_pruned_by_filter: u64,
+    /// Traced queries whose root span crossed the slow-query threshold
+    /// during the measured phase (`trace.slow_queries` registry delta).
+    #[serde(default)]
+    pub slow_queries: u64,
+    /// p99 of the traced `query.files` stage in microseconds, from the
+    /// per-stage `trace.span_nanos{stage=query.files}` histogram delta.
+    /// Stays 0 when no query in the cell was sampled for tracing.
+    #[serde(default)]
+    pub p99_files_stage_us: f64,
+    /// p99 of the traced `query.merge` stage in microseconds
+    /// (`trace.span_nanos{stage=query.merge}` histogram delta).
+    #[serde(default)]
+    pub p99_merge_stage_us: f64,
+}
+
+/// p99 of one per-stage span histogram in a snapshot delta, in
+/// microseconds; 0 when the stage never fired.
+fn stage_p99_us(delta: &backsort_obs::Snapshot, stage: &str) -> f64 {
+    let name =
+        backsort_obs::Registry::labeled(backsort_obs::names::TRACE_SPAN_NANOS, "stage", stage);
+    delta
+        .histogram(&name)
+        .filter(|h| h.count > 0)
+        .map_or(0.0, |h| h.percentile(0.99) as f64 / 1e3)
 }
 
 /// Seeds an engine with `config`'s workload: every sensor's stream is
@@ -262,6 +286,9 @@ pub fn run_query_bench_with(
         files_considered: delta.counter(backsort_obs::names::QUERY_FILES_CONSIDERED),
         files_pruned: delta.counter(backsort_obs::names::QUERY_FILES_PRUNED),
         files_pruned_by_filter: delta.counter(backsort_obs::names::QUERY_FILES_PRUNED_BY_FILTER),
+        slow_queries: delta.counter(backsort_obs::names::TRACE_SLOW_QUERIES),
+        p99_files_stage_us: stage_p99_us(&delta, backsort_obs::names::SPAN_QUERY_FILES),
+        p99_merge_stage_us: stage_p99_us(&delta, backsort_obs::names::SPAN_QUERY_MERGE),
     }
 }
 
@@ -343,6 +370,22 @@ mod tests {
         assert!(delta.counter(backsort_obs::names::QUERY_READ_PATH) >= 10);
         assert_eq!(delta.counter(backsort_obs::names::QUERY_EXCLUSIVE_PATH), 10);
         assert!(delta.counter(backsort_obs::names::ENGINE_WRITE_POINTS) > 0);
+    }
+
+    #[test]
+    fn sampled_tracing_attributes_stage_p99s() {
+        // Default engine config samples 1 query in 16 for tracing; 60
+        // single-threaded queries guarantee several traced ones, so the
+        // per-stage histograms carry the cell's p99 attribution.
+        let report = run_query_bench(&config(), 1, 60, QueryMode::ReadLocked);
+        assert!(
+            report.p99_merge_stage_us > 0.0,
+            "sampled traces must time the merge stage"
+        );
+        assert!(
+            report.p99_files_stage_us >= 0.0,
+            "files stage attribution is present (possibly sub-µs)"
+        );
     }
 
     #[test]

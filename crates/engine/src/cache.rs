@@ -198,12 +198,21 @@ impl BlockCache {
         self.segments.get(idx).unwrap_or_else(|| unreachable!())
     }
 
-    /// Looks a page up, bumping its recency. Counts a hit or miss.
+    /// Looks a page up, bumping its recency. Counts a hit or miss, both
+    /// on the registry counters and — when a trace is active — as
+    /// attributes of the innermost open span, so a traced query's
+    /// cache behaviour matches the counter deltas exactly.
     pub fn get(&self, key: PageKey) -> Option<CachedPage> {
         let page = self.segment(&key).lock().touch(key);
         match &page {
-            Some(_) => self.hits.inc(),
-            None => self.misses.inc(),
+            Some(_) => {
+                self.hits.inc();
+                backsort_obs::trace::add_attr(backsort_obs::names::ATTR_CACHE_HITS, 1);
+            }
+            None => {
+                self.misses.inc();
+                backsort_obs::trace::add_attr(backsort_obs::names::ATTR_CACHE_MISSES, 1);
+            }
         }
         page
     }

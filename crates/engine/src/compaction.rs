@@ -220,8 +220,15 @@ impl StorageEngine {
     /// move between shards, so per-shard merging loses nothing.
     pub fn compact(&self) -> CompactionReport {
         let span_start = std::time::Instant::now();
+        let _trace = self.trace_always(backsort_obs::names::SPAN_COMPACTION_ROOT, || {
+            "compact full".to_string()
+        });
         let mut total = CompactionReport::zero();
         for shard in 0..self.shard_count() {
+            let span = backsort_obs::trace::span(backsort_obs::names::SPAN_COMPACTION_SHARD);
+            if let Some(s) = &span {
+                s.attr(backsort_obs::names::ATTR_SHARD, shard as u64);
+            }
             total.absorb(self.compact_shard(shard));
         }
         self.record_compaction(&total, span_start);
@@ -239,8 +246,15 @@ impl StorageEngine {
     /// ladder instead of re-rewriting every byte per pass.
     pub fn compact_auto(&self) -> CompactionReport {
         let span_start = std::time::Instant::now();
+        let _trace = self.trace_always(backsort_obs::names::SPAN_COMPACTION_ROOT, || {
+            "compact auto".to_string()
+        });
         let mut total = CompactionReport::zero();
         for shard in 0..self.shard_count() {
+            let span = backsort_obs::trace::span(backsort_obs::names::SPAN_COMPACTION_SHARD);
+            if let Some(s) = &span {
+                s.attr(backsort_obs::names::ATTR_SHARD, shard as u64);
+            }
             total.absorb(self.compact_shard_leveled(shard));
         }
         self.record_compaction(&total, span_start);

@@ -36,6 +36,7 @@ use std::time::Instant;
 use backsort_core::merge::LastWins;
 use backsort_core::Algorithm;
 use backsort_faults::{sites as fault_sites, FailpointRegistry};
+use backsort_obs::trace as obs_trace;
 use backsort_obs::{names, Counter, Gauge, Histogram, LocalHistogram, Registry};
 use parking_lot::RwLock;
 
@@ -104,6 +105,12 @@ pub struct EngineConfig {
     pub use_file_filters: bool,
     /// Leveled compaction policy knobs.
     pub compaction: CompactionConfig,
+    /// Trace one in every `trace_sample_n` engine queries as a full
+    /// hierarchical span tree (see [`backsort_obs::trace`]); `0`
+    /// disables engine-initiated query traces entirely. `EXPLAIN
+    /// ANALYZE` traces bypass sampling, and flush/compaction traces are
+    /// always taken (they are orders of magnitude rarer than queries).
+    pub trace_sample_n: u64,
 }
 
 impl Default for EngineConfig {
@@ -116,6 +123,7 @@ impl Default for EngineConfig {
             cache_bytes: 16 << 20,
             use_file_filters: true,
             compaction: CompactionConfig::default(),
+            trace_sample_n: 16,
         }
     }
 }
@@ -199,6 +207,51 @@ pub struct QueryPathStats {
     pub sorted_on_read: u64,
 }
 
+/// Per-level file survival inside a [`QueryPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelPlan {
+    /// Compaction level.
+    pub level: u32,
+    /// Files at this level in the shard.
+    pub files: usize,
+    /// Of those, files surviving both the key filter and the envelope
+    /// prune for the planned read.
+    pub surviving: usize,
+}
+
+/// The static plan of one series read — what `EXPLAIN` renders without
+/// executing anything. Computed under the shard's read lock from the
+/// same pruning rules the real read path applies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPlan {
+    /// The shard the series hashes to.
+    pub shard: usize,
+    /// Whether the range reaches below the flush watermark (disk at
+    /// all).
+    pub reaches_disk: bool,
+    /// Flushed files in the shard.
+    pub files_total: usize,
+    /// Files the key existence filter would skip.
+    pub files_pruned_by_filter: usize,
+    /// Files the per-key time-range envelope would skip.
+    pub files_pruned_by_envelope: usize,
+    /// Per-level breakdown (ascending level order).
+    pub levels: Vec<LevelPlan>,
+    /// Chunk sources the merge would read from surviving files.
+    pub chunk_sources: usize,
+    /// Memtable buffers contributing to the range (flushing, working,
+    /// unsequence).
+    pub memtable_sources: usize,
+}
+
+impl QueryPlan {
+    /// The k-way merge fan-in: disk chunk sources plus memtable
+    /// sources.
+    pub fn fan_in(&self) -> usize {
+        self.chunk_sources + self.memtable_sources
+    }
+}
+
 /// Handles into the engine's [`Registry`], cached at construction so hot
 /// paths record through lock-free `Arc`s and never take the registry's
 /// name-map lock. Constructing this also pre-registers the complete
@@ -222,6 +275,7 @@ struct EngineObs {
     files_considered: Arc<Counter>,
     files_pruned: Arc<Counter>,
     files_pruned_by_filter: Arc<Counter>,
+    rows_merged: Arc<Counter>,
     ooo_points: Arc<Counter>,
     delta_tau: Arc<Histogram>,
     dirty_buffer_points: Arc<Histogram>,
@@ -281,6 +335,7 @@ impl EngineObs {
             files_considered: registry.counter(names::QUERY_FILES_CONSIDERED),
             files_pruned: registry.counter(names::QUERY_FILES_PRUNED),
             files_pruned_by_filter: registry.counter(names::QUERY_FILES_PRUNED_BY_FILTER),
+            rows_merged: registry.counter(names::QUERY_ROWS_MERGED),
             ooo_points: registry.counter(names::MEMTABLE_OOO_POINTS),
             delta_tau: registry.histogram(names::MEMTABLE_DELTA_TAU),
             dirty_buffer_points: registry.histogram(names::MEMTABLE_DIRTY_BUFFER_POINTS),
@@ -382,6 +437,8 @@ pub struct StorageEngine {
     shards: Vec<RwLock<ShardState>>,
     /// Source of the per-file ids in [`ShardState::files`].
     next_file_id: AtomicU64,
+    /// Query counter driving the 1-in-`trace_sample_n` trace sampler.
+    trace_tick: AtomicU64,
     obs: EngineObs,
     /// Failpoint sites on the flush/compaction paths (see
     /// [`backsort_faults::sites`]). Disarmed — the production state —
@@ -425,10 +482,49 @@ impl StorageEngine {
             config,
             shards,
             next_file_id: AtomicU64::new(0),
+            trace_tick: AtomicU64::new(0),
             obs: EngineObs::new(registry, n),
             faults,
             cache,
         }
+    }
+
+    /// Starts a sampled hierarchical trace rooted at `root`, or `None`
+    /// when sampling is off, the registry is disabled, the sampler
+    /// skipped this query, or a trace is already active on this thread
+    /// (then this operation's spans simply join the outer trace).
+    /// `label` is only built for the sampled fraction.
+    fn maybe_trace(
+        &self,
+        root: &'static str,
+        label: impl FnOnce() -> String,
+    ) -> Option<obs_trace::TraceContext> {
+        let n = self.config.trace_sample_n;
+        if n == 0 || !self.obs.registry.is_enabled() || obs_trace::active() {
+            return None;
+        }
+        if !self
+            .trace_tick
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(n)
+        {
+            return None;
+        }
+        self.obs.registry.traces().begin(root, label())
+    }
+
+    /// Starts an unsampled trace for rare lifecycle work (flush,
+    /// compaction); same opt-outs as [`Self::maybe_trace`] minus the
+    /// sampler.
+    pub(crate) fn trace_always(
+        &self,
+        root: &'static str,
+        label: impl FnOnce() -> String,
+    ) -> Option<obs_trace::TraceContext> {
+        if !self.obs.registry.is_enabled() || obs_trace::active() {
+            return None;
+        }
+        self.obs.registry.traces().begin(root, label())
     }
 
     /// The decoded-page block cache, or `None` when disabled
@@ -1056,11 +1152,20 @@ impl StorageEngine {
     /// the result into the shard the job was rotated from: the file
     /// becomes queryable and that shard's flushing slot is released.
     pub fn complete_flush(&self, mut job: FlushJob) -> FlushMetrics {
+        let _trace = self.trace_always(names::SPAN_FLUSH_ROOT, || {
+            format!("flush shard={}", job.shard)
+        });
+        obs_trace::add_attr(names::ATTR_SHARD, job.shard as u64);
+        let span_encode = obs_trace::span(names::SPAN_FLUSH_ENCODE);
         let (image, metrics) = flush_memtable_observed(
             &mut job.memtable,
             &self.config.sorter,
             Some(&self.obs.registry),
         );
+        if let Some(s) = &span_encode {
+            s.attr(names::ATTR_POINTS, metrics.points);
+        }
+        drop(span_encode);
         // Crash site on the async flusher's worker path: the image is
         // encoded but not yet installed — a killed worker must lose the
         // file cleanly (its points stay WAL-covered until rotation).
@@ -1139,6 +1244,12 @@ impl StorageEngine {
     /// working > flushing > disk; among files, later wins). Nothing is
     /// collected and re-sorted.
     pub fn query(&self, key: &SeriesKey, t_lo: i64, t_hi: i64) -> QueryResult {
+        // Declared before the span guards so the root context drops —
+        // and assembles the tree — last, outside every lock.
+        let _trace = self.maybe_trace(names::SPAN_QUERY_ROOT, || {
+            format!("query {key} [{t_lo}, {t_hi}]")
+        });
+        let _read = obs_trace::span(names::SPAN_QUERY_READ);
         let shard = self.shard_of(&key.device);
         {
             let st = self.shards[shard].read();
@@ -1149,7 +1260,10 @@ impl StorageEngine {
         }
         let mut st = self.shards[shard].write();
         let start = self.obs.registry.is_enabled().then(Instant::now);
-        sort_key_buffers(&mut st, key, &self.config.sorter, &self.obs);
+        {
+            let _sort = obs_trace::span(names::SPAN_QUERY_SORT_ON_READ);
+            sort_key_buffers(&mut st, key, &self.config.sorter, &self.obs);
+        }
         if let Some(start) = start {
             self.obs.registry.tracer().record(
                 names::SPAN_SORT_ON_READ,
@@ -1159,6 +1273,67 @@ impl StorageEngine {
         }
         self.obs.sorted_on_read.inc();
         query_with_state(&st, key, t_lo, t_hi, self)
+    }
+
+    /// The static plan a `query(key, t_lo, t_hi)` would execute: shard,
+    /// per-level file survival under the filter/envelope prunes, and
+    /// the merge fan-in — `EXPLAIN` without running the read. Takes the
+    /// shard's read lock only and mutates nothing (unsorted buffers are
+    /// estimated from their maxima instead of being sorted).
+    pub fn explain_query(&self, key: &SeriesKey, t_lo: i64, t_hi: i64) -> QueryPlan {
+        let shard = self.shard_of(&key.device);
+        let st = self.shards[shard].read();
+        let reaches_disk = needs_disk(&st, key, t_lo);
+        let mut plan = QueryPlan {
+            shard,
+            reaches_disk,
+            files_total: st.files.len(),
+            files_pruned_by_filter: 0,
+            files_pruned_by_envelope: 0,
+            levels: Vec::new(),
+            chunk_sources: 0,
+            memtable_sources: 0,
+        };
+        let mut levels: std::collections::BTreeMap<u32, (usize, usize)> =
+            std::collections::BTreeMap::new();
+        if reaches_disk {
+            for handle in &st.files {
+                let entry = levels.entry(handle.level()).or_insert((0, 0));
+                entry.0 += 1;
+                if self.config.use_file_filters && !handle.may_contain(key) {
+                    plan.files_pruned_by_filter += 1;
+                    continue;
+                }
+                if !handle.overlaps(key, t_lo, t_hi) {
+                    plan.files_pruned_by_envelope += 1;
+                    continue;
+                }
+                entry.1 += 1;
+                plan.chunk_sources += handle
+                    .chunks_for(key)
+                    .iter()
+                    .filter(|m| m.max_time >= t_lo && m.min_time <= t_hi)
+                    .count();
+            }
+        }
+        plan.levels = levels
+            .into_iter()
+            .map(|(level, (files, surviving))| LevelPlan {
+                level,
+                files,
+                surviving,
+            })
+            .collect();
+        plan.memtable_sources = key_buffers(&st, key)
+            .filter(|b| {
+                if b.is_sorted() {
+                    b.lower_bound(t_lo) < b.upper_bound(t_hi)
+                } else {
+                    b.max_time().is_some_and(|m| m >= t_lo)
+                }
+            })
+            .count();
+        plan
     }
 
     /// The pre-overhaul query path, kept as the benchmark baseline:
@@ -1215,6 +1390,8 @@ impl StorageEngine {
     /// double-checked locking as [`StorageEngine::query`]: read lock
     /// when the buffers are sorted, write lock (sorting them) otherwise.
     pub fn latest_value(&self, key: &SeriesKey) -> Option<(i64, TsValue)> {
+        let _trace = self.maybe_trace(names::SPAN_QUERY_ROOT, || format!("latest {key}"));
+        let _latest = obs_trace::span(names::SPAN_QUERY_LATEST);
         let shard = self.shard_of(&key.device);
         {
             let st = self.shards[shard].read();
@@ -1225,7 +1402,10 @@ impl StorageEngine {
         }
         let mut st = self.shards[shard].write();
         let start = self.obs.registry.is_enabled().then(Instant::now);
-        sort_key_buffers(&mut st, key, &self.config.sorter, &self.obs);
+        {
+            let _sort = obs_trace::span(names::SPAN_QUERY_SORT_ON_READ);
+            sort_key_buffers(&mut st, key, &self.config.sorter, &self.obs);
+        }
         if let Some(start) = start {
             self.obs.registry.tracer().record(
                 names::SPAN_SORT_ON_READ,
@@ -1349,20 +1529,23 @@ fn query_with_state<'s>(
 ) -> QueryResult {
     debug_assert!(buffers_sorted(st, key));
     let obs = &eng.obs;
+    let span_files = obs_trace::span(names::SPAN_QUERY_FILES);
     let mut sources: Vec<Box<dyn Iterator<Item = (i64, TsValue)> + 's>> = Vec::new();
     if needs_disk(st, key, t_lo) {
-        obs.files_considered.add(st.files.len() as u64);
+        let considered = st.files.len() as u64;
+        let mut pruned_by_filter = 0u64;
+        let mut pruned_by_envelope = 0u64;
         for (file_idx, handle) in st.files.iter().enumerate() {
             // The O(1) existence filter runs before any chunk-index
             // walk: a file that provably never stored this series is
             // skipped without touching its (string-keyed) envelope
             // table. v1 files carry no filter and fall through.
             if eng.config.use_file_filters && !handle.may_contain(key) {
-                obs.files_pruned_by_filter.inc();
+                pruned_by_filter += 1;
                 continue;
             }
             if !handle.overlaps(key, t_lo, t_hi) {
-                obs.files_pruned.inc();
+                pruned_by_envelope += 1;
                 continue;
             }
             let erased = IntervalSet::resolve(&st.tombstones, key, file_idx);
@@ -1375,6 +1558,14 @@ fn query_with_state<'s>(
                 }
             }
         }
+        obs.files_considered.add(considered);
+        obs.files_pruned_by_filter.add(pruned_by_filter);
+        obs.files_pruned.add(pruned_by_envelope);
+        if let Some(s) = &span_files {
+            s.attr(names::ATTR_FILES_CONSIDERED, considered);
+            s.attr(names::ATTR_FILES_PRUNED_BY_FILTER, pruned_by_filter);
+            s.attr(names::ATTR_FILES_PRUNED, pruned_by_envelope);
+        }
     }
     for buffer in key_buffers(st, key) {
         let (lo, hi) = (buffer.lower_bound(t_lo), buffer.upper_bound(t_hi));
@@ -1382,10 +1573,12 @@ fn query_with_state<'s>(
             sources.push(Box::new((lo..hi).map(move |i| buffer.get(i))));
         }
     }
+    drop(span_files);
+    let span_merge = obs_trace::span(names::SPAN_QUERY_MERGE);
     // The overwhelmingly common shapes — one buffer covers the range,
     // or working + unsequence — skip the heap entirely. Popping twice
     // yields (highest-priority, second-highest).
-    match (sources.pop(), sources.pop()) {
+    let out = match (sources.pop(), sources.pop()) {
         (None, _) => Vec::new(),
         (Some(only), None) => {
             let mut out: QueryResult = Vec::new();
@@ -1400,7 +1593,12 @@ fn query_with_state<'s>(
             sources.push(hi);
             LastWins::new(sources).collect()
         }
+    };
+    obs.rows_merged.add(out.len() as u64);
+    if let Some(s) = &span_merge {
+        s.attr(names::ATTR_ROWS_MERGED, out.len() as u64);
     }
+    out
 }
 
 /// Appends `(t, v)` keeping one point per timestamp, the later append

@@ -49,7 +49,8 @@ pub use cache::BlockCache;
 pub use compaction::CompactionReport;
 pub use delete::Tombstone;
 pub use engine::{
-    CompactionConfig, EngineConfig, FlushJob, QueryPathStats, QueryResult, StorageEngine,
+    CompactionConfig, EngineConfig, FlushJob, LevelPlan, QueryPathStats, QueryPlan, QueryResult,
+    StorageEngine,
 };
 pub use filter::KeyFilter;
 pub use flush::{flush_memtable, flush_memtable_parallel, FlushMetrics};

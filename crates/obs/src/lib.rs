@@ -16,6 +16,11 @@
 //! * **[`Tracer`]** — a bounded ring buffer of lifecycle [`SpanEvent`]s
 //!   (flush submit→install, WAL rotate, compaction, sort-on-read
 //!   upgrades): enough tail to debug a stall, never unbounded growth.
+//! * **[`trace`]** — hierarchical per-request span trees
+//!   ([`trace::TraceContext`] / [`trace::SpanGuard`]) with a
+//!   thread-local lock-free hot path, a bounded slow-query log, and
+//!   Chrome-trace export; the substrate behind `EXPLAIN ANALYZE` and
+//!   `SHOW SLOW QUERIES`.
 //! * **Exporters** — [`Registry::render_prometheus`] (text exposition
 //!   format) and [`Registry::render_json`] (compact JSON for
 //!   `--stats-json` bench artifacts).
@@ -30,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod names;
+pub mod trace;
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
@@ -379,7 +385,12 @@ pub struct Tracer {
     // Poisoning is recovered (`PoisonError::into_inner`) everywhere this
     // lock is taken: a panicking recorder must not take telemetry down
     // with it, and a half-updated ring is still well-formed spans.
-    ring: Mutex<VecDeque<SpanEvent>>,
+    //
+    // Entries are `Arc`ed so both `record` and `recent` do their
+    // allocation and cloning *outside* the critical section: under the
+    // lock, a record is one push (plus a pop at capacity) and a read is
+    // `capacity` refcount bumps into a pre-sized Vec.
+    ring: Mutex<VecDeque<Arc<SpanEvent>>>,
 }
 
 impl Tracer {
@@ -398,28 +409,41 @@ impl Tracer {
             return;
         }
         self.total.fetch_add(1, Ordering::Relaxed);
-        let mut ring = self
-            .ring
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if ring.len() == self.capacity {
-            ring.pop_front();
-        }
-        ring.push_back(SpanEvent {
+        let event = Arc::new(SpanEvent {
             kind,
             detail,
             nanos,
         });
+        let evicted = {
+            let mut ring = self
+                .ring
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let evicted = if ring.len() == self.capacity {
+                ring.pop_front()
+            } else {
+                None
+            };
+            ring.push_back(event);
+            evicted
+        };
+        drop(evicted); // any deallocation happens after the lock is gone
     }
 
-    /// The retained spans, oldest first.
+    /// The retained spans, oldest first. Copies out under a short
+    /// critical section: the shared handles are gathered under the lock
+    /// (refcount increments only — the output Vec is pre-sized outside
+    /// it) and the payload clones happen after it is released.
     pub fn recent(&self) -> Vec<SpanEvent> {
-        self.ring
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .iter()
-            .cloned()
-            .collect()
+        let mut handles: Vec<Arc<SpanEvent>> = Vec::with_capacity(self.capacity);
+        {
+            let ring = self
+                .ring
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            handles.extend(ring.iter().map(Arc::clone));
+        }
+        handles.iter().map(|e| e.as_ref().clone()).collect()
     }
 
     /// Spans recorded over the tracer's lifetime (including evicted
@@ -458,6 +482,7 @@ pub struct Registry {
     // abort the process that is trying to report a failure.
     inner: RwLock<Inner>,
     tracer: Tracer,
+    traces: Arc<trace::TraceStore>,
 }
 
 impl Default for Registry {
@@ -480,10 +505,45 @@ impl Registry {
     }
 
     fn build(enabled: bool) -> Self {
+        // The trace store's health metrics are ordinary registry
+        // metrics, created here so every registry — engine-owned or not
+        // — carries them from birth and exporters stay shape-complete.
+        let mut inner = Inner::default();
+        let mut mk_counter = |name: &str| {
+            let c = Arc::new(Counter::new(enabled));
+            inner.counters.insert(name.to_string(), Arc::clone(&c));
+            c
+        };
+        let started = mk_counter(names::TRACE_STARTED);
+        let dropped = mk_counter(names::TRACE_DROPPED_SPANS);
+        let slow = mk_counter(names::TRACE_SLOW_QUERIES);
+        let span_base = Arc::new(Histogram::new(enabled));
+        inner
+            .histograms
+            .insert(names::TRACE_SPAN_NANOS.to_string(), Arc::clone(&span_base));
+        let stage_nanos: BTreeMap<&'static str, Arc<Histogram>> = names::SPAN_STAGES
+            .iter()
+            .map(|stage| {
+                let h = Arc::new(Histogram::new(enabled));
+                inner.histograms.insert(
+                    Self::labeled(names::TRACE_SPAN_NANOS, "stage", stage),
+                    Arc::clone(&h),
+                );
+                (*stage, h)
+            })
+            .collect();
         Self {
             enabled,
-            inner: RwLock::new(Inner::default()),
+            inner: RwLock::new(inner),
             tracer: Tracer::new(enabled, TRACER_CAPACITY),
+            traces: Arc::new(trace::TraceStore::new(
+                enabled,
+                started,
+                dropped,
+                slow,
+                span_base,
+                stage_nanos,
+            )),
         }
     }
 
@@ -590,6 +650,12 @@ impl Registry {
     /// The span tracer.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The hierarchical trace store (span trees, slow-query log,
+    /// Chrome-trace export).
+    pub fn traces(&self) -> &Arc<trace::TraceStore> {
+        &self.traces
     }
 
     /// A point-in-time copy of every registered metric.
@@ -764,7 +830,7 @@ impl Snapshot {
 }
 
 /// Quotes and escapes a metric name as a JSON string.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -938,6 +1004,40 @@ mod tests {
         assert_eq!(bucket_total, total, "every record landed in a bucket");
         // Sum of 0..total (fits u64 comfortably at this size).
         assert_eq!(hist.sum(), total * (total - 1) / 2);
+    }
+
+    #[test]
+    fn tracer_contention_loses_no_records_and_reads_stay_consistent() {
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 5_000;
+        let tracer = Arc::new(Tracer::new(true, 64));
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let tracer = Arc::clone(&tracer);
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        tracer.record("flush", format!("t={t} i={i}"), t as u64);
+                        // Interleave reads with writes so `recent` runs
+                        // under real contention, not after the dust
+                        // settles.
+                        if i % 64 == 0 {
+                            let seen = tracer.recent();
+                            assert!(seen.len() <= tracer.capacity());
+                            for ev in &seen {
+                                assert_eq!(ev.kind, "flush");
+                                assert!(ev.detail.starts_with("t="));
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            tracer.total_recorded(),
+            THREADS as u64 * PER_THREAD,
+            "no lost records under contention"
+        );
+        assert_eq!(tracer.recent().len(), tracer.capacity(), "ring stays full");
     }
 
     #[test]

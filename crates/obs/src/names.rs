@@ -134,6 +134,84 @@ pub const SPAN_COMPACTION: &str = "compaction";
 /// Span kind: sort-on-read write-lock upgrade.
 pub const SPAN_SORT_ON_READ: &str = "sort_on_read";
 
+/// Rows merged out of the k-way merge by queries (counter; the
+/// registry twin of the per-span `rows_merged` attribute).
+pub const QUERY_ROWS_MERGED: &str = "query.rows_merged";
+
+/// Sampled traces started (counter).
+pub const TRACE_STARTED: &str = "trace.started";
+/// Spans lost to per-trace buffer caps or recent-ring eviction
+/// (counter). Nonzero means the trace store is shedding detail.
+pub const TRACE_DROPPED_SPANS: &str = "trace.dropped_spans";
+/// Finished traces whose root latency crossed the slow-query threshold
+/// (counter; counts every crossing, even traces the bounded slow log
+/// later displaced).
+pub const TRACE_SLOW_QUERIES: &str = "trace.slow_queries";
+/// Span wall time, nanoseconds (histogram; also per stage via the
+/// `{stage=<span name>}` label for every entry of [`SPAN_STAGES`]).
+pub const TRACE_SPAN_NANOS: &str = "trace.span_nanos";
+
+/// Hierarchical span: one traced statement or sampled engine query —
+/// the root every other span hangs off.
+pub const SPAN_QUERY_ROOT: &str = "query.root";
+/// Hierarchical span: one engine series read inside a traced query.
+pub const SPAN_QUERY_READ: &str = "query.read";
+/// Hierarchical span: one engine latest-value lookup inside a trace.
+pub const SPAN_QUERY_LATEST: &str = "query.latest";
+/// Hierarchical span: file filter/envelope pruning plus chunk-source
+/// assembly. Carries the `files_considered` / pruning / `cache_hits`
+/// attributes.
+pub const SPAN_QUERY_FILES: &str = "query.files";
+/// Hierarchical span: the k-way last-write-wins merge. Carries
+/// `rows_merged`.
+pub const SPAN_QUERY_MERGE: &str = "query.merge";
+/// Hierarchical span: the write-lock upgrade that sorts dirty buffers
+/// before a read.
+pub const SPAN_QUERY_SORT_ON_READ: &str = "query.sort_on_read";
+/// Hierarchical span: one memtable flush, submit → install.
+pub const SPAN_FLUSH_ROOT: &str = "flush.root";
+/// Hierarchical span: the sort → dedup → encode → write body of a
+/// flush.
+pub const SPAN_FLUSH_ENCODE: &str = "flush.encode";
+/// Hierarchical span: one compaction pass across all shards.
+pub const SPAN_COMPACTION_ROOT: &str = "compaction.root";
+/// Hierarchical span: compaction work within a single shard.
+pub const SPAN_COMPACTION_SHARD: &str = "compaction.shard";
+
+/// The hierarchical span-name catalog. Every `trace::span` call site
+/// uses one of these names; [`Registry`](crate::Registry) construction
+/// pre-registers a `trace.span_nanos{stage=<name>}` histogram per entry
+/// so per-stage latency attribution is shape-complete from birth.
+pub const SPAN_STAGES: &[&str] = &[
+    SPAN_QUERY_ROOT,
+    SPAN_QUERY_READ,
+    SPAN_QUERY_LATEST,
+    SPAN_QUERY_FILES,
+    SPAN_QUERY_MERGE,
+    SPAN_QUERY_SORT_ON_READ,
+    SPAN_FLUSH_ROOT,
+    SPAN_FLUSH_ENCODE,
+    SPAN_COMPACTION_ROOT,
+    SPAN_COMPACTION_SHARD,
+];
+
+/// Span attribute: flushed files examined by this read.
+pub const ATTR_FILES_CONSIDERED: &str = "files_considered";
+/// Span attribute: files skipped by the per-key envelope prune.
+pub const ATTR_FILES_PRUNED: &str = "files_pruned";
+/// Span attribute: files skipped by the key existence filter.
+pub const ATTR_FILES_PRUNED_BY_FILTER: &str = "files_pruned_by_filter";
+/// Span attribute: block-cache hits during chunk decoding.
+pub const ATTR_CACHE_HITS: &str = "cache_hits";
+/// Span attribute: block-cache misses during chunk decoding.
+pub const ATTR_CACHE_MISSES: &str = "cache_misses";
+/// Span attribute: rows emitted by the k-way merge.
+pub const ATTR_ROWS_MERGED: &str = "rows_merged";
+/// Span attribute: points processed by a flush or compaction stage.
+pub const ATTR_POINTS: &str = "points";
+/// Span attribute: shard index a stage ran against.
+pub const ATTR_SHARD: &str = "shard";
+
 /// Every metric an instrumented [`StorageEngine`] registers at
 /// construction — the catalog the CI smoke check asserts against an
 /// exported snapshot. [`FILE_PARSE`] is absent deliberately: it lives on
@@ -177,4 +255,9 @@ pub const REQUIRED: &[&str] = &[
     SORT_PROBE_LOOPS,
     SORT_ALPHA_PPM,
     MERGE_OVERLAP_Q,
+    QUERY_ROWS_MERGED,
+    TRACE_STARTED,
+    TRACE_DROPPED_SPANS,
+    TRACE_SLOW_QUERIES,
+    TRACE_SPAN_NANOS,
 ];

@@ -154,10 +154,13 @@ fn handle_connection(stream: TcpStream, engine: &StorageEngine) -> std::io::Resu
 
 /// A minimal HTTP exporter for a metrics [`Registry`](backsort_obs::Registry).
 ///
-/// Serves two read-only endpoints off the live registry:
+/// Serves four read-only endpoints off the live registry:
 ///
 /// * `GET /metrics` — Prometheus text exposition;
-/// * `GET /metrics.json` — the registry's compact JSON rendering.
+/// * `GET /metrics.json` — the registry's compact JSON rendering;
+/// * `GET /traces` — recently finished traces as Chrome `chrome://tracing`
+///   JSON (load the body straight into the trace viewer);
+/// * `GET /slow` — the slow-query log (worst traces first) as JSON.
 ///
 /// Same lifecycle as [`SqlServer`]: nonblocking accept loop, stop flag,
 /// joined on [`MetricsServer::shutdown`] or drop. Each request is one
@@ -250,10 +253,20 @@ fn serve_metrics_request(
             registry.render_prometheus(),
         ),
         "/metrics.json" => ("200 OK", "application/json", registry.render_json()),
+        "/traces" => (
+            "200 OK",
+            "application/json",
+            registry.traces().render_chrome_json(),
+        ),
+        "/slow" => (
+            "200 OK",
+            "application/json",
+            registry.traces().render_slow_json(),
+        ),
         _ => (
             "404 Not Found",
             "text/plain",
-            "try /metrics or /metrics.json\n".to_string(),
+            "try /metrics, /metrics.json, /traces or /slow\n".to_string(),
         ),
     };
     let mut writer = BufWriter::new(stream);

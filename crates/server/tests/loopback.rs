@@ -176,3 +176,107 @@ fn metrics_endpoint_serves_prometheus_and_json() {
     metrics.shutdown();
     server.shutdown();
 }
+
+/// Golden catalog coverage: every metric in the `names::REQUIRED`
+/// catalog — including the `trace.*` family — and every per-stage span
+/// histogram is present in both exports from engine construction,
+/// before any of them first fires.
+#[test]
+fn metrics_exports_cover_the_whole_catalog() {
+    use std::io::{Read, Write};
+
+    let (server, engine) = start_server();
+    let metrics = backsort_server::MetricsServer::start("127.0.0.1:0", Arc::clone(engine.obs()))
+        .expect("bind");
+
+    let http_get = |path: &str| -> String {
+        let mut stream = std::net::TcpStream::connect(metrics.addr()).expect("connect metrics");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        response
+    };
+
+    let json = http_get("/metrics.json");
+    let prom = http_get("/metrics");
+    for name in backsort_obs::names::REQUIRED {
+        assert!(
+            json.contains(&format!("\"{name}\"")),
+            "{name} missing from /metrics.json"
+        );
+        let mut safe = String::from("backsort_");
+        safe.extend(
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }),
+        );
+        assert!(prom.contains(&safe), "{safe} missing from /metrics");
+    }
+    for stage in backsort_obs::names::SPAN_STAGES {
+        let labeled = format!("\"trace.span_nanos{{stage={stage}}}\"");
+        assert!(
+            json.contains(&labeled),
+            "per-stage histogram {labeled} missing from /metrics.json"
+        );
+        assert!(
+            prom.contains(&format!("stage=\"{stage}\"")),
+            "stage label {stage} missing from /metrics"
+        );
+    }
+
+    metrics.shutdown();
+    server.shutdown();
+}
+
+/// `/traces` serves Chrome-viewer JSON and `/slow` the slow-query log,
+/// fed by an `EXPLAIN ANALYZE` executed over the SQL connection.
+#[test]
+fn trace_endpoints_serve_finished_traces() {
+    use std::io::{Read, Write};
+
+    let (server, engine) = start_server();
+    let metrics = backsort_server::MetricsServer::start("127.0.0.1:0", Arc::clone(engine.obs()))
+        .expect("bind");
+    // Make every trace qualify for the slow log.
+    engine.obs().traces().set_slow_threshold_nanos(0);
+
+    let mut client = SqlClient::connect(server.addr()).expect("connect");
+    for t in 0..20i64 {
+        client
+            .execute(&format!(
+                "INSERT INTO root.net.d1(timestamp, s) VALUES ({t}, {t})"
+            ))
+            .expect("insert");
+    }
+    let out = client
+        .execute("EXPLAIN ANALYZE SELECT s FROM root.net.d1 WHERE time >= 0")
+        .expect("explain analyze");
+    match out {
+        QueryOutput::Analyze {
+            spans, result_rows, ..
+        } => {
+            assert_eq!(result_rows, 20);
+            assert!(!spans.is_empty());
+        }
+        other => panic!("{other:?}"),
+    }
+
+    let http_get = |path: &str| -> String {
+        let mut stream = std::net::TcpStream::connect(metrics.addr()).expect("connect metrics");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        response
+    };
+
+    let traces = http_get("/traces");
+    assert!(traces.starts_with("HTTP/1.1 200 OK"), "{traces}");
+    assert!(traces.contains("\"traceEvents\""), "{traces}");
+    assert!(traces.contains("query.root"), "{traces}");
+
+    let slow = http_get("/slow");
+    assert!(slow.starts_with("HTTP/1.1 200 OK"), "{slow}");
+    assert!(slow.contains("explain analyze root.net.d1"), "{slow}");
+
+    metrics.shutdown();
+    server.shutdown();
+}

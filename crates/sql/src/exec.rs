@@ -46,6 +46,45 @@ pub enum QueryOutput {
         /// Rendered values, aligned with `names`.
         values: Vec<String>,
     },
+    /// Static plan lines from `EXPLAIN` — per selected series: the shard
+    /// touched, per-level file survival after key-filter and time-envelope
+    /// pruning, and the merge fan-in. Nothing is executed.
+    Explain {
+        /// Human-readable plan lines, one per row.
+        lines: Vec<String>,
+    },
+    /// The executed span tree from `EXPLAIN ANALYZE`: the query ran for
+    /// real under a trace, and every stage reports its wall time plus
+    /// typed attributes (files considered/pruned, cache hits, rows
+    /// merged).
+    Analyze {
+        /// Indented span-tree lines, header first — the human rendering.
+        rendered: Vec<String>,
+        /// Structured spans for programmatic consumers, aligned with the
+        /// non-header `rendered` lines.
+        spans: Vec<SpanRow>,
+        /// Rows (or aggregate values / buckets) the query produced.
+        result_rows: usize,
+    },
+    /// Slow-query log entries from `SHOW SLOW QUERIES`, worst first:
+    /// `(label, total nanoseconds, span count)` per retained trace.
+    SlowQueries {
+        /// One entry per logged trace.
+        entries: Vec<(String, u64, usize)>,
+    },
+}
+
+/// One span of an `EXPLAIN ANALYZE` tree, flattened for transport.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SpanRow {
+    /// Stage name (e.g. `query.merge`).
+    pub name: String,
+    /// Tree depth; the root span is 0.
+    pub depth: usize,
+    /// Span wall time in nanoseconds.
+    pub nanos: u64,
+    /// Typed attributes accumulated by the stage; repeated keys summed.
+    pub attrs: Vec<(String, u64)>,
 }
 
 fn agg_label(agg: Aggregate, column: &str) -> String {
@@ -110,7 +149,172 @@ pub fn execute_statement(
             Ok(QueryOutput::Deleted(removed))
         }
         Statement::ShowStats => Ok(show_stats(engine)),
+        Statement::ShowSlowQueries => Ok(show_slow_queries(engine)),
+        Statement::Explain { analyze, inner } => explain(engine, *analyze, inner),
     }
+}
+
+/// `EXPLAIN` renders the static plan; `EXPLAIN ANALYZE` executes the
+/// inner select under a trace and renders the finished span tree.
+fn explain(
+    engine: &StorageEngine,
+    analyze: bool,
+    inner: &Statement,
+) -> Result<QueryOutput, SqlError> {
+    let Statement::Select {
+        items,
+        device,
+        range,
+        group_by,
+    } = inner
+    else {
+        return Err(SqlError::new("EXPLAIN only supports SELECT statements"));
+    };
+    if analyze {
+        return explain_analyze(engine, items, device, *range, *group_by);
+    }
+    Ok(QueryOutput::Explain {
+        lines: explain_plan(engine, items, device, *range)?,
+    })
+}
+
+/// Resolves the select list to the distinct sensors it touches, in
+/// select order (`*` expands to every sensor under the device).
+fn resolve_sensors(
+    engine: &StorageEngine,
+    items: &[SelectItem],
+    device: &str,
+) -> Result<Vec<String>, SqlError> {
+    let mut sensors: Vec<String> = Vec::new();
+    let mut push = |s: String| {
+        if !sensors.contains(&s) {
+            sensors.push(s);
+        }
+    };
+    for item in items {
+        match item {
+            SelectItem::Star => {
+                let all = engine.list_sensors(device);
+                if all.is_empty() {
+                    return Err(SqlError::new(format!("no sensors under {device}")));
+                }
+                for k in all {
+                    push(k.sensor);
+                }
+            }
+            SelectItem::Column(c) | SelectItem::Agg(_, c) => push(c.clone()),
+        }
+    }
+    Ok(sensors)
+}
+
+/// Renders the static query plan: for each selected series, which shard
+/// it lives on, how many files per level survive key-filter and
+/// time-envelope pruning, and the k-way merge fan-in. Read-only — an
+/// unsorted memtable buffer is estimated, never sorted.
+fn explain_plan(
+    engine: &StorageEngine,
+    items: &[SelectItem],
+    device: &str,
+    range: TimeRange,
+) -> Result<Vec<String>, SqlError> {
+    let sensors = resolve_sensors(engine, items, device)?;
+    let mut lines = Vec::new();
+    for sensor in &sensors {
+        let key = SeriesKey::new(device, sensor.clone());
+        let plan = engine.explain_query(&key, range.lo, range.hi);
+        lines.push(format!(
+            "series {device}.{sensor} [{}, {}] shard {}",
+            range.lo, range.hi, plan.shard
+        ));
+        if !plan.reaches_disk {
+            lines.push("  disk: skipped (time range is above every flushed file)".to_string());
+        } else {
+            lines.push(format!(
+                "  files: {} total, {} pruned by key filter, {} pruned by time envelope",
+                plan.files_total, plan.files_pruned_by_filter, plan.files_pruned_by_envelope
+            ));
+            for lp in &plan.levels {
+                lines.push(format!(
+                    "  level {}: {} files, {} surviving",
+                    lp.level, lp.files, lp.surviving
+                ));
+            }
+        }
+        lines.push(format!(
+            "  merge fan-in: {} ({} chunk sources + {} memtable buffers)",
+            plan.fan_in(),
+            plan.chunk_sources,
+            plan.memtable_sources
+        ));
+    }
+    Ok(lines)
+}
+
+/// Executes the select under a trace begun here (engine-side sampling is
+/// bypassed: the engine joins an already-active trace instead of
+/// starting its own) and renders the finished span tree.
+fn explain_analyze(
+    engine: &StorageEngine,
+    items: &[SelectItem],
+    device: &str,
+    range: TimeRange,
+    group_by: Option<GroupBy>,
+) -> Result<QueryOutput, SqlError> {
+    let label = format!("explain analyze {device} [{}, {}]", range.lo, range.hi);
+    let ctx = engine
+        .obs()
+        .traces()
+        .begin(backsort_obs::names::SPAN_QUERY_ROOT, label);
+    let out = select(engine, items, device, range, group_by);
+    let trace = ctx.and_then(backsort_obs::trace::TraceContext::finish);
+    let out = out?;
+    let result_rows = match &out {
+        QueryOutput::Rows { rows, .. } => rows.len(),
+        QueryOutput::Aggregates { values, .. } => values.len(),
+        QueryOutput::Grouped { buckets, .. } => buckets.len(),
+        _ => 0,
+    };
+    let Some(trace) = trace else {
+        return Ok(QueryOutput::Analyze {
+            rendered: vec!["tracing disabled: the engine's registry is a no-op".to_string()],
+            spans: Vec::new(),
+            result_rows,
+        });
+    };
+    let spans = trace
+        .spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| SpanRow {
+            name: s.name.to_string(),
+            depth: trace.depth_of(i),
+            nanos: s.duration_nanos,
+            attrs: s
+                .attrs
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), *v))
+                .collect(),
+        })
+        .collect();
+    Ok(QueryOutput::Analyze {
+        rendered: trace.render_text(),
+        spans,
+        result_rows,
+    })
+}
+
+/// Flattens the slow-query log into `(label, total nanos, spans)` rows,
+/// worst first.
+fn show_slow_queries(engine: &StorageEngine) -> QueryOutput {
+    let entries = engine
+        .obs()
+        .traces()
+        .slow()
+        .iter()
+        .map(|t| (t.label.clone(), t.total_nanos(), t.spans.len()))
+        .collect();
+    QueryOutput::SlowQueries { entries }
 }
 
 /// Executes an `INSERT`: each sensor's column of literals becomes one
@@ -563,6 +767,110 @@ mod tests {
                 values: vec![AggValue::Number(1.0)],
             }
         );
+    }
+
+    #[test]
+    fn explain_renders_a_static_plan_without_executing() {
+        let eng = engine();
+        for t in 0..50i64 {
+            execute(
+                &eng,
+                &format!("INSERT INTO root.sg.d1(timestamp, s1, s2) VALUES ({t}, {t}, {t})"),
+            )
+            .unwrap();
+        }
+        eng.flush();
+        let reads_before = eng
+            .obs()
+            .counter_value(backsort_obs::names::QUERY_READ_PATH);
+        let out = execute(&eng, "EXPLAIN SELECT * FROM root.sg.d1 WHERE time >= 10").unwrap();
+        let QueryOutput::Explain { lines } = out else {
+            panic!("expected Explain, got {out:?}");
+        };
+        let text = lines.join("\n");
+        assert!(text.contains("series root.sg.d1.s1"), "{text}");
+        assert!(text.contains("series root.sg.d1.s2"), "{text}");
+        assert!(text.contains("level 0: 1 files, 1 surviving"), "{text}");
+        assert!(text.contains("merge fan-in:"), "{text}");
+        // EXPLAIN is static: the read path never ran.
+        assert_eq!(
+            eng.obs()
+                .counter_value(backsort_obs::names::QUERY_READ_PATH),
+            reads_before
+        );
+    }
+
+    #[test]
+    fn explain_analyze_executes_and_renders_the_span_tree() {
+        let eng = engine();
+        for t in 0..50i64 {
+            execute(
+                &eng,
+                &format!("INSERT INTO root.sg.d1(timestamp, s) VALUES ({t}, {t})"),
+            )
+            .unwrap();
+        }
+        eng.flush();
+        let out = execute(
+            &eng,
+            "EXPLAIN ANALYZE SELECT s FROM root.sg.d1 WHERE time >= 0 AND time <= 49",
+        )
+        .unwrap();
+        let QueryOutput::Analyze {
+            rendered,
+            spans,
+            result_rows,
+        } = out
+        else {
+            panic!("expected Analyze, got {out:?}");
+        };
+        assert_eq!(result_rows, 50);
+        assert!(rendered.len() > 1, "header plus span lines: {rendered:?}");
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(spans[0].name, backsort_obs::names::SPAN_QUERY_ROOT);
+        assert_eq!(spans[0].depth, 0);
+        assert!(
+            names.contains(&backsort_obs::names::SPAN_QUERY_READ),
+            "{names:?}"
+        );
+        assert!(
+            names.contains(&backsort_obs::names::SPAN_QUERY_MERGE),
+            "{names:?}"
+        );
+        // The merge stage carries the rows it emitted.
+        let merged: u64 = spans
+            .iter()
+            .flat_map(|s| s.attrs.iter())
+            .filter(|(k, _)| k == backsort_obs::names::ATTR_ROWS_MERGED)
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(merged, 50);
+    }
+
+    #[test]
+    fn slow_queries_surface_through_sql() {
+        let eng = engine();
+        execute(&eng, "INSERT INTO root.sg.d1(timestamp, s) VALUES (1, 1)").unwrap();
+        // Empty log first.
+        assert_eq!(
+            execute(&eng, "SHOW SLOW QUERIES").unwrap(),
+            QueryOutput::SlowQueries {
+                entries: Vec::new()
+            }
+        );
+        // Zero threshold: every finished trace qualifies as slow.
+        eng.obs().traces().set_slow_threshold_nanos(0);
+        execute(&eng, "EXPLAIN ANALYZE SELECT s FROM root.sg.d1").unwrap();
+        let out = execute(&eng, "SHOW SLOW QUERIES").unwrap();
+        let QueryOutput::SlowQueries { entries } = out else {
+            panic!("expected SlowQueries, got {out:?}");
+        };
+        assert_eq!(entries.len(), 1);
+        assert!(
+            entries[0].0.contains("explain analyze root.sg.d1"),
+            "{entries:?}"
+        );
+        assert!(entries[0].2 >= 2, "root plus at least one child span");
     }
 
     #[test]

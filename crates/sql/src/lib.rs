@@ -12,6 +12,9 @@
 //! SELECT avg(s1) FROM root.sg.d1 GROUP BY (0, 1000, 100)
 //! INSERT INTO root.sg.d1(timestamp, s1, s2) VALUES (42, 3.5, 'label')
 //! DELETE FROM root.sg.d1.s1 WHERE time >= 10 AND time <= 99
+//! EXPLAIN SELECT * FROM root.sg.d1 WHERE time >= 10
+//! EXPLAIN ANALYZE SELECT * FROM root.sg.d1 WHERE time >= 10
+//! SHOW SLOW QUERIES
 //! ```
 //!
 //! Three stages, all hand-rolled: [`lexer`] → [`parser`] (recursive
@@ -25,7 +28,7 @@ pub mod exec;
 pub mod lexer;
 pub mod parser;
 
-pub use exec::{execute, QueryOutput};
+pub use exec::{execute, QueryOutput, SpanRow};
 pub use parser::{parse, Aggregate, Statement};
 
 /// A SQL-layer failure, with a human-readable message.

@@ -137,6 +137,18 @@ pub enum Statement {
     /// `SHOW STATS` — dump the engine's metrics registry as name/value
     /// rows (counters, gauges, and histogram summaries).
     ShowStats,
+    /// `SHOW SLOW QUERIES` — dump the bounded slow-query log (worst
+    /// traced queries over the latency threshold, worst first).
+    ShowSlowQueries,
+    /// `EXPLAIN [ANALYZE] <select>` — static plan, or execute-and-trace.
+    Explain {
+        /// `true` for `EXPLAIN ANALYZE` (executes the query under a
+        /// trace and renders the span tree); `false` renders the static
+        /// plan without touching any data.
+        analyze: bool,
+        /// The statement being explained; only `SELECT` is accepted.
+        inner: Box<Statement>,
+    },
 }
 
 /// Parses one statement.
@@ -245,11 +257,34 @@ impl Parser {
             Some(Token::Word(w)) if w.eq_ignore_ascii_case("delete") => self.delete(),
             Some(Token::Word(w)) if w.eq_ignore_ascii_case("show") => {
                 self.keyword("show")?;
-                self.keyword("stats")?;
-                Ok(Statement::ShowStats)
+                if self.peek_keyword("slow") {
+                    self.keyword("slow")?;
+                    self.keyword("queries")?;
+                    Ok(Statement::ShowSlowQueries)
+                } else {
+                    self.keyword("stats")?;
+                    Ok(Statement::ShowStats)
+                }
+            }
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("explain") => {
+                self.keyword("explain")?;
+                let analyze = if self.peek_keyword("analyze") {
+                    self.keyword("analyze")?;
+                    true
+                } else {
+                    false
+                };
+                let inner = self.statement()?;
+                if !matches!(inner, Statement::Select { .. }) {
+                    return Err(SqlError::new("EXPLAIN only supports SELECT statements"));
+                }
+                Ok(Statement::Explain {
+                    analyze,
+                    inner: Box::new(inner),
+                })
             }
             other => Err(SqlError::new(format!(
-                "expected SELECT, INSERT, DELETE or SHOW, found {other:?}"
+                "expected SELECT, INSERT, DELETE, EXPLAIN or SHOW, found {other:?}"
             ))),
         }
     }
@@ -544,6 +579,49 @@ mod tests {
         assert_eq!(parse("show stats").unwrap(), Statement::ShowStats);
         assert!(parse("SHOW TABLES").is_err());
         assert!(parse("SHOW STATS extra").is_err());
+    }
+
+    #[test]
+    fn parses_show_slow_queries() {
+        assert_eq!(
+            parse("SHOW SLOW QUERIES").unwrap(),
+            Statement::ShowSlowQueries
+        );
+        assert_eq!(
+            parse("show slow queries").unwrap(),
+            Statement::ShowSlowQueries
+        );
+        assert!(parse("SHOW SLOW").is_err());
+        assert!(parse("SHOW SLOW QUERIES extra").is_err());
+    }
+
+    #[test]
+    fn parses_explain_and_explain_analyze() {
+        match parse("EXPLAIN SELECT * FROM root.sg.d1 WHERE time >= 5").unwrap() {
+            Statement::Explain { analyze, inner } => {
+                assert!(!analyze);
+                assert!(matches!(*inner, Statement::Select { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse("explain analyze select s1 from root.sg.d1").unwrap() {
+            Statement::Explain { analyze, inner } => {
+                assert!(analyze);
+                assert!(matches!(*inner, Statement::Select { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Only SELECT can be explained.
+        assert!(
+            parse("EXPLAIN INSERT INTO root.d(timestamp, s) VALUES (1, 1)")
+                .unwrap_err()
+                .message
+                .contains("only supports SELECT")
+        );
+        assert!(parse("EXPLAIN SHOW STATS")
+            .unwrap_err()
+            .message
+            .contains("only supports SELECT"));
     }
 
     #[test]

@@ -49,6 +49,32 @@ fn show(engine: &StorageEngine, sql: &str) {
                 }
             }
         }
+        Ok(QueryOutput::Explain { lines }) => {
+            for l in &lines {
+                println!("  {l}");
+            }
+        }
+        Ok(QueryOutput::Analyze {
+            rendered,
+            result_rows,
+            ..
+        }) => {
+            for l in &rendered {
+                println!("  {l}");
+            }
+            println!("  ({result_rows} rows)");
+        }
+        Ok(QueryOutput::SlowQueries { entries }) => {
+            for (label, nanos, spans) in &entries {
+                println!(
+                    "  {:>9.3} ms  {spans:>3} spans  {label}",
+                    *nanos as f64 / 1e6
+                );
+            }
+            if entries.is_empty() {
+                println!("  (none over the slow threshold)");
+            }
+        }
         Err(e) => println!("  {e}"),
     }
 }
@@ -103,6 +129,16 @@ fn main() {
         "DELETE FROM root.demo.engine.rpm WHERE time >= 100 AND time <= 199",
     );
     show(&engine, "SELECT count(rpm) FROM root.demo.engine");
+    // Where does a query spend its time? Static plan, then a traced run.
+    show(
+        &engine,
+        "EXPLAIN SELECT rpm FROM root.demo.engine WHERE time > 1999 - 10",
+    );
+    show(
+        &engine,
+        "EXPLAIN ANALYZE SELECT rpm FROM root.demo.engine WHERE time > 1999 - 10",
+    );
+    show(&engine, "SHOW SLOW QUERIES");
     // Live engine telemetry, filtered to the Backward-Sort metrics.
     show(&engine, "SHOW STATS");
     show(&engine, "SELECT nope FROM"); // parse errors are reported, not panicked
