@@ -1,0 +1,5 @@
+//! Thin wrapper; see [`backsort_experiments::server_bench_cli`].
+
+fn main() {
+    backsort_experiments::server_bench_cli::main()
+}

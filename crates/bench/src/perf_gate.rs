@@ -15,14 +15,24 @@
 //! ```
 //!
 //! Cells are matched by `(sorter, shards, threads, mode)`; the gated
-//! metrics are throughput (`qps`, `pps`). The default tolerance is
-//! generous (−40%) because the smoke run is small and CI machines are
-//! noisy — the gate exists to catch *collapses* (an accidental `O(n²)`,
-//! a lock held across the merge), not single-digit drift. A big
-//! improvement is reported as a hint to refresh the baseline, never as
-//! a failure. Cell-set drift (a cell present on one side only) fails:
-//! it means the smoke grid and the baseline no longer describe the same
-//! experiment.
+//! metrics are throughput (`qps`, `pps`) plus tail latency (`p99_us`,
+//! gated upward with its own, even more generous tolerance, and skipped
+//! for cells whose baseline recorded no latency). The default tolerance
+//! is generous (−40%) because the smoke run is small and CI machines
+//! are noisy — the gate exists to catch *collapses* (an accidental
+//! `O(n²)`, a lock held across the merge), not single-digit drift. A
+//! big improvement is reported as a hint to refresh the baseline, never
+//! as a failure. Cell-set drift (a cell present on one side only)
+//! fails: it means the smoke grid and the baseline no longer describe
+//! the same experiment.
+//!
+//! `--input` accepts a comma-separated list of paths so the server
+//! front-door cells (`server_bench --smoke --gate-rows ...`) are gated
+//! in the same run as the query-bench smoke grid:
+//!
+//! ```text
+//! perf_gate -- --input perf-smoke.json,server-gate.json
+//! ```
 
 use backsort_benchmark::QueryBenchReport;
 
@@ -36,6 +46,11 @@ pub const DEFAULT_BASELINE: &str = "ci/perf_smoke_baseline.json";
 
 /// Default allowed regression, percent.
 pub const DEFAULT_TOLERANCE_PCT: f64 = 40.0;
+
+/// Default allowed p99 latency growth, percent. Tail latency on a tiny
+/// smoke run is far noisier than throughput, so the ceiling only trips
+/// on order-of-magnitude blowups (a stall, a lock convoy), not jitter.
+pub const DEFAULT_LAT_TOLERANCE_PCT: f64 = 200.0;
 
 /// Accepts either a JSON array of report rows or the newline-delimited
 /// objects `query_bench --smoke --json` prints.
@@ -74,6 +89,7 @@ fn compare(
     baseline: &[QueryBenchReport],
     current: &[QueryBenchReport],
     tolerance_pct: f64,
+    lat_tolerance_pct: f64,
 ) -> (Vec<Diff>, Vec<String>) {
     let mut diffs = Vec::new();
     let mut failures = Vec::new();
@@ -108,6 +124,30 @@ fn compare(
                 verdict,
             });
         }
+        // Tail latency gates upward only: higher is worse. Cells whose
+        // baseline never recorded a latency (p99 == 0) are skipped.
+        if b.p99_us > 0.0 {
+            let delta_pct = (c.p99_us - b.p99_us) / b.p99_us * 100.0;
+            let verdict = if delta_pct > lat_tolerance_pct {
+                failures.push(format!(
+                    "{key}: p99_us blew up {delta_pct:+.1}% ({:.1} -> {:.1}, ceiling +{lat_tolerance_pct:.0}%)",
+                    b.p99_us, c.p99_us
+                ));
+                "FAIL"
+            } else if delta_pct < -lat_tolerance_pct {
+                "improved (refresh baseline?)"
+            } else {
+                "ok"
+            };
+            diffs.push(Diff {
+                cell: key.clone(),
+                metric: "p99_us",
+                baseline: b.p99_us,
+                current: c.p99_us,
+                delta_pct,
+                verdict,
+            });
+        }
     }
     for c in current {
         let key = cell_key(c);
@@ -126,13 +166,19 @@ pub fn main() {
     let args = Args::from_env();
     let baseline_path = args.get("baseline").unwrap_or(DEFAULT_BASELINE).to_string();
     let tolerance_pct = args.get_or("tolerance", DEFAULT_TOLERANCE_PCT);
+    let lat_tolerance_pct = args.get_or("lat-tolerance", DEFAULT_LAT_TOLERANCE_PCT);
 
     let current: Vec<QueryBenchReport> = match args.get("input") {
-        Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| panic!("read --input {path}: {e}"));
-            parse_reports(&text).unwrap_or_else(|e| panic!("parse --input {path}: {e}"))
-        }
+        Some(paths) => paths
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .flat_map(|path| {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("read --input {path}: {e}"));
+                parse_reports(&text).unwrap_or_else(|e| panic!("parse --input {path}: {e}"))
+            })
+            .collect(),
         None => {
             eprintln!("measuring the perf-smoke grid in-process...");
             let (ops, qpt, threads, shards, sorters) = smoke_grid();
@@ -159,9 +205,9 @@ pub fn main() {
     let baseline: Vec<QueryBenchReport> =
         parse_reports(&text).unwrap_or_else(|e| panic!("parse {baseline_path}: {e}"));
 
-    let (diffs, failures) = compare(&baseline, &current, tolerance_pct);
+    let (diffs, failures) = compare(&baseline, &current, tolerance_pct, lat_tolerance_pct);
     table::heading(&format!(
-        "Perf-smoke gate vs {baseline_path} (tolerance -{tolerance_pct:.0}%)"
+        "Perf-smoke gate vs {baseline_path} (throughput -{tolerance_pct:.0}%, p99 +{lat_tolerance_pct:.0}%)"
     ));
     let rows: Vec<Vec<String>> = diffs
         .iter()
@@ -188,5 +234,62 @@ pub fn main() {
             println!("  {f}");
         }
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(mode: &str, qps: f64, pps: f64, p99_us: f64) -> QueryBenchReport {
+        QueryBenchReport {
+            sorter: "Backward".into(),
+            shards: 1,
+            threads: 2,
+            mode: mode.into(),
+            qps,
+            pps,
+            p99_us,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn p99_blowup_fails_but_jitter_passes() {
+        let baseline = [row("read", 1000.0, 1e6, 100.0)];
+        // 2.5x jitter stays under the +200% ceiling.
+        let (_, failures) = compare(&baseline, &[row("read", 1000.0, 1e6, 250.0)], 40.0, 200.0);
+        assert!(failures.is_empty(), "{failures:?}");
+        // 4x is a blowup.
+        let (_, failures) = compare(&baseline, &[row("read", 1000.0, 1e6, 400.0)], 40.0, 200.0);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("p99_us"), "{failures:?}");
+    }
+
+    #[test]
+    fn zero_baseline_p99_is_skipped() {
+        let baseline = [row("ingest-b500", 1000.0, 1e6, 0.0)];
+        let current = [row("ingest-b500", 1000.0, 1e6, 5000.0)];
+        let (diffs, failures) = compare(&baseline, &current, 40.0, 200.0);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert!(diffs.iter().all(|d| d.metric != "p99_us"));
+    }
+
+    #[test]
+    fn throughput_collapse_still_fails() {
+        let baseline = [row("read", 1000.0, 1e6, 100.0)];
+        let current = [row("read", 100.0, 1e5, 100.0)];
+        let (_, failures) = compare(&baseline, &current, 40.0, 200.0);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+    }
+
+    #[test]
+    fn concatenated_inputs_merge_cell_sets() {
+        let a = serde_json::to_string(&vec![row("read", 1.0, 1.0, 1.0)]).unwrap();
+        let b = serde_json::to_string(&vec![row("server-mixed", 1.0, 1.0, 1.0)]).unwrap();
+        let mut merged = parse_reports(&a).unwrap();
+        merged.extend(parse_reports(&b).unwrap());
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[1].mode, "server-mixed");
     }
 }

@@ -47,7 +47,7 @@ impl QueryMode {
 }
 
 /// Results of one query-bench run (one mode × thread-count cell).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct QueryBenchReport {
     /// Sorter name.
     pub sorter: String,

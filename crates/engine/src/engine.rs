@@ -300,6 +300,7 @@ impl EngineObs {
             names::SORT_PROBE_LOOPS,
             names::SORT_ALPHA_PPM,
             names::MERGE_OVERLAP_Q,
+            names::SERVER_REQUEST_NANOS,
         ] {
             registry.histogram(name);
         }
@@ -315,10 +316,22 @@ impl EngineObs {
             names::CACHE_HITS,
             names::CACHE_MISSES,
             names::CACHE_EVICTIONS,
+            names::SERVER_CONNECTIONS_TOTAL,
+            names::SERVER_FRAMES,
+            names::SERVER_BATCH_POINTS,
+            names::SERVER_REJECTED_BUSY,
+            names::SERVER_REJECTED_MALFORMED,
         ] {
             registry.counter(name);
         }
-        registry.gauge(names::CACHE_BYTES);
+        for name in [
+            names::CACHE_BYTES,
+            names::SERVER_CONNECTIONS,
+            names::SERVER_QUEUE_DEPTH,
+            names::SERVER_FLUSH_BACKLOG,
+        ] {
+            registry.gauge(name);
+        }
         let shard_flush_count = (0..shards)
             .map(|s| registry.counter(&Registry::labeled(names::FLUSH_COUNT, "shard", s)))
             .collect();

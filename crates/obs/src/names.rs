@@ -125,6 +125,36 @@ pub const MERGE_OVERLAP_Q: &str = "merge.overlap_q";
 /// must never move it).
 pub const FILE_PARSE: &str = "file.parse";
 
+/// Client connections currently open on the SQL wire path (gauge).
+pub const SERVER_CONNECTIONS: &str = "server.connections";
+/// Client connections ever accepted (counter).
+pub const SERVER_CONNECTIONS_TOTAL: &str = "server.connections_total";
+/// Request frames decoded off client connections (counter; SQL and
+/// binary batch-INSERT frames both count).
+pub const SERVER_FRAMES: &str = "server.frames";
+/// Points received through binary batch-INSERT frames (counter;
+/// disjoint from SQL-INSERT points, which the engine counts at write).
+pub const SERVER_BATCH_POINTS: &str = "server.batch_points";
+/// Requests shed with a typed BUSY response — admission control at the
+/// bounded per-connection window or shared worker queue, or ingest
+/// rejected because the flush pool's backlog crossed the configured
+/// threshold (counter). Nonzero under saturation is the server working
+/// as designed; unbounded growth of anything else is the bug.
+pub const SERVER_REJECTED_BUSY: &str = "server.rejected_busy";
+/// Frames rejected as malformed — oversized declared length, unknown
+/// kind, or an undecodable batch payload (counter). The offending
+/// connection may be closed; the server keeps serving the rest.
+pub const SERVER_REJECTED_MALFORMED: &str = "server.rejected_malformed";
+/// Requests admitted to the shared worker queue and not yet picked up
+/// (gauge).
+pub const SERVER_QUEUE_DEPTH: &str = "server.queue_depth";
+/// Rotated memtables handed to the server's flush pool and not yet
+/// installed (gauge — the backlog the BUSY policy watches).
+pub const SERVER_FLUSH_BACKLOG: &str = "server.flush_backlog";
+/// Request wall time, decode to response enqueued, nanoseconds
+/// (histogram).
+pub const SERVER_REQUEST_NANOS: &str = "server.request_nanos";
+
 /// Span kind: flush submit → install.
 pub const SPAN_FLUSH: &str = "flush";
 /// Span kind: WAL persist-and-rotate.
@@ -177,6 +207,9 @@ pub const SPAN_FLUSH_ENCODE: &str = "flush.encode";
 pub const SPAN_COMPACTION_ROOT: &str = "compaction.root";
 /// Hierarchical span: compaction work within a single shard.
 pub const SPAN_COMPACTION_SHARD: &str = "compaction.shard";
+/// Hierarchical span: one framed request executed by a server worker —
+/// the root of server-sampled traces; engine query spans nest under it.
+pub const SPAN_SERVER_REQUEST: &str = "server.request";
 
 /// The hierarchical span-name catalog. Every `trace::span` call site
 /// uses one of these names; [`Registry`](crate::Registry) construction
@@ -193,6 +226,7 @@ pub const SPAN_STAGES: &[&str] = &[
     SPAN_FLUSH_ENCODE,
     SPAN_COMPACTION_ROOT,
     SPAN_COMPACTION_SHARD,
+    SPAN_SERVER_REQUEST,
 ];
 
 /// Span attribute: flushed files examined by this read.
@@ -260,4 +294,13 @@ pub const REQUIRED: &[&str] = &[
     TRACE_DROPPED_SPANS,
     TRACE_SLOW_QUERIES,
     TRACE_SPAN_NANOS,
+    SERVER_CONNECTIONS,
+    SERVER_CONNECTIONS_TOTAL,
+    SERVER_FRAMES,
+    SERVER_BATCH_POINTS,
+    SERVER_REJECTED_BUSY,
+    SERVER_REJECTED_MALFORMED,
+    SERVER_QUEUE_DEPTH,
+    SERVER_FLUSH_BACKLOG,
+    SERVER_REQUEST_NANOS,
 ];

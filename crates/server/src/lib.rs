@@ -1,13 +1,26 @@
-//! A line-protocol TCP server and client for the SQL layer.
+//! The framed TCP front door for the SQL layer.
 //!
 //! IoTDB-benchmark is a *network client*: "the Benchmark begins to send
 //! the data batch by batch to IoTDB-Server" and its metrics are "client
 //! side statistics" (paper §VI-A2). This crate closes that client/server
-//! split for the reproduction:
+//! split for the reproduction with a production-shaped wire path:
 //!
-//! * [`SqlServer`] — a threaded TCP server; each connection sends one SQL
-//!   statement per line and receives one JSON [`Response`] per line;
-//! * [`SqlClient`] — a blocking client speaking the same protocol.
+//! * [`wire`] — a length-prefixed framed protocol. Clients pipeline N
+//!   requests per connection; batched INSERTs travel as binary frames
+//!   that decode straight into a [`PointBatch`](backsort_engine::PointBatch)
+//!   with no SQL parse.
+//! * [`SqlServer`] — blocking accept loop (no polling), one reader
+//!   thread per connection feeding a **bounded** queue served by a fixed
+//!   worker pool. Responses are written in per-connection request order
+//!   even though workers finish out of order.
+//! * Admission control — a full queue, a saturated pipelining window,
+//!   or a flush pool that has fallen behind all answer with a typed
+//!   [`Response::Busy`] instead of buffering unbounded work. Sheds are
+//!   visible as `server.rejected_busy` in the registry.
+//! * [`SqlClient`] — a blocking client speaking the same protocol, with
+//!   an explicit pipelined API (`send_sql` / `send_batch` / `recv`).
+//! * [`MetricsServer`] — the read-only HTTP exporter for the registry
+//!   (`/metrics`, `/metrics.json`, `/traces`, `/slow`).
 //!
 //! ```no_run
 //! use backsort_server::{SqlServer, SqlClient};
@@ -24,65 +37,362 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod wire;
+
+mod pool;
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use backsort_engine::StorageEngine;
-use backsort_sql::{execute, QueryOutput};
-use serde::{Deserialize, Serialize};
+use backsort_engine::{PointBatch, SeriesKey, StorageEngine};
+use backsort_obs::trace as obs_trace;
+use backsort_obs::{names, Counter, Gauge, Histogram};
+use backsort_sql::{compile_insert, execute_statement, parse, QueryOutput, Statement};
 
-/// One reply line: either an output or an error message.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct Response {
-    /// The statement's result when it succeeded.
-    pub output: Option<QueryOutput>,
-    /// The error message when it failed.
-    pub error: Option<String>,
+use pool::{ExecQueue, FlushPool, Task};
+pub use wire::{RequestBody, Response};
+
+/// Tuning knobs for [`SqlServer`]. The defaults suit tests and small
+/// deployments; benchmarks override them per scenario.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Statement-executing worker threads.
+    pub workers: usize,
+    /// Bound on the shared execution queue; pushes beyond it are shed
+    /// as BUSY.
+    pub queue_capacity: usize,
+    /// Per-connection pipelining window: admitted frames whose response
+    /// has not yet been written. Frames beyond it are shed as BUSY.
+    pub per_conn_inflight: usize,
+    /// Largest accepted request payload; larger frames get an error
+    /// and the connection is closed (the stream cannot be resynced).
+    pub max_frame_bytes: usize,
+    /// Ingest is shed as BUSY while more than this many flush jobs are
+    /// submitted but incomplete.
+    pub busy_flush_backlog: i64,
+    /// Threads completing rotated memtables ([`FlushJob`](backsort_engine::FlushJob)s).
+    pub flush_workers: usize,
+    /// Artificial per-flush delay simulating slow storage — zero in
+    /// production; benchmarks and backpressure tests raise it to force
+    /// the BUSY path deterministically.
+    pub flush_throttle: Duration,
+    /// Trace one request in `n` under `server.request` (0 disables
+    /// server-side sampling).
+    pub trace_sample_n: u64,
 }
 
-/// A running SQL-over-TCP server.
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 256,
+            per_conn_inflight: 64,
+            max_frame_bytes: 4 << 20,
+            busy_flush_backlog: 8,
+            flush_workers: 2,
+            flush_throttle: Duration::ZERO,
+            trace_sample_n: 64,
+        }
+    }
+}
+
+/// Pre-resolved handles for every `server.*` metric, so the hot path
+/// never touches the registry's name map.
+struct ServerMetrics {
+    connections: Arc<Gauge>,
+    connections_total: Arc<Counter>,
+    frames: Arc<Counter>,
+    batch_points: Arc<Counter>,
+    rejected_busy: Arc<Counter>,
+    rejected_malformed: Arc<Counter>,
+    request_nanos: Arc<Histogram>,
+}
+
+impl ServerMetrics {
+    fn new(registry: &backsort_obs::Registry) -> Self {
+        Self {
+            connections: registry.gauge(names::SERVER_CONNECTIONS),
+            connections_total: registry.counter(names::SERVER_CONNECTIONS_TOTAL),
+            frames: registry.counter(names::SERVER_FRAMES),
+            batch_points: registry.counter(names::SERVER_BATCH_POINTS),
+            rejected_busy: registry.counter(names::SERVER_REJECTED_BUSY),
+            rejected_malformed: registry.counter(names::SERVER_REJECTED_MALFORMED),
+            request_nanos: registry.histogram(names::SERVER_REQUEST_NANOS),
+        }
+    }
+}
+
+/// Everything a worker needs to answer one connection in order: the
+/// write half plus the reorder buffer.
+struct ConnShared {
+    stream: TcpStream,
+    out: Mutex<OutBuf>,
+    /// Admitted frames whose response has not yet been written — the
+    /// pipelining window. File-local accounting, so relaxed suffices.
+    inflight: AtomicUsize,
+}
+
+struct OutBuf {
+    /// The next response sequence to go on the wire.
+    next_seq: u64,
+    /// Finished responses waiting for an earlier sequence.
+    pending: BTreeMap<u64, Vec<u8>>,
+}
+
+/// Inserts `frame` at `seq` and writes every now-contiguous response.
+/// The lock is held across the socket write: two workers draining
+/// concurrently must not interleave their contiguous runs.
+fn send_ordered(conn: &ConnShared, seq: u64, frame: Vec<u8>) {
+    let mut out = conn.out.lock().expect("connection out buffer poisoned");
+    out.pending.insert(seq, frame);
+    let mut run = Vec::new();
+    loop {
+        let next_seq = out.next_seq;
+        let Some(next) = out.pending.remove(&next_seq) else {
+            break;
+        };
+        run.extend_from_slice(&next);
+        out.next_seq += 1;
+    }
+    if !run.is_empty() {
+        // A dead peer just drops responses; the reader notices EOF.
+        let _ = (&conn.stream).write_all(&run);
+    }
+}
+
+/// State shared by the accept loop, connection readers, and workers.
+struct ServerCore {
+    engine: Arc<StorageEngine>,
+    cfg: ServerConfig,
+    queue: ExecQueue<ConnShared>,
+    flush: FlushPool,
+    metrics: ServerMetrics,
+    trace_tick: AtomicU64,
+}
+
+impl ServerCore {
+    /// Executes one decoded request body against the engine.
+    fn execute(&self, body: RequestBody) -> Response {
+        match body {
+            RequestBody::Sql(sql) => match parse(&sql) {
+                Err(e) => Response::Error(e.message),
+                Ok(Statement::Insert {
+                    device,
+                    sensors,
+                    rows,
+                }) => match compile_insert(&device, &sensors, &rows) {
+                    Err(e) => Response::Error(e.message),
+                    Ok(batches) => self.ingest(batches),
+                },
+                Ok(statement) => match execute_statement(&self.engine, &statement) {
+                    Ok(output) => Response::Output(output),
+                    Err(e) => Response::Error(e.message),
+                },
+            },
+            RequestBody::Batch {
+                device,
+                sensor,
+                batch,
+            } => self.ingest(vec![(SeriesKey::new(device, sensor), batch)]),
+        }
+    }
+
+    /// The admission-controlled ingest path shared by SQL INSERTs and
+    /// binary batch frames: shed when flushers lag, otherwise write
+    /// without blocking and hand any rotated memtable to the flush pool.
+    fn ingest(&self, batches: Vec<(SeriesKey, PointBatch)>) -> Response {
+        let backlog = self.flush.backlog();
+        if backlog > self.cfg.busy_flush_backlog {
+            return Response::Busy(format!(
+                "flush backlog {backlog} exceeds limit {}; retry after backoff",
+                self.cfg.busy_flush_backlog
+            ));
+        }
+        let mut total = 0usize;
+        for (key, batch) in batches {
+            total += batch.len();
+            match self.engine.write_batch_nonblocking(&key, &batch) {
+                Ok(Some(job)) => self.flush.submit(&self.engine, job),
+                Ok(None) => {}
+                Err(e) => return Response::Error(format!("column {}: {e}", key.sensor)),
+            }
+        }
+        self.metrics.batch_points.add(total as u64);
+        Response::Output(QueryOutput::Inserted(total))
+    }
+
+    /// Starts a sampled `server.request` trace for one request in
+    /// `trace_sample_n`. Engine spans opened during execution nest
+    /// under it, so an exported trace shows the whole wire-to-storage
+    /// path.
+    fn sample_trace(&self, body: &RequestBody) -> Option<obs_trace::TraceContext> {
+        let n = self.cfg.trace_sample_n;
+        if n == 0 || !self.engine.obs().is_enabled() || obs_trace::active() {
+            return None;
+        }
+        if !self
+            .trace_tick
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(n)
+        {
+            return None;
+        }
+        let label = match body {
+            RequestBody::Sql(sql) => {
+                let head: String = sql.trim().chars().take(48).collect();
+                format!("sql: {head}")
+            }
+            RequestBody::Batch {
+                device,
+                sensor,
+                batch,
+            } => format!("batch: {device}.{sensor} x{}", batch.len()),
+        };
+        self.engine
+            .obs()
+            .traces()
+            .begin(names::SPAN_SERVER_REQUEST, label)
+    }
+
+    /// Worker body: execute, record, answer in order.
+    fn serve(&self, task: Task<ConnShared>) {
+        let started = Instant::now();
+        let ctx = self.sample_trace(&task.body);
+        let response = self.execute(task.body);
+        if let Some(ctx) = ctx {
+            let _ = ctx.finish();
+        }
+        if matches!(response, Response::Busy(_)) {
+            self.metrics.rejected_busy.inc();
+        }
+        self.metrics
+            .request_nanos
+            .record(started.elapsed().as_nanos() as u64);
+        let mut frame = Vec::new();
+        wire::encode_response(&mut frame, task.id, &response);
+        send_ordered(&task.conn, task.seq, frame);
+        task.conn.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// A running framed SQL server.
 pub struct SqlServer {
     addr: SocketAddr,
+    core: Arc<ServerCore>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<HashMap<u64, Arc<ConnShared>>>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl SqlServer {
-    /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// accepting connections against `engine`.
+    /// Binds `addr` (use port 0 for an ephemeral port) with default
+    /// [`ServerConfig`].
     pub fn start(addr: impl ToSocketAddrs, engine: Arc<StorageEngine>) -> std::io::Result<Self> {
+        Self::start_with(addr, engine, ServerConfig::default())
+    }
+
+    /// Binds `addr` and starts serving `engine` with explicit knobs.
+    pub fn start_with(
+        addr: impl ToSocketAddrs,
+        engine: Arc<StorageEngine>,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
-        let accept_thread = std::thread::spawn(move || {
-            while !stop2.load(Ordering::Acquire) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let engine = Arc::clone(&engine);
-                        // Workers are detached: a connection blocked in a
-                        // read must not wedge shutdown; it dies when the
-                        // peer (or the process) goes away.
-                        std::thread::spawn(move || {
-                            let _ = handle_connection(stream, &engine);
-                        });
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => break,
-                }
-            }
+        let registry = Arc::clone(engine.obs());
+        let metrics = ServerMetrics::new(&registry);
+        let queue = ExecQueue::new(
+            cfg.queue_capacity,
+            registry.gauge(names::SERVER_QUEUE_DEPTH),
+        );
+        let flush = FlushPool::start(
+            Arc::clone(&engine),
+            cfg.flush_workers,
+            cfg.flush_throttle,
+            registry.gauge(names::SERVER_FLUSH_BACKLOG),
+        );
+        let worker_count = cfg.workers.max(1);
+        let core = Arc::new(ServerCore {
+            engine,
+            cfg,
+            queue,
+            flush,
+            metrics,
+            trace_tick: AtomicU64::new(0),
         });
+        let workers = (0..worker_count)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("server-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(task) = core.queue.pop() {
+                            core.serve(task);
+                        }
+                    })
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<HashMap<u64, Arc<ConnShared>>>> = Arc::new(Mutex::new(HashMap::new()));
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let core = Arc::clone(&core);
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            let conn_threads = Arc::clone(&conn_threads);
+            std::thread::Builder::new()
+                .name("server-accept".to_string())
+                .spawn(move || {
+                    let mut next_conn_id = 0u64;
+                    // Blocking accept: no polling. `shutdown` stores the
+                    // stop flag, then self-connects to wake this loop.
+                    for incoming in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = incoming else { continue };
+                        let conn_id = next_conn_id;
+                        next_conn_id += 1;
+                        let core = Arc::clone(&core);
+                        let conns2 = Arc::clone(&conns);
+                        let spawned = std::thread::Builder::new()
+                            .name(format!("server-conn-{conn_id}"))
+                            .spawn(move || run_connection(&core, stream, conn_id, &conns2));
+                        let mut threads = conn_threads.lock().expect("connection threads poisoned");
+                        // Reap finished handlers so a long-lived server
+                        // doesn't accumulate one JoinHandle per client
+                        // that ever connected.
+                        let (done, live): (Vec<_>, Vec<_>) =
+                            threads.drain(..).partition(|t| t.is_finished());
+                        *threads = live;
+                        drop(threads);
+                        for t in done {
+                            let _ = t.join();
+                        }
+                        if let Ok(handle) = spawned {
+                            conn_threads
+                                .lock()
+                                .expect("connection threads poisoned")
+                                .push(handle);
+                        }
+                    }
+                })?
+        };
         Ok(Self {
             addr: local,
+            core,
             stop,
             accept_thread: Some(accept_thread),
+            workers,
+            conns,
+            conn_threads,
         })
     }
 
@@ -91,65 +401,173 @@ impl SqlServer {
         self.addr
     }
 
-    /// Stops accepting and joins the accept thread. Open connections
-    /// keep being served by their (detached) workers until the peers
-    /// disconnect.
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Arc<StorageEngine> {
+        &self.core.engine
+    }
+
+    /// Stops accepting, unblocks and joins every connection reader,
+    /// drains the execution queue (every admitted request is answered
+    /// or its write attempted), and completes every submitted flush —
+    /// acknowledged data is never dropped.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Release);
+        self.stop_impl();
+    }
+
+    fn stop_impl(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the blocking accept; the loop re-checks the flag first.
+        let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        // Unblock readers (and any worker stuck in a socket write).
+        let conns: Vec<_> = self
+            .conns
+            .lock()
+            .expect("connection map poisoned")
+            .drain()
+            .map(|(_, c)| c)
+            .collect();
+        for conn in conns {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        let handlers: Vec<_> = self
+            .conn_threads
+            .lock()
+            .expect("connection threads poisoned")
+            .drain(..)
+            .collect();
+        for t in handlers {
+            let _ = t.join();
+        }
+        // Readers are gone, so no new pushes: close and drain.
+        self.core.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.core.flush.stop();
     }
 }
 
 impl Drop for SqlServer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
+        self.stop_impl();
     }
 }
 
-fn handle_connection(stream: TcpStream, engine: &StorageEngine) -> std::io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        let trimmed = line.trim();
-        // Every received line gets exactly one response line, blank
-        // included — silently skipping would desync pipelined clients.
-        let response = if trimmed.is_empty() {
-            Response {
-                output: None,
-                error: Some("empty statement".into()),
+/// Per-connection reader: decode frames, apply admission control, hand
+/// admitted work to the pool. Malformed frames are answered in-line (in
+/// order) without killing the connection; oversized frames answer then
+/// close, since the unread payload makes resync impossible.
+fn run_connection(
+    core: &Arc<ServerCore>,
+    stream: TcpStream,
+    conn_id: u64,
+    conns: &Mutex<HashMap<u64, Arc<ConnShared>>>,
+) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let conn = Arc::new(ConnShared {
+        stream,
+        out: Mutex::new(OutBuf {
+            next_seq: 0,
+            pending: BTreeMap::new(),
+        }),
+        inflight: AtomicUsize::new(0),
+    });
+    conns
+        .lock()
+        .expect("connection map poisoned")
+        .insert(conn_id, Arc::clone(&conn));
+    core.metrics.connections.inc();
+    core.metrics.connections_total.inc();
+    let mut reader = BufReader::new(read_half);
+    let mut seq = 0u64;
+    let answer_inline = |seq: u64, id: u64, response: &Response| {
+        let mut frame = Vec::new();
+        wire::encode_response(&mut frame, id, response);
+        send_ordered(&conn, seq, frame);
+    };
+    loop {
+        match wire::read_request(&mut reader, core.cfg.max_frame_bytes) {
+            Ok(None) | Err(wire::DecodeError::Io(_)) => break,
+            Err(wire::DecodeError::Oversized { declared, max, id }) => {
+                core.metrics.rejected_malformed.inc();
+                answer_inline(
+                    seq,
+                    id,
+                    &Response::Error(format!(
+                        "frame of {declared} bytes exceeds limit {max}; closing connection"
+                    )),
+                );
+                break;
             }
-        } else {
-            match execute(engine, trimmed) {
-                Ok(output) => Response {
-                    output: Some(output),
-                    error: None,
-                },
-                Err(e) => Response {
-                    output: None,
-                    error: Some(e.message),
-                },
+            Err(wire::DecodeError::Malformed { id, reason }) => {
+                core.metrics.rejected_malformed.inc();
+                answer_inline(
+                    seq,
+                    id,
+                    &Response::Error(format!("malformed frame: {reason}")),
+                );
+                seq += 1;
             }
-        };
-        // Non-finite floats make serde_json refuse; degrade to an error
-        // response rather than killing the connection.
-        let json = serde_json::to_string(&response).unwrap_or_else(|e| {
-            serde_json::to_string(&Response {
-                output: None,
-                error: Some(format!("unserializable result: {e}")),
-            })
-            .expect("plain error response serializes")
-        });
-        writer.write_all(json.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+            Ok(Some(wire::RequestFrame { id, body })) => {
+                core.metrics.frames.inc();
+                if conn.inflight.load(Ordering::Relaxed) >= core.cfg.per_conn_inflight {
+                    core.metrics.rejected_busy.inc();
+                    answer_inline(
+                        seq,
+                        id,
+                        &Response::Busy(format!(
+                            "pipelining window of {} requests is full",
+                            core.cfg.per_conn_inflight
+                        )),
+                    );
+                    seq += 1;
+                    continue;
+                }
+                conn.inflight.fetch_add(1, Ordering::Relaxed);
+                let task = Task {
+                    conn: Arc::clone(&conn),
+                    seq,
+                    id,
+                    body,
+                };
+                if core.queue.try_push(task).is_err() {
+                    conn.inflight.fetch_sub(1, Ordering::Relaxed);
+                    core.metrics.rejected_busy.inc();
+                    answer_inline(
+                        seq,
+                        id,
+                        &Response::Busy("server execution queue is full".to_string()),
+                    );
+                }
+                seq += 1;
+            }
+        }
     }
-    Ok(())
+    // Only forget a quiescent connection: if responses are still in
+    // flight, the entry must survive so `shutdown` can unblock a worker
+    // stuck writing to this socket. The rare non-quiescent entry (peer
+    // vanished mid-pipeline) is cleaned up at shutdown.
+    let quiescent = conn.inflight.load(Ordering::Relaxed) == 0
+        && conn
+            .out
+            .lock()
+            .map(|out| out.pending.is_empty())
+            .unwrap_or(true);
+    if quiescent {
+        conns
+            .lock()
+            .expect("connection map poisoned")
+            .remove(&conn_id);
+    }
+    core.metrics.connections.dec();
 }
 
 /// A minimal HTTP exporter for a metrics [`Registry`](backsort_obs::Registry).
@@ -162,10 +580,10 @@ fn handle_connection(stream: TcpStream, engine: &StorageEngine) -> std::io::Resu
 ///   JSON (load the body straight into the trace viewer);
 /// * `GET /slow` — the slow-query log (worst traces first) as JSON.
 ///
-/// Same lifecycle as [`SqlServer`]: nonblocking accept loop, stop flag,
-/// joined on [`MetricsServer::shutdown`] or drop. Each request is one
-/// short-lived connection (`Connection: close`), so no worker threads
-/// outlive their response.
+/// Same lifecycle as [`SqlServer`]: blocking accept unblocked by a
+/// self-connect on shutdown, joined on [`MetricsServer::shutdown`] or
+/// drop. Each request is one short-lived connection
+/// (`Connection: close`), so no worker threads outlive their response.
 pub struct MetricsServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -180,23 +598,21 @@ impl MetricsServer {
         registry: Arc<backsort_obs::Registry>,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
-        let accept_thread = std::thread::spawn(move || {
-            while !stop2.load(Ordering::Acquire) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
+        let accept_thread = std::thread::Builder::new()
+            .name("metrics-accept".to_string())
+            .spawn(move || {
+                for incoming in listener.incoming() {
+                    if stop2.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(stream) = incoming {
                         let _ = serve_metrics_request(stream, &registry);
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => break,
                 }
-            }
-        });
+            })?;
         Ok(Self {
             addr: local,
             stop,
@@ -211,7 +627,14 @@ impl MetricsServer {
 
     /// Stops accepting and joins the accept thread.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Release);
+        self.stop_impl();
+    }
+
+    fn stop_impl(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
@@ -220,10 +643,7 @@ impl MetricsServer {
 
 impl Drop for MetricsServer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
+        self.stop_impl();
     }
 }
 
@@ -278,19 +698,17 @@ fn serve_metrics_request(
     writer.flush()
 }
 
-/// A blocking client for [`SqlServer`].
-pub struct SqlClient {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
-}
-
-/// A client-side failure: transport or server-reported.
+/// A client-side failure: transport, server-reported, or shed by
+/// admission control.
 #[derive(Debug)]
 pub enum ClientError {
     /// Socket/serialization problem.
     Io(std::io::Error),
     /// The server rejected the statement.
     Server(String),
+    /// The server shed the request before executing it; safe to retry
+    /// after backing off.
+    Busy(String),
 }
 
 impl std::fmt::Display for ClientError {
@@ -298,6 +716,7 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Busy(m) => write!(f, "server busy: {m}"),
         }
     }
 }
@@ -310,6 +729,26 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// A blocking client for [`SqlServer`], speaking the framed protocol.
+///
+/// Two usage styles:
+///
+/// * synchronous — [`execute`](Self::execute) /
+///   [`insert_batch`](Self::insert_batch) send one request and wait;
+/// * pipelined — [`send_sql`](Self::send_sql) /
+///   [`send_batch`](Self::send_batch) queue N requests, then
+///   [`recv`](Self::recv) collects responses in request order.
+pub struct SqlClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+    in_flight: VecDeque<u64>,
+}
+
+/// Responses can carry whole query results; allow more than we accept
+/// on the request path.
+const CLIENT_MAX_RESPONSE_BYTES: usize = 64 << 20;
+
 impl SqlClient {
     /// Connects to a running server.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
@@ -318,29 +757,109 @@ impl SqlClient {
         Ok(Self {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
+            next_id: 0,
+            in_flight: VecDeque::new(),
         })
     }
 
-    /// Sends one statement and waits for its result.
-    pub fn execute(&mut self, sql: &str) -> Result<QueryOutput, ClientError> {
-        debug_assert!(!sql.contains('\n'), "one statement per line");
-        self.writer.write_all(sql.as_bytes())?;
-        self.writer.write_all(b"\n")?;
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Queues one SQL statement without waiting; returns its frame id.
+    /// Call [`flush`](Self::flush) (or [`recv`](Self::recv), which
+    /// flushes) to push queued frames onto the wire.
+    pub fn send_sql(&mut self, sql: &str) -> std::io::Result<u64> {
+        let id = self.fresh_id();
+        let mut frame = Vec::new();
+        wire::encode_sql(&mut frame, id, sql);
+        self.writer.write_all(&frame)?;
+        self.in_flight.push_back(id);
+        Ok(id)
+    }
+
+    /// Queues one binary batched INSERT without waiting; returns its
+    /// frame id.
+    pub fn send_batch(
+        &mut self,
+        device: &str,
+        sensor: &str,
+        batch: &PointBatch,
+    ) -> std::io::Result<u64> {
+        let id = self.fresh_id();
+        let mut frame = Vec::new();
+        wire::encode_batch(&mut frame, id, device, sensor, batch);
+        self.writer.write_all(&frame)?;
+        self.in_flight.push_back(id);
+        Ok(id)
+    }
+
+    /// Pushes queued frames onto the wire.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Requests sent but not yet answered.
+    pub fn pending(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Receives the next response (responses arrive in request order).
+    /// Flushes queued frames first so a bare `send_*` + `recv` cannot
+    /// deadlock.
+    pub fn recv(&mut self) -> Result<(u64, Response), ClientError> {
         self.writer.flush()?;
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(ClientError::Io(std::io::Error::new(
+        match wire::read_response(&mut self.reader, CLIENT_MAX_RESPONSE_BYTES)? {
+            Some((id, response)) => {
+                if self.in_flight.front() == Some(&id) {
+                    self.in_flight.pop_front();
+                }
+                Ok((id, response))
+            }
+            None => Err(ClientError::Io(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
-            )));
+            ))),
         }
-        let response: Response = serde_json::from_str(line.trim())
-            .map_err(|e| ClientError::Server(format!("malformed response: {e}")))?;
-        match (response.output, response.error) {
-            (Some(output), _) => Ok(output),
-            (None, Some(message)) => Err(ClientError::Server(message)),
-            (None, None) => Err(ClientError::Server("empty response".into())),
+    }
+
+    /// Sends one statement and waits for its result. Responses to
+    /// earlier abandoned pipelined sends are discarded.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryOutput, ClientError> {
+        let id = self.send_sql(sql)?;
+        self.wait_for(id)
+    }
+
+    /// Sends one binary batched INSERT and waits; returns the inserted
+    /// point count.
+    pub fn insert_batch(
+        &mut self,
+        device: &str,
+        sensor: &str,
+        batch: &PointBatch,
+    ) -> Result<usize, ClientError> {
+        let id = self.send_batch(device, sensor, batch)?;
+        match self.wait_for(id)? {
+            QueryOutput::Inserted(n) => Ok(n),
+            other => Err(ClientError::Server(format!(
+                "unexpected response to batch insert: {other:?}"
+            ))),
+        }
+    }
+
+    fn wait_for(&mut self, id: u64) -> Result<QueryOutput, ClientError> {
+        loop {
+            let (rid, response) = self.recv()?;
+            if rid != id {
+                continue;
+            }
+            return match response {
+                Response::Output(output) => Ok(output),
+                Response::Error(message) => Err(ClientError::Server(message)),
+                Response::Busy(reason) => Err(ClientError::Busy(reason)),
+            };
         }
     }
 }

@@ -1,0 +1,464 @@
+//! The framed wire protocol: length-prefixed request/response frames.
+//!
+//! Every frame is a fixed 13-byte header followed by `len` payload
+//! bytes, all integers little-endian:
+//!
+//! ```text
+//! u32 len | u8 kind | u64 id | payload[len]
+//! ```
+//!
+//! `id` is chosen by the client and echoed verbatim on the response, so
+//! a pipelining client can match responses to requests (the server
+//! additionally guarantees per-connection responses arrive in request
+//! order). Request kinds:
+//!
+//! * [`KIND_SQL`] — payload is one UTF-8 SQL statement;
+//! * [`KIND_BATCH`] — a binary batched INSERT that compiles straight
+//!   into a [`PointBatch`] with no SQL parse:
+//!   `u16 device_len | device | u16 sensor_len | sensor | u8 dtype |
+//!   u32 count | count × i64 timestamps | value column` where the value
+//!   column uses the engine's own columnar encoding
+//!   ([`ValueColumn::encode_into`]) — the same bytes a WAL frame or
+//!   TsFile chunk carries.
+//!
+//! Response kinds: [`STATUS_OK`] (payload: JSON
+//! [`QueryOutput`]), [`STATUS_ERR`] (payload: UTF-8 message), and
+//! [`STATUS_BUSY`] — the typed backpressure signal (payload: UTF-8
+//! reason). BUSY is not an error in the protocol sense: the statement
+//! was never executed and can be retried once the server drains.
+
+use std::io::{Read, Write};
+
+use backsort_engine::{DataType, PointBatch, ValueColumn};
+use backsort_sql::QueryOutput;
+
+/// Frame header size: `u32 len + u8 kind + u64 id`.
+pub const HEADER_BYTES: usize = 13;
+/// Request kind: one UTF-8 SQL statement.
+pub const KIND_SQL: u8 = 0x01;
+/// Request kind: a binary batched INSERT.
+pub const KIND_BATCH: u8 = 0x02;
+/// Response kind: success, payload is JSON [`QueryOutput`].
+pub const STATUS_OK: u8 = 0x81;
+/// Response kind: failure, payload is a UTF-8 message.
+pub const STATUS_ERR: u8 = 0x82;
+/// Response kind: shed by admission control, payload is a UTF-8 reason.
+pub const STATUS_BUSY: u8 = 0x83;
+
+/// A decoded request frame body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// One SQL statement.
+    Sql(String),
+    /// A batched INSERT targeting one series.
+    Batch {
+        /// Device path (e.g. `root.sg.d1`).
+        device: String,
+        /// Sensor name.
+        sensor: String,
+        /// The decoded columnar batch.
+        batch: PointBatch,
+    },
+}
+
+/// A decoded request frame: client-chosen id plus body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestFrame {
+    /// Echoed verbatim on the response.
+    pub id: u64,
+    /// What to execute.
+    pub body: RequestBody,
+}
+
+/// One server reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The statement succeeded.
+    Output(QueryOutput),
+    /// The statement failed; it was (at most partially) executed.
+    Error(String),
+    /// Admission control shed the request before execution; safe to
+    /// retry after backing off.
+    Busy(String),
+}
+
+/// Why a request frame failed to decode.
+#[derive(Debug)]
+pub enum DecodeError {
+    /// Transport failure or torn header — the connection is dead.
+    Io(std::io::Error),
+    /// The declared payload length exceeds the server's limit. The
+    /// payload was not consumed, so the stream cannot be resynced; the
+    /// server replies with an error and closes the connection.
+    Oversized {
+        /// Declared payload length.
+        declared: usize,
+        /// Configured limit.
+        max: usize,
+        /// Frame id, for the error reply.
+        id: u64,
+    },
+    /// The frame was consumed but its contents are invalid (unknown
+    /// kind, bad UTF-8, undecodable batch). The connection survives.
+    Malformed {
+        /// Frame id, for the error reply.
+        id: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl From<std::io::Error> for DecodeError {
+    fn from(e: std::io::Error) -> Self {
+        DecodeError::Io(e)
+    }
+}
+
+fn dtype_to_byte(dt: DataType) -> u8 {
+    match dt {
+        DataType::Int32 => 0,
+        DataType::Int64 => 1,
+        DataType::Float => 2,
+        DataType::Double => 3,
+        DataType::Boolean => 4,
+        DataType::Text => 5,
+    }
+}
+
+fn dtype_from_byte(b: u8) -> Option<DataType> {
+    Some(match b {
+        0 => DataType::Int32,
+        1 => DataType::Int64,
+        2 => DataType::Float,
+        3 => DataType::Double,
+        4 => DataType::Boolean,
+        5 => DataType::Text,
+        _ => return None,
+    })
+}
+
+fn put_header(out: &mut Vec<u8>, len: usize, kind: u8, id: u64) {
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(&id.to_le_bytes());
+}
+
+/// Encodes a SQL request frame into `out`.
+pub fn encode_sql(out: &mut Vec<u8>, id: u64, sql: &str) {
+    put_header(out, sql.len(), KIND_SQL, id);
+    out.extend_from_slice(sql.as_bytes());
+}
+
+/// Encodes a batched-INSERT request frame into `out`.
+pub fn encode_batch(out: &mut Vec<u8>, id: u64, device: &str, sensor: &str, batch: &PointBatch) {
+    let mut payload = Vec::with_capacity(16 + device.len() + sensor.len() + batch.len() * 9);
+    payload.extend_from_slice(&(device.len() as u16).to_le_bytes());
+    payload.extend_from_slice(device.as_bytes());
+    payload.extend_from_slice(&(sensor.len() as u16).to_le_bytes());
+    payload.extend_from_slice(sensor.as_bytes());
+    payload.push(dtype_to_byte(batch.data_type()));
+    payload.extend_from_slice(&(batch.len() as u32).to_le_bytes());
+    for t in batch.ts() {
+        payload.extend_from_slice(&t.to_le_bytes());
+    }
+    batch.values().encode_into(&mut payload);
+    put_header(out, payload.len(), KIND_BATCH, id);
+    out.extend_from_slice(&payload);
+}
+
+/// Encodes a response frame into `out`. An output whose JSON rendering
+/// fails (non-finite floats) degrades to an error response rather than
+/// killing the connection.
+pub fn encode_response(out: &mut Vec<u8>, id: u64, response: &Response) {
+    let (status, payload): (u8, Vec<u8>) = match response {
+        Response::Output(output) => match serde_json::to_string(output) {
+            Ok(json) => (STATUS_OK, json.into_bytes()),
+            Err(e) => (
+                STATUS_ERR,
+                format!("unserializable result: {e}").into_bytes(),
+            ),
+        },
+        Response::Error(message) => (STATUS_ERR, message.clone().into_bytes()),
+        Response::Busy(reason) => (STATUS_BUSY, reason.clone().into_bytes()),
+    };
+    put_header(out, payload.len(), status, id);
+    out.extend_from_slice(&payload);
+}
+
+/// Reads the fixed header. `Ok(None)` is a clean EOF (peer closed
+/// between frames); a torn header is an I/O error.
+fn read_header(reader: &mut impl Read) -> std::io::Result<Option<(usize, u8, u64)>> {
+    let mut header = [0u8; HEADER_BYTES];
+    let mut filled = 0;
+    while filled < HEADER_BYTES {
+        match reader.read(&mut header[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    let kind = header[4];
+    let id = u64::from_le_bytes([
+        header[5], header[6], header[7], header[8], header[9], header[10], header[11], header[12],
+    ]);
+    Ok(Some((len, kind, id)))
+}
+
+/// Reads one request frame. `Ok(None)` is a clean EOF.
+pub fn read_request(
+    reader: &mut impl Read,
+    max_frame_bytes: usize,
+) -> Result<Option<RequestFrame>, DecodeError> {
+    let Some((len, kind, id)) = read_header(reader)? else {
+        return Ok(None);
+    };
+    if len > max_frame_bytes {
+        return Err(DecodeError::Oversized {
+            declared: len,
+            max: max_frame_bytes,
+            id,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload).map_err(DecodeError::Io)?;
+    let body = match kind {
+        KIND_SQL => match String::from_utf8(payload) {
+            Ok(sql) => RequestBody::Sql(sql),
+            Err(_) => {
+                return Err(DecodeError::Malformed {
+                    id,
+                    reason: "SQL payload is not UTF-8".to_string(),
+                })
+            }
+        },
+        KIND_BATCH => decode_batch_payload(&payload).map_or_else(
+            || {
+                Err(DecodeError::Malformed {
+                    id,
+                    reason: "undecodable batch payload".to_string(),
+                })
+            },
+            |(device, sensor, batch)| {
+                Ok(RequestBody::Batch {
+                    device,
+                    sensor,
+                    batch,
+                })
+            },
+        )?,
+        other => {
+            return Err(DecodeError::Malformed {
+                id,
+                reason: format!("unknown frame kind 0x{other:02x}"),
+            })
+        }
+    };
+    Ok(Some(RequestFrame { id, body }))
+}
+
+/// Decodes a [`KIND_BATCH`] payload; `None` on any inconsistency.
+fn decode_batch_payload(payload: &[u8]) -> Option<(String, String, PointBatch)> {
+    let mut at = 0usize;
+    let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
+        let slice = payload.get(*at..*at + n)?;
+        *at += n;
+        Some(slice)
+    };
+    let device_len = u16::from_le_bytes(take(&mut at, 2)?.try_into().ok()?) as usize;
+    let device = String::from_utf8(take(&mut at, device_len)?.to_vec()).ok()?;
+    let sensor_len = u16::from_le_bytes(take(&mut at, 2)?.try_into().ok()?) as usize;
+    let sensor = String::from_utf8(take(&mut at, sensor_len)?.to_vec()).ok()?;
+    let dtype = dtype_from_byte(*take(&mut at, 1)?.first()?)?;
+    let count = u32::from_le_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+    // The timestamp column is fixed-width, so an absurd count fails
+    // here instead of allocating.
+    let ts_bytes = count.checked_mul(8)?;
+    let ts_raw = take(&mut at, ts_bytes)?;
+    let ts: Vec<i64> = ts_raw
+        .chunks_exact(8)
+        .map(|c| i64::from_le_bytes(c.try_into().unwrap_or([0; 8])))
+        .collect();
+    let values = ValueColumn::decode(dtype, count, payload.get(at..)?)?;
+    let batch = PointBatch::from_columns(ts, values).ok()?;
+    Some((device, sensor, batch))
+}
+
+/// Reads one response frame (client side). `Ok(None)` is a clean EOF.
+pub fn read_response(
+    reader: &mut impl Read,
+    max_frame_bytes: usize,
+) -> std::io::Result<Option<(u64, Response)>> {
+    let Some((len, status, id)) = read_header(reader)? else {
+        return Ok(None);
+    };
+    if len > max_frame_bytes {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("response frame of {len} bytes exceeds limit {max_frame_bytes}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    let text = || String::from_utf8_lossy(&payload).into_owned();
+    let response = match status {
+        STATUS_OK => {
+            let json = std::str::from_utf8(&payload).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("response payload is not UTF-8: {e}"),
+                )
+            })?;
+            let output: QueryOutput = serde_json::from_str(json).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed response payload: {e}"),
+                )
+            })?;
+            Response::Output(output)
+        }
+        STATUS_ERR => Response::Error(text()),
+        STATUS_BUSY => Response::Busy(text()),
+        other => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unknown response status 0x{other:02x}"),
+            ))
+        }
+    };
+    Ok(Some((id, response)))
+}
+
+/// Writes pre-encoded frame bytes.
+pub fn write_all(writer: &mut impl Write, bytes: &[u8]) -> std::io::Result<()> {
+    writer.write_all(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backsort_engine::TsValue;
+
+    #[test]
+    fn sql_frame_roundtrip() {
+        let mut buf = Vec::new();
+        encode_sql(&mut buf, 42, "SELECT s FROM root.sg.d1");
+        let frame = read_request(&mut buf.as_slice(), 1 << 20)
+            .expect("decode")
+            .expect("not eof");
+        assert_eq!(frame.id, 42);
+        assert_eq!(
+            frame.body,
+            RequestBody::Sql("SELECT s FROM root.sg.d1".to_string())
+        );
+    }
+
+    #[test]
+    fn batch_frame_roundtrip_every_dtype() {
+        let batches = vec![
+            PointBatch::from_rows((0..50i64).map(|t| (t * 3 % 17, TsValue::Long(t)))).unwrap(),
+            PointBatch::from_rows((0..50i64).map(|t| (t, TsValue::Double(t as f64 * 0.5))))
+                .unwrap(),
+            PointBatch::from_rows((0..8i64).map(|t| (t, TsValue::Bool(t % 2 == 0)))).unwrap(),
+            PointBatch::from_rows((0..8i64).map(|t| (t, TsValue::Text(format!("v{t}"))))).unwrap(),
+        ];
+        for (i, batch) in batches.into_iter().enumerate() {
+            let mut buf = Vec::new();
+            encode_batch(&mut buf, i as u64, "root.sg.d1", "s0", &batch);
+            let frame = read_request(&mut buf.as_slice(), 1 << 20)
+                .expect("decode")
+                .expect("not eof");
+            assert_eq!(frame.id, i as u64);
+            match frame.body {
+                RequestBody::Batch {
+                    device,
+                    sensor,
+                    batch: decoded,
+                } => {
+                    assert_eq!(device, "root.sg.d1");
+                    assert_eq!(sensor, "s0");
+                    assert_eq!(decoded, batch);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for response in [
+            Response::Output(QueryOutput::Inserted(7)),
+            Response::Error("boom".to_string()),
+            Response::Busy("flush backlog 9 > 4".to_string()),
+        ] {
+            let mut buf = Vec::new();
+            encode_response(&mut buf, 9, &response);
+            let (id, decoded) = read_response(&mut buf.as_slice(), 1 << 20)
+                .expect("decode")
+                .expect("not eof");
+            assert_eq!(id, 9);
+            assert_eq!(decoded, response);
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        put_header(&mut buf, 10 << 20, KIND_SQL, 3);
+        match read_request(&mut buf.as_slice(), 1 << 20) {
+            Err(DecodeError::Oversized { declared, max, id }) => {
+                assert_eq!(declared, 10 << 20);
+                assert_eq!(max, 1 << 20);
+                assert_eq!(id, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_malformed_but_consumed() {
+        let mut buf = Vec::new();
+        put_header(&mut buf, 2, 0x7f, 5);
+        buf.extend_from_slice(b"xy");
+        // A follow-up frame after the malformed one still decodes: the
+        // bad frame's payload was consumed, so the stream stays synced.
+        encode_sql(&mut buf, 6, "SHOW STATS");
+        let mut reader = buf.as_slice();
+        match read_request(&mut reader, 1 << 20) {
+            Err(DecodeError::Malformed { id, .. }) => assert_eq!(id, 5),
+            other => panic!("{other:?}"),
+        }
+        let next = read_request(&mut reader, 1 << 20)
+            .expect("decode")
+            .expect("not eof");
+        assert_eq!(next.id, 6);
+    }
+
+    #[test]
+    fn truncated_batch_payload_is_malformed() {
+        let batch = PointBatch::from_rows((0..20i64).map(|t| (t, TsValue::Long(t)))).unwrap();
+        let mut buf = Vec::new();
+        encode_batch(&mut buf, 1, "root.sg.d1", "s0", &batch);
+        // Corrupt the declared point count (offset: header + device/
+        // sensor length prefixes and names + dtype byte).
+        let count_at = HEADER_BYTES + 2 + "root.sg.d1".len() + 2 + "s0".len() + 1;
+        buf[count_at] = 200;
+        match read_request(&mut buf.as_slice(), 1 << 20) {
+            Err(DecodeError::Malformed { id, .. }) => assert_eq!(id, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let empty: &[u8] = &[];
+        assert!(read_request(&mut { empty }, 1 << 20)
+            .expect("clean eof")
+            .is_none());
+    }
+}

@@ -317,23 +317,24 @@ fn show_slow_queries(engine: &StorageEngine) -> QueryOutput {
     QueryOutput::SlowQueries { entries }
 }
 
-/// Executes an `INSERT`: each sensor's column of literals becomes one
-/// columnar [`PointBatch`] handed to the engine whole — a multi-row
-/// statement costs one memtable lookup (and, under a durable store, one
-/// WAL frame) per sensor, not per point.
+/// Compiles an `INSERT`'s literal rows into one columnar [`PointBatch`]
+/// per sensor, without touching an engine. This is the front half of
+/// [`execute`]'s INSERT path, exposed so transports that manage their
+/// own write scheduling (the framed SQL server routes batches through
+/// [`StorageEngine::write_batch_nonblocking`] and a flush pool) reuse
+/// the exact same literal-promotion rules.
 ///
 /// Literals promote per column before the batch is built: any float in
 /// the column makes it `DOUBLE` (integers widen), otherwise integers
 /// stay `INT64`, strings `TEXT`, booleans `BOOLEAN`. Mixing
-/// incompatible literal kinds in one column is an error, as is a batch
-/// whose promoted type contradicts the series' already-buffered type —
-/// either way nothing from the statement is written.
-fn insert(
-    engine: &StorageEngine,
+/// incompatible literal kinds in one column is an error and nothing is
+/// returned.
+pub fn compile_insert(
     device: &str,
     sensors: &[String],
     rows: &[(i64, Vec<Literal>)],
-) -> Result<QueryOutput, SqlError> {
+) -> Result<Vec<(SeriesKey, PointBatch)>, SqlError> {
+    let mut batches = Vec::with_capacity(sensors.len());
     for (col, sensor) in sensors.iter().enumerate() {
         let mut has_num = false;
         let mut has_float = false;
@@ -370,9 +371,28 @@ fn insert(
             (*t, v)
         }))
         .map_err(|e| SqlError::new(format!("column {sensor}: {e}")))?;
+        batches.push((key, batch));
+    }
+    Ok(batches)
+}
+
+/// Executes an `INSERT`: each sensor's column of literals becomes one
+/// columnar [`PointBatch`] handed to the engine whole — a multi-row
+/// statement costs one memtable lookup (and, under a durable store, one
+/// WAL frame) per sensor, not per point. See [`compile_insert`] for the
+/// literal-promotion rules; a batch whose promoted type contradicts the
+/// series' already-buffered type is rejected whole — either way nothing
+/// from the statement is written.
+fn insert(
+    engine: &StorageEngine,
+    device: &str,
+    sensors: &[String],
+    rows: &[(i64, Vec<Literal>)],
+) -> Result<QueryOutput, SqlError> {
+    for (key, batch) in compile_insert(device, sensors, rows)? {
         engine
             .write_batch(&key, &batch)
-            .map_err(|e| SqlError::new(format!("column {sensor}: {e}")))?;
+            .map_err(|e| SqlError::new(format!("column {}: {e}", key.sensor)))?;
     }
     Ok(QueryOutput::Inserted(sensors.len() * rows.len()))
 }

@@ -28,7 +28,7 @@ pub mod exec;
 pub mod lexer;
 pub mod parser;
 
-pub use exec::{execute, QueryOutput, SpanRow};
+pub use exec::{compile_insert, execute, execute_statement, QueryOutput, SpanRow};
 pub use parser::{parse, Aggregate, Statement};
 
 /// A SQL-layer failure, with a human-readable message.

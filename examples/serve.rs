@@ -1,6 +1,8 @@
 //! Hosts the SQL-over-TCP server until killed, printing the port —
 //! `cargo run --release --example serve [-- port]`, then connect with
-//! any line-based client (`nc`, telnet, the bundled `SqlClient`).
+//! the bundled `SqlClient` or any client speaking the framed protocol
+//! (`u32 payload_len | u8 kind | u64 id | payload`, see
+//! `backsort_server::wire`).
 //!
 //! A metrics endpoint rides along on a second port: `GET /metrics`
 //! (Prometheus text) or `GET /metrics.json` against the printed
