@@ -88,6 +88,10 @@ pub fn scan(src: &str) -> Scanned {
                 clean.push(std::mem::take(&mut cur));
                 line += 1;
                 i += 1;
+                // A newline ends any identifier, so `r"…"` at the start
+                // of the next line is a raw string even when the
+                // previous line ended in an ident char.
+                prev_code_char = ' ';
             }
             '/' if i + 1 < n && bytes[i + 1] == '/' => {
                 // Line comment: capture its text for suppression parsing.
@@ -212,7 +216,11 @@ pub fn scan(src: &str) -> Scanned {
     for text in &clean {
         depth_at_start.push(depth);
         let mut this_test = test_open_depth.is_some();
-        if text.contains("cfg(test)") {
+        // A `cfg(test)` attribute inside an already-open test region
+        // must not re-arm the pending flag: the region covers it, and a
+        // stale pending flag would latch onto the first brace *after*
+        // the region closes, marking production code as test.
+        if !this_test && attr_is_test(text) {
             pending_test_attr = true;
             this_test = true;
         }
@@ -233,6 +241,14 @@ pub fn scan(src: &str) -> Scanned {
                             test_open_depth = None;
                         }
                     }
+                }
+                // A `;` before any `{` ends a brace-less attributed
+                // item (`#[cfg(test)] mod tests;`, a test-only
+                // `use`): the attribute covers that item only and
+                // must not latch onto the next unrelated brace.
+                ';' if pending_test_attr && test_open_depth.is_none() => {
+                    pending_test_attr = false;
+                    this_test = true;
                 }
                 _ => {}
             }
@@ -317,6 +333,48 @@ fn consume_string(
     j
 }
 
+/// Whether a clean line carries a `cfg(…)` attribute that gates the
+/// item on test builds: plain `cfg(test)`, or `test` as a predicate
+/// token inside `cfg(all(…))` / `cfg(any(…))`. `cfg(not(test))` gates
+/// *production* code and `cfg_attr(test, …)` only tweaks attributes, so
+/// neither counts. String literals are already stripped from clean
+/// text, so `feature = "test"` can't false-positive.
+fn attr_is_test(text: &str) -> bool {
+    if text.contains("not(test)") {
+        return false;
+    }
+    let mut from = 0;
+    while let Some(idx) = crate::passes::find_word(text, "cfg(", from) {
+        let start = idx + 4;
+        from = start;
+        let body = balanced_paren_body(text, start);
+        if crate::passes::contains_token(body, "test") {
+            return true;
+        }
+    }
+    false
+}
+
+/// The text between `text[start..]` and its balancing `)` (the opening
+/// `(` sits just before `start`). Unterminated parens run to the end of
+/// the line.
+fn balanced_paren_body(text: &str, start: usize) -> &str {
+    let mut depth = 1usize;
+    for (i, c) in text[start..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return &text[start..start + i];
+                }
+            }
+            _ => {}
+        }
+    }
+    &text[start..]
+}
+
 /// Parses `analyzer:allow(<id>)` / `analyzer:allow(<id>): <why>` out of
 /// a line comment's text. The directive must open the comment (doc
 /// comments merely *mentioning* the syntax start with `/` or `!` and
@@ -394,5 +452,81 @@ mod tests {
     fn depth_at_start_counts_code_braces_only() {
         let s = scan("fn f() {\n    let s = \"{{{\"; // }}}\n    g();\n}\n");
         assert_eq!(s.depth_at_start, vec![0, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_does_not_latch_the_next_brace() {
+        // `#[cfg(test)] mod tests;` ends at the `;` — the following
+        // production fn must not inherit the test region.
+        let src = "#[cfg(test)]\nmod tests;\nfn live() { a.unwrap(); }\n";
+        let s = scan(src);
+        assert!(s.in_test[0] && s.in_test[1]);
+        assert!(!s.in_test[2], "production fn marked as test");
+    }
+
+    #[test]
+    fn cfg_all_test_region_is_recognized() {
+        let src =
+            "#[cfg(all(test, feature = \"slow\"))]\nmod harness {\n    x();\n}\nfn live() {}\n";
+        let s = scan(src);
+        assert!(s.in_test[0] && s.in_test[1] && s.in_test[2] && s.in_test[3]);
+        assert!(!s.in_test[4]);
+        // `cfg(not(test))` gates production code; `cfg_attr(test, …)`
+        // only adjusts attributes under test.
+        assert!(!scan("#[cfg(not(test))]\nfn prod() {}\n").in_test[1]);
+        assert!(!scan("#[cfg_attr(test, allow(dead_code))]\nfn prod() {}\n").in_test[1]);
+    }
+
+    #[test]
+    fn nested_cfg_test_attr_does_not_leak_past_its_region() {
+        // The inner `#[cfg(test)]` sits inside an open test region; a
+        // stale pending flag must not mark `live()` below as test.
+        let src = "#[cfg(test)]\nmod tests {\n    #[cfg(test)]\n    fn t() {}\n}\nfn live() { b.unwrap(); }\n";
+        let s = scan(src);
+        assert!(s.in_test[2] && s.in_test[3] && s.in_test[4]);
+        assert!(!s.in_test[5], "stale cfg(test) attr leaked past its region");
+    }
+
+    #[test]
+    fn cfg_test_impl_block_closes_exactly_at_its_end() {
+        let src = "#[cfg(test)]\nimpl Helper {\n    fn mk() -> Self { Helper }\n}\nimpl Live {\n    fn run(&self) {}\n}\n";
+        let s = scan(src);
+        assert!(s.in_test[1] && s.in_test[2] && s.in_test[3]);
+        assert!(!s.in_test[4] && !s.in_test[5] && !s.in_test[6]);
+    }
+
+    #[test]
+    fn raw_string_at_line_start_after_ident_line() {
+        // The previous line ends in an identifier; the newline ends the
+        // token, so `r"…"` opening the next line is still a raw string.
+        let src = "let q = prefix\n    + r\"with \\ backslash\";\n";
+        let s = scan(src);
+        assert_eq!(s.strings.len(), 1);
+        assert_eq!(s.strings[0].value, "with \\ backslash");
+        assert_eq!(s.strings[0].line, 2);
+    }
+
+    #[test]
+    fn byte_raw_strings_and_extra_hash_raw_strings() {
+        let s = scan(r#####"let a = br#"bytes " here"#; let b = r##"keeps "# inside"##;"#####);
+        assert_eq!(s.strings.len(), 2);
+        assert_eq!(s.strings[0].value, "bytes \" here");
+        assert_eq!(s.strings[1].value, "keeps \"# inside");
+        assert!(!s.clean[0].contains("inside"));
+    }
+
+    #[test]
+    fn unterminated_literals_keep_line_accounting() {
+        // An unterminated string or block comment at EOF must not lose
+        // lines: every source line still has a clean/depth/test entry.
+        // (A trailing `\n` always yields one final empty clean line,
+        // terminated or not.)
+        let s = scan("fn f() {\n    let s = \"runs\noff the end\n");
+        assert_eq!(s.line_count(), 4);
+        assert_eq!(s.depth_at_start.len(), 4);
+        assert_eq!(s.in_test.len(), 4);
+        let c = scan("fn f() {}\n/* comment\nnever closes\n");
+        assert_eq!(c.line_count(), 4);
+        assert_eq!(c.depth_at_start, vec![0, 0, 0, 0]);
     }
 }

@@ -13,9 +13,11 @@
 //! [--deny]`, or call [`check_workspace`] as a library (the `obs_check`
 //! bin delegates its catalog-presence half here).
 
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
 pub mod passes;
+pub mod symbols;
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -254,6 +256,27 @@ fn package_name(manifest: &str) -> Option<String> {
     None
 }
 
+/// The interprocedural view of the workspace: the symbol table and the
+/// call graph built over it. Constructed once per [`check_workspace`]
+/// run and shared by every pass — the lexical passes ignore it, the
+/// interprocedural ones (lock-order, dropped-error, blocking-in-worker)
+/// propagate facts over it.
+pub struct Analysis {
+    /// Every function, struct field, and type alias in the workspace.
+    pub symbols: symbols::SymbolTable,
+    /// Resolved call sites between those functions.
+    pub graph: callgraph::CallGraph,
+}
+
+impl Analysis {
+    /// Builds the symbol table and call graph for `ws`.
+    pub fn build(ws: &Workspace) -> Analysis {
+        let symbols = symbols::SymbolTable::build(ws);
+        let graph = callgraph::CallGraph::build(ws, &symbols);
+        Analysis { symbols, graph }
+    }
+}
+
 /// A lint pass.
 pub trait Lint {
     /// Stable id used in config sections, findings, and suppressions.
@@ -262,13 +285,16 @@ pub trait Lint {
     fn description(&self) -> &'static str;
     /// Runs the pass, pushing raw findings (severity is filled in by the
     /// driver from config).
-    fn run(&self, ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>);
+    fn run(&self, ws: &Workspace, cfg: &Config, analysis: &Analysis, out: &mut Vec<Finding>);
 }
 
 /// All built-in passes, in reporting order.
 pub fn all_lints() -> Vec<Box<dyn Lint>> {
     vec![
         Box::new(passes::lock_scope::LockScope),
+        Box::new(passes::lock_order::LockOrder),
+        Box::new(passes::dropped_error::DroppedError),
+        Box::new(passes::blocking_in_worker::BlockingInWorker),
         Box::new(passes::catalog_sync::CatalogSync),
         Box::new(passes::panic_freedom::PanicFreedom),
         Box::new(passes::atomic_ordering::AtomicOrdering),
@@ -333,6 +359,7 @@ fn suppression_covers(scan: &lexer::Scanned, sup_line: usize, f_line: usize) -> 
 /// its own line, on the next line that contains code; an allow with no
 /// justification is itself reported under [`SUPPRESSION_LINT`].
 pub fn check_workspace(ws: &Workspace, cfg: &Config, opts: &CheckOptions) -> Vec<Finding> {
+    let analysis = Analysis::build(ws);
     let mut findings = Vec::new();
     for lint in all_lints() {
         let id = lint.id();
@@ -351,7 +378,7 @@ pub fn check_workspace(ws: &Workspace, cfg: &Config, opts: &CheckOptions) -> Vec
             _ => Severity::Deny,
         };
         let mut raw = Vec::new();
-        lint.run(ws, cfg, &mut raw);
+        lint.run(ws, cfg, &analysis, &mut raw);
         for mut f in raw {
             f.severity = if opts.deny { Severity::Deny } else { severity };
             findings.push(f);
@@ -476,6 +503,68 @@ pub fn render_json(findings: &[Finding]) -> String {
     out
 }
 
+/// Renders findings as a minimal SARIF 2.1.0 log — one run, one rule
+/// per lint pass, one result per finding — so CI can publish the
+/// report where code-scanning UIs pick it up. `Deny` maps to `error`,
+/// `Warn` to `warning`.
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let mut out = String::from(concat!(
+        "{\n",
+        "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n",
+        "  \"version\": \"2.1.0\",\n",
+        "  \"runs\": [\n",
+        "    {\n",
+        "      \"tool\": {\n",
+        "        \"driver\": {\n",
+        "          \"name\": \"backsort-analyzer\",\n",
+        "          \"rules\": [\n"
+    ));
+    let lints = all_lints();
+    let rules: Vec<(&str, String)> = lints
+        .iter()
+        .map(|l| (l.id(), l.description().to_string()))
+        .chain([(
+            SUPPRESSION_LINT,
+            "problems with analyzer:allow comments themselves".to_string(),
+        )])
+        .collect();
+    for (i, (id, desc)) in rules.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}{}\n",
+            json_str(id),
+            json_str(desc),
+            if i + 1 == rules.len() { "" } else { "," }
+        ));
+    }
+    out.push_str(concat!(
+        "          ]\n",
+        "        }\n",
+        "      },\n",
+        "      \"results\": [\n"
+    ));
+    for (i, f) in findings.iter().enumerate() {
+        let level = match f.severity {
+            Severity::Deny => "error",
+            Severity::Warn => "warning",
+        };
+        out.push_str(&format!(
+            concat!(
+                "        {{\"ruleId\": {}, \"level\": {}, \"message\": {{\"text\": {}}}, ",
+                "\"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": ",
+                "{{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}}}]}}{}\n"
+            ),
+            json_str(f.lint),
+            json_str(level),
+            json_str(&f.message),
+            json_str(&f.file),
+            f.line,
+            if i + 1 == findings.len() { "" } else { "," }
+        ));
+    }
+    out.push_str(concat!("      ]\n", "    }\n", "  ]\n", "}\n"));
+    out
+}
+
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -491,4 +580,42 @@ fn json_str(s: &str) -> String {
     }
     out.push('"');
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(sev: Severity) -> Finding {
+        Finding {
+            file: "crates/engine/src/lib.rs".to_string(),
+            line: 7,
+            lint: "lock-order",
+            severity: sev,
+            message: "a \"quoted\" message".to_string(),
+        }
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_results() {
+        let out = render_sarif(&[finding(Severity::Deny), finding(Severity::Warn)]);
+        assert!(out.contains("\"version\": \"2.1.0\""));
+        assert!(out.contains("sarif-2.1.0.json"));
+        // One rule entry per pass plus the suppression pseudo-lint.
+        for lint in all_lints() {
+            assert!(out.contains(&format!("{{\"id\": \"{}\"", lint.id())));
+        }
+        assert!(out.contains(&format!("{{\"id\": \"{SUPPRESSION_LINT}\"")));
+        assert!(out.contains("\"level\": \"error\""));
+        assert!(out.contains("\"level\": \"warning\""));
+        assert!(out.contains("\"startLine\": 7"));
+        assert!(out.contains("a \\\"quoted\\\" message"));
+    }
+
+    #[test]
+    fn sarif_empty_run_is_well_formed() {
+        let out = render_sarif(&[]);
+        assert!(out.contains("\"results\": [\n      ]"));
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+    }
 }

@@ -1,8 +1,9 @@
 //! `backsort-analyzer` CLI.
 //!
 //! ```text
-//! cargo run -p backsort-analyzer -- check [--json] [--deny]
-//!     [--allow <lint-id>]... [--root <dir>] [--only <lint-id>]...
+//! cargo run -p backsort-analyzer -- check [--format <text|json|sarif>]
+//!     [--json] [--deny] [--allow <lint-id>]... [--root <dir>]
+//!     [--only <lint-id>]...
 //! cargo run -p backsort-analyzer -- lints
 //! ```
 //!
@@ -12,7 +13,16 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use backsort_analyzer::{all_lints, check_root, find_root, render_json, CheckOptions, Severity};
+use backsort_analyzer::{
+    all_lints, check_root, find_root, render_json, render_sarif, CheckOptions, Severity,
+};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,11 +40,22 @@ fn main() -> ExitCode {
         }
         "check" => {
             let mut opts = CheckOptions::default();
-            let mut json = false;
+            let mut format = Format::Text;
             let mut root: Option<PathBuf> = None;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
-                    "--json" => json = true,
+                    "--json" => format = Format::Json,
+                    "--format" => match it.next().map(String::as_str) {
+                        Some("text") => format = Format::Text,
+                        Some("json") => format = Format::Json,
+                        Some("sarif") => format = Format::Sarif,
+                        Some(other) => {
+                            return usage(&format!(
+                                "unknown format `{other}` (expected text, json, or sarif)"
+                            ))
+                        }
+                        None => return usage("--format needs one of text, json, sarif"),
+                    },
                     "--deny" => opts.deny = true,
                     "--allow" => match it.next() {
                         Some(id) => opts.allow.push(id.clone()),
@@ -79,21 +100,23 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            if json {
-                print!("{}", render_json(&findings));
-            } else {
-                for f in &findings {
-                    println!("{f}");
+            match format {
+                Format::Json => print!("{}", render_json(&findings)),
+                Format::Sarif => print!("{}", render_sarif(&findings)),
+                Format::Text => {
+                    for f in &findings {
+                        println!("{f}");
+                    }
+                    let denies = findings
+                        .iter()
+                        .filter(|f| f.severity == Severity::Deny)
+                        .count();
+                    println!(
+                        "backsort-analyzer: {} finding(s), {} deny",
+                        findings.len(),
+                        denies
+                    );
                 }
-                let denies = findings
-                    .iter()
-                    .filter(|f| f.severity == Severity::Deny)
-                    .count();
-                println!(
-                    "backsort-analyzer: {} finding(s), {} deny",
-                    findings.len(),
-                    denies
-                );
             }
             if findings.iter().any(|f| f.severity == Severity::Deny) {
                 ExitCode::FAILURE
@@ -107,6 +130,6 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("backsort-analyzer: {msg}");
-    eprintln!("usage: backsort-analyzer <check|lints> [--json] [--deny] [--allow <id>] [--only <id>] [--root <dir>]");
+    eprintln!("usage: backsort-analyzer <check|lints> [--format <text|json|sarif>] [--json] [--deny] [--allow <id>] [--only <id>] [--root <dir>]");
     ExitCode::from(2)
 }

@@ -50,7 +50,13 @@ impl Lint for AtomicOrdering {
         "no SeqCst; no Relaxed on atomics written from another file"
     }
 
-    fn run(&self, ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+    fn run(
+        &self,
+        ws: &Workspace,
+        cfg: &Config,
+        _analysis: &crate::Analysis,
+        out: &mut Vec<Finding>,
+    ) {
         let crates = cfg.list(SECTION, "crates");
         let mut accesses: Vec<Access> = Vec::new();
 

@@ -41,7 +41,13 @@ impl Lint for CatalogSync {
         "every declared metric/failpoint name is referenced, every literal name is declared"
     }
 
-    fn run(&self, ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+    fn run(
+        &self,
+        ws: &Workspace,
+        cfg: &Config,
+        _analysis: &crate::Analysis,
+        out: &mut Vec<Finding>,
+    ) {
         let metric_catalog = cfg.str(SECTION, "metric_catalog").unwrap_or_default();
         let failpoint_catalog = cfg.str(SECTION, "failpoint_catalog").unwrap_or_default();
         let metric_calls = cfg.list(SECTION, "metric_calls");

@@ -31,7 +31,13 @@ impl Lint for DocDrift {
         "doc references into backsort_core::merge / backsort_sorts must name existing pub items"
     }
 
-    fn run(&self, ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+    fn run(
+        &self,
+        ws: &Workspace,
+        cfg: &Config,
+        _analysis: &crate::Analysis,
+        out: &mut Vec<Finding>,
+    ) {
         let item_files = cfg.list(SECTION, "items_from");
         let prefixes = cfg.list(SECTION, "module_prefixes");
         let anchors = cfg.list(SECTION, "anchors");

@@ -41,7 +41,13 @@ impl Lint for LockScope {
         "no second shard lock, I/O, flusher submit, or failpoint fire while a shard guard is live"
     }
 
-    fn run(&self, ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+    fn run(
+        &self,
+        ws: &Workspace,
+        cfg: &Config,
+        _analysis: &crate::Analysis,
+        out: &mut Vec<Finding>,
+    ) {
         let crates = cfg.list(SECTION, "crates");
         let lock_methods = or_default(
             cfg.list(SECTION, "lock_methods"),

@@ -1,8 +1,11 @@
 //! The built-in lint passes.
 
 pub mod atomic_ordering;
+pub mod blocking_in_worker;
 pub mod catalog_sync;
 pub mod doc_drift;
+pub mod dropped_error;
+pub mod lock_order;
 pub mod lock_scope;
 pub mod panic_freedom;
 

@@ -18,10 +18,7 @@ pub struct PanicFreedom;
 
 const SECTION: &str = "lint.panic-freedom";
 
-const CALL_PATTERNS: &[(&str, &str)] = &[
-    (".unwrap()", "unwrap() can panic"),
-    (".expect(", "expect() can panic"),
-];
+const CALL_PATTERNS: &[(&str, &str)] = &[(".unwrap()", "unwrap() can panic")];
 
 const MACRO_PATTERNS: &[(&str, &str)] = &[
     ("panic!", "panic! in production code"),
@@ -39,7 +36,13 @@ impl Lint for PanicFreedom {
         "no unwrap/expect/panic/literal-index in production library code"
     }
 
-    fn run(&self, ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+    fn run(
+        &self,
+        ws: &Workspace,
+        cfg: &Config,
+        _analysis: &crate::Analysis,
+        out: &mut Vec<Finding>,
+    ) {
         let crates = cfg.list(SECTION, "crates");
         for file in ws.files.iter().filter(|f| in_crates(f, crates)) {
             for (i, text) in file.scan.clean.iter().enumerate() {
@@ -51,6 +54,9 @@ impl Lint for PanicFreedom {
                     if text.contains(pat) {
                         out.push(finding(self.id(), file, line, why));
                     }
+                }
+                if std_expect(text) {
+                    out.push(finding(self.id(), file, line, "expect() can panic"));
                 }
                 for (pat, why) in MACRO_PATTERNS {
                     if find_word(text, pat, 0).is_some() {
@@ -78,6 +84,27 @@ fn finding(lint: &'static str, file: &crate::SourceFile, line: usize, msg: &str)
         severity: Severity::Deny,
         message: msg.to_string(),
     }
+}
+
+/// Detects `Option`/`Result` `.expect(` — whose message argument is a
+/// string literal (possibly via `format!`) — as opposed to a fallible
+/// method that happens to be named `expect`, like a parser combinator's
+/// `self.expect(&Token::RParen)?`. An `.expect(` that ends the line is
+/// flagged too: a wrapped std call puts its message on the next line.
+fn std_expect(text: &str) -> bool {
+    let mut rest = text;
+    while let Some(idx) = rest.find(".expect(") {
+        let arg = rest[idx + ".expect(".len()..].trim_start();
+        if arg.is_empty()
+            || arg.starts_with('"')
+            || arg.starts_with("format!")
+            || arg.starts_with("&format!")
+        {
+            return true;
+        }
+        rest = &rest[idx + ".expect(".len()..];
+    }
+    false
 }
 
 /// Detects `expr[<digits>]`: a `[` whose preceding non-space char ends
@@ -108,6 +135,16 @@ fn literal_index(text: &str) -> Option<String> {
 #[cfg(test)]
 mod tests {
     use super::literal_index;
+
+    #[test]
+    fn std_expect_vs_parser_expect() {
+        use super::std_expect;
+        assert!(std_expect("let v = x.expect(\"present\");"));
+        assert!(std_expect(".expect(format!(\"{y}\""));
+        assert!(std_expect("value.expect(")); // message wrapped to next line
+        assert!(!std_expect("self.expect(&Token::RParen)?;"));
+        assert!(!std_expect("p.expect(tok)?;"));
+    }
 
     #[test]
     fn literal_index_detection() {

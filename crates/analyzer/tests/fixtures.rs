@@ -225,6 +225,217 @@ crates = ["backsort-engine"]
     );
 }
 
+const LOCK_ORDER_CFG: &str = r#"
+[lint.lock-order]
+crates = ["backsort-engine"]
+lock_methods = [".read()", ".write()"]
+mutex_methods = [".lock()"]
+io_patterns = [".write_durable("]
+"#;
+
+#[test]
+fn lock_order_flags_cycles_and_transitive_sinks() {
+    let bad = fixture("lock_order_bad.rs");
+    let ws = workspace(
+        vec![SourceFile::from_source(
+            "crates/engine/src/lo_bad.rs",
+            "backsort-engine",
+            FileKind::Lib,
+            &bad,
+        )],
+        vec![],
+    );
+    assert_findings(
+        &ws,
+        LOCK_ORDER_CFG,
+        "lock-order",
+        &[("crates/engine/src/lo_bad.rs", &bad)],
+    );
+}
+
+#[test]
+fn lock_order_accepts_consistent_order_and_released_guards() {
+    let good = fixture("lock_order_good.rs");
+    let ws = workspace(
+        vec![SourceFile::from_source(
+            "crates/engine/src/lo_good.rs",
+            "backsort-engine",
+            FileKind::Lib,
+            &good,
+        )],
+        vec![],
+    );
+    assert_findings(
+        &ws,
+        LOCK_ORDER_CFG,
+        "lock-order",
+        &[("crates/engine/src/lo_good.rs", &good)],
+    );
+}
+
+const DROPPED_ERROR_CFG: &str = r#"
+[lint.dropped-error]
+crates = ["backsort-engine"]
+error_tokens = ["StoreError"]
+error_paths = ["io::Result", "io::Error"]
+std_error_methods = [".sync_all("]
+"#;
+
+#[test]
+fn dropped_error_flags_every_discard_shape() {
+    let bad = fixture("dropped_error_bad.rs");
+    let ws = workspace(
+        vec![SourceFile::from_source(
+            "crates/engine/src/de_bad.rs",
+            "backsort-engine",
+            FileKind::Lib,
+            &bad,
+        )],
+        vec![],
+    );
+    assert_findings(
+        &ws,
+        DROPPED_ERROR_CFG,
+        "dropped-error",
+        &[("crates/engine/src/de_bad.rs", &bad)],
+    );
+}
+
+#[test]
+fn dropped_error_accepts_handled_and_non_error_results() {
+    let good = fixture("dropped_error_good.rs");
+    let ws = workspace(
+        vec![SourceFile::from_source(
+            "crates/engine/src/de_good.rs",
+            "backsort-engine",
+            FileKind::Lib,
+            &good,
+        )],
+        vec![],
+    );
+    assert_findings(
+        &ws,
+        DROPPED_ERROR_CFG,
+        "dropped-error",
+        &[("crates/engine/src/de_good.rs", &good)],
+    );
+}
+
+const BLOCKING_CFG: &str = r#"
+[lint.blocking-in-worker]
+crates = ["backsort-server"]
+entry_points = ["ServerCore::serve"]
+socket_exempt_files = ["crates/server/src/wire.rs"]
+"#;
+
+#[test]
+fn blocking_in_worker_flags_transitively_reachable_blocking() {
+    let bad = fixture("blocking_worker_bad.rs");
+    let ws = workspace(
+        vec![SourceFile::from_source(
+            "crates/server/src/bw_bad.rs",
+            "backsort-server",
+            FileKind::Lib,
+            &bad,
+        )],
+        vec![],
+    );
+    assert_findings(
+        &ws,
+        BLOCKING_CFG,
+        "blocking-in-worker",
+        &[("crates/server/src/bw_bad.rs", &bad)],
+    );
+}
+
+#[test]
+fn blocking_in_worker_exempts_wire_and_unreached_code() {
+    let good = fixture("blocking_worker_good.rs");
+    let wire = fixture("blocking_worker_wire.rs");
+    let ws = workspace(
+        vec![
+            SourceFile::from_source(
+                "crates/server/src/bw_good.rs",
+                "backsort-server",
+                FileKind::Lib,
+                &good,
+            ),
+            SourceFile::from_source(
+                "crates/server/src/wire.rs",
+                "backsort-server",
+                FileKind::Lib,
+                &wire,
+            ),
+        ],
+        vec![],
+    );
+    assert_findings(
+        &ws,
+        BLOCKING_CFG,
+        "blocking-in-worker",
+        &[
+            ("crates/server/src/bw_good.rs", &good),
+            ("crates/server/src/wire.rs", &wire),
+        ],
+    );
+}
+
+#[test]
+fn suppression_hygiene_covers_interprocedural_passes() {
+    let text = fixture("suppression_interprocedural.rs");
+    let ws = workspace(
+        vec![SourceFile::from_source(
+            "crates/engine/src/sup2.rs",
+            "backsort-engine",
+            FileKind::Lib,
+            &text,
+        )],
+        vec![],
+    );
+    // Hygiene only runs on a full (unrestricted) run, so disable the
+    // other passes through config instead of `only`.
+    let cfg = Config::parse(
+        r#"
+[lint.lock-scope]
+enabled = false
+[lint.catalog-sync]
+enabled = false
+[lint.atomic-ordering]
+enabled = false
+[lint.doc-drift]
+enabled = false
+[lint.panic-freedom]
+enabled = false
+[lint.blocking-in-worker]
+enabled = false
+[lint.dropped-error]
+crates = ["backsort-engine"]
+error_tokens = ["StoreError"]
+[lint.lock-order]
+crates = ["backsort-engine"]
+"#,
+    )
+    .expect("config parses");
+    let opts = CheckOptions {
+        deny: true,
+        ..Default::default()
+    };
+    let mut actual: Vec<(usize, &str)> = check_workspace(&ws, &cfg, &opts)
+        .iter()
+        .map(|f| (f.line, f.lint))
+        .collect::<Vec<_>>();
+    actual.sort();
+    assert_eq!(
+        actual,
+        vec![
+            (15, "suppression"),   // allow without justification
+            (16, "dropped-error"), // ...which therefore does not suppress
+            (20, "suppression"),   // justified allow whose finding never fires
+        ],
+        "interprocedural suppression hygiene findings"
+    );
+}
+
 const ATOMIC_CFG: &str = r#"
 [lint.atomic-ordering]
 crates = ["backsort-engine"]

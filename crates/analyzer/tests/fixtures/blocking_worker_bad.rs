@@ -1,0 +1,24 @@
+//! blocking-in-worker bad paths: blocking facts one, two, and three
+//! calls deep from the configured pool entry point.
+
+impl ServerCore {
+    pub fn serve(&self, task: Task) {
+        self.respond(task);
+        self.persist_trace();
+    }
+
+    fn respond(&self, task: Task) {
+        task.stream.write_all(&task.frame); //~ blocking-in-worker
+    }
+
+    fn persist_trace(&self) {
+        self.render_stats();
+        std::fs::write("trace.json", b"{}"); //~ blocking-in-worker
+        thread::sleep(self.backoff); //~ blocking-in-worker
+    }
+
+    fn render_stats(&self) {
+        let snap = self.registry.snapshot(); //~ blocking-in-worker
+        drop(snap);
+    }
+}

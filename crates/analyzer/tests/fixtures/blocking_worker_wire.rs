@@ -1,0 +1,13 @@
+//! Companion to the blocking-in-worker fixtures: the wire module is
+//! the one place a pool thread may touch a socket, so its reads and
+//! writes are exempt by file.
+
+impl Wire {
+    pub fn send_frame(stream: &mut TcpStream, frame: &[u8]) {
+        let _ = stream.write_all(frame);
+    }
+
+    pub fn read_frame(stream: &mut TcpStream, buf: &mut [u8]) {
+        let _ = stream.read_exact(buf);
+    }
+}

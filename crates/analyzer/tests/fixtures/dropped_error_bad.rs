@@ -1,0 +1,31 @@
+//! dropped-error bad paths: every discard shape, on results whose
+//! error type comes from the call graph (direct, through a `type`
+//! alias) or from the std textual fallback.
+
+type StoreResult<T> = Result<T, StoreError>;
+
+impl Engine {
+    fn persist(&self) -> StoreResult<()> {
+        Ok(())
+    }
+
+    fn rotate(&self) -> io::Result<u64> {
+        Ok(0)
+    }
+
+    pub fn let_discard(&self) {
+        let _ = self.persist(); //~ dropped-error
+    }
+
+    pub fn bare_discard(&self) {
+        self.persist(); //~ dropped-error
+    }
+
+    pub fn ok_discard(&self) {
+        self.rotate().ok(); //~ dropped-error
+    }
+
+    pub fn std_discard(&self, file: &File) {
+        file.sync_all(); //~ dropped-error
+    }
+}

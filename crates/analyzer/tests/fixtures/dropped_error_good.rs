@@ -1,0 +1,37 @@
+//! dropped-error good paths: propagation, visible checks, bindings,
+//! non-error discards, and a justified allow are all clean.
+
+impl Engine {
+    fn persist(&self) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    fn tally(&self) -> u64 {
+        0
+    }
+
+    pub fn propagated(&self) -> Result<(), StoreError> {
+        self.persist()?;
+        Ok(())
+    }
+
+    pub fn checked(&self) {
+        if self.persist().is_err() {
+            self.tally();
+        }
+    }
+
+    pub fn bound(&self) {
+        let outcome = self.persist();
+        drop(outcome);
+    }
+
+    pub fn non_error_discard(&self) {
+        self.tally();
+    }
+
+    pub fn suppressed(&self) {
+        // analyzer:allow(dropped-error): fixture — deliberate best-effort discard
+        let _ = self.persist();
+    }
+}

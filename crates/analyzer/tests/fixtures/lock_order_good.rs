@@ -1,0 +1,42 @@
+//! lock-order good paths: a consistent acquisition order is not a
+//! cycle, a guard dropped before the call frees the callee to sink, and
+//! a justified allow suppresses a deliberate flush-under-guard.
+
+pub struct Engine {
+    pool: Mutex<u32>,
+    cache: Mutex<u32>,
+    shards: RwLock<u32>,
+}
+
+impl Engine {
+    pub fn ordered_one(&self) {
+        let p = self.pool.lock();
+        let c = self.cache.lock();
+        drop(c);
+        drop(p);
+    }
+
+    pub fn ordered_two(&self) {
+        let p = self.pool.lock();
+        let c = self.cache.lock();
+        drop(c);
+        drop(p);
+    }
+
+    pub fn flush_after_release(&self) {
+        let st = self.shards.write();
+        drop(st);
+        self.flush_locked();
+    }
+
+    fn flush_locked(&self) {
+        self.io.write_durable(&self.path, &self.bytes);
+    }
+
+    pub fn deliberate(&self) {
+        let st = self.shards.write();
+        // analyzer:allow(lock-order): fixture — this flush is atomic with the watermark advance by design
+        self.flush_locked();
+        drop(st);
+    }
+}

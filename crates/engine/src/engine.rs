@@ -309,6 +309,7 @@ impl EngineObs {
             names::WAL_APPENDS,
             names::WAL_ROTATIONS,
             names::WAL_REPLAY_DISCARDED_BYTES,
+            names::STORE_REMOVE_FAILURES,
             names::COMPACTION_RUNS,
             names::COMPACTION_BYTES_IN,
             names::COMPACTION_BYTES_OUT,
@@ -615,6 +616,7 @@ impl StorageEngine {
             Err(_) => self.obs.type_mismatch_rejects.inc(),
         }
         if st.working.total_points() >= self.config.memtable_max_points {
+            // analyzer:allow(lock-order): rotation must be atomic with the watermark advance, so the synchronous flush runs under the shard guard by design; the transitive failpoint (kill_point) never blocks — it returns or aborts the process
             Some(self.flush_shard_locked(shard, &mut st))
         } else {
             None
@@ -694,6 +696,7 @@ impl StorageEngine {
             }
             idx = run_end;
             if st.working.total_points() >= self.config.memtable_max_points {
+                // analyzer:allow(lock-order): same invariant as the point path — rotation and watermark advance are one critical section, and kill_point never blocks
                 flushes.push(self.flush_shard_locked(shard, &mut st));
                 watermark = st.watermarks.get(key).copied();
             }

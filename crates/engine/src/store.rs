@@ -602,7 +602,7 @@ impl DurableEngine {
             max_gen = max_gen.max(*gen);
             if let Some(live) = &live_gens {
                 if !live.contains(gen) {
-                    let _ = io.remove(&dir.join(name));
+                    remove_stale(&engine, io.as_ref(), &dir.join(name));
                     continue;
                 }
             }
@@ -640,7 +640,7 @@ impl DurableEngine {
                     // A torn tsfile write: ignore it; its WAL segment
                     // (which we only delete after a complete persist)
                     // will replay.
-                    let _ = io.remove(&path);
+                    remove_stale(&engine, io.as_ref(), &path);
                 }
             }
         }
@@ -989,7 +989,11 @@ impl DurableEngine {
             self.faults
                 .hit(fault_sites::STORE_ROTATE_TRUNCATE)
                 .map_err(StoreError::Wal)?;
-            let _ = self.io.remove(&self.dir.join(format!("wal-{gen}.log")));
+            remove_stale(
+                &self.engine,
+                self.io.as_ref(),
+                &self.dir.join(format!("wal-{gen}.log")),
+            );
         }
         let obs = self.engine.obs();
         obs.counter(backsort_obs::names::WAL_ROTATIONS).inc();
@@ -1083,6 +1087,21 @@ fn write_images(
 /// GC before it would let a crash in between resurrect compaction
 /// inputs at recovery, with their tombstones already consumed by the
 /// compaction.
+/// Best-effort removal of a file that is no longer live (a retired WAL
+/// segment, a dead tsfile generation, a torn image). Failure never
+/// endangers durability — the path is already outside the manifest's
+/// live set and the next open retries the removal — but it leaks disk,
+/// so it is counted under `store.remove_failures` instead of being
+/// silently discarded.
+fn remove_stale(engine: &StorageEngine, io: &dyn Io, path: &Path) {
+    if io.remove(path).is_err() {
+        engine
+            .obs()
+            .counter(backsort_obs::names::STORE_REMOVE_FAILURES)
+            .inc();
+    }
+}
+
 fn commit_manifest_and_gc(
     engine: &StorageEngine,
     io: &dyn Io,
@@ -1137,7 +1156,7 @@ fn commit_manifest_and_gc(
             faults
                 .hit(fault_sites::STORE_PERSIST_GC)
                 .map_err(StoreError::Manifest)?;
-            let _ = io.remove(&dir.join(format!("tsfile-{gen}.bstf")));
+            remove_stale(engine, io, &dir.join(format!("tsfile-{gen}.bstf")));
         }
     }
     Ok(())
@@ -1171,6 +1190,29 @@ mod tests {
 
     fn point(t: i64, v: TsValue) -> WalRecord {
         WalRecord::Point { key: key(), t, v }
+    }
+
+    #[test]
+    fn failed_stale_removal_is_counted() {
+        use backsort_faults::io::RealIo;
+        let engine = StorageEngine::new(config(1024));
+        let failures = backsort_obs::names::STORE_REMOVE_FAILURES;
+        assert_eq!(engine.obs().counter_value(failures), 0);
+        remove_stale(
+            &engine,
+            &RealIo,
+            Path::new("/nonexistent/backsort-remove-stale-test"),
+        );
+        assert_eq!(engine.obs().counter_value(failures), 1);
+        // A removal that succeeds leaves the counter alone.
+        let dir = tmpdir("remove-stale");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stale.bstf");
+        fs::write(&path, b"x").unwrap();
+        remove_stale(&engine, &RealIo, &path);
+        assert!(!path.exists());
+        assert_eq!(engine.obs().counter_value(failures), 1);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -84,6 +84,7 @@ impl Io for RealIo {
         // (not all platforms allow opening a directory for sync).
         if let Some(dir) = path.parent() {
             if let Ok(d) = fs::File::open(dir) {
+                // analyzer:allow(dropped-error): directory fsync is best-effort by design — the file's own sync_all above is the durability point, and some platforms cannot sync a directory handle at all
                 let _ = d.sync_all();
             }
         }

@@ -85,6 +85,12 @@ pub const WAL_REPLAY_DISCARDED_BYTES: &str = "wal.replay_discarded_bytes";
 /// Time spent encoding a `PointBatch` WAL frame (delta-encoded timestamp
 /// column + value column), nanoseconds per batch (histogram).
 pub const WAL_BATCH_ENCODE_NANOS: &str = "wal.batch_encode_nanos";
+/// Best-effort removals of stale on-disk files (retired WAL segments,
+/// dead tsfile generations, torn images) that failed (counter). Never a
+/// durability problem — the file is no longer live and the next open
+/// retries — but a nonzero value means disk is leaking, so the failure
+/// is counted instead of silently discarded.
+pub const STORE_REMOVE_FAILURES: &str = "store.remove_failures";
 
 /// Compaction passes run (counter).
 pub const COMPACTION_RUNS: &str = "compaction.runs";
@@ -276,6 +282,7 @@ pub const REQUIRED: &[&str] = &[
     WAL_APPENDS,
     WAL_ROTATIONS,
     WAL_REPLAY_DISCARDED_BYTES,
+    STORE_REMOVE_FAILURES,
     WAL_BATCH_ENCODE_NANOS,
     COMPACTION_RUNS,
     COMPACTION_BYTES_IN,

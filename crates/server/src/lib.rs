@@ -84,6 +84,10 @@ pub struct ServerConfig {
     /// Trace one request in `n` under `server.request` (0 disables
     /// server-side sampling).
     pub trace_sample_n: u64,
+    /// Socket write timeout applied to every accepted connection, so a
+    /// wedged peer bounds how long a worker can sit in `send_ordered`
+    /// instead of stalling the pool forever (zero disables it).
+    pub write_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +101,7 @@ impl Default for ServerConfig {
             flush_workers: 2,
             flush_throttle: Duration::ZERO,
             trace_sample_n: 64,
+            write_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -161,6 +166,8 @@ fn send_ordered(conn: &ConnShared, seq: u64, frame: Vec<u8>) {
     }
     if !run.is_empty() {
         // A dead peer just drops responses; the reader notices EOF.
+        // analyzer:allow(dropped-error): a response-write failure is the peer's loss — acked durability lives in the engine, and the reader thread tears the connection down on EOF/reset
+        // analyzer:allow(blocking-in-worker): bounded by the write timeout set on every accepted socket, and the per-connection inflight window caps how much one peer can queue
         let _ = (&conn.stream).write_all(&run);
     }
 }
@@ -358,6 +365,11 @@ impl SqlServer {
                             break;
                         }
                         let Ok(stream) = incoming else { continue };
+                        if !core.cfg.write_timeout.is_zero() {
+                            // A socket that rejects the option still
+                            // serves — just without the stall bound.
+                            let _ = stream.set_write_timeout(Some(core.cfg.write_timeout));
+                        }
                         let conn_id = next_conn_id;
                         next_conn_id += 1;
                         let core = Arc::clone(&core);
@@ -609,6 +621,7 @@ impl MetricsServer {
                         break;
                     }
                     if let Ok(stream) = incoming {
+                        // analyzer:allow(dropped-error): one peer's failed scrape must not kill the accept loop; the scraper sees the dropped connection
                         let _ = serve_metrics_request(stream, &registry);
                     }
                 }

@@ -399,6 +399,7 @@ fn insert(
 
 /// Flattens the engine's registry snapshot into sorted name/value rows.
 fn show_stats(engine: &StorageEngine) -> QueryOutput {
+    // analyzer:allow(blocking-in-worker): SHOW STATS is an explicit user request for the registry dump; snapshot() copies under a short lock bounded by catalog size and never touches I/O
     let snap = engine.obs().snapshot();
     let mut names = Vec::new();
     let mut values = Vec::new();
@@ -463,20 +464,27 @@ fn select(
         let mut series: Vec<Vec<(i64, AggValue)>> = Vec::new();
         for item in &expanded {
             let SelectItem::Agg(agg, column) = item else {
-                unreachable!("checked above");
+                // `any_agg && any_raw` was rejected above, so every item
+                // here is an aggregate; a raw column reaching this loop
+                // is an executor bug, reported instead of aborting.
+                return Err(SqlError::new(
+                    "internal: raw column in GROUP BY select list",
+                ));
             };
             let key = SeriesKey::new(device, column.clone());
             columns.push(agg_label(*agg, column));
             series.push(engine.group_by_time(&key, g.start, g.end, g.step, to_aggregation(*agg)));
         }
-        let bucket_count = series.first().map_or(0, Vec::len);
-        let buckets = (0..bucket_count)
-            .map(|b| {
-                let start = series[0][b].0;
-                let values = series.iter().map(|s| s[b].1).collect();
-                (start, values)
-            })
-            .collect();
+        let buckets = match series.first() {
+            None => Vec::new(),
+            Some(first) => (0..first.len())
+                .map(|b| {
+                    let start = first[b].0;
+                    let values = series.iter().map(|s| s[b].1).collect();
+                    (start, values)
+                })
+                .collect(),
+        };
         return Ok(QueryOutput::Grouped { columns, buckets });
     }
 
@@ -485,7 +493,9 @@ fn select(
         let mut values = Vec::new();
         for item in &expanded {
             let SelectItem::Agg(agg, column) = item else {
-                unreachable!("checked above");
+                return Err(SqlError::new(
+                    "internal: raw column in aggregate select list",
+                ));
             };
             let key = SeriesKey::new(device, column.clone());
             columns.push(agg_label(*agg, column));
@@ -503,7 +513,7 @@ fn select(
     let mut results: Vec<Vec<(i64, TsValue)>> = Vec::new();
     for item in &expanded {
         let SelectItem::Column(column) = item else {
-            unreachable!("checked above");
+            return Err(SqlError::new("internal: aggregate item in raw select list"));
         };
         columns.push(column.clone());
         let key = SeriesKey::new(device, column.clone());

@@ -22,6 +22,7 @@ impl TextTVList {
 
     /// Appends a point in arrival order.
     pub fn push(&mut self, t: i64, v: impl Into<String>) {
+        // analyzer:allow(panic-freedom): the u32 arena index is a capacity contract — a single in-memory text list cannot reach 2^32 points (memtables flush orders of magnitude earlier)
         let idx = u32::try_from(self.arena.len()).expect("TextTVList exceeds u32::MAX points");
         self.arena.push(v.into());
         self.index_list.push(t, idx);

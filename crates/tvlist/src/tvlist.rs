@@ -224,22 +224,22 @@ impl<V: Value> TVList<V> {
             vs.len(),
             "timestamp and value columns must have equal length"
         );
-        if ts.is_empty() {
+        let Some((&first, rest)) = ts.split_first() else {
             return;
-        }
+        };
         // One pass over the timestamp column: slice bounds plus internal
         // monotonicity, so the flag/bound updates below are O(1).
         let mut slice_sorted = true;
-        let mut lo = ts[0];
-        let mut hi = ts[0];
-        let mut prev = ts[0];
-        for &t in &ts[1..] {
+        let mut lo = first;
+        let mut hi = first;
+        let mut prev = first;
+        for &t in rest {
             slice_sorted &= t >= prev;
             prev = t;
             lo = lo.min(t);
             hi = hi.max(t);
         }
-        self.sorted = self.sorted && slice_sorted && (self.len == 0 || ts[0] >= self.max_time);
+        self.sorted = self.sorted && slice_sorted && (self.len == 0 || first >= self.max_time);
         self.min_time = self.min_time.min(lo);
         self.max_time = self.max_time.max(hi);
 
@@ -397,10 +397,14 @@ impl<V: Value> SeriesAccess for TVList<V> {
                 let (t_head, t_tail) = self.times.split_at_mut(hi);
                 let (v_head, v_tail) = self.values.split_at_mut(hi);
                 if cs < cd {
+                    // analyzer:allow(panic-freedom): `[0]` is the chunk at index `hi` of the split — `hi < chunk count` by construction, so the tail is never empty
                     t_tail[0][od..od + n].copy_from_slice(&t_head[cs][os..os + n]);
+                    // analyzer:allow(panic-freedom): same non-empty-tail invariant as the timestamp copy above
                     v_tail[0][od..od + n].copy_from_slice(&v_head[cs][os..os + n]);
                 } else {
+                    // analyzer:allow(panic-freedom): `[0]` is the chunk at index `hi` of the split — `hi < chunk count` by construction, so the tail is never empty
                     t_head[cd][od..od + n].copy_from_slice(&t_tail[0][os..os + n]);
+                    // analyzer:allow(panic-freedom): same non-empty-tail invariant as the timestamp copy above
                     v_head[cd][od..od + n].copy_from_slice(&v_tail[0][os..os + n]);
                 }
             }
